@@ -1,0 +1,161 @@
+//! Criterion micro-benchmarks of the OpenBI substrates (M1–M6 in
+//! DESIGN.md): triple-store operations, tabularization, CSV parsing,
+//! quality measurement, classifier training/prediction, and OLAP
+//! rollups.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use openbi::datagen::{air_quality, make_blobs, scenario_to_lod, BlobsConfig};
+use openbi::mining::eval::crossval::holdout_split;
+use openbi::mining::{AlgorithmSpec, Instances};
+use openbi::olap::{Cube, Measure};
+use openbi::quality::{measure_profile, MeasureOptions};
+use openbi::table::{read_csv_str, write_csv_str, CsvOptions};
+use openbi_lod::{tabularize, Graph, Iri, Node, Query, TabularizeOptions, Term, Triple};
+use std::hint::black_box;
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("m1_triple_store");
+    let triples: Vec<Triple> = (0..5_000)
+        .map(|i| {
+            Triple::new(
+                Term::iri(&format!("http://e.org/s{}", i % 500)),
+                Term::iri(&format!("http://e.org/p{}", i % 7)),
+                Term::iri(&format!("http://e.org/o{}", i % 300)),
+            )
+        })
+        .collect();
+    group.bench_function("insert_5k", |b| {
+        b.iter_batched(
+            || triples.clone(),
+            |ts| {
+                let mut g = Graph::new();
+                for t in ts {
+                    g.insert(t);
+                }
+                black_box(g.len())
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let mut g = Graph::new();
+    for t in &triples {
+        g.insert(t.clone());
+    }
+    let pred = Term::iri("http://e.org/p3");
+    group.bench_function("match_by_predicate", |b| {
+        b.iter(|| black_box(g.match_pattern(None, Some(&pred), None).len()))
+    });
+    group.bench_function("two_hop_join_query", |b| {
+        let q = Query::new()
+            .pattern(Node::var("a"), Node::iri("http://e.org/p1"), Node::var("b"))
+            .pattern(Node::var("b"), Node::iri("http://e.org/p2"), Node::var("c"));
+        b.iter(|| black_box(q.execute(&g).unwrap().len()))
+    });
+    group.finish();
+}
+
+fn bench_tabularize(c: &mut Criterion) {
+    let scenario = air_quality(500, 1);
+    let graph = scenario_to_lod(&scenario, "http://openbi.org", 0.2, 1).unwrap();
+    let class = Iri::new("http://openbi.org/dataset/air-quality/Row").unwrap();
+    c.bench_function("m2_tabularize_500_entities", |b| {
+        b.iter(|| {
+            black_box(
+                tabularize(&graph, &class, &TabularizeOptions::default())
+                    .unwrap()
+                    .n_rows(),
+            )
+        })
+    });
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let table = air_quality(2_000, 2).table;
+    let text = write_csv_str(&table, ',');
+    c.bench_function("m3_csv_parse_2k_rows", |b| {
+        b.iter(|| black_box(read_csv_str(&text, &CsvOptions::default()).unwrap().n_rows()))
+    });
+}
+
+fn bench_quality(c: &mut Criterion) {
+    let table = make_blobs(&BlobsConfig {
+        n_rows: 1_000,
+        n_features: 8,
+        n_classes: 3,
+        class_separation: 3.0,
+        seed: 3,
+    });
+    let opts = MeasureOptions::with_target("class");
+    c.bench_function("m4_quality_profile_1k_rows", |b| {
+        b.iter(|| black_box(measure_profile(&table, &opts).completeness))
+    });
+}
+
+fn bench_classifiers(c: &mut Criterion) {
+    let table = make_blobs(&BlobsConfig {
+        n_rows: 600,
+        n_features: 6,
+        n_classes: 3,
+        class_separation: 3.0,
+        seed: 4,
+    });
+    let instances = Instances::from_table(&table, Some("class"), &[]).unwrap();
+    let (train, test) = holdout_split(&instances, 0.3, 1).unwrap();
+    let mut group = c.benchmark_group("m5_classifiers");
+    for spec in [
+        AlgorithmSpec::NaiveBayes,
+        AlgorithmSpec::DecisionTree {
+            max_depth: 12,
+            min_leaf: 2,
+        },
+        AlgorithmSpec::Knn { k: 5 },
+    ] {
+        group.bench_function(format!("train_{spec}"), |b| {
+            b.iter(|| {
+                let mut m = spec.build();
+                m.fit(&train).unwrap();
+                black_box(m.model_size())
+            })
+        });
+        let mut model = spec.build();
+        model.fit(&train).unwrap();
+        group.bench_function(format!("predict_{spec}"), |b| {
+            b.iter(|| black_box(model.predict(&test).unwrap().len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_olap(c: &mut Criterion) {
+    let facts = air_quality(5_000, 5).table;
+    let cube = Cube::new(
+        facts,
+        &["district", "traffic", "aqi_band"],
+        vec![Measure::Mean("pm10".into()), Measure::Count("station".into())],
+    )
+    .unwrap();
+    c.bench_function("m6_cube_rollup_2dims_5k_rows", |b| {
+        b.iter(|| black_box(cube.rollup(&["district", "traffic"]).unwrap().n_rows()))
+    });
+}
+
+fn config() -> Criterion {
+    // Keep the whole suite under a few minutes while staying well above
+    // noise for these micro-scale workloads.
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_graph,
+        bench_tabularize,
+        bench_csv,
+        bench_quality,
+        bench_classifiers,
+        bench_olap
+}
+criterion_main!(benches);

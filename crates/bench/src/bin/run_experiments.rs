@@ -1,0 +1,47 @@
+//! Run the experiment suite and export results.
+//!
+//! Usage:
+//!   run_experiments              # all experiments
+//!   run_experiments E1 E12 F2    # a subset, by id
+//!
+//! Result tables are printed and also written as CSV under `results/`.
+
+use openbi_bench::ablations::all_ablations;
+use openbi_bench::experiments::all_experiments;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).map(|a| a.to_uppercase()).collect();
+    let selected: Vec<_> = all_experiments()
+        .into_iter()
+        .chain(all_ablations())
+        .filter(|(id, _)| args.is_empty() || args.iter().any(|a| a == id))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("no experiment matches {args:?}; known: E1..E12, F1, F2, A1..A3");
+        std::process::exit(2);
+    }
+    let out_dir = std::path::Path::new("results");
+    for (id, runner) in selected {
+        let start = Instant::now();
+        match runner() {
+            Ok(tables) => {
+                for table in &tables {
+                    print!("{}", table.render());
+                    match table.save_csv(out_dir) {
+                        Ok(path) => println!("(csv: {})\n", path.display()),
+                        Err(e) => eprintln!("warning: could not save CSV: {e}"),
+                    }
+                }
+                println!(
+                    "== {id} done in {:.1}s ==\n",
+                    start.elapsed().as_secs_f64()
+                );
+            }
+            Err(e) => {
+                eprintln!("{id} failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

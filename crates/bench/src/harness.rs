@@ -1,0 +1,190 @@
+//! Shared experiment harness: severity sweeps of one quality criterion
+//! across datasets and algorithms — the engine under experiments E1–E8.
+
+use crate::result_table::{Cell, ResultTable};
+use openbi::experiment::{evaluate_variant, Criterion, ExperimentConfig, ExperimentDataset};
+use openbi::kb::SharedKnowledgeBase;
+use openbi::mining::AlgorithmSpec;
+use openbi::Result;
+
+/// Default experiment datasets: the three clean reference generators.
+pub fn default_datasets(seed: u64) -> Vec<ExperimentDataset> {
+    openbi::datagen::reference_datasets(seed)
+        .into_iter()
+        .map(|(name, table, target)| ExperimentDataset::new(name, table, target))
+        .collect()
+}
+
+/// Default severity grid for the sweeps.
+pub const SEVERITIES: [f64; 5] = [0.0, 0.25, 0.5, 0.75, 1.0];
+
+/// Run a one-criterion severity sweep and tabulate
+/// `(dataset, severity, algorithm, accuracy, macro_f1, minority_f1,
+/// kappa, model_size)` rows. Also fills `kb` if the caller wants the
+/// records.
+#[allow(clippy::too_many_arguments)] // experiment harness: each knob is load-bearing
+pub fn severity_sweep(
+    id: &str,
+    title: &str,
+    datasets: &[ExperimentDataset],
+    criterion: Criterion,
+    severities: &[f64],
+    algorithms: &[AlgorithmSpec],
+    folds: usize,
+    seed: u64,
+    kb: &SharedKnowledgeBase,
+) -> Result<ResultTable> {
+    let mut table = ResultTable::new(
+        id,
+        title,
+        &[
+            "dataset",
+            "severity",
+            "algorithm",
+            "accuracy",
+            "macro_f1",
+            "minority_f1",
+            "kappa",
+            "model_size",
+        ],
+    );
+    let config = ExperimentConfig {
+        algorithms: algorithms.to_vec(),
+        severities: severities.to_vec(),
+        folds,
+        seed,
+        parallel: false,
+    };
+    for dataset in datasets {
+        for (si, &severity) in severities.iter().enumerate() {
+            let degradation = criterion.degradation(severity, dataset)?;
+            let results = evaluate_variant(
+                dataset,
+                &degradation,
+                &config,
+                seed.wrapping_add(si as u64),
+                kb,
+            )?;
+            for (spec, eval) in results {
+                table.push(vec![
+                    Cell::Str(dataset.name.clone()),
+                    severity.into(),
+                    Cell::Str(spec.to_string()),
+                    eval.accuracy().into(),
+                    eval.macro_f1().into(),
+                    eval.minority_f1().into(),
+                    eval.kappa().into(),
+                    eval.model_size.into(),
+                ]);
+            }
+        }
+    }
+    Ok(table)
+}
+
+/// Compact algorithm suite used where the full 7-way suite is too slow.
+pub fn fast_suite() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec::ZeroR,
+        AlgorithmSpec::NaiveBayes,
+        AlgorithmSpec::DecisionTree {
+            max_depth: 12,
+            min_leaf: 2,
+        },
+        AlgorithmSpec::Knn { k: 5 },
+    ]
+}
+
+/// Summarize a sweep: mean accuracy per (severity, algorithm), averaged
+/// over datasets — the "series" view of each figure.
+pub fn summarize_series(sweep: &ResultTable) -> ResultTable {
+    let mut out = ResultTable::new(
+        &format!("{}-series", sweep.id),
+        &format!("{} (mean accuracy over datasets)", sweep.title),
+        &["severity", "algorithm", "mean_accuracy"],
+    );
+    let mut groups: Vec<(String, String, Vec<f64>)> = Vec::new();
+    for row in &sweep.rows {
+        let severity = row[1].clone();
+        let algo = row[2].clone();
+        let acc = match row[3] {
+            Cell::Float(f) => f,
+            _ => continue,
+        };
+        let key_sev = match &severity {
+            Cell::Float(f) => format!("{f:.3}"),
+            other => format!("{other:?}"),
+        };
+        let key_alg = match &algo {
+            Cell::Str(s) => s.clone(),
+            other => format!("{other:?}"),
+        };
+        if let Some(entry) = groups
+            .iter_mut()
+            .find(|(s, a, _)| *s == key_sev && *a == key_alg)
+        {
+            entry.2.push(acc);
+        } else {
+            groups.push((key_sev, key_alg, vec![acc]));
+        }
+    }
+    for (severity, algorithm, accs) in groups {
+        let mean = accs.iter().sum::<f64>() / accs.len() as f64;
+        out.push(vec![
+            Cell::Str(severity),
+            Cell::Str(algorithm),
+            mean.into(),
+        ]);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi::datagen::{make_blobs, BlobsConfig};
+
+    #[test]
+    fn sweep_produces_expected_rows_and_monotone_degradation() {
+        let dataset = ExperimentDataset::new(
+            "t",
+            make_blobs(&BlobsConfig {
+                n_rows: 120,
+                n_features: 3,
+                n_classes: 2,
+                class_separation: 3.0,
+                seed: 4,
+            }),
+            "class",
+        );
+        let kb = SharedKnowledgeBase::default();
+        let sweep = severity_sweep(
+            "T1",
+            "test sweep",
+            &[dataset],
+            Criterion::LabelNoise,
+            &[0.0, 1.0],
+            &[AlgorithmSpec::NaiveBayes],
+            3,
+            1,
+            &kb,
+        )
+        .unwrap();
+        assert_eq!(sweep.rows.len(), 2);
+        let acc_at = |sev: f64| {
+            sweep
+                .rows
+                .iter()
+                .find(|r| matches!(r[1], Cell::Float(f) if f == sev))
+                .map(|r| match r[3] {
+                    Cell::Float(f) => f,
+                    _ => unreachable!(),
+                })
+                .unwrap()
+        };
+        assert!(acc_at(0.0) > acc_at(1.0) + 0.1, "label noise must hurt");
+        assert_eq!(kb.len(), 2);
+        let series = summarize_series(&sweep);
+        assert_eq!(series.rows.len(), 2);
+    }
+}

@@ -1,0 +1,20 @@
+//! # openbi-bench
+//!
+//! Experiment and benchmark harness: regenerates every experiment of the
+//! DESIGN.md index (E1–E12, F1, F2) as printable/exportable result
+//! tables, plus Criterion micro-benchmarks of the substrates.
+//!
+//! Run everything: `cargo run -p openbi-bench --release --bin run_experiments`
+//! Run one:        `cargo run -p openbi-bench --release --bin run_experiments -- E4 E12`
+//! Micro benches:  `cargo bench -p openbi-bench`
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod harness;
+pub mod result_table;
+
+pub use harness::{default_datasets, fast_suite, severity_sweep, summarize_series, SEVERITIES};
+pub use result_table::{Cell, ResultTable};

@@ -1,0 +1,190 @@
+//! Result collection for experiment harnesses: a typed row buffer that
+//! prints aligned tables (the "same rows/series the paper reports") and
+//! exports CSV for offline plotting.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A cell of a result row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cell {
+    /// Text cell.
+    Str(String),
+    /// Integer cell.
+    Int(i64),
+    /// Float cell (printed with 3 decimals).
+    Float(f64),
+}
+
+impl Cell {
+    fn render(&self) -> String {
+        match self {
+            Cell::Str(s) => s.clone(),
+            Cell::Int(i) => i.to_string(),
+            Cell::Float(f) => format!("{f:.3}"),
+        }
+    }
+}
+
+impl From<&str> for Cell {
+    fn from(s: &str) -> Cell {
+        Cell::Str(s.to_string())
+    }
+}
+impl From<String> for Cell {
+    fn from(s: String) -> Cell {
+        Cell::Str(s)
+    }
+}
+impl From<i64> for Cell {
+    fn from(i: i64) -> Cell {
+        Cell::Int(i)
+    }
+}
+impl From<usize> for Cell {
+    fn from(i: usize) -> Cell {
+        Cell::Int(i as i64)
+    }
+}
+impl From<f64> for Cell {
+    fn from(f: f64) -> Cell {
+        Cell::Float(f)
+    }
+}
+
+/// An experiment's result table.
+#[derive(Debug, Clone)]
+pub struct ResultTable {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: String,
+    /// Experiment title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<Cell>>,
+}
+
+impl ResultTable {
+    /// Start a result table.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        ResultTable {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: vec![],
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn push(&mut self, row: Vec<Cell>) {
+        assert_eq!(row.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(row);
+    }
+
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Cell::render).collect())
+            .collect();
+        for row in &rendered {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {} — {}", self.id, self.title);
+        let header: Vec<String> = self
+            .headers
+            .iter()
+            .zip(&widths)
+            .map(|(h, w)| format!("{h:<w$}"))
+            .collect();
+        let _ = writeln!(out, "{}", header.join("  "));
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        let _ = writeln!(out, "{}", rule.join("  "));
+        for row in &rendered {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            let _ = writeln!(out, "{}", line.join("  "));
+        }
+        out
+    }
+
+    /// Serialize as CSV.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    let s = c.render();
+                    if s.contains(',') || s.contains('"') {
+                        format!("\"{}\"", s.replace('"', "\"\""))
+                    } else {
+                        s
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "{}", cells.join(","));
+        }
+        out
+    }
+
+    /// Write the CSV under `dir/{id}.csv` (creating the directory).
+    pub fn save_csv(&self, dir: impl AsRef<Path>) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.as_ref().join(format!("{}.csv", self.id.to_lowercase()));
+        std::fs::write(&path, self.to_csv())?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ResultTable {
+        let mut t = ResultTable::new("E0", "demo", &["algo", "ratio", "acc"]);
+        t.push(vec!["NB".into(), 0.25f64.into(), 0.9f64.into()]);
+        t.push(vec!["kNN".into(), 0.25f64.into(), 0.85f64.into()]);
+        t
+    }
+
+    #[test]
+    fn render_aligns_and_titles() {
+        let r = sample().render();
+        assert!(r.contains("### E0 — demo"));
+        assert!(r.contains("algo"));
+        assert!(r.contains("0.900"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = sample().to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.starts_with("algo,ratio,acc"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = ResultTable::new("X", "x", &["a", "b"]);
+        t.push(vec!["only".into()]);
+    }
+
+    #[test]
+    fn save_csv_writes_file() {
+        let dir = std::env::temp_dir().join("openbi-bench-test");
+        let path = sample().save_csv(&dir).unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).ok();
+    }
+}

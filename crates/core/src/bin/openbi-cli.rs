@@ -1,0 +1,330 @@
+//! `openbi-cli` — the command-line face of OpenBI for non-expert users.
+//!
+//! ```text
+//! openbi-cli profile  <data.csv> [--target COL] [--exclude A,B]
+//! openbi-cli mine     <data.csv> --target COL [--exclude A,B]
+//!                     [--kb kb.jsonl] [--no-preprocess] [--select]
+//!                     [--publish out.ttl]
+//! openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S]
+//! openbi-cli advise   <data.csv> --target COL --kb kb.jsonl
+//! ```
+//!
+//! `experiments` runs the §3.1 phase-1 suite on the reference generators
+//! and writes a knowledge base that `mine`/`advise` can consume.
+
+use openbi::experiment::{run_phase1, Criterion, ExperimentConfig, ExperimentDataset};
+use openbi::kb::{Advisor, KnowledgeBase, SharedKnowledgeBase};
+use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
+use openbi::quality::{measure_profile, render_profile, MeasureOptions};
+use openbi::render_outcome;
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(name) = a.strip_prefix("--") {
+                let value = raw
+                    .get(i + 1)
+                    .filter(|v| !v.starts_with("--"))
+                    .cloned();
+                if value.is_some() {
+                    i += 1;
+                }
+                flags.push((name.to_string(), value));
+            } else {
+                positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn exclude_list(&self) -> Vec<String> {
+        self.flag("exclude")
+            .map(|s| s.split(',').map(|x| x.trim().to_string()).collect())
+            .unwrap_or_default()
+    }
+}
+
+const USAGE: &str = "\
+openbi-cli — data-quality-aware mining for open data
+
+USAGE:
+  openbi-cli profile <data.csv> [--target COL] [--exclude A,B]
+  openbi-cli mine    <data.csv> --target COL [--exclude A,B]
+                     [--kb kb.jsonl] [--no-preprocess] [--select]
+                     [--publish out.ttl]
+  openbi-cli advise  <data.csv> --target COL --kb kb.jsonl [--exclude A,B]
+  openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S] [--full]
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+fn load_csv(path: &str) -> Result<openbi::table::Table, String> {
+    openbi::table::read_csv_path(path, &openbi::table::CsvOptions::default())
+        .map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn cmd_profile(args: &Args) -> ExitCode {
+    let Some(path) = args.positional.first() else {
+        return fail("profile needs a CSV path");
+    };
+    let table = match load_csv(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let opts = MeasureOptions {
+        target: args.flag("target").map(str::to_string),
+        exclude: args.exclude_list(),
+        ..Default::default()
+    };
+    let profile = measure_profile(&table, &opts);
+    print!("{}", render_profile(path, &profile));
+    let plan = openbi::PreprocessingPlan::recommend(&profile);
+    print!("{}", plan.report());
+    ExitCode::SUCCESS
+}
+
+fn cmd_mine(args: &Args, require_kb: bool) -> ExitCode {
+    let Some(path) = args.positional.first() else {
+        return fail("mine/advise needs a CSV path");
+    };
+    let Some(target) = args.flag("target") else {
+        return fail("--target is required");
+    };
+    let content = match std::fs::read_to_string(path) {
+        Ok(c) => c,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let kb = match args.flag("kb") {
+        Some(kb_path) => match KnowledgeBase::load(kb_path) {
+            Ok(kb) => Some(kb),
+            Err(e) => return fail(&format!("cannot load knowledge base: {e}")),
+        },
+        None if require_kb => return fail("--kb is required for advise"),
+        None => None,
+    };
+    let config = PipelineConfig {
+        target: Some(target.to_string()),
+        exclude: args.exclude_list(),
+        auto_preprocess: !args.has("no-preprocess"),
+        auto_select_attributes: args.has("select"),
+        ..Default::default()
+    };
+    let outcome = match run_pipeline(
+        DataSource::CsvText {
+            name: path.clone(),
+            content,
+        },
+        &config,
+        kb.as_ref(),
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("pipeline failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", render_outcome(&outcome));
+    if let Some(out) = args.flag("publish") {
+        let ttl = openbi::lod::write_turtle(&outcome.published, &openbi::lod::PrefixMap::default());
+        if let Err(e) = std::fs::write(out, ttl) {
+            eprintln!("cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("published LOD written to {out}");
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_experiments(args: &Args) -> ExitCode {
+    let Some(out) = args.flag("out") else {
+        return fail("experiments needs --out <kb.jsonl>");
+    };
+    let rows: usize = args
+        .flag("rows")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(300);
+    let folds: usize = args.flag("folds").and_then(|f| f.parse().ok()).unwrap_or(3);
+    let seed: u64 = args.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let datasets: Vec<ExperimentDataset> = openbi::datagen::reference_datasets(seed)
+        .into_iter()
+        .map(|(name, table, target)| {
+            ExperimentDataset::new(name, table.head(rows), target)
+        })
+        .collect();
+    // Default to the compact suite and coarse severities so a first KB
+    // builds in well under a minute; --full restores the complete grid.
+    let config = if args.has("full") {
+        ExperimentConfig {
+            folds,
+            seed,
+            ..Default::default()
+        }
+    } else {
+        ExperimentConfig {
+            algorithms: vec![
+                openbi::mining::AlgorithmSpec::ZeroR,
+                openbi::mining::AlgorithmSpec::NaiveBayes,
+                openbi::mining::AlgorithmSpec::DecisionTree {
+                    max_depth: 12,
+                    min_leaf: 2,
+                },
+                openbi::mining::AlgorithmSpec::Knn { k: 5 },
+            ],
+            severities: vec![0.0, 0.5, 1.0],
+            folds,
+            seed,
+            ..Default::default()
+        }
+    };
+    let kb = SharedKnowledgeBase::default();
+    eprintln!(
+        "running phase 1 on {} datasets × {} criteria × {} severities…",
+        datasets.len(),
+        Criterion::all().len(),
+        config.severities.len()
+    );
+    match run_phase1(&datasets, &Criterion::all(), &config, &kb) {
+        Ok(n) => {
+            if let Err(e) = kb.snapshot().save(out) {
+                eprintln!("cannot save {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("{n} experiment records written to {out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("experiments failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_advise(args: &Args) -> ExitCode {
+    // Advise = profile + KB ranking, without running the miner.
+    let Some(path) = args.positional.first() else {
+        return fail("advise needs a CSV path");
+    };
+    let Some(kb_path) = args.flag("kb") else {
+        return fail("--kb is required for advise");
+    };
+    let table = match load_csv(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let kb = match KnowledgeBase::load(kb_path) {
+        Ok(kb) => kb,
+        Err(e) => return fail(&format!("cannot load knowledge base: {e}")),
+    };
+    let opts = MeasureOptions {
+        target: args.flag("target").map(str::to_string),
+        exclude: args.exclude_list(),
+        ..Default::default()
+    };
+    let profile = measure_profile(&table, &opts);
+    print!("{}", render_profile(path, &profile));
+    match Advisor::default().advise(&kb, &profile) {
+        Ok(advice) => {
+            println!("\n{}", advice.headline());
+            println!("{}", advice.explanation);
+            for (i, r) in advice.ranking.iter().enumerate() {
+                println!(
+                    "  {}. {:<30} expected score {:.3} ({} experiments)",
+                    i + 1,
+                    r.algorithm,
+                    r.expected_score,
+                    r.support
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("advisor failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        return fail("missing command");
+    };
+    let args = Args::parse(&raw[1..]);
+    match command.as_str() {
+        "profile" => cmd_profile(&args),
+        "mine" => cmd_mine(&args, false),
+        "advise" => cmd_advise(&args),
+        "experiments" => cmd_experiments(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => fail(&format!("unknown command: {other}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Args;
+
+    fn parse(raw: &[&str]) -> Args {
+        Args::parse(&raw.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn positional_and_flags_separate() {
+        let a = parse(&["data.csv", "--target", "label", "--select"]);
+        assert_eq!(a.positional, vec!["data.csv"]);
+        assert_eq!(a.flag("target"), Some("label"));
+        assert!(a.has("select"));
+        assert!(!a.has("missing"));
+        assert_eq!(a.flag("select"), None, "boolean flag has no value");
+    }
+
+    #[test]
+    fn flag_followed_by_flag_is_boolean() {
+        let a = parse(&["--no-preprocess", "--kb", "kb.jsonl"]);
+        assert!(a.has("no-preprocess"));
+        assert_eq!(a.flag("no-preprocess"), None);
+        assert_eq!(a.flag("kb"), Some("kb.jsonl"));
+    }
+
+    #[test]
+    fn exclude_list_splits_and_trims() {
+        let a = parse(&["--exclude", "id, city ,station"]);
+        assert_eq!(a.exclude_list(), vec!["id", "city", "station"]);
+        let none = parse(&[]);
+        assert!(none.exclude_list().is_empty());
+    }
+
+    #[test]
+    fn repeated_positionals_kept_in_order() {
+        let a = parse(&["first.csv", "second.csv"]);
+        assert_eq!(a.positional, vec!["first.csv", "second.csv"]);
+    }
+}

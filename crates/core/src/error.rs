@@ -1,0 +1,79 @@
+//! Unified error type for the OpenBI facade.
+
+use std::fmt;
+
+/// Any error from the OpenBI pipeline or experiment runner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OpenBiError {
+    /// Table substrate error.
+    Table(openbi_table::TableError),
+    /// LOD substrate error.
+    Lod(openbi_lod::LodError),
+    /// Metamodel error.
+    Metamodel(openbi_metamodel::MetamodelError),
+    /// Mining error.
+    Mining(openbi_mining::MiningError),
+    /// Knowledge-base error.
+    Kb(openbi_kb::KbError),
+    /// Pipeline configuration error.
+    Config(String),
+}
+
+impl fmt::Display for OpenBiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpenBiError::Table(e) => write!(f, "table: {e}"),
+            OpenBiError::Lod(e) => write!(f, "lod: {e}"),
+            OpenBiError::Metamodel(e) => write!(f, "metamodel: {e}"),
+            OpenBiError::Mining(e) => write!(f, "mining: {e}"),
+            OpenBiError::Kb(e) => write!(f, "knowledge base: {e}"),
+            OpenBiError::Config(m) => write!(f, "configuration: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenBiError {}
+
+impl From<openbi_table::TableError> for OpenBiError {
+    fn from(e: openbi_table::TableError) -> Self {
+        OpenBiError::Table(e)
+    }
+}
+impl From<openbi_lod::LodError> for OpenBiError {
+    fn from(e: openbi_lod::LodError) -> Self {
+        OpenBiError::Lod(e)
+    }
+}
+impl From<openbi_metamodel::MetamodelError> for OpenBiError {
+    fn from(e: openbi_metamodel::MetamodelError) -> Self {
+        OpenBiError::Metamodel(e)
+    }
+}
+impl From<openbi_mining::MiningError> for OpenBiError {
+    fn from(e: openbi_mining::MiningError) -> Self {
+        OpenBiError::Mining(e)
+    }
+}
+impl From<openbi_kb::KbError> for OpenBiError {
+    fn from(e: openbi_kb::KbError) -> Self {
+        OpenBiError::Kb(e)
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, OpenBiError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: OpenBiError = openbi_table::TableError::EmptyTable.into();
+        assert!(e.to_string().starts_with("table:"));
+        let e: OpenBiError = openbi_kb::KbError::EmptyKnowledgeBase.into();
+        assert!(e.to_string().contains("knowledge base"));
+        let e = OpenBiError::Config("no target".into());
+        assert!(e.to_string().contains("no target"));
+    }
+}

@@ -1,0 +1,526 @@
+//! The §3.1 experiment runner: degrade clean datasets in a controlled
+//! way, evaluate every algorithm on every degraded variant, and record
+//! everything in the DQ4DM knowledge base.
+//!
+//! * **Phase 1 ("simple")** applies each data-quality criterion
+//!   individually, over a severity sweep.
+//! * **Phase 2 ("mixed")** applies pairs of criteria jointly.
+//!
+//! Datasets run in parallel (crossbeam scoped threads) against a
+//! [`SharedKnowledgeBase`].
+
+use crate::error::{OpenBiError, Result};
+use openbi_kb::{ExperimentRecord, PerfMetrics, SharedKnowledgeBase};
+use openbi_mining::eval::crossval::cross_validate;
+use openbi_mining::{AlgorithmSpec, EvalResult, Instances};
+use openbi_quality::inject::{
+    AttributeNoiseInjector, CorrelatedInjector, Degradation, DuplicateInjector, ImbalanceInjector,
+    InconsistencyInjector, IrrelevantInjector, LabelNoiseInjector, MissingInjector,
+    OutlierInjector,
+};
+use openbi_quality::{measure_profile, MeasureOptions};
+use openbi_table::Table;
+
+/// A clean input dataset for the experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentDataset {
+    /// Dataset identifier.
+    pub name: String,
+    /// The clean table.
+    pub table: Table,
+    /// Target (class) column.
+    pub target: String,
+    /// Identifier columns excluded from mining.
+    pub exclude: Vec<String>,
+}
+
+impl ExperimentDataset {
+    /// Create a dataset with no excluded columns.
+    pub fn new(name: impl Into<String>, table: Table, target: impl Into<String>) -> Self {
+        ExperimentDataset {
+            name: name.into(),
+            table,
+            target: target.into(),
+            exclude: vec![],
+        }
+    }
+
+    /// The first numeric feature column — used as MAR driver and
+    /// redundancy source.
+    pub fn numeric_driver(&self) -> Option<String> {
+        self.table
+            .columns()
+            .iter()
+            .find(|c| {
+                c.dtype().is_numeric()
+                    && c.name() != self.target
+                    && !self.exclude.iter().any(|e| e == c.name())
+            })
+            .map(|c| c.name().to_string())
+    }
+}
+
+/// The data-quality criteria of the experiment suite (the paper's "data
+/// quality criteria" axis of Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// MCAR missing values (experiment E1).
+    Completeness,
+    /// MAR missing values driven by a numeric attribute (E1).
+    CompletenessMar,
+    /// Class-label flips (E2).
+    LabelNoise,
+    /// Gaussian attribute noise (E3).
+    AttributeNoise,
+    /// Class imbalance by minority subsampling (E4).
+    Imbalance,
+    /// Strongly correlated redundant attributes (E5).
+    Redundancy,
+    /// Irrelevant attributes / high dimensionality (E6).
+    Dimensionality,
+    /// Exact + near duplicate rows (E7).
+    Duplicates,
+    /// Numeric outliers (companion of E3).
+    Outliers,
+    /// Inconsistent string formats.
+    Inconsistency,
+}
+
+impl Criterion {
+    /// The full criterion list, in experiment order.
+    pub fn all() -> Vec<Criterion> {
+        vec![
+            Criterion::Completeness,
+            Criterion::CompletenessMar,
+            Criterion::LabelNoise,
+            Criterion::AttributeNoise,
+            Criterion::Imbalance,
+            Criterion::Redundancy,
+            Criterion::Dimensionality,
+            Criterion::Duplicates,
+            Criterion::Outliers,
+            Criterion::Inconsistency,
+        ]
+    }
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Criterion::Completeness => "completeness",
+            Criterion::CompletenessMar => "completeness-mar",
+            Criterion::LabelNoise => "label-noise",
+            Criterion::AttributeNoise => "attribute-noise",
+            Criterion::Imbalance => "imbalance",
+            Criterion::Redundancy => "redundancy",
+            Criterion::Dimensionality => "dimensionality",
+            Criterion::Duplicates => "duplicates",
+            Criterion::Outliers => "outliers",
+            Criterion::Inconsistency => "inconsistency",
+        }
+    }
+
+    /// Build the degradation realizing this criterion at `severity` in
+    /// `[0,1]` on the given dataset. Severity 0 is the clean baseline.
+    pub fn degradation(&self, severity: f64, dataset: &ExperimentDataset) -> Result<Degradation> {
+        if !(0.0..=1.0).contains(&severity) {
+            return Err(OpenBiError::Config(format!(
+                "severity {severity} outside [0,1]"
+            )));
+        }
+        if severity == 0.0 {
+            return Ok(Degradation::new());
+        }
+        let target = dataset.target.clone();
+        let protect: Vec<String> = dataset
+            .exclude
+            .iter()
+            .cloned()
+            .chain([target.clone()])
+            .collect();
+        let d = match self {
+            Criterion::Completeness => Degradation::new().then(
+                MissingInjector::mcar(0.4 * severity).exclude(protect),
+            ),
+            Criterion::CompletenessMar => {
+                let driver = dataset.numeric_driver().ok_or_else(|| {
+                    OpenBiError::Config(format!(
+                        "dataset {} has no numeric driver for MAR",
+                        dataset.name
+                    ))
+                })?;
+                Degradation::new()
+                    .then(MissingInjector::mar(0.4 * severity, driver).exclude(protect))
+            }
+            Criterion::LabelNoise => {
+                Degradation::new().then(LabelNoiseInjector::new(target, 0.35 * severity))
+            }
+            Criterion::AttributeNoise => Degradation::new().then(
+                AttributeNoiseInjector::new(severity.min(1.0), 2.0).exclude(protect),
+            ),
+            Criterion::Imbalance => Degradation::new()
+                .then(ImbalanceInjector::new(target, 0.5 + 0.45 * severity)),
+            Criterion::Redundancy => {
+                let source = dataset.numeric_driver().ok_or_else(|| {
+                    OpenBiError::Config(format!(
+                        "dataset {} has no numeric source for redundancy",
+                        dataset.name
+                    ))
+                })?;
+                let copies = (4.0 * severity).round().max(1.0) as usize;
+                Degradation::new().then(CorrelatedInjector::new(source, copies, 0.05))
+            }
+            Criterion::Dimensionality => {
+                let count = (48.0 * severity).round().max(1.0) as usize;
+                Degradation::new().then(IrrelevantInjector::gaussian(count))
+            }
+            Criterion::Duplicates => Degradation::new().then(
+                DuplicateInjector::near(0.45 * severity, 0.02).exclude(protect),
+            ),
+            Criterion::Outliers => Degradation::new().then(
+                OutlierInjector::new(0.12 * severity, 6.0).exclude(protect),
+            ),
+            Criterion::Inconsistency => Degradation::new().then(
+                InconsistencyInjector::new(0.8 * severity).exclude(protect),
+            ),
+        };
+        Ok(d)
+    }
+}
+
+/// Experiment-suite configuration (the paper's "user profile" input:
+/// which criteria to assess and which techniques the user considers).
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// Algorithms to evaluate.
+    pub algorithms: Vec<AlgorithmSpec>,
+    /// Severity sweep (0 = clean baseline; include it to anchor curves).
+    pub severities: Vec<f64>,
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Run datasets on parallel threads.
+    pub parallel: bool,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            algorithms: AlgorithmSpec::standard_suite(),
+            severities: vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            folds: 5,
+            seed: 42,
+            parallel: true,
+        }
+    }
+}
+
+/// Evaluate one degraded variant: returns the per-algorithm results and
+/// pushes records into the knowledge base.
+pub fn evaluate_variant(
+    dataset: &ExperimentDataset,
+    degradation: &Degradation,
+    config: &ExperimentConfig,
+    seed: u64,
+    kb: &SharedKnowledgeBase,
+) -> Result<Vec<(AlgorithmSpec, EvalResult)>> {
+    let degraded = degradation.apply(&dataset.table, seed)?;
+    let exclude: Vec<&str> = dataset.exclude.iter().map(String::as_str).collect();
+    let profile = measure_profile(
+        &degraded,
+        &MeasureOptions {
+            target: Some(dataset.target.clone()),
+            exclude: dataset.exclude.clone(),
+            ..Default::default()
+        },
+    );
+    let instances = Instances::from_table(&degraded, Some(&dataset.target), &exclude)?;
+    let mut out = Vec::with_capacity(config.algorithms.len());
+    for spec in &config.algorithms {
+        let eval = cross_validate(&instances, spec, config.folds, seed)?;
+        kb.add(ExperimentRecord {
+            dataset: dataset.name.clone(),
+            degradations: degradation.describe(),
+            profile: profile.clone(),
+            algorithm: eval.algorithm.clone(),
+            metrics: PerfMetrics {
+                accuracy: eval.accuracy(),
+                macro_f1: eval.macro_f1(),
+                minority_f1: eval.minority_f1(),
+                kappa: eval.kappa(),
+                train_ms: eval.train_ms,
+                model_size: eval.model_size,
+            },
+            seed,
+        });
+        out.push((spec.clone(), eval));
+    }
+    Ok(out)
+}
+
+fn run_dataset_phase1(
+    dataset: &ExperimentDataset,
+    criteria: &[Criterion],
+    config: &ExperimentConfig,
+    kb: &SharedKnowledgeBase,
+) -> Result<usize> {
+    let mut records = 0;
+    for (ci, criterion) in criteria.iter().enumerate() {
+        for (si, &severity) in config.severities.iter().enumerate() {
+            let degradation = criterion.degradation(severity, dataset)?;
+            let seed = config
+                .seed
+                .wrapping_add((ci as u64) << 16)
+                .wrapping_add(si as u64);
+            records += evaluate_variant(dataset, &degradation, config, seed, kb)?.len();
+        }
+    }
+    Ok(records)
+}
+
+fn run_dataset_phase2(
+    dataset: &ExperimentDataset,
+    pairs: &[(Criterion, Criterion)],
+    config: &ExperimentConfig,
+    kb: &SharedKnowledgeBase,
+) -> Result<usize> {
+    let mut records = 0;
+    for (pi, (a, b)) in pairs.iter().enumerate() {
+        for (si, &sa) in config.severities.iter().enumerate() {
+            for (sj, &sb) in config.severities.iter().enumerate() {
+                if sa == 0.0 && sb == 0.0 {
+                    continue; // the clean baseline belongs to phase 1
+                }
+                let mut degradation = Degradation::new();
+                // Compose by re-deriving each side's single-criterion
+                // degradation.
+                for step in [a.degradation(sa, dataset)?, b.degradation(sb, dataset)?] {
+                    degradation = merge(degradation, step);
+                }
+                let seed = config
+                    .seed
+                    .wrapping_add(0xF00D)
+                    .wrapping_add((pi as u64) << 20)
+                    .wrapping_add((si as u64) << 8)
+                    .wrapping_add(sj as u64);
+                records += evaluate_variant(dataset, &degradation, config, seed, kb)?.len();
+            }
+        }
+    }
+    Ok(records)
+}
+
+/// Concatenate two degradations (helper; `Degradation` is append-only by
+/// design so experiments cannot silently reorder defects).
+fn merge(mut base: Degradation, more: Degradation) -> Degradation {
+    base.extend(more);
+    base
+}
+
+/// Run phase 1 ("simple" criteria) on all datasets. Returns the number
+/// of knowledge-base records produced.
+pub fn run_phase1(
+    datasets: &[ExperimentDataset],
+    criteria: &[Criterion],
+    config: &ExperimentConfig,
+    kb: &SharedKnowledgeBase,
+) -> Result<usize> {
+    run_parallel(datasets, config, kb, |d, kb| {
+        run_dataset_phase1(d, criteria, config, kb)
+    })
+}
+
+/// Run phase 2 ("mixed" criteria) on all datasets. Returns the number of
+/// knowledge-base records produced.
+pub fn run_phase2(
+    datasets: &[ExperimentDataset],
+    pairs: &[(Criterion, Criterion)],
+    config: &ExperimentConfig,
+    kb: &SharedKnowledgeBase,
+) -> Result<usize> {
+    run_parallel(datasets, config, kb, |d, kb| {
+        run_dataset_phase2(d, pairs, config, kb)
+    })
+}
+
+fn run_parallel(
+    datasets: &[ExperimentDataset],
+    config: &ExperimentConfig,
+    kb: &SharedKnowledgeBase,
+    job: impl Fn(&ExperimentDataset, &SharedKnowledgeBase) -> Result<usize> + Sync,
+) -> Result<usize> {
+    if !config.parallel || datasets.len() <= 1 {
+        let mut total = 0;
+        for d in datasets {
+            total += job(d, kb)?;
+        }
+        return Ok(total);
+    }
+    let results: Vec<Result<usize>> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = datasets
+            .iter()
+            .map(|d| {
+                let kb = kb.clone();
+                let job = &job;
+                scope.spawn(move |_| job(d, &kb))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope");
+    let mut total = 0;
+    for r in results {
+        total += r?;
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_datagen::make_blobs;
+    use openbi_datagen::BlobsConfig;
+
+    fn small_dataset() -> ExperimentDataset {
+        ExperimentDataset::new(
+            "blobs-test",
+            make_blobs(&BlobsConfig {
+                n_rows: 120,
+                n_features: 3,
+                n_classes: 2,
+                class_separation: 4.0,
+                seed: 5,
+            }),
+            "class",
+        )
+    }
+
+    fn fast_config() -> ExperimentConfig {
+        ExperimentConfig {
+            algorithms: vec![AlgorithmSpec::ZeroR, AlgorithmSpec::NaiveBayes],
+            severities: vec![0.0, 0.6],
+            folds: 3,
+            seed: 9,
+            parallel: false,
+        }
+    }
+
+    #[test]
+    fn criterion_catalog_is_complete() {
+        assert_eq!(Criterion::all().len(), 10);
+        let names: Vec<&str> = Criterion::all().iter().map(|c| c.name()).collect();
+        assert!(names.contains(&"completeness"));
+        assert!(names.contains(&"dimensionality"));
+    }
+
+    #[test]
+    fn severity_zero_is_identity() {
+        let d = small_dataset();
+        for c in Criterion::all() {
+            let deg = c.degradation(0.0, &d).unwrap();
+            assert!(deg.is_empty(), "{:?}", c);
+        }
+    }
+
+    #[test]
+    fn degradations_change_the_profile() {
+        let d = small_dataset();
+        let deg = Criterion::Completeness.degradation(0.8, &d).unwrap();
+        let out = deg.apply(&d.table, 1).unwrap();
+        assert!(out.total_null_count() > 0);
+        let deg = Criterion::Dimensionality.degradation(0.5, &d).unwrap();
+        let out = deg.apply(&d.table, 1).unwrap();
+        assert_eq!(out.n_cols(), d.table.n_cols() + 24);
+    }
+
+    #[test]
+    fn invalid_severity_rejected() {
+        let d = small_dataset();
+        assert!(Criterion::Completeness.degradation(1.5, &d).is_err());
+    }
+
+    #[test]
+    fn phase1_populates_kb() {
+        let kb = SharedKnowledgeBase::default();
+        let n = run_phase1(
+            &[small_dataset()],
+            &[Criterion::Completeness, Criterion::LabelNoise],
+            &fast_config(),
+            &kb,
+        )
+        .unwrap();
+        // 2 criteria × 2 severities × 2 algorithms = 8 records.
+        assert_eq!(n, 8);
+        assert_eq!(kb.len(), 8);
+        let snapshot = kb.snapshot();
+        // Clean baselines recorded with empty degradations.
+        assert!(snapshot
+            .records()
+            .iter()
+            .any(|r| r.degradations.is_empty()));
+        // NaiveBayes beats ZeroR on the clean separable baseline.
+        let nb = snapshot
+            .records()
+            .iter()
+            .find(|r| r.algorithm == "NaiveBayes" && r.degradations.is_empty())
+            .unwrap();
+        let zr = snapshot
+            .records()
+            .iter()
+            .find(|r| r.algorithm == "ZeroR" && r.degradations.is_empty())
+            .unwrap();
+        assert!(nb.metrics.accuracy > zr.metrics.accuracy + 0.2);
+    }
+
+    #[test]
+    fn phase2_composes_defects() {
+        let kb = SharedKnowledgeBase::default();
+        let config = ExperimentConfig {
+            severities: vec![0.0, 0.5],
+            ..fast_config()
+        };
+        let n = run_phase2(
+            &[small_dataset()],
+            &[(Criterion::Completeness, Criterion::LabelNoise)],
+            &config,
+            &kb,
+        )
+        .unwrap();
+        // 1 pair × (2×2 − 1 skipped clean-clean) severity combos × 2 algos.
+        assert_eq!(n, 6);
+        let snapshot = kb.snapshot();
+        assert!(snapshot
+            .records()
+            .iter()
+            .any(|r| r.degradations.len() == 2), "mixed variants carry two defects");
+    }
+
+    #[test]
+    fn parallel_and_serial_produce_same_count() {
+        let datasets = vec![small_dataset(), {
+            let mut d = small_dataset();
+            d.name = "blobs-test-2".into();
+            d
+        }];
+        let serial_kb = SharedKnowledgeBase::default();
+        let serial = run_phase1(
+            &datasets,
+            &[Criterion::LabelNoise],
+            &fast_config(),
+            &serial_kb,
+        )
+        .unwrap();
+        let parallel_kb = SharedKnowledgeBase::default();
+        let config = ExperimentConfig {
+            parallel: true,
+            ..fast_config()
+        };
+        let parallel = run_phase1(&datasets, &[Criterion::LabelNoise], &config, &parallel_kb)
+            .unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_kb.len(), parallel_kb.len());
+    }
+}

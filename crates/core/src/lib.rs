@@ -1,0 +1,65 @@
+//! # openbi
+//!
+//! **Open Business Intelligence**: data-quality-aware, user-friendly
+//! data mining over open data and Linked Open Data — a from-scratch Rust
+//! reproduction of Mazón, Zubcoff, Garrigós, Espinosa & Rodríguez,
+//! *"Open Business Intelligence: on the importance of data quality
+//! awareness in user-friendly data mining"* (LWDM @ EDBT 2012).
+//!
+//! The crate ties the substrates together:
+//!
+//! * [`experiment`] — the §3.1 protocol: degrade clean datasets in a
+//!   controlled way (phase 1 simple criteria, phase 2 mixed criteria),
+//!   evaluate a suite of mining algorithms, populate the **DQ4DM
+//!   knowledge base**.
+//! * [`pipeline`] — the Figure-2 flow: ingest CSV/LOD → CWM-style
+//!   common representation → quality annotation → *"the best option is
+//!   ALGORITHM X"* advice → guided preprocessing → mining → publish the
+//!   results back as Linked Open Data.
+//! * [`guidance`] — the automated, explained preprocessing plans.
+//! * [`report`] — the non-expert-facing rendering.
+//!
+//! ```
+//! use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
+//!
+//! let source = DataSource::CsvText {
+//!     name: "demo".into(),
+//!     content: "x,label\n1,a\n2,b\n3,a\n4,b\n5,a\n6,b\n".into(),
+//! };
+//! let config = PipelineConfig {
+//!     target: Some("label".into()),
+//!     folds: 2,
+//!     ..Default::default()
+//! };
+//! let outcome = run_pipeline(source, &config, None).unwrap();
+//! assert!(outcome.evaluation.is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod experiment;
+pub mod guidance;
+pub mod pipeline;
+pub mod publish_kb;
+pub mod report;
+
+pub use error::{OpenBiError, Result};
+pub use experiment::{
+    run_phase1, run_phase2, Criterion, ExperimentConfig, ExperimentDataset,
+};
+pub use guidance::{PreprocessingPlan, PreprocessingStep};
+pub use pipeline::{run_pipeline, DataSource, PipelineConfig, PipelineOutcome};
+pub use publish_kb::{import_knowledge_base, publish_knowledge_base};
+pub use report::render_outcome;
+
+// Re-export the substrate crates so downstream users need one dependency.
+pub use openbi_datagen as datagen;
+pub use openbi_kb as kb;
+pub use openbi_lod as lod;
+pub use openbi_metamodel as metamodel;
+pub use openbi_mining as mining;
+pub use openbi_olap as olap;
+pub use openbi_quality as quality;
+pub use openbi_table as table;

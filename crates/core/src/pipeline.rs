@@ -1,0 +1,471 @@
+//! The OpenBI pipeline (the paper's Figure 2, right-hand side):
+//! ingest open data (CSV or LOD) → common representation → data-quality
+//! annotation → advice from the knowledge base → guided preprocessing →
+//! mining → publication of results as LOD.
+//!
+//! Every phase is timed, which also regenerates Figure 1's claim that
+//! preprocessing dominates the KDD effort.
+
+use crate::error::{OpenBiError, Result};
+use crate::guidance::PreprocessingPlan;
+use openbi_kb::{Advice, Advisor, KnowledgeBase};
+use openbi_lod::{
+    publish_advice, publish_quality_measurements, publish_table, Graph, Iri, TabularizeOptions,
+};
+use openbi_metamodel::{
+    catalog_from_lod, catalog_from_table, Catalog, ColumnRole, QualityAnnotation,
+};
+use openbi_mining::eval::crossval::cross_validate;
+use openbi_mining::{AlgorithmSpec, EvalResult, Instances};
+use openbi_quality::{measure_profile, MeasureOptions, QualityProfile};
+use openbi_table::{read_csv_str, CsvOptions, Table};
+use std::time::Instant;
+
+/// Where the pipeline's input comes from.
+#[derive(Debug, Clone)]
+pub enum DataSource {
+    /// CSV text (the dominant raw-open-data format, paper §1).
+    CsvText {
+        /// Dataset name.
+        name: String,
+        /// Raw CSV content.
+        content: String,
+    },
+    /// An already-parsed table.
+    Table {
+        /// Dataset name.
+        name: String,
+        /// The table.
+        table: Table,
+    },
+    /// A Linked Open Data graph plus the entity class to analyze.
+    Lod {
+        /// Dataset name.
+        name: String,
+        /// The RDF graph.
+        graph: Graph,
+        /// Class whose instances become rows.
+        class: Iri,
+    },
+}
+
+impl DataSource {
+    /// The dataset name.
+    pub fn name(&self) -> &str {
+        match self {
+            DataSource::CsvText { name, .. }
+            | DataSource::Table { name, .. }
+            | DataSource::Lod { name, .. } => name,
+        }
+    }
+}
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Target (class) column for mining; `None` = profile/analyze only.
+    pub target: Option<String>,
+    /// Identifier columns excluded from mining.
+    pub exclude: Vec<String>,
+    /// Cross-validation folds for the final evaluation.
+    pub folds: usize,
+    /// Seed.
+    pub seed: u64,
+    /// Base IRI for publication.
+    pub base_iri: String,
+    /// Apply the recommended preprocessing plan before mining.
+    pub auto_preprocess: bool,
+    /// After preprocessing, project onto a CFS-selected attribute subset
+    /// (the "attributes selection" phase). Only applies when a target is
+    /// configured.
+    pub auto_select_attributes: bool,
+    /// Advisor settings.
+    pub advisor: Advisor,
+    /// Algorithm to run when no knowledge base is supplied (or to
+    /// override the advisor).
+    pub fallback_algorithm: AlgorithmSpec,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            target: None,
+            exclude: vec![],
+            folds: 5,
+            seed: 42,
+            base_iri: "http://openbi.org".to_string(),
+            auto_preprocess: true,
+            auto_select_attributes: false,
+            advisor: Advisor::default(),
+            fallback_algorithm: AlgorithmSpec::NaiveBayes,
+        }
+    }
+}
+
+/// Everything the pipeline produced.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// Dataset name.
+    pub dataset: String,
+    /// The ingested raw table.
+    pub raw: Table,
+    /// The annotated common representation.
+    pub catalog: Catalog,
+    /// The measured quality profile (before preprocessing).
+    pub profile: QualityProfile,
+    /// Advice from the knowledge base (when one was supplied).
+    pub advice: Option<Advice>,
+    /// The recommended (and possibly applied) preprocessing plan.
+    pub plan: PreprocessingPlan,
+    /// The table after preprocessing (== raw when auto_preprocess off).
+    pub preprocessed: Table,
+    /// Feature names kept by attribute selection (empty when disabled).
+    pub selected_attributes: Vec<String>,
+    /// Quality profile after preprocessing.
+    pub profile_after: QualityProfile,
+    /// Cross-validated result of the chosen algorithm (when a target
+    /// was configured).
+    pub evaluation: Option<EvalResult>,
+    /// The algorithm that was actually run.
+    pub chosen_algorithm: Option<AlgorithmSpec>,
+    /// Everything published back as LOD (dataset + quality + advice).
+    pub published: Graph,
+    /// Wall time per phase, milliseconds: `(phase name, ms)`.
+    pub phase_timings: Vec<(String, f64)>,
+}
+
+/// Map an advisor algorithm name back to a runnable spec from the
+/// standard suite.
+pub fn spec_by_name(name: &str) -> Option<AlgorithmSpec> {
+    AlgorithmSpec::standard_suite()
+        .into_iter()
+        .find(|s| s.to_string() == name || s.name() == name)
+}
+
+/// Run the full pipeline.
+pub fn run_pipeline(
+    source: DataSource,
+    config: &PipelineConfig,
+    kb: Option<&KnowledgeBase>,
+) -> Result<PipelineOutcome> {
+    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut clock = Instant::now();
+    let lap = |timings: &mut Vec<(String, f64)>, phase: &str, clock: &mut Instant| {
+        timings.push((phase.to_string(), clock.elapsed().as_secs_f64() * 1e3));
+        *clock = Instant::now();
+    };
+
+    // Phase 1: ingestion + common representation.
+    let dataset = source.name().to_string();
+    let (raw, mut catalog) = match source {
+        DataSource::CsvText { name, content } => {
+            let table = read_csv_str(&content, &CsvOptions::default())?;
+            let catalog = catalog_from_table(&table, "openbi", "raw", &name);
+            (table, catalog)
+        }
+        DataSource::Table { name, table } => {
+            let catalog = catalog_from_table(&table, "openbi", "raw", &name);
+            (table, catalog)
+        }
+        DataSource::Lod { graph, class, .. } => {
+            let (catalog, mut tables) = catalog_from_lod(
+                &graph,
+                "openbi",
+                std::slice::from_ref(&class),
+                &TabularizeOptions::default(),
+            )?;
+            (tables.remove(0), catalog)
+        }
+    };
+    if raw.n_rows() == 0 {
+        return Err(OpenBiError::Config(format!("dataset {dataset} is empty")));
+    }
+    if let Some(t) = &config.target {
+        if !raw.has_column(t) {
+            return Err(OpenBiError::Config(format!(
+                "target column {t} not found in {dataset}"
+            )));
+        }
+    }
+    lap(&mut timings, "ingest+represent", &mut clock);
+
+    // Phase 2: quality measurement + annotation.
+    let mut exclude = config.exclude.clone();
+    if raw.has_column("iri") && !exclude.iter().any(|e| e == "iri") {
+        exclude.push("iri".to_string());
+    }
+    let measure_opts = MeasureOptions {
+        target: config.target.clone(),
+        exclude: exclude.clone(),
+        ..Default::default()
+    };
+    let profile = measure_profile(&raw, &measure_opts);
+    annotate_catalog(&mut catalog, &profile, config.target.as_deref());
+    lap(&mut timings, "quality-annotation", &mut clock);
+
+    // Phase 3: advice.
+    let advice = match kb {
+        Some(kb) if !kb.is_empty() => Some(config.advisor.advise(kb, &profile)?),
+        _ => None,
+    };
+    lap(&mut timings, "advice", &mut clock);
+
+    // Phase 4: guided preprocessing.
+    let plan = PreprocessingPlan::recommend(&profile);
+    let mut protected: Vec<&str> = exclude.iter().map(String::as_str).collect();
+    if let Some(t) = &config.target {
+        protected.push(t.as_str());
+    }
+    let mut preprocessed = if config.auto_preprocess {
+        plan.apply(&raw, &protected)?
+    } else {
+        raw.clone()
+    };
+    let mut selected_attributes: Vec<String> = Vec::new();
+    if config.auto_select_attributes {
+        if let Some(target) = &config.target {
+            let (selected, projected) = crate::guidance::select_attributes(
+                &preprocessed,
+                target,
+                &protected,
+                16,
+            )?;
+            selected_attributes = selected;
+            preprocessed = projected;
+        }
+    }
+    let profile_after = measure_profile(&preprocessed, &measure_opts);
+    lap(&mut timings, "preprocessing", &mut clock);
+
+    // Phase 5: mining (when a target is configured).
+    let (evaluation, chosen_algorithm) = if let Some(target) = &config.target {
+        let spec = advice
+            .as_ref()
+            .and_then(|a| spec_by_name(a.best()))
+            .unwrap_or_else(|| config.fallback_algorithm.clone());
+        let exclude_refs: Vec<&str> = exclude.iter().map(String::as_str).collect();
+        let instances = Instances::from_table(&preprocessed, Some(target), &exclude_refs)?;
+        let eval = cross_validate(&instances, &spec, config.folds, config.seed)?;
+        (Some(eval), Some(spec))
+    } else {
+        (None, None)
+    };
+    lap(&mut timings, "mining", &mut clock);
+
+    // Phase 6: publish results as LOD.
+    let mut published = publish_table(&preprocessed, &config.base_iri, &dataset)?;
+    published.merge(&publish_quality_measurements(
+        &config.base_iri,
+        &dataset,
+        &profile.criteria(),
+    )?);
+    if let Some(a) = &advice {
+        let ranking: Vec<(String, f64)> = a
+            .ranking
+            .iter()
+            .map(|r| (r.algorithm.clone(), r.expected_score))
+            .collect();
+        published.merge(&publish_advice(&config.base_iri, &dataset, &ranking)?);
+    }
+    lap(&mut timings, "publish-lod", &mut clock);
+
+    Ok(PipelineOutcome {
+        dataset,
+        raw,
+        catalog,
+        profile,
+        advice,
+        plan,
+        preprocessed,
+        selected_attributes,
+        profile_after,
+        evaluation,
+        chosen_algorithm,
+        published,
+        phase_timings: timings,
+    })
+}
+
+/// Attach the measured profile to the catalog's column sets and set the
+/// target role (the §3.2.2 "data quality criteria annotation").
+fn annotate_catalog(catalog: &mut Catalog, profile: &QualityProfile, target: Option<&str>) {
+    for schema in &mut catalog.schemas {
+        for cs in &mut schema.column_sets {
+            for (criterion, value) in profile.criteria() {
+                cs.annotate(QualityAnnotation::new(criterion, value));
+            }
+            if let Some((issue, severity)) = profile.dominant_issue() {
+                cs.annotate(
+                    QualityAnnotation::new("dominant_issue_severity", severity)
+                        .with_detail(issue),
+                );
+            }
+            if let Some(t) = target {
+                cs.set_target(t);
+            }
+            // Identifier roles were set by the transform; nothing else to do.
+            let _ = ColumnRole::Identifier;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_datagen::{air_quality, scenario_to_lod};
+
+    fn csv_source() -> DataSource {
+        DataSource::CsvText {
+            name: "toy".into(),
+            content: "x,y,label\n1,2.0,a\n2,3.0,b\n3,4.0,a\n4,5.0,b\n5,6.0,a\n6,7.0,b\n7,8.0,a\n8,9.0,b\n9,10.0,a\n10,11.0,b\n".into(),
+        }
+    }
+
+    #[test]
+    fn csv_pipeline_profiles_and_mines() {
+        let config = PipelineConfig {
+            target: Some("label".into()),
+            folds: 2,
+            ..Default::default()
+        };
+        let outcome = run_pipeline(csv_source(), &config, None).unwrap();
+        assert_eq!(outcome.dataset, "toy");
+        assert_eq!(outcome.raw.n_rows(), 10);
+        assert!(outcome.evaluation.is_some());
+        assert_eq!(outcome.chosen_algorithm, Some(AlgorithmSpec::NaiveBayes));
+        assert_eq!(outcome.phase_timings.len(), 6);
+        // Catalog carries annotations.
+        let cs = outcome.catalog.find_column_set("toy").unwrap();
+        assert!(cs.annotation("completeness").is_some());
+        assert_eq!(cs.target().unwrap().name, "label");
+        // Published graph includes quality measurements.
+        assert!(!outcome.published.is_empty());
+    }
+
+    #[test]
+    fn lod_pipeline_end_to_end() {
+        let scenario = air_quality(80, 3);
+        let graph = scenario_to_lod(&scenario, "http://openbi.org", 0.2, 1).unwrap();
+        let class = Iri::new("http://openbi.org/dataset/air-quality/Row").unwrap();
+        let config = PipelineConfig {
+            target: Some("aqi_band".into()),
+            folds: 3,
+            ..Default::default()
+        };
+        let outcome = run_pipeline(
+            DataSource::Lod {
+                name: "air-quality".into(),
+                graph,
+                class,
+            },
+            &config,
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.raw.n_rows(), 80);
+        let eval = outcome.evaluation.unwrap();
+        assert!(eval.accuracy() > 0.5, "accuracy {}", eval.accuracy());
+    }
+
+    #[test]
+    fn advice_changes_the_chosen_algorithm() {
+        use openbi_kb::{ExperimentRecord, KnowledgeBase, PerfMetrics};
+        let mut kb = KnowledgeBase::new();
+        // A KB that says kNN(k=5) is always best.
+        for i in 0..5 {
+            for (algo, acc) in [("kNN(k=5)", 0.95), ("NaiveBayes", 0.6)] {
+                kb.add(ExperimentRecord {
+                    dataset: format!("d{i}"),
+                    degradations: vec![],
+                    profile: QualityProfile::default(),
+                    algorithm: algo.into(),
+                    metrics: PerfMetrics {
+                        accuracy: acc,
+                        macro_f1: acc,
+                        minority_f1: acc,
+                        kappa: acc,
+                        train_ms: 1.0,
+                        model_size: 1.0,
+                    },
+                    seed: 0,
+                });
+            }
+        }
+        let config = PipelineConfig {
+            target: Some("label".into()),
+            folds: 2,
+            ..Default::default()
+        };
+        let outcome = run_pipeline(csv_source(), &config, Some(&kb)).unwrap();
+        let advice = outcome.advice.unwrap();
+        assert_eq!(advice.best(), "kNN(k=5)");
+        assert_eq!(outcome.chosen_algorithm, Some(AlgorithmSpec::Knn { k: 5 }));
+    }
+
+    #[test]
+    fn missing_target_is_config_error() {
+        let config = PipelineConfig {
+            target: Some("nope".into()),
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_pipeline(csv_source(), &config, None),
+            Err(OpenBiError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn profile_only_mode_skips_mining() {
+        let outcome = run_pipeline(csv_source(), &PipelineConfig::default(), None).unwrap();
+        assert!(outcome.evaluation.is_none());
+        assert!(outcome.chosen_algorithm.is_none());
+        assert!(outcome.profile.completeness > 0.99);
+    }
+
+    #[test]
+    fn attribute_selection_prunes_noise_columns() {
+        use openbi_table::Column;
+        let n = 80;
+        let table = Table::new(vec![
+            Column::from_f64(
+                "signal",
+                (0..n).map(|i| if i % 2 == 0 { 0.0 } else { 8.0 }).collect::<Vec<f64>>(),
+            ),
+            Column::from_f64(
+                "junk",
+                (0..n).map(|i| ((i * 29) % 11) as f64).collect::<Vec<f64>>(),
+            ),
+            Column::from_str_values(
+                "label",
+                (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<&str>>(),
+            ),
+        ])
+        .unwrap();
+        let config = PipelineConfig {
+            target: Some("label".into()),
+            auto_select_attributes: true,
+            folds: 3,
+            ..Default::default()
+        };
+        let outcome = run_pipeline(
+            DataSource::Table {
+                name: "sel".into(),
+                table,
+            },
+            &config,
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.selected_attributes, vec!["signal"]);
+        assert!(!outcome.preprocessed.has_column("junk"));
+        assert!(outcome.preprocessed.has_column("label"));
+        assert!(outcome.evaluation.unwrap().accuracy() > 0.9);
+    }
+
+    #[test]
+    fn spec_by_name_resolves_suite_members() {
+        assert_eq!(spec_by_name("NaiveBayes"), Some(AlgorithmSpec::NaiveBayes));
+        assert!(spec_by_name("kNN(k=5)").is_some());
+        assert!(spec_by_name("NoSuchAlgorithm").is_none());
+    }
+}

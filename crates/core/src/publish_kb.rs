@@ -1,0 +1,281 @@
+//! Publishing the DQ4DM knowledge base itself as Linked Open Data.
+//!
+//! The paper's closing loop: acquired knowledge should be "shared as LOD
+//! to be reused by anyone" (§1) — and the most valuable knowledge OpenBI
+//! produces is the experiment base itself. Each record becomes an
+//! `obi:Experiment` resource linking its quality profile, algorithm and
+//! metrics, so another OpenBI instance (or any SPARQL-ish consumer) can
+//! import it.
+
+use crate::error::Result;
+use openbi_kb::KnowledgeBase;
+use openbi_lod::vocab::{rdf, rdfs};
+use openbi_lod::{Graph, Iri, Literal, Term};
+
+fn obi(term: &str) -> Result<Term> {
+    Ok(Term::Iri(Iri::new(format!(
+        "{}{}",
+        openbi_lod::vocab::obi::NS,
+        term
+    ))?))
+}
+
+/// Publish every experiment record of a knowledge base under
+/// `{base_iri}/kb/…`. Returns the graph; round-trips through the
+/// N-Triples/Turtle writers like any other graph.
+pub fn publish_knowledge_base(kb: &KnowledgeBase, base_iri: &str) -> Result<Graph> {
+    let mut g = Graph::new();
+    let base = base_iri.trim_end_matches('/');
+    let experiment_class = obi("Experiment")?;
+    for (i, record) in kb.records().iter().enumerate() {
+        let node = Term::Iri(Iri::new(format!("{base}/kb/experiment/{i}"))?);
+        g.add(node.clone(), Term::Iri(rdf::type_()), experiment_class.clone());
+        g.add(
+            node.clone(),
+            Term::Iri(rdfs::label()),
+            Term::Literal(Literal::plain(format!(
+                "{} on {}",
+                record.algorithm, record.dataset
+            ))),
+        );
+        g.add(
+            node.clone(),
+            obi("onDataset")?,
+            Term::Literal(Literal::plain(record.dataset.clone())),
+        );
+        g.add(
+            node.clone(),
+            obi("recommendedAlgorithm")?,
+            Term::Literal(Literal::plain(record.algorithm.clone())),
+        );
+        g.add(
+            node.clone(),
+            obi("seed")?,
+            Term::Literal(Literal::integer(record.seed as i64)),
+        );
+        for (di, degradation) in record.degradations.iter().enumerate() {
+            g.add(
+                node.clone(),
+                obi(&format!("degradation{}", di + 1))?,
+                Term::Literal(Literal::plain(degradation.clone())),
+            );
+        }
+        // The quality profile, one measurement node per criterion.
+        for (ci, (criterion, value)) in record.profile.criteria().iter().enumerate() {
+            let m = Term::Iri(Iri::new(format!("{base}/kb/experiment/{i}/q{ci}"))?);
+            g.add(
+                m.clone(),
+                Term::Iri(rdf::type_()),
+                Term::Iri(openbi_lod::vocab::obi::quality_measurement()),
+            );
+            g.add(
+                m.clone(),
+                Term::Iri(openbi_lod::vocab::obi::criterion()),
+                Term::Literal(Literal::plain(criterion.clone())),
+            );
+            g.add(
+                m.clone(),
+                Term::Iri(openbi_lod::vocab::obi::measured_value()),
+                Term::Literal(Literal::double(*value)),
+            );
+            g.add(node.clone(), Term::Iri(openbi_lod::vocab::obi::has_quality()), m);
+        }
+        // Observed performance.
+        for (name, value) in [
+            ("accuracy", record.metrics.accuracy),
+            ("macroF1", record.metrics.macro_f1),
+            ("minorityF1", record.metrics.minority_f1),
+            ("kappa", record.metrics.kappa),
+        ] {
+            g.add(
+                node.clone(),
+                obi(name)?,
+                Term::Literal(Literal::double(value)),
+            );
+        }
+    }
+    Ok(g)
+}
+
+/// Import experiment records back from a published knowledge-base graph
+/// — the consuming side of knowledge sharing. Records missing required
+/// properties are skipped (LOD is open-world).
+pub fn import_knowledge_base(graph: &Graph, base_iri: &str) -> Result<KnowledgeBase> {
+    use openbi_kb::{ExperimentRecord, PerfMetrics};
+    use openbi_quality::{QualityProfile, PROFILE_DIMENSIONS};
+    let base = base_iri.trim_end_matches('/');
+    let mut kb = KnowledgeBase::new();
+    let experiment_class = Iri::new(format!("{}Experiment", openbi_lod::vocab::obi::NS))?;
+    let mut subjects = graph.subjects_of_type(&experiment_class);
+    // Deterministic order by IRI.
+    subjects.sort();
+    let _ = base;
+    for node in subjects {
+        let literal = |prop: &str| -> Option<String> {
+            let p = obi(prop).ok()?;
+            graph
+                .objects(&node, &p)
+                .first()
+                .and_then(|t| t.as_literal().map(|l| l.lexical.clone()))
+        };
+        let number = |prop: &str| -> Option<f64> {
+            literal(prop).and_then(|s| s.parse().ok())
+        };
+        let (Some(dataset), Some(algorithm)) =
+            (literal("onDataset"), literal("recommendedAlgorithm"))
+        else {
+            continue;
+        };
+        // Rebuild the profile vector from the linked measurements.
+        let mut profile = QualityProfile::default();
+        for m in graph.objects(&node, &Term::Iri(openbi_lod::vocab::obi::has_quality())) {
+            let criterion = graph
+                .objects(&m, &Term::Iri(openbi_lod::vocab::obi::criterion()))
+                .first()
+                .and_then(|t| t.as_literal().map(|l| l.lexical.clone()));
+            let value = graph
+                .objects(&m, &Term::Iri(openbi_lod::vocab::obi::measured_value()))
+                .first()
+                .and_then(|t| t.as_literal().and_then(|l| l.as_f64()));
+            let (Some(criterion), Some(value)) = (criterion, value) else {
+                continue;
+            };
+            if PROFILE_DIMENSIONS.contains(&criterion.as_str()) {
+                set_profile_dimension(&mut profile, &criterion, value);
+            }
+        }
+        let mut degradations = Vec::new();
+        let mut di = 1;
+        while let Some(d) = literal(&format!("degradation{di}")) {
+            degradations.push(d);
+            di += 1;
+        }
+        kb.add(ExperimentRecord {
+            dataset,
+            degradations,
+            profile,
+            algorithm,
+            metrics: PerfMetrics {
+                accuracy: number("accuracy").unwrap_or(0.0),
+                macro_f1: number("macroF1").unwrap_or(0.0),
+                minority_f1: number("minorityF1").unwrap_or(0.0),
+                kappa: number("kappa").unwrap_or(0.0),
+                train_ms: 0.0,
+                model_size: 0.0,
+            },
+            seed: number("seed").map(|s| s as u64).unwrap_or(0),
+        });
+    }
+    Ok(kb)
+}
+
+fn set_profile_dimension(profile: &mut openbi_quality::QualityProfile, name: &str, value: f64) {
+    match name {
+        "completeness" => profile.completeness = value,
+        "duplicate_ratio" => profile.duplicate_ratio = value,
+        "max_abs_correlation" => profile.max_abs_correlation = value,
+        "mean_abs_correlation" => profile.mean_abs_correlation = value,
+        "class_balance" => profile.class_balance = value,
+        "minority_ratio" => profile.minority_ratio = value,
+        "dimensionality" => profile.dimensionality = value,
+        "outlier_ratio" => profile.outlier_ratio = value,
+        "label_noise_estimate" => profile.label_noise_estimate = value,
+        "attr_noise_estimate" => profile.attr_noise_estimate = value,
+        "consistency" => profile.consistency = value,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_kb::{ExperimentRecord, PerfMetrics};
+    use openbi_quality::QualityProfile;
+
+    fn sample_kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for (i, algo) in ["NaiveBayes", "kNN(k=5)"].iter().enumerate() {
+            kb.add(ExperimentRecord {
+                dataset: "blobs".into(),
+                degradations: vec!["MCAR 0.2".into(), "label noise 10%".into()],
+                profile: QualityProfile {
+                    completeness: 0.8,
+                    label_noise_estimate: 0.1,
+                    ..Default::default()
+                },
+                algorithm: algo.to_string(),
+                metrics: PerfMetrics {
+                    accuracy: 0.9 - i as f64 * 0.1,
+                    macro_f1: 0.88,
+                    minority_f1: 0.85,
+                    kappa: 0.8,
+                    train_ms: 12.0,
+                    model_size: 30.0,
+                },
+                seed: 7,
+            });
+        }
+        kb
+    }
+
+    #[test]
+    fn publish_creates_experiment_resources() {
+        let g = publish_knowledge_base(&sample_kb(), "http://openbi.org").unwrap();
+        let cls = Iri::new(format!("{}Experiment", openbi_lod::vocab::obi::NS)).unwrap();
+        assert_eq!(g.subjects_of_type(&cls).len(), 2);
+        // Each experiment links 11 quality measurements.
+        let qm = g.subjects_of_type(&openbi_lod::vocab::obi::quality_measurement());
+        assert_eq!(qm.len(), 22);
+    }
+
+    #[test]
+    fn round_trip_preserves_advisable_content() {
+        let kb = sample_kb();
+        let g = publish_knowledge_base(&kb, "http://openbi.org").unwrap();
+        // Through the serializer, like a real exchange.
+        let text = openbi_lod::write_ntriples(&g);
+        let g2 = openbi_lod::parse_ntriples(&text).unwrap();
+        let imported = import_knowledge_base(&g2, "http://openbi.org").unwrap();
+        assert_eq!(imported.len(), kb.len());
+        let orig = &kb.records()[0];
+        let back = imported
+            .records()
+            .iter()
+            .find(|r| r.algorithm == orig.algorithm)
+            .unwrap();
+        assert_eq!(back.dataset, orig.dataset);
+        assert_eq!(back.degradations, orig.degradations);
+        assert!((back.profile.completeness - 0.8).abs() < 1e-9);
+        assert!((back.metrics.accuracy - orig.metrics.accuracy).abs() < 1e-9);
+        assert_eq!(back.seed, 7);
+        // The imported KB is advisable.
+        let advisor = openbi_kb::Advisor::default();
+        let advice = advisor
+            .advise(&imported, &QualityProfile::default())
+            .unwrap();
+        assert_eq!(advice.best(), "NaiveBayes");
+    }
+
+    #[test]
+    fn import_skips_malformed_records() {
+        let mut g = publish_knowledge_base(&sample_kb(), "http://openbi.org").unwrap();
+        // A bogus experiment node with no properties.
+        g.add(
+            Term::iri("http://openbi.org/kb/experiment/999"),
+            Term::Iri(rdf::type_()),
+            obi("Experiment").unwrap(),
+        );
+        let imported = import_knowledge_base(&g, "http://openbi.org").unwrap();
+        assert_eq!(imported.len(), 2, "malformed node skipped");
+    }
+
+    #[test]
+    fn empty_kb_publishes_empty_graph() {
+        let g = publish_knowledge_base(&KnowledgeBase::new(), "http://openbi.org").unwrap();
+        assert!(g.is_empty());
+        assert_eq!(
+            import_knowledge_base(&g, "http://openbi.org").unwrap().len(),
+            0
+        );
+    }
+}

@@ -1,0 +1,108 @@
+//! User-facing rendering of a pipeline outcome — the non-expert's view
+//! of everything the system did and why.
+
+use crate::pipeline::PipelineOutcome;
+use openbi_quality::render_profile;
+use std::fmt::Write as _;
+
+/// Render the full outcome as a readable text report.
+pub fn render_outcome(outcome: &PipelineOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "OpenBI report for dataset '{}'", outcome.dataset);
+    let _ = writeln!(
+        out,
+        "  {} rows × {} columns ingested\n",
+        outcome.raw.n_rows(),
+        outcome.raw.n_cols()
+    );
+    out.push_str(&render_profile(&outcome.dataset, &outcome.profile));
+    out.push('\n');
+    if let Some(advice) = &outcome.advice {
+        let _ = writeln!(out, "Advice: {}", advice.headline());
+        let _ = writeln!(out, "  {}", advice.explanation);
+        for (i, r) in advice.ranking.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  {}. {:<28} expected score {:.3} (accuracy {:.3}, {} experiments)",
+                i + 1,
+                r.algorithm,
+                r.expected_score,
+                r.expected_accuracy,
+                r.support
+            );
+        }
+        out.push('\n');
+    }
+    out.push_str(&outcome.plan.report());
+    if !outcome.selected_attributes.is_empty() {
+        let _ = writeln!(
+            out,
+            "  attribute selection kept: {}",
+            outcome.selected_attributes.join(", ")
+        );
+    }
+    if !outcome.plan.steps.is_empty() {
+        let _ = writeln!(
+            out,
+            "  completeness {:.3} -> {:.3}, max |r| {:.3} -> {:.3}, duplicates {:.3} -> {:.3}",
+            outcome.profile.completeness,
+            outcome.profile_after.completeness,
+            outcome.profile.max_abs_correlation,
+            outcome.profile_after.max_abs_correlation,
+            outcome.profile.duplicate_ratio,
+            outcome.profile_after.duplicate_ratio,
+        );
+    }
+    out.push('\n');
+    if let (Some(eval), Some(spec)) = (&outcome.evaluation, &outcome.chosen_algorithm) {
+        let _ = writeln!(out, "Mining result ({spec}):");
+        let _ = writeln!(
+            out,
+            "  accuracy {:.3} ± {:.3}   macro-F1 {:.3}   minority-F1 {:.3}   kappa {:.3}",
+            eval.accuracy(),
+            eval.accuracy_std(),
+            eval.macro_f1(),
+            eval.minority_f1(),
+            eval.kappa()
+        );
+        out.push_str(&eval.confusion.render());
+        out.push('\n');
+    }
+    let _ = writeln!(out, "KDD phase timings (Figure 1 regeneration):");
+    let total: f64 = outcome.phase_timings.iter().map(|(_, ms)| ms).sum();
+    for (phase, ms) in &outcome.phase_timings {
+        let share = if total > 0.0 { ms / total * 100.0 } else { 0.0 };
+        let _ = writeln!(out, "  {phase:<20} {ms:>9.2} ms  ({share:>5.1}%)");
+    }
+    let _ = writeln!(
+        out,
+        "\nPublished {} triples back as Linked Open Data.",
+        outcome.published.len()
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::pipeline::{run_pipeline, DataSource, PipelineConfig};
+
+    #[test]
+    fn report_mentions_every_section() {
+        let source = DataSource::CsvText {
+            name: "demo".into(),
+            content: "a,b,label\n1,x,p\n2,y,q\n3,x,p\n4,y,q\n5,x,p\n6,y,q\n".into(),
+        };
+        let config = PipelineConfig {
+            target: Some("label".into()),
+            folds: 2,
+            ..Default::default()
+        };
+        let outcome = run_pipeline(source, &config, None).unwrap();
+        let r = super::render_outcome(&outcome);
+        assert!(r.contains("OpenBI report for dataset 'demo'"));
+        assert!(r.contains("Data quality report"));
+        assert!(r.contains("Mining result"));
+        assert!(r.contains("KDD phase timings"));
+        assert!(r.contains("Published"));
+    }
+}

@@ -1,0 +1,25 @@
+//! # openbi-datagen
+//!
+//! Seeded synthetic data for the OpenBI experiments: Gaussian-blob and
+//! rule-based classification generators (the "clean initial sample" of
+//! the paper's §3.1 protocol), three open-government scenarios
+//! (municipal budget, air quality, census) matching the paper's
+//! citizen-analytics motivation, and Linked-Open-Data generators
+//! including a high-dimensionality graph for the LOD experiments.
+//!
+//! This crate is the substitution for the real LOD portals the paper
+//! assumes: the experimental protocol only requires a clean dataset to
+//! degrade in a controlled way, which synthetic data provides
+//! reproducibly (see DESIGN.md).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lodgen;
+pub mod rand_util;
+pub mod scenario;
+pub mod synthetic;
+
+pub use lodgen::{high_dim_class, high_dim_lod, scenario_to_lod, HighDimLodConfig};
+pub use scenario::{air_quality, all_scenarios, census, municipal_budget, Scenario};
+pub use synthetic::{make_blobs, make_rule_based, reference_datasets, BlobsConfig, RuleConfig};

@@ -1,0 +1,277 @@
+//! Open-government scenario generators — the motivating workloads of the
+//! paper's introduction (citizens analyzing public data): a municipal
+//! budget, an air-quality sensor network, and a census extract.
+//!
+//! Each generator returns a clean, realistic table with a designated
+//! classification target, so the full OpenBI pipeline (profile → advise
+//! → mine → publish as LOD) can run on it end to end.
+
+use crate::rand_util::{normal, weighted_choice};
+use openbi_table::{Column, Table};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A generated scenario: the data plus mining metadata.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Human-readable name.
+    pub name: String,
+    /// The clean dataset.
+    pub table: Table,
+    /// The classification target column.
+    pub target: String,
+    /// Identifier columns to exclude from mining.
+    pub id_columns: Vec<String>,
+}
+
+const DISTRICTS: [&str; 6] = ["north", "south", "east", "west", "center", "harbor"];
+const CATEGORIES: [&str; 5] = ["education", "transport", "health", "culture", "parks"];
+
+/// Municipal budget execution: one row per (district, category, year)
+/// line item. Target: whether the line item overspends its budget.
+pub fn municipal_budget(n_rows: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut id = Vec::with_capacity(n_rows);
+    let mut district = Vec::with_capacity(n_rows);
+    let mut category = Vec::with_capacity(n_rows);
+    let mut year = Vec::with_capacity(n_rows);
+    let mut budgeted = Vec::with_capacity(n_rows);
+    let mut headcount = Vec::with_capacity(n_rows);
+    let mut projects = Vec::with_capacity(n_rows);
+    let mut spent = Vec::with_capacity(n_rows);
+    let mut overspend = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        let d = rng.random_range(0..DISTRICTS.len());
+        let c = rng.random_range(0..CATEGORIES.len());
+        let y = 2018 + (i % 6) as i64;
+        let base = 50_000.0 * (1.0 + c as f64) * (1.0 + 0.2 * d as f64);
+        let b = (normal(&mut rng, base, base * 0.2)).max(1_000.0);
+        let hc = (b / 25_000.0 + normal(&mut rng, 0.0, 1.0)).max(1.0).round();
+        let pj = rng.random_range(1..12) as i64;
+        // Overspending is driven by category (transport/health run hot),
+        // headcount pressure and a noise term — learnable but not trivial.
+        let pressure = match CATEGORIES[c] {
+            "transport" => 0.10,
+            "health" => 0.06,
+            _ => -0.06,
+        } + (hc - 10.0) / 60.0
+            + normal(&mut rng, 0.0, 0.08);
+        let s = b * (1.0 + pressure);
+        id.push(i as i64);
+        district.push(DISTRICTS[d]);
+        category.push(CATEGORIES[c]);
+        year.push(y);
+        budgeted.push((b * 100.0).round() / 100.0);
+        headcount.push(hc as i64);
+        projects.push(pj);
+        spent.push((s * 100.0).round() / 100.0);
+        overspend.push(if s > b { "yes" } else { "no" });
+    }
+    Scenario {
+        name: "municipal-budget".into(),
+        table: Table::new(vec![
+            Column::from_i64("id", id),
+            Column::from_str_values("district", district),
+            Column::from_str_values("category", category),
+            Column::from_i64("year", year),
+            Column::from_f64("budgeted_eur", budgeted),
+            Column::from_i64("headcount", headcount),
+            Column::from_i64("projects", projects),
+            Column::from_f64("spent_eur", spent),
+            Column::from_str_values("overspend", overspend),
+        ])
+        .expect("consistent columns"),
+        target: "overspend".into(),
+        id_columns: vec!["id".into()],
+    }
+}
+
+/// Air-quality sensor network: one row per station-day. Target: EU air
+/// quality index band.
+pub fn air_quality(n_rows: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut station = Vec::with_capacity(n_rows);
+    let mut district = Vec::with_capacity(n_rows);
+    let mut traffic = Vec::with_capacity(n_rows);
+    let mut temp = Vec::with_capacity(n_rows);
+    let mut wind = Vec::with_capacity(n_rows);
+    let mut pm10 = Vec::with_capacity(n_rows);
+    let mut no2 = Vec::with_capacity(n_rows);
+    let mut band = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        let d = rng.random_range(0..DISTRICTS.len());
+        let traffic_level = weighted_choice(&mut rng, &[3.0, 2.0, 1.0]); // low/med/high
+        let t = normal(&mut rng, 18.0, 7.0);
+        let w = normal(&mut rng, 12.0, 5.0).max(0.0);
+        // Pollution rises with traffic, falls with wind.
+        let p = (10.0 + 15.0 * traffic_level as f64 - 0.8 * w
+            + normal(&mut rng, 0.0, 4.0))
+        .max(1.0);
+        let n2 = (8.0 + 12.0 * traffic_level as f64 - 0.5 * w
+            + normal(&mut rng, 0.0, 3.0))
+        .max(1.0);
+        let b = if p < 20.0 && n2 < 25.0 {
+            "good"
+        } else if p < 40.0 {
+            "fair"
+        } else {
+            "poor"
+        };
+        station.push(format!("ST{:03}", i % 40));
+        district.push(DISTRICTS[d]);
+        traffic.push(["low", "medium", "high"][traffic_level]);
+        temp.push((t * 10.0).round() / 10.0);
+        wind.push((w * 10.0).round() / 10.0);
+        pm10.push((p * 10.0).round() / 10.0);
+        no2.push((n2 * 10.0).round() / 10.0);
+        band.push(b);
+    }
+    Scenario {
+        name: "air-quality".into(),
+        table: Table::new(vec![
+            Column::from_str_values("station", station),
+            Column::from_str_values("district", district),
+            Column::from_str_values("traffic", traffic),
+            Column::from_f64("temperature_c", temp),
+            Column::from_f64("wind_kmh", wind),
+            Column::from_f64("pm10", pm10),
+            Column::from_f64("no2", no2),
+            Column::from_str_values("aqi_band", band),
+        ])
+        .expect("consistent columns"),
+        target: "aqi_band".into(),
+        id_columns: vec!["station".into()],
+    }
+}
+
+/// Census extract: one row per respondent. Target: commute mode.
+pub fn census(n_rows: usize, seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed);
+    const EDUCATION: [&str; 4] = ["primary", "secondary", "vocational", "university"];
+    let mut id = Vec::with_capacity(n_rows);
+    let mut age = Vec::with_capacity(n_rows);
+    let mut education = Vec::with_capacity(n_rows);
+    let mut household = Vec::with_capacity(n_rows);
+    let mut income = Vec::with_capacity(n_rows);
+    let mut dist_km = Vec::with_capacity(n_rows);
+    let mut district = Vec::with_capacity(n_rows);
+    let mut mode = Vec::with_capacity(n_rows);
+    for i in 0..n_rows {
+        let a = rng.random_range(18..80) as i64;
+        let e = weighted_choice(&mut rng, &[1.0, 3.0, 2.0, 2.5]);
+        let h = rng.random_range(1..6) as i64;
+        let inc = (normal(&mut rng, 18_000.0 + 7_000.0 * e as f64, 6_000.0)).max(6_000.0);
+        let dk = (normal(&mut rng, 6.0, 5.0)).abs().max(0.1);
+        let d = rng.random_range(0..DISTRICTS.len());
+        // Commute mode: short distances walk/bike; long ones car unless
+        // income is low, then transit.
+        let m = if dk < 2.0 {
+            "walk"
+        } else if dk < 5.0 && a < 50 {
+            "bike"
+        } else if inc < 20_000.0 {
+            "transit"
+        } else {
+            "car"
+        };
+        id.push(i as i64);
+        age.push(a);
+        education.push(EDUCATION[e]);
+        household.push(h);
+        income.push((inc / 100.0).round() * 100.0);
+        dist_km.push((dk * 10.0).round() / 10.0);
+        district.push(DISTRICTS[d]);
+        mode.push(m);
+    }
+    Scenario {
+        name: "census".into(),
+        table: Table::new(vec![
+            Column::from_i64("id", id),
+            Column::from_i64("age", age),
+            Column::from_str_values("education", education),
+            Column::from_i64("household_size", household),
+            Column::from_f64("income_eur", income),
+            Column::from_f64("commute_km", dist_km),
+            Column::from_str_values("district", district),
+            Column::from_str_values("commute_mode", mode),
+        ])
+        .expect("consistent columns"),
+        target: "commute_mode".into(),
+        id_columns: vec!["id".into()],
+    }
+}
+
+/// All three scenarios at the given size.
+pub fn all_scenarios(n_rows: usize, seed: u64) -> Vec<Scenario> {
+    vec![
+        municipal_budget(n_rows, seed),
+        air_quality(n_rows, seed.wrapping_add(1)),
+        census(n_rows, seed.wrapping_add(2)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::stats;
+
+    #[test]
+    fn budget_is_learnable_and_clean() {
+        let s = municipal_budget(500, 1);
+        assert_eq!(s.table.n_rows(), 500);
+        assert_eq!(s.table.total_null_count(), 0);
+        let counts = stats::value_counts(s.table.column("overspend").unwrap());
+        assert!(counts.len() == 2, "both classes present");
+        assert!(*counts.values().min().unwrap() > 50, "not degenerate");
+    }
+
+    #[test]
+    fn air_quality_pollution_tracks_traffic() {
+        let s = air_quality(800, 2);
+        // Mean pm10 for high-traffic rows must exceed low-traffic rows.
+        let t = &s.table;
+        let mut high = vec![];
+        let mut low = vec![];
+        for i in 0..t.n_rows() {
+            let p = t.get("pm10", i).unwrap().as_f64().unwrap();
+            match t.get("traffic", i).unwrap().to_string().as_str() {
+                "high" => high.push(p),
+                "low" => low.push(p),
+                _ => {}
+            }
+        }
+        let mh = high.iter().sum::<f64>() / high.len() as f64;
+        let ml = low.iter().sum::<f64>() / low.len() as f64;
+        assert!(mh > ml + 10.0, "high {mh} vs low {ml}");
+    }
+
+    #[test]
+    fn census_modes_follow_distance() {
+        let s = census(800, 3);
+        let t = &s.table;
+        for i in 0..t.n_rows() {
+            let dk = t.get("commute_km", i).unwrap().as_f64().unwrap();
+            let m = t.get("commute_mode", i).unwrap().to_string();
+            if dk < 2.0 {
+                assert_eq!(m, "walk");
+            }
+        }
+    }
+
+    #[test]
+    fn scenarios_deterministic() {
+        assert_eq!(municipal_budget(100, 9).table, municipal_budget(100, 9).table);
+        assert_ne!(municipal_budget(100, 9).table, municipal_budget(100, 10).table);
+    }
+
+    #[test]
+    fn all_scenarios_have_targets() {
+        for s in all_scenarios(200, 5) {
+            assert!(s.table.has_column(&s.target), "{}", s.name);
+            for idc in &s.id_columns {
+                assert!(s.table.has_column(idc));
+            }
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The advisor: "the best option is ALGORITHM X" (paper, Figure 2).
+//!
+//! Given the measured quality profile of a new dataset, the advisor
+//! finds the most similar experiment profiles in the knowledge base and
+//! aggregates each algorithm's observed score with similarity weights.
+//! The result is a ranked list with an explanation a non-expert can
+//! read.
+
+use crate::error::{KbError, Result};
+use crate::record::ExperimentRecord;
+use crate::store::KnowledgeBase;
+use openbi_quality::QualityProfile;
+
+/// One ranked recommendation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recommendation {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Similarity-weighted expected score (see
+    /// [`PerfMetrics::score`](crate::record::PerfMetrics::score)).
+    pub expected_score: f64,
+    /// Similarity-weighted expected accuracy.
+    pub expected_accuracy: f64,
+    /// Number of knowledge-base records that contributed.
+    pub support: usize,
+}
+
+/// The advisor's full answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Advice {
+    /// Ranked recommendations, best first.
+    pub ranking: Vec<Recommendation>,
+    /// Human-readable explanation.
+    pub explanation: String,
+}
+
+impl Advice {
+    /// The winning algorithm name.
+    pub fn best(&self) -> &str {
+        &self.ranking[0].algorithm
+    }
+
+    /// Render the headline sentence of Figure 2.
+    pub fn headline(&self) -> String {
+        format!(
+            "the best option is {} (expected score {:.3})",
+            self.ranking[0].algorithm, self.ranking[0].expected_score
+        )
+    }
+}
+
+/// Advisor configuration.
+#[derive(Debug, Clone)]
+pub struct Advisor {
+    /// How many nearest profiles to aggregate per algorithm.
+    pub neighbors: usize,
+    /// Similarity kernel bandwidth (larger = flatter weighting).
+    pub bandwidth: f64,
+}
+
+impl Default for Advisor {
+    fn default() -> Self {
+        Advisor {
+            neighbors: 25,
+            bandwidth: 0.25,
+        }
+    }
+}
+
+impl Advisor {
+    fn weight(&self, distance: f64) -> f64 {
+        (-(distance * distance) / (2.0 * self.bandwidth * self.bandwidth)).exp()
+    }
+
+    /// Rank all algorithms in the knowledge base for a new profile.
+    pub fn advise(&self, kb: &KnowledgeBase, profile: &QualityProfile) -> Result<Advice> {
+        if kb.is_empty() {
+            return Err(KbError::EmptyKnowledgeBase);
+        }
+        let mut ranking: Vec<Recommendation> = Vec::new();
+        for algorithm in kb.algorithms() {
+            let mut contributions: Vec<(f64, &ExperimentRecord)> = kb
+                .filter(|r| r.algorithm == algorithm)
+                .into_iter()
+                .map(|r| (profile.distance(&r.profile), r))
+                .collect();
+            contributions.sort_by(|a, b| a.0.total_cmp(&b.0));
+            contributions.truncate(self.neighbors);
+            let mut weight_sum = 0.0;
+            let mut score_sum = 0.0;
+            let mut acc_sum = 0.0;
+            for (d, r) in &contributions {
+                let w = self.weight(*d).max(1e-9);
+                weight_sum += w;
+                score_sum += w * r.metrics.score();
+                acc_sum += w * r.metrics.accuracy;
+            }
+            if weight_sum == 0.0 {
+                continue;
+            }
+            ranking.push(Recommendation {
+                algorithm,
+                expected_score: score_sum / weight_sum,
+                expected_accuracy: acc_sum / weight_sum,
+                support: contributions.len(),
+            });
+        }
+        if ranking.is_empty() {
+            return Err(KbError::EmptyKnowledgeBase);
+        }
+        ranking.sort_by(|a, b| {
+            b.expected_score
+                .total_cmp(&a.expected_score)
+                .then(a.algorithm.cmp(&b.algorithm))
+        });
+        let explanation = Self::explain(profile, &ranking);
+        Ok(Advice {
+            ranking,
+            explanation,
+        })
+    }
+
+    fn explain(profile: &QualityProfile, ranking: &[Recommendation]) -> String {
+        let mut out = String::new();
+        match profile.dominant_issue() {
+            Some((issue, severity)) => {
+                out.push_str(&format!(
+                    "Your data's dominant quality issue is {issue} (severity {severity:.2}). "
+                ));
+            }
+            None => out.push_str("No dominant data-quality issue was detected. "),
+        }
+        out.push_str(&format!(
+            "Based on {} similar past experiments, {} is expected to perform best",
+            ranking.iter().map(|r| r.support).sum::<usize>(),
+            ranking[0].algorithm,
+        ));
+        if ranking.len() > 1 {
+            out.push_str(&format!(
+                " (runner-up: {}, expected score {:.3} vs {:.3})",
+                ranking[1].algorithm, ranking[1].expected_score, ranking[0].expected_score
+            ));
+        }
+        out.push('.');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PerfMetrics;
+
+    fn record(algorithm: &str, completeness: f64, acc: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            dataset: "d".into(),
+            degradations: vec![],
+            profile: QualityProfile {
+                completeness,
+                ..Default::default()
+            },
+            algorithm: algorithm.into(),
+            metrics: PerfMetrics {
+                accuracy: acc,
+                macro_f1: acc,
+                minority_f1: acc,
+                kappa: 2.0 * acc - 1.0,
+                train_ms: 1.0,
+                model_size: 5.0,
+            },
+            seed: 1,
+        }
+    }
+
+    /// KB where NaiveBayes wins on incomplete data and kNN wins on
+    /// complete data.
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for i in 0..10 {
+            let jitter = i as f64 * 0.005;
+            kb.add(record("NaiveBayes", 0.6 + jitter, 0.85));
+            kb.add(record("kNN", 0.6 + jitter, 0.60));
+            kb.add(record("NaiveBayes", 0.98 - jitter, 0.88));
+            kb.add(record("kNN", 0.98 - jitter, 0.95));
+        }
+        kb
+    }
+
+    #[test]
+    fn advice_depends_on_profile() {
+        let advisor = Advisor {
+            neighbors: 5,
+            bandwidth: 0.05,
+        };
+        let incomplete = QualityProfile {
+            completeness: 0.62,
+            ..Default::default()
+        };
+        let advice = advisor.advise(&kb(), &incomplete).unwrap();
+        assert_eq!(advice.best(), "NaiveBayes");
+        let complete = QualityProfile {
+            completeness: 0.97,
+            ..Default::default()
+        };
+        let advice = advisor.advise(&kb(), &complete).unwrap();
+        assert_eq!(advice.best(), "kNN");
+    }
+
+    #[test]
+    fn ranking_is_sorted_and_complete() {
+        let advisor = Advisor::default();
+        let advice = advisor
+            .advise(&kb(), &QualityProfile::default())
+            .unwrap();
+        assert_eq!(advice.ranking.len(), 2);
+        assert!(advice.ranking[0].expected_score >= advice.ranking[1].expected_score);
+        assert!(advice.ranking.iter().all(|r| r.support > 0));
+    }
+
+    #[test]
+    fn empty_kb_is_error() {
+        let advisor = Advisor::default();
+        assert!(matches!(
+            advisor.advise(&KnowledgeBase::new(), &QualityProfile::default()),
+            Err(KbError::EmptyKnowledgeBase)
+        ));
+    }
+
+    #[test]
+    fn headline_and_explanation_mention_winner() {
+        let advisor = Advisor::default();
+        let profile = QualityProfile {
+            completeness: 0.62,
+            ..Default::default()
+        };
+        let advice = advisor.advise(&kb(), &profile).unwrap();
+        assert!(advice.headline().contains("the best option is"));
+        assert!(advice.explanation.contains("incomplete data"));
+        assert!(advice.explanation.contains(advice.best()));
+    }
+
+    #[test]
+    fn neighbor_cap_limits_support() {
+        let advisor = Advisor {
+            neighbors: 3,
+            bandwidth: 1.0,
+        };
+        let advice = advisor
+            .advise(&kb(), &QualityProfile::default())
+            .unwrap();
+        assert!(advice.ranking.iter().all(|r| r.support <= 3));
+    }
+}

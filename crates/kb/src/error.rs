@@ -1,0 +1,41 @@
+//! Error type for the knowledge-base crate.
+
+use std::fmt;
+
+/// Errors produced by the knowledge base and advisor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KbError {
+    /// The knowledge base holds no usable records.
+    EmptyKnowledgeBase,
+    /// JSON (de)serialization failed.
+    Serde(String),
+    /// File I/O failed.
+    Io(String),
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::EmptyKnowledgeBase => {
+                f.write_str("the knowledge base holds no usable records")
+            }
+            KbError::Serde(m) => write!(f, "serialization error: {m}"),
+            KbError::Io(m) => write!(f, "I/O error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, KbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(KbError::EmptyKnowledgeBase.to_string().contains("no usable"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # openbi-kb
+//!
+//! The **DQ4DM knowledge base** of the paper's Figure 2: experiment
+//! records pairing measured data-quality profiles with observed
+//! algorithm performance, JSON-lines persistence, a similarity-weighted
+//! **advisor** ("the best option is ALGORITHM X"), explainable guidance
+//! rules, and leave-one-dataset-out advisor evaluation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod advisor;
+pub mod error;
+pub mod record;
+pub mod regret;
+pub mod rules;
+pub mod store;
+
+pub use advisor::{Advice, Advisor, Recommendation};
+pub use error::{KbError, Result};
+pub use record::{ExperimentRecord, PerfMetrics};
+pub use regret::{leave_one_dataset_out, AdvisorEvaluation};
+pub use rules::{extract_rules, GuidanceRule};
+pub use store::{KnowledgeBase, SharedKnowledgeBase};

@@ -1,0 +1,100 @@
+//! Experiment records: the unit of content of the DQ4DM knowledge base
+//! ("results of experiments are included in a knowledge base", §3.1
+//! step 4).
+
+use openbi_quality::QualityProfile;
+use serde::{Deserialize, Serialize};
+
+/// Performance observed for one algorithm on one (degraded) dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PerfMetrics {
+    /// Pooled cross-validation accuracy.
+    pub accuracy: f64,
+    /// Macro-averaged F1.
+    pub macro_f1: f64,
+    /// Minority-class F1.
+    pub minority_f1: f64,
+    /// Cohen's kappa.
+    pub kappa: f64,
+    /// Training time in milliseconds.
+    pub train_ms: f64,
+    /// Mean model-size proxy.
+    pub model_size: f64,
+}
+
+impl PerfMetrics {
+    /// The scalar score the advisor optimizes: kappa-weighted accuracy
+    /// with a minority-F1 term so imbalance-blind models do not win.
+    pub fn score(&self) -> f64 {
+        0.5 * self.accuracy + 0.25 * self.kappa.max(0.0) + 0.25 * self.minority_f1
+    }
+}
+
+/// One knowledge-base entry: *this algorithm, on data with this quality
+/// profile, achieved this performance*.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Source dataset identifier (generator name or file).
+    pub dataset: String,
+    /// Injected defect descriptions (empty for the clean baseline).
+    pub degradations: Vec<String>,
+    /// Measured quality profile of the (degraded) training data.
+    pub profile: QualityProfile,
+    /// Algorithm display name (with parameters).
+    pub algorithm: String,
+    /// Observed performance.
+    pub metrics: PerfMetrics,
+    /// Seed the experiment ran with.
+    pub seed: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics(acc: f64) -> PerfMetrics {
+        PerfMetrics {
+            accuracy: acc,
+            macro_f1: acc,
+            minority_f1: acc,
+            kappa: 2.0 * acc - 1.0,
+            train_ms: 1.0,
+            model_size: 10.0,
+        }
+    }
+
+    #[test]
+    fn score_orders_sensibly() {
+        assert!(metrics(0.9).score() > metrics(0.6).score());
+        // Perfect classifier scores 1.
+        assert!((metrics(1.0).score() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_kappa_clamped() {
+        let m = PerfMetrics {
+            accuracy: 0.4,
+            macro_f1: 0.4,
+            minority_f1: 0.4,
+            kappa: -0.3,
+            train_ms: 0.0,
+            model_size: 0.0,
+        };
+        assert!((m.score() - (0.5 * 0.4 + 0.25 * 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_serde_round_trip() {
+        let r = ExperimentRecord {
+            dataset: "blobs".into(),
+            degradations: vec!["MCAR 0.2".into()],
+            profile: QualityProfile::default(),
+            algorithm: "NaiveBayes".into(),
+            metrics: metrics(0.8),
+            seed: 7,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(r, back);
+    }
+}

@@ -1,0 +1,187 @@
+//! Advisor evaluation (experiment E12): leave-one-dataset-out regret and
+//! top-1 hit rate against the empirically best algorithm.
+
+use crate::advisor::Advisor;
+use crate::error::Result;
+use crate::store::KnowledgeBase;
+use std::collections::HashMap;
+
+/// Aggregate advisor-evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdvisorEvaluation {
+    /// Number of held-out (dataset, profile) decision points scored.
+    pub decisions: usize,
+    /// Fraction where the advisor's pick matched the empirical best.
+    pub top1_hit_rate: f64,
+    /// Mean score regret (best observed score − score of the advised
+    /// algorithm on the same held-out profile).
+    pub mean_regret: f64,
+    /// Regret of the always-pick-the-globally-best-algorithm baseline.
+    pub baseline_regret: f64,
+    /// The static baseline algorithm used for comparison.
+    pub baseline_algorithm: String,
+}
+
+/// Evaluate an advisor by leave-one-dataset-out: for every dataset in
+/// the KB and every distinct degradation context recorded on it, advise
+/// from a KB *without* that dataset and compare against what actually
+/// performed best there.
+pub fn leave_one_dataset_out(kb: &KnowledgeBase, advisor: &Advisor) -> Result<AdvisorEvaluation> {
+    let mut decisions = 0usize;
+    let mut hits = 0usize;
+    let mut regret_sum = 0.0;
+    let mut baseline_regret_sum = 0.0;
+    // Static baseline: best mean score over the whole KB.
+    let mut totals: HashMap<&str, (f64, usize)> = HashMap::new();
+    for r in kb.records() {
+        let e = totals.entry(r.algorithm.as_str()).or_insert((0.0, 0));
+        e.0 += r.metrics.score();
+        e.1 += 1;
+    }
+    let baseline_algorithm = totals
+        .iter()
+        .map(|(a, (s, n))| (*a, s / *n as f64))
+        .max_by(|x, y| x.1.total_cmp(&y.1))
+        .map(|(a, _)| a.to_string())
+        .unwrap_or_default();
+    for dataset in kb.datasets() {
+        let train_kb = kb.without_dataset(&dataset);
+        if train_kb.is_empty() {
+            continue;
+        }
+        // Group the held-out records by degradation context: each group
+        // is one decision point with per-algorithm observed scores.
+        let held_out = kb.filter(|r| r.dataset == dataset);
+        let mut groups: HashMap<String, Vec<&crate::record::ExperimentRecord>> = HashMap::new();
+        for r in held_out {
+            groups.entry(r.degradations.join("|")).or_default().push(r);
+        }
+        for records in groups.values() {
+            if records.len() < 2 {
+                continue; // no choice to make
+            }
+            let profile = &records[0].profile;
+            let advice = advisor.advise(&train_kb, profile)?;
+            let observed: HashMap<&str, f64> = records
+                .iter()
+                .map(|r| (r.algorithm.as_str(), r.metrics.score()))
+                .collect();
+            let best_score = observed.values().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let best_algo = observed
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(a, _)| *a)
+                .expect("non-empty group");
+            // The advised algorithm may not have been run in this group
+            // (e.g. a spec mismatch); fall back to the worst observed
+            // score so missing coverage is penalized, not hidden.
+            let advised_score = observed
+                .get(advice.best())
+                .copied()
+                .unwrap_or_else(|| observed.values().cloned().fold(f64::INFINITY, f64::min));
+            let baseline_score = observed
+                .get(baseline_algorithm.as_str())
+                .copied()
+                .unwrap_or_else(|| observed.values().cloned().fold(f64::INFINITY, f64::min));
+            decisions += 1;
+            if advice.best() == best_algo {
+                hits += 1;
+            }
+            regret_sum += best_score - advised_score;
+            baseline_regret_sum += best_score - baseline_score;
+        }
+    }
+    Ok(AdvisorEvaluation {
+        decisions,
+        top1_hit_rate: if decisions == 0 {
+            0.0
+        } else {
+            hits as f64 / decisions as f64
+        },
+        mean_regret: if decisions == 0 {
+            0.0
+        } else {
+            regret_sum / decisions as f64
+        },
+        baseline_regret: if decisions == 0 {
+            0.0
+        } else {
+            baseline_regret_sum / decisions as f64
+        },
+        baseline_algorithm,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ExperimentRecord, PerfMetrics};
+    use openbi_quality::QualityProfile;
+
+    fn record(
+        dataset: &str,
+        degradation: &str,
+        algorithm: &str,
+        completeness: f64,
+        acc: f64,
+    ) -> ExperimentRecord {
+        ExperimentRecord {
+            dataset: dataset.into(),
+            degradations: vec![degradation.into()],
+            profile: QualityProfile {
+                completeness,
+                ..Default::default()
+            },
+            algorithm: algorithm.into(),
+            metrics: PerfMetrics {
+                accuracy: acc,
+                macro_f1: acc,
+                minority_f1: acc,
+                kappa: acc,
+                train_ms: 1.0,
+                model_size: 1.0,
+            },
+            seed: 0,
+        }
+    }
+
+    /// Consistent pattern across 3 datasets: NB wins when incomplete,
+    /// kNN wins when complete — learnable across datasets.
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for (di, dataset) in ["d1", "d2", "d3"].iter().enumerate() {
+            let jitter = di as f64 * 0.004;
+            kb.add(record(dataset, "clean", "NaiveBayes", 0.99 - jitter, 0.80));
+            kb.add(record(dataset, "clean", "kNN", 0.99 - jitter, 0.95));
+            kb.add(record(dataset, "missing", "NaiveBayes", 0.6 + jitter, 0.85));
+            kb.add(record(dataset, "missing", "kNN", 0.6 + jitter, 0.55));
+        }
+        kb
+    }
+
+    #[test]
+    fn advisor_beats_static_baseline() {
+        let advisor = Advisor {
+            neighbors: 4,
+            bandwidth: 0.05,
+        };
+        let eval = leave_one_dataset_out(&kb(), &advisor).unwrap();
+        assert_eq!(eval.decisions, 6);
+        assert_eq!(eval.top1_hit_rate, 1.0, "pattern is perfectly learnable");
+        assert!(eval.mean_regret < 1e-9);
+        assert!(
+            eval.baseline_regret > eval.mean_regret,
+            "static pick must pay regret on half the contexts"
+        );
+    }
+
+    #[test]
+    fn single_algorithm_groups_are_skipped() {
+        let mut kb = KnowledgeBase::new();
+        kb.add(record("d1", "clean", "only", 0.9, 0.9));
+        kb.add(record("d2", "clean", "only", 0.9, 0.9));
+        let eval = leave_one_dataset_out(&kb, &Advisor::default()).unwrap();
+        assert_eq!(eval.decisions, 0);
+        assert_eq!(eval.top1_hit_rate, 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Guidance-rule extraction: distill the knowledge base into
+//! human-readable statements like *"when completeness < 0.8, NaiveBayes
+//! beats kNN by 0.07 accuracy"* — the explainable layer a non-expert
+//! can audit.
+
+use crate::store::KnowledgeBase;
+use openbi_quality::PROFILE_DIMENSIONS;
+
+/// One extracted guidance rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GuidanceRule {
+    /// Profile dimension the rule conditions on.
+    pub criterion: String,
+    /// Threshold splitting "low" vs "high".
+    pub threshold: f64,
+    /// True when the rule applies below the threshold, false above.
+    pub below: bool,
+    /// The algorithm that wins in the region.
+    pub winner: String,
+    /// The overall-best algorithm it overtakes (the comparison target).
+    pub baseline: String,
+    /// Mean score advantage of the winner over the baseline in-region.
+    pub advantage: f64,
+    /// Number of records in the region.
+    pub support: usize,
+}
+
+impl GuidanceRule {
+    /// Render the rule as a sentence.
+    pub fn render(&self) -> String {
+        format!(
+            "when {} {} {:.2}, prefer {} over {} (+{:.3} score, {} experiments)",
+            self.criterion,
+            if self.below { "<" } else { ">=" },
+            self.threshold,
+            self.winner,
+            self.baseline,
+            self.advantage,
+            self.support
+        )
+    }
+}
+
+fn dimension_value(profile: &openbi_quality::QualityProfile, dim: usize) -> f64 {
+    profile.to_vector()[dim]
+}
+
+/// Extract guidance rules: for each profile dimension, split the records
+/// at the dimension's median and report regions where the regional
+/// winner differs from the global winner with at least `min_advantage`
+/// score difference and `min_support` records.
+pub fn extract_rules(
+    kb: &KnowledgeBase,
+    min_advantage: f64,
+    min_support: usize,
+) -> Vec<GuidanceRule> {
+    if kb.is_empty() {
+        return vec![];
+    }
+    // Global winner by mean score.
+    let mean_score = |algo: &str, pred: &dyn Fn(&crate::record::ExperimentRecord) -> bool| -> Option<(f64, usize)> {
+        let records = kb.filter(|r| r.algorithm == algo && pred(r));
+        if records.is_empty() {
+            return None;
+        }
+        let sum: f64 = records.iter().map(|r| r.metrics.score()).sum();
+        Some((sum / records.len() as f64, records.len()))
+    };
+    let algorithms = kb.algorithms();
+    let everything = |_: &crate::record::ExperimentRecord| true;
+    let global_winner = algorithms
+        .iter()
+        .filter_map(|a| mean_score(a, &everything).map(|(s, _)| (a.clone(), s)))
+        .max_by(|x, y| x.1.total_cmp(&y.1))
+        .map(|(a, _)| a)
+        .expect("non-empty kb has a winner");
+    let mut rules = Vec::new();
+    for (dim, name) in PROFILE_DIMENSIONS.iter().enumerate() {
+        let mut values: Vec<f64> = kb
+            .records()
+            .iter()
+            .map(|r| dimension_value(&r.profile, dim))
+            .collect();
+        values.sort_by(f64::total_cmp);
+        let threshold = values[values.len() / 2];
+        // Skip dimensions with no spread.
+        if values[0] == values[values.len() - 1] {
+            continue;
+        }
+        for below in [true, false] {
+            let region = move |r: &crate::record::ExperimentRecord| {
+                let v = dimension_value(&r.profile, dim);
+                if below {
+                    v < threshold
+                } else {
+                    v >= threshold
+                }
+            };
+            let mut best: Option<(String, f64, usize)> = None;
+            for algo in &algorithms {
+                if let Some((score, support)) = mean_score(algo, &region) {
+                    if best.as_ref().map(|(_, s, _)| score > *s).unwrap_or(true) {
+                        best = Some((algo.clone(), score, support));
+                    }
+                }
+            }
+            let Some((winner, winner_score, _)) = best else {
+                continue;
+            };
+            if winner == global_winner {
+                continue;
+            }
+            let Some((baseline_score, support)) = mean_score(&global_winner, &region) else {
+                continue;
+            };
+            let advantage = winner_score - baseline_score;
+            if advantage >= min_advantage && support >= min_support {
+                rules.push(GuidanceRule {
+                    criterion: (*name).to_string(),
+                    threshold,
+                    below,
+                    winner,
+                    baseline: global_winner.clone(),
+                    advantage,
+                    support,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| b.advantage.total_cmp(&a.advantage));
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{ExperimentRecord, PerfMetrics};
+    use openbi_quality::QualityProfile;
+
+    fn record(algorithm: &str, completeness: f64, acc: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            dataset: "d".into(),
+            degradations: vec![],
+            profile: QualityProfile {
+                completeness,
+                ..Default::default()
+            },
+            algorithm: algorithm.into(),
+            metrics: PerfMetrics {
+                accuracy: acc,
+                macro_f1: acc,
+                minority_f1: acc,
+                kappa: acc,
+                train_ms: 1.0,
+                model_size: 1.0,
+            },
+            seed: 0,
+        }
+    }
+
+    /// kNN wins overall, NaiveBayes wins when completeness is low.
+    fn kb() -> KnowledgeBase {
+        let mut kb = KnowledgeBase::new();
+        for i in 0..20 {
+            let c_low = 0.5 + (i as f64) * 0.001;
+            let c_high = 0.95 + (i as f64) * 0.001;
+            kb.add(record("NaiveBayes", c_low, 0.80));
+            kb.add(record("kNN", c_low, 0.55));
+            kb.add(record("NaiveBayes", c_high, 0.60));
+            kb.add(record("kNN", c_high, 0.97));
+        }
+        kb
+    }
+
+    #[test]
+    fn extracts_the_low_completeness_rule() {
+        let rules = extract_rules(&kb(), 0.05, 5);
+        let rule = rules
+            .iter()
+            .find(|r| r.criterion == "completeness" && r.below)
+            .expect("low-completeness rule extracted");
+        assert_eq!(rule.winner, "NaiveBayes");
+        assert_eq!(rule.baseline, "kNN");
+        assert!(rule.advantage > 0.1);
+        assert!(rule.render().contains("prefer NaiveBayes over kNN"));
+    }
+
+    #[test]
+    fn no_rules_from_empty_or_uniform_kb() {
+        assert!(extract_rules(&KnowledgeBase::new(), 0.01, 1).is_empty());
+        let mut kb = KnowledgeBase::new();
+        for _ in 0..10 {
+            kb.add(record("only", 0.9, 0.9));
+        }
+        assert!(extract_rules(&kb, 0.01, 1).is_empty());
+    }
+
+    #[test]
+    fn min_support_filters_rules() {
+        let rules = extract_rules(&kb(), 0.05, 10_000);
+        assert!(rules.is_empty());
+    }
+
+    #[test]
+    fn rules_sorted_by_advantage() {
+        let rules = extract_rules(&kb(), 0.0, 1);
+        for w in rules.windows(2) {
+            assert!(w[0].advantage >= w[1].advantage);
+        }
+    }
+}

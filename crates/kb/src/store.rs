@@ -1,0 +1,240 @@
+//! The DQ4DM knowledge base: an append-only store of experiment records
+//! with JSON-lines persistence and a thread-safe shared wrapper for
+//! parallel experiment runners.
+
+use crate::error::{KbError, Result};
+use crate::record::ExperimentRecord;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// An in-memory knowledge base.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    records: Vec<ExperimentRecord>,
+}
+
+impl KnowledgeBase {
+    /// Create an empty knowledge base.
+    pub fn new() -> Self {
+        KnowledgeBase::default()
+    }
+
+    /// Append a record.
+    pub fn add(&mut self, record: ExperimentRecord) {
+        self.records.push(record);
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ExperimentRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True iff the base holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Distinct algorithm names, in first-seen order.
+    pub fn algorithms(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.records {
+            if !out.contains(&r.algorithm) {
+                out.push(r.algorithm.clone());
+            }
+        }
+        out
+    }
+
+    /// Distinct dataset names, in first-seen order.
+    pub fn datasets(&self) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in &self.records {
+            if !out.contains(&r.dataset) {
+                out.push(r.dataset.clone());
+            }
+        }
+        out
+    }
+
+    /// Records matching a predicate.
+    pub fn filter(&self, pred: impl Fn(&ExperimentRecord) -> bool) -> Vec<&ExperimentRecord> {
+        self.records.iter().filter(|r| pred(r)).collect()
+    }
+
+    /// A copy without any record from the named dataset — the
+    /// leave-one-dataset-out view used by advisor evaluation.
+    pub fn without_dataset(&self, dataset: &str) -> KnowledgeBase {
+        KnowledgeBase {
+            records: self
+                .records
+                .iter()
+                .filter(|r| r.dataset != dataset)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serialize as JSON lines (one record per line).
+    pub fn to_jsonl(&self) -> Result<String> {
+        let mut out = String::new();
+        for r in &self.records {
+            out.push_str(&serde_json::to_string(r).map_err(|e| KbError::Serde(e.to_string()))?);
+            out.push('\n');
+        }
+        Ok(out)
+    }
+
+    /// Parse from JSON lines.
+    pub fn from_jsonl(text: &str) -> Result<Self> {
+        let mut kb = KnowledgeBase::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let record: ExperimentRecord = serde_json::from_str(line)
+                .map_err(|e| KbError::Serde(format!("line {}: {e}", i + 1)))?;
+            kb.add(record);
+        }
+        Ok(kb)
+    }
+
+    /// Persist to a JSON-lines file.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        std::fs::write(path, self.to_jsonl()?).map_err(|e| KbError::Io(e.to_string()))
+    }
+
+    /// Load from a JSON-lines file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let text = std::fs::read_to_string(path).map_err(|e| KbError::Io(e.to_string()))?;
+        Self::from_jsonl(&text)
+    }
+}
+
+/// A cheaply clonable, thread-safe knowledge base handle for concurrent
+/// experiment runners.
+#[derive(Debug, Clone, Default)]
+pub struct SharedKnowledgeBase {
+    inner: Arc<RwLock<KnowledgeBase>>,
+}
+
+impl SharedKnowledgeBase {
+    /// Wrap a knowledge base.
+    pub fn new(kb: KnowledgeBase) -> Self {
+        SharedKnowledgeBase {
+            inner: Arc::new(RwLock::new(kb)),
+        }
+    }
+
+    /// Append a record.
+    pub fn add(&self, record: ExperimentRecord) {
+        self.inner.write().add(record);
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// True iff empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Snapshot the current contents.
+    pub fn snapshot(&self) -> KnowledgeBase {
+        self.inner.read().clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PerfMetrics;
+    use openbi_quality::QualityProfile;
+
+    fn record(dataset: &str, algorithm: &str, acc: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            dataset: dataset.into(),
+            degradations: vec![],
+            profile: QualityProfile::default(),
+            algorithm: algorithm.into(),
+            metrics: PerfMetrics {
+                accuracy: acc,
+                macro_f1: acc,
+                minority_f1: acc,
+                kappa: acc,
+                train_ms: 1.0,
+                model_size: 5.0,
+            },
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn add_query_filter() {
+        let mut kb = KnowledgeBase::new();
+        kb.add(record("d1", "NaiveBayes", 0.9));
+        kb.add(record("d1", "kNN", 0.8));
+        kb.add(record("d2", "NaiveBayes", 0.7));
+        assert_eq!(kb.len(), 3);
+        assert_eq!(kb.algorithms(), vec!["NaiveBayes", "kNN"]);
+        assert_eq!(kb.datasets(), vec!["d1", "d2"]);
+        assert_eq!(kb.filter(|r| r.dataset == "d1").len(), 2);
+        assert_eq!(kb.without_dataset("d1").len(), 1);
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let mut kb = KnowledgeBase::new();
+        kb.add(record("d1", "a", 0.5));
+        kb.add(record("d2", "b", 0.6));
+        let text = kb.to_jsonl().unwrap();
+        assert_eq!(text.lines().count(), 2);
+        let back = KnowledgeBase::from_jsonl(&text).unwrap();
+        assert_eq!(back.records(), kb.records());
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_rejects_garbage() {
+        let mut kb = KnowledgeBase::new();
+        kb.add(record("d", "a", 0.5));
+        let text = format!("\n{}\n\n", kb.to_jsonl().unwrap());
+        assert_eq!(KnowledgeBase::from_jsonl(&text).unwrap().len(), 1);
+        assert!(KnowledgeBase::from_jsonl("not json\n").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let mut kb = KnowledgeBase::new();
+        kb.add(record("d", "a", 0.5));
+        let dir = std::env::temp_dir().join("openbi-kb-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.jsonl");
+        kb.save(&path).unwrap();
+        assert_eq!(KnowledgeBase::load(&path).unwrap().len(), 1);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn shared_kb_accumulates_from_threads() {
+        let shared = SharedKnowledgeBase::default();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    for i in 0..25 {
+                        shared.add(record(&format!("d{t}"), "a", i as f64 / 25.0));
+                    }
+                });
+            }
+        });
+        assert_eq!(shared.len(), 100);
+        assert_eq!(shared.snapshot().datasets().len(), 4);
+    }
+}

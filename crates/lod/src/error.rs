@@ -1,0 +1,70 @@
+//! Error type for the LOD substrate.
+
+use std::fmt;
+
+/// Errors produced by RDF parsing, querying and tabularization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LodError {
+    /// Syntax error while parsing N-Triples or Turtle input.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An IRI was syntactically invalid.
+    InvalidIri(String),
+    /// An undeclared prefix was used in Turtle input.
+    UnknownPrefix(String),
+    /// A query referenced an unbound variable.
+    UnboundVariable(String),
+    /// Tabularization failed (e.g. no entities of the requested class).
+    Tabularize(String),
+    /// An I/O error, carried as a string to keep the error type `Clone`.
+    Io(String),
+}
+
+impl fmt::Display for LodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LodError::Parse { line, message } => {
+                write!(f, "RDF parse error at line {line}: {message}")
+            }
+            LodError::InvalidIri(iri) => write!(f, "invalid IRI: {iri}"),
+            LodError::UnknownPrefix(p) => write!(f, "unknown prefix: {p}"),
+            LodError::UnboundVariable(v) => write!(f, "unbound variable: ?{v}"),
+            LodError::Tabularize(msg) => write!(f, "tabularization error: {msg}"),
+            LodError::Io(msg) => write!(f, "I/O error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LodError {}
+
+impl From<std::io::Error> for LodError {
+    fn from(e: std::io::Error) -> Self {
+        LodError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias for LOD operations.
+pub type Result<T> = std::result::Result<T, LodError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(LodError::Parse {
+            line: 3,
+            message: "bad".into()
+        }
+        .to_string()
+        .contains("line 3"));
+        assert!(LodError::UnknownPrefix("ex".into())
+            .to_string()
+            .contains("ex"));
+        assert!(LodError::UnboundVariable("x".into()).to_string().contains("?x"));
+    }
+}

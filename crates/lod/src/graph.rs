@@ -1,0 +1,442 @@
+//! An in-memory, indexed RDF graph (triple store).
+//!
+//! Terms are interned to `u32` ids; triples are kept in three sorted
+//! permutation indexes (SPO, POS, OSP) so every single-pattern lookup is a
+//! logarithmic range scan regardless of which positions are bound.
+
+use crate::term::{Iri, Term};
+use std::collections::{BTreeSet, HashMap};
+use std::ops::Bound;
+
+/// A single RDF triple.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Triple {
+    /// Subject (IRI or blank node).
+    pub subject: Term,
+    /// Predicate (IRI).
+    pub predicate: Term,
+    /// Object (any term).
+    pub object: Term,
+}
+
+impl Triple {
+    /// Create a triple.
+    pub fn new(subject: Term, predicate: Term, object: Term) -> Self {
+        debug_assert!(subject.is_subject(), "literal in subject position");
+        debug_assert!(
+            matches!(predicate, Term::Iri(_)),
+            "predicate must be an IRI"
+        );
+        Triple {
+            subject,
+            predicate,
+            object,
+        }
+    }
+}
+
+impl std::fmt::Display for Triple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {} {} .", self.subject, self.predicate, self.object)
+    }
+}
+
+/// An indexed set of triples with term interning.
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    terms: Vec<Term>,
+    ids: HashMap<Term, u32>,
+    spo: BTreeSet<(u32, u32, u32)>,
+    pos: BTreeSet<(u32, u32, u32)>,
+    osp: BTreeSet<(u32, u32, u32)>,
+}
+
+impl Graph {
+    /// Create an empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of triples.
+    pub fn len(&self) -> usize {
+        self.spo.len()
+    }
+
+    /// True iff the graph holds no triples.
+    pub fn is_empty(&self) -> bool {
+        self.spo.is_empty()
+    }
+
+    /// Number of distinct interned terms.
+    pub fn term_count(&self) -> usize {
+        self.terms.len()
+    }
+
+    fn intern(&mut self, term: &Term) -> u32 {
+        if let Some(&id) = self.ids.get(term) {
+            return id;
+        }
+        let id = self.terms.len() as u32;
+        self.terms.push(term.clone());
+        self.ids.insert(term.clone(), id);
+        id
+    }
+
+    fn lookup(&self, term: &Term) -> Option<u32> {
+        self.ids.get(term).copied()
+    }
+
+    fn term(&self, id: u32) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// Insert a triple; returns true if it was not already present.
+    pub fn insert(&mut self, triple: Triple) -> bool {
+        let s = self.intern(&triple.subject);
+        let p = self.intern(&triple.predicate);
+        let o = self.intern(&triple.object);
+        let added = self.spo.insert((s, p, o));
+        if added {
+            self.pos.insert((p, o, s));
+            self.osp.insert((o, s, p));
+        }
+        added
+    }
+
+    /// Convenience insert from parts.
+    pub fn add(&mut self, subject: Term, predicate: Term, object: Term) -> bool {
+        self.insert(Triple::new(subject, predicate, object))
+    }
+
+    /// Remove a triple; returns true if it was present.
+    pub fn remove(&mut self, triple: &Triple) -> bool {
+        let (Some(s), Some(p), Some(o)) = (
+            self.lookup(&triple.subject),
+            self.lookup(&triple.predicate),
+            self.lookup(&triple.object),
+        ) else {
+            return false;
+        };
+        let removed = self.spo.remove(&(s, p, o));
+        if removed {
+            self.pos.remove(&(p, o, s));
+            self.osp.remove(&(o, s, p));
+        }
+        removed
+    }
+
+    /// Whether a triple is present.
+    pub fn contains(&self, triple: &Triple) -> bool {
+        match (
+            self.lookup(&triple.subject),
+            self.lookup(&triple.predicate),
+            self.lookup(&triple.object),
+        ) {
+            (Some(s), Some(p), Some(o)) => self.spo.contains(&(s, p, o)),
+            _ => false,
+        }
+    }
+
+    /// Iterate over all triples in SPO order.
+    pub fn iter(&self) -> impl Iterator<Item = Triple> + '_ {
+        self.spo.iter().map(move |&(s, p, o)| {
+            Triple::new(
+                self.term(s).clone(),
+                self.term(p).clone(),
+                self.term(o).clone(),
+            )
+        })
+    }
+
+    fn scan_index(
+        index: &BTreeSet<(u32, u32, u32)>,
+        first: Option<u32>,
+        second: Option<u32>,
+    ) -> Vec<(u32, u32, u32)> {
+        match (first, second) {
+            (Some(a), Some(b)) => index
+                .range((
+                    Bound::Included((a, b, 0)),
+                    Bound::Included((a, b, u32::MAX)),
+                ))
+                .copied()
+                .collect(),
+            (Some(a), None) => index
+                .range((
+                    Bound::Included((a, 0, 0)),
+                    Bound::Included((a, u32::MAX, u32::MAX)),
+                ))
+                .copied()
+                .collect(),
+            _ => index.iter().copied().collect(),
+        }
+    }
+
+    /// Find all triples matching a pattern with optionally bound positions.
+    pub fn match_pattern(
+        &self,
+        subject: Option<&Term>,
+        predicate: Option<&Term>,
+        object: Option<&Term>,
+    ) -> Vec<Triple> {
+        // Resolve bound terms; a bound term not present in the graph
+        // matches nothing.
+        let s = match subject {
+            Some(t) => match self.lookup(t) {
+                Some(id) => Some(id),
+                None => return vec![],
+            },
+            None => None,
+        };
+        let p = match predicate {
+            Some(t) => match self.lookup(t) {
+                Some(id) => Some(id),
+                None => return vec![],
+            },
+            None => None,
+        };
+        let o = match object {
+            Some(t) => match self.lookup(t) {
+                Some(id) => Some(id),
+                None => return vec![],
+            },
+            None => None,
+        };
+        let raw: Vec<(u32, u32, u32)> = match (s, p, o) {
+            (Some(s), Some(p), Some(o)) => {
+                if self.spo.contains(&(s, p, o)) {
+                    vec![(s, p, o)]
+                } else {
+                    vec![]
+                }
+            }
+            (Some(_), _, None) => Self::scan_index(&self.spo, s, p),
+            (Some(s), None, Some(o)) => Self::scan_index(&self.osp, Some(o), Some(s))
+                .into_iter()
+                .map(|(o, s, p)| (s, p, o))
+                .collect(),
+            (None, Some(p2), _) => Self::scan_index(&self.pos, Some(p2), o)
+                .into_iter()
+                .map(|(p, o, s)| (s, p, o))
+                .collect(),
+            (None, None, Some(o2)) => Self::scan_index(&self.osp, Some(o2), None)
+                .into_iter()
+                .map(|(o, s, p)| (s, p, o))
+                .collect(),
+            (None, None, None) => self.spo.iter().copied().collect(),
+        };
+        raw.into_iter()
+            .map(|(s, p, o)| {
+                Triple::new(
+                    self.term(s).clone(),
+                    self.term(p).clone(),
+                    self.term(o).clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// All objects of `(subject, predicate, ?o)`.
+    pub fn objects(&self, subject: &Term, predicate: &Term) -> Vec<Term> {
+        self.match_pattern(Some(subject), Some(predicate), None)
+            .into_iter()
+            .map(|t| t.object)
+            .collect()
+    }
+
+    /// All subjects of `(?s, predicate, object)`.
+    pub fn subjects(&self, predicate: &Term, object: &Term) -> Vec<Term> {
+        self.match_pattern(None, Some(predicate), Some(object))
+            .into_iter()
+            .map(|t| t.subject)
+            .collect()
+    }
+
+    /// All subjects with `rdf:type` equal to `class`.
+    pub fn subjects_of_type(&self, class: &Iri) -> Vec<Term> {
+        self.subjects(
+            &Term::Iri(crate::vocab::rdf::type_()),
+            &Term::Iri(class.clone()),
+        )
+    }
+
+    /// All distinct predicates used by subjects of the given class.
+    pub fn predicates_of_type(&self, class: &Iri) -> Vec<Iri> {
+        let mut out: Vec<Iri> = Vec::new();
+        for s in self.subjects_of_type(class) {
+            for t in self.match_pattern(Some(&s), None, None) {
+                if let Term::Iri(p) = &t.predicate {
+                    if !out.contains(p) {
+                        out.push(p.clone());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Merge all triples of `other` into `self`; returns how many were new.
+    pub fn merge(&mut self, other: &Graph) -> usize {
+        let mut added = 0;
+        for t in other.iter() {
+            if self.insert(t) {
+                added += 1;
+            }
+        }
+        added
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+
+    fn t(s: &str, p: &str, o: &str) -> Triple {
+        Triple::new(Term::iri(s), Term::iri(p), Term::iri(o))
+    }
+
+    const EX: &str = "http://ex.org/";
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        g.insert(t(&format!("{EX}a"), &format!("{EX}knows"), &format!("{EX}b")));
+        g.insert(t(&format!("{EX}a"), &format!("{EX}knows"), &format!("{EX}c")));
+        g.insert(t(&format!("{EX}b"), &format!("{EX}knows"), &format!("{EX}c")));
+        g.add(
+            Term::iri(&format!("{EX}a")),
+            Term::iri(&format!("{EX}age")),
+            Term::Literal(Literal::integer(30)),
+        );
+        g
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut g = sample();
+        assert_eq!(g.len(), 4);
+        assert!(!g.insert(t(
+            &format!("{EX}a"),
+            &format!("{EX}knows"),
+            &format!("{EX}b")
+        )));
+        assert_eq!(g.len(), 4);
+    }
+
+    #[test]
+    fn remove_and_contains() {
+        let mut g = sample();
+        let tr = t(&format!("{EX}a"), &format!("{EX}knows"), &format!("{EX}b"));
+        assert!(g.contains(&tr));
+        assert!(g.remove(&tr));
+        assert!(!g.contains(&tr));
+        assert!(!g.remove(&tr));
+        assert_eq!(g.len(), 3);
+    }
+
+    #[test]
+    fn pattern_s_bound() {
+        let g = sample();
+        let a = Term::iri(&format!("{EX}a"));
+        let found = g.match_pattern(Some(&a), None, None);
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn pattern_p_bound() {
+        let g = sample();
+        let knows = Term::iri(&format!("{EX}knows"));
+        assert_eq!(g.match_pattern(None, Some(&knows), None).len(), 3);
+    }
+
+    #[test]
+    fn pattern_o_bound() {
+        let g = sample();
+        let c = Term::iri(&format!("{EX}c"));
+        let found = g.match_pattern(None, None, Some(&c));
+        assert_eq!(found.len(), 2);
+        assert!(found.iter().all(|t| t.object == c));
+    }
+
+    #[test]
+    fn pattern_sp_bound() {
+        let g = sample();
+        let a = Term::iri(&format!("{EX}a"));
+        let knows = Term::iri(&format!("{EX}knows"));
+        assert_eq!(g.match_pattern(Some(&a), Some(&knows), None).len(), 2);
+    }
+
+    #[test]
+    fn pattern_so_bound() {
+        let g = sample();
+        let a = Term::iri(&format!("{EX}a"));
+        let c = Term::iri(&format!("{EX}c"));
+        let found = g.match_pattern(Some(&a), None, Some(&c));
+        assert_eq!(found.len(), 1);
+    }
+
+    #[test]
+    fn pattern_po_bound() {
+        let g = sample();
+        let knows = Term::iri(&format!("{EX}knows"));
+        let c = Term::iri(&format!("{EX}c"));
+        assert_eq!(g.match_pattern(None, Some(&knows), Some(&c)).len(), 2);
+    }
+
+    #[test]
+    fn pattern_unknown_term_matches_nothing() {
+        let g = sample();
+        let z = Term::iri(&format!("{EX}zzz"));
+        assert!(g.match_pattern(Some(&z), None, None).is_empty());
+    }
+
+    #[test]
+    fn objects_and_subjects_helpers() {
+        let g = sample();
+        let a = Term::iri(&format!("{EX}a"));
+        let knows = Term::iri(&format!("{EX}knows"));
+        assert_eq!(g.objects(&a, &knows).len(), 2);
+        let c = Term::iri(&format!("{EX}c"));
+        assert_eq!(g.subjects(&knows, &c).len(), 2);
+    }
+
+    #[test]
+    fn type_helpers() {
+        let mut g = Graph::new();
+        let person = Iri::new(format!("{EX}Person")).unwrap();
+        g.add(
+            Term::iri(&format!("{EX}a")),
+            Term::Iri(crate::vocab::rdf::type_()),
+            Term::Iri(person.clone()),
+        );
+        g.add(
+            Term::iri(&format!("{EX}a")),
+            Term::iri(&format!("{EX}age")),
+            Term::Literal(Literal::integer(5)),
+        );
+        let subs = g.subjects_of_type(&person);
+        assert_eq!(subs.len(), 1);
+        let preds = g.predicates_of_type(&person);
+        assert_eq!(preds.len(), 2); // rdf:type and ex:age
+    }
+
+    #[test]
+    fn merge_counts_new_triples() {
+        let mut g = sample();
+        let mut h = Graph::new();
+        h.insert(t(&format!("{EX}a"), &format!("{EX}knows"), &format!("{EX}b")));
+        h.insert(t(&format!("{EX}x"), &format!("{EX}knows"), &format!("{EX}y")));
+        assert_eq!(g.merge(&h), 1);
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn iter_round_trip() {
+        let g = sample();
+        let collected: Vec<Triple> = g.iter().collect();
+        assert_eq!(collected.len(), g.len());
+        for t in &collected {
+            assert!(g.contains(t));
+        }
+    }
+}

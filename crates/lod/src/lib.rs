@@ -1,0 +1,36 @@
+//! # openbi-lod
+//!
+//! Linked Open Data substrate for OpenBI: an in-memory indexed RDF triple
+//! store, N-Triples and Turtle-subset parsers/serializers, a SPARQL-lite
+//! basic-graph-pattern query engine, tabularization (graph → table pivot)
+//! and publication (table / quality measurements / advice / rules → LOD).
+//!
+//! Together with `openbi-table` this implements both directions of the
+//! OpenBI vision (paper §1): *analyze* LOD by turning it into a common
+//! tabular representation, and *share* acquired information back as LOD.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod graph;
+pub mod ntriples;
+pub mod publish;
+pub mod query;
+pub mod tabularize;
+pub mod term;
+pub mod turtle;
+pub mod turtle_writer;
+pub mod vocab;
+
+pub use error::{LodError, Result};
+pub use graph::{Graph, Triple};
+pub use ntriples::{parse_ntriples, write_ntriples};
+pub use publish::{
+    publish_advice, publish_quality_measurements, publish_rules, publish_table, PublishableRule,
+};
+pub use query::{Binding, Node, Query, TriplePattern};
+pub use tabularize::{tabularize, MultiValue, TabularizeOptions};
+pub use term::{Iri, Literal, Term};
+pub use turtle::parse_turtle;
+pub use turtle_writer::{write_turtle, PrefixMap};

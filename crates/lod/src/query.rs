@@ -1,0 +1,324 @@
+//! SPARQL-lite: basic graph pattern matching with variables, joins,
+//! filters and projection.
+//!
+//! This is the analytical query path of the LOD substrate — enough to
+//! express the attribute-extraction queries tabularization and the OpenBI
+//! pipeline need, without a full SPARQL engine.
+
+use crate::error::{LodError, Result};
+use crate::graph::Graph;
+use crate::term::Term;
+use std::collections::HashMap;
+
+/// One position of a triple pattern: a constant term or a variable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Node {
+    /// A constant term that must match exactly.
+    Term(Term),
+    /// A named variable (without the `?`).
+    Var(String),
+}
+
+impl Node {
+    /// Shorthand for a variable node.
+    pub fn var(name: impl Into<String>) -> Node {
+        Node::Var(name.into())
+    }
+
+    /// Shorthand for a constant IRI node.
+    pub fn iri(iri: &str) -> Node {
+        Node::Term(Term::iri(iri))
+    }
+}
+
+impl From<Term> for Node {
+    fn from(t: Term) -> Node {
+        Node::Term(t)
+    }
+}
+
+/// A triple pattern over constants and variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriplePattern {
+    /// Subject position.
+    pub subject: Node,
+    /// Predicate position.
+    pub predicate: Node,
+    /// Object position.
+    pub object: Node,
+}
+
+impl TriplePattern {
+    /// Create a pattern.
+    pub fn new(subject: Node, predicate: Node, object: Node) -> Self {
+        TriplePattern {
+            subject,
+            predicate,
+            object,
+        }
+    }
+}
+
+/// A set of variable bindings (one solution row).
+pub type Binding = HashMap<String, Term>;
+
+/// A boxed binding predicate used by query filters.
+pub type BindingFilter = Box<dyn Fn(&Binding) -> bool>;
+
+/// A basic-graph-pattern query with optional filters and projection.
+#[derive(Default)]
+pub struct Query {
+    patterns: Vec<TriplePattern>,
+    filters: Vec<BindingFilter>,
+    select: Option<Vec<String>>,
+}
+
+impl std::fmt::Debug for Query {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Query")
+            .field("patterns", &self.patterns)
+            .field("filters", &self.filters.len())
+            .field("select", &self.select)
+            .finish()
+    }
+}
+
+impl Query {
+    /// Start an empty query.
+    pub fn new() -> Self {
+        Query::default()
+    }
+
+    /// Add a triple pattern (joined with previous patterns on shared
+    /// variables).
+    pub fn pattern(mut self, subject: Node, predicate: Node, object: Node) -> Self {
+        self.patterns
+            .push(TriplePattern::new(subject, predicate, object));
+        self
+    }
+
+    /// Add a filter over complete bindings.
+    pub fn filter(mut self, f: impl Fn(&Binding) -> bool + 'static) -> Self {
+        self.filters.push(Box::new(f));
+        self
+    }
+
+    /// Project the solutions onto the given variables.
+    pub fn select(mut self, vars: &[&str]) -> Self {
+        self.select = Some(vars.iter().map(|v| v.to_string()).collect());
+        self
+    }
+
+    fn node_to_bound<'a>(node: &'a Node, binding: &'a Binding) -> Option<&'a Term> {
+        match node {
+            Node::Term(t) => Some(t),
+            Node::Var(v) => binding.get(v),
+        }
+    }
+
+    fn extend_binding(binding: &Binding, node: &Node, term: &Term) -> Option<Binding> {
+        match node {
+            Node::Term(t) => {
+                if t == term {
+                    Some(binding.clone())
+                } else {
+                    None
+                }
+            }
+            Node::Var(v) => match binding.get(v) {
+                Some(existing) if existing == term => Some(binding.clone()),
+                Some(_) => None,
+                None => {
+                    let mut b = binding.clone();
+                    b.insert(v.clone(), term.clone());
+                    Some(b)
+                }
+            },
+        }
+    }
+
+    /// Execute against a graph, returning all solution bindings.
+    pub fn execute(&self, graph: &Graph) -> Result<Vec<Binding>> {
+        let mut solutions: Vec<Binding> = vec![Binding::new()];
+        for pat in &self.patterns {
+            let mut next: Vec<Binding> = Vec::new();
+            for binding in &solutions {
+                let s = Self::node_to_bound(&pat.subject, binding).cloned();
+                let p = Self::node_to_bound(&pat.predicate, binding).cloned();
+                let o = Self::node_to_bound(&pat.object, binding).cloned();
+                for t in graph.match_pattern(s.as_ref(), p.as_ref(), o.as_ref()) {
+                    // Each extension carries the full binding forward, so
+                    // shared variables across positions join consistently.
+                    let b = Self::extend_binding(binding, &pat.subject, &t.subject)
+                        .and_then(|b| Self::extend_binding(&b, &pat.predicate, &t.predicate))
+                        .and_then(|b| Self::extend_binding(&b, &pat.object, &t.object));
+                    if let Some(b) = b {
+                        next.push(b);
+                    }
+                }
+            }
+            solutions = next;
+            if solutions.is_empty() {
+                break;
+            }
+        }
+        solutions.retain(|b| self.filters.iter().all(|f| f(b)));
+        if let Some(select) = &self.select {
+            for v in select {
+                if !self.patterns.iter().any(|p| {
+                    [&p.subject, &p.predicate, &p.object]
+                        .iter()
+                        .any(|n| matches!(n, Node::Var(name) if name == v))
+                }) {
+                    return Err(LodError::UnboundVariable(v.clone()));
+                }
+            }
+            solutions = solutions
+                .into_iter()
+                .map(|b| {
+                    b.into_iter()
+                        .filter(|(k, _)| select.contains(k))
+                        .collect::<Binding>()
+                })
+                .collect();
+        }
+        Ok(solutions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Literal;
+    use crate::turtle::parse_turtle;
+
+    fn sample() -> Graph {
+        parse_turtle(
+            r#"
+@prefix ex: <http://ex.org/> .
+ex:alice a ex:Person ; ex:age 30 ; ex:knows ex:bob .
+ex:bob a ex:Person ; ex:age 25 ; ex:knows ex:carol .
+ex:carol a ex:Person ; ex:age 41 .
+ex:acme a ex:Org .
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_pattern_var_subject() {
+        let g = sample();
+        let q = Query::new().pattern(
+            Node::var("s"),
+            Node::iri("http://www.w3.org/1999/02/22-rdf-syntax-ns#type"),
+            Node::iri("http://ex.org/Person"),
+        );
+        let sols = q.execute(&g).unwrap();
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn join_on_shared_variable() {
+        let g = sample();
+        // Who do people know, and the knower's age?
+        let q = Query::new()
+            .pattern(Node::var("s"), Node::iri("http://ex.org/knows"), Node::var("o"))
+            .pattern(Node::var("s"), Node::iri("http://ex.org/age"), Node::var("age"));
+        let sols = q.execute(&g).unwrap();
+        assert_eq!(sols.len(), 2);
+        for b in &sols {
+            assert!(b.contains_key("s") && b.contains_key("o") && b.contains_key("age"));
+        }
+    }
+
+    #[test]
+    fn transitive_style_two_hop_join() {
+        let g = sample();
+        let q = Query::new()
+            .pattern(Node::var("a"), Node::iri("http://ex.org/knows"), Node::var("b"))
+            .pattern(Node::var("b"), Node::iri("http://ex.org/knows"), Node::var("c"));
+        let sols = q.execute(&g).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert_eq!(sols[0]["a"], Term::iri("http://ex.org/alice"));
+        assert_eq!(sols[0]["c"], Term::iri("http://ex.org/carol"));
+    }
+
+    #[test]
+    fn filter_on_literal() {
+        let g = sample();
+        let q = Query::new()
+            .pattern(Node::var("s"), Node::iri("http://ex.org/age"), Node::var("age"))
+            .filter(|b| {
+                b["age"]
+                    .as_literal()
+                    .and_then(Literal::as_i64)
+                    .map(|a| a > 28)
+                    .unwrap_or(false)
+            });
+        let sols = q.execute(&g).unwrap();
+        assert_eq!(sols.len(), 2);
+    }
+
+    #[test]
+    fn select_projects() {
+        let g = sample();
+        let q = Query::new()
+            .pattern(Node::var("s"), Node::iri("http://ex.org/age"), Node::var("age"))
+            .select(&["s"]);
+        let sols = q.execute(&g).unwrap();
+        assert!(sols.iter().all(|b| b.len() == 1 && b.contains_key("s")));
+    }
+
+    #[test]
+    fn select_unknown_variable_errors() {
+        let g = sample();
+        let q = Query::new()
+            .pattern(Node::var("s"), Node::iri("http://ex.org/age"), Node::var("age"))
+            .select(&["nope"]);
+        assert!(matches!(
+            q.execute(&g).unwrap_err(),
+            LodError::UnboundVariable(_)
+        ));
+    }
+
+    #[test]
+    fn same_variable_twice_in_one_pattern() {
+        let mut g = Graph::new();
+        g.add(
+            Term::iri("http://ex.org/a"),
+            Term::iri("http://ex.org/p"),
+            Term::iri("http://ex.org/a"),
+        );
+        g.add(
+            Term::iri("http://ex.org/a"),
+            Term::iri("http://ex.org/p"),
+            Term::iri("http://ex.org/b"),
+        );
+        let q = Query::new().pattern(
+            Node::var("x"),
+            Node::iri("http://ex.org/p"),
+            Node::var("x"),
+        );
+        let sols = q.execute(&g).unwrap();
+        assert_eq!(sols.len(), 1, "only the self-loop binds x consistently");
+    }
+
+    #[test]
+    fn empty_pattern_list_yields_single_empty_binding() {
+        let g = sample();
+        let sols = Query::new().execute(&g).unwrap();
+        assert_eq!(sols.len(), 1);
+        assert!(sols[0].is_empty());
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let g = sample();
+        let q = Query::new().pattern(
+            Node::var("s"),
+            Node::iri("http://ex.org/nonexistent"),
+            Node::var("o"),
+        );
+        assert!(q.execute(&g).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! RDF terms: IRIs, blank nodes and literals.
+
+use crate::error::{LodError, Result};
+use std::fmt;
+
+/// An IRI (absolute, held verbatim without `<>` delimiters).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Iri(String);
+
+impl Iri {
+    /// Create an IRI, validating minimal syntax (a scheme, no whitespace
+    /// or angle brackets).
+    pub fn new(iri: impl Into<String>) -> Result<Self> {
+        let s = iri.into();
+        let valid = s.contains(':')
+            && !s.is_empty()
+            && !s
+                .chars()
+                .any(|c| c.is_whitespace() || c == '<' || c == '>' || c == '"');
+        if valid {
+            Ok(Iri(s))
+        } else {
+            Err(LodError::InvalidIri(s))
+        }
+    }
+
+    /// The IRI text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The "local name": the part after the last `#` or `/`.
+    pub fn local_name(&self) -> &str {
+        let s = &self.0;
+        let cut = s.rfind(['#', '/']).map(|i| i + 1).unwrap_or(0);
+        &s[cut..]
+    }
+}
+
+impl fmt::Display for Iri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}>", self.0)
+    }
+}
+
+/// An RDF literal: lexical form plus optional datatype or language tag.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// The lexical form (unescaped).
+    pub lexical: String,
+    /// Datatype IRI, if any (plain literals have none).
+    pub datatype: Option<Iri>,
+    /// Language tag, if any (mutually exclusive with datatype in practice).
+    pub language: Option<String>,
+}
+
+impl Literal {
+    /// A plain (untyped, untagged) string literal.
+    pub fn plain(lexical: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: None,
+        }
+    }
+
+    /// A typed literal.
+    pub fn typed(lexical: impl Into<String>, datatype: Iri) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: Some(datatype),
+            language: None,
+        }
+    }
+
+    /// A language-tagged literal.
+    pub fn lang(lexical: impl Into<String>, tag: impl Into<String>) -> Self {
+        Literal {
+            lexical: lexical.into(),
+            datatype: None,
+            language: Some(tag.into()),
+        }
+    }
+
+    /// An `xsd:integer` literal.
+    pub fn integer(v: i64) -> Self {
+        Literal::typed(v.to_string(), crate::vocab::xsd::integer())
+    }
+
+    /// An `xsd:double` literal.
+    pub fn double(v: f64) -> Self {
+        Literal::typed(v.to_string(), crate::vocab::xsd::double())
+    }
+
+    /// An `xsd:boolean` literal.
+    pub fn boolean(v: bool) -> Self {
+        Literal::typed(v.to_string(), crate::vocab::xsd::boolean())
+    }
+
+    /// Parse the lexical form as an integer, honoring the datatype if set.
+    pub fn as_i64(&self) -> Option<i64> {
+        self.lexical.trim().parse().ok()
+    }
+
+    /// Parse the lexical form as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        self.lexical.trim().parse().ok()
+    }
+
+    /// Parse the lexical form as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self.lexical.trim() {
+            "true" | "1" => Some(true),
+            "false" | "0" => Some(false),
+            _ => None,
+        }
+    }
+}
+
+fn escape_literal(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "\"{}\"", escape_literal(&self.lexical))?;
+        if let Some(lang) = &self.language {
+            write!(f, "@{lang}")?;
+        } else if let Some(dt) = &self.datatype {
+            write!(f, "^^{dt}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Any RDF term.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Term {
+    /// An IRI.
+    Iri(Iri),
+    /// A blank node with a local label (without the `_:` prefix).
+    Blank(String),
+    /// A literal.
+    Literal(Literal),
+}
+
+impl Term {
+    /// Shorthand: build an IRI term, panicking on invalid syntax.
+    /// Use [`Iri::new`] for fallible construction.
+    pub fn iri(s: &str) -> Term {
+        Term::Iri(Iri::new(s).expect("valid IRI"))
+    }
+
+    /// The IRI inside, if this term is one.
+    pub fn as_iri(&self) -> Option<&Iri> {
+        match self {
+            Term::Iri(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The literal inside, if this term is one.
+    pub fn as_literal(&self) -> Option<&Literal> {
+        match self {
+            Term::Literal(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// True iff the term may appear in subject position (IRI or blank).
+    pub fn is_subject(&self) -> bool {
+        !matches!(self, Term::Literal(_))
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Iri(i) => write!(f, "{i}"),
+            Term::Blank(b) => write!(f, "_:{b}"),
+            Term::Literal(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl From<Iri> for Term {
+    fn from(i: Iri) -> Term {
+        Term::Iri(i)
+    }
+}
+
+impl From<Literal> for Term {
+    fn from(l: Literal) -> Term {
+        Term::Literal(l)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iri_validation() {
+        assert!(Iri::new("http://example.org/x").is_ok());
+        assert!(Iri::new("urn:uuid:1234").is_ok());
+        assert!(Iri::new("no-scheme").is_err());
+        assert!(Iri::new("http://bad iri").is_err());
+        assert!(Iri::new("http://bad<iri>").is_err());
+    }
+
+    #[test]
+    fn local_name_extraction() {
+        assert_eq!(Iri::new("http://ex.org/p#age").unwrap().local_name(), "age");
+        assert_eq!(Iri::new("http://ex.org/p/age").unwrap().local_name(), "age");
+        assert_eq!(Iri::new("urn:x").unwrap().local_name(), "urn:x");
+    }
+
+    #[test]
+    fn literal_typed_parsing() {
+        assert_eq!(Literal::integer(42).as_i64(), Some(42));
+        assert_eq!(Literal::double(2.5).as_f64(), Some(2.5));
+        assert_eq!(Literal::boolean(true).as_bool(), Some(true));
+        assert_eq!(Literal::plain("x").as_i64(), None);
+    }
+
+    #[test]
+    fn literal_display_escapes() {
+        let l = Literal::plain("a\"b\\c\nd");
+        assert_eq!(l.to_string(), "\"a\\\"b\\\\c\\nd\"");
+        let l = Literal::lang("hola", "es");
+        assert_eq!(l.to_string(), "\"hola\"@es");
+        let l = Literal::integer(5);
+        assert!(l.to_string().contains("^^<http://www.w3.org/2001/XMLSchema#integer>"));
+    }
+
+    #[test]
+    fn term_display() {
+        assert_eq!(Term::iri("http://e.org/a").to_string(), "<http://e.org/a>");
+        assert_eq!(Term::Blank("b0".into()).to_string(), "_:b0");
+    }
+
+    #[test]
+    fn subject_position() {
+        assert!(Term::iri("http://e.org/a").is_subject());
+        assert!(Term::Blank("x".into()).is_subject());
+        assert!(!Term::Literal(Literal::plain("x")).is_subject());
+    }
+}

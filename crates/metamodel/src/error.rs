@@ -1,0 +1,41 @@
+//! Error type for the metamodel crate.
+
+use std::fmt;
+
+/// Errors produced by model construction and serialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetamodelError {
+    /// JSON (de)serialization failed.
+    Serde(String),
+    /// File I/O failed.
+    Io(String),
+    /// A referenced model element does not exist.
+    ElementNotFound(String),
+}
+
+impl fmt::Display for MetamodelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetamodelError::Serde(m) => write!(f, "serialization error: {m}"),
+            MetamodelError::Io(m) => write!(f, "I/O error: {m}"),
+            MetamodelError::ElementNotFound(m) => write!(f, "model element not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MetamodelError {}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, MetamodelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MetamodelError::ElementNotFound("x".into())
+            .to_string()
+            .contains("x"));
+    }
+}

@@ -1,0 +1,22 @@
+//! # openbi-metamodel
+//!
+//! The CWM-like "common representation" of data sources (paper §3.2.1)
+//! plus data-quality annotations (§3.2.2) and the model-driven transforms
+//! that produce it from CSV tables and LOD graphs (§3.3's Eclipse/EMF
+//! plugin, reimplemented natively).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod model;
+pub mod serialize;
+pub mod transform;
+
+pub use error::{MetamodelError, Result};
+pub use model::{
+    Catalog, ColumnModel, ColumnRole, ColumnSet, ModelDataType, Provenance, QualityAnnotation,
+    SchemaModel,
+};
+pub use serialize::{from_json, load, save, to_json};
+pub use transform::{catalog_from_lod, catalog_from_table, column_set_from_table, model_dtype};

@@ -1,0 +1,88 @@
+//! JSON (de)serialization of catalogs.
+//!
+//! Models are durable artifacts: the pipeline writes the annotated common
+//! representation to disk so a later session (or another tool) can reuse
+//! it without re-profiling the data.
+
+use crate::error::{MetamodelError, Result};
+use crate::model::Catalog;
+
+/// Serialize a catalog to pretty-printed JSON.
+pub fn to_json(catalog: &Catalog) -> Result<String> {
+    serde_json::to_string_pretty(catalog).map_err(|e| MetamodelError::Serde(e.to_string()))
+}
+
+/// Parse a catalog from JSON.
+pub fn from_json(json: &str) -> Result<Catalog> {
+    serde_json::from_str(json).map_err(|e| MetamodelError::Serde(e.to_string()))
+}
+
+/// Write a catalog to a JSON file.
+pub fn save(catalog: &Catalog, path: impl AsRef<std::path::Path>) -> Result<()> {
+    std::fs::write(path, to_json(catalog)?).map_err(|e| MetamodelError::Io(e.to_string()))
+}
+
+/// Load a catalog from a JSON file.
+pub fn load(path: impl AsRef<std::path::Path>) -> Result<Catalog> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| MetamodelError::Io(e.to_string()))?;
+    from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{
+        ColumnModel, ColumnSet, ModelDataType, Provenance, QualityAnnotation,
+    };
+
+    fn sample() -> Catalog {
+        let mut cat = Catalog::new("c");
+        let mut cs = ColumnSet::new(
+            "t",
+            Provenance::Synthetic {
+                generator: "blobs".into(),
+                seed: 7,
+            },
+        );
+        let mut col = ColumnModel::new("x", ModelDataType::Double, true);
+        col.annotate(QualityAnnotation::new("completeness", 0.75).with_detail("25% MCAR"));
+        cs.columns.push(col);
+        cs.annotate(QualityAnnotation::new("duplicates", 0.0));
+        cat.schema_mut_or_create("s").column_sets.push(cs);
+        cat
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let cat = sample();
+        let json = to_json(&cat).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(cat, back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let cat = sample();
+        let dir = std::env::temp_dir().join("openbi-metamodel-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("catalog.json");
+        save(&cat, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(cat, back);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn malformed_json_is_error() {
+        assert!(from_json("{not json").is_err());
+        assert!(load("/nonexistent/openbi/catalog.json").is_err());
+    }
+
+    #[test]
+    fn json_contains_annotations() {
+        let json = to_json(&sample()).unwrap();
+        assert!(json.contains("completeness"));
+        assert!(json.contains("25% MCAR"));
+    }
+}

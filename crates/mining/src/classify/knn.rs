@@ -1,0 +1,233 @@
+//! k-nearest neighbors with min-max normalized heterogeneous distance
+//! (HEOM-style): numeric dimensions use range-normalized absolute
+//! difference, nominal dimensions 0/1 mismatch, and any missing value
+//! contributes the maximum distance of 1 — the standard Weka convention.
+//!
+//! kNN is the suite's canary for the *dimensionality* defect: irrelevant
+//! attributes dilute the distance and degrade it faster than the other
+//! algorithms.
+
+use super::Classifier;
+use crate::error::{MiningError, Result};
+use crate::instances::{AttrKind, Instances};
+
+/// The kNN classifier (stores the training data).
+#[derive(Debug, Clone)]
+pub struct Knn {
+    /// Neighborhood size.
+    pub k: usize,
+    train: Option<Instances>,
+    ranges: Vec<Option<(f64, f64)>>,
+    numeric: Vec<bool>,
+}
+
+impl Knn {
+    /// Create an untrained kNN.
+    pub fn new(k: usize) -> Self {
+        Knn {
+            k: k.max(1),
+            train: None,
+            ranges: vec![],
+            numeric: vec![],
+        }
+    }
+
+    fn dim_distance(&self, a: usize, x: Option<f64>, y: Option<f64>) -> f64 {
+        match (x, y) {
+            (Some(x), Some(y)) => {
+                if self.numeric[a] {
+                    match self.ranges[a] {
+                        Some((lo, hi)) if hi > lo => ((x - y).abs() / (hi - lo)).min(1.0),
+                        _ => {
+                            if x == y {
+                                0.0
+                            } else {
+                                1.0
+                            }
+                        }
+                    }
+                } else if x == y {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            // Missing on either side: maximal dissimilarity.
+            _ => 1.0,
+        }
+    }
+
+    fn distance(&self, a: &[Option<f64>], b: &[Option<f64>]) -> f64 {
+        (0..self.numeric.len())
+            .map(|i| {
+                let d = self.dim_distance(i, a.get(i).copied().flatten(), b[i]);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Classifier for Knn {
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        let labeled = data.labeled_indices();
+        if labeled.is_empty() {
+            return Err(MiningError::InvalidDataset("kNN needs labeled rows".into()));
+        }
+        let train = data.subset(&labeled);
+        self.ranges = train.numeric_ranges();
+        self.numeric = train
+            .attributes
+            .iter()
+            .map(|a| a.kind == AttrKind::Numeric)
+            .collect();
+        self.train = Some(train);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[Option<f64>]) -> Result<usize> {
+        let train = self.train.as_ref().ok_or(MiningError::NotFitted("kNN"))?;
+        let mut dists: Vec<(f64, usize)> = train
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (self.distance(row, r), i))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut votes = vec![0.0f64; train.n_classes().max(1)];
+        for &(d, i) in dists.iter().take(self.k) {
+            let label = train.labels[i].expect("training rows are labeled");
+            // Inverse-distance weighting with a floor for exact matches.
+            votes[label] += 1.0 / (d + 1e-6);
+        }
+        Ok(votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    fn model_size(&self) -> usize {
+        self.train
+            .as_ref()
+            .map(|t| t.len() * t.n_attributes())
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::Attribute;
+
+    fn clusters() -> Instances {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.1;
+            rows.push(vec![Some(j), Some(j)]);
+            labels.push(Some(0));
+            rows.push(vec![Some(8.0 + j), Some(8.0 - j)]);
+            labels.push(Some(1));
+        }
+        Instances {
+            attributes: vec![
+                Attribute {
+                    name: "x".into(),
+                    kind: AttrKind::Numeric,
+                },
+                Attribute {
+                    name: "y".into(),
+                    kind: AttrKind::Numeric,
+                },
+            ],
+            rows,
+            labels,
+            class_names: vec!["near".into(), "far".into()],
+        }
+    }
+
+    #[test]
+    fn classifies_clusters() {
+        let mut m = Knn::new(3);
+        m.fit(&clusters()).unwrap();
+        assert_eq!(m.predict_row(&[Some(0.2), Some(0.3)]).unwrap(), 0);
+        assert_eq!(m.predict_row(&[Some(7.9), Some(8.1)]).unwrap(), 1);
+    }
+
+    #[test]
+    fn k_one_memorizes_training_points() {
+        let d = clusters();
+        let mut m = Knn::new(1);
+        m.fit(&d).unwrap();
+        let preds = m.predict(&d).unwrap();
+        for (p, l) in preds.iter().zip(&d.labels) {
+            assert_eq!(Some(*p), *l);
+        }
+    }
+
+    #[test]
+    fn normalization_prevents_scale_domination() {
+        // y is on a huge scale but irrelevant; x separates the classes.
+        let d = Instances {
+            attributes: vec![
+                Attribute {
+                    name: "x".into(),
+                    kind: AttrKind::Numeric,
+                },
+                Attribute {
+                    name: "y".into(),
+                    kind: AttrKind::Numeric,
+                },
+            ],
+            rows: vec![
+                vec![Some(0.0), Some(100_000.0)],
+                vec![Some(0.1), Some(-100_000.0)],
+                vec![Some(1.0), Some(50_000.0)],
+                vec![Some(0.9), Some(-50_000.0)],
+            ],
+            labels: vec![Some(0), Some(0), Some(1), Some(1)],
+            class_names: vec!["a".into(), "b".into()],
+        };
+        let mut m = Knn::new(1);
+        m.fit(&d).unwrap();
+        assert_eq!(m.predict_row(&[Some(0.05), Some(0.0)]).unwrap(), 0);
+        assert_eq!(m.predict_row(&[Some(0.95), Some(0.0)]).unwrap(), 1);
+    }
+
+    #[test]
+    fn missing_dimension_counts_as_max_distance() {
+        let mut m = Knn::new(1);
+        m.fit(&clusters()).unwrap();
+        // With x missing, y still identifies the cluster.
+        assert_eq!(m.predict_row(&[None, Some(0.1)]).unwrap(), 0);
+        assert_eq!(m.predict_row(&[None, Some(7.9)]).unwrap(), 1);
+    }
+
+    #[test]
+    fn nominal_mismatch_distance() {
+        let d = Instances {
+            attributes: vec![Attribute {
+                name: "c".into(),
+                kind: AttrKind::Nominal(vec!["p".into(), "q".into()]),
+            }],
+            rows: vec![vec![Some(0.0)], vec![Some(1.0)]],
+            labels: vec![Some(0), Some(1)],
+            class_names: vec!["a".into(), "b".into()],
+        };
+        let mut m = Knn::new(1);
+        m.fit(&d).unwrap();
+        assert_eq!(m.predict_row(&[Some(0.0)]).unwrap(), 0);
+        assert_eq!(m.predict_row(&[Some(1.0)]).unwrap(), 1);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        assert!(Knn::new(3).predict_row(&[Some(0.0)]).is_err());
+    }
+}

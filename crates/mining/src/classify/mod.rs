@@ -1,0 +1,197 @@
+//! Classification algorithms.
+//!
+//! All classifiers implement [`Classifier`] and tolerate missing feature
+//! values — a hard requirement here, since the quality experiments train
+//! on deliberately degraded data. [`AlgorithmSpec`] is the serializable
+//! recipe used by the experiment runner and the knowledge base.
+
+pub mod decision_tree;
+pub mod knn;
+pub mod logistic;
+pub mod naive_bayes;
+pub mod one_r;
+pub mod random_forest;
+pub mod zero_r;
+
+pub use decision_tree::DecisionTree;
+pub use knn::Knn;
+pub use logistic::LogisticRegression;
+pub use naive_bayes::NaiveBayes;
+pub use one_r::OneR;
+pub use random_forest::RandomForest;
+pub use zero_r::ZeroR;
+
+use crate::error::Result;
+use crate::instances::Instances;
+
+/// A trainable classifier over [`Instances`].
+pub trait Classifier {
+    /// Short algorithm name (e.g. `"NaiveBayes"`).
+    fn name(&self) -> &'static str;
+
+    /// Train on the labeled rows of `data`.
+    fn fit(&mut self, data: &Instances) -> Result<()>;
+
+    /// Predict the class index of one feature row.
+    fn predict_row(&self, row: &[Option<f64>]) -> Result<usize>;
+
+    /// Predict every row of a dataset.
+    fn predict(&self, data: &Instances) -> Result<Vec<usize>> {
+        data.rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// A size proxy for the fitted model (nodes, stored rows, weights…);
+    /// used by the redundancy experiment to show model bloat.
+    fn model_size(&self) -> usize {
+        1
+    }
+}
+
+/// A serializable recipe for building a classifier — what the DQ4DM
+/// knowledge base stores and the advisor recommends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgorithmSpec {
+    /// Majority-class baseline.
+    ZeroR,
+    /// Single-attribute rule baseline (Holte's 1R).
+    OneR,
+    /// Naive Bayes (Gaussian numeric, Laplace-smoothed nominal).
+    NaiveBayes,
+    /// C4.5-style decision tree.
+    DecisionTree {
+        /// Maximum tree depth.
+        max_depth: usize,
+        /// Minimum rows per leaf.
+        min_leaf: usize,
+    },
+    /// k-nearest neighbors.
+    Knn {
+        /// Neighborhood size.
+        k: usize,
+    },
+    /// One-vs-rest logistic regression trained by gradient descent.
+    Logistic {
+        /// Training epochs.
+        epochs: usize,
+        /// Learning rate.
+        learning_rate: f64,
+    },
+    /// Bagged random forest.
+    RandomForest {
+        /// Number of trees.
+        trees: usize,
+        /// Maximum tree depth.
+        max_depth: usize,
+        /// RNG seed for bagging / feature subsampling.
+        seed: u64,
+    },
+}
+
+impl AlgorithmSpec {
+    /// Stable display name (parameters omitted).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AlgorithmSpec::ZeroR => "ZeroR",
+            AlgorithmSpec::OneR => "OneR",
+            AlgorithmSpec::NaiveBayes => "NaiveBayes",
+            AlgorithmSpec::DecisionTree { .. } => "DecisionTree",
+            AlgorithmSpec::Knn { .. } => "kNN",
+            AlgorithmSpec::Logistic { .. } => "LogisticRegression",
+            AlgorithmSpec::RandomForest { .. } => "RandomForest",
+        }
+    }
+
+    /// Instantiate an untrained classifier.
+    pub fn build(&self) -> Box<dyn Classifier> {
+        match self {
+            AlgorithmSpec::ZeroR => Box::new(ZeroR::new()),
+            AlgorithmSpec::OneR => Box::new(OneR::new()),
+            AlgorithmSpec::NaiveBayes => Box::new(NaiveBayes::new()),
+            AlgorithmSpec::DecisionTree {
+                max_depth,
+                min_leaf,
+            } => Box::new(DecisionTree::new(*max_depth, *min_leaf)),
+            AlgorithmSpec::Knn { k } => Box::new(Knn::new(*k)),
+            AlgorithmSpec::Logistic {
+                epochs,
+                learning_rate,
+            } => Box::new(LogisticRegression::new(*epochs, *learning_rate)),
+            AlgorithmSpec::RandomForest {
+                trees,
+                max_depth,
+                seed,
+            } => Box::new(RandomForest::new(*trees, *max_depth, *seed)),
+        }
+    }
+
+    /// The default algorithm suite of the experiments: the two baselines
+    /// plus the five "real" classifiers with sensible defaults.
+    pub fn standard_suite() -> Vec<AlgorithmSpec> {
+        vec![
+            AlgorithmSpec::ZeroR,
+            AlgorithmSpec::OneR,
+            AlgorithmSpec::NaiveBayes,
+            AlgorithmSpec::DecisionTree {
+                max_depth: 12,
+                min_leaf: 2,
+            },
+            AlgorithmSpec::Knn { k: 5 },
+            AlgorithmSpec::Logistic {
+                epochs: 200,
+                learning_rate: 0.1,
+            },
+            AlgorithmSpec::RandomForest {
+                trees: 20,
+                max_depth: 10,
+                seed: 17,
+            },
+        ]
+    }
+}
+
+impl std::fmt::Display for AlgorithmSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlgorithmSpec::DecisionTree {
+                max_depth,
+                min_leaf,
+            } => write!(f, "DecisionTree(depth={max_depth},leaf={min_leaf})"),
+            AlgorithmSpec::Knn { k } => write!(f, "kNN(k={k})"),
+            AlgorithmSpec::Logistic {
+                epochs,
+                learning_rate,
+            } => write!(f, "LogisticRegression(epochs={epochs},lr={learning_rate})"),
+            AlgorithmSpec::RandomForest {
+                trees, max_depth, ..
+            } => write!(f, "RandomForest(trees={trees},depth={max_depth})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contains_baselines_and_learners() {
+        let suite = AlgorithmSpec::standard_suite();
+        assert_eq!(suite.len(), 7);
+        assert_eq!(suite[0].name(), "ZeroR");
+        assert!(suite.iter().any(|s| s.name() == "RandomForest"));
+    }
+
+    #[test]
+    fn build_produces_matching_names() {
+        for spec in AlgorithmSpec::standard_suite() {
+            assert_eq!(spec.build().name(), spec.name());
+        }
+    }
+
+    #[test]
+    fn display_includes_parameters() {
+        let s = AlgorithmSpec::Knn { k: 3 }.to_string();
+        assert_eq!(s, "kNN(k=3)");
+        assert_eq!(AlgorithmSpec::ZeroR.to_string(), "ZeroR");
+    }
+}

@@ -1,0 +1,80 @@
+//! ZeroR: the majority-class baseline every real classifier must beat.
+
+use super::Classifier;
+use crate::error::{MiningError, Result};
+use crate::instances::Instances;
+
+/// Predicts the training majority class for every row.
+#[derive(Debug, Clone, Default)]
+pub struct ZeroR {
+    majority: Option<usize>,
+}
+
+impl ZeroR {
+    /// Create an untrained ZeroR.
+    pub fn new() -> Self {
+        ZeroR::default()
+    }
+}
+
+impl Classifier for ZeroR {
+    fn name(&self) -> &'static str {
+        "ZeroR"
+    }
+
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        if data.labeled_indices().is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "ZeroR needs at least one labeled row".into(),
+            ));
+        }
+        self.majority = Some(data.majority_class());
+        Ok(())
+    }
+
+    fn predict_row(&self, _row: &[Option<f64>]) -> Result<usize> {
+        self.majority.ok_or(MiningError::NotFitted("ZeroR"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::{AttrKind, Attribute};
+
+    fn data() -> Instances {
+        Instances {
+            attributes: vec![Attribute {
+                name: "x".into(),
+                kind: AttrKind::Numeric,
+            }],
+            rows: vec![vec![Some(1.0)], vec![Some(2.0)], vec![Some(3.0)]],
+            labels: vec![Some(1), Some(1), Some(0)],
+            class_names: vec!["a".into(), "b".into()],
+        }
+    }
+
+    #[test]
+    fn predicts_majority() {
+        let mut m = ZeroR::new();
+        m.fit(&data()).unwrap();
+        assert_eq!(m.predict_row(&[None]).unwrap(), 1);
+        assert_eq!(m.predict(&data()).unwrap(), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        let m = ZeroR::new();
+        assert!(matches!(
+            m.predict_row(&[Some(0.0)]),
+            Err(MiningError::NotFitted(_))
+        ));
+    }
+
+    #[test]
+    fn unlabeled_data_errors() {
+        let mut d = data();
+        d.labels = vec![None; 3];
+        assert!(ZeroR::new().fit(&d).is_err());
+    }
+}

@@ -1,0 +1,255 @@
+//! k-means clustering with k-means++ initialization.
+//!
+//! Operates on the numeric attributes of [`Instances`] (nominal
+//! attributes are ignored); missing values are mean-imputed internally.
+
+use crate::error::{MiningError, Result};
+use crate::instances::{AttrKind, Instances};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// The result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Cluster centroids (k × d over the numeric attributes).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per row.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+/// k-means configuration.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum iterations.
+    pub max_iter: usize,
+    /// Seed for k-means++ initialization.
+    pub seed: u64,
+}
+
+impl KMeans {
+    /// Create a configuration.
+    pub fn new(k: usize, seed: u64) -> Self {
+        KMeans {
+            k: k.max(1),
+            max_iter: 100,
+            seed,
+        }
+    }
+
+    fn numeric_matrix(data: &Instances) -> Result<Vec<Vec<f64>>> {
+        let numeric_attrs: Vec<usize> = data
+            .attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AttrKind::Numeric)
+            .map(|(i, _)| i)
+            .collect();
+        if numeric_attrs.is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "k-means needs at least one numeric attribute".into(),
+            ));
+        }
+        let means = data.numeric_means();
+        Ok(data
+            .rows
+            .iter()
+            .map(|row| {
+                numeric_attrs
+                    .iter()
+                    .map(|&a| row[a].or(means[a]).unwrap_or(0.0))
+                    .collect()
+            })
+            .collect())
+    }
+
+    fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    /// Run the algorithm.
+    pub fn fit(&self, data: &Instances) -> Result<KMeansResult> {
+        let points = Self::numeric_matrix(data)?;
+        let n = points.len();
+        if n < self.k {
+            return Err(MiningError::InvalidDataset(format!(
+                "{n} rows cannot form {} clusters",
+                self.k
+            )));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        // k-means++ seeding.
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(self.k);
+        centroids.push(points[rng.random_range(0..n)].clone());
+        while centroids.len() < self.k {
+            let d2: Vec<f64> = points
+                .iter()
+                .map(|p| {
+                    centroids
+                        .iter()
+                        .map(|c| Self::sq_dist(p, c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let total: f64 = d2.iter().sum();
+            if total <= 0.0 {
+                // All remaining points coincide with a centroid.
+                centroids.push(points[rng.random_range(0..n)].clone());
+                continue;
+            }
+            let mut target = rng.random::<f64>() * total;
+            let mut chosen = n - 1;
+            for (i, d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    chosen = i;
+                    break;
+                }
+            }
+            centroids.push(points[chosen].clone());
+        }
+        let d = points[0].len();
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+        for it in 0..self.max_iter {
+            iterations = it + 1;
+            let mut changed = false;
+            for (i, p) in points.iter().enumerate() {
+                let best = (0..self.k)
+                    .min_by(|&a, &b| {
+                        Self::sq_dist(p, &centroids[a]).total_cmp(&Self::sq_dist(p, &centroids[b]))
+                    })
+                    .expect("k >= 1");
+                if assignments[i] != best {
+                    assignments[i] = best;
+                    changed = true;
+                }
+            }
+            if !changed && it > 0 {
+                break;
+            }
+            // Recompute centroids; empty clusters keep their position.
+            let mut sums = vec![vec![0.0; d]; self.k];
+            let mut counts = vec![0usize; self.k];
+            for (p, &a) in points.iter().zip(&assignments) {
+                counts[a] += 1;
+                for (s, x) in sums[a].iter_mut().zip(p) {
+                    *s += x;
+                }
+            }
+            for c in 0..self.k {
+                if counts[c] > 0 {
+                    for (j, s) in sums[c].iter().enumerate() {
+                        centroids[c][j] = s / counts[c] as f64;
+                    }
+                }
+            }
+        }
+        let inertia = points
+            .iter()
+            .zip(&assignments)
+            .map(|(p, &a)| Self::sq_dist(p, &centroids[a]))
+            .sum();
+        Ok(KMeansResult {
+            centroids,
+            assignments,
+            inertia,
+            iterations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::Attribute;
+
+    fn two_blobs() -> Instances {
+        let mut rows = Vec::new();
+        for i in 0..25 {
+            let j = (i % 5) as f64 * 0.1;
+            rows.push(vec![Some(j), Some(j)]);
+            rows.push(vec![Some(10.0 + j), Some(10.0 + j)]);
+        }
+        Instances {
+            attributes: vec![
+                Attribute {
+                    name: "x".into(),
+                    kind: AttrKind::Numeric,
+                },
+                Attribute {
+                    name: "y".into(),
+                    kind: AttrKind::Numeric,
+                },
+            ],
+            labels: vec![None; rows.len()],
+            rows,
+            class_names: vec![],
+        }
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let r = KMeans::new(2, 1).fit(&two_blobs()).unwrap();
+        // Rows alternate blob membership; check consistency.
+        let a0 = r.assignments[0];
+        for i in (0..50).step_by(2) {
+            assert_eq!(r.assignments[i], a0);
+        }
+        for i in (1..50).step_by(2) {
+            assert_ne!(r.assignments[i], a0);
+        }
+        assert!(r.inertia < 10.0, "inertia {}", r.inertia);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let d = two_blobs();
+        let r1 = KMeans::new(1, 3).fit(&d).unwrap();
+        let r2 = KMeans::new(2, 3).fit(&d).unwrap();
+        assert!(r2.inertia < r1.inertia);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let d = two_blobs();
+        let a = KMeans::new(2, 7).fit(&d).unwrap();
+        let b = KMeans::new(2, 7).fit(&d).unwrap();
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    fn too_many_clusters_rejected() {
+        let d = two_blobs();
+        assert!(KMeans::new(100, 1).fit(&d).is_err());
+    }
+
+    #[test]
+    fn missing_values_tolerated() {
+        let mut d = two_blobs();
+        d.rows[0][0] = None;
+        d.rows[7][1] = None;
+        let r = KMeans::new(2, 1).fit(&d).unwrap();
+        assert_eq!(r.assignments.len(), 50);
+    }
+
+    #[test]
+    fn no_numeric_attributes_rejected() {
+        let d = Instances {
+            attributes: vec![Attribute {
+                name: "c".into(),
+                kind: AttrKind::Nominal(vec!["a".into()]),
+            }],
+            rows: vec![vec![Some(0.0)]],
+            labels: vec![None],
+            class_names: vec![],
+        };
+        assert!(KMeans::new(1, 1).fit(&d).is_err());
+    }
+}

@@ -1,0 +1,5 @@
+//! Clustering algorithms.
+
+pub mod kmeans;
+
+pub use kmeans::{KMeans, KMeansResult};

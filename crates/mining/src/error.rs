@@ -1,0 +1,61 @@
+//! Error type for the mining crate.
+
+use std::fmt;
+
+/// Errors produced by dataset preparation, training and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MiningError {
+    /// The referenced column does not exist in the source table.
+    ColumnNotFound(String),
+    /// The dataset is unusable for the requested operation.
+    InvalidDataset(String),
+    /// A parameter was out of range.
+    InvalidParameter(String),
+    /// The model was used before `fit` succeeded.
+    NotFitted(&'static str),
+    /// A numeric routine failed to converge or was ill-conditioned.
+    Numeric(String),
+}
+
+impl fmt::Display for MiningError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MiningError::ColumnNotFound(c) => write!(f, "column not found: {c}"),
+            MiningError::InvalidDataset(m) => write!(f, "invalid dataset: {m}"),
+            MiningError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
+            MiningError::NotFitted(model) => write!(f, "{model} used before fit"),
+            MiningError::Numeric(m) => write!(f, "numeric error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MiningError {}
+
+impl From<openbi_table::TableError> for MiningError {
+    fn from(e: openbi_table::TableError) -> Self {
+        match e {
+            openbi_table::TableError::ColumnNotFound(c) => MiningError::ColumnNotFound(c),
+            other => MiningError::InvalidDataset(other.to_string()),
+        }
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, MiningError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MiningError::NotFitted("kNN").to_string().contains("kNN"));
+        assert!(MiningError::ColumnNotFound("y".into()).to_string().contains("y"));
+    }
+
+    #[test]
+    fn table_error_converts() {
+        let e: MiningError = openbi_table::TableError::ColumnNotFound("c".into()).into();
+        assert_eq!(e, MiningError::ColumnNotFound("c".into()));
+    }
+}

@@ -1,0 +1,283 @@
+//! Seeded, stratified k-fold cross-validation and holdout evaluation.
+
+use super::metrics::ConfusionMatrix;
+use crate::classify::AlgorithmSpec;
+use crate::error::{MiningError, Result};
+use crate::instances::Instances;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Aggregate result of evaluating one algorithm on one dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Pooled confusion matrix over all test folds.
+    pub confusion: ConfusionMatrix,
+    /// Accuracy per fold.
+    pub fold_accuracies: Vec<f64>,
+    /// Total training time (milliseconds).
+    pub train_ms: f64,
+    /// Total prediction time (milliseconds).
+    pub predict_ms: f64,
+    /// Mean fitted model size across folds.
+    pub model_size: f64,
+}
+
+impl EvalResult {
+    /// Pooled accuracy.
+    pub fn accuracy(&self) -> f64 {
+        self.confusion.accuracy()
+    }
+
+    /// Pooled macro F1.
+    pub fn macro_f1(&self) -> f64 {
+        self.confusion.macro_f1()
+    }
+
+    /// Pooled minority-class F1.
+    pub fn minority_f1(&self) -> f64 {
+        self.confusion.minority_f1()
+    }
+
+    /// Pooled kappa.
+    pub fn kappa(&self) -> f64 {
+        self.confusion.kappa()
+    }
+
+    /// Standard deviation of per-fold accuracy.
+    pub fn accuracy_std(&self) -> f64 {
+        let n = self.fold_accuracies.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.fold_accuracies.iter().sum::<f64>() / n as f64;
+        (self
+            .fold_accuracies
+            .iter()
+            .map(|a| (a - mean) * (a - mean))
+            .sum::<f64>()
+            / (n - 1) as f64)
+            .sqrt()
+    }
+}
+
+/// Stratified fold assignment: labeled rows are shuffled per class and
+/// dealt round-robin so each fold preserves the class distribution.
+/// Returns `folds` lists of row indices.
+pub fn stratified_folds(data: &Instances, folds: usize, seed: u64) -> Result<Vec<Vec<usize>>> {
+    if folds < 2 {
+        return Err(MiningError::InvalidParameter(
+            "cross-validation needs at least 2 folds".into(),
+        ));
+    }
+    let labeled = data.labeled_indices();
+    if labeled.len() < folds {
+        return Err(MiningError::InvalidDataset(format!(
+            "{} labeled rows cannot fill {} folds",
+            labeled.len(),
+            folds
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes().max(1)];
+    for &i in &labeled {
+        per_class[data.labels[i].expect("labeled")].push(i);
+    }
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); folds];
+    let mut next = 0usize;
+    for class_rows in &mut per_class {
+        class_rows.shuffle(&mut rng);
+        for &row in class_rows.iter() {
+            assignment[next % folds].push(row);
+            next += 1;
+        }
+    }
+    Ok(assignment)
+}
+
+/// Run stratified k-fold cross-validation of an algorithm spec.
+pub fn cross_validate(
+    data: &Instances,
+    spec: &AlgorithmSpec,
+    folds: usize,
+    seed: u64,
+) -> Result<EvalResult> {
+    let fold_rows = stratified_folds(data, folds, seed)?;
+    let mut actual = Vec::new();
+    let mut predicted = Vec::new();
+    let mut fold_accuracies = Vec::with_capacity(folds);
+    let mut train_ms = 0.0;
+    let mut predict_ms = 0.0;
+    let mut model_size_sum = 0.0;
+    for f in 0..folds {
+        let test_rows = &fold_rows[f];
+        let train_rows: Vec<usize> = fold_rows
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != f)
+            .flat_map(|(_, rows)| rows.iter().copied())
+            .collect();
+        let train = data.subset(&train_rows);
+        let test = data.subset(test_rows);
+        let mut model = spec.build();
+        let t0 = Instant::now();
+        model.fit(&train)?;
+        train_ms += t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        let preds = model.predict(&test)?;
+        predict_ms += t1.elapsed().as_secs_f64() * 1e3;
+        model_size_sum += model.model_size() as f64;
+        let mut correct = 0usize;
+        for (p, l) in preds.iter().zip(&test.labels) {
+            let l = l.expect("stratified folds hold labeled rows");
+            actual.push(l);
+            predicted.push(*p);
+            if *p == l {
+                correct += 1;
+            }
+        }
+        fold_accuracies.push(correct as f64 / test.len().max(1) as f64);
+    }
+    Ok(EvalResult {
+        algorithm: spec.to_string(),
+        confusion: ConfusionMatrix::from_predictions(&data.class_names, &actual, &predicted)?,
+        fold_accuracies,
+        train_ms,
+        predict_ms,
+        model_size: model_size_sum / folds as f64,
+    })
+}
+
+/// Single stratified holdout split: returns `(train, test)` with
+/// `test_fraction` of each class in the test set.
+pub fn holdout_split(
+    data: &Instances,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Instances, Instances)> {
+    if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
+        return Err(MiningError::InvalidParameter(
+            "test fraction must be in (0,1)".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let labeled = data.labeled_indices();
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes().max(1)];
+    for &i in &labeled {
+        per_class[data.labels[i].expect("labeled")].push(i);
+    }
+    let mut train_rows = Vec::new();
+    let mut test_rows = Vec::new();
+    for class_rows in &mut per_class {
+        class_rows.shuffle(&mut rng);
+        let n_test = ((class_rows.len() as f64 * test_fraction).round() as usize)
+            .min(class_rows.len().saturating_sub(1));
+        test_rows.extend_from_slice(&class_rows[..n_test]);
+        train_rows.extend_from_slice(&class_rows[n_test..]);
+    }
+    if train_rows.is_empty() || test_rows.is_empty() {
+        return Err(MiningError::InvalidDataset(
+            "holdout produced an empty split".into(),
+        ));
+    }
+    Ok((data.subset(&train_rows), data.subset(&test_rows)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::{AttrKind, Attribute};
+
+    fn data(n_per_class: usize) -> Instances {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per_class {
+            let j = (i % 7) as f64 * 0.1;
+            rows.push(vec![Some(j)]);
+            labels.push(Some(0));
+            rows.push(vec![Some(5.0 + j)]);
+            labels.push(Some(1));
+        }
+        Instances {
+            attributes: vec![Attribute {
+                name: "x".into(),
+                kind: AttrKind::Numeric,
+            }],
+            rows,
+            labels,
+            class_names: vec!["a".into(), "b".into()],
+        }
+    }
+
+    #[test]
+    fn folds_are_stratified_and_partition() {
+        let d = data(25);
+        let folds = stratified_folds(&d, 5, 3).unwrap();
+        let mut all: Vec<usize> = folds.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..50).collect::<Vec<usize>>());
+        for f in &folds {
+            let pos = f.iter().filter(|&&i| d.labels[i] == Some(0)).count();
+            assert_eq!(pos, 5, "each fold holds 5 of each class");
+        }
+    }
+
+    #[test]
+    fn folds_deterministic_by_seed() {
+        let d = data(20);
+        assert_eq!(
+            stratified_folds(&d, 4, 9).unwrap(),
+            stratified_folds(&d, 4, 9).unwrap()
+        );
+        assert_ne!(
+            stratified_folds(&d, 4, 9).unwrap(),
+            stratified_folds(&d, 4, 10).unwrap()
+        );
+    }
+
+    #[test]
+    fn cross_validation_on_separable_data_is_accurate() {
+        let d = data(30);
+        let r = cross_validate(&d, &AlgorithmSpec::NaiveBayes, 5, 1).unwrap();
+        assert!(r.accuracy() > 0.95, "accuracy {}", r.accuracy());
+        assert_eq!(r.fold_accuracies.len(), 5);
+        assert_eq!(r.confusion.total(), 60);
+        assert!(r.model_size > 0.0);
+    }
+
+    #[test]
+    fn zero_r_floor_is_class_prior() {
+        let d = data(30);
+        let r = cross_validate(&d, &AlgorithmSpec::ZeroR, 5, 1).unwrap();
+        assert!((r.accuracy() - 0.5).abs() < 0.1);
+        assert!(r.kappa().abs() < 0.1);
+    }
+
+    #[test]
+    fn too_few_folds_or_rows_rejected() {
+        let d = data(30);
+        assert!(cross_validate(&d, &AlgorithmSpec::ZeroR, 1, 1).is_err());
+        let tiny = data(1);
+        assert!(stratified_folds(&tiny, 5, 1).is_err());
+    }
+
+    #[test]
+    fn holdout_respects_fraction_and_stratification() {
+        let d = data(50);
+        let (train, test) = holdout_split(&d, 0.2, 4).unwrap();
+        assert_eq!(test.len(), 20);
+        assert_eq!(train.len(), 80);
+        let test_pos = test.labels.iter().filter(|l| **l == Some(0)).count();
+        assert_eq!(test_pos, 10);
+    }
+
+    #[test]
+    fn holdout_invalid_fraction_rejected() {
+        let d = data(10);
+        assert!(holdout_split(&d, 0.0, 1).is_err());
+        assert!(holdout_split(&d, 1.0, 1).is_err());
+    }
+}

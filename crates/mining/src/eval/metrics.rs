@@ -1,0 +1,225 @@
+//! Classification evaluation metrics: confusion matrix, accuracy,
+//! macro precision/recall/F1, per-class F1, and Cohen's kappa.
+
+use crate::error::{MiningError, Result};
+
+/// A square confusion matrix (`cell[actual][predicted]`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfusionMatrix {
+    /// Class names, in index order.
+    pub classes: Vec<String>,
+    cells: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Build from aligned actual/predicted label indices.
+    pub fn from_predictions(
+        classes: &[String],
+        actual: &[usize],
+        predicted: &[usize],
+    ) -> Result<Self> {
+        if actual.len() != predicted.len() {
+            return Err(MiningError::InvalidParameter(
+                "actual and predicted lengths differ".into(),
+            ));
+        }
+        let k = classes.len();
+        let mut cells = vec![vec![0usize; k]; k];
+        for (&a, &p) in actual.iter().zip(predicted) {
+            if a >= k || p >= k {
+                return Err(MiningError::InvalidParameter(format!(
+                    "label index out of range: actual {a}, predicted {p}, classes {k}"
+                )));
+            }
+            cells[a][p] += 1;
+        }
+        Ok(ConfusionMatrix {
+            classes: classes.to_vec(),
+            cells,
+        })
+    }
+
+    /// Count at `(actual, predicted)`.
+    pub fn cell(&self, actual: usize, predicted: usize) -> usize {
+        self.cells[actual][predicted]
+    }
+
+    /// Total number of scored instances.
+    pub fn total(&self) -> usize {
+        self.cells.iter().flatten().sum()
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.classes.len()).map(|i| self.cells[i][i]).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Precision of one class (0 when the class is never predicted).
+    pub fn precision(&self, class: usize) -> f64 {
+        let predicted: usize = (0..self.classes.len()).map(|a| self.cells[a][class]).sum();
+        if predicted == 0 {
+            0.0
+        } else {
+            self.cells[class][class] as f64 / predicted as f64
+        }
+    }
+
+    /// Recall of one class (0 when the class never occurs).
+    pub fn recall(&self, class: usize) -> f64 {
+        let actual: usize = self.cells[class].iter().sum();
+        if actual == 0 {
+            0.0
+        } else {
+            self.cells[class][class] as f64 / actual as f64
+        }
+    }
+
+    /// F1 of one class.
+    pub fn f1(&self, class: usize) -> f64 {
+        let p = self.precision(class);
+        let r = self.recall(class);
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+
+    /// Macro-averaged F1 over classes that actually occur.
+    pub fn macro_f1(&self) -> f64 {
+        let occurring: Vec<usize> = (0..self.classes.len())
+            .filter(|&c| self.cells[c].iter().sum::<usize>() > 0)
+            .collect();
+        if occurring.is_empty() {
+            return 0.0;
+        }
+        occurring.iter().map(|&c| self.f1(c)).sum::<f64>() / occurring.len() as f64
+    }
+
+    /// F1 of the rarest occurring class — the metric that exposes the
+    /// imbalance defect while plain accuracy stays deceptively high.
+    pub fn minority_f1(&self) -> f64 {
+        (0..self.classes.len())
+            .filter_map(|c| {
+                let n: usize = self.cells[c].iter().sum();
+                (n > 0).then_some((n, self.f1(c)))
+            })
+            .min_by_key(|(n, _)| *n)
+            .map(|(_, f1)| f1)
+            .unwrap_or(0.0)
+    }
+
+    /// Cohen's kappa: agreement corrected for chance.
+    pub fn kappa(&self) -> f64 {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let po = self.accuracy();
+        let mut pe = 0.0;
+        for c in 0..self.classes.len() {
+            let actual: usize = self.cells[c].iter().sum();
+            let predicted: usize = (0..self.classes.len()).map(|a| self.cells[a][c]).sum();
+            pe += (actual as f64 / total) * (predicted as f64 / total);
+        }
+        if (1.0 - pe).abs() < 1e-12 {
+            0.0
+        } else {
+            (po - pe) / (1.0 - pe)
+        }
+    }
+
+    /// Render as an aligned text matrix.
+    pub fn render(&self) -> String {
+        let mut out = String::from("actual \\ predicted\n");
+        for (i, name) in self.classes.iter().enumerate() {
+            out.push_str(&format!("{name:>12}"));
+            for j in 0..self.classes.len() {
+                out.push_str(&format!(" {:>6}", self.cells[i][j]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn classes() -> Vec<String> {
+        vec!["a".into(), "b".into()]
+    }
+
+    #[test]
+    fn perfect_predictions() {
+        let cm =
+            ConfusionMatrix::from_predictions(&classes(), &[0, 1, 0, 1], &[0, 1, 0, 1]).unwrap();
+        assert_eq!(cm.accuracy(), 1.0);
+        assert_eq!(cm.macro_f1(), 1.0);
+        assert_eq!(cm.kappa(), 1.0);
+        assert_eq!(cm.minority_f1(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // actual:    a a a a b b
+        // predicted: a a b a b a
+        let cm = ConfusionMatrix::from_predictions(
+            &classes(),
+            &[0, 0, 0, 0, 1, 1],
+            &[0, 0, 1, 0, 1, 0],
+        )
+        .unwrap();
+        assert_eq!(cm.cell(0, 0), 3);
+        assert_eq!(cm.cell(0, 1), 1);
+        assert_eq!(cm.cell(1, 0), 1);
+        assert_eq!(cm.cell(1, 1), 1);
+        assert!((cm.accuracy() - 4.0 / 6.0).abs() < 1e-12);
+        assert!((cm.precision(0) - 0.75).abs() < 1e-12);
+        assert!((cm.recall(0) - 0.75).abs() < 1e-12);
+        assert!((cm.precision(1) - 0.5).abs() < 1e-12);
+        assert!((cm.recall(1) - 0.5).abs() < 1e-12);
+        assert!((cm.minority_f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn majority_predictor_has_zero_kappa() {
+        // 90 a's, 10 b's, all predicted a: high accuracy, kappa 0.
+        let actual: Vec<usize> = std::iter::repeat_n(0, 90).chain(std::iter::repeat_n(1, 10)).collect();
+        let predicted = vec![0usize; 100];
+        let cm = ConfusionMatrix::from_predictions(&classes(), &actual, &predicted).unwrap();
+        assert!((cm.accuracy() - 0.9).abs() < 1e-12);
+        assert_eq!(cm.kappa(), 0.0);
+        assert_eq!(cm.minority_f1(), 0.0);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(ConfusionMatrix::from_predictions(&classes(), &[0], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(ConfusionMatrix::from_predictions(&classes(), &[2], &[0]).is_err());
+    }
+
+    #[test]
+    fn absent_class_excluded_from_macro_f1() {
+        let three: Vec<String> = vec!["a".into(), "b".into(), "c".into()];
+        let cm = ConfusionMatrix::from_predictions(&three, &[0, 1], &[0, 1]).unwrap();
+        assert_eq!(cm.macro_f1(), 1.0);
+    }
+
+    #[test]
+    fn render_contains_counts() {
+        let cm = ConfusionMatrix::from_predictions(&classes(), &[0, 1], &[1, 1]).unwrap();
+        let r = cm.render();
+        assert!(r.contains('a') && r.contains('b'));
+    }
+}

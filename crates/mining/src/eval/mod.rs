@@ -1,0 +1,7 @@
+//! Model evaluation: metrics and resampling.
+
+pub mod crossval;
+pub mod metrics;
+
+pub use crossval::{cross_validate, holdout_split, stratified_folds, EvalResult};
+pub use metrics::ConfusionMatrix;

@@ -1,0 +1,370 @@
+//! The [`Instances`] mining dataset: a typed feature matrix with an
+//! optional nominal class attribute, built from an `openbi-table` table.
+//!
+//! Numeric attributes hold their value; nominal attributes hold a
+//! category index (as `f64` so one row type serves both). Missing cells
+//! are `None` — classifiers must tolerate them, since the quality
+//! experiments inject missingness on purpose.
+
+use crate::error::{MiningError, Result};
+use openbi_table::{DataType, Table, Value};
+
+/// The kind of a mining attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrKind {
+    /// Real-valued.
+    Numeric,
+    /// Categorical with the given value dictionary (index = code).
+    Nominal(Vec<String>),
+}
+
+impl AttrKind {
+    /// Number of categories (0 for numeric).
+    pub fn cardinality(&self) -> usize {
+        match self {
+            AttrKind::Numeric => 0,
+            AttrKind::Nominal(v) => v.len(),
+        }
+    }
+}
+
+/// A named, typed mining attribute.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Attribute {
+    /// Attribute name (source column name).
+    pub name: String,
+    /// Attribute kind.
+    pub kind: AttrKind,
+}
+
+/// A mining dataset: rows of optional feature values plus optional class
+/// labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instances {
+    /// Attribute metadata, in column order.
+    pub attributes: Vec<Attribute>,
+    /// Feature rows; nominal values are category indices.
+    pub rows: Vec<Vec<Option<f64>>>,
+    /// Class label index per row (`None` = unlabeled).
+    pub labels: Vec<Option<usize>>,
+    /// Class value dictionary (empty when the dataset has no target).
+    pub class_names: Vec<String>,
+}
+
+impl Instances {
+    /// Build instances from a table.
+    ///
+    /// * `target`: optional class column (any type; values are stringified
+    ///   into a nominal dictionary).
+    /// * `exclude`: columns to skip entirely (identifiers etc.).
+    pub fn from_table(table: &Table, target: Option<&str>, exclude: &[&str]) -> Result<Self> {
+        if let Some(t) = target {
+            table.column(t)?;
+        }
+        let mut attributes = Vec::new();
+        let mut columns: Vec<(usize, AttrKind, Vec<Option<f64>>)> = Vec::new();
+        for col in table.columns() {
+            if exclude.contains(&col.name()) || Some(col.name()) == target {
+                continue;
+            }
+            let (kind, data): (AttrKind, Vec<Option<f64>>) = match col.dtype() {
+                DataType::Int | DataType::Float => (AttrKind::Numeric, col.to_f64_vec()),
+                DataType::Bool => (
+                    AttrKind::Nominal(vec!["false".into(), "true".into()]),
+                    col.iter()
+                        .map(|v| v.as_bool().map(|b| if b { 1.0 } else { 0.0 }))
+                        .collect(),
+                ),
+                DataType::Str => {
+                    let mut dict: Vec<String> = Vec::new();
+                    let data = col
+                        .iter()
+                        .map(|v| match v {
+                            Value::Null => None,
+                            v => {
+                                let s = v.to_string();
+                                let idx = match dict.iter().position(|d| *d == s) {
+                                    Some(i) => i,
+                                    None => {
+                                        dict.push(s);
+                                        dict.len() - 1
+                                    }
+                                };
+                                Some(idx as f64)
+                            }
+                        })
+                        .collect();
+                    (AttrKind::Nominal(dict), data)
+                }
+            };
+            attributes.push(Attribute {
+                name: col.name().to_string(),
+                kind,
+            });
+            columns.push((attributes.len() - 1, attributes.last().expect("pushed").kind.clone(), data));
+        }
+        if attributes.is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "no usable feature columns".to_string(),
+            ));
+        }
+        let n = table.n_rows();
+        let mut rows: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(attributes.len()); n];
+        for (_, _, data) in &columns {
+            for (r, v) in data.iter().enumerate() {
+                rows[r].push(*v);
+            }
+        }
+        let (labels, class_names) = match target {
+            Some(t) => {
+                let col = table.column(t)?;
+                let mut dict: Vec<String> = Vec::new();
+                let labels = col
+                    .iter()
+                    .map(|v| match v {
+                        Value::Null => None,
+                        v => {
+                            let s = v.to_string();
+                            let idx = match dict.iter().position(|d| *d == s) {
+                                Some(i) => i,
+                                None => {
+                                    dict.push(s);
+                                    dict.len() - 1
+                                }
+                            };
+                            Some(idx)
+                        }
+                    })
+                    .collect();
+                (labels, dict)
+            }
+            None => (vec![None; n], vec![]),
+        };
+        Ok(Instances {
+            attributes,
+            rows,
+            labels,
+            class_names,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Indices of rows with a known label.
+    pub fn labeled_indices(&self) -> Vec<usize> {
+        (0..self.len()).filter(|&i| self.labels[i].is_some()).collect()
+    }
+
+    /// Class distribution over labeled rows.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for l in self.labels.iter().flatten() {
+            counts[*l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset holding only the given rows (indices may repeat).
+    pub fn subset(&self, indices: &[usize]) -> Instances {
+        Instances {
+            attributes: self.attributes.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            class_names: self.class_names.clone(),
+        }
+    }
+
+    /// Per-attribute `(min, max)` over non-missing numeric values
+    /// (`None` for nominal or all-missing attributes).
+    pub fn numeric_ranges(&self) -> Vec<Option<(f64, f64)>> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(a, attr)| {
+                if attr.kind != AttrKind::Numeric {
+                    return None;
+                }
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut any = false;
+                for row in &self.rows {
+                    if let Some(v) = row[a] {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                        any = true;
+                    }
+                }
+                any.then_some((lo, hi))
+            })
+            .collect()
+    }
+
+    /// Per-attribute mean over non-missing numeric values (`None` for
+    /// nominal attributes; nominal get their modal category instead via
+    /// [`Instances::modes`]).
+    pub fn numeric_means(&self) -> Vec<Option<f64>> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(a, attr)| {
+                if attr.kind != AttrKind::Numeric {
+                    return None;
+                }
+                let vals: Vec<f64> = self.rows.iter().filter_map(|r| r[a]).collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-attribute modal category index for nominal attributes.
+    pub fn modes(&self) -> Vec<Option<f64>> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(a, attr)| {
+                let AttrKind::Nominal(dict) = &attr.kind else {
+                    return None;
+                };
+                let mut counts = vec![0usize; dict.len()];
+                for row in &self.rows {
+                    if let Some(v) = row[a] {
+                        let idx = v as usize;
+                        if idx < counts.len() {
+                            counts[idx] += 1;
+                        }
+                    }
+                }
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .map(|(i, _)| i as f64)
+            })
+            .collect()
+    }
+
+    /// The majority class index over labeled rows (0 if unlabeled).
+    pub fn majority_class(&self) -> usize {
+        let counts = self.class_counts();
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::from_i64("id", [1, 2, 3, 4]),
+            Column::from_f64("x", [0.5, 1.5, 2.5, 3.5]),
+            Column::from_opt_str(
+                "color",
+                [
+                    Some("red".to_string()),
+                    Some("blue".to_string()),
+                    None,
+                    Some("red".to_string()),
+                ],
+            ),
+            Column::from_bool("flag", [true, false, true, true]),
+            Column::from_str_values("class", ["a", "b", "a", "a"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_typed_attributes() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        assert_eq!(inst.n_attributes(), 3);
+        assert_eq!(inst.attributes[0].kind, AttrKind::Numeric);
+        assert_eq!(
+            inst.attributes[1].kind,
+            AttrKind::Nominal(vec!["red".into(), "blue".into()])
+        );
+        assert_eq!(inst.attributes[2].kind.cardinality(), 2);
+        assert_eq!(inst.class_names, vec!["a", "b"]);
+        assert_eq!(inst.len(), 4);
+    }
+
+    #[test]
+    fn nominal_codes_match_dictionary() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        assert_eq!(inst.rows[0][1], Some(0.0)); // red
+        assert_eq!(inst.rows[1][1], Some(1.0)); // blue
+        assert_eq!(inst.rows[2][1], None);
+        assert_eq!(inst.rows[3][1], Some(0.0)); // red again
+        assert_eq!(inst.labels, vec![Some(0), Some(1), Some(0), Some(0)]);
+    }
+
+    #[test]
+    fn no_target_leaves_unlabeled() {
+        let inst = Instances::from_table(&table(), None, &["id"]).unwrap();
+        assert_eq!(inst.n_classes(), 0);
+        assert!(inst.labels.iter().all(Option::is_none));
+        assert!(inst.labeled_indices().is_empty());
+    }
+
+    #[test]
+    fn missing_target_column_errors() {
+        assert!(Instances::from_table(&table(), Some("nope"), &[]).is_err());
+    }
+
+    #[test]
+    fn all_columns_excluded_errors() {
+        let t = Table::new(vec![Column::from_i64("only", [1])]).unwrap();
+        assert!(Instances::from_table(&t, None, &["only"]).is_err());
+    }
+
+    #[test]
+    fn stats_helpers() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        assert_eq!(inst.class_counts(), vec![3, 1]);
+        assert_eq!(inst.majority_class(), 0);
+        let ranges = inst.numeric_ranges();
+        assert_eq!(ranges[0], Some((0.5, 3.5)));
+        assert_eq!(ranges[1], None);
+        let means = inst.numeric_means();
+        assert_eq!(means[0], Some(2.0));
+        let modes = inst.modes();
+        assert_eq!(modes[1], Some(0.0)); // red is modal
+        assert_eq!(modes[0], None);
+    }
+
+    #[test]
+    fn subset_selects_rows() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        let s = inst.subset(&[3, 0, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.labels, vec![Some(0), Some(0), Some(0)]);
+        assert_eq!(s.rows[0][0], Some(3.5));
+    }
+}

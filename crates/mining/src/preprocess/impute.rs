@@ -1,0 +1,210 @@
+//! Missing-value imputation: mean/mode baseline and k-NN imputation
+//! (Troyanskaya et al. \[16\], the paper's reference for missing-value
+//! estimation).
+
+use crate::error::Result;
+use openbi_table::{stats, Column, DataType, Table, Value};
+
+/// Fill numeric nulls with the column mean and string/bool nulls with the
+/// column mode. Columns that are entirely null are left unchanged.
+pub fn impute_mean_mode(table: &Table, exclude: &[&str]) -> Result<Table> {
+    let mut out = table.clone();
+    for col in table.columns() {
+        if exclude.contains(&col.name()) || col.null_count() == 0 {
+            continue;
+        }
+        let fill: Option<Value> = match col.dtype() {
+            DataType::Float => stats::mean(col).map(Value::Float),
+            DataType::Int => stats::mean(col).map(|m| Value::Int(m.round() as i64)),
+            DataType::Str | DataType::Bool => {
+                let counts = stats::value_counts(col);
+                counts
+                    .into_iter()
+                    .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+                    .map(|(v, _)| match col.dtype() {
+                        DataType::Bool => Value::Bool(v == "true"),
+                        _ => Value::Str(v),
+                    })
+            }
+        };
+        let Some(fill) = fill else { continue };
+        for row in 0..col.len() {
+            if col.get(row)?.is_null() {
+                out.set(col.name().to_string().as_str(), row, fill.clone())?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// k-NN imputation of numeric columns: each missing cell is filled with
+/// the mean of that attribute among the k nearest rows (distance over
+/// min-max-normalized numeric attributes present in both rows).
+/// Non-numeric columns fall back to mode imputation. Quadratic; intended
+/// for datasets in the experiment-size range.
+pub fn impute_knn(table: &Table, k: usize, exclude: &[&str]) -> Result<Table> {
+    let numeric: Vec<&Column> = table
+        .columns()
+        .iter()
+        .filter(|c| c.dtype().is_numeric() && !exclude.contains(&c.name()))
+        .collect();
+    let n = table.n_rows();
+    // Normalized matrix with None for missing.
+    let mut matrix: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(numeric.len()); n];
+    for col in &numeric {
+        let raw = col.to_f64_vec();
+        let vals: Vec<f64> = raw.iter().flatten().copied().collect();
+        let (lo, hi) = if vals.is_empty() {
+            (0.0, 1.0)
+        } else {
+            (
+                vals.iter().cloned().fold(f64::INFINITY, f64::min),
+                vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            )
+        };
+        let span = if hi > lo { hi - lo } else { 1.0 };
+        for (r, v) in raw.iter().enumerate() {
+            matrix[r].push(v.map(|x| (x - lo) / span));
+        }
+    }
+    let distance = |a: &[Option<f64>], b: &[Option<f64>]| -> Option<f64> {
+        let mut sum = 0.0;
+        let mut dims = 0usize;
+        for (x, y) in a.iter().zip(b) {
+            if let (Some(x), Some(y)) = (x, y) {
+                sum += (x - y) * (x - y);
+                dims += 1;
+            }
+        }
+        // Require at least one shared dimension.
+        (dims > 0).then(|| (sum / dims as f64).sqrt())
+    };
+    let mut out = table.clone();
+    for (ci, col) in numeric.iter().enumerate() {
+        if col.null_count() == 0 {
+            continue;
+        }
+        let raw = col.to_f64_vec();
+        let is_int = col.dtype() == DataType::Int;
+        for row in 0..n {
+            if raw[row].is_some() {
+                continue;
+            }
+            // Neighbors with a value in this attribute.
+            let mut candidates: Vec<(f64, f64)> = (0..n)
+                .filter(|&j| j != row)
+                .filter_map(|j| {
+                    let v = raw[j]?;
+                    let d = distance(&matrix[row], &matrix[j])?;
+                    Some((d, v))
+                })
+                .collect();
+            candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+            let neighbors: Vec<f64> = candidates.iter().take(k).map(|(_, v)| *v).collect();
+            let fill = if neighbors.is_empty() {
+                stats::mean(col)
+            } else {
+                Some(neighbors.iter().sum::<f64>() / neighbors.len() as f64)
+            };
+            if let Some(f) = fill {
+                let value = if is_int {
+                    Value::Int(f.round() as i64)
+                } else {
+                    Value::Float(f)
+                };
+                out.set(numeric[ci].name().to_string().as_str(), row, value)?;
+            }
+        }
+    }
+    // Non-numeric nulls: mode.
+    impute_mean_mode(&out, exclude)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_mode_fills_all_kinds() {
+        let t = Table::new(vec![
+            Column::from_opt_f64("x", [Some(1.0), None, Some(3.0)]),
+            Column::from_opt_i64("k", [Some(2), None, Some(4)]),
+            Column::from_opt_str(
+                "s",
+                [Some("a".to_string()), Some("a".to_string()), None],
+            ),
+        ])
+        .unwrap();
+        let out = impute_mean_mode(&t, &[]).unwrap();
+        assert_eq!(out.total_null_count(), 0);
+        assert_eq!(out.get("x", 1).unwrap(), Value::Float(2.0));
+        assert_eq!(out.get("k", 1).unwrap(), Value::Int(3));
+        assert_eq!(out.get("s", 2).unwrap(), Value::Str("a".into()));
+    }
+
+    #[test]
+    fn exclusions_left_null() {
+        let t = Table::new(vec![Column::from_opt_f64("x", [Some(1.0), None])]).unwrap();
+        let out = impute_mean_mode(&t, &["x"]).unwrap();
+        assert_eq!(out.total_null_count(), 1);
+    }
+
+    #[test]
+    fn all_null_column_left_alone() {
+        let t = Table::new(vec![Column::from_opt_f64("x", [None, None])]).unwrap();
+        let out = impute_mean_mode(&t, &[]).unwrap();
+        assert_eq!(out.total_null_count(), 2);
+    }
+
+    #[test]
+    fn knn_uses_local_structure() {
+        // Two clusters: x≈0 has y≈0, x≈10 has y≈100. A missing y at
+        // x=10.2 should be imputed near 100, not the global mean (~50).
+        let mut xs = Vec::new();
+        let mut ys: Vec<Option<f64>> = Vec::new();
+        for i in 0..10 {
+            xs.push(i as f64 * 0.1);
+            ys.push(Some(i as f64 * 0.1));
+            xs.push(10.0 + i as f64 * 0.1);
+            ys.push(Some(100.0 + i as f64 * 0.1));
+        }
+        xs.push(10.2);
+        ys.push(None);
+        let t = Table::new(vec![
+            Column::from_f64("x", xs),
+            Column::from_opt_f64("y", ys),
+        ])
+        .unwrap();
+        let out = impute_knn(&t, 3, &[]).unwrap();
+        let filled = out.get("y", 20).unwrap().as_f64().unwrap();
+        assert!(filled > 90.0, "kNN imputed {filled}, expected ≈100");
+        // Mean imputation would give ~50.
+        let mean_out = impute_mean_mode(&t, &[]).unwrap();
+        let mean_filled = mean_out.get("y", 20).unwrap().as_f64().unwrap();
+        assert!((mean_filled - 50.0).abs() < 5.0);
+    }
+
+    #[test]
+    fn knn_falls_back_to_mean_when_isolated() {
+        // Row 2 shares no observed dimensions with others except y itself.
+        let t = Table::new(vec![
+            Column::from_opt_f64("x", [Some(0.0), Some(1.0), None]),
+            Column::from_opt_f64("y", [Some(10.0), Some(20.0), None]),
+        ])
+        .unwrap();
+        let out = impute_knn(&t, 2, &[]).unwrap();
+        assert_eq!(out.get("y", 2).unwrap(), Value::Float(15.0));
+    }
+
+    #[test]
+    fn knn_preserves_integer_type() {
+        let t = Table::new(vec![
+            Column::from_f64("x", [0.0, 0.1, 0.2, 5.0]),
+            Column::from_opt_i64("k", [Some(10), Some(10), None, Some(99)]),
+        ])
+        .unwrap();
+        let out = impute_knn(&t, 2, &[]).unwrap();
+        assert_eq!(out.column("k").unwrap().dtype(), DataType::Int);
+        assert_eq!(out.get("k", 2).unwrap(), Value::Int(10));
+    }
+}

@@ -1,0 +1,12 @@
+//! Preprocessing: the paper's emphasized phase of KDD ("it requires
+//! significantly more effort than the data mining task itself" \[9\]).
+
+pub mod discretize;
+pub mod impute;
+pub mod mdl_discretize;
+pub mod normalize;
+
+pub use discretize::{discretize_all, discretize_column, BinStrategy};
+pub use impute::{impute_knn, impute_mean_mode};
+pub use mdl_discretize::{mdl_cut_points, mdl_discretize_column};
+pub use normalize::{min_max_scale, z_score};

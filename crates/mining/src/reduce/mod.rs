@@ -1,0 +1,5 @@
+//! Dimensionality reduction.
+
+pub mod pca;
+
+pub use pca::Pca;

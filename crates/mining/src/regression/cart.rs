@@ -1,0 +1,285 @@
+//! CART regression trees (variance-reduction splits) — one of the
+//! dimensionality-reduction/modeling tools the paper's §1 cites
+//! ("PCA or Regression Trees, among others").
+
+use crate::error::{MiningError, Result};
+use crate::instances::{AttrKind, Instances};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+    },
+    Split {
+        attribute: usize,
+        threshold: f64,
+        missing_to: usize,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    fn size(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => 1 + left.size() + right.size(),
+        }
+    }
+}
+
+/// A regression tree over the numeric attributes of [`Instances`],
+/// fitted against a numeric target vector.
+#[derive(Debug, Clone)]
+pub struct RegressionTree {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum rows per leaf.
+    pub min_leaf: usize,
+    root: Option<Node>,
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+fn sse(values: &[f64]) -> f64 {
+    let m = mean(values);
+    values.iter().map(|v| (v - m) * (v - m)).sum()
+}
+
+impl RegressionTree {
+    /// Create an untrained tree.
+    pub fn new(max_depth: usize, min_leaf: usize) -> Self {
+        RegressionTree {
+            max_depth: max_depth.max(1),
+            min_leaf: min_leaf.max(1),
+            root: None,
+        }
+    }
+
+    /// Number of nodes after fit.
+    pub fn node_count(&self) -> usize {
+        self.root.as_ref().map(Node::size).unwrap_or(0)
+    }
+
+    fn build(&self, data: &Instances, target: &[f64], rows: &[usize], depth: usize) -> Node {
+        let ys: Vec<f64> = rows.iter().map(|&i| target[i]).collect();
+        let node_value = mean(&ys);
+        if depth >= self.max_depth || rows.len() < 2 * self.min_leaf || sse(&ys) < 1e-12 {
+            return Node::Leaf { value: node_value };
+        }
+        let parent_sse = sse(&ys);
+        let mut best: Option<(f64, usize, f64)> = None; // (gain, attr, threshold)
+        for (a, attr) in data.attributes.iter().enumerate() {
+            if attr.kind != AttrKind::Numeric {
+                continue;
+            }
+            let mut vals: Vec<(f64, f64)> = rows
+                .iter()
+                .filter_map(|&i| data.rows[i][a].map(|v| (v, target[i])))
+                .collect();
+            if vals.len() < 2 * self.min_leaf {
+                continue;
+            }
+            vals.sort_by(|x, y| x.0.total_cmp(&y.0));
+            // Incremental SSE via sums.
+            let total_sum: f64 = vals.iter().map(|(_, y)| y).sum();
+            let total_sq: f64 = vals.iter().map(|(_, y)| y * y).sum();
+            let mut left_sum = 0.0;
+            let mut left_sq = 0.0;
+            for i in 0..vals.len() - 1 {
+                left_sum += vals[i].1;
+                left_sq += vals[i].1 * vals[i].1;
+                if vals[i].0 == vals[i + 1].0 {
+                    continue;
+                }
+                let nl = (i + 1) as f64;
+                let nr = (vals.len() - i - 1) as f64;
+                if (nl as usize) < self.min_leaf || (nr as usize) < self.min_leaf {
+                    continue;
+                }
+                let sse_l = left_sq - left_sum * left_sum / nl;
+                let right_sum = total_sum - left_sum;
+                let sse_r = (total_sq - left_sq) - right_sum * right_sum / nr;
+                let gain = parent_sse - (sse_l + sse_r);
+                if best.map(|(g, _, _)| gain > g).unwrap_or(gain > 1e-12) {
+                    best = Some((gain, a, (vals[i].0 + vals[i + 1].0) / 2.0));
+                }
+            }
+        }
+        let Some((_, attribute, threshold)) = best else {
+            return Node::Leaf { value: node_value };
+        };
+        let left_rows: Vec<usize> = rows
+            .iter()
+            .copied()
+            .filter(|&i| matches!(data.rows[i][attribute], Some(v) if v <= threshold))
+            .collect();
+        let right_rows: Vec<usize> = rows
+            .iter()
+            .copied()
+            .filter(|&i| matches!(data.rows[i][attribute], Some(v) if v > threshold))
+            .collect();
+        let missing: Vec<usize> = rows
+            .iter()
+            .copied()
+            .filter(|&i| data.rows[i][attribute].is_none())
+            .collect();
+        let missing_to = usize::from(right_rows.len() > left_rows.len());
+        let mut l = left_rows;
+        let mut r = right_rows;
+        if missing_to == 0 {
+            l.extend(missing);
+        } else {
+            r.extend(missing);
+        }
+        if l.is_empty() || r.is_empty() {
+            return Node::Leaf { value: node_value };
+        }
+        Node::Split {
+            attribute,
+            threshold,
+            missing_to,
+            left: Box::new(self.build(data, target, &l, depth + 1)),
+            right: Box::new(self.build(data, target, &r, depth + 1)),
+        }
+    }
+
+    /// Fit against a numeric target aligned with `data.rows`.
+    pub fn fit(&mut self, data: &Instances, target: &[f64]) -> Result<()> {
+        if target.len() != data.len() {
+            return Err(MiningError::InvalidParameter(
+                "target length must match row count".into(),
+            ));
+        }
+        if data.is_empty() {
+            return Err(MiningError::InvalidDataset("no rows".into()));
+        }
+        let rows: Vec<usize> = (0..data.len()).collect();
+        self.root = Some(self.build(data, target, &rows, 0));
+        Ok(())
+    }
+
+    /// Predict one row.
+    pub fn predict_row(&self, row: &[Option<f64>]) -> Result<f64> {
+        let mut node = self
+            .root
+            .as_ref()
+            .ok_or(MiningError::NotFitted("RegressionTree"))?;
+        loop {
+            match node {
+                Node::Leaf { value } => return Ok(*value),
+                Node::Split {
+                    attribute,
+                    threshold,
+                    missing_to,
+                    left,
+                    right,
+                } => {
+                    let go_left = match row.get(*attribute).copied().flatten() {
+                        Some(v) => v <= *threshold,
+                        None => *missing_to == 0,
+                    };
+                    node = if go_left { left } else { right };
+                }
+            }
+        }
+    }
+
+    /// Mean squared error over a dataset.
+    pub fn mse(&self, data: &Instances, target: &[f64]) -> Result<f64> {
+        let preds: Result<Vec<f64>> = data.rows.iter().map(|r| self.predict_row(r)).collect();
+        let preds = preds?;
+        Ok(preds
+            .iter()
+            .zip(target)
+            .map(|(p, y)| (p - y) * (p - y))
+            .sum::<f64>()
+            / target.len().max(1) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::Attribute;
+
+    fn step_data() -> (Instances, Vec<f64>) {
+        // y = 1 for x < 5, y = 10 for x >= 5.
+        let rows: Vec<Vec<Option<f64>>> = (0..100).map(|i| vec![Some(i as f64 / 10.0)]).collect();
+        let target: Vec<f64> = (0..100)
+            .map(|i| if (i as f64 / 10.0) < 5.0 { 1.0 } else { 10.0 })
+            .collect();
+        (
+            Instances {
+                attributes: vec![Attribute {
+                    name: "x".into(),
+                    kind: AttrKind::Numeric,
+                }],
+                rows,
+                labels: vec![None; 100],
+                class_names: vec![],
+            },
+            target,
+        )
+    }
+
+    #[test]
+    fn fits_step_function() {
+        let (d, y) = step_data();
+        let mut t = RegressionTree::new(3, 2);
+        t.fit(&d, &y).unwrap();
+        assert!((t.predict_row(&[Some(1.0)]).unwrap() - 1.0).abs() < 0.5);
+        assert!((t.predict_row(&[Some(8.0)]).unwrap() - 10.0).abs() < 0.5);
+        assert!(t.mse(&d, &y).unwrap() < 0.1);
+    }
+
+    #[test]
+    fn depth_limits_model() {
+        // A linear target needs many splits; depth caps the node count.
+        let rows: Vec<Vec<Option<f64>>> = (0..100).map(|i| vec![Some(i as f64)]).collect();
+        let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = Instances {
+            attributes: vec![Attribute {
+                name: "x".into(),
+                kind: AttrKind::Numeric,
+            }],
+            rows,
+            labels: vec![None; 100],
+            class_names: vec![],
+        };
+        let mut stump = RegressionTree::new(1, 2);
+        stump.fit(&d, &y).unwrap();
+        assert_eq!(stump.node_count(), 3, "depth 1 = one split + two leaves");
+        let mut deep = RegressionTree::new(5, 2);
+        deep.fit(&d, &y).unwrap();
+        assert!(deep.node_count() > stump.node_count());
+        assert!(deep.mse(&d, &y).unwrap() < stump.mse(&d, &y).unwrap());
+    }
+
+    #[test]
+    fn missing_values_follow_majority_branch() {
+        let (d, y) = step_data();
+        let mut t = RegressionTree::new(3, 2);
+        t.fit(&d, &y).unwrap();
+        let p = t.predict_row(&[None]).unwrap();
+        assert!((1.0..=10.0).contains(&p));
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let (d, _) = step_data();
+        let mut t = RegressionTree::new(3, 2);
+        assert!(t.fit(&d, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        assert!(RegressionTree::new(2, 1).predict_row(&[Some(1.0)]).is_err());
+    }
+}

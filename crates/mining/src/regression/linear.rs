@@ -1,0 +1,230 @@
+//! Ordinary least squares linear regression via the normal equations
+//! (with a small ridge term for stability). The baseline the regression
+//! tree is compared against.
+
+use crate::error::{MiningError, Result};
+use crate::instances::{AttrKind, Instances};
+use crate::matrix::Matrix;
+
+/// A fitted linear model: `y = w·x + b` over the numeric attributes.
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    /// Ridge regularization strength.
+    pub ridge: f64,
+    weights: Vec<f64>,
+    bias: f64,
+    attr_indices: Vec<usize>,
+    means: Vec<f64>,
+    fitted: bool,
+}
+
+impl LinearRegression {
+    /// Create an untrained model (tiny default ridge for conditioning).
+    pub fn new() -> Self {
+        LinearRegression {
+            ridge: 1e-8,
+            weights: vec![],
+            bias: 0.0,
+            attr_indices: vec![],
+            means: vec![],
+            fitted: false,
+        }
+    }
+
+    /// Fitted coefficients (aligned with the numeric attributes used).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.bias
+    }
+
+    /// Fit against a numeric target. Missing feature values are
+    /// mean-imputed.
+    pub fn fit(&mut self, data: &Instances, target: &[f64]) -> Result<()> {
+        if target.len() != data.len() {
+            return Err(MiningError::InvalidParameter(
+                "target length must match row count".into(),
+            ));
+        }
+        self.attr_indices = data
+            .attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind == AttrKind::Numeric)
+            .map(|(i, _)| i)
+            .collect();
+        if self.attr_indices.is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "linear regression needs numeric attributes".into(),
+            ));
+        }
+        let all_means = data.numeric_means();
+        self.means = self
+            .attr_indices
+            .iter()
+            .map(|&a| all_means[a].unwrap_or(0.0))
+            .collect();
+        let d = self.attr_indices.len();
+        let n = data.len();
+        if n <= d {
+            return Err(MiningError::InvalidDataset(format!(
+                "{n} rows cannot fit {d} coefficients"
+            )));
+        }
+        // Design matrix with bias column.
+        let xs: Vec<Vec<f64>> = data
+            .rows
+            .iter()
+            .map(|row| {
+                let mut x: Vec<f64> = self
+                    .attr_indices
+                    .iter()
+                    .zip(&self.means)
+                    .map(|(&a, m)| row[a].unwrap_or(*m))
+                    .collect();
+                x.push(1.0);
+                x
+            })
+            .collect();
+        let x = Matrix::from_rows(&xs)?;
+        let xt = x.transpose();
+        let mut xtx = xt.matmul(&x)?;
+        for i in 0..=d {
+            xtx[(i, i)] += self.ridge;
+        }
+        let mut xty = vec![0.0; d + 1];
+        for (row, y) in xs.iter().zip(target) {
+            for (j, v) in row.iter().enumerate() {
+                xty[j] += v * y;
+            }
+        }
+        let solution = xtx.solve(&xty)?;
+        self.bias = solution[d];
+        self.weights = solution[..d].to_vec();
+        self.fitted = true;
+        Ok(())
+    }
+
+    /// Predict one row.
+    pub fn predict_row(&self, row: &[Option<f64>]) -> Result<f64> {
+        if !self.fitted {
+            return Err(MiningError::NotFitted("LinearRegression"));
+        }
+        let mut y = self.bias;
+        for ((&a, w), m) in self.attr_indices.iter().zip(&self.weights).zip(&self.means) {
+            y += w * row.get(a).copied().flatten().unwrap_or(*m);
+        }
+        Ok(y)
+    }
+
+    /// R² on a dataset.
+    pub fn r_squared(&self, data: &Instances, target: &[f64]) -> Result<f64> {
+        let preds: Result<Vec<f64>> = data.rows.iter().map(|r| self.predict_row(r)).collect();
+        let preds = preds?;
+        let mean_y = target.iter().sum::<f64>() / target.len().max(1) as f64;
+        let ss_res: f64 = preds
+            .iter()
+            .zip(target)
+            .map(|(p, y)| (y - p) * (y - p))
+            .sum();
+        let ss_tot: f64 = target.iter().map(|y| (y - mean_y) * (y - mean_y)).sum();
+        if ss_tot == 0.0 {
+            return Ok(1.0);
+        }
+        Ok(1.0 - ss_res / ss_tot)
+    }
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        LinearRegression::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instances::Attribute;
+
+    fn linear_data() -> (Instances, Vec<f64>) {
+        // y = 2x1 - 3x2 + 5.
+        let mut rows = Vec::new();
+        let mut target = Vec::new();
+        for i in 0..50 {
+            let x1 = i as f64 * 0.3;
+            let x2 = ((i * 7) % 13) as f64;
+            rows.push(vec![Some(x1), Some(x2)]);
+            target.push(2.0 * x1 - 3.0 * x2 + 5.0);
+        }
+        (
+            Instances {
+                attributes: vec![
+                    Attribute {
+                        name: "x1".into(),
+                        kind: AttrKind::Numeric,
+                    },
+                    Attribute {
+                        name: "x2".into(),
+                        kind: AttrKind::Numeric,
+                    },
+                ],
+                rows,
+                labels: vec![None; 50],
+                class_names: vec![],
+            },
+            target,
+        )
+    }
+
+    #[test]
+    fn recovers_exact_coefficients() {
+        let (d, y) = linear_data();
+        let mut m = LinearRegression::new();
+        m.fit(&d, &y).unwrap();
+        assert!((m.coefficients()[0] - 2.0).abs() < 1e-6);
+        assert!((m.coefficients()[1] + 3.0).abs() < 1e-6);
+        assert!((m.intercept() - 5.0).abs() < 1e-5);
+        assert!(m.r_squared(&d, &y).unwrap() > 0.9999);
+    }
+
+    #[test]
+    fn predicts_new_points() {
+        let (d, y) = linear_data();
+        let mut m = LinearRegression::new();
+        m.fit(&d, &y).unwrap();
+        let p = m.predict_row(&[Some(10.0), Some(1.0)]).unwrap();
+        assert!((p - 22.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn missing_values_mean_imputed() {
+        let (d, y) = linear_data();
+        let mut m = LinearRegression::new();
+        m.fit(&d, &y).unwrap();
+        let p = m.predict_row(&[None, Some(0.0)]).unwrap();
+        assert!(p.is_finite());
+    }
+
+    #[test]
+    fn too_few_rows_rejected() {
+        let d = Instances {
+            attributes: vec![Attribute {
+                name: "x".into(),
+                kind: AttrKind::Numeric,
+            }],
+            rows: vec![vec![Some(1.0)]],
+            labels: vec![None],
+            class_names: vec![],
+        };
+        let mut m = LinearRegression::new();
+        assert!(m.fit(&d, &[1.0]).is_err());
+    }
+
+    #[test]
+    fn unfitted_errors() {
+        assert!(LinearRegression::new().predict_row(&[Some(1.0)]).is_err());
+    }
+}

@@ -1,0 +1,7 @@
+//! Regression models.
+
+pub mod cart;
+pub mod linear;
+
+pub use cart::RegressionTree;
+pub use linear::LinearRegression;

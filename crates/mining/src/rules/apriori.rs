@@ -1,0 +1,439 @@
+//! Apriori association-rule mining with the quality measures of
+//! Berti-Equille \[2\]: support, confidence, lift, leverage, conviction,
+//! and a composite rule-quality score.
+//!
+//! Transactions are derived from a table by treating each row's
+//! `column=value` pairs as items (numeric columns should be discretized
+//! first — see [`crate::preprocess::discretize`]).
+
+use crate::error::{MiningError, Result};
+use openbi_table::{Table, Value};
+use std::collections::HashMap;
+
+/// An item: a `column=value` pair, interned as an index into the miner's
+/// item dictionary.
+pub type ItemId = usize;
+
+/// Frequent itemsets with supports, plus the item dictionary that
+/// renders item ids back to `column=value` strings.
+pub type FrequentItemsets = (Vec<String>, Vec<(Vec<ItemId>, f64)>);
+
+/// A mined association rule with its quality measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rule {
+    /// Antecedent items (rendered strings).
+    pub antecedent: Vec<String>,
+    /// Consequent items (rendered strings).
+    pub consequent: Vec<String>,
+    /// Joint support `P(A ∪ C)`.
+    pub support: f64,
+    /// Confidence `P(C | A)`.
+    pub confidence: f64,
+    /// Lift `P(C|A) / P(C)`.
+    pub lift: f64,
+    /// Leverage `P(A∪C) − P(A)P(C)`.
+    pub leverage: f64,
+    /// Conviction `(1 − P(C)) / (1 − conf)` (`f64::INFINITY` for
+    /// conf = 1).
+    pub conviction: f64,
+}
+
+impl Rule {
+    /// Composite quality score in `[0,1]`: the geometric mean of
+    /// confidence, normalized lift and support share — a simple instance
+    /// of the multi-measure rule scoring advocated by Berti-Equille \[2\].
+    pub fn quality_score(&self) -> f64 {
+        let lift_component = (1.0 - 1.0 / self.lift.max(1.0)).clamp(0.0, 1.0);
+        let support_component = (self.support * 10.0).min(1.0);
+        (self.confidence * lift_component * support_component)
+            .max(0.0)
+            .powf(1.0 / 3.0)
+    }
+
+    /// Render as `a & b => c (supp, conf, lift)`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} => {} (supp={:.3}, conf={:.3}, lift={:.2})",
+            self.antecedent.join(" & "),
+            self.consequent.join(" & "),
+            self.support,
+            self.confidence,
+            self.lift
+        )
+    }
+}
+
+/// Apriori miner configuration.
+#[derive(Debug, Clone)]
+pub struct Apriori {
+    /// Minimum joint support for frequent itemsets.
+    pub min_support: f64,
+    /// Minimum rule confidence.
+    pub min_confidence: f64,
+    /// Maximum itemset size explored.
+    pub max_len: usize,
+}
+
+impl Default for Apriori {
+    fn default() -> Self {
+        Apriori {
+            min_support: 0.1,
+            min_confidence: 0.6,
+            max_len: 4,
+        }
+    }
+}
+
+fn transactions_from_table(table: &Table) -> (Vec<String>, Vec<Vec<ItemId>>) {
+    let mut dict: Vec<String> = Vec::new();
+    let mut index: HashMap<String, ItemId> = HashMap::new();
+    let mut txs: Vec<Vec<ItemId>> = Vec::with_capacity(table.n_rows());
+    for row in 0..table.n_rows() {
+        let mut tx = Vec::new();
+        for col in table.columns() {
+            let v = col.get(row).expect("in-bounds");
+            if let Value::Null = v {
+                continue;
+            }
+            let rendered = v.to_string();
+            // Discretized columns already embed "col=" in their labels;
+            // avoid doubling the prefix.
+            let item = if rendered.starts_with(&format!("{}=", col.name())) {
+                rendered
+            } else {
+                format!("{}={rendered}", col.name())
+            };
+            let id = *index.entry(item.clone()).or_insert_with(|| {
+                dict.push(item);
+                dict.len() - 1
+            });
+            tx.push(id);
+        }
+        tx.sort_unstable();
+        tx.dedup();
+        txs.push(tx);
+    }
+    (dict, txs)
+}
+
+fn is_subset(needle: &[ItemId], haystack: &[ItemId]) -> bool {
+    // Both sorted.
+    let mut it = haystack.iter();
+    'outer: for n in needle {
+        for h in it.by_ref() {
+            if h == n {
+                continue 'outer;
+            }
+            if h > n {
+                return false;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+impl Apriori {
+    /// Mine frequent itemsets; returns `(itemset, support)` pairs with
+    /// itemsets as sorted item-id vectors, plus the item dictionary.
+    pub fn frequent_itemsets(
+        &self,
+        table: &Table,
+    ) -> Result<FrequentItemsets> {
+        if !(0.0..=1.0).contains(&self.min_support) {
+            return Err(MiningError::InvalidParameter(
+                "min_support must be in [0,1]".into(),
+            ));
+        }
+        let (dict, txs) = transactions_from_table(table);
+        let n = txs.len();
+        if n == 0 {
+            return Ok((dict, vec![]));
+        }
+        let min_count = (self.min_support * n as f64).ceil().max(1.0) as usize;
+        // L1.
+        let mut item_counts: HashMap<ItemId, usize> = HashMap::new();
+        for tx in &txs {
+            for &i in tx {
+                *item_counts.entry(i).or_insert(0) += 1;
+            }
+        }
+        let mut current: Vec<Vec<ItemId>> = item_counts
+            .iter()
+            .filter(|(_, &c)| c >= min_count)
+            .map(|(&i, _)| vec![i])
+            .collect();
+        current.sort();
+        let mut all: Vec<(Vec<ItemId>, f64)> = current
+            .iter()
+            .map(|s| (s.clone(), item_counts[&s[0]] as f64 / n as f64))
+            .collect();
+        let mut size = 1;
+        while !current.is_empty() && size < self.max_len {
+            size += 1;
+            // Candidate generation: join sets sharing a (size-2)-prefix.
+            let mut candidates: Vec<Vec<ItemId>> = Vec::new();
+            for i in 0..current.len() {
+                for j in (i + 1)..current.len() {
+                    let a = &current[i];
+                    let b = &current[j];
+                    if a[..size - 2] != b[..size - 2] {
+                        continue;
+                    }
+                    let mut cand = a.clone();
+                    cand.push(b[size - 2]);
+                    cand.sort_unstable();
+                    // Prune: all (size-1)-subsets must be frequent.
+                    let all_frequent = (0..cand.len()).all(|skip| {
+                        let sub: Vec<ItemId> = cand
+                            .iter()
+                            .enumerate()
+                            .filter(|(k, _)| *k != skip)
+                            .map(|(_, &v)| v)
+                            .collect();
+                        current.binary_search(&sub).is_ok()
+                    });
+                    if all_frequent && !candidates.contains(&cand) {
+                        candidates.push(cand);
+                    }
+                }
+            }
+            // Count supports.
+            let mut next: Vec<(Vec<ItemId>, f64)> = Vec::new();
+            for cand in candidates {
+                let count = txs.iter().filter(|tx| is_subset(&cand, tx)).count();
+                if count >= min_count {
+                    next.push((cand, count as f64 / n as f64));
+                }
+            }
+            current = next.iter().map(|(s, _)| s.clone()).collect();
+            current.sort();
+            all.extend(next);
+        }
+        Ok((dict, all))
+    }
+
+    /// Mine rules from the frequent itemsets (single-item consequents,
+    /// the classic formulation). Rules are sorted by descending
+    /// confidence, then lift.
+    pub fn mine_rules(&self, table: &Table) -> Result<Vec<Rule>> {
+        if !(0.0..=1.0).contains(&self.min_confidence) {
+            return Err(MiningError::InvalidParameter(
+                "min_confidence must be in [0,1]".into(),
+            ));
+        }
+        let (dict, itemsets) = self.frequent_itemsets(table)?;
+        let support_of: HashMap<Vec<ItemId>, f64> = itemsets.iter().cloned().collect();
+        let mut rules = Vec::new();
+        for (itemset, support) in &itemsets {
+            if itemset.len() < 2 {
+                continue;
+            }
+            for (pos, &consequent) in itemset.iter().enumerate() {
+                let antecedent: Vec<ItemId> = itemset
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != pos)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let Some(&ant_support) = support_of.get(&antecedent) else {
+                    continue;
+                };
+                let Some(&cons_support) = support_of.get(&vec![consequent]) else {
+                    continue;
+                };
+                let confidence = support / ant_support;
+                if confidence < self.min_confidence {
+                    continue;
+                }
+                let lift = confidence / cons_support;
+                let leverage = support - ant_support * cons_support;
+                let conviction = if (1.0 - confidence).abs() < 1e-12 {
+                    f64::INFINITY
+                } else {
+                    (1.0 - cons_support) / (1.0 - confidence)
+                };
+                rules.push(Rule {
+                    antecedent: antecedent.iter().map(|&i| dict[i].clone()).collect(),
+                    consequent: vec![dict[consequent].clone()],
+                    support: *support,
+                    confidence,
+                    lift,
+                    leverage,
+                    conviction,
+                });
+            }
+        }
+        rules.sort_by(|a, b| {
+            b.confidence
+                .total_cmp(&a.confidence)
+                .then(b.lift.total_cmp(&a.lift))
+                .then(a.antecedent.cmp(&b.antecedent))
+        });
+        Ok(rules)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    /// The classic market-basket toy: bread & butter go together.
+    fn basket() -> Table {
+        let bread = ["y", "y", "y", "y", "n", "y", "y", "n", "y", "y"];
+        let butter = ["y", "y", "y", "y", "n", "y", "y", "y", "y", "y"];
+        let milk = ["y", "n", "y", "n", "y", "n", "y", "n", "y", "n"];
+        Table::new(vec![
+            Column::from_str_values("bread", bread),
+            Column::from_str_values("butter", butter),
+            Column::from_str_values("milk", milk),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_frequent_itemsets() {
+        let ap = Apriori {
+            min_support: 0.5,
+            ..Default::default()
+        };
+        let (dict, sets) = ap.frequent_itemsets(&basket()).unwrap();
+        assert!(!sets.is_empty());
+        // bread=y alone: 8/10.
+        let bread_y = dict.iter().position(|d| d == "bread=y").unwrap();
+        let (_, supp) = sets.iter().find(|(s, _)| s == &vec![bread_y]).unwrap();
+        assert!((supp - 0.8).abs() < 1e-12);
+        // Pair {bread=y, butter=y}: 8/10.
+        let butter_y = dict.iter().position(|d| d == "butter=y").unwrap();
+        let mut pair = vec![bread_y, butter_y];
+        pair.sort_unstable();
+        assert!(sets.iter().any(|(s, supp)| s == &pair && (*supp - 0.8).abs() < 1e-12));
+    }
+
+    #[test]
+    fn support_is_antimonotone() {
+        let ap = Apriori {
+            min_support: 0.2,
+            ..Default::default()
+        };
+        let (_, sets) = ap.frequent_itemsets(&basket()).unwrap();
+        let support_of: HashMap<Vec<ItemId>, f64> = sets.iter().cloned().collect();
+        for (set, supp) in &sets {
+            if set.len() < 2 {
+                continue;
+            }
+            for skip in 0..set.len() {
+                let sub: Vec<ItemId> = set
+                    .iter()
+                    .enumerate()
+                    .filter(|(k, _)| *k != skip)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let sub_supp = support_of.get(&sub).copied().unwrap_or(0.0);
+                assert!(
+                    sub_supp >= *supp - 1e-12,
+                    "subset support {sub_supp} < superset {supp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mines_the_bread_butter_rule() {
+        let ap = Apriori {
+            min_support: 0.5,
+            min_confidence: 0.9,
+            max_len: 2,
+        };
+        let rules = ap.mine_rules(&basket()).unwrap();
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == vec!["bread=y"] && r.consequent == vec!["butter=y"])
+            .expect("bread=y => butter=y should be mined");
+        assert!((rule.confidence - 1.0).abs() < 1e-12);
+        assert!((rule.support - 0.8).abs() < 1e-12);
+        assert!((rule.lift - 1.0 / 0.9).abs() < 1e-9);
+        assert!(rule.conviction.is_infinite());
+        assert!(rule.leverage > 0.0);
+    }
+
+    #[test]
+    fn rules_respect_confidence_threshold() {
+        let ap = Apriori {
+            min_support: 0.3,
+            min_confidence: 0.8,
+            max_len: 3,
+        };
+        for r in ap.mine_rules(&basket()).unwrap() {
+            assert!(r.confidence >= 0.8);
+        }
+    }
+
+    #[test]
+    fn nulls_skipped_in_transactions() {
+        let t = Table::new(vec![Column::from_opt_str(
+            "a",
+            [Some("x".to_string()), None],
+        )])
+        .unwrap();
+        let ap = Apriori {
+            min_support: 0.4,
+            ..Default::default()
+        };
+        let (dict, sets) = ap.frequent_itemsets(&t).unwrap();
+        assert_eq!(dict.len(), 1);
+        assert_eq!(sets.len(), 1);
+        assert!((sets[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_score_ranks_strong_rules_higher() {
+        let strong = Rule {
+            antecedent: vec!["a".into()],
+            consequent: vec!["b".into()],
+            support: 0.4,
+            confidence: 0.95,
+            lift: 2.0,
+            leverage: 0.2,
+            conviction: 5.0,
+        };
+        let weak = Rule {
+            antecedent: vec!["a".into()],
+            consequent: vec!["c".into()],
+            support: 0.05,
+            confidence: 0.6,
+            lift: 1.05,
+            leverage: 0.01,
+            conviction: 1.1,
+        };
+        assert!(strong.quality_score() > weak.quality_score());
+        assert!(strong.quality_score() <= 1.0);
+    }
+
+    #[test]
+    fn invalid_thresholds_rejected() {
+        let t = basket();
+        let bad = Apriori {
+            min_support: 1.5,
+            ..Default::default()
+        };
+        assert!(bad.frequent_itemsets(&t).is_err());
+        let bad = Apriori {
+            min_confidence: -0.1,
+            ..Default::default()
+        };
+        assert!(bad.mine_rules(&t).is_err());
+    }
+
+    #[test]
+    fn render_mentions_metrics() {
+        let ap = Apriori {
+            min_support: 0.5,
+            min_confidence: 0.9,
+            max_len: 2,
+        };
+        let rules = ap.mine_rules(&basket()).unwrap();
+        assert!(rules[0].render().contains("conf="));
+    }
+}

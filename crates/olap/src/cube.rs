@@ -1,0 +1,228 @@
+//! A lightweight OLAP cube over a table: dimensions, measures, rollup,
+//! slice and dice — the "OLAP analysis" leg of the OpenBI vision (§1).
+
+use openbi_table::{group_by, Aggregate, Result, Table, TableError};
+
+/// An aggregate measure definition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Measure {
+    /// Sum of a numeric column.
+    Sum(String),
+    /// Mean of a numeric column.
+    Mean(String),
+    /// Count of non-null cells of a column.
+    Count(String),
+    /// Minimum of a numeric column.
+    Min(String),
+    /// Maximum of a numeric column.
+    Max(String),
+}
+
+impl Measure {
+    fn to_aggregate(&self) -> Aggregate {
+        match self {
+            Measure::Sum(c) => Aggregate::Sum(c.clone()),
+            Measure::Mean(c) => Aggregate::Mean(c.clone()),
+            Measure::Count(c) => Aggregate::Count(c.clone()),
+            Measure::Min(c) => Aggregate::Min(c.clone()),
+            Measure::Max(c) => Aggregate::Max(c.clone()),
+        }
+    }
+
+    /// Name of the output column this measure produces.
+    pub fn output_name(&self) -> String {
+        self.to_aggregate().output_name()
+    }
+}
+
+/// A cube: a fact table plus declared dimensions and measures.
+#[derive(Debug, Clone)]
+pub struct Cube {
+    facts: Table,
+    dimensions: Vec<String>,
+    measures: Vec<Measure>,
+}
+
+impl Cube {
+    /// Build a cube, validating that dimensions and measure columns
+    /// exist.
+    pub fn new(facts: Table, dimensions: &[&str], measures: Vec<Measure>) -> Result<Self> {
+        for d in dimensions {
+            facts.column(d)?;
+        }
+        for m in &measures {
+            match m {
+                Measure::Sum(c) | Measure::Mean(c) | Measure::Count(c) | Measure::Min(c)
+                | Measure::Max(c) => {
+                    facts.column(c)?;
+                }
+            }
+        }
+        if dimensions.is_empty() {
+            return Err(TableError::InvalidArgument(
+                "a cube needs at least one dimension".to_string(),
+            ));
+        }
+        Ok(Cube {
+            facts,
+            dimensions: dimensions.iter().map(|s| s.to_string()).collect(),
+            measures,
+        })
+    }
+
+    /// The declared dimensions.
+    pub fn dimensions(&self) -> &[String] {
+        &self.dimensions
+    }
+
+    /// The underlying fact table.
+    pub fn facts(&self) -> &Table {
+        &self.facts
+    }
+
+    /// Roll up to the named subset of dimensions (must be declared).
+    pub fn rollup(&self, dims: &[&str]) -> Result<Table> {
+        for d in dims {
+            if !self.dimensions.iter().any(|x| x == d) {
+                return Err(TableError::InvalidArgument(format!(
+                    "{d} is not a declared dimension"
+                )));
+            }
+        }
+        let aggregates: Vec<Aggregate> = self.measures.iter().map(Measure::to_aggregate).collect();
+        group_by(&self.facts, dims, &aggregates)
+    }
+
+    /// Slice: fix one dimension to a value, returning a cube over the
+    /// remaining facts.
+    pub fn slice(&self, dimension: &str, value: &str) -> Result<Cube> {
+        if !self.dimensions.iter().any(|x| x == dimension) {
+            return Err(TableError::InvalidArgument(format!(
+                "{dimension} is not a declared dimension"
+            )));
+        }
+        let col_idx = self
+            .facts
+            .column_names()
+            .iter()
+            .position(|n| *n == dimension)
+            .expect("validated dimension");
+        let facts = self
+            .facts
+            .filter(|row| row[col_idx].to_string() == value);
+        Ok(Cube {
+            facts,
+            dimensions: self.dimensions.clone(),
+            measures: self.measures.clone(),
+        })
+    }
+
+    /// Dice: keep rows where `dimension`'s value is in `values`.
+    pub fn dice(&self, dimension: &str, values: &[&str]) -> Result<Cube> {
+        if !self.dimensions.iter().any(|x| x == dimension) {
+            return Err(TableError::InvalidArgument(format!(
+                "{dimension} is not a declared dimension"
+            )));
+        }
+        let col_idx = self
+            .facts
+            .column_names()
+            .iter()
+            .position(|n| *n == dimension)
+            .expect("validated dimension");
+        let facts = self.facts.filter(|row| {
+            let v = row[col_idx].to_string();
+            values.iter().any(|x| *x == v)
+        });
+        Ok(Cube {
+            facts,
+            dimensions: self.dimensions.clone(),
+            measures: self.measures.clone(),
+        })
+    }
+
+    /// Grand total: all measures over all facts (single-row table with a
+    /// synthetic `all` dimension).
+    pub fn total(&self) -> Result<Table> {
+        let mut with_all = self.facts.clone();
+        with_all.add_column(openbi_table::Column::from_str_values(
+            "__all__",
+            vec!["all"; self.facts.n_rows()],
+        ))?;
+        let aggregates: Vec<Aggregate> = self.measures.iter().map(Measure::to_aggregate).collect();
+        let mut out = group_by(&with_all, &["__all__"], &aggregates)?;
+        out.drop_column("__all__")?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::{Column, Value};
+
+    fn facts() -> Table {
+        Table::new(vec![
+            Column::from_str_values("district", ["n", "n", "s", "s"]),
+            Column::from_str_values("year", ["2023", "2024", "2023", "2024"]),
+            Column::from_f64("spend", [10.0, 20.0, 30.0, 40.0]),
+        ])
+        .unwrap()
+    }
+
+    fn cube() -> Cube {
+        Cube::new(
+            facts(),
+            &["district", "year"],
+            vec![Measure::Sum("spend".into()), Measure::Mean("spend".into())],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rollup_by_one_dimension() {
+        let t = cube().rollup(&["district"]).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.get("sum(spend)", 0).unwrap(), Value::Float(30.0));
+        assert_eq!(t.get("sum(spend)", 1).unwrap(), Value::Float(70.0));
+    }
+
+    #[test]
+    fn rollup_by_two_dimensions() {
+        let t = cube().rollup(&["district", "year"]).unwrap();
+        assert_eq!(t.n_rows(), 4);
+    }
+
+    #[test]
+    fn slice_fixes_a_value() {
+        let sliced = cube().slice("district", "n").unwrap();
+        let t = sliced.rollup(&["year"]).unwrap();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.get("sum(spend)", 0).unwrap(), Value::Float(10.0));
+    }
+
+    #[test]
+    fn dice_keeps_selected_values() {
+        let diced = cube().dice("year", &["2024"]).unwrap();
+        assert_eq!(diced.facts().n_rows(), 2);
+        let t = diced.rollup(&["district"]).unwrap();
+        assert_eq!(t.get("sum(spend)", 0).unwrap(), Value::Float(20.0));
+    }
+
+    #[test]
+    fn total_aggregates_everything() {
+        let t = cube().total().unwrap();
+        assert_eq!(t.n_rows(), 1);
+        assert_eq!(t.get("sum(spend)", 0).unwrap(), Value::Float(100.0));
+        assert_eq!(t.get("mean(spend)", 0).unwrap(), Value::Float(25.0));
+    }
+
+    #[test]
+    fn undeclared_dimension_rejected() {
+        assert!(cube().rollup(&["spend"]).is_err());
+        assert!(cube().slice("spend", "x").is_err());
+        assert!(cube().dice("nope", &["x"]).is_err());
+        assert!(Cube::new(facts(), &[], vec![]).is_err());
+        assert!(Cube::new(facts(), &["nope"], vec![]).is_err());
+    }
+}

@@ -1,0 +1,155 @@
+//! Composable text dashboards: a stack of titled panels (reports, bar
+//! charts, sparklines, free text) rendered together — the
+//! citizen-facing output surface of OpenBI.
+
+use crate::cube::{Cube, Measure};
+use crate::report::{bar_chart_from_table, sparkline, table_report};
+use openbi_table::{Result, Table};
+
+/// A dashboard panel.
+#[derive(Debug, Clone)]
+enum Panel {
+    Text(String),
+    Table { title: String, table: Table, max_rows: usize },
+    Chart(String),
+}
+
+/// A vertical stack of panels.
+#[derive(Debug, Clone, Default)]
+pub struct Dashboard {
+    title: String,
+    panels: Vec<Panel>,
+}
+
+impl Dashboard {
+    /// Start a dashboard with a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        Dashboard {
+            title: title.into(),
+            panels: vec![],
+        }
+    }
+
+    /// Add a free-text panel.
+    pub fn text(mut self, text: impl Into<String>) -> Self {
+        self.panels.push(Panel::Text(text.into()));
+        self
+    }
+
+    /// Add a table panel.
+    pub fn table(mut self, title: impl Into<String>, table: Table, max_rows: usize) -> Self {
+        self.panels.push(Panel::Table {
+            title: title.into(),
+            table,
+            max_rows,
+        });
+        self
+    }
+
+    /// Add a bar chart of a cube rollup: one bar per value of `dim`,
+    /// sized by the given measure.
+    pub fn rollup_chart(
+        mut self,
+        title: impl Into<String>,
+        cube: &Cube,
+        dim: &str,
+        measure: &Measure,
+        width: usize,
+    ) -> Result<Self> {
+        let rolled = cube.rollup(&[dim])?;
+        let chart =
+            bar_chart_from_table(&title.into(), &rolled, dim, &measure.output_name(), width)?;
+        self.panels.push(Panel::Chart(chart));
+        Ok(self)
+    }
+
+    /// Add a sparkline panel of a numeric series.
+    pub fn trend(mut self, title: impl Into<String>, values: &[f64]) -> Self {
+        self.panels
+            .push(Panel::Chart(format!("== {} ==\n{}\n", title.into(), sparkline(values))));
+        self
+    }
+
+    /// Number of panels.
+    pub fn len(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// True iff there are no panels.
+    pub fn is_empty(&self) -> bool {
+        self.panels.is_empty()
+    }
+
+    /// Render everything.
+    pub fn render(&self) -> String {
+        let rule = "=".repeat(self.title.chars().count() + 8);
+        let mut out = format!("{rule}\n=== {} ===\n{rule}\n\n", self.title);
+        for p in &self.panels {
+            match p {
+                Panel::Text(t) => {
+                    out.push_str(t);
+                    out.push('\n');
+                }
+                Panel::Table {
+                    title,
+                    table,
+                    max_rows,
+                } => out.push_str(&table_report(title, table, *max_rows)),
+                Panel::Chart(c) => out.push_str(c),
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    fn cube() -> Cube {
+        let facts = Table::new(vec![
+            Column::from_str_values("district", ["n", "s", "n"]),
+            Column::from_f64("spend", [1.0, 2.0, 3.0]),
+        ])
+        .unwrap();
+        Cube::new(facts, &["district"], vec![Measure::Sum("spend".into())]).unwrap()
+    }
+
+    #[test]
+    fn dashboard_renders_all_panels() {
+        let d = Dashboard::new("City Budget")
+            .text("Welcome, citizen.")
+            .table(
+                "raw",
+                Table::new(vec![Column::from_i64("x", [1])]).unwrap(),
+                5,
+            )
+            .rollup_chart("spend by district", &cube(), "district", &Measure::Sum("spend".into()), 10)
+            .unwrap()
+            .trend("pm10", &[1.0, 2.0, 3.0]);
+        assert_eq!(d.len(), 4);
+        let r = d.render();
+        assert!(r.contains("=== City Budget ==="));
+        assert!(r.contains("Welcome, citizen."));
+        assert!(r.contains("== raw =="));
+        assert!(r.contains("spend by district"));
+        assert!(r.contains('▁'));
+    }
+
+    #[test]
+    fn empty_dashboard_renders_header_only() {
+        let d = Dashboard::new("empty");
+        assert!(d.is_empty());
+        assert!(d.render().contains("=== empty ==="));
+    }
+
+    #[test]
+    fn rollup_chart_propagates_errors() {
+        let d = Dashboard::new("x");
+        assert!(d
+            .rollup_chart("bad", &cube(), "nope", &Measure::Sum("spend".into()), 10)
+            .is_err());
+    }
+}

@@ -1,0 +1,18 @@
+//! # openbi-olap
+//!
+//! Lightweight analysis & visualization layer for OpenBI: an OLAP cube
+//! (rollup / slice / dice / totals) over `openbi-table` facts, tabular
+//! reports, ASCII bar charts and sparklines, and composable text
+//! dashboards — the "reporting, OLAP analysis, dashboards" triad of the
+//! paper's §1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cube;
+pub mod dashboard;
+pub mod report;
+
+pub use cube::{Cube, Measure};
+pub use dashboard::Dashboard;
+pub use report::{bar_chart, bar_chart_from_table, sparkline, table_report};

@@ -1,0 +1,129 @@
+//! Tabular reports and ASCII charts — the "reporting / dashboards" leg
+//! of the OpenBI vision, rendered for a terminal.
+
+use openbi_table::{Result, Table};
+
+/// Render a table as an aligned report with a title and row count.
+pub fn table_report(title: &str, table: &Table, max_rows: usize) -> String {
+    format!(
+        "== {title} ==\n{}({} rows)\n",
+        table.render(max_rows),
+        table.n_rows()
+    )
+}
+
+/// Horizontal ASCII bar chart of `(label, value)` pairs scaled to
+/// `width` characters. Negative values are clamped to zero.
+pub fn bar_chart(title: &str, data: &[(String, f64)], width: usize) -> String {
+    let mut out = format!("== {title} ==\n");
+    let max = data.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_width = data.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    for (label, value) in data {
+        let filled = if max > 0.0 {
+            ((value.max(0.0) / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_width$} | {} {value:.2}\n",
+            "#".repeat(filled)
+        ));
+    }
+    out
+}
+
+/// Bar chart built from a grouped table: one bar per row, labeled by
+/// `label_column`, sized by `value_column`.
+pub fn bar_chart_from_table(
+    title: &str,
+    table: &Table,
+    label_column: &str,
+    value_column: &str,
+    width: usize,
+) -> Result<String> {
+    let labels = table.column(label_column)?;
+    let values = table.column(value_column)?;
+    let data: Vec<(String, f64)> = (0..table.n_rows())
+        .map(|i| {
+            (
+                labels.get(i).expect("in-bounds").to_string(),
+                values.get(i).expect("in-bounds").as_f64().unwrap_or(0.0),
+            )
+        })
+        .collect();
+    Ok(bar_chart(title, &data, width))
+}
+
+/// A one-line unicode sparkline of a numeric series.
+pub fn sparkline(values: &[f64]) -> String {
+    const TICKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let lo = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = if hi > lo { hi - lo } else { 1.0 };
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - lo) / span) * 7.0).round() as usize;
+            TICKS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    #[test]
+    fn table_report_has_title_and_count() {
+        let t = Table::new(vec![Column::from_i64("a", [1, 2])]).unwrap();
+        let r = table_report("demo", &t, 10);
+        assert!(r.contains("== demo =="));
+        assert!(r.contains("(2 rows)"));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let r = bar_chart(
+            "spend",
+            &[("north".into(), 100.0), ("south".into(), 50.0)],
+            20,
+        );
+        let north_bar = r.lines().nth(1).unwrap().matches('#').count();
+        let south_bar = r.lines().nth(2).unwrap().matches('#').count();
+        assert_eq!(north_bar, 20);
+        assert_eq!(south_bar, 10);
+    }
+
+    #[test]
+    fn bar_chart_handles_zero_and_negative() {
+        let r = bar_chart("x", &[("a".into(), 0.0), ("b".into(), -5.0)], 10);
+        assert!(!r.contains('#'));
+    }
+
+    #[test]
+    fn bar_chart_from_table_reads_columns() {
+        let t = Table::new(vec![
+            Column::from_str_values("d", ["n", "s"]),
+            Column::from_f64("v", [4.0, 2.0]),
+        ])
+        .unwrap();
+        let r = bar_chart_from_table("t", &t, "d", "v", 8).unwrap();
+        assert!(r.contains("n"));
+        assert!(r.lines().nth(1).unwrap().contains("########"));
+        assert!(bar_chart_from_table("t", &t, "nope", "v", 8).is_err());
+    }
+
+    #[test]
+    fn sparkline_spans_range() {
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'));
+        assert!(s.ends_with('█'));
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[5.0, 5.0]), "▁▁");
+    }
+}

@@ -1,0 +1,173 @@
+//! Duplicate-record injection: exact copies and near duplicates
+//! (perturbed copies, the "fuzzy duplicates" of Ananthakrishna et al.).
+
+use super::{gauss, Injector};
+use openbi_table::{stats, Result, Table, TableError, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Appends duplicated rows until they make up `ratio` of the result.
+/// With `perturbation > 0`, numeric cells of each copy are nudged by
+/// `N(0, (perturbation × column_std)²)`, producing near rather than exact
+/// duplicates.
+#[derive(Debug, Clone)]
+pub struct DuplicateInjector {
+    /// Fraction of the *output* rows that are injected duplicates.
+    pub ratio: f64,
+    /// Relative numeric perturbation of copies (0 = exact copies).
+    pub perturbation: f64,
+    /// Columns never perturbed (e.g. the class column).
+    pub excluded: Vec<String>,
+}
+
+impl DuplicateInjector {
+    /// Exact-duplicate injector.
+    pub fn exact(ratio: f64) -> Self {
+        DuplicateInjector {
+            ratio,
+            perturbation: 0.0,
+            excluded: vec![],
+        }
+    }
+
+    /// Near-duplicate injector with the given numeric perturbation.
+    pub fn near(ratio: f64, perturbation: f64) -> Self {
+        DuplicateInjector {
+            ratio,
+            perturbation,
+            excluded: vec![],
+        }
+    }
+
+    /// Exclude columns from perturbation.
+    pub fn exclude<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> Self {
+        self.excluded.extend(cols.into_iter().map(Into::into));
+        self
+    }
+}
+
+impl Injector for DuplicateInjector {
+    fn name(&self) -> &'static str {
+        "duplicates"
+    }
+
+    fn describe(&self) -> String {
+        if self.perturbation == 0.0 {
+            format!("exact duplicates: {:.0}% of rows", self.ratio * 100.0)
+        } else {
+            format!(
+                "near duplicates: {:.0}% of rows, perturbation {:.2}·std",
+                self.ratio * 100.0,
+                self.perturbation
+            )
+        }
+    }
+
+    fn apply(&self, table: &Table, rng: &mut StdRng) -> Result<Table> {
+        if !(0.0..1.0).contains(&self.ratio) {
+            return Err(TableError::InvalidArgument(format!(
+                "duplicate ratio {} outside [0,1)",
+                self.ratio
+            )));
+        }
+        let n = table.n_rows();
+        if n == 0 || self.ratio == 0.0 {
+            return Ok(table.clone());
+        }
+        // d / (n + d) = ratio  =>  d = ratio·n / (1 - ratio)
+        let dups = ((self.ratio * n as f64) / (1.0 - self.ratio)).round() as usize;
+        let stds: Vec<Option<f64>> = table
+            .columns()
+            .iter()
+            .map(|c| {
+                if c.dtype().is_numeric() && !self.excluded.iter().any(|e| e == c.name()) {
+                    stats::std_dev(c)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        let mut out = table.clone();
+        for _ in 0..dups {
+            let src = rng.random_range(0..n);
+            let mut row = table.row(src)?;
+            if self.perturbation > 0.0 {
+                for (ci, value) in row.iter_mut().enumerate() {
+                    let Some(std) = stds[ci] else { continue };
+                    let scale = std * self.perturbation;
+                    match value {
+                        Value::Float(f) => *f += gauss(rng) * scale,
+                        Value::Int(i) => *i += (gauss(rng) * scale).round() as i64,
+                        _ => {}
+                    }
+                }
+            }
+            out.push_row(row)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::duplicates::{exact_duplicate_ratio, near_duplicate_ratio};
+    use openbi_table::Column;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::from_f64("x", (0..50).map(|i| i as f64 * 10.0).collect::<Vec<f64>>()),
+            Column::from_str_values(
+                "class",
+                (0..50).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<&str>>(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_duplicates_reach_target_ratio() {
+        let inj = DuplicateInjector::exact(0.2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = inj.apply(&table(), &mut rng).unwrap();
+        assert_eq!(out.n_rows(), 63); // 50 + round(0.2*50/0.8)=13
+        let measured = exact_duplicate_ratio(&out);
+        assert!((measured - 13.0 / 63.0).abs() < 0.02, "measured {measured}");
+    }
+
+    #[test]
+    fn near_duplicates_are_not_exact() {
+        let inj = DuplicateInjector::near(0.2, 0.01).exclude(["class"]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = inj.apply(&table(), &mut rng).unwrap();
+        // Exact-dup ratio stays ~0 but near-dup ratio is high.
+        assert!(exact_duplicate_ratio(&out) < 0.05);
+        assert!(near_duplicate_ratio(&out, 0.05) > 0.1);
+    }
+
+    #[test]
+    fn zero_ratio_identity() {
+        let inj = DuplicateInjector::exact(0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(inj.apply(&table(), &mut rng).unwrap(), table());
+    }
+
+    #[test]
+    fn ratio_one_rejected() {
+        let inj = DuplicateInjector::exact(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(inj.apply(&table(), &mut rng).is_err());
+    }
+
+    #[test]
+    fn class_column_copied_verbatim() {
+        let inj = DuplicateInjector::near(0.3, 0.5).exclude(["class"]);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = inj.apply(&table(), &mut rng).unwrap();
+        for i in 0..out.n_rows() {
+            let v = out.get("class", i).unwrap();
+            assert!(matches!(v, Value::Str(ref s) if s == "a" || s == "b"));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Representational-inconsistency injection: mangle string value formats
+//! (casing, whitespace, date layout) without changing their meaning —
+//! the standardization problem of Rahm & Do \[13\].
+
+use super::{sample_indices, Injector};
+use openbi_table::{Result, Table, TableError, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Applies a random format mangling to `ratio` of the non-null cells of
+/// each string column (except excluded ones).
+#[derive(Debug, Clone)]
+pub struct InconsistencyInjector {
+    /// Fraction of string cells mangled per column.
+    pub ratio: f64,
+    /// Columns never touched.
+    pub excluded: Vec<String>,
+}
+
+impl InconsistencyInjector {
+    /// Create an injector.
+    pub fn new(ratio: f64) -> Self {
+        InconsistencyInjector {
+            ratio,
+            excluded: vec![],
+        }
+    }
+
+    /// Exclude columns.
+    pub fn exclude<S: Into<String>>(mut self, cols: impl IntoIterator<Item = S>) -> Self {
+        self.excluded.extend(cols.into_iter().map(Into::into));
+        self
+    }
+}
+
+/// Reorder an ISO date `YYYY-MM-DD` into `DD/MM/YYYY`; `None` if the
+/// value is not an ISO date.
+fn reformat_iso_date(s: &str) -> Option<String> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let (y, m, d) = (&s[0..4], &s[5..7], &s[8..10]);
+    if y.chars().all(|c| c.is_ascii_digit())
+        && m.chars().all(|c| c.is_ascii_digit())
+        && d.chars().all(|c| c.is_ascii_digit())
+    {
+        Some(format!("{d}/{m}/{y}"))
+    } else {
+        None
+    }
+}
+
+fn mangle(s: &str, style: u32) -> String {
+    if let Some(date) = reformat_iso_date(s) {
+        return date;
+    }
+    match style % 4 {
+        0 => s.to_uppercase(),
+        1 => s.to_lowercase(),
+        2 => format!(" {s}"),
+        _ => format!("{s} "),
+    }
+}
+
+impl Injector for InconsistencyInjector {
+    fn name(&self) -> &'static str {
+        "inconsistency"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "format inconsistency: mangle {:.0}% of string cells",
+            self.ratio * 100.0
+        )
+    }
+
+    fn apply(&self, table: &Table, rng: &mut StdRng) -> Result<Table> {
+        if !(0.0..=1.0).contains(&self.ratio) {
+            return Err(TableError::InvalidArgument(format!(
+                "inconsistency ratio {} outside [0,1]",
+                self.ratio
+            )));
+        }
+        let mut out = table.clone();
+        let names: Vec<String> = table
+            .columns()
+            .iter()
+            .filter(|c| {
+                c.as_str_slice().is_some() && !self.excluded.iter().any(|e| e == c.name())
+            })
+            .map(|c| c.name().to_string())
+            .collect();
+        for name in names {
+            let col = table.column(&name)?;
+            let n = col.len();
+            let count = (self.ratio * n as f64).round() as usize;
+            for row in sample_indices(n, count, rng) {
+                if let Value::Str(s) = col.get(row)? {
+                    let mangled = mangle(&s, rng.random::<u32>());
+                    out.set(&name, row, Value::Str(mangled))?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::consistency::table_consistency;
+    use openbi_table::Column;
+    use rand::SeedableRng;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::from_str_values("city", vec!["Madrid"; 40]),
+            Column::from_str_values("date", vec!["2024-03-15"; 40]),
+            Column::from_f64("x", vec![1.0; 40]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lowers_measured_consistency() {
+        let inj = InconsistencyInjector::new(0.4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = inj.apply(&table(), &mut rng).unwrap();
+        let before = table_consistency(&table(), &[]);
+        let after = table_consistency(&out, &[]);
+        assert_eq!(before, 1.0);
+        assert!(after < 0.8, "after = {after}");
+    }
+
+    #[test]
+    fn iso_dates_get_reformatted() {
+        let inj = InconsistencyInjector::new(1.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = inj.apply(&table(), &mut rng).unwrap();
+        assert_eq!(out.get("date", 0).unwrap(), Value::Str("15/03/2024".into()));
+    }
+
+    #[test]
+    fn values_remain_recoverable() {
+        // Mangling must not destroy content: trimming + lowercasing
+        // recovers the original for non-date strings.
+        let inj = InconsistencyInjector::new(1.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = inj.apply(&table(), &mut rng).unwrap();
+        for i in 0..40 {
+            let v = out.get("city", i).unwrap().to_string();
+            assert_eq!(v.trim().to_lowercase(), "madrid");
+        }
+    }
+
+    #[test]
+    fn numeric_columns_untouched() {
+        let inj = InconsistencyInjector::new(1.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = inj.apply(&table(), &mut rng).unwrap();
+        assert_eq!(out.column("x").unwrap(), table().column("x").unwrap());
+    }
+
+    #[test]
+    fn exclusions_respected() {
+        let inj = InconsistencyInjector::new(1.0).exclude(["city"]);
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = inj.apply(&table(), &mut rng).unwrap();
+        assert_eq!(out.column("city").unwrap(), table().column("city").unwrap());
+    }
+
+    #[test]
+    fn date_reformat_helper() {
+        assert_eq!(reformat_iso_date("2024-01-05"), Some("05/01/2024".into()));
+        assert_eq!(reformat_iso_date("not-a-date"), None);
+        assert_eq!(reformat_iso_date("2024-1-5"), None);
+    }
+}

@@ -1,0 +1,182 @@
+//! Controlled injection of data-quality problems (paper §3.1, step 2:
+//! "From this initial dataset we will introduce some data quality
+//! problems in a controlled manner").
+//!
+//! Every injector is deterministic given a seeded RNG, takes a clean
+//! table and returns a degraded copy. [`Degradation`] composes several
+//! injectors for the paper's phase-2 "mixed" experiments.
+
+pub mod attr_noise;
+pub mod correlated;
+pub mod duplicates;
+pub mod imbalance;
+pub mod inconsistency;
+pub mod irrelevant;
+pub mod label_noise;
+pub mod missing;
+pub mod outliers;
+
+pub use attr_noise::AttributeNoiseInjector;
+pub use correlated::CorrelatedInjector;
+pub use duplicates::DuplicateInjector;
+pub use imbalance::ImbalanceInjector;
+pub use inconsistency::InconsistencyInjector;
+pub use irrelevant::IrrelevantInjector;
+pub use label_noise::LabelNoiseInjector;
+pub use missing::{MissingInjector, MissingMechanism};
+pub use outliers::OutlierInjector;
+
+use openbi_table::{Result, Table};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// A controlled data-quality defect generator.
+pub trait Injector: std::fmt::Debug {
+    /// Stable identifier, e.g. `"missing"`.
+    fn name(&self) -> &'static str;
+    /// Human-readable description with parameters.
+    fn describe(&self) -> String;
+    /// Apply the defect to a copy of `table`.
+    fn apply(&self, table: &Table, rng: &mut StdRng) -> Result<Table>;
+}
+
+/// Standard normal deviate via Box–Muller (keeps `rand_distr` out of the
+/// dependency set).
+pub(crate) fn gauss(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Pick `count` distinct indices from `0..len` (partial Fisher–Yates).
+pub(crate) fn sample_indices(len: usize, count: usize, rng: &mut StdRng) -> Vec<usize> {
+    let count = count.min(len);
+    let mut idx: Vec<usize> = (0..len).collect();
+    for i in 0..count {
+        let j = i + rng.random_range(0..len - i);
+        idx.swap(i, j);
+    }
+    idx.truncate(count);
+    idx
+}
+
+/// A named, ordered composition of injectors applied with one seed —
+/// the unit of the phase-2 "mixed data quality criteria" experiments.
+#[derive(Debug, Default)]
+pub struct Degradation {
+    injectors: Vec<Box<dyn Injector>>,
+}
+
+impl Degradation {
+    /// Start an empty (identity) degradation.
+    pub fn new() -> Self {
+        Degradation::default()
+    }
+
+    /// Append an injector.
+    pub fn then(mut self, injector: impl Injector + 'static) -> Self {
+        self.injectors.push(Box::new(injector));
+        self
+    }
+
+    /// Append all injectors of another degradation (phase-2 mixing).
+    pub fn extend(&mut self, other: Degradation) {
+        self.injectors.extend(other.injectors);
+    }
+
+    /// Number of composed injectors.
+    pub fn len(&self) -> usize {
+        self.injectors.len()
+    }
+
+    /// True iff this is the identity degradation.
+    pub fn is_empty(&self) -> bool {
+        self.injectors.is_empty()
+    }
+
+    /// Apply all injectors in order, reproducibly from `seed`.
+    pub fn apply(&self, table: &Table, seed: u64) -> Result<Table> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut out = table.clone();
+        for inj in &self.injectors {
+            out = inj.apply(&out, &mut rng)?;
+        }
+        Ok(out)
+    }
+
+    /// Descriptions of the composed injectors, in order.
+    pub fn describe(&self) -> Vec<String> {
+        self.injectors.iter().map(|i| i.describe()).collect()
+    }
+
+    /// Names of the composed injectors, in order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.injectors.iter().map(|i| i.name()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    fn table() -> Table {
+        Table::new(vec![
+            Column::from_f64("x", (0..40).map(|i| i as f64).collect::<Vec<f64>>()),
+            Column::from_str_values(
+                "class",
+                (0..40).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<&str>>(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn gauss_has_roughly_standard_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let idx = sample_indices(10, 6, &mut rng);
+        assert_eq!(idx.len(), 6);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+        assert!(sorted.iter().all(|&i| i < 10));
+        assert_eq!(sample_indices(3, 10, &mut rng).len(), 3);
+    }
+
+    #[test]
+    fn degradation_composes_and_is_deterministic() {
+        let d = Degradation::new()
+            .then(MissingInjector::mcar(0.2).exclude(["class"]))
+            .then(LabelNoiseInjector::new("class", 0.1));
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.names(), vec!["missing", "label_noise"]);
+        let t = table();
+        let a = d.apply(&t, 7).unwrap();
+        let b = d.apply(&t, 7).unwrap();
+        assert_eq!(a, b);
+        let c = d.apply(&t, 8).unwrap();
+        assert_ne!(a, c, "different seeds should differ");
+        assert!(a.column("x").unwrap().null_count() > 0);
+    }
+
+    #[test]
+    fn empty_degradation_is_identity() {
+        let d = Degradation::new();
+        assert!(d.is_empty());
+        let t = table();
+        assert_eq!(d.apply(&t, 0).unwrap(), t);
+    }
+}

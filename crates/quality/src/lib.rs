@@ -1,0 +1,27 @@
+//! # openbi-quality
+//!
+//! Data-quality criteria for OpenBI: **measurement** of every criterion
+//! the paper's experiments vary (completeness, duplicates, correlation /
+//! redundancy, class balance, outliers, label & attribute noise,
+//! representational consistency, dimensionality) and **controlled
+//! injection** of the corresponding defects into clean datasets —
+//! the paper's §3.1 experimental protocol.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dedup;
+pub mod inject;
+pub mod measure;
+pub mod profile;
+pub mod report;
+
+pub use dedup::{find_duplicate_clusters, merge_duplicates, string_similarity, LinkageConfig};
+pub use inject::{
+    AttributeNoiseInjector, CorrelatedInjector, Degradation, DuplicateInjector, ImbalanceInjector,
+    InconsistencyInjector, Injector, IrrelevantInjector, LabelNoiseInjector, MissingInjector,
+    MissingMechanism, OutlierInjector,
+};
+pub use measure::{measure_profile, MeasureOptions};
+pub use profile::{QualityProfile, PROFILE_DIMENSIONS};
+pub use report::render_profile;

@@ -1,0 +1,82 @@
+//! Class balance measurement for a designated target column.
+
+use openbi_table::{stats, Table};
+
+/// Class-distribution summary of a target column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceReport {
+    /// Distinct class count.
+    pub class_count: usize,
+    /// Normalized entropy in `[0,1]` (1 = uniform, 0 = single class).
+    pub normalized_entropy: f64,
+    /// Rarest class frequency / most common class frequency.
+    pub minority_ratio: f64,
+    /// `(class label, count)` pairs, most common first.
+    pub class_counts: Vec<(String, usize)>,
+}
+
+/// Measure class balance of `target`. Errors if the column is missing.
+pub fn balance_report(table: &Table, target: &str) -> openbi_table::Result<BalanceReport> {
+    let col = table.column(target)?;
+    let mut counts: Vec<(String, usize)> = stats::value_counts(col).into_iter().collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let class_count = counts.len();
+    let normalized_entropy = if class_count <= 1 {
+        if class_count == 1 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        stats::entropy(col) / (class_count as f64).log2()
+    };
+    let minority_ratio = match (counts.last(), counts.first()) {
+        (Some((_, min)), Some((_, max))) if *max > 0 => *min as f64 / *max as f64,
+        _ => 1.0,
+    };
+    Ok(BalanceReport {
+        class_count,
+        normalized_entropy,
+        minority_ratio,
+        class_counts: counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    #[test]
+    fn balanced_binary() {
+        let t = Table::new(vec![Column::from_str_values("y", ["a", "b", "a", "b"])]).unwrap();
+        let r = balance_report(&t, "y").unwrap();
+        assert_eq!(r.class_count, 2);
+        assert!((r.normalized_entropy - 1.0).abs() < 1e-12);
+        assert_eq!(r.minority_ratio, 1.0);
+    }
+
+    #[test]
+    fn imbalanced_binary() {
+        let labels: Vec<&str> = std::iter::repeat_n("a", 9).chain(["b"]).collect();
+        let t = Table::new(vec![Column::from_str_values("y", labels)]).unwrap();
+        let r = balance_report(&t, "y").unwrap();
+        assert!((r.minority_ratio - 1.0 / 9.0).abs() < 1e-12);
+        assert!(r.normalized_entropy < 0.6);
+        assert_eq!(r.class_counts[0], ("a".to_string(), 9));
+    }
+
+    #[test]
+    fn single_class_entropy_zero() {
+        let t = Table::new(vec![Column::from_str_values("y", ["a", "a"])]).unwrap();
+        let r = balance_report(&t, "y").unwrap();
+        assert_eq!(r.normalized_entropy, 0.0);
+        assert_eq!(r.class_count, 1);
+    }
+
+    #[test]
+    fn missing_column_errors() {
+        let t = Table::new(vec![Column::from_i64("x", [1])]).unwrap();
+        assert!(balance_report(&t, "y").is_err());
+    }
+}

@@ -1,0 +1,59 @@
+//! Completeness: the fraction of non-null cells.
+
+use openbi_table::Table;
+
+/// Overall completeness of a table: non-null cells / total cells.
+/// An empty table is trivially complete (1.0).
+pub fn completeness(table: &Table) -> f64 {
+    let total = table.n_rows() * table.n_cols();
+    if total == 0 {
+        return 1.0;
+    }
+    1.0 - table.total_null_count() as f64 / total as f64
+}
+
+/// Per-column completeness, as `(column, non-null fraction)` pairs.
+pub fn column_completeness(table: &Table) -> Vec<(String, f64)> {
+    table
+        .columns()
+        .iter()
+        .map(|c| {
+            let frac = if c.is_empty() {
+                1.0
+            } else {
+                1.0 - c.null_count() as f64 / c.len() as f64
+            };
+            (c.name().to_string(), frac)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    #[test]
+    fn full_table_is_complete() {
+        let t = Table::new(vec![Column::from_i64("a", [1, 2])]).unwrap();
+        assert_eq!(completeness(&t), 1.0);
+    }
+
+    #[test]
+    fn counts_nulls_across_columns() {
+        let t = Table::new(vec![
+            Column::from_opt_i64("a", [Some(1), None]),
+            Column::from_opt_f64("b", [None, None]),
+        ])
+        .unwrap();
+        assert!((completeness(&t) - 0.25).abs() < 1e-12);
+        let per = column_completeness(&t);
+        assert_eq!(per[0], ("a".to_string(), 0.5));
+        assert_eq!(per[1], ("b".to_string(), 0.0));
+    }
+
+    #[test]
+    fn empty_table_is_complete() {
+        assert_eq!(completeness(&Table::empty()), 1.0);
+    }
+}

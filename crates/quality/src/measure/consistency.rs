@@ -1,0 +1,149 @@
+//! Representational consistency of string columns.
+//!
+//! Cleaning literature (Rahm & Do \[13\]) highlights heterogeneous value
+//! representation — mixed date formats, inconsistent casing, stray
+//! whitespace — as a core quality problem. We measure it structurally:
+//! each string is reduced to a *format signature* (runs of character
+//! classes), and a column's consistency is the share of its dominant
+//! signature.
+
+use openbi_table::{Column, Table};
+use std::collections::HashMap;
+
+/// Reduce a string to a format signature: `a` = lowercase run, `A` =
+/// uppercase run, `Aa` = capitalized run, `9` = digit run, other chars
+/// verbatim, whitespace normalized to a single space (leading/trailing
+/// whitespace is kept — it is an inconsistency signal).
+pub fn format_signature(s: &str) -> String {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Class {
+        Lower,
+        Upper,
+        Capitalized,
+        Digit,
+        Space,
+        Other(char),
+    }
+    let mut runs: Vec<Class> = Vec::new();
+    for c in s.chars() {
+        let class = if c.is_ascii_digit() {
+            Class::Digit
+        } else if c.is_lowercase() {
+            Class::Lower
+        } else if c.is_uppercase() {
+            Class::Upper
+        } else if c.is_whitespace() {
+            Class::Space
+        } else {
+            Class::Other(c)
+        };
+        match (runs.last().copied(), class) {
+            // An uppercase letter followed by lowercase = capitalized word.
+            (Some(Class::Upper), Class::Lower) => {
+                *runs.last_mut().expect("nonempty") = Class::Capitalized;
+            }
+            (Some(Class::Capitalized), Class::Lower)
+            | (Some(Class::Lower), Class::Lower)
+            | (Some(Class::Upper), Class::Upper)
+            | (Some(Class::Digit), Class::Digit)
+            | (Some(Class::Space), Class::Space) => {}
+            (_, c) => runs.push(c),
+        }
+    }
+    runs.iter()
+        .map(|r| match r {
+            Class::Lower => 'a',
+            Class::Upper => 'A',
+            Class::Capitalized => 'C',
+            Class::Digit => '9',
+            Class::Space => ' ',
+            Class::Other(c) => *c,
+        })
+        .collect()
+}
+
+/// Share of the dominant format signature among non-null values of a
+/// string column; 1.0 for empty or non-string columns.
+pub fn column_consistency(column: &Column) -> f64 {
+    let Some(values) = column.as_str_slice() else {
+        return 1.0;
+    };
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut total = 0usize;
+    for v in values.iter().flatten() {
+        *counts.entry(format_signature(v)).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    let max = counts.values().copied().max().unwrap_or(0);
+    max as f64 / total as f64
+}
+
+/// Mean consistency over string columns (excluding the named columns);
+/// 1.0 if there are no string columns.
+pub fn table_consistency(table: &Table, exclude: &[&str]) -> f64 {
+    let scores: Vec<f64> = table
+        .columns()
+        .iter()
+        .filter(|c| !exclude.contains(&c.name()) && c.as_str_slice().is_some())
+        .map(column_consistency)
+        .collect();
+    if scores.is_empty() {
+        1.0
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signatures_normalize_runs() {
+        assert_eq!(format_signature("Alicante"), "C");
+        assert_eq!(format_signature("ALICANTE"), "A");
+        assert_eq!(format_signature("alicante"), "a");
+        assert_eq!(format_signature("2024-01-31"), "9-9-9");
+        assert_eq!(format_signature("31/01/2024"), "9/9/9");
+        assert_eq!(format_signature("A-12"), "A-9");
+        assert_eq!(format_signature(" padded "), " a ");
+    }
+
+    #[test]
+    fn uniform_column_is_consistent() {
+        let c = Column::from_str_values("d", ["2024-01-01", "2023-12-31", "2022-06-15"]);
+        assert_eq!(column_consistency(&c), 1.0);
+    }
+
+    #[test]
+    fn mixed_date_formats_lower_consistency() {
+        let c = Column::from_str_values("d", ["2024-01-01", "01/02/2024", "2023-12-31"]);
+        assert!((column_consistency(&c) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn case_mangling_detected() {
+        let c = Column::from_str_values("city", ["Madrid", "MADRID", "Sevilla", "Bilbao"]);
+        assert!((column_consistency(&c) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_column_is_trivially_consistent() {
+        let c = Column::from_f64("x", [1.0, 2.0]);
+        assert_eq!(column_consistency(&c), 1.0);
+    }
+
+    #[test]
+    fn table_mean_respects_exclusions() {
+        let t = Table::new(vec![
+            Column::from_str_values("clean", ["Aa", "Bb"]),
+            Column::from_str_values("dirty", ["Aa", "bb"]),
+        ])
+        .unwrap();
+        assert!((table_consistency(&t, &[]) - 0.75).abs() < 1e-12);
+        assert_eq!(table_consistency(&t, &["dirty"]), 1.0);
+    }
+}

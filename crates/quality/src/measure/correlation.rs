@@ -1,0 +1,98 @@
+//! Inter-attribute correlation / redundancy measurement.
+//!
+//! The paper's own motivating example (§3.1): strongly correlated inputs
+//! make a classifier's output "correct but not useful". These measures
+//! quantify that redundancy so the advisor can warn about it.
+
+use openbi_table::{stats, Table};
+
+/// Redundancy summary over the numeric columns of a table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationReport {
+    /// Maximum absolute pairwise Pearson correlation (0 if < 2 columns).
+    pub max_abs: f64,
+    /// Mean absolute pairwise Pearson correlation (0 if < 2 columns).
+    pub mean_abs: f64,
+    /// Pairs with |r| above the redundancy threshold, as
+    /// `(col_a, col_b, r)`.
+    pub redundant_pairs: Vec<(String, String, f64)>,
+}
+
+/// Compute the correlation report; `exclude` columns (e.g. the target and
+/// identifiers) are skipped. `threshold` flags redundant pairs.
+pub fn correlation_report(table: &Table, exclude: &[&str], threshold: f64) -> CorrelationReport {
+    let keep: Vec<&str> = table
+        .column_names()
+        .into_iter()
+        .filter(|n| !exclude.contains(n))
+        .collect();
+    let sub = table.select(&keep).expect("names from table");
+    let (names, m) = stats::correlation_matrix(&sub);
+    let n = names.len();
+    let mut max_abs: f64 = 0.0;
+    let mut sum_abs = 0.0;
+    let mut count = 0usize;
+    let mut redundant_pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let r = m[i][j];
+            max_abs = max_abs.max(r.abs());
+            sum_abs += r.abs();
+            count += 1;
+            if r.abs() >= threshold {
+                redundant_pairs.push((names[i].clone(), names[j].clone(), r));
+            }
+        }
+    }
+    CorrelationReport {
+        max_abs,
+        mean_abs: if count == 0 { 0.0 } else { sum_abs / count as f64 },
+        redundant_pairs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    fn table_with_copy() -> Table {
+        Table::new(vec![
+            Column::from_f64("x", [1.0, 2.0, 3.0, 4.0]),
+            Column::from_f64("x_copy", [2.0, 4.0, 6.0, 8.0]),
+            Column::from_f64("z", [4.0, 1.0, 3.0, 2.0]),
+            Column::from_str_values("label", ["a", "b", "a", "b"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn detects_redundant_pair() {
+        let r = correlation_report(&table_with_copy(), &["label"], 0.95);
+        assert!((r.max_abs - 1.0).abs() < 1e-9);
+        assert_eq!(r.redundant_pairs.len(), 1);
+        assert_eq!(r.redundant_pairs[0].0, "x");
+        assert_eq!(r.redundant_pairs[0].1, "x_copy");
+    }
+
+    #[test]
+    fn exclusion_removes_columns() {
+        let r = correlation_report(&table_with_copy(), &["x_copy", "label"], 0.95);
+        assert!(r.redundant_pairs.is_empty());
+        assert!(r.max_abs < 0.95);
+    }
+
+    #[test]
+    fn single_numeric_column_is_zero() {
+        let t = Table::new(vec![Column::from_f64("only", [1.0, 2.0])]).unwrap();
+        let r = correlation_report(&t, &[], 0.9);
+        assert_eq!(r.max_abs, 0.0);
+        assert_eq!(r.mean_abs, 0.0);
+    }
+
+    #[test]
+    fn mean_abs_averages_pairs() {
+        let r = correlation_report(&table_with_copy(), &["label"], 0.99);
+        assert!(r.mean_abs > 0.0 && r.mean_abs < 1.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Duplicate detection: exact and near duplicates.
+//!
+//! Exact duplicates use the table's row-key hashing; near duplicates use
+//! a normalized per-attribute distance with a configurable threshold —
+//! the classic record-matching setting of Elmagarmid et al. \[5\] and
+//! Ananthakrishna et al. \[1\], scoped to a single table.
+
+use openbi_table::{Table, Value};
+use std::collections::HashMap;
+
+/// Fraction of rows that exactly duplicate an earlier row.
+pub fn exact_duplicate_ratio(table: &Table) -> f64 {
+    if table.n_rows() == 0 {
+        return 0.0;
+    }
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut dups = 0usize;
+    for i in 0..table.n_rows() {
+        let key = table.row_key(i).expect("in-bounds");
+        if seen.insert(key, i).is_some() {
+            dups += 1;
+        }
+    }
+    dups as f64 / table.n_rows() as f64
+}
+
+/// Groups of row indices that are exact duplicates of each other
+/// (only groups of size ≥ 2 are returned, in first-occurrence order).
+pub fn exact_duplicate_groups(table: &Table) -> Vec<Vec<usize>> {
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+    for i in 0..table.n_rows() {
+        let key = table.row_key(i).expect("in-bounds");
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key.clone());
+                Vec::new()
+            })
+            .push(i);
+    }
+    order
+        .into_iter()
+        .filter_map(|k| {
+            let g = groups.remove(&k).expect("inserted");
+            (g.len() >= 2).then_some(g)
+        })
+        .collect()
+}
+
+/// Normalized distance between two rows: numeric attributes are compared
+/// relative to their column range, strings by inequality, nulls match
+/// nulls. Result in `[0,1]` (mean over attributes).
+fn row_distance(table: &Table, ranges: &[Option<(f64, f64)>], a: usize, b: usize) -> f64 {
+    let mut total = 0.0;
+    let n = table.n_cols();
+    for (ci, col) in table.columns().iter().enumerate() {
+        let va = col.get(a).expect("in-bounds");
+        let vb = col.get(b).expect("in-bounds");
+        let d = match (&va, &vb) {
+            (Value::Null, Value::Null) => 0.0,
+            (Value::Null, _) | (_, Value::Null) => 1.0,
+            _ => match (va.as_f64(), vb.as_f64()) {
+                (Some(x), Some(y)) => match ranges[ci] {
+                    Some((lo, hi)) if hi > lo => ((x - y).abs() / (hi - lo)).min(1.0),
+                    _ => {
+                        if x == y {
+                            0.0
+                        } else {
+                            1.0
+                        }
+                    }
+                },
+                _ => {
+                    if va == vb {
+                        0.0
+                    } else {
+                        1.0
+                    }
+                }
+            },
+        };
+        total += d;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Fraction of rows whose normalized distance to some earlier row is at
+/// most `threshold`. Quadratic; intended for profile-sized samples.
+pub fn near_duplicate_ratio(table: &Table, threshold: f64) -> f64 {
+    let n = table.n_rows();
+    if n < 2 {
+        return 0.0;
+    }
+    let ranges: Vec<Option<(f64, f64)>> = table
+        .columns()
+        .iter()
+        .map(|c| {
+            if !c.dtype().is_numeric() {
+                return None;
+            }
+            let vals: Vec<f64> = c.to_f64_vec().into_iter().flatten().collect();
+            if vals.is_empty() {
+                None
+            } else {
+                let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+                let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                Some((lo, hi))
+            }
+        })
+        .collect();
+    let mut dups = 0usize;
+    for i in 1..n {
+        for j in 0..i {
+            if row_distance(table, &ranges, i, j) <= threshold {
+                dups += 1;
+                break;
+            }
+        }
+    }
+    dups as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    fn dup_table() -> Table {
+        Table::new(vec![
+            Column::from_i64("a", [1, 2, 1, 1]),
+            Column::from_str_values("b", ["x", "y", "x", "x"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_ratio_counts_later_occurrences() {
+        // rows 2 and 3 duplicate row 0 → 2/4.
+        assert!((exact_duplicate_ratio(&dup_table()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn groups_collect_indices() {
+        let groups = exact_duplicate_groups(&dup_table());
+        assert_eq!(groups, vec![vec![0, 2, 3]]);
+    }
+
+    #[test]
+    fn unique_rows_have_zero_ratio() {
+        let t = Table::new(vec![Column::from_i64("a", [1, 2, 3])]).unwrap();
+        assert_eq!(exact_duplicate_ratio(&t), 0.0);
+        assert!(exact_duplicate_groups(&t).is_empty());
+    }
+
+    #[test]
+    fn null_and_value_are_distinct_rows() {
+        let t = Table::new(vec![Column::from_opt_i64("a", [Some(1), None, None])]).unwrap();
+        // Row 2 duplicates row 1 (both null) → 1/3.
+        assert!((exact_duplicate_ratio(&t) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn near_duplicates_detected_within_threshold() {
+        let t = Table::new(vec![
+            Column::from_f64("x", [0.0, 0.05, 10.0]),
+            Column::from_str_values("s", ["a", "a", "b"]),
+        ])
+        .unwrap();
+        // Row 1 is within 0.1 of row 0 in normalized distance.
+        let ratio = near_duplicate_ratio(&t, 0.1);
+        assert!((ratio - 1.0 / 3.0).abs() < 1e-12);
+        // With zero threshold nothing matches (row 1 differs slightly).
+        assert_eq!(near_duplicate_ratio(&t, 0.0), 0.0);
+    }
+
+    #[test]
+    fn near_duplicates_on_tiny_table() {
+        let t = Table::new(vec![Column::from_i64("a", [1])]).unwrap();
+        assert_eq!(near_duplicate_ratio(&t, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Measurement of data-quality criteria (paper §3.2.2).
+//!
+//! Individual criteria live in submodules; [`measure_profile`] combines
+//! them into a [`crate::profile::QualityProfile`].
+
+pub mod balance;
+pub mod completeness;
+pub mod consistency;
+pub mod correlation;
+pub mod duplicates;
+pub mod noise;
+pub mod outliers;
+
+use crate::profile::QualityProfile;
+use openbi_table::Table;
+
+/// Options controlling profile measurement.
+#[derive(Debug, Clone)]
+pub struct MeasureOptions {
+    /// Target (class) column, if one is designated.
+    pub target: Option<String>,
+    /// Identifier / ignored columns excluded from feature criteria.
+    pub exclude: Vec<String>,
+    /// |r| threshold above which a pair counts as redundant.
+    pub redundancy_threshold: f64,
+    /// Neighborhood size for the noise estimators.
+    pub noise_k: usize,
+    /// Row cap for the quadratic noise estimators.
+    pub noise_max_rows: usize,
+}
+
+impl Default for MeasureOptions {
+    fn default() -> Self {
+        MeasureOptions {
+            target: None,
+            exclude: vec![],
+            redundancy_threshold: 0.95,
+            noise_k: 5,
+            noise_max_rows: noise::DEFAULT_MAX_ROWS,
+        }
+    }
+}
+
+impl MeasureOptions {
+    /// Convenience constructor with a target column.
+    pub fn with_target(target: impl Into<String>) -> Self {
+        MeasureOptions {
+            target: Some(target.into()),
+            ..Default::default()
+        }
+    }
+
+    fn feature_exclusions(&self) -> Vec<&str> {
+        let mut ex: Vec<&str> = self.exclude.iter().map(String::as_str).collect();
+        if let Some(t) = &self.target {
+            ex.push(t.as_str());
+        }
+        ex
+    }
+}
+
+/// Measure every quality criterion of a table into one profile.
+pub fn measure_profile(table: &Table, options: &MeasureOptions) -> QualityProfile {
+    let ex = options.feature_exclusions();
+    let n_attributes = table
+        .column_names()
+        .iter()
+        .filter(|n| !ex.contains(n))
+        .count();
+    let corr = correlation::correlation_report(table, &ex, options.redundancy_threshold);
+    let (class_balance, minority_ratio, distinct_class_count, label_noise) = match &options.target
+    {
+        Some(t) if table.has_column(t) => {
+            let b = balance::balance_report(table, t).expect("column exists");
+            let noise =
+                noise::label_noise_estimate(table, t, options.noise_k, options.noise_max_rows);
+            (b.normalized_entropy, b.minority_ratio, b.class_count, noise)
+        }
+        _ => (1.0, 1.0, 0, 0.0),
+    };
+    QualityProfile {
+        n_rows: table.n_rows(),
+        n_attributes,
+        completeness: completeness::completeness(table),
+        duplicate_ratio: duplicates::exact_duplicate_ratio(table),
+        max_abs_correlation: corr.max_abs,
+        mean_abs_correlation: corr.mean_abs,
+        class_balance,
+        minority_ratio,
+        dimensionality: if table.n_rows() == 0 {
+            1.0
+        } else {
+            (n_attributes as f64 / table.n_rows() as f64).min(1.0)
+        },
+        outlier_ratio: outliers::outlier_ratio(table, &ex),
+        label_noise_estimate: label_noise,
+        attr_noise_estimate: noise::attribute_noise_estimate(
+            table,
+            &ex,
+            options.noise_k,
+            options.noise_max_rows,
+        ),
+        consistency: consistency::table_consistency(table, &ex),
+        distinct_class_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    fn sample() -> Table {
+        Table::new(vec![
+            Column::from_i64("id", (0..10).collect::<Vec<i64>>()),
+            Column::from_f64("x", (0..10).map(|i| i as f64).collect::<Vec<f64>>()),
+            Column::from_f64("x2", (0..10).map(|i| 2.0 * i as f64).collect::<Vec<f64>>()),
+            Column::from_opt_f64(
+                "y",
+                (0..10)
+                    .map(|i| if i == 3 { None } else { Some((i * i) as f64) })
+                    .collect::<Vec<Option<f64>>>(),
+            ),
+            Column::from_str_values(
+                "class",
+                (0..10).map(|i| if i < 7 { "a" } else { "b" }).collect::<Vec<&str>>(),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn profile_combines_criteria() {
+        let opts = MeasureOptions {
+            target: Some("class".into()),
+            exclude: vec!["id".into()],
+            ..Default::default()
+        };
+        let p = measure_profile(&sample(), &opts);
+        assert_eq!(p.n_rows, 10);
+        assert_eq!(p.n_attributes, 3); // x, x2, y
+        assert!(p.completeness > 0.9 && p.completeness < 1.0);
+        assert!(p.max_abs_correlation > 0.99, "x and x2 are copies");
+        assert_eq!(p.distinct_class_count, 2);
+        assert!((p.minority_ratio - 3.0 / 7.0).abs() < 1e-12);
+        assert_eq!(p.duplicate_ratio, 0.0);
+    }
+
+    #[test]
+    fn no_target_defaults_balance() {
+        let p = measure_profile(&sample(), &MeasureOptions::default());
+        assert_eq!(p.class_balance, 1.0);
+        assert_eq!(p.distinct_class_count, 0);
+        assert_eq!(p.label_noise_estimate, 0.0);
+    }
+
+    #[test]
+    fn unknown_target_is_tolerated() {
+        let p = measure_profile(&sample(), &MeasureOptions::with_target("nope"));
+        assert_eq!(p.distinct_class_count, 0);
+    }
+
+    #[test]
+    fn dimensionality_capped_at_one() {
+        let t = Table::new(vec![
+            Column::from_f64("a", [1.0]),
+            Column::from_f64("b", [2.0]),
+        ])
+        .unwrap();
+        let p = measure_profile(&t, &MeasureOptions::default());
+        assert_eq!(p.dimensionality, 1.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! Outlier detection over numeric columns (Tukey IQR fences and z-scores).
+
+use openbi_table::{stats, Column, Table};
+
+/// Row indices of cells outside the `k`×IQR fences of a numeric column.
+pub fn iqr_outliers(column: &Column, k: f64) -> Vec<usize> {
+    let values = column.to_f64_vec();
+    let mut non_null: Vec<f64> = values.iter().flatten().copied().collect();
+    if non_null.len() < 4 {
+        return vec![];
+    }
+    non_null.sort_by(f64::total_cmp);
+    let q1 = stats::quantile_sorted(&non_null, 0.25);
+    let q3 = stats::quantile_sorted(&non_null, 0.75);
+    let iqr = q3 - q1;
+    let lo = q1 - k * iqr;
+    let hi = q3 + k * iqr;
+    values
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| match v {
+            Some(x) if *x < lo || *x > hi => Some(i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Row indices with |z-score| above `threshold` in a numeric column.
+pub fn zscore_outliers(column: &Column, threshold: f64) -> Vec<usize> {
+    let Some(mean) = stats::mean(column) else {
+        return vec![];
+    };
+    let Some(std) = stats::std_dev(column) else {
+        return vec![];
+    };
+    if std == 0.0 {
+        return vec![];
+    }
+    column
+        .to_f64_vec()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| match v {
+            Some(x) if ((x - mean) / std).abs() > threshold => Some(i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Fraction of numeric cells that are 1.5×IQR outliers, over the whole
+/// table (excluding the named columns).
+pub fn outlier_ratio(table: &Table, exclude: &[&str]) -> f64 {
+    let mut outliers = 0usize;
+    let mut cells = 0usize;
+    for c in table.columns() {
+        if exclude.contains(&c.name()) || !c.dtype().is_numeric() {
+            continue;
+        }
+        outliers += iqr_outliers(c, 1.5).len();
+        cells += c.len() - c.null_count();
+    }
+    if cells == 0 {
+        0.0
+    } else {
+        outliers as f64 / cells as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iqr_flags_extreme_point() {
+        let c = Column::from_f64("x", [1.0, 2.0, 3.0, 4.0, 5.0, 100.0]);
+        assert_eq!(iqr_outliers(&c, 1.5), vec![5]);
+    }
+
+    #[test]
+    fn iqr_small_sample_returns_empty() {
+        let c = Column::from_f64("x", [1.0, 100.0]);
+        assert!(iqr_outliers(&c, 1.5).is_empty());
+    }
+
+    #[test]
+    fn zscore_flags_extreme_point() {
+        let mut vals = vec![0.0; 20];
+        vals.push(1000.0);
+        let c = Column::from_f64("x", vals);
+        assert_eq!(zscore_outliers(&c, 3.0), vec![20]);
+    }
+
+    #[test]
+    fn zscore_constant_column_empty() {
+        let c = Column::from_f64("x", [5.0, 5.0, 5.0]);
+        assert!(zscore_outliers(&c, 2.0).is_empty());
+    }
+
+    #[test]
+    fn table_ratio_respects_exclusions() {
+        let t = Table::new(vec![
+            Column::from_f64("x", [1.0, 2.0, 3.0, 4.0, 5.0, 100.0]),
+            Column::from_f64("skip", [1.0, 2.0, 3.0, 4.0, 5.0, 100.0]),
+        ])
+        .unwrap();
+        let with = outlier_ratio(&t, &[]);
+        let without = outlier_ratio(&t, &["skip"]);
+        assert!((with - 2.0 / 12.0).abs() < 1e-12);
+        assert!((without - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nulls_are_ignored() {
+        let c = Column::from_opt_f64(
+            "x",
+            [Some(1.0), Some(2.0), Some(3.0), Some(4.0), None, Some(100.0)],
+        );
+        assert_eq!(iqr_outliers(&c, 1.5), vec![5]);
+    }
+}

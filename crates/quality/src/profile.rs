@@ -1,0 +1,198 @@
+//! The [`QualityProfile`]: a fixed-dimensional summary of every data
+//! quality criterion this system measures.
+//!
+//! A profile is what gets (a) annotated onto the common representation,
+//! (b) stored in the DQ4DM knowledge base next to observed algorithm
+//! performance, and (c) compared between a new dataset and past
+//! experiments when advising a non-expert user.
+
+use serde::{Deserialize, Serialize};
+
+/// Measured values for every data-quality criterion (paper §3.1/§3.2.2).
+///
+/// All ratio-like fields live in `[0,1]`. Higher `completeness`,
+/// `class_balance` and `consistency` are better; higher
+/// `duplicate_ratio`, correlations, noise estimates, `outlier_ratio` and
+/// `dimensionality` are worse.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QualityProfile {
+    /// Number of rows observed.
+    pub n_rows: usize,
+    /// Number of feature attributes observed.
+    pub n_attributes: usize,
+    /// Fraction of non-null cells (1 = fully complete).
+    pub completeness: f64,
+    /// Fraction of rows that exactly duplicate an earlier row.
+    pub duplicate_ratio: f64,
+    /// Maximum absolute Pearson correlation among numeric feature pairs.
+    pub max_abs_correlation: f64,
+    /// Mean absolute Pearson correlation among numeric feature pairs.
+    pub mean_abs_correlation: f64,
+    /// Normalized entropy of the class distribution (1 = perfectly
+    /// balanced, 0 = single class). 1 when no target is designated.
+    pub class_balance: f64,
+    /// Ratio of the rarest to the most common class frequency.
+    pub minority_ratio: f64,
+    /// Attributes per row: `n_attributes / n_rows`, capped at 1.
+    pub dimensionality: f64,
+    /// Fraction of numeric cells outside the 1.5×IQR fences.
+    pub outlier_ratio: f64,
+    /// k-NN disagreement estimate of label noise (0 when no target).
+    pub label_noise_estimate: f64,
+    /// Local-roughness estimate of attribute noise.
+    pub attr_noise_estimate: f64,
+    /// Mean dominant-format share of string columns (1 = uniform formats).
+    pub consistency: f64,
+    /// Number of distinct classes (0 when no target).
+    pub distinct_class_count: usize,
+}
+
+impl Default for QualityProfile {
+    fn default() -> Self {
+        QualityProfile {
+            n_rows: 0,
+            n_attributes: 0,
+            completeness: 1.0,
+            duplicate_ratio: 0.0,
+            max_abs_correlation: 0.0,
+            mean_abs_correlation: 0.0,
+            class_balance: 1.0,
+            minority_ratio: 1.0,
+            dimensionality: 0.0,
+            outlier_ratio: 0.0,
+            label_noise_estimate: 0.0,
+            attr_noise_estimate: 0.0,
+            consistency: 1.0,
+            distinct_class_count: 0,
+        }
+    }
+}
+
+/// Names of the vectorized dimensions, aligned with
+/// [`QualityProfile::to_vector`].
+pub const PROFILE_DIMENSIONS: [&str; 11] = [
+    "completeness",
+    "duplicate_ratio",
+    "max_abs_correlation",
+    "mean_abs_correlation",
+    "class_balance",
+    "minority_ratio",
+    "dimensionality",
+    "outlier_ratio",
+    "label_noise_estimate",
+    "attr_noise_estimate",
+    "consistency",
+];
+
+impl QualityProfile {
+    /// The profile as a fixed-order vector of its `[0,1]`-scaled criteria
+    /// (sizes are deliberately excluded: similarity should reflect
+    /// *quality*, not scale).
+    pub fn to_vector(&self) -> [f64; 11] {
+        [
+            self.completeness,
+            self.duplicate_ratio,
+            self.max_abs_correlation,
+            self.mean_abs_correlation,
+            self.class_balance,
+            self.minority_ratio,
+            self.dimensionality,
+            self.outlier_ratio,
+            self.label_noise_estimate,
+            self.attr_noise_estimate,
+            self.consistency,
+        ]
+    }
+
+    /// Euclidean distance between two profiles in criterion space.
+    pub fn distance(&self, other: &QualityProfile) -> f64 {
+        self.to_vector()
+            .iter()
+            .zip(other.to_vector().iter())
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// All criteria as `(name, value)` pairs — convenient for annotation
+    /// and LOD publication.
+    pub fn criteria(&self) -> Vec<(String, f64)> {
+        PROFILE_DIMENSIONS
+            .iter()
+            .zip(self.to_vector().iter())
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect()
+    }
+
+    /// A coarse human-readable verdict of the dominant quality problem,
+    /// or `None` if the data looks clean.
+    pub fn dominant_issue(&self) -> Option<(&'static str, f64)> {
+        let issues: [(&'static str, f64); 7] = [
+            ("incomplete data", 1.0 - self.completeness),
+            ("duplicate records", self.duplicate_ratio),
+            ("redundant correlated attributes", self.max_abs_correlation.max(0.0) - 0.8),
+            ("class imbalance", 1.0 - self.minority_ratio),
+            ("outliers", self.outlier_ratio * 2.0),
+            ("label noise", self.label_noise_estimate),
+            ("inconsistent value formats", 1.0 - self.consistency),
+        ];
+        issues
+            .into_iter()
+            .filter(|(_, severity)| *severity > 0.15)
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_clean() {
+        let p = QualityProfile::default();
+        assert_eq!(p.completeness, 1.0);
+        assert_eq!(p.dominant_issue(), None);
+    }
+
+    #[test]
+    fn vector_matches_dimension_names() {
+        let p = QualityProfile::default();
+        assert_eq!(p.to_vector().len(), PROFILE_DIMENSIONS.len());
+        assert_eq!(p.criteria().len(), PROFILE_DIMENSIONS.len());
+        assert_eq!(p.criteria()[0].0, "completeness");
+    }
+
+    #[test]
+    fn distance_is_metric_like() {
+        let a = QualityProfile::default();
+        let mut b = a.clone();
+        b.completeness = 0.5;
+        assert_eq!(a.distance(&a), 0.0);
+        assert!((a.distance(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.distance(&b), b.distance(&a));
+    }
+
+    #[test]
+    fn dominant_issue_picks_worst() {
+        let mut p = QualityProfile {
+            completeness: 0.6,  // severity 0.4
+            minority_ratio: 0.9, // severity 0.1 (below threshold)
+            ..Default::default()
+        };
+        assert_eq!(p.dominant_issue().unwrap().0, "incomplete data");
+        p.label_noise_estimate = 0.7;
+        assert_eq!(p.dominant_issue().unwrap().0, "label noise");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let p = QualityProfile {
+            n_rows: 10,
+            completeness: 0.7,
+            ..Default::default()
+        };
+        let json = serde_json::to_string(&p).unwrap();
+        let back: QualityProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

@@ -1,0 +1,62 @@
+//! Human-readable rendering of quality profiles — the "report to the
+//! user" half of user-friendly preprocessing (Kriegel et al. \[11\]).
+
+use crate::profile::QualityProfile;
+use std::fmt::Write as _;
+
+fn bar(value: f64, width: usize) -> String {
+    let filled = (value.clamp(0.0, 1.0) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+/// Render a profile as an aligned text report with 20-char bars.
+pub fn render_profile(name: &str, profile: &QualityProfile) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Data quality report: {name}");
+    let _ = writeln!(
+        out,
+        "  rows: {}   attributes: {}   classes: {}",
+        profile.n_rows, profile.n_attributes, profile.distinct_class_count
+    );
+    for (criterion, value) in profile.criteria() {
+        let _ = writeln!(out, "  {criterion:<22} {} {value:.3}", bar(value, 20));
+    }
+    if let Some((issue, severity)) = profile.dominant_issue() {
+        let _ = writeln!(out, "  dominant issue: {issue} (severity {severity:.2})");
+    } else {
+        let _ = writeln!(out, "  no dominant quality issue detected");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_criteria() {
+        let p = QualityProfile {
+            n_rows: 5,
+            completeness: 0.5,
+            ..Default::default()
+        };
+        let r = render_profile("test", &p);
+        assert!(r.contains("completeness"));
+        assert!(r.contains("consistency"));
+        assert!(r.contains("dominant issue: incomplete data"));
+    }
+
+    #[test]
+    fn clean_profile_reports_no_issue() {
+        let r = render_profile("clean", &QualityProfile::default());
+        assert!(r.contains("no dominant quality issue"));
+    }
+
+    #[test]
+    fn bars_have_fixed_width() {
+        assert_eq!(bar(0.5, 20).len(), 20);
+        assert_eq!(bar(0.0, 20), ".".repeat(20));
+        assert_eq!(bar(1.0, 20), "#".repeat(20));
+        assert_eq!(bar(2.0, 20), "#".repeat(20));
+    }
+}

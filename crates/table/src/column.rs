@@ -1,0 +1,537 @@
+//! Typed, nullable columns.
+//!
+//! A [`Column`] is a named, homogeneously typed vector of optional values.
+//! The concrete storage is one of four typed vectors ([`ColumnData`]), so
+//! numeric scans do not pay an enum-per-cell cost.
+
+use crate::error::{Result, TableError};
+use crate::value::{DataType, Value};
+
+/// Typed storage for a column. Every slot is optional; `None` is a null.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// Integer storage.
+    Int(Vec<Option<i64>>),
+    /// Float storage.
+    Float(Vec<Option<f64>>),
+    /// String storage.
+    Str(Vec<Option<String>>),
+    /// Boolean storage.
+    Bool(Vec<Option<bool>>),
+}
+
+impl ColumnData {
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Int(v) => v.len(),
+            ColumnData::Float(v) => v.len(),
+            ColumnData::Str(v) => v.len(),
+            ColumnData::Bool(v) => v.len(),
+        }
+    }
+
+    /// True iff there are no slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The data type of the storage.
+    pub fn dtype(&self) -> DataType {
+        match self {
+            ColumnData::Int(_) => DataType::Int,
+            ColumnData::Float(_) => DataType::Float,
+            ColumnData::Str(_) => DataType::Str,
+            ColumnData::Bool(_) => DataType::Bool,
+        }
+    }
+}
+
+/// A named, typed, nullable column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    name: String,
+    data: ColumnData,
+}
+
+impl Column {
+    /// Create a column from typed storage.
+    pub fn new(name: impl Into<String>, data: ColumnData) -> Self {
+        Column {
+            name: name.into(),
+            data,
+        }
+    }
+
+    /// Create an integer column from values (no nulls).
+    pub fn from_i64(name: impl Into<String>, values: impl IntoIterator<Item = i64>) -> Self {
+        Column::new(
+            name,
+            ColumnData::Int(values.into_iter().map(Some).collect()),
+        )
+    }
+
+    /// Create an integer column from optional values.
+    pub fn from_opt_i64(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = Option<i64>>,
+    ) -> Self {
+        Column::new(name, ColumnData::Int(values.into_iter().collect()))
+    }
+
+    /// Create a float column from values (no nulls).
+    pub fn from_f64(name: impl Into<String>, values: impl IntoIterator<Item = f64>) -> Self {
+        Column::new(
+            name,
+            ColumnData::Float(values.into_iter().map(Some).collect()),
+        )
+    }
+
+    /// Create a float column from optional values.
+    pub fn from_opt_f64(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = Option<f64>>,
+    ) -> Self {
+        Column::new(name, ColumnData::Float(values.into_iter().collect()))
+    }
+
+    /// Create a string column from values (no nulls).
+    pub fn from_str_values<S: Into<String>>(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = S>,
+    ) -> Self {
+        Column::new(
+            name,
+            ColumnData::Str(values.into_iter().map(|s| Some(s.into())).collect()),
+        )
+    }
+
+    /// Create a string column from optional values.
+    pub fn from_opt_str(
+        name: impl Into<String>,
+        values: impl IntoIterator<Item = Option<String>>,
+    ) -> Self {
+        Column::new(name, ColumnData::Str(values.into_iter().collect()))
+    }
+
+    /// Create a bool column from values (no nulls).
+    pub fn from_bool(name: impl Into<String>, values: impl IntoIterator<Item = bool>) -> Self {
+        Column::new(
+            name,
+            ColumnData::Bool(values.into_iter().map(Some).collect()),
+        )
+    }
+
+    /// Build a column of the given type from dynamically typed values.
+    /// Values that do not fit the type are an error; nulls are preserved.
+    pub fn from_values(
+        name: impl Into<String>,
+        dtype: DataType,
+        values: impl IntoIterator<Item = Value>,
+    ) -> Result<Self> {
+        let name = name.into();
+        let data = match dtype {
+            DataType::Int => {
+                let mut out = Vec::new();
+                for v in values {
+                    match v {
+                        Value::Null => out.push(None),
+                        Value::Int(i) => out.push(Some(i)),
+                        other => {
+                            return Err(TableError::TypeMismatch {
+                                column: name,
+                                expected: DataType::Int,
+                                actual: other.dtype().unwrap_or(DataType::Int),
+                            })
+                        }
+                    }
+                }
+                ColumnData::Int(out)
+            }
+            DataType::Float => {
+                let mut out = Vec::new();
+                for v in values {
+                    match v {
+                        Value::Null => out.push(None),
+                        Value::Float(f) => out.push(Some(f)),
+                        Value::Int(i) => out.push(Some(i as f64)),
+                        other => {
+                            return Err(TableError::TypeMismatch {
+                                column: name,
+                                expected: DataType::Float,
+                                actual: other.dtype().unwrap_or(DataType::Float),
+                            })
+                        }
+                    }
+                }
+                ColumnData::Float(out)
+            }
+            DataType::Str => {
+                let mut out = Vec::new();
+                for v in values {
+                    match v {
+                        Value::Null => out.push(None),
+                        Value::Str(s) => out.push(Some(s)),
+                        other => out.push(Some(other.to_string())),
+                    }
+                }
+                ColumnData::Str(out)
+            }
+            DataType::Bool => {
+                let mut out = Vec::new();
+                for v in values {
+                    match v {
+                        Value::Null => out.push(None),
+                        Value::Bool(b) => out.push(Some(b)),
+                        other => {
+                            return Err(TableError::TypeMismatch {
+                                column: name,
+                                expected: DataType::Bool,
+                                actual: other.dtype().unwrap_or(DataType::Bool),
+                            })
+                        }
+                    }
+                }
+                ColumnData::Bool(out)
+            }
+        };
+        Ok(Column { name, data })
+    }
+
+    /// The column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the column.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The column's data type.
+    pub fn dtype(&self) -> DataType {
+        self.data.dtype()
+    }
+
+    /// Borrow the typed storage.
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+
+    /// Mutably borrow the typed storage.
+    pub fn data_mut(&mut self) -> &mut ColumnData {
+        &mut self.data
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Number of null slots.
+    pub fn null_count(&self) -> usize {
+        match &self.data {
+            ColumnData::Int(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Float(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Str(v) => v.iter().filter(|x| x.is_none()).count(),
+            ColumnData::Bool(v) => v.iter().filter(|x| x.is_none()).count(),
+        }
+    }
+
+    /// Get the cell at `row` as a dynamically typed [`Value`].
+    pub fn get(&self, row: usize) -> Result<Value> {
+        if row >= self.len() {
+            return Err(TableError::RowOutOfBounds {
+                row,
+                len: self.len(),
+            });
+        }
+        Ok(match &self.data {
+            ColumnData::Int(v) => v[row].map(Value::Int).unwrap_or(Value::Null),
+            ColumnData::Float(v) => v[row].map(Value::Float).unwrap_or(Value::Null),
+            ColumnData::Str(v) => v[row]
+                .as_ref()
+                .map(|s| Value::Str(s.clone()))
+                .unwrap_or(Value::Null),
+            ColumnData::Bool(v) => v[row].map(Value::Bool).unwrap_or(Value::Null),
+        })
+    }
+
+    /// Set the cell at `row`. The value must match the column type (or be
+    /// null); ints may be written into float columns.
+    pub fn set(&mut self, row: usize, value: Value) -> Result<()> {
+        let len = self.len();
+        if row >= len {
+            return Err(TableError::RowOutOfBounds { row, len });
+        }
+        let mismatch = |actual: DataType, expected: DataType, column: &str| {
+            Err(TableError::TypeMismatch {
+                column: column.to_string(),
+                expected,
+                actual,
+            })
+        };
+        match (&mut self.data, value) {
+            (ColumnData::Int(v), Value::Int(i)) => v[row] = Some(i),
+            (ColumnData::Int(v), Value::Null) => v[row] = None,
+            (ColumnData::Float(v), Value::Float(f)) => v[row] = Some(f),
+            (ColumnData::Float(v), Value::Int(i)) => v[row] = Some(i as f64),
+            (ColumnData::Float(v), Value::Null) => v[row] = None,
+            (ColumnData::Str(v), Value::Str(s)) => v[row] = Some(s),
+            (ColumnData::Str(v), Value::Null) => v[row] = None,
+            (ColumnData::Bool(v), Value::Bool(b)) => v[row] = Some(b),
+            (ColumnData::Bool(v), Value::Null) => v[row] = None,
+            (data, value) => {
+                let expected = data.dtype();
+                let actual = value.dtype().unwrap_or(expected);
+                let name = self.name.clone();
+                return mismatch(actual, expected, &name);
+            }
+        }
+        Ok(())
+    }
+
+    /// Push a value onto the column (same typing rules as [`Column::set`]).
+    pub fn push(&mut self, value: Value) -> Result<()> {
+        match (&mut self.data, value) {
+            (ColumnData::Int(v), Value::Int(i)) => v.push(Some(i)),
+            (ColumnData::Int(v), Value::Null) => v.push(None),
+            (ColumnData::Float(v), Value::Float(f)) => v.push(Some(f)),
+            (ColumnData::Float(v), Value::Int(i)) => v.push(Some(i as f64)),
+            (ColumnData::Float(v), Value::Null) => v.push(None),
+            (ColumnData::Str(v), Value::Str(s)) => v.push(Some(s)),
+            (ColumnData::Str(v), Value::Null) => v.push(None),
+            (ColumnData::Bool(v), Value::Bool(b)) => v.push(Some(b)),
+            (ColumnData::Bool(v), Value::Null) => v.push(None),
+            (data, value) => {
+                return Err(TableError::TypeMismatch {
+                    column: self.name.clone(),
+                    expected: data.dtype(),
+                    actual: value.dtype().unwrap_or(data.dtype()),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    /// Iterate over cells as dynamically typed values.
+    pub fn iter(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i).expect("in-bounds"))
+    }
+
+    /// Numeric view of the column: each cell as `Option<f64>`.
+    /// Strings yield `None`.
+    pub fn to_f64_vec(&self) -> Vec<Option<f64>> {
+        match &self.data {
+            ColumnData::Int(v) => v.iter().map(|x| x.map(|i| i as f64)).collect(),
+            ColumnData::Float(v) => v.clone(),
+            ColumnData::Bool(v) => v
+                .iter()
+                .map(|x| x.map(|b| if b { 1.0 } else { 0.0 }))
+                .collect(),
+            ColumnData::Str(v) => v.iter().map(|_| None).collect(),
+        }
+    }
+
+    /// Borrow float storage, if this is a float column.
+    pub fn as_f64_slice(&self) -> Option<&[Option<f64>]> {
+        match &self.data {
+            ColumnData::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow string storage, if this is a string column.
+    pub fn as_str_slice(&self) -> Option<&[Option<String>]> {
+        match &self.data {
+            ColumnData::Str(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Cast the column to another data type. Lossy casts (e.g. non-numeric
+    /// strings to float) turn unparsable cells into nulls.
+    pub fn cast(&self, dtype: DataType) -> Column {
+        if dtype == self.dtype() {
+            return self.clone();
+        }
+        let values: Vec<Value> = self
+            .iter()
+            .map(|v| match (dtype, v) {
+                (_, Value::Null) => Value::Null,
+                (DataType::Float, Value::Str(s)) => s
+                    .trim()
+                    .parse::<f64>()
+                    .map(Value::Float)
+                    .unwrap_or(Value::Null),
+                (DataType::Int, Value::Str(s)) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(Value::Int)
+                    .unwrap_or(Value::Null),
+                (DataType::Float, v) => v.as_f64().map(Value::Float).unwrap_or(Value::Null),
+                (DataType::Int, v) => v.as_i64().map(Value::Int).unwrap_or(Value::Null),
+                (DataType::Str, v) => Value::Str(v.to_string()),
+                (DataType::Bool, Value::Bool(b)) => Value::Bool(b),
+                (DataType::Bool, Value::Int(i)) => Value::Bool(i != 0),
+                (DataType::Bool, Value::Str(s)) => match s.to_ascii_lowercase().as_str() {
+                    "true" | "1" | "yes" => Value::Bool(true),
+                    "false" | "0" | "no" => Value::Bool(false),
+                    _ => Value::Null,
+                },
+                (DataType::Bool, _) => Value::Null,
+            })
+            .collect();
+        Column::from_values(self.name.clone(), dtype, values).expect("cast produces typed values")
+    }
+
+    /// Gather the rows at `indices` into a new column (indices may repeat).
+    pub fn take(&self, indices: &[usize]) -> Result<Column> {
+        let len = self.len();
+        if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
+            return Err(TableError::RowOutOfBounds { row: bad, len });
+        }
+        let data = match &self.data {
+            ColumnData::Int(v) => ColumnData::Int(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Float(v) => ColumnData::Float(indices.iter().map(|&i| v[i]).collect()),
+            ColumnData::Str(v) => ColumnData::Str(indices.iter().map(|&i| v[i].clone()).collect()),
+            ColumnData::Bool(v) => ColumnData::Bool(indices.iter().map(|&i| v[i]).collect()),
+        };
+        Ok(Column::new(self.name.clone(), data))
+    }
+
+    /// Append all rows from `other` (must be the same dtype).
+    pub fn extend_from(&mut self, other: &Column) -> Result<()> {
+        if other.dtype() != self.dtype() {
+            return Err(TableError::TypeMismatch {
+                column: self.name.clone(),
+                expected: self.dtype(),
+                actual: other.dtype(),
+            });
+        }
+        match (&mut self.data, &other.data) {
+            (ColumnData::Int(a), ColumnData::Int(b)) => a.extend_from_slice(b),
+            (ColumnData::Float(a), ColumnData::Float(b)) => a.extend_from_slice(b),
+            (ColumnData::Str(a), ColumnData::Str(b)) => a.extend(b.iter().cloned()),
+            (ColumnData::Bool(a), ColumnData::Bool(b)) => a.extend_from_slice(b),
+            _ => unreachable!("dtype checked above"),
+        }
+        Ok(())
+    }
+
+    /// Distinct non-null values, in first-seen order.
+    pub fn distinct(&self) -> Vec<Value> {
+        let mut seen: Vec<Value> = Vec::new();
+        for v in self.iter() {
+            if v.is_null() {
+                continue;
+            }
+            if !seen.iter().any(|s| s == &v) {
+                seen.push(v);
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_len() {
+        let c = Column::from_i64("a", [1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.dtype(), DataType::Int);
+        assert_eq!(c.null_count(), 0);
+
+        let c = Column::from_opt_f64("b", [Some(1.0), None]);
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn get_and_set() {
+        let mut c = Column::from_f64("x", [1.0, 2.0]);
+        assert_eq!(c.get(1).unwrap(), Value::Float(2.0));
+        c.set(0, Value::Null).unwrap();
+        assert!(c.get(0).unwrap().is_null());
+        c.set(0, Value::Int(7)).unwrap(); // int into float is fine
+        assert_eq!(c.get(0).unwrap(), Value::Float(7.0));
+        assert!(c.set(0, Value::Str("no".into())).is_err());
+        assert!(c.set(9, Value::Float(0.0)).is_err());
+    }
+
+    #[test]
+    fn push_type_checked() {
+        let mut c = Column::from_str_values("s", ["a"]);
+        c.push(Value::Str("b".into())).unwrap();
+        c.push(Value::Null).unwrap();
+        assert!(c.push(Value::Int(1)).is_err());
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn cast_str_to_float_lossy() {
+        let c = Column::from_str_values("s", ["1.5", "x", "3"]);
+        let f = c.cast(DataType::Float);
+        assert_eq!(f.dtype(), DataType::Float);
+        assert_eq!(f.get(0).unwrap(), Value::Float(1.5));
+        assert!(f.get(1).unwrap().is_null());
+        assert_eq!(f.get(2).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn cast_int_to_str() {
+        let c = Column::from_i64("i", [1, 2]);
+        let s = c.cast(DataType::Str);
+        assert_eq!(s.get(0).unwrap(), Value::Str("1".into()));
+    }
+
+    #[test]
+    fn take_gathers_and_bounds_checks() {
+        let c = Column::from_i64("a", [10, 20, 30]);
+        let t = c.take(&[2, 0, 2]).unwrap();
+        assert_eq!(t.get(0).unwrap(), Value::Int(30));
+        assert_eq!(t.get(1).unwrap(), Value::Int(10));
+        assert_eq!(t.len(), 3);
+        assert!(c.take(&[3]).is_err());
+    }
+
+    #[test]
+    fn extend_from_checks_dtype() {
+        let mut a = Column::from_i64("a", [1]);
+        let b = Column::from_i64("a", [2, 3]);
+        a.extend_from(&b).unwrap();
+        assert_eq!(a.len(), 3);
+        let f = Column::from_f64("a", [1.0]);
+        assert!(a.extend_from(&f).is_err());
+    }
+
+    #[test]
+    fn distinct_preserves_order_skips_null() {
+        let c = Column::from_opt_str(
+            "s",
+            [
+                Some("b".to_string()),
+                None,
+                Some("a".to_string()),
+                Some("b".to_string()),
+            ],
+        );
+        let d = c.distinct();
+        assert_eq!(d, vec![Value::Str("b".into()), Value::Str("a".into())]);
+    }
+
+    #[test]
+    fn to_f64_vec_handles_types() {
+        let c = Column::from_bool("b", [true, false]);
+        assert_eq!(c.to_f64_vec(), vec![Some(1.0), Some(0.0)]);
+        let s = Column::from_str_values("s", ["x"]);
+        assert_eq!(s.to_f64_vec(), vec![None]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Error type for the table substrate.
+
+use std::fmt;
+
+/// Errors produced by table construction, access, and I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// A column with the given name does not exist.
+    ColumnNotFound(String),
+    /// A column with the given name already exists.
+    DuplicateColumn(String),
+    /// Columns in a table must all have the same length.
+    LengthMismatch {
+        /// Column whose length differs.
+        column: String,
+        /// Expected length (that of the first column).
+        expected: usize,
+        /// Actual length.
+        actual: usize,
+    },
+    /// Row index out of bounds.
+    RowOutOfBounds {
+        /// Requested row.
+        row: usize,
+        /// Number of rows.
+        len: usize,
+    },
+    /// A value could not be converted to the requested type.
+    TypeMismatch {
+        /// Name of the column involved.
+        column: String,
+        /// Expected data type.
+        expected: crate::value::DataType,
+        /// Actual data type.
+        actual: crate::value::DataType,
+    },
+    /// CSV input could not be parsed.
+    CsvParse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// An I/O error, carried as a string to keep the error type `Clone`.
+    Io(String),
+    /// The operation is not valid for an empty table.
+    EmptyTable,
+    /// Generic invalid-argument error.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::ColumnNotFound(name) => write!(f, "column not found: {name}"),
+            TableError::DuplicateColumn(name) => write!(f, "duplicate column: {name}"),
+            TableError::LengthMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column {column} has length {actual}, expected {expected}"
+            ),
+            TableError::RowOutOfBounds { row, len } => {
+                write!(f, "row index {row} out of bounds for table of {len} rows")
+            }
+            TableError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "column {column}: expected type {expected}, found {actual}"
+            ),
+            TableError::CsvParse { line, message } => {
+                write!(f, "CSV parse error at line {line}: {message}")
+            }
+            TableError::Io(msg) => write!(f, "I/O error: {msg}"),
+            TableError::EmptyTable => write!(f, "operation not valid on an empty table"),
+            TableError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e.to_string())
+    }
+}
+
+/// Convenience result alias for table operations.
+pub type Result<T> = std::result::Result<T, TableError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn display_column_not_found() {
+        let e = TableError::ColumnNotFound("age".into());
+        assert_eq!(e.to_string(), "column not found: age");
+    }
+
+    #[test]
+    fn display_length_mismatch() {
+        let e = TableError::LengthMismatch {
+            column: "x".into(),
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("length 2"));
+        assert!(e.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let e = TableError::TypeMismatch {
+            column: "x".into(),
+            expected: DataType::Float,
+            actual: DataType::Str,
+        };
+        assert!(e.to_string().contains("expected type float"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "nope");
+        let e: TableError = io.into();
+        assert!(matches!(e, TableError::Io(_)));
+    }
+}

@@ -1,0 +1,234 @@
+//! Group-by and aggregation.
+//!
+//! Used directly and as the engine under the OLAP crate's rollups.
+
+use crate::column::Column;
+use crate::error::{Result, TableError};
+use crate::table::Table;
+use crate::value::{DataType, Value};
+use std::collections::HashMap;
+
+/// An aggregation over a (numeric, unless noted) column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Aggregate {
+    /// Number of non-null cells (any type).
+    Count(String),
+    /// Sum of non-null numeric cells.
+    Sum(String),
+    /// Mean of non-null numeric cells.
+    Mean(String),
+    /// Minimum of non-null numeric cells.
+    Min(String),
+    /// Maximum of non-null numeric cells.
+    Max(String),
+    /// Number of distinct non-null values (any type).
+    CountDistinct(String),
+}
+
+impl Aggregate {
+    /// The source column the aggregate reads.
+    pub fn column(&self) -> &str {
+        match self {
+            Aggregate::Count(c)
+            | Aggregate::Sum(c)
+            | Aggregate::Mean(c)
+            | Aggregate::Min(c)
+            | Aggregate::Max(c)
+            | Aggregate::CountDistinct(c) => c,
+        }
+    }
+
+    /// Name of the output column.
+    pub fn output_name(&self) -> String {
+        match self {
+            Aggregate::Count(c) => format!("count({c})"),
+            Aggregate::Sum(c) => format!("sum({c})"),
+            Aggregate::Mean(c) => format!("mean({c})"),
+            Aggregate::Min(c) => format!("min({c})"),
+            Aggregate::Max(c) => format!("max({c})"),
+            Aggregate::CountDistinct(c) => format!("count_distinct({c})"),
+        }
+    }
+
+    fn evaluate(&self, table: &Table, rows: &[usize]) -> Result<Value> {
+        let col = table.column(self.column())?;
+        Ok(match self {
+            Aggregate::Count(_) => Value::Int(
+                rows.iter()
+                    .filter(|&&r| !col.get(r).expect("in-bounds").is_null())
+                    .count() as i64,
+            ),
+            Aggregate::CountDistinct(_) => {
+                let mut seen: Vec<String> = Vec::new();
+                for &r in rows {
+                    let v = col.get(r).expect("in-bounds");
+                    if v.is_null() {
+                        continue;
+                    }
+                    let s = v.to_string();
+                    if !seen.contains(&s) {
+                        seen.push(s);
+                    }
+                }
+                Value::Int(seen.len() as i64)
+            }
+            Aggregate::Sum(_) | Aggregate::Mean(_) | Aggregate::Min(_) | Aggregate::Max(_) => {
+                let vals: Vec<f64> = rows
+                    .iter()
+                    .filter_map(|&r| col.get(r).expect("in-bounds").as_f64())
+                    .collect();
+                if vals.is_empty() {
+                    Value::Null
+                } else {
+                    match self {
+                        Aggregate::Sum(_) => Value::Float(vals.iter().sum()),
+                        Aggregate::Mean(_) => {
+                            Value::Float(vals.iter().sum::<f64>() / vals.len() as f64)
+                        }
+                        Aggregate::Min(_) => {
+                            Value::Float(vals.iter().cloned().fold(f64::INFINITY, f64::min))
+                        }
+                        Aggregate::Max(_) => {
+                            Value::Float(vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+                        }
+                        _ => unreachable!(),
+                    }
+                }
+            }
+        })
+    }
+}
+
+/// Group rows by the distinct value combinations of `keys` and compute the
+/// aggregates per group. Output has one row per group: key columns (as
+/// strings; nulls grouped together under an empty key) then aggregates.
+/// Groups appear in first-seen row order.
+pub fn group_by(table: &Table, keys: &[&str], aggregates: &[Aggregate]) -> Result<Table> {
+    for k in keys {
+        table.column(k)?;
+    }
+    for a in aggregates {
+        table.column(a.column())?;
+    }
+    if keys.is_empty() {
+        return Err(TableError::InvalidArgument(
+            "group_by requires at least one key column".to_string(),
+        ));
+    }
+    let key_cols: Vec<&Column> = keys
+        .iter()
+        .map(|k| table.column(k).expect("checked"))
+        .collect();
+    let mut order: Vec<Vec<String>> = Vec::new();
+    let mut groups: HashMap<Vec<String>, Vec<usize>> = HashMap::new();
+    for r in 0..table.n_rows() {
+        let key: Vec<String> = key_cols
+            .iter()
+            .map(|c| c.get(r).expect("in-bounds").to_string())
+            .collect();
+        groups
+            .entry(key.clone())
+            .or_insert_with(|| {
+                order.push(key.clone());
+                Vec::new()
+            })
+            .push(r);
+    }
+    let mut out_cols: Vec<Column> = Vec::new();
+    for (i, k) in keys.iter().enumerate() {
+        let values: Vec<String> = order.iter().map(|key| key[i].clone()).collect();
+        out_cols.push(Column::from_str_values(*k, values));
+    }
+    for agg in aggregates {
+        let mut values: Vec<Value> = Vec::with_capacity(order.len());
+        for key in &order {
+            values.push(agg.evaluate(table, &groups[key])?);
+        }
+        let dtype = match agg {
+            Aggregate::Count(_) | Aggregate::CountDistinct(_) => DataType::Int,
+            _ => DataType::Float,
+        };
+        out_cols.push(Column::from_values(agg.output_name(), dtype, values)?);
+    }
+    Table::new(out_cols)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(vec![
+            Column::from_str_values("dept", ["a", "b", "a", "b", "a"]),
+            Column::from_str_values("year", ["1", "1", "2", "2", "2"]),
+            Column::from_opt_f64("spend", [Some(10.0), Some(20.0), Some(30.0), None, Some(50.0)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_sums() {
+        let g = group_by(&sample(), &["dept"], &[Aggregate::Sum("spend".into())]).unwrap();
+        assert_eq!(g.n_rows(), 2);
+        // first-seen order: a then b
+        assert_eq!(g.get("dept", 0).unwrap(), Value::Str("a".into()));
+        assert_eq!(g.get("sum(spend)", 0).unwrap(), Value::Float(90.0));
+        assert_eq!(g.get("sum(spend)", 1).unwrap(), Value::Float(20.0));
+    }
+
+    #[test]
+    fn multi_key_counts() {
+        let g = group_by(
+            &sample(),
+            &["dept", "year"],
+            &[Aggregate::Count("spend".into())],
+        )
+        .unwrap();
+        assert_eq!(g.n_rows(), 4);
+        // (b, 2) has a null spend, so count = 0.
+        let row = (0..g.n_rows())
+            .find(|&i| {
+                g.get("dept", i).unwrap() == Value::Str("b".into())
+                    && g.get("year", i).unwrap() == Value::Str("2".into())
+            })
+            .unwrap();
+        assert_eq!(g.get("count(spend)", row).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn mean_min_max_distinct() {
+        let g = group_by(
+            &sample(),
+            &["dept"],
+            &[
+                Aggregate::Mean("spend".into()),
+                Aggregate::Min("spend".into()),
+                Aggregate::Max("spend".into()),
+                Aggregate::CountDistinct("year".into()),
+            ],
+        )
+        .unwrap();
+        assert_eq!(g.get("mean(spend)", 0).unwrap(), Value::Float(30.0));
+        assert_eq!(g.get("min(spend)", 0).unwrap(), Value::Float(10.0));
+        assert_eq!(g.get("max(spend)", 0).unwrap(), Value::Float(50.0));
+        assert_eq!(g.get("count_distinct(year)", 0).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn all_null_group_yields_null_mean() {
+        let t = Table::new(vec![
+            Column::from_str_values("k", ["x"]),
+            Column::from_opt_f64("v", [None]),
+        ])
+        .unwrap();
+        let g = group_by(&t, &["k"], &[Aggregate::Mean("v".into())]).unwrap();
+        assert!(g.get("mean(v)", 0).unwrap().is_null());
+    }
+
+    #[test]
+    fn missing_column_is_error() {
+        assert!(group_by(&sample(), &["nope"], &[]).is_err());
+        assert!(group_by(&sample(), &["dept"], &[Aggregate::Sum("nope".into())]).is_err());
+        assert!(group_by(&sample(), &[], &[]).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! # openbi-table
+//!
+//! Columnar, in-memory tabular data substrate for OpenBI.
+//!
+//! This crate is the "raw open data" layer of the OpenBI reproduction:
+//! open data is typically published as CSV/HTML tables "without paying
+//! attention to structure nor semantics" (paper, §1), and everything above
+//! it — quality measurement, quality-defect injection, mining, OLAP — works
+//! over the [`Table`] type defined here.
+//!
+//! Design notes:
+//! * Columns are typed vectors of `Option<T>` ([`column::ColumnData`]), so
+//!   numeric scans avoid per-cell enum dispatch; the dynamically typed
+//!   [`Value`] is only materialized at cell-level APIs.
+//! * Every statistic is null-aware (computed over non-null cells).
+//! * The only pseudo-randomness (row sampling) is an explicit-seed
+//!   SplitMix64, keeping the substrate dependency-free and reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod column;
+pub mod csv;
+pub mod error;
+pub mod group;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod value;
+
+pub use column::{Column, ColumnData};
+pub use csv::{read_csv_path, read_csv_str, write_csv_path, write_csv_str, CsvOptions};
+pub use error::{Result, TableError};
+pub use group::{group_by, Aggregate};
+pub use schema::{Field, Schema};
+pub use stats::NumericSummary;
+pub use table::Table;
+pub use value::{DataType, Value};

@@ -1,0 +1,109 @@
+//! Table schemas: ordered, named, typed fields.
+
+use crate::value::DataType;
+
+/// A single field (column descriptor) in a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column data type.
+    pub dtype: DataType,
+    /// Whether the column currently contains nulls.
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Create a field.
+    pub fn new(name: impl Into<String>, dtype: DataType, nullable: bool) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+            nullable,
+        }
+    }
+}
+
+/// An ordered collection of fields describing a table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Create a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of the field with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// The field with the given name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Names of all fields, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Names of all numeric (int/float) fields.
+    pub fn numeric_names(&self) -> Vec<&str> {
+        self.fields
+            .iter()
+            .filter(|f| f.dtype.is_numeric())
+            .map(|f| f.name.as_str())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            Field::new("id", DataType::Int, false),
+            Field::new("score", DataType::Float, true),
+            Field::new("label", DataType::Str, false),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = sample();
+        assert_eq!(s.index_of("score"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.field("label").unwrap().dtype, DataType::Str);
+    }
+
+    #[test]
+    fn numeric_names_filters() {
+        let s = sample();
+        assert_eq!(s.numeric_names(), vec!["id", "score"]);
+    }
+
+    #[test]
+    fn names_in_order() {
+        assert_eq!(sample().names(), vec!["id", "score", "label"]);
+    }
+}

@@ -1,0 +1,337 @@
+//! Descriptive statistics over columns.
+//!
+//! Null-aware: every statistic is computed over the non-null cells only.
+
+use crate::column::Column;
+use crate::error::{Result, TableError};
+use crate::table::Table;
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// Summary statistics of a numeric column (non-null cells only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericSummary {
+    /// Number of non-null cells.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator; 0 when count < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Median (linear interpolation).
+    pub median: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Third quartile.
+    pub q3: f64,
+}
+
+fn non_null_f64(column: &Column) -> Vec<f64> {
+    column.to_f64_vec().into_iter().flatten().collect()
+}
+
+/// Linear-interpolation quantile of a **sorted** slice, `q` in `[0,1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Mean of non-null numeric cells; `None` if the column has no numeric data.
+pub fn mean(column: &Column) -> Option<f64> {
+    let v = non_null_f64(column);
+    if v.is_empty() {
+        None
+    } else {
+        Some(v.iter().sum::<f64>() / v.len() as f64)
+    }
+}
+
+/// Sample variance (n-1) of non-null numeric cells.
+pub fn variance(column: &Column) -> Option<f64> {
+    let v = non_null_f64(column);
+    if v.len() < 2 {
+        return if v.len() == 1 { Some(0.0) } else { None };
+    }
+    let m = v.iter().sum::<f64>() / v.len() as f64;
+    Some(v.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (v.len() - 1) as f64)
+}
+
+/// Sample standard deviation of non-null numeric cells.
+pub fn std_dev(column: &Column) -> Option<f64> {
+    variance(column).map(f64::sqrt)
+}
+
+/// Full numeric summary; error if the column has no numeric cells.
+pub fn summarize(column: &Column) -> Result<NumericSummary> {
+    let mut v = non_null_f64(column);
+    if v.is_empty() {
+        return Err(TableError::InvalidArgument(format!(
+            "column {} has no numeric data",
+            column.name()
+        )));
+    }
+    v.sort_by(f64::total_cmp);
+    let count = v.len();
+    let mean = v.iter().sum::<f64>() / count as f64;
+    let std = if count < 2 {
+        0.0
+    } else {
+        (v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (count - 1) as f64).sqrt()
+    };
+    Ok(NumericSummary {
+        count,
+        mean,
+        std,
+        min: v[0],
+        max: v[count - 1],
+        median: quantile_sorted(&v, 0.5),
+        q1: quantile_sorted(&v, 0.25),
+        q3: quantile_sorted(&v, 0.75),
+    })
+}
+
+/// Pearson correlation between two numeric columns, over rows where both
+/// are non-null. `None` when fewer than two complete pairs or zero variance.
+pub fn pearson(a: &Column, b: &Column) -> Option<f64> {
+    let av = a.to_f64_vec();
+    let bv = b.to_f64_vec();
+    let pairs: Vec<(f64, f64)> = av
+        .iter()
+        .zip(bv.iter())
+        .filter_map(|(x, y)| Some(((*x)?, (*y)?)))
+        .collect();
+    pearson_pairs(&pairs)
+}
+
+fn pearson_pairs(pairs: &[(f64, f64)]) -> Option<f64> {
+    let n = pairs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n as f64;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n as f64;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in pairs {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    // Clamp: rounding can push perfectly collinear data past ±1.
+    Some((sxy / (sxx * syy).sqrt()).clamp(-1.0, 1.0))
+}
+
+/// Mid-rank transform used by Spearman correlation.
+fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].total_cmp(&values[b]));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Spearman rank correlation between two numeric columns.
+pub fn spearman(a: &Column, b: &Column) -> Option<f64> {
+    let av = a.to_f64_vec();
+    let bv = b.to_f64_vec();
+    let pairs: Vec<(f64, f64)> = av
+        .iter()
+        .zip(bv.iter())
+        .filter_map(|(x, y)| Some(((*x)?, (*y)?)))
+        .collect();
+    if pairs.len() < 2 {
+        return None;
+    }
+    let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+    let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+    let rx = ranks(&xs);
+    let ry = ranks(&ys);
+    let rp: Vec<(f64, f64)> = rx.into_iter().zip(ry).collect();
+    pearson_pairs(&rp)
+}
+
+/// Frequency of each distinct non-null value (rendered as strings).
+pub fn value_counts(column: &Column) -> HashMap<String, usize> {
+    let mut counts = HashMap::new();
+    for v in column.iter() {
+        if let Value::Null = v {
+            continue;
+        }
+        *counts.entry(v.to_string()).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Shannon entropy (bits) of the distribution of distinct non-null values.
+pub fn entropy(column: &Column) -> f64 {
+    let counts = value_counts(column);
+    let total: usize = counts.values().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .values()
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Pairwise Pearson correlation matrix over the numeric columns of a table.
+/// Returns `(names, matrix)`; absent correlations (constant columns) are 0.
+pub fn correlation_matrix(table: &Table) -> (Vec<String>, Vec<Vec<f64>>) {
+    let numeric: Vec<&Column> = table
+        .columns()
+        .iter()
+        .filter(|c| c.dtype().is_numeric())
+        .collect();
+    let names: Vec<String> = numeric.iter().map(|c| c.name().to_string()).collect();
+    let n = numeric.len();
+    let mut m = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        m[i][i] = 1.0;
+        for j in (i + 1)..n {
+            let r = pearson(numeric[i], numeric[j]).unwrap_or(0.0);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    (names, m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_skip_nulls() {
+        let c = Column::from_opt_f64("x", [Some(1.0), None, Some(3.0)]);
+        assert_eq!(mean(&c), Some(2.0));
+        let s = std_dev(&c).unwrap();
+        assert!((s - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_quartiles() {
+        let c = Column::from_f64("x", [1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = summarize(&c).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.count, 5);
+    }
+
+    #[test]
+    fn summary_of_string_column_errors() {
+        let c = Column::from_str_values("s", ["a"]);
+        assert!(summarize(&c).is_err());
+    }
+
+    #[test]
+    fn pearson_perfect_and_inverse() {
+        let a = Column::from_f64("a", [1.0, 2.0, 3.0]);
+        let b = Column::from_f64("b", [2.0, 4.0, 6.0]);
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = Column::from_f64("c", [3.0, 2.0, 1.0]);
+        assert!((pearson(&a, &c).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_column_is_none() {
+        let a = Column::from_f64("a", [1.0, 1.0, 1.0]);
+        let b = Column::from_f64("b", [1.0, 2.0, 3.0]);
+        assert_eq!(pearson(&a, &b), None);
+    }
+
+    #[test]
+    fn pearson_skips_incomplete_pairs() {
+        let a = Column::from_opt_f64("a", [Some(1.0), Some(2.0), None, Some(3.0)]);
+        let b = Column::from_opt_f64("b", [Some(2.0), None, Some(9.0), Some(6.0)]);
+        // Complete pairs: (1,2),(3,6) — perfectly correlated.
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear_is_one() {
+        let a = Column::from_f64("a", [1.0, 2.0, 3.0, 4.0]);
+        let b = Column::from_f64("b", [1.0, 8.0, 27.0, 64.0]);
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_handles_ties() {
+        let a = Column::from_f64("a", [1.0, 2.0, 2.0, 3.0]);
+        let b = Column::from_f64("b", [1.0, 2.0, 2.0, 3.0]);
+        assert!((spearman(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_uniform_binary_is_one_bit() {
+        let c = Column::from_str_values("s", ["a", "b", "a", "b"]);
+        assert!((entropy(&c) - 1.0).abs() < 1e-12);
+        let pure = Column::from_str_values("s", ["a", "a"]);
+        assert_eq!(entropy(&pure), 0.0);
+    }
+
+    #[test]
+    fn value_counts_skips_null() {
+        let c = Column::from_opt_str("s", [Some("a".to_string()), None, Some("a".to_string())]);
+        let counts = value_counts(&c);
+        assert_eq!(counts.get("a"), Some(&2));
+        assert_eq!(counts.len(), 1);
+    }
+
+    #[test]
+    fn correlation_matrix_symmetric_unit_diagonal() {
+        let t = Table::new(vec![
+            Column::from_f64("x", [1.0, 2.0, 3.0]),
+            Column::from_f64("y", [2.0, 4.0, 6.0]),
+            Column::from_str_values("s", ["a", "b", "c"]),
+        ])
+        .unwrap();
+        let (names, m) = correlation_matrix(&t);
+        assert_eq!(names, vec!["x", "y"]);
+        assert_eq!(m[0][0], 1.0);
+        assert_eq!(m[0][1], m[1][0]);
+        assert!((m[0][1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [10.0, 20.0];
+        assert_eq!(quantile_sorted(&v, 0.5), 15.0);
+        assert_eq!(quantile_sorted(&v, 0.0), 10.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 20.0);
+    }
+}

@@ -1,0 +1,555 @@
+//! The [`Table`]: an ordered collection of equally long named columns.
+
+use crate::column::Column;
+use crate::error::{Result, TableError};
+use crate::schema::{Field, Schema};
+use crate::value::{DataType, Value};
+use std::fmt;
+
+/// An in-memory columnar table.
+///
+/// Invariants: all columns have the same length and unique names.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Table {
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Create an empty table (no columns, no rows).
+    pub fn empty() -> Self {
+        Table { columns: vec![] }
+    }
+
+    /// Create a table from columns, validating the invariants.
+    pub fn new(columns: Vec<Column>) -> Result<Self> {
+        if let Some(first) = columns.first() {
+            let expected = first.len();
+            for c in &columns {
+                if c.len() != expected {
+                    return Err(TableError::LengthMismatch {
+                        column: c.name().to_string(),
+                        expected,
+                        actual: c.len(),
+                    });
+                }
+            }
+        }
+        let mut names: Vec<&str> = columns.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        for w in names.windows(2) {
+            if w[0] == w[1] {
+                return Err(TableError::DuplicateColumn(w[0].to_string()));
+            }
+        }
+        Ok(Table { columns })
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.columns.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// The table's schema (derived from the columns).
+    pub fn schema(&self) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| Field::new(c.name(), c.dtype(), c.null_count() > 0))
+                .collect(),
+        )
+    }
+
+    /// All columns, in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Names of all columns, in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name()).collect()
+    }
+
+    /// Borrow a column by name.
+    pub fn column(&self, name: &str) -> Result<&Column> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| TableError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Mutably borrow a column by name.
+    pub fn column_mut(&mut self, name: &str) -> Result<&mut Column> {
+        self.columns
+            .iter_mut()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| TableError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Borrow a column by position.
+    pub fn column_at(&self, index: usize) -> Option<&Column> {
+        self.columns.get(index)
+    }
+
+    /// True iff a column with this name exists.
+    pub fn has_column(&self, name: &str) -> bool {
+        self.columns.iter().any(|c| c.name() == name)
+    }
+
+    /// Add a column (must match the row count; name must be fresh).
+    pub fn add_column(&mut self, column: Column) -> Result<()> {
+        if self.has_column(column.name()) {
+            return Err(TableError::DuplicateColumn(column.name().to_string()));
+        }
+        if !self.columns.is_empty() && column.len() != self.n_rows() {
+            return Err(TableError::LengthMismatch {
+                column: column.name().to_string(),
+                expected: self.n_rows(),
+                actual: column.len(),
+            });
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+
+    /// Remove and return a column by name.
+    pub fn drop_column(&mut self, name: &str) -> Result<Column> {
+        let pos = self
+            .columns
+            .iter()
+            .position(|c| c.name() == name)
+            .ok_or_else(|| TableError::ColumnNotFound(name.to_string()))?;
+        Ok(self.columns.remove(pos))
+    }
+
+    /// Replace an existing column with a same-named column of equal length.
+    pub fn replace_column(&mut self, column: Column) -> Result<()> {
+        if !self.columns.is_empty() && column.len() != self.n_rows() {
+            return Err(TableError::LengthMismatch {
+                column: column.name().to_string(),
+                expected: self.n_rows(),
+                actual: column.len(),
+            });
+        }
+        let pos = self
+            .columns
+            .iter()
+            .position(|c| c.name() == column.name())
+            .ok_or_else(|| TableError::ColumnNotFound(column.name().to_string()))?;
+        self.columns[pos] = column;
+        Ok(())
+    }
+
+    /// Rename a column.
+    pub fn rename_column(&mut self, from: &str, to: &str) -> Result<()> {
+        if from != to && self.has_column(to) {
+            return Err(TableError::DuplicateColumn(to.to_string()));
+        }
+        self.column_mut(from)?.set_name(to);
+        Ok(())
+    }
+
+    /// Get a single cell.
+    pub fn get(&self, column: &str, row: usize) -> Result<Value> {
+        self.column(column)?.get(row)
+    }
+
+    /// Set a single cell.
+    pub fn set(&mut self, column: &str, row: usize, value: Value) -> Result<()> {
+        self.column_mut(column)?.set(row, value)
+    }
+
+    /// All values of one row, in column order.
+    pub fn row(&self, row: usize) -> Result<Vec<Value>> {
+        if row >= self.n_rows() {
+            return Err(TableError::RowOutOfBounds {
+                row,
+                len: self.n_rows(),
+            });
+        }
+        self.columns.iter().map(|c| c.get(row)).collect()
+    }
+
+    /// Append a row given in column order.
+    pub fn push_row(&mut self, values: Vec<Value>) -> Result<()> {
+        if values.len() != self.n_cols() {
+            return Err(TableError::InvalidArgument(format!(
+                "row has {} values, table has {} columns",
+                values.len(),
+                self.n_cols()
+            )));
+        }
+        // Validate all pushes up-front so a failed push cannot leave ragged columns.
+        for (c, v) in self.columns.iter().zip(&values) {
+            let compatible = matches!(
+                (c.dtype(), v),
+                (_, Value::Null)
+                    | (DataType::Int, Value::Int(_))
+                    | (DataType::Float, Value::Float(_) | Value::Int(_))
+                    | (DataType::Str, Value::Str(_))
+                    | (DataType::Bool, Value::Bool(_))
+            );
+            if !compatible {
+                return Err(TableError::TypeMismatch {
+                    column: c.name().to_string(),
+                    expected: c.dtype(),
+                    actual: v.dtype().unwrap_or(c.dtype()),
+                });
+            }
+        }
+        for (c, v) in self.columns.iter_mut().zip(values) {
+            c.push(v).expect("validated above");
+        }
+        Ok(())
+    }
+
+    /// Iterate over rows as `Vec<Value>`.
+    pub fn iter_rows(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.n_rows()).map(move |i| self.row(i).expect("in-bounds"))
+    }
+
+    /// Project onto the given columns (in the given order).
+    pub fn select(&self, names: &[&str]) -> Result<Table> {
+        let cols: Result<Vec<Column>> = names.iter().map(|n| self.column(n).cloned()).collect();
+        Table::new(cols?)
+    }
+
+    /// Gather rows by index (indices may repeat, enabling resampling).
+    pub fn take(&self, indices: &[usize]) -> Result<Table> {
+        let cols: Result<Vec<Column>> = self.columns.iter().map(|c| c.take(indices)).collect();
+        Ok(Table { columns: cols? })
+    }
+
+    /// Keep rows where `pred(row_index)` is true.
+    pub fn filter_by_index(&self, pred: impl Fn(usize) -> bool) -> Table {
+        let idx: Vec<usize> = (0..self.n_rows()).filter(|&i| pred(i)).collect();
+        self.take(&idx).expect("indices in bounds")
+    }
+
+    /// Keep rows where the predicate over the row's values is true.
+    pub fn filter(&self, pred: impl Fn(&[Value]) -> bool) -> Table {
+        let idx: Vec<usize> = (0..self.n_rows())
+            .filter(|&i| pred(&self.row(i).expect("in-bounds")))
+            .collect();
+        self.take(&idx).expect("indices in bounds")
+    }
+
+    /// The first `n` rows.
+    pub fn head(&self, n: usize) -> Table {
+        let n = n.min(self.n_rows());
+        let idx: Vec<usize> = (0..n).collect();
+        self.take(&idx).expect("indices in bounds")
+    }
+
+    /// Rows without any null cell.
+    pub fn drop_nulls(&self) -> Table {
+        self.filter(|row| row.iter().all(|v| !v.is_null()))
+    }
+
+    /// Stack another table with an identical schema below this one.
+    pub fn vstack(&self, other: &Table) -> Result<Table> {
+        if self.column_names() != other.column_names() {
+            return Err(TableError::InvalidArgument(
+                "vstack requires identical column names and order".to_string(),
+            ));
+        }
+        let mut out = self.clone();
+        for c in &mut out.columns {
+            c.extend_from(other.column(c.name().to_string().as_str())?)?;
+        }
+        Ok(out)
+    }
+
+    /// Stable sort of rows by a column (nulls first; see `Value::total_cmp`).
+    pub fn sort_by(&self, column: &str, descending: bool) -> Result<Table> {
+        let col = self.column(column)?;
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        idx.sort_by(|&a, &b| {
+            let va = col.get(a).expect("in-bounds");
+            let vb = col.get(b).expect("in-bounds");
+            let ord = va.total_cmp(&vb);
+            if descending {
+                ord.reverse()
+            } else {
+                ord
+            }
+        });
+        self.take(&idx)
+    }
+
+    /// Deterministic pseudo-random row sample of size `n` without
+    /// replacement (partial Fisher–Yates driven by a SplitMix64 stream, so
+    /// the substrate needs no external RNG dependency).
+    pub fn sample(&self, n: usize, seed: u64) -> Table {
+        let len = self.n_rows();
+        let n = n.min(len);
+        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let mut idx: Vec<usize> = (0..len).collect();
+        for i in 0..n {
+            let j = i + (next() as usize) % (len - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(n);
+        self.take(&idx).expect("indices in bounds")
+    }
+
+    /// Split rows into two tables at `at` (first table gets rows `0..at`).
+    pub fn split_at(&self, at: usize) -> Result<(Table, Table)> {
+        if at > self.n_rows() {
+            return Err(TableError::RowOutOfBounds {
+                row: at,
+                len: self.n_rows(),
+            });
+        }
+        let left: Vec<usize> = (0..at).collect();
+        let right: Vec<usize> = (at..self.n_rows()).collect();
+        Ok((self.take(&left)?, self.take(&right)?))
+    }
+
+    /// A compact textual key for a row, usable for exact-duplicate hashing.
+    /// Nulls render distinctly from empty strings.
+    pub fn row_key(&self, row: usize) -> Result<String> {
+        let mut key = String::new();
+        for c in &self.columns {
+            match c.get(row)? {
+                Value::Null => key.push('\u{0}'),
+                v => {
+                    key.push_str(&v.to_string());
+                }
+            }
+            key.push('\u{1}');
+        }
+        Ok(key)
+    }
+
+    /// Total number of null cells in the table.
+    pub fn total_null_count(&self) -> usize {
+        self.columns.iter().map(|c| c.null_count()).sum()
+    }
+
+    /// Render the first `max_rows` rows as an aligned ASCII table.
+    pub fn render(&self, max_rows: usize) -> String {
+        let nrows = self.n_rows().min(max_rows);
+        let mut widths: Vec<usize> = self
+            .columns
+            .iter()
+            .map(|c| c.name().chars().count())
+            .collect();
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(nrows);
+        for i in 0..nrows {
+            let row: Vec<String> = self
+                .columns
+                .iter()
+                .map(|c| c.get(i).expect("in-bounds").to_string())
+                .collect();
+            for (w, cell) in widths.iter_mut().zip(&row) {
+                *w = (*w).max(cell.chars().count());
+            }
+            cells.push(row);
+        }
+        let mut out = String::new();
+        let header: Vec<String> = self
+            .columns
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{:<w$}", c.name(), w = w))
+            .collect();
+        out.push_str(&header.join(" | "));
+        out.push('\n');
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&rule.join("-+-"));
+        out.push('\n');
+        for row in cells {
+            let line: Vec<String> = row
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{:<w$}", c, w = w))
+                .collect();
+            out.push_str(&line.join(" | "));
+            out.push('\n');
+        }
+        if self.n_rows() > nrows {
+            out.push_str(&format!("... {} more rows\n", self.n_rows() - nrows));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render(20))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::new(vec![
+            Column::from_i64("id", [1, 2, 3, 4]),
+            Column::from_f64("score", [0.5, 0.9, 0.1, 0.7]),
+            Column::from_str_values("label", ["a", "b", "a", "b"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let err = Table::new(vec![
+            Column::from_i64("a", [1, 2]),
+            Column::from_i64("b", [1]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, TableError::LengthMismatch { .. }));
+    }
+
+    #[test]
+    fn construction_validates_names() {
+        let err = Table::new(vec![
+            Column::from_i64("a", [1]),
+            Column::from_f64("a", [1.0]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, TableError::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn shape_and_schema() {
+        let t = sample();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.n_cols(), 3);
+        let s = t.schema();
+        assert_eq!(s.index_of("label"), Some(2));
+        assert!(!s.field("id").unwrap().nullable);
+    }
+
+    #[test]
+    fn add_drop_replace_rename() {
+        let mut t = sample();
+        t.add_column(Column::from_bool("flag", [true, false, true, false]))
+            .unwrap();
+        assert_eq!(t.n_cols(), 4);
+        assert!(t
+            .add_column(Column::from_i64("flag", [1, 2, 3, 4]))
+            .is_err());
+        assert!(t.add_column(Column::from_i64("short", [1])).is_err());
+        t.replace_column(Column::from_i64("id", [9, 8, 7, 6])).unwrap();
+        assert_eq!(t.get("id", 0).unwrap(), Value::Int(9));
+        t.rename_column("flag", "is_set").unwrap();
+        assert!(t.has_column("is_set"));
+        let dropped = t.drop_column("is_set").unwrap();
+        assert_eq!(dropped.name(), "is_set");
+        assert!(t.drop_column("gone").is_err());
+    }
+
+    #[test]
+    fn push_row_is_atomic_on_type_error() {
+        let mut t = sample();
+        let err = t.push_row(vec![Value::Int(5), Value::Str("oops".into()), Value::Null]);
+        assert!(err.is_err());
+        // No column grew.
+        assert_eq!(t.n_rows(), 4);
+        t.push_row(vec![Value::Int(5), Value::Float(0.2), Value::Null])
+            .unwrap();
+        assert_eq!(t.n_rows(), 5);
+    }
+
+    #[test]
+    fn select_take_filter_head() {
+        let t = sample();
+        let s = t.select(&["label", "id"]).unwrap();
+        assert_eq!(s.column_names(), vec!["label", "id"]);
+        let taken = t.take(&[3, 0]).unwrap();
+        assert_eq!(taken.get("id", 0).unwrap(), Value::Int(4));
+        let f = t.filter(|row| row[2] == Value::Str("a".into()));
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(t.head(2).n_rows(), 2);
+        assert_eq!(t.head(99).n_rows(), 4);
+    }
+
+    #[test]
+    fn sort_orders_rows() {
+        let t = sample().sort_by("score", false).unwrap();
+        let scores: Vec<f64> = (0..t.n_rows())
+            .map(|i| t.get("score", i).unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(scores, vec![0.1, 0.5, 0.7, 0.9]);
+        let t = sample().sort_by("score", true).unwrap();
+        assert_eq!(t.get("score", 0).unwrap(), Value::Float(0.9));
+    }
+
+    #[test]
+    fn vstack_appends_rows() {
+        let t = sample();
+        let u = t.vstack(&t).unwrap();
+        assert_eq!(u.n_rows(), 8);
+        let reordered = t.select(&["score", "id", "label"]).unwrap();
+        assert!(t.vstack(&reordered).is_err());
+    }
+
+    #[test]
+    fn sample_is_deterministic_and_without_replacement() {
+        let t = sample();
+        let a = t.sample(3, 42);
+        let b = t.sample(3, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.n_rows(), 3);
+        let ids: Vec<i64> = (0..3)
+            .map(|i| a.get("id", i).unwrap().as_i64().unwrap())
+            .collect();
+        let mut dedup = ids.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 3, "sampled without replacement");
+        assert_eq!(t.sample(99, 1).n_rows(), 4);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let (a, b) = sample().split_at(1).unwrap();
+        assert_eq!(a.n_rows(), 1);
+        assert_eq!(b.n_rows(), 3);
+        assert!(sample().split_at(5).is_err());
+    }
+
+    #[test]
+    fn row_key_distinguishes_null_from_empty() {
+        let t = Table::new(vec![Column::from_opt_str(
+            "s",
+            [Some(String::new()), None],
+        )])
+        .unwrap();
+        assert_ne!(t.row_key(0).unwrap(), t.row_key(1).unwrap());
+    }
+
+    #[test]
+    fn drop_nulls_removes_rows_with_any_null() {
+        let t = Table::new(vec![
+            Column::from_opt_i64("a", [Some(1), None, Some(3)]),
+            Column::from_opt_f64("b", [Some(1.0), Some(2.0), None]),
+        ])
+        .unwrap();
+        assert_eq!(t.drop_nulls().n_rows(), 1);
+        assert_eq!(t.total_null_count(), 2);
+    }
+
+    #[test]
+    fn render_contains_headers_and_values() {
+        let r = sample().render(2);
+        assert!(r.contains("id"));
+        assert!(r.contains("score"));
+        assert!(r.contains("more rows"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Quickstart: profile a messy CSV, get guided preprocessing and a
+//! mining result, and publish everything back as Linked Open Data.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
+use openbi::render_outcome;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A small "open data" CSV as a citizen might download it: missing
+    // cells, a duplicated record, inconsistent city names.
+    let csv = "\
+city,pm10,no2,traffic,aqi_band
+Alicante,21.5,18.0,low,good
+ALICANTE,44.0,39.0,high,poor
+Elche,33.0,,medium,fair
+elche ,35.5,30.0,medium,fair
+Alcoy,12.0,10.5,low,good
+Alcoy,12.0,10.5,low,good
+Orihuela,48.0,41.0,high,poor
+Torrevieja,,22.0,medium,fair
+Benidorm,19.0,15.5,low,good
+Denia,39.5,33.0,high,poor
+Elda,14.0,12.0,low,good
+Petrer,41.0,36.5,high,poor
+";
+
+    let source = DataSource::CsvText {
+        name: "air-quality-sample".into(),
+        content: csv.into(),
+    };
+    let config = PipelineConfig {
+        target: Some("aqi_band".into()),
+        exclude: vec!["city".into()],
+        folds: 3,
+        ..Default::default()
+    };
+
+    // No knowledge base yet: the pipeline still profiles, preprocesses,
+    // mines with the fallback algorithm, and publishes LOD.
+    let outcome = run_pipeline(source, &config, None)?;
+    print!("{}", render_outcome(&outcome));
+
+    // The published graph is real RDF — serialize a taste of it.
+    let ntriples = openbi::lod::write_ntriples(&outcome.published);
+    println!("First published triples:");
+    for line in ntriples.lines().take(5) {
+        println!("  {line}");
+    }
+    Ok(())
+}

@@ -1,0 +1,19 @@
+//! Integration-test crate for the OpenBI workspace. All tests live under
+//! `tests/tests/`; this library only hosts shared fixtures.
+
+/// A deterministic messy CSV fixture used by several integration tests.
+pub fn messy_csv() -> &'static str {
+    "station,district,pm10,no2,traffic,aqi_band\n\
+     ST001,north,21.5,18.0,low,good\n\
+     ST002,NORTH,44.0,39.0,high,poor\n\
+     ST003,south,33.0,,medium,fair\n\
+     ST004,south,35.5,30.0,medium,fair\n\
+     ST005,east,12.0,10.5,low,good\n\
+     ST005,east,12.0,10.5,low,good\n\
+     ST006,west,48.0,41.0,high,poor\n\
+     ST007,west,,22.0,medium,fair\n\
+     ST008,north,19.0,15.5,low,good\n\
+     ST009,south,39.5,33.0,high,poor\n\
+     ST010,east,14.0,12.0,low,good\n\
+     ST011,west,41.0,36.5,high,poor\n"
+}

@@ -1,0 +1,194 @@
+//! End-to-end pipeline integration: CSV and LOD sources through the full
+//! Figure-2 flow, including knowledge-base-driven advice and LOD
+//! publication round trips.
+
+use openbi::kb::{ExperimentRecord, KnowledgeBase, PerfMetrics};
+use openbi::lod::{parse_ntriples, tabularize, write_ntriples, Iri, TabularizeOptions, Term};
+use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
+use openbi::quality::QualityProfile;
+use openbi_datagen::{air_quality, scenario_to_lod};
+use openbi_integration::messy_csv;
+
+fn csv_config() -> PipelineConfig {
+    PipelineConfig {
+        target: Some("aqi_band".into()),
+        exclude: vec!["station".into()],
+        folds: 3,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn csv_pipeline_cleans_and_classifies() {
+    let outcome = run_pipeline(
+        DataSource::CsvText {
+            name: "messy".into(),
+            content: messy_csv().into(),
+        },
+        &csv_config(),
+        None,
+    )
+    .unwrap();
+    // The raw profile shows the planted defects.
+    assert!(outcome.profile.completeness < 1.0);
+    assert!(outcome.profile.duplicate_ratio > 0.0);
+    assert!(outcome.profile.consistency < 1.0, "NORTH vs north");
+    // Preprocessing fixed them.
+    assert!(outcome.profile_after.completeness > outcome.profile.completeness);
+    assert_eq!(outcome.profile_after.duplicate_ratio, 0.0);
+    // Consistency may shift marginally when dedup changes the value mix,
+    // but must not collapse.
+    assert!(outcome.profile_after.consistency >= outcome.profile.consistency - 0.05);
+    // Mining succeeded on the planted pm10→band pattern.
+    let eval = outcome.evaluation.unwrap();
+    assert!(eval.accuracy() > 0.6, "accuracy {}", eval.accuracy());
+}
+
+#[test]
+fn published_lod_round_trips_to_equivalent_table() {
+    let outcome = run_pipeline(
+        DataSource::CsvText {
+            name: "messy".into(),
+            content: messy_csv().into(),
+        },
+        &csv_config(),
+        None,
+    )
+    .unwrap();
+    // Serialize to N-Triples text, parse back, re-tabularize.
+    let text = write_ntriples(&outcome.published);
+    let graph = parse_ntriples(&text).unwrap();
+    let row_class = Iri::new("http://openbi.org/dataset/messy/Row").unwrap();
+    let opts = TabularizeOptions {
+        include_iri: false,
+        ..Default::default()
+    };
+    let back = tabularize(&graph, &row_class, &opts).unwrap();
+    assert_eq!(back.n_rows(), outcome.preprocessed.n_rows());
+    // Every column that survived preprocessing (DropCorrelated removes
+    // no2, which is nearly collinear with pm10) must round-trip.
+    for col in outcome.preprocessed.column_names() {
+        assert!(back.has_column(col), "column {col} lost in round trip");
+    }
+    assert!(back.has_column("pm10"));
+    assert!(back.has_column("aqi_band"));
+    // Quality measurements are also in the published graph.
+    let qm = graph.subjects_of_type(&openbi::lod::vocab::obi::quality_measurement());
+    assert!(!qm.is_empty());
+}
+
+#[test]
+fn lod_pipeline_consumes_generated_portal() {
+    let scenario = air_quality(150, 5);
+    let graph = scenario_to_lod(&scenario, "http://openbi.org", 0.3, 7).unwrap();
+    let outcome = run_pipeline(
+        DataSource::Lod {
+            name: "portal".into(),
+            graph,
+            class: Iri::new("http://openbi.org/dataset/air-quality/Row").unwrap(),
+        },
+        &PipelineConfig {
+            target: Some("aqi_band".into()),
+            folds: 3,
+            ..Default::default()
+        },
+        None,
+    )
+    .unwrap();
+    assert_eq!(outcome.raw.n_rows(), 150);
+    // sameAs/seeAlso links become extra columns or are dropped — either
+    // way the core attributes survive.
+    assert!(outcome.raw.has_column("pm10"));
+    let eval = outcome.evaluation.unwrap();
+    assert!(eval.accuracy() > 0.7, "accuracy {}", eval.accuracy());
+    // The catalog records LOD provenance.
+    let cs = outcome.catalog.find_column_set("Row").unwrap();
+    assert!(matches!(
+        cs.provenance,
+        openbi::metamodel::Provenance::Lod { .. }
+    ));
+}
+
+#[test]
+fn knowledge_base_steers_algorithm_choice() {
+    let mut kb = KnowledgeBase::new();
+    let mk = |algo: &str, acc: f64| ExperimentRecord {
+        dataset: "prior".into(),
+        degradations: vec![],
+        profile: QualityProfile::default(),
+        algorithm: algo.into(),
+        metrics: PerfMetrics {
+            accuracy: acc,
+            macro_f1: acc,
+            minority_f1: acc,
+            kappa: acc,
+            train_ms: 1.0,
+            model_size: 1.0,
+        },
+        seed: 0,
+    };
+    for _ in 0..5 {
+        kb.add(mk("DecisionTree(depth=12,leaf=2)", 0.9));
+        kb.add(mk("NaiveBayes", 0.5));
+    }
+    let outcome = run_pipeline(
+        DataSource::CsvText {
+            name: "messy".into(),
+            content: messy_csv().into(),
+        },
+        &csv_config(),
+        Some(&kb),
+    )
+    .unwrap();
+    assert_eq!(
+        outcome.advice.as_ref().unwrap().best(),
+        "DecisionTree(depth=12,leaf=2)"
+    );
+    assert_eq!(
+        outcome.chosen_algorithm.unwrap().to_string(),
+        "DecisionTree(depth=12,leaf=2)"
+    );
+    // The advice is also published as LOD.
+    let advice_nodes = outcome
+        .published
+        .subjects_of_type(&openbi::lod::vocab::obi::advice());
+    assert_eq!(advice_nodes.len(), 2);
+    let best = Term::iri("http://openbi.org/dataset/messy/advice/0");
+    let alg = outcome
+        .published
+        .objects(&best, &Term::Iri(openbi::lod::vocab::obi::recommended_algorithm()));
+    assert_eq!(
+        alg[0].as_literal().unwrap().lexical,
+        "DecisionTree(depth=12,leaf=2)"
+    );
+}
+
+#[test]
+fn phase_timings_cover_all_phases() {
+    let outcome = run_pipeline(
+        DataSource::CsvText {
+            name: "messy".into(),
+            content: messy_csv().into(),
+        },
+        &csv_config(),
+        None,
+    )
+    .unwrap();
+    let phases: Vec<&str> = outcome
+        .phase_timings
+        .iter()
+        .map(|(p, _)| p.as_str())
+        .collect();
+    assert_eq!(
+        phases,
+        vec![
+            "ingest+represent",
+            "quality-annotation",
+            "advice",
+            "preprocessing",
+            "mining",
+            "publish-lod"
+        ]
+    );
+    assert!(outcome.phase_timings.iter().all(|(_, ms)| *ms >= 0.0));
+}

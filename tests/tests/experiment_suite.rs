@@ -1,0 +1,198 @@
+//! Integration of the §3.1 experiment protocol: phase 1 + phase 2 on a
+//! real generated dataset, knowledge-base persistence, advisor
+//! evaluation, and the qualitative shapes the paper's companion study
+//! predicts.
+
+use openbi::experiment::{
+    evaluate_variant, run_phase1, run_phase2, Criterion, ExperimentConfig, ExperimentDataset,
+};
+use openbi::kb::{extract_rules, leave_one_dataset_out, Advisor, KnowledgeBase, SharedKnowledgeBase};
+use openbi::mining::AlgorithmSpec;
+use openbi_datagen::{make_blobs, BlobsConfig};
+
+fn dataset(seed: u64) -> ExperimentDataset {
+    ExperimentDataset::new(
+        format!("blobs-{seed}"),
+        make_blobs(&BlobsConfig {
+            n_rows: 150,
+            n_features: 4,
+            n_classes: 2,
+            class_separation: 3.0,
+            seed,
+        }),
+        "class",
+    )
+}
+
+fn config() -> ExperimentConfig {
+    ExperimentConfig {
+        algorithms: vec![
+            AlgorithmSpec::ZeroR,
+            AlgorithmSpec::NaiveBayes,
+            AlgorithmSpec::Knn { k: 5 },
+        ],
+        severities: vec![0.0, 0.5, 1.0],
+        folds: 3,
+        seed: 3,
+        parallel: true,
+    }
+}
+
+#[test]
+fn full_protocol_builds_a_useful_kb() {
+    let datasets = vec![dataset(1), dataset(2), dataset(3)];
+    let kb = SharedKnowledgeBase::default();
+    let criteria = [Criterion::Completeness, Criterion::LabelNoise];
+    let n1 = run_phase1(&datasets, &criteria, &config(), &kb).unwrap();
+    // 3 datasets × 2 criteria × 3 severities × 3 algorithms.
+    assert_eq!(n1, 54);
+    let n2 = run_phase2(
+        &datasets,
+        &[(Criterion::Completeness, Criterion::LabelNoise)],
+        &config(),
+        &kb,
+    )
+    .unwrap();
+    // 3 datasets × (3×3−1) combos × 3 algorithms.
+    assert_eq!(n2, 72);
+    let snapshot = kb.snapshot();
+    assert_eq!(snapshot.len(), 126);
+
+    // Persistence round trip.
+    let jsonl = snapshot.to_jsonl().unwrap();
+    let restored = KnowledgeBase::from_jsonl(&jsonl).unwrap();
+    assert_eq!(restored.len(), snapshot.len());
+
+    // Qualitative shape: the clean baseline beats the fully degraded
+    // variant for every real algorithm.
+    for algo in ["NaiveBayes", "kNN(k=5)"] {
+        let clean: Vec<f64> = snapshot
+            .filter(|r| r.algorithm == algo && r.degradations.is_empty())
+            .iter()
+            .map(|r| r.metrics.accuracy)
+            .collect();
+        let degraded: Vec<f64> = snapshot
+            .filter(|r| {
+                r.algorithm == algo
+                    && r.degradations
+                        .iter()
+                        .any(|d| d.contains("35%") || d.contains("0.40"))
+            })
+            .iter()
+            .map(|r| r.metrics.accuracy)
+            .collect();
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(
+            mean(&clean) > mean(&degraded),
+            "{algo}: clean {} vs degraded {}",
+            mean(&clean),
+            mean(&degraded)
+        );
+    }
+
+    // The advisor generalizes across datasets (leave-one-dataset-out).
+    let eval = leave_one_dataset_out(&snapshot, &Advisor::default()).unwrap();
+    assert!(eval.decisions > 0);
+    assert!(
+        eval.mean_regret <= eval.baseline_regret + 0.02,
+        "advisor regret {} should not exceed static baseline {}",
+        eval.mean_regret,
+        eval.baseline_regret
+    );
+
+    // Guidance rules can be extracted without panicking (content depends
+    // on which algorithm dominates overall).
+    let _ = extract_rules(&snapshot, 0.0, 1);
+}
+
+#[test]
+fn imbalance_hurts_minority_f1_more_than_accuracy() {
+    // Overlapping classes: with a clean boundary even 95:5 imbalance
+    // costs nothing, so use a hard dataset where the prior can dominate.
+    let d = ExperimentDataset::new(
+        "blobs-overlap",
+        make_blobs(&BlobsConfig {
+            n_rows: 300,
+            n_features: 3,
+            n_classes: 2,
+            class_separation: 1.0,
+            seed: 77,
+        }),
+        "class",
+    );
+    let kb = SharedKnowledgeBase::default();
+    let cfg = ExperimentConfig {
+        algorithms: vec![AlgorithmSpec::DecisionTree {
+            max_depth: 10,
+            min_leaf: 2,
+        }],
+        folds: 3,
+        seed: 5,
+        parallel: false,
+        severities: vec![],
+    };
+    let clean = evaluate_variant(
+        &d,
+        &Criterion::Imbalance.degradation(0.0, &d).unwrap(),
+        &cfg,
+        1,
+        &kb,
+    )
+    .unwrap();
+    let skewed = evaluate_variant(
+        &d,
+        &Criterion::Imbalance.degradation(1.0, &d).unwrap(),
+        &cfg,
+        1,
+        &kb,
+    )
+    .unwrap();
+    let (_, clean_eval) = &clean[0];
+    let (_, skew_eval) = &skewed[0];
+    let acc_drop = clean_eval.accuracy() - skew_eval.accuracy();
+    let f1_drop = clean_eval.minority_f1() - skew_eval.minority_f1();
+    assert!(
+        f1_drop > acc_drop + 0.02,
+        "minority F1 must collapse faster: f1_drop {f1_drop} vs acc_drop {acc_drop}"
+    );
+    assert!(f1_drop > 0.1, "f1_drop {f1_drop} too small to show the defect");
+}
+
+#[test]
+fn dimensionality_hurts_knn_more_than_tree() {
+    let d = dataset(9);
+    let kb = SharedKnowledgeBase::default();
+    let cfg = ExperimentConfig {
+        algorithms: vec![
+            AlgorithmSpec::Knn { k: 5 },
+            AlgorithmSpec::DecisionTree {
+                max_depth: 10,
+                min_leaf: 2,
+            },
+        ],
+        folds: 3,
+        seed: 5,
+        parallel: false,
+        severities: vec![],
+    };
+    let run = |severity: f64| {
+        evaluate_variant(
+            &d,
+            &Criterion::Dimensionality.degradation(severity, &d).unwrap(),
+            &cfg,
+            2,
+            &kb,
+        )
+        .unwrap()
+    };
+    let clean = run(0.0);
+    let wide = run(1.0);
+    let drop = |algo_idx: usize| clean[algo_idx].1.accuracy() - wide[algo_idx].1.accuracy();
+    let knn_drop = drop(0);
+    let tree_drop = drop(1);
+    assert!(
+        knn_drop > tree_drop - 0.02,
+        "kNN should suffer at least as much as the tree: knn {knn_drop} vs tree {tree_drop}"
+    );
+    assert!(knn_drop > 0.05, "48 noise columns must hurt kNN, drop {knn_drop}");
+}

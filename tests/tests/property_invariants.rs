@@ -1,0 +1,274 @@
+//! Property-based tests (proptest) on cross-crate invariants: CSV and
+//! N-Triples round trips, injector contracts, profile bounds, and
+//! evaluation-metric ranges.
+
+use openbi::quality::{
+    measure_profile, Degradation, DuplicateInjector, Injector, LabelNoiseInjector,
+    MeasureOptions, MissingInjector,
+};
+use openbi::table::{read_csv_str, write_csv_str, Column, CsvOptions, Table, Value};
+use openbi_lod::{parse_ntriples, write_ntriples, Graph, Iri, Literal, Term, Triple};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a well-formed table with a 2-class label column.
+fn arb_table() -> impl Strategy<Value = Table> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(-1e6f64..1e6, n..=n),
+            proptest::collection::vec(proptest::option::of(0i64..100), n..=n),
+            proptest::collection::vec(0usize..2, n..=n),
+        )
+            .prop_map(|(floats, ints, labels)| {
+                Table::new(vec![
+                    Column::from_f64("x", floats),
+                    Column::from_opt_i64("k", ints),
+                    Column::from_str_values(
+                        "class",
+                        labels
+                            .into_iter()
+                            .map(|l| if l == 0 { "a" } else { "b" })
+                            .collect::<Vec<&str>>(),
+                    ),
+                ])
+                .expect("consistent columns")
+            })
+    })
+}
+
+/// Strategy: CSV-safe cell text (anything; the writer must escape it).
+fn arb_cell() -> impl Strategy<Value = String> {
+    "[ -~]{0,12}".prop_map(|s| s)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csv_round_trip_preserves_string_tables(
+        rows in proptest::collection::vec((arb_cell(), arb_cell()), 1..20)
+    ) {
+        // Build a string table; disable inference so values stay verbatim.
+        let a: Vec<String> = rows.iter().map(|(a, _)| a.clone()).collect();
+        let b: Vec<String> = rows.iter().map(|(_, b)| b.clone()).collect();
+        let t = Table::new(vec![
+            Column::from_str_values("a", a.clone()),
+            Column::from_str_values("b", b.clone()),
+        ]).unwrap();
+        let text = write_csv_str(&t, ',');
+        let opts = CsvOptions { infer_types: false, ..Default::default() };
+        let back = read_csv_str(&text, &opts).unwrap();
+        prop_assert_eq!(back.n_rows(), t.n_rows());
+        for i in 0..t.n_rows() {
+            let orig = t.get("a", i).unwrap().to_string();
+            let got = back.get("a", i).unwrap();
+            // Empty strings become nulls on read — the only lossy case.
+            if orig.is_empty() {
+                prop_assert!(got.is_null() || got == Value::Str(String::new()));
+            } else {
+                prop_assert_eq!(got, Value::Str(orig));
+            }
+        }
+    }
+
+    #[test]
+    fn missing_injector_respects_contract(ratio in 0.0f64..1.0, seed in 0u64..1000, table in arb_table()) {
+        let inj = MissingInjector::mcar(ratio).exclude(["class"]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = inj.apply(&table, &mut rng).unwrap();
+        // Shape preserved.
+        prop_assert_eq!(out.n_rows(), table.n_rows());
+        prop_assert_eq!(out.n_cols(), table.n_cols());
+        // Class column untouched.
+        prop_assert_eq!(out.column("class").unwrap(), table.column("class").unwrap());
+        // Null count only grows, and stays within the eligible cells.
+        prop_assert!(out.total_null_count() >= table.total_null_count());
+        prop_assert!(out.total_null_count() <= 2 * table.n_rows() + table.total_null_count());
+        // Determinism.
+        let mut rng2 = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(out, inj.apply(&table, &mut rng2).unwrap());
+    }
+
+    #[test]
+    fn label_noise_flips_at_most_requested(ratio in 0.0f64..1.0, seed in 0u64..1000, table in arb_table()) {
+        // Need both classes present for the injector.
+        let distinct = table.column("class").unwrap().distinct().len();
+        prop_assume!(distinct >= 2);
+        let inj = LabelNoiseInjector::new("class", ratio);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = inj.apply(&table, &mut rng).unwrap();
+        let flips = (0..table.n_rows())
+            .filter(|&i| out.get("class", i).unwrap() != table.get("class", i).unwrap())
+            .count();
+        let expected = (ratio * table.n_rows() as f64).round() as usize;
+        prop_assert!(flips <= expected);
+        // Non-label columns untouched.
+        prop_assert_eq!(out.column("x").unwrap(), table.column("x").unwrap());
+    }
+
+    #[test]
+    fn duplicate_injector_only_appends(ratio in 0.0f64..0.6, seed in 0u64..1000, table in arb_table()) {
+        let inj = DuplicateInjector::exact(ratio);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = inj.apply(&table, &mut rng).unwrap();
+        prop_assert!(out.n_rows() >= table.n_rows());
+        // The original rows are a prefix of the output.
+        for i in 0..table.n_rows() {
+            prop_assert_eq!(out.row(i).unwrap(), table.row(i).unwrap());
+        }
+        // Every appended row equals some original row.
+        for i in table.n_rows()..out.n_rows() {
+            let key = out.row_key(i).unwrap();
+            let found = (0..table.n_rows()).any(|j| table.row_key(j).unwrap() == key);
+            prop_assert!(found);
+        }
+    }
+
+    #[test]
+    fn quality_profile_stays_in_bounds(table in arb_table(), seed in 0u64..50) {
+        // Degrade arbitrarily, then profile: all ratio criteria ∈ [0,1].
+        let d = Degradation::new()
+            .then(MissingInjector::mcar(0.3).exclude(["class"]))
+            .then(DuplicateInjector::exact(0.2));
+        let degraded = d.apply(&table, seed).unwrap();
+        let profile = measure_profile(&degraded, &MeasureOptions::with_target("class"));
+        for (name, v) in profile.criteria() {
+            prop_assert!((0.0..=1.0).contains(&v), "{} = {}", name, v);
+            prop_assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn ntriples_round_trip_arbitrary_literals(
+        strings in proptest::collection::vec("[ -~]{0,20}", 1..15)
+    ) {
+        let mut g = Graph::new();
+        let p = Term::Iri(Iri::new("http://e.org/v").unwrap());
+        for (i, s) in strings.iter().enumerate() {
+            g.insert(Triple::new(
+                Term::iri(&format!("http://e.org/s{i}")),
+                p.clone(),
+                Term::Literal(Literal::plain(s.clone())),
+            ));
+        }
+        let text = write_ntriples(&g);
+        let back = parse_ntriples(&text).unwrap();
+        prop_assert_eq!(back.len(), g.len());
+        for t in g.iter() {
+            prop_assert!(back.contains(&t));
+        }
+    }
+
+    #[test]
+    fn graph_pattern_results_are_consistent(
+        edges in proptest::collection::vec((0u8..6, 0u8..3, 0u8..6), 0..30)
+    ) {
+        let mut g = Graph::new();
+        for (s, p, o) in &edges {
+            g.insert(Triple::new(
+                Term::iri(&format!("http://e.org/n{s}")),
+                Term::iri(&format!("http://e.org/p{p}")),
+                Term::iri(&format!("http://e.org/n{o}")),
+            ));
+        }
+        // Sum of per-predicate matches equals the total triple count.
+        let total: usize = (0..3)
+            .map(|p| {
+                let pred = Term::iri(&format!("http://e.org/p{p}"));
+                g.match_pattern(None, Some(&pred), None).len()
+            })
+            .sum();
+        prop_assert_eq!(total, g.len());
+        // Every fully-bound lookup agrees with contains().
+        for t in g.iter() {
+            let found = g.match_pattern(Some(&t.subject), Some(&t.predicate), Some(&t.object));
+            prop_assert_eq!(found.len(), 1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn group_by_sums_partition_the_total(
+        keys in proptest::collection::vec(0u8..4, 1..40),
+        values in proptest::collection::vec(-1e3f64..1e3, 1..40)
+    ) {
+        let n = keys.len().min(values.len());
+        let t = Table::new(vec![
+            Column::from_str_values(
+                "k",
+                keys[..n].iter().map(|k| format!("g{k}")).collect::<Vec<String>>(),
+            ),
+            Column::from_f64("v", values[..n].to_vec()),
+        ]).unwrap();
+        let g = openbi::table::group_by(
+            &t,
+            &["k"],
+            &[openbi::table::Aggregate::Sum("v".into()),
+              openbi::table::Aggregate::Count("v".into())],
+        ).unwrap();
+        // Group sums add up to the overall sum; counts add up to n.
+        let total: f64 = values[..n].iter().sum();
+        let group_total: f64 = (0..g.n_rows())
+            .map(|i| g.get("sum(v)", i).unwrap().as_f64().unwrap())
+            .sum();
+        prop_assert!((group_total - total).abs() < 1e-6);
+        let count_total: i64 = (0..g.n_rows())
+            .map(|i| g.get("count(v)", i).unwrap().as_i64().unwrap())
+            .sum();
+        prop_assert_eq!(count_total as usize, n);
+    }
+
+    #[test]
+    fn sort_is_a_permutation_and_ordered(
+        values in proptest::collection::vec(-1e6f64..1e6, 1..50)
+    ) {
+        let t = Table::new(vec![Column::from_f64("x", values.clone())]).unwrap();
+        let sorted = t.sort_by("x", false).unwrap();
+        prop_assert_eq!(sorted.n_rows(), t.n_rows());
+        let out: Vec<f64> = sorted
+            .column("x").unwrap().to_f64_vec().into_iter().flatten().collect();
+        for w in out.windows(2) {
+            prop_assert!(w[0] <= w[1]);
+        }
+        let mut expected = values.clone();
+        expected.sort_by(f64::total_cmp);
+        prop_assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn min_max_scale_bounds_and_order_preservation(
+        values in proptest::collection::vec(-1e6f64..1e6, 2..50)
+    ) {
+        let t = Table::new(vec![Column::from_f64("x", values.clone())]).unwrap();
+        let scaled = openbi::mining::preprocess::min_max_scale(&t, &["x"]).unwrap();
+        let out: Vec<f64> = scaled
+            .column("x").unwrap().to_f64_vec().into_iter().flatten().collect();
+        for v in &out {
+            prop_assert!((0.0..=1.0).contains(v), "scaled value {v}");
+        }
+        // Order of any two entries is preserved.
+        for i in 1..values.len() {
+            if values[i - 1] < values[i] {
+                prop_assert!(out[i - 1] <= out[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn vstack_then_split_round_trips(
+        a in proptest::collection::vec(-1e3f64..1e3, 1..20),
+        b in proptest::collection::vec(-1e3f64..1e3, 1..20)
+    ) {
+        let ta = Table::new(vec![Column::from_f64("x", a.clone())]).unwrap();
+        let tb = Table::new(vec![Column::from_f64("x", b.clone())]).unwrap();
+        let stacked = ta.vstack(&tb).unwrap();
+        prop_assert_eq!(stacked.n_rows(), a.len() + b.len());
+        let (top, bottom) = stacked.split_at(a.len()).unwrap();
+        prop_assert_eq!(top, ta);
+        prop_assert_eq!(bottom, tb);
+    }
+}
