@@ -1,0 +1,98 @@
+//! Criterion benchmark of the §3.1 cell-level executor: a small
+//! phase-1 grid (2 datasets × 3 criteria × 3 severities) at 1 worker
+//! vs one worker per core. The same grid, timed once per worker count
+//! with plain wall-clock and written to `BENCH_experiment_grid.json`,
+//! lives in the `grid_bench` binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use openbi::datagen::{make_blobs, BlobsConfig};
+use openbi::experiment::{
+    run_phase1, Criterion as DqCriterion, ExperimentConfig, ExperimentDataset,
+};
+use openbi::kb::SharedKnowledgeBase;
+use openbi::mining::AlgorithmSpec;
+use std::hint::black_box;
+
+fn grid_datasets() -> Vec<ExperimentDataset> {
+    (0..2u64)
+        .map(|i| {
+            ExperimentDataset::new(
+                format!("grid-blobs-{i}"),
+                make_blobs(&BlobsConfig {
+                    n_rows: 200,
+                    n_features: 4,
+                    n_classes: 2,
+                    class_separation: 2.5,
+                    seed: 10 + i,
+                }),
+                "class",
+            )
+        })
+        .collect()
+}
+
+const GRID_CRITERIA: [DqCriterion; 3] = [
+    DqCriterion::Completeness,
+    DqCriterion::LabelNoise,
+    DqCriterion::AttributeNoise,
+];
+
+fn grid_config(workers: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        algorithms: vec![
+            AlgorithmSpec::NaiveBayes,
+            AlgorithmSpec::DecisionTree {
+                max_depth: 12,
+                min_leaf: 2,
+            },
+            AlgorithmSpec::Knn { k: 5 },
+        ],
+        severities: vec![0.0, 0.5, 1.0],
+        folds: 3,
+        seed: 42,
+        parallel: workers > 1,
+        workers,
+    }
+}
+
+fn bench_grid(c: &mut Criterion) {
+    let datasets = grid_datasets();
+    let all_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![1usize];
+    if all_cores > 1 {
+        worker_counts.push(all_cores);
+    }
+    let mut group = c.benchmark_group("experiment_grid");
+    group.sample_size(10);
+    for workers in worker_counts {
+        group.bench_with_input(
+            BenchmarkId::new("workers", workers),
+            &workers,
+            |b, &w| {
+                b.iter(|| {
+                    let kb = SharedKnowledgeBase::default();
+                    let n = run_phase1(&datasets, &GRID_CRITERIA, &grid_config(w), &kb)
+                        .expect("benchmark grid");
+                    black_box(n)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(std::time::Duration::from_secs(10))
+        .warm_up_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_grid
+}
+criterion_main!(benches);

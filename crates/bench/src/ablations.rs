@@ -33,6 +33,7 @@ pub fn a1_advisor_params() -> Result<Vec<ResultTable>> {
         folds: 3,
         seed: SEED,
         parallel: true,
+        workers: 0,
     };
     openbi::experiment::run_phase1(
         &datasets,
@@ -82,6 +83,7 @@ pub fn a2_knn_k_under_dimensionality() -> Result<Vec<ResultTable>> {
                     folds: 3,
                     seed: SEED,
                     parallel: false,
+                    workers: 0,
                 };
                 let results =
                     evaluate_variant(dataset, &degradation, &config, SEED, &kb)?;
@@ -119,6 +121,7 @@ pub fn a3_tree_capacity_under_noise() -> Result<Vec<ResultTable>> {
                     folds: 3,
                     seed: SEED,
                     parallel: false,
+                    workers: 0,
                 };
                 let results =
                     evaluate_variant(dataset, &degradation, &config, SEED, &kb)?;

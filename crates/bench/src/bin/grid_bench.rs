@@ -1,0 +1,127 @@
+//! Grid-throughput benchmark for the cell-level experiment executor.
+//!
+//! Runs the small phase-1 grid (2 datasets × 3 criteria × 3 severities
+//! × 3 algorithms) at several worker counts, prints a table, and writes
+//! `BENCH_experiment_grid.json` so the perf trajectory is tracked
+//! across PRs.
+//!
+//! ```text
+//! cargo run --release -p openbi-bench --bin grid_bench [-- out.json]
+//! ```
+
+use openbi::datagen::{make_blobs, BlobsConfig};
+use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
+use openbi::kb::SharedKnowledgeBase;
+use openbi::mining::AlgorithmSpec;
+use std::time::Instant;
+
+const REPS: usize = 3;
+
+fn grid_datasets() -> Vec<ExperimentDataset> {
+    (0..2u64)
+        .map(|i| {
+            ExperimentDataset::new(
+                format!("grid-blobs-{i}"),
+                make_blobs(&BlobsConfig {
+                    n_rows: 200,
+                    n_features: 4,
+                    n_classes: 2,
+                    class_separation: 2.5,
+                    seed: 10 + i,
+                }),
+                "class",
+            )
+        })
+        .collect()
+}
+
+fn grid_config(workers: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        algorithms: vec![
+            AlgorithmSpec::NaiveBayes,
+            AlgorithmSpec::DecisionTree {
+                max_depth: 12,
+                min_leaf: 2,
+            },
+            AlgorithmSpec::Knn { k: 5 },
+        ],
+        severities: vec![0.0, 0.5, 1.0],
+        folds: 3,
+        seed: 42,
+        parallel: workers > 1,
+        workers,
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_experiment_grid.json".to_string());
+    let datasets = grid_datasets();
+    let criteria = [
+        Criterion::Completeness,
+        Criterion::LabelNoise,
+        Criterion::AttributeNoise,
+    ];
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut worker_counts = vec![1usize, 2, 4, 8];
+    if !worker_counts.contains(&cores) {
+        worker_counts.push(cores);
+    }
+    worker_counts.sort_unstable();
+    worker_counts.dedup();
+
+    let mut rows = Vec::new();
+    let mut base_secs = 0.0f64;
+    for &workers in &worker_counts {
+        // Best of REPS, so one scheduling hiccup does not skew the curve.
+        let mut best = f64::INFINITY;
+        let mut records = 0usize;
+        for _ in 0..REPS {
+            let kb = SharedKnowledgeBase::default();
+            let t0 = Instant::now();
+            let report = run_phase1_report(&datasets, &criteria, &grid_config(workers), &kb)
+                .expect("benchmark grid");
+            let secs = t0.elapsed().as_secs_f64();
+            assert!(report.failures.is_empty(), "benchmark grid must not skip cells");
+            records = report.records;
+            best = best.min(secs);
+        }
+        if workers == 1 {
+            base_secs = best;
+        }
+        let speedup = if best > 0.0 { base_secs / best } else { 0.0 };
+        println!(
+            "workers {workers:>2}: {best:.3}s  ({records} records, speedup ×{speedup:.2})"
+        );
+        rows.push(serde_json::json!({
+            "workers": workers,
+            "seconds": best,
+            "records": records,
+            "speedup_vs_1": speedup,
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "benchmark": "experiment_grid",
+        "grid": {
+            "datasets": 2,
+            "rows_per_dataset": 200,
+            "criteria": 3,
+            "severities": 3,
+            "algorithms": 3,
+            "folds": 3,
+        },
+        "available_cores": cores,
+        "reps": REPS,
+        "results": rows,
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .expect("write benchmark json");
+    println!("wrote {out_path}");
+}

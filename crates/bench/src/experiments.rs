@@ -159,6 +159,7 @@ pub fn e6_dimensionality() -> Result<Vec<ResultTable>> {
         folds: FOLDS,
         seed: SEED,
         parallel: false,
+        workers: 0,
     };
     let kb = SharedKnowledgeBase::default();
     for dataset in &datasets {
@@ -259,6 +260,7 @@ pub fn e8_mixed() -> Result<Vec<ResultTable>> {
         folds: FOLDS,
         seed: SEED,
         parallel: false,
+        workers: 0,
     };
     let kb = SharedKnowledgeBase::default();
     for dataset in &datasets {
@@ -461,6 +463,7 @@ pub fn e12_advisor() -> Result<Vec<ResultTable>> {
         folds: 3,
         seed: SEED,
         parallel: true,
+        workers: 0,
     };
     for stage in criteria_stages {
         openbi::experiment::run_phase1(&datasets, stage, &config, &kb)?;
@@ -533,6 +536,7 @@ pub fn f2_openbi_flow() -> Result<Vec<ResultTable>> {
         folds: 3,
         seed: SEED,
         parallel: true,
+        workers: 0,
     };
     let records = openbi::experiment::run_phase1(
         &datasets,

@@ -54,6 +54,7 @@ pub fn severity_sweep(
         folds,
         seed,
         parallel: false,
+        workers: 0,
     };
     for dataset in datasets {
         for (si, &severity) in severities.iter().enumerate() {

@@ -6,13 +6,14 @@
 //!                     [--kb kb.jsonl] [--no-preprocess] [--select]
 //!                     [--publish out.ttl]
 //! openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S]
+//!                     [--workers W]
 //! openbi-cli advise   <data.csv> --target COL --kb kb.jsonl
 //! ```
 //!
 //! `experiments` runs the §3.1 phase-1 suite on the reference generators
 //! and writes a knowledge base that `mine`/`advise` can consume.
 
-use openbi::experiment::{run_phase1, Criterion, ExperimentConfig, ExperimentDataset};
+use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
 use openbi::kb::{Advisor, KnowledgeBase, SharedKnowledgeBase};
 use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
 use openbi::quality::{measure_profile, render_profile, MeasureOptions};
@@ -76,6 +77,7 @@ USAGE:
                      [--publish out.ttl]
   openbi-cli advise  <data.csv> --target COL --kb kb.jsonl [--exclude A,B]
   openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S] [--full]
+                     [--workers W]   (W experiment workers; 0 = one per core)
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -170,6 +172,10 @@ fn cmd_experiments(args: &Args) -> ExitCode {
         .unwrap_or(300);
     let folds: usize = args.flag("folds").and_then(|f| f.parse().ok()).unwrap_or(3);
     let seed: u64 = args.flag("seed").and_then(|s| s.parse().ok()).unwrap_or(42);
+    let workers: usize = args
+        .flag("workers")
+        .and_then(|w| w.parse().ok())
+        .unwrap_or(0);
     let datasets: Vec<ExperimentDataset> = openbi::datagen::reference_datasets(seed)
         .into_iter()
         .map(|(name, table, target)| {
@@ -182,6 +188,7 @@ fn cmd_experiments(args: &Args) -> ExitCode {
         ExperimentConfig {
             folds,
             seed,
+            workers,
             ..Default::default()
         }
     } else {
@@ -198,23 +205,36 @@ fn cmd_experiments(args: &Args) -> ExitCode {
             severities: vec![0.0, 0.5, 1.0],
             folds,
             seed,
+            workers,
             ..Default::default()
         }
     };
     let kb = SharedKnowledgeBase::default();
     eprintln!(
-        "running phase 1 on {} datasets × {} criteria × {} severities…",
+        "running phase 1 on {} datasets × {} criteria × {} severities ({} workers)…",
         datasets.len(),
         Criterion::all().len(),
-        config.severities.len()
+        config.severities.len(),
+        config.effective_workers()
     );
-    match run_phase1(&datasets, &Criterion::all(), &config, &kb) {
-        Ok(n) => {
+    match run_phase1_report(&datasets, &Criterion::all(), &config, &kb) {
+        Ok(report) => {
+            for f in &report.failures {
+                eprintln!(
+                    "warning: skipped cell (dataset {}, seed {}): {}",
+                    f.dataset, f.seed, f.error
+                );
+            }
             if let Err(e) = kb.snapshot().save(out) {
                 eprintln!("cannot save {out}: {e}");
                 return ExitCode::FAILURE;
             }
-            println!("{n} experiment records written to {out}");
+            println!(
+                "{} experiment records written to {out} ({} cells, {} skipped)",
+                report.records,
+                report.cells,
+                report.failures.len()
+            );
             ExitCode::SUCCESS
         }
         Err(e) => {

@@ -6,8 +6,12 @@
 //!   individually, over a severity sweep.
 //! * **Phase 2 ("mixed")** applies pairs of criteria jointly.
 //!
-//! Datasets run in parallel (crossbeam scoped threads) against a
-//! [`SharedKnowledgeBase`].
+//! Both phases flatten into independent [`ExperimentCell`]s — one per
+//! (dataset, degradation, seed) grid point — executed by a
+//! work-stealing worker pool (crossbeam injector/stealer deques)
+//! against a [`SharedKnowledgeBase`]. Each cell's seed is derived from
+//! its grid position, never from the worker that happens to run it, so
+//! any worker count produces the same records.
 
 use crate::error::{OpenBiError, Result};
 use openbi_kb::{ExperimentRecord, PerfMetrics, SharedKnowledgeBase};
@@ -20,6 +24,10 @@ use openbi_quality::inject::{
 };
 use openbi_quality::{measure_profile, MeasureOptions};
 use openbi_table::Table;
+
+use crossbeam::deque::{Injector as TaskInjector, Steal, Stealer, Worker as WorkerQueue};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A clean input dataset for the experiments.
 #[derive(Debug, Clone)]
@@ -199,8 +207,11 @@ pub struct ExperimentConfig {
     pub folds: usize,
     /// Master seed.
     pub seed: u64,
-    /// Run datasets on parallel threads.
+    /// Run experiment cells on a parallel worker pool.
     pub parallel: bool,
+    /// Worker threads for the cell executor; 0 = one per available
+    /// core. Ignored when `parallel` is off.
+    pub workers: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -211,19 +222,78 @@ impl Default for ExperimentConfig {
             folds: 5,
             seed: 42,
             parallel: true,
+            workers: 0,
         }
     }
 }
 
-/// Evaluate one degraded variant: returns the per-algorithm results and
-/// pushes records into the knowledge base.
-pub fn evaluate_variant(
+impl ExperimentConfig {
+    /// The worker count the executor will actually use: 1 when
+    /// `parallel` is off, `workers` when nonzero, otherwise one worker
+    /// per available core.
+    pub fn effective_workers(&self) -> usize {
+        if !self.parallel {
+            1
+        } else if self.workers > 0 {
+            self.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+}
+
+/// One independent unit of the experiment grid: a dataset, the
+/// degradation to apply to it, and the seed that reproduces it. Cells
+/// carry everything a worker needs, so the executor can hand them to
+/// any thread in any order.
+#[derive(Debug)]
+pub struct ExperimentCell {
+    /// Index into the dataset slice handed to the executor.
+    pub dataset: usize,
+    /// The degradation this cell applies before evaluating.
+    pub degradation: Degradation,
+    /// Cell seed, derived from the grid position — never from the
+    /// worker — so parallel and sequential runs yield identical records.
+    pub seed: u64,
+}
+
+/// A cell that failed or panicked, with enough context to re-run it.
+#[derive(Debug, Clone)]
+pub struct CellFailure {
+    /// Dataset name.
+    pub dataset: String,
+    /// Human-readable degradation steps of the failed cell.
+    pub degradations: Vec<String>,
+    /// The cell seed.
+    pub seed: u64,
+    /// The error or panic message.
+    pub error: String,
+}
+
+/// What a grid run produced: record count plus the cells that were
+/// skipped because they failed. One bad cell no longer poisons the
+/// whole suite — it lands here instead.
+#[derive(Debug, Clone, Default)]
+pub struct GridReport {
+    /// Knowledge-base records written.
+    pub records: usize,
+    /// Total cells executed (including failed ones).
+    pub cells: usize,
+    /// Cells that errored or panicked and were skipped.
+    pub failures: Vec<CellFailure>,
+}
+
+/// Evaluate one degraded variant without touching any store. The
+/// degraded table, its quality profile, and the `Table` → [`Instances`]
+/// conversion are built once and shared by every algorithm evaluation.
+fn evaluate_cell(
     dataset: &ExperimentDataset,
     degradation: &Degradation,
     config: &ExperimentConfig,
     seed: u64,
-    kb: &SharedKnowledgeBase,
-) -> Result<Vec<(AlgorithmSpec, EvalResult)>> {
+) -> Result<(Vec<ExperimentRecord>, Vec<(AlgorithmSpec, EvalResult)>)> {
     let degraded = degradation.apply(&dataset.table, seed)?;
     let exclude: Vec<&str> = dataset.exclude.iter().map(String::as_str).collect();
     let profile = measure_profile(
@@ -235,10 +305,11 @@ pub fn evaluate_variant(
         },
     );
     let instances = Instances::from_table(&degraded, Some(&dataset.target), &exclude)?;
-    let mut out = Vec::with_capacity(config.algorithms.len());
+    let mut records = Vec::with_capacity(config.algorithms.len());
+    let mut evals = Vec::with_capacity(config.algorithms.len());
     for spec in &config.algorithms {
         let eval = cross_validate(&instances, spec, config.folds, seed)?;
-        kb.add(ExperimentRecord {
+        records.push(ExperimentRecord {
             dataset: dataset.name.clone(),
             degradations: degradation.describe(),
             profile: profile.clone(),
@@ -253,68 +324,252 @@ pub fn evaluate_variant(
             },
             seed,
         });
-        out.push((spec.clone(), eval));
+        evals.push((spec.clone(), eval));
     }
-    Ok(out)
+    Ok((records, evals))
 }
 
-fn run_dataset_phase1(
+/// Evaluate one degraded variant: returns the per-algorithm results and
+/// pushes records into the knowledge base.
+pub fn evaluate_variant(
     dataset: &ExperimentDataset,
+    degradation: &Degradation,
+    config: &ExperimentConfig,
+    seed: u64,
+    kb: &SharedKnowledgeBase,
+) -> Result<Vec<(AlgorithmSpec, EvalResult)>> {
+    let (records, evals) = evaluate_cell(dataset, degradation, config, seed)?;
+    kb.add_batch(records);
+    Ok(evals)
+}
+
+/// Flatten phase 1 ("simple" criteria) into cells: every dataset ×
+/// criterion × severity grid point. Fails fast on configuration errors
+/// (e.g. a dataset with no numeric MAR driver).
+pub fn phase1_cells(
+    datasets: &[ExperimentDataset],
     criteria: &[Criterion],
     config: &ExperimentConfig,
-    kb: &SharedKnowledgeBase,
-) -> Result<usize> {
-    let mut records = 0;
-    for (ci, criterion) in criteria.iter().enumerate() {
-        for (si, &severity) in config.severities.iter().enumerate() {
-            let degradation = criterion.degradation(severity, dataset)?;
-            let seed = config
-                .seed
-                .wrapping_add((ci as u64) << 16)
-                .wrapping_add(si as u64);
-            records += evaluate_variant(dataset, &degradation, config, seed, kb)?.len();
-        }
-    }
-    Ok(records)
-}
-
-fn run_dataset_phase2(
-    dataset: &ExperimentDataset,
-    pairs: &[(Criterion, Criterion)],
-    config: &ExperimentConfig,
-    kb: &SharedKnowledgeBase,
-) -> Result<usize> {
-    let mut records = 0;
-    for (pi, (a, b)) in pairs.iter().enumerate() {
-        for (si, &sa) in config.severities.iter().enumerate() {
-            for (sj, &sb) in config.severities.iter().enumerate() {
-                if sa == 0.0 && sb == 0.0 {
-                    continue; // the clean baseline belongs to phase 1
-                }
-                let mut degradation = Degradation::new();
-                // Compose by re-deriving each side's single-criterion
-                // degradation.
-                for step in [a.degradation(sa, dataset)?, b.degradation(sb, dataset)?] {
-                    degradation = merge(degradation, step);
-                }
-                let seed = config
-                    .seed
-                    .wrapping_add(0xF00D)
-                    .wrapping_add((pi as u64) << 20)
-                    .wrapping_add((si as u64) << 8)
-                    .wrapping_add(sj as u64);
-                records += evaluate_variant(dataset, &degradation, config, seed, kb)?.len();
+) -> Result<Vec<ExperimentCell>> {
+    let mut cells =
+        Vec::with_capacity(datasets.len() * criteria.len() * config.severities.len());
+    for (di, dataset) in datasets.iter().enumerate() {
+        for (ci, criterion) in criteria.iter().enumerate() {
+            for (si, &severity) in config.severities.iter().enumerate() {
+                cells.push(ExperimentCell {
+                    dataset: di,
+                    degradation: criterion.degradation(severity, dataset)?,
+                    seed: config
+                        .seed
+                        .wrapping_add((ci as u64) << 16)
+                        .wrapping_add(si as u64),
+                });
             }
         }
     }
-    Ok(records)
+    Ok(cells)
 }
 
-/// Concatenate two degradations (helper; `Degradation` is append-only by
-/// design so experiments cannot silently reorder defects).
-fn merge(mut base: Degradation, more: Degradation) -> Degradation {
-    base.extend(more);
-    base
+/// Flatten phase 2 ("mixed" criteria) into cells: every dataset × pair
+/// × severity × severity grid point, minus the clean-clean baseline
+/// (which belongs to phase 1).
+pub fn phase2_cells(
+    datasets: &[ExperimentDataset],
+    pairs: &[(Criterion, Criterion)],
+    config: &ExperimentConfig,
+) -> Result<Vec<ExperimentCell>> {
+    let mut cells = Vec::new();
+    for (di, dataset) in datasets.iter().enumerate() {
+        for (pi, (a, b)) in pairs.iter().enumerate() {
+            for (si, &sa) in config.severities.iter().enumerate() {
+                for (sj, &sb) in config.severities.iter().enumerate() {
+                    if sa == 0.0 && sb == 0.0 {
+                        continue;
+                    }
+                    // Compose by re-deriving each side's single-criterion
+                    // degradation; `Degradation` is append-only so the
+                    // defect order cannot silently change.
+                    let mut degradation = a.degradation(sa, dataset)?;
+                    degradation.extend(b.degradation(sb, dataset)?);
+                    cells.push(ExperimentCell {
+                        dataset: di,
+                        degradation,
+                        seed: config
+                            .seed
+                            .wrapping_add(0xF00D)
+                            .wrapping_add((pi as u64) << 20)
+                            .wrapping_add((si as u64) << 8)
+                            .wrapping_add(sj as u64),
+                    });
+                }
+            }
+        }
+    }
+    Ok(cells)
+}
+
+/// Records flushed to the shared store per worker batch. Large enough
+/// to amortize the write lock, small enough that progress is visible
+/// to concurrent readers.
+const FLUSH_THRESHOLD: usize = 64;
+
+/// Run one cell with error and panic containment: any failure becomes a
+/// [`CellFailure`] instead of tearing down the executor.
+fn run_one_cell(
+    datasets: &[ExperimentDataset],
+    cell: &ExperimentCell,
+    config: &ExperimentConfig,
+) -> std::result::Result<Vec<ExperimentRecord>, CellFailure> {
+    let dataset = &datasets[cell.dataset];
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        evaluate_cell(dataset, &cell.degradation, config, cell.seed)
+    }));
+    let error = match outcome {
+        Ok(Ok((records, _))) => return Ok(records),
+        Ok(Err(e)) => e.to_string(),
+        Err(panic) => panic_message(panic.as_ref()),
+    };
+    Err(CellFailure {
+        dataset: dataset.name.clone(),
+        degradations: cell.degradation.describe(),
+        seed: cell.seed,
+        error,
+    })
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Pop local work, then steal: first a batch from the global injector,
+/// then from a sibling worker. Returns `None` only when every queue is
+/// empty, which is final because all cells are enqueued up front.
+fn next_cell(
+    local: &WorkerQueue<ExperimentCell>,
+    global: &TaskInjector<ExperimentCell>,
+    stealers: &[Stealer<ExperimentCell>],
+    me: usize,
+) -> Option<ExperimentCell> {
+    local.pop().or_else(|| {
+        std::iter::repeat_with(|| {
+            global.steal_batch_and_pop(local).or_else(|| {
+                stealers
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != me)
+                    .map(|(_, s)| s.steal())
+                    .collect()
+            })
+        })
+        .find(|s| !s.is_retry())
+        .and_then(Steal::success)
+    })
+}
+
+/// Execute a flat cell list on the work-stealing worker pool. Workers
+/// batch records locally and flush them to `kb` in chunks, so the
+/// shared write lock is taken once per [`FLUSH_THRESHOLD`] records
+/// instead of once per record. Failed cells are collected, not fatal.
+pub fn run_cells(
+    datasets: &[ExperimentDataset],
+    cells: Vec<ExperimentCell>,
+    config: &ExperimentConfig,
+    kb: &SharedKnowledgeBase,
+) -> Result<GridReport> {
+    let n_cells = cells.len();
+    let workers = config.effective_workers().min(n_cells.max(1));
+    if workers <= 1 {
+        let mut report = GridReport {
+            cells: n_cells,
+            ..GridReport::default()
+        };
+        let mut batch: Vec<ExperimentRecord> = Vec::new();
+        for cell in &cells {
+            match run_one_cell(datasets, cell, config) {
+                Ok(mut records) => {
+                    report.records += records.len();
+                    batch.append(&mut records);
+                }
+                Err(failure) => report.failures.push(failure),
+            }
+            if batch.len() >= FLUSH_THRESHOLD {
+                kb.add_batch(std::mem::take(&mut batch));
+            }
+        }
+        kb.add_batch(batch);
+        return Ok(report);
+    }
+    let global = TaskInjector::new();
+    for cell in cells {
+        global.push(cell);
+    }
+    let locals: Vec<WorkerQueue<ExperimentCell>> =
+        (0..workers).map(|_| WorkerQueue::new_fifo()).collect();
+    let stealers: Vec<Stealer<ExperimentCell>> =
+        locals.iter().map(WorkerQueue::stealer).collect();
+    let records = AtomicUsize::new(0);
+    let failures: Mutex<Vec<CellFailure>> = Mutex::new(Vec::new());
+    crossbeam::thread::scope(|scope| {
+        for (wi, local) in locals.into_iter().enumerate() {
+            let global = &global;
+            let stealers = &stealers;
+            let records = &records;
+            let failures = &failures;
+            let kb = kb.clone();
+            scope.spawn(move |_| {
+                let mut batch: Vec<ExperimentRecord> = Vec::new();
+                while let Some(cell) = next_cell(&local, global, stealers, wi) {
+                    match run_one_cell(datasets, &cell, config) {
+                        Ok(mut recs) => {
+                            records.fetch_add(recs.len(), Ordering::Relaxed);
+                            batch.append(&mut recs);
+                        }
+                        Err(failure) => failures.lock().push(failure),
+                    }
+                    if batch.len() >= FLUSH_THRESHOLD {
+                        kb.add_batch(std::mem::take(&mut batch));
+                    }
+                }
+                kb.add_batch(batch);
+            });
+        }
+    })
+    .map_err(|_| OpenBiError::Config("experiment executor scope panicked".into()))?;
+    Ok(GridReport {
+        records: records.load(Ordering::Relaxed),
+        cells: n_cells,
+        failures: failures.into_inner(),
+    })
+}
+
+/// Run phase 1 ("simple" criteria) on all datasets, reporting both the
+/// records produced and any skipped cells.
+pub fn run_phase1_report(
+    datasets: &[ExperimentDataset],
+    criteria: &[Criterion],
+    config: &ExperimentConfig,
+    kb: &SharedKnowledgeBase,
+) -> Result<GridReport> {
+    let cells = phase1_cells(datasets, criteria, config)?;
+    run_cells(datasets, cells, config, kb)
+}
+
+/// Run phase 2 ("mixed" criteria) on all datasets, reporting both the
+/// records produced and any skipped cells.
+pub fn run_phase2_report(
+    datasets: &[ExperimentDataset],
+    pairs: &[(Criterion, Criterion)],
+    config: &ExperimentConfig,
+    kb: &SharedKnowledgeBase,
+) -> Result<GridReport> {
+    let cells = phase2_cells(datasets, pairs, config)?;
+    run_cells(datasets, cells, config, kb)
 }
 
 /// Run phase 1 ("simple" criteria) on all datasets. Returns the number
@@ -325,9 +580,7 @@ pub fn run_phase1(
     config: &ExperimentConfig,
     kb: &SharedKnowledgeBase,
 ) -> Result<usize> {
-    run_parallel(datasets, config, kb, |d, kb| {
-        run_dataset_phase1(d, criteria, config, kb)
-    })
+    run_phase1_report(datasets, criteria, config, kb).map(|r| r.records)
 }
 
 /// Run phase 2 ("mixed" criteria) on all datasets. Returns the number of
@@ -338,44 +591,7 @@ pub fn run_phase2(
     config: &ExperimentConfig,
     kb: &SharedKnowledgeBase,
 ) -> Result<usize> {
-    run_parallel(datasets, config, kb, |d, kb| {
-        run_dataset_phase2(d, pairs, config, kb)
-    })
-}
-
-fn run_parallel(
-    datasets: &[ExperimentDataset],
-    config: &ExperimentConfig,
-    kb: &SharedKnowledgeBase,
-    job: impl Fn(&ExperimentDataset, &SharedKnowledgeBase) -> Result<usize> + Sync,
-) -> Result<usize> {
-    if !config.parallel || datasets.len() <= 1 {
-        let mut total = 0;
-        for d in datasets {
-            total += job(d, kb)?;
-        }
-        return Ok(total);
-    }
-    let results: Vec<Result<usize>> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = datasets
-            .iter()
-            .map(|d| {
-                let kb = kb.clone();
-                let job = &job;
-                scope.spawn(move |_| job(d, &kb))
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("experiment thread panicked"))
-            .collect()
-    })
-    .expect("crossbeam scope");
-    let mut total = 0;
-    for r in results {
-        total += r?;
-    }
-    Ok(total)
+    run_phase2_report(datasets, pairs, config, kb).map(|r| r.records)
 }
 
 #[cfg(test)]
@@ -405,6 +621,7 @@ mod tests {
             folds: 3,
             seed: 9,
             parallel: false,
+            workers: 0,
         }
     }
 
@@ -496,6 +713,100 @@ mod tests {
             .records()
             .iter()
             .any(|r| r.degradations.len() == 2), "mixed variants carry two defects");
+    }
+
+    #[test]
+    fn phase1_cells_cover_the_grid_with_position_seeds() {
+        let d = small_dataset();
+        let config = fast_config();
+        let cells = phase1_cells(
+            &[d],
+            &[Criterion::Completeness, Criterion::LabelNoise],
+            &config,
+        )
+        .unwrap();
+        // 1 dataset × 2 criteria × 2 severities.
+        assert_eq!(cells.len(), 4);
+        // Seeds depend on the grid position, not on the cell order.
+        assert_eq!(cells[0].seed, config.seed);
+        assert_eq!(cells[1].seed, config.seed + 1);
+        assert_eq!(cells[2].seed, config.seed + (1 << 16));
+        // Severity 0 cells carry the empty (clean-baseline) degradation.
+        assert!(cells[0].degradation.is_empty());
+        assert!(!cells[1].degradation.is_empty());
+    }
+
+    #[test]
+    fn bad_cell_is_skipped_not_fatal() {
+        // A dataset whose target column does not exist fails inside the
+        // cell (Instances conversion), not at cell-building time.
+        let good = small_dataset();
+        let mut bad = small_dataset();
+        bad.name = "broken".into();
+        bad.target = "no-such-column".into();
+        for workers in [1usize, 4] {
+            let kb = SharedKnowledgeBase::default();
+            let config = ExperimentConfig {
+                parallel: workers > 1,
+                workers,
+                ..fast_config()
+            };
+            let report = run_phase1_report(
+                &[good.clone(), bad.clone()],
+                &[Criterion::LabelNoise],
+                &config,
+                &kb,
+            )
+            .unwrap();
+            // The good dataset's 2 severities × 2 algorithms survive.
+            assert_eq!(report.records, 4, "workers={workers}");
+            assert_eq!(kb.len(), 4);
+            assert_eq!(report.cells, 4);
+            assert_eq!(report.failures.len(), 2);
+            assert!(report.failures.iter().all(|f| f.dataset == "broken"));
+            assert!(!report.failures[0].error.is_empty());
+        }
+    }
+
+    #[test]
+    fn worker_count_does_not_change_records() {
+        let datasets = vec![small_dataset(), {
+            let mut d = small_dataset();
+            d.name = "blobs-test-2".into();
+            d
+        }];
+        let criteria = [Criterion::LabelNoise, Criterion::Completeness];
+        let run = |parallel: bool, workers: usize| {
+            let kb = SharedKnowledgeBase::default();
+            let config = ExperimentConfig {
+                parallel,
+                workers,
+                ..fast_config()
+            };
+            run_phase1(&datasets, &criteria, &config, &kb).unwrap();
+            let mut keys: Vec<String> = kb
+                .snapshot()
+                .records()
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}|{:?}|{}|{}|{:.12}|{:.12}|{:.12}",
+                        r.dataset,
+                        r.degradations,
+                        r.algorithm,
+                        r.seed,
+                        r.metrics.accuracy,
+                        r.metrics.kappa,
+                        r.metrics.model_size
+                    )
+                })
+                .collect();
+            keys.sort();
+            keys
+        };
+        let sequential = run(false, 1);
+        assert_eq!(sequential, run(true, 1));
+        assert_eq!(sequential, run(true, 4));
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub mod report;
 
 pub use error::{OpenBiError, Result};
 pub use experiment::{
-    run_phase1, run_phase2, Criterion, ExperimentConfig, ExperimentDataset,
+    run_cells, run_phase1, run_phase1_report, run_phase2, run_phase2_report, CellFailure,
+    Criterion, ExperimentCell, ExperimentConfig, ExperimentDataset, GridReport,
 };
 pub use guidance::{PreprocessingPlan, PreprocessingStep};
 pub use pipeline::{run_pipeline, DataSource, PipelineConfig, PipelineOutcome};

@@ -15,7 +15,7 @@ use openbi_lod::{
 use openbi_metamodel::{
     catalog_from_lod, catalog_from_table, Catalog, ColumnRole, QualityAnnotation,
 };
-use openbi_mining::eval::crossval::cross_validate;
+use openbi_mining::eval::crossval::{cross_validate_with, CrossValOptions};
 use openbi_mining::{AlgorithmSpec, EvalResult, Instances};
 use openbi_quality::{measure_profile, MeasureOptions, QualityProfile};
 use openbi_table::{read_csv_str, CsvOptions, Table};
@@ -84,6 +84,10 @@ pub struct PipelineConfig {
     /// Algorithm to run when no knowledge base is supplied (or to
     /// override the advisor).
     pub fallback_algorithm: AlgorithmSpec,
+    /// Evaluate cross-validation folds on parallel threads. The result
+    /// is identical to the sequential run; on for the interactive
+    /// single-dataset path, which otherwise uses one core.
+    pub parallel_folds: bool,
 }
 
 impl Default for PipelineConfig {
@@ -98,6 +102,7 @@ impl Default for PipelineConfig {
             auto_select_attributes: false,
             advisor: Advisor::default(),
             fallback_algorithm: AlgorithmSpec::NaiveBayes,
+            parallel_folds: true,
         }
     }
 }
@@ -245,7 +250,15 @@ pub fn run_pipeline(
             .unwrap_or_else(|| config.fallback_algorithm.clone());
         let exclude_refs: Vec<&str> = exclude.iter().map(String::as_str).collect();
         let instances = Instances::from_table(&preprocessed, Some(target), &exclude_refs)?;
-        let eval = cross_validate(&instances, &spec, config.folds, config.seed)?;
+        let eval = cross_validate_with(
+            &instances,
+            &spec,
+            config.folds,
+            config.seed,
+            &CrossValOptions {
+                parallel_folds: config.parallel_folds,
+            },
+        )?;
         (Some(eval), Some(spec))
     } else {
         (None, None)

@@ -24,6 +24,11 @@ impl KnowledgeBase {
         self.records.push(record);
     }
 
+    /// Append many records at once.
+    pub fn add_batch(&mut self, records: impl IntoIterator<Item = ExperimentRecord>) {
+        self.records.extend(records);
+    }
+
     /// All records.
     pub fn records(&self) -> &[ExperimentRecord] {
         &self.records
@@ -136,6 +141,16 @@ impl SharedKnowledgeBase {
         self.inner.write().add(record);
     }
 
+    /// Append many records under a single write-lock acquisition — the
+    /// per-worker flush path of the parallel experiment executor, which
+    /// would otherwise contend on the lock once per record.
+    pub fn add_batch(&self, records: Vec<ExperimentRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        self.inner.write().add_batch(records);
+    }
+
     /// Number of records.
     pub fn len(&self) -> usize {
         self.inner.read().len()
@@ -219,6 +234,22 @@ mod tests {
         kb.save(&path).unwrap();
         assert_eq!(KnowledgeBase::load(&path).unwrap().len(), 1);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn batched_insert_matches_single_inserts() {
+        let mut one_by_one = KnowledgeBase::new();
+        one_by_one.add(record("d1", "a", 0.1));
+        one_by_one.add(record("d1", "b", 0.2));
+        let mut batched = KnowledgeBase::new();
+        batched.add_batch(vec![record("d1", "a", 0.1), record("d1", "b", 0.2)]);
+        assert_eq!(one_by_one.records(), batched.records());
+
+        let shared = SharedKnowledgeBase::default();
+        shared.add_batch(vec![]);
+        assert!(shared.is_empty());
+        shared.add_batch(vec![record("d2", "a", 0.3), record("d2", "b", 0.4)]);
+        assert_eq!(shared.len(), 2);
     }
 
     #[test]

@@ -15,6 +15,8 @@ pub enum MiningError {
     NotFitted(&'static str),
     /// A numeric routine failed to converge or was ill-conditioned.
     Numeric(String),
+    /// A parallel evaluation thread failed or panicked.
+    Execution(String),
 }
 
 impl fmt::Display for MiningError {
@@ -25,6 +27,7 @@ impl fmt::Display for MiningError {
             MiningError::InvalidParameter(m) => write!(f, "invalid parameter: {m}"),
             MiningError::NotFitted(model) => write!(f, "{model} used before fit"),
             MiningError::Numeric(m) => write!(f, "numeric error: {m}"),
+            MiningError::Execution(m) => write!(f, "execution failed: {m}"),
         }
     }
 }

@@ -98,6 +98,80 @@ pub fn stratified_folds(data: &Instances, folds: usize, seed: u64) -> Result<Vec
     Ok(assignment)
 }
 
+/// Options controlling how [`cross_validate_with`] executes.
+#[derive(Debug, Clone, Default)]
+pub struct CrossValOptions {
+    /// Evaluate folds on parallel threads. Fold assignment and the
+    /// pooled result are identical either way; only wall-clock time
+    /// changes. Leave off inside already-parallel experiment grids.
+    pub parallel_folds: bool,
+}
+
+impl CrossValOptions {
+    /// Options with the parallel fold loop enabled.
+    pub fn parallel() -> Self {
+        CrossValOptions {
+            parallel_folds: true,
+        }
+    }
+}
+
+/// Everything one fold contributes to the pooled result, kept separate
+/// so folds can run on any thread and still merge in fold order.
+struct FoldOutcome {
+    actual: Vec<usize>,
+    predicted: Vec<usize>,
+    accuracy: f64,
+    train_ms: f64,
+    predict_ms: f64,
+    model_size: f64,
+}
+
+/// Train and test one fold. `train_buf` is a caller-owned scratch vector
+/// for the training-row indices so sequential sweeps reuse one
+/// allocation across all folds.
+fn run_fold(
+    data: &Instances,
+    spec: &AlgorithmSpec,
+    fold_rows: &[Vec<usize>],
+    f: usize,
+    train_buf: &mut Vec<usize>,
+) -> Result<FoldOutcome> {
+    train_buf.clear();
+    for (i, rows) in fold_rows.iter().enumerate() {
+        if i != f {
+            train_buf.extend_from_slice(rows);
+        }
+    }
+    let test_rows = &fold_rows[f];
+    let train = data.subset(train_buf);
+    let test = data.subset(test_rows);
+    let mut model = spec.build();
+    let t0 = Instant::now();
+    model.fit(&train)?;
+    let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let predicted = model.predict(&test)?;
+    let predict_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let mut actual = Vec::with_capacity(test_rows.len());
+    let mut correct = 0usize;
+    for (p, l) in predicted.iter().zip(&test.labels) {
+        let l = l.expect("stratified folds hold labeled rows");
+        actual.push(l);
+        if *p == l {
+            correct += 1;
+        }
+    }
+    Ok(FoldOutcome {
+        accuracy: correct as f64 / test.len().max(1) as f64,
+        actual,
+        predicted,
+        train_ms,
+        predict_ms,
+        model_size: model.model_size() as f64,
+    })
+}
+
 /// Run stratified k-fold cross-validation of an algorithm spec.
 pub fn cross_validate(
     data: &Instances,
@@ -105,41 +179,65 @@ pub fn cross_validate(
     folds: usize,
     seed: u64,
 ) -> Result<EvalResult> {
+    cross_validate_with(data, spec, folds, seed, &CrossValOptions::default())
+}
+
+/// [`cross_validate`] with explicit execution options. With
+/// `parallel_folds` each fold trains and predicts on its own thread;
+/// outcomes are merged in fold-index order, so the result is equal to
+/// the sequential run (timings excepted).
+pub fn cross_validate_with(
+    data: &Instances,
+    spec: &AlgorithmSpec,
+    folds: usize,
+    seed: u64,
+    opts: &CrossValOptions,
+) -> Result<EvalResult> {
     let fold_rows = stratified_folds(data, folds, seed)?;
-    let mut actual = Vec::new();
-    let mut predicted = Vec::new();
+    let n_labeled: usize = fold_rows.iter().map(Vec::len).sum();
+    let outcomes: Vec<FoldOutcome> = if opts.parallel_folds && folds > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..folds)
+                .map(|f| {
+                    let fold_rows = &fold_rows;
+                    scope.spawn(move || {
+                        let mut train_buf = Vec::with_capacity(n_labeled);
+                        run_fold(data, spec, fold_rows, f, &mut train_buf)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(MiningError::Execution(
+                            "cross-validation fold thread panicked".into(),
+                        ))
+                    })
+                })
+                .collect::<Result<Vec<FoldOutcome>>>()
+        })?
+    } else {
+        let mut train_buf = Vec::with_capacity(n_labeled);
+        let mut out = Vec::with_capacity(folds);
+        for f in 0..folds {
+            out.push(run_fold(data, spec, &fold_rows, f, &mut train_buf)?);
+        }
+        out
+    };
+    let mut actual = Vec::with_capacity(n_labeled);
+    let mut predicted = Vec::with_capacity(n_labeled);
     let mut fold_accuracies = Vec::with_capacity(folds);
     let mut train_ms = 0.0;
     let mut predict_ms = 0.0;
     let mut model_size_sum = 0.0;
-    for f in 0..folds {
-        let test_rows = &fold_rows[f];
-        let train_rows: Vec<usize> = fold_rows
-            .iter()
-            .enumerate()
-            .filter(|(i, _)| *i != f)
-            .flat_map(|(_, rows)| rows.iter().copied())
-            .collect();
-        let train = data.subset(&train_rows);
-        let test = data.subset(test_rows);
-        let mut model = spec.build();
-        let t0 = Instant::now();
-        model.fit(&train)?;
-        train_ms += t0.elapsed().as_secs_f64() * 1e3;
-        let t1 = Instant::now();
-        let preds = model.predict(&test)?;
-        predict_ms += t1.elapsed().as_secs_f64() * 1e3;
-        model_size_sum += model.model_size() as f64;
-        let mut correct = 0usize;
-        for (p, l) in preds.iter().zip(&test.labels) {
-            let l = l.expect("stratified folds hold labeled rows");
-            actual.push(l);
-            predicted.push(*p);
-            if *p == l {
-                correct += 1;
-            }
-        }
-        fold_accuracies.push(correct as f64 / test.len().max(1) as f64);
+    for o in outcomes {
+        actual.extend(o.actual);
+        predicted.extend(o.predicted);
+        fold_accuracies.push(o.accuracy);
+        train_ms += o.train_ms;
+        predict_ms += o.predict_ms;
+        model_size_sum += o.model_size;
     }
     Ok(EvalResult {
         algorithm: spec.to_string(),
@@ -246,6 +344,18 @@ mod tests {
         assert_eq!(r.fold_accuracies.len(), 5);
         assert_eq!(r.confusion.total(), 60);
         assert!(r.model_size > 0.0);
+    }
+
+    #[test]
+    fn parallel_folds_match_sequential() {
+        let d = data(30);
+        for spec in [AlgorithmSpec::NaiveBayes, AlgorithmSpec::ZeroR] {
+            let seq = cross_validate(&d, &spec, 5, 7).unwrap();
+            let par = cross_validate_with(&d, &spec, 5, 7, &CrossValOptions::parallel()).unwrap();
+            assert_eq!(seq.confusion, par.confusion);
+            assert_eq!(seq.fold_accuracies, par.fold_accuracies);
+            assert_eq!(seq.model_size, par.model_size);
+        }
     }
 
     #[test]

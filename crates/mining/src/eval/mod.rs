@@ -3,5 +3,8 @@
 pub mod crossval;
 pub mod metrics;
 
-pub use crossval::{cross_validate, holdout_split, stratified_folds, EvalResult};
+pub use crossval::{
+    cross_validate, cross_validate_with, holdout_split, stratified_folds, CrossValOptions,
+    EvalResult,
+};
 pub use metrics::ConfusionMatrix;

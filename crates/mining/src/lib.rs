@@ -28,7 +28,10 @@ pub mod select;
 
 pub use classify::{AlgorithmSpec, Classifier};
 pub use error::{MiningError, Result};
-pub use eval::{cross_validate, holdout_split, ConfusionMatrix, EvalResult};
+pub use eval::{
+    cross_validate, cross_validate_with, holdout_split, ConfusionMatrix, CrossValOptions,
+    EvalResult,
+};
 pub use instances::{AttrKind, Attribute, Instances};
 pub use reduce::Pca;
 pub use rules::{Apriori, Rule};

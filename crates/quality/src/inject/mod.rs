@@ -32,7 +32,12 @@ use rand::Rng;
 use rand::SeedableRng;
 
 /// A controlled data-quality defect generator.
-pub trait Injector: std::fmt::Debug {
+///
+/// `Send + Sync` so composed [`Degradation`]s can migrate between the
+/// worker threads of the cell-level experiment executor; injectors are
+/// pure parameter records, so every implementation satisfies the bound
+/// for free.
+pub trait Injector: std::fmt::Debug + Send + Sync {
     /// Stable identifier, e.g. `"missing"`.
     fn name(&self) -> &'static str;
     /// Human-readable description with parameters.

@@ -41,6 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         folds: 3,
         seed: 11,
         parallel: true,
+        workers: 0,
     };
     let kb = SharedKnowledgeBase::default();
     let criteria = [

@@ -161,6 +161,7 @@ fn knowledge_base_shares_as_lod_and_advises_after_import() {
             folds: 3,
             seed: 2,
             parallel: false,
+            workers: 0,
         },
         &kb,
     )

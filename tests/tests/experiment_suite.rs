@@ -35,6 +35,7 @@ fn config() -> ExperimentConfig {
         folds: 3,
         seed: 3,
         parallel: true,
+        workers: 0,
     }
 }
 
@@ -105,6 +106,48 @@ fn full_protocol_builds_a_useful_kb() {
     let _ = extract_rules(&snapshot, 0.0, 1);
 }
 
+/// The cell-level executor's determinism guarantee: a seeded phase-1
+/// run yields the same knowledge-base records whether it runs
+/// sequentially, on one worker, or on eight. Cell seeds derive from the
+/// grid position (never the worker), so only record *order* and the
+/// wall-clock `train_ms` field may differ.
+#[test]
+fn executor_is_deterministic_across_worker_counts() {
+    let datasets = vec![dataset(1), dataset(2)];
+    let criteria = [
+        Criterion::Completeness,
+        Criterion::LabelNoise,
+        Criterion::Imbalance,
+    ];
+    let run = |parallel: bool, workers: usize| {
+        let kb = SharedKnowledgeBase::default();
+        let cfg = ExperimentConfig {
+            parallel,
+            workers,
+            ..config()
+        };
+        run_phase1(&datasets, &criteria, &cfg, &kb).unwrap();
+        let mut keys: Vec<String> = kb
+            .snapshot()
+            .records()
+            .iter()
+            .map(|r| {
+                let mut r = r.clone();
+                r.metrics.train_ms = 0.0; // wall-clock: the only timing field
+                serde_json::to_string(&r).unwrap()
+            })
+            .collect();
+        keys.sort();
+        keys
+    };
+    let sequential = run(false, 1);
+    let one_worker = run(true, 1);
+    let eight_workers = run(true, 8);
+    assert_eq!(sequential.len(), 54);
+    assert_eq!(sequential, one_worker, "workers=1 must match sequential");
+    assert_eq!(sequential, eight_workers, "workers=8 must match sequential");
+}
+
 #[test]
 fn imbalance_hurts_minority_f1_more_than_accuracy() {
     // Overlapping classes: with a clean boundary even 95:5 imbalance
@@ -129,6 +172,7 @@ fn imbalance_hurts_minority_f1_more_than_accuracy() {
         folds: 3,
         seed: 5,
         parallel: false,
+        workers: 0,
         severities: vec![],
     };
     let clean = evaluate_variant(
@@ -173,6 +217,7 @@ fn dimensionality_hurts_knn_more_than_tree() {
         folds: 3,
         seed: 5,
         parallel: false,
+        workers: 0,
         severities: vec![],
     };
     let run = |severity: f64| {
