@@ -67,18 +67,14 @@ fn bench_grid(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiment_grid");
     group.sample_size(10);
     for workers in worker_counts {
-        group.bench_with_input(
-            BenchmarkId::new("workers", workers),
-            &workers,
-            |b, &w| {
-                b.iter(|| {
-                    let kb = SharedKnowledgeBase::default();
-                    let n = run_phase1(&datasets, &GRID_CRITERIA, &grid_config(w), &kb)
-                        .expect("benchmark grid");
-                    black_box(n)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            b.iter(|| {
+                let kb = SharedKnowledgeBase::default();
+                let n = run_phase1(&datasets, &GRID_CRITERIA, &grid_config(w), &kb)
+                    .expect("benchmark grid");
+                black_box(n)
+            })
+        });
     }
     group.finish();
 }

@@ -73,7 +73,13 @@ fn bench_csv(c: &mut Criterion) {
     let table = air_quality(2_000, 2).table;
     let text = write_csv_str(&table, ',');
     c.bench_function("m3_csv_parse_2k_rows", |b| {
-        b.iter(|| black_box(read_csv_str(&text, &CsvOptions::default()).unwrap().n_rows()))
+        b.iter(|| {
+            black_box(
+                read_csv_str(&text, &CsvOptions::default())
+                    .unwrap()
+                    .n_rows(),
+            )
+        })
     });
 }
 
@@ -131,7 +137,10 @@ fn bench_olap(c: &mut Criterion) {
     let cube = Cube::new(
         facts,
         &["district", "traffic", "aqi_band"],
-        vec![Measure::Mean("pm10".into()), Measure::Count("station".into())],
+        vec![
+            Measure::Mean("pm10".into()),
+            Measure::Count("station".into()),
+        ],
     )
     .unwrap();
     c.bench_function("m6_cube_rollup_2dims_5k_rows", |b| {

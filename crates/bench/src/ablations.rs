@@ -85,8 +85,7 @@ pub fn a2_knn_k_under_dimensionality() -> Result<Vec<ResultTable>> {
                     parallel: false,
                     workers: 0,
                 };
-                let results =
-                    evaluate_variant(dataset, &degradation, &config, SEED, &kb)?;
+                let results = evaluate_variant(dataset, &degradation, &config, SEED, &kb)?;
                 out.push(vec![
                     Cell::Str(dataset.name.clone()),
                     severity.into(),
@@ -123,8 +122,7 @@ pub fn a3_tree_capacity_under_noise() -> Result<Vec<ResultTable>> {
                     parallel: false,
                     workers: 0,
                 };
-                let results =
-                    evaluate_variant(dataset, &degradation, &config, SEED, &kb)?;
+                let results = evaluate_variant(dataset, &degradation, &config, SEED, &kb)?;
                 out.push(vec![
                     Cell::Str(dataset.name.clone()),
                     severity.into(),

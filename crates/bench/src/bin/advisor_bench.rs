@@ -1,0 +1,178 @@
+//! Advisor serving-path benchmark: queries/sec of the indexed advise
+//! path (and the scratch-reusing `advise_many` batch API) vs the
+//! linear-scan reference advisor, across knowledge-base sizes.
+//!
+//! Prints a table and writes `BENCH_advisor.json` so the serving-path
+//! perf trajectory is tracked across PRs. Also spot-checks, on every KB
+//! size, that the indexed path returns exactly the reference's advice.
+//!
+//! ```text
+//! cargo run --release -p openbi-bench --bin advisor_bench [-- out.json]
+//! ```
+
+use openbi::kb::{Advisor, ExperimentRecord, KnowledgeBase, PerfMetrics};
+use openbi::quality::QualityProfile;
+use std::time::Instant;
+
+const KB_SIZES: [usize; 3] = [5_000, 20_000, 50_000];
+const ALGORITHMS: usize = 12;
+const DATASETS: usize = 40;
+const QUERY_PROFILES: usize = 64;
+/// Queries timed per (size, path) measurement.
+const INDEXED_QUERIES: usize = 2_000;
+/// The reference path is O(records × algorithms) per query; keep its
+/// timed query count small so the largest KB still finishes promptly.
+const REFERENCE_QUERIES: usize = 20;
+const REPS: usize = 3;
+
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn unit(state: &mut u64) -> f64 {
+    (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn random_profile(state: &mut u64) -> QualityProfile {
+    QualityProfile {
+        completeness: unit(state),
+        duplicate_ratio: unit(state) * 0.3,
+        class_balance: unit(state),
+        outlier_ratio: unit(state) * 0.2,
+        label_noise_estimate: unit(state) * 0.4,
+        attr_noise_estimate: unit(state) * 0.4,
+        ..Default::default()
+    }
+}
+
+fn synthetic_kb(records: usize, state: &mut u64) -> KnowledgeBase {
+    let mut kb = KnowledgeBase::new();
+    kb.add_batch((0..records).map(|i| {
+        let acc = 0.4 + unit(state) * 0.6;
+        ExperimentRecord {
+            dataset: format!("dataset-{}", i % DATASETS),
+            degradations: vec![],
+            profile: random_profile(state),
+            algorithm: format!("algorithm-{:02}", i % ALGORITHMS),
+            metrics: PerfMetrics {
+                accuracy: acc,
+                macro_f1: acc - 0.05,
+                minority_f1: acc - 0.1,
+                kappa: 2.0 * acc - 1.0,
+                train_ms: 1.0,
+                model_size: 1.0,
+            },
+            seed: i as u64,
+        }
+    }));
+    kb
+}
+
+/// Best-of-REPS queries/sec for `queries` advise calls round-robining
+/// over the query profiles.
+fn measure_qps(
+    queries: usize,
+    profiles: &[QualityProfile],
+    mut advise_one: impl FnMut(&QualityProfile),
+) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        for q in 0..queries {
+            advise_one(&profiles[q % profiles.len()]);
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            best = best.max(queries as f64 / secs);
+        }
+    }
+    best
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_advisor.json".to_string());
+    let advisor = Advisor::default();
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let profiles: Vec<QualityProfile> = (0..QUERY_PROFILES)
+        .map(|_| random_profile(&mut state))
+        .collect();
+
+    let mut rows = Vec::new();
+    for &size in &KB_SIZES {
+        let kb = synthetic_kb(size, &mut state);
+
+        // Correctness spot-check before timing anything: the indexed
+        // path must be bitwise-identical to the reference on this KB.
+        for profile in profiles.iter().take(8) {
+            assert_eq!(
+                advisor.advise(&kb, profile),
+                advisor.advise_reference(&kb, profile),
+                "indexed/reference divergence at {size} records"
+            );
+        }
+
+        let reference_qps = measure_qps(REFERENCE_QUERIES, &profiles, |p| {
+            advisor.advise_reference(&kb, p).expect("reference advise");
+        });
+        let indexed_qps = measure_qps(INDEXED_QUERIES, &profiles, |p| {
+            advisor.advise(&kb, p).expect("indexed advise");
+        });
+        // advise_many: one batch call over all query profiles, repeated
+        // to reach the same query count as the single-query path.
+        let batch_rounds = INDEXED_QUERIES / QUERY_PROFILES;
+        let mut batch_qps = 0.0f64;
+        for _ in 0..REPS {
+            let t0 = Instant::now();
+            for _ in 0..batch_rounds {
+                advisor.advise_many(&kb, &profiles).expect("batch advise");
+            }
+            let secs = t0.elapsed().as_secs_f64();
+            if secs > 0.0 {
+                batch_qps = batch_qps.max((batch_rounds * QUERY_PROFILES) as f64 / secs);
+            }
+        }
+
+        let speedup = if reference_qps > 0.0 {
+            indexed_qps / reference_qps
+        } else {
+            0.0
+        };
+        println!(
+            "{size:>6} records: reference {reference_qps:>9.1} q/s | indexed {indexed_qps:>9.1} q/s \
+             | advise_many {batch_qps:>9.1} q/s | speedup ×{speedup:.1}"
+        );
+        rows.push(serde_json::json!({
+            "kb_records": size,
+            "reference_qps": reference_qps,
+            "indexed_qps": indexed_qps,
+            "advise_many_qps": batch_qps,
+            "indexed_speedup_vs_reference": speedup,
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "benchmark": "advisor_serving",
+        "kb": {
+            "algorithms": ALGORITHMS,
+            "datasets": DATASETS,
+            "sizes": KB_SIZES,
+        },
+        "advisor": { "neighbors": advisor.neighbors, "bandwidth": advisor.bandwidth },
+        "query_profiles": QUERY_PROFILES,
+        "reps": REPS,
+        "results": rows,
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serialize"),
+    )
+    .expect("write benchmark json");
+    println!("wrote {out_path}");
+}

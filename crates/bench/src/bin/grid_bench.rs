@@ -85,7 +85,10 @@ fn main() {
             let report = run_phase1_report(&datasets, &criteria, &grid_config(workers), &kb)
                 .expect("benchmark grid");
             let secs = t0.elapsed().as_secs_f64();
-            assert!(report.failures.is_empty(), "benchmark grid must not skip cells");
+            assert!(
+                report.failures.is_empty(),
+                "benchmark grid must not skip cells"
+            );
             records = report.records;
             best = best.min(secs);
         }
@@ -93,9 +96,7 @@ fn main() {
             base_secs = best;
         }
         let speedup = if best > 0.0 { base_secs / best } else { 0.0 };
-        println!(
-            "workers {workers:>2}: {best:.3}s  ({records} records, speedup ×{speedup:.2})"
-        );
+        println!("workers {workers:>2}: {best:.3}s  ({records} records, speedup ×{speedup:.2})");
         rows.push(serde_json::json!({
             "workers": workers,
             "seconds": best,

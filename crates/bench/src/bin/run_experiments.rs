@@ -33,10 +33,7 @@ fn main() {
                         Err(e) => eprintln!("warning: could not save CSV: {e}"),
                     }
                 }
-                println!(
-                    "== {id} done in {:.1}s ==\n",
-                    start.elapsed().as_secs_f64()
-                );
+                println!("== {id} done in {:.1}s ==\n", start.elapsed().as_secs_f64());
             }
             Err(e) => {
                 eprintln!("{id} failed: {e}");

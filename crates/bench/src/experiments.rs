@@ -167,12 +167,9 @@ pub fn e6_dimensionality() -> Result<Vec<ResultTable>> {
             let degradation = if count == 0 {
                 Degradation::new()
             } else {
-                Degradation::new()
-                    .then(openbi::quality::IrrelevantInjector::gaussian(count))
+                Degradation::new().then(openbi::quality::IrrelevantInjector::gaussian(count))
             };
-            for (spec, eval) in
-                evaluate_variant(dataset, &degradation, &config, SEED, &kb)?
-            {
+            for (spec, eval) in evaluate_variant(dataset, &degradation, &config, SEED, &kb)? {
                 out.push(vec![
                     Cell::Str(dataset.name.clone()),
                     count.into(),
@@ -268,9 +265,7 @@ pub fn e8_mixed() -> Result<Vec<ResultTable>> {
             for &ns in &grid {
                 let mut degradation = Criterion::Completeness.degradation(ms, dataset)?;
                 degradation.extend(Criterion::LabelNoise.degradation(ns, dataset)?);
-                for (spec, eval) in
-                    evaluate_variant(dataset, &degradation, &config, SEED, &kb)?
-                {
+                for (spec, eval) in evaluate_variant(dataset, &degradation, &config, SEED, &kb)? {
                     out.push(vec![
                         Cell::Str(dataset.name.clone()),
                         ms.into(),
@@ -553,11 +548,7 @@ pub fn f2_openbi_flow() -> Result<Vec<ResultTable>> {
     let scenario = municipal_budget(400, SEED + 5);
     let graph = scenario_to_lod(&scenario, "http://openbi.org", 0.2, SEED)
         .map_err(openbi::OpenBiError::Lod)?;
-    out.push(vec![
-        "portal".into(),
-        "triples".into(),
-        graph.len().into(),
-    ]);
+    out.push(vec!["portal".into(), "triples".into(), graph.len().into()]);
     let snapshot = kb.snapshot();
     let outcome = run_pipeline(
         DataSource::Lod {

@@ -131,11 +131,7 @@ pub fn summarize_series(sweep: &ResultTable) -> ResultTable {
     }
     for (severity, algorithm, accs) in groups {
         let mean = accs.iter().sum::<f64>() / accs.len() as f64;
-        out.push(vec![
-            Cell::Str(severity),
-            Cell::Str(algorithm),
-            mean.into(),
-        ]);
+        out.push(vec![Cell::Str(severity), Cell::Str(algorithm), mean.into()]);
     }
     out
 }

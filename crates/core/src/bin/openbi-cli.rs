@@ -8,6 +8,7 @@
 //! openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S]
 //!                     [--workers W]
 //! openbi-cli advise   <data.csv> --target COL --kb kb.jsonl
+//!                     [--neighbors N] [--bandwidth H]
 //! ```
 //!
 //! `experiments` runs the §3.1 phase-1 suite on the reference generators
@@ -33,10 +34,7 @@ impl Args {
         while i < raw.len() {
             let a = &raw[i];
             if let Some(name) = a.strip_prefix("--") {
-                let value = raw
-                    .get(i + 1)
-                    .filter(|v| !v.starts_with("--"))
-                    .cloned();
+                let value = raw.get(i + 1).filter(|v| !v.starts_with("--")).cloned();
                 if value.is_some() {
                     i += 1;
                 }
@@ -76,6 +74,7 @@ USAGE:
                      [--kb kb.jsonl] [--no-preprocess] [--select]
                      [--publish out.ttl]
   openbi-cli advise  <data.csv> --target COL --kb kb.jsonl [--exclude A,B]
+                     [--neighbors N] [--bandwidth H]   (advisor tuning)
   openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S] [--full]
                      [--workers W]   (W experiment workers; 0 = one per core)
 ";
@@ -178,9 +177,7 @@ fn cmd_experiments(args: &Args) -> ExitCode {
         .unwrap_or(0);
     let datasets: Vec<ExperimentDataset> = openbi::datagen::reference_datasets(seed)
         .into_iter()
-        .map(|(name, table, target)| {
-            ExperimentDataset::new(name, table.head(rows), target)
-        })
+        .map(|(name, table, target)| ExperimentDataset::new(name, table.head(rows), target))
         .collect();
     // Default to the compact suite and coarse severities so a first KB
     // builds in well under a minute; --full restores the complete grid.
@@ -267,7 +264,24 @@ fn cmd_advise(args: &Args) -> ExitCode {
     };
     let profile = measure_profile(&table, &opts);
     print!("{}", render_profile(path, &profile));
-    match Advisor::default().advise(&kb, &profile) {
+    let defaults = Advisor::default();
+    let advisor = Advisor {
+        neighbors: match args.flag("neighbors") {
+            Some(n) => match n.parse() {
+                Ok(n) => n,
+                Err(_) => return fail(&format!("--neighbors must be an integer, got {n}")),
+            },
+            None => defaults.neighbors,
+        },
+        bandwidth: match args.flag("bandwidth") {
+            Some(h) => match h.parse::<f64>() {
+                Ok(h) if h > 0.0 => h,
+                _ => return fail(&format!("--bandwidth must be a positive number, got {h}")),
+            },
+            None => defaults.bandwidth,
+        },
+    };
+    match advisor.advise(&kb, &profile) {
         Ok(advice) => {
             println!("\n{}", advice.headline());
             println!("{}", advice.explanation);

@@ -145,52 +145,50 @@ impl Criterion {
             .cloned()
             .chain([target.clone()])
             .collect();
-        let d = match self {
-            Criterion::Completeness => Degradation::new().then(
-                MissingInjector::mcar(0.4 * severity).exclude(protect),
-            ),
-            Criterion::CompletenessMar => {
-                let driver = dataset.numeric_driver().ok_or_else(|| {
-                    OpenBiError::Config(format!(
-                        "dataset {} has no numeric driver for MAR",
-                        dataset.name
-                    ))
-                })?;
-                Degradation::new()
-                    .then(MissingInjector::mar(0.4 * severity, driver).exclude(protect))
-            }
-            Criterion::LabelNoise => {
-                Degradation::new().then(LabelNoiseInjector::new(target, 0.35 * severity))
-            }
-            Criterion::AttributeNoise => Degradation::new().then(
-                AttributeNoiseInjector::new(severity.min(1.0), 2.0).exclude(protect),
-            ),
-            Criterion::Imbalance => Degradation::new()
-                .then(ImbalanceInjector::new(target, 0.5 + 0.45 * severity)),
-            Criterion::Redundancy => {
-                let source = dataset.numeric_driver().ok_or_else(|| {
-                    OpenBiError::Config(format!(
-                        "dataset {} has no numeric source for redundancy",
-                        dataset.name
-                    ))
-                })?;
-                let copies = (4.0 * severity).round().max(1.0) as usize;
-                Degradation::new().then(CorrelatedInjector::new(source, copies, 0.05))
-            }
-            Criterion::Dimensionality => {
-                let count = (48.0 * severity).round().max(1.0) as usize;
-                Degradation::new().then(IrrelevantInjector::gaussian(count))
-            }
-            Criterion::Duplicates => Degradation::new().then(
-                DuplicateInjector::near(0.45 * severity, 0.02).exclude(protect),
-            ),
-            Criterion::Outliers => Degradation::new().then(
-                OutlierInjector::new(0.12 * severity, 6.0).exclude(protect),
-            ),
-            Criterion::Inconsistency => Degradation::new().then(
-                InconsistencyInjector::new(0.8 * severity).exclude(protect),
-            ),
-        };
+        let d =
+            match self {
+                Criterion::Completeness => {
+                    Degradation::new().then(MissingInjector::mcar(0.4 * severity).exclude(protect))
+                }
+                Criterion::CompletenessMar => {
+                    let driver = dataset.numeric_driver().ok_or_else(|| {
+                        OpenBiError::Config(format!(
+                            "dataset {} has no numeric driver for MAR",
+                            dataset.name
+                        ))
+                    })?;
+                    Degradation::new()
+                        .then(MissingInjector::mar(0.4 * severity, driver).exclude(protect))
+                }
+                Criterion::LabelNoise => {
+                    Degradation::new().then(LabelNoiseInjector::new(target, 0.35 * severity))
+                }
+                Criterion::AttributeNoise => Degradation::new()
+                    .then(AttributeNoiseInjector::new(severity.min(1.0), 2.0).exclude(protect)),
+                Criterion::Imbalance => {
+                    Degradation::new().then(ImbalanceInjector::new(target, 0.5 + 0.45 * severity))
+                }
+                Criterion::Redundancy => {
+                    let source = dataset.numeric_driver().ok_or_else(|| {
+                        OpenBiError::Config(format!(
+                            "dataset {} has no numeric source for redundancy",
+                            dataset.name
+                        ))
+                    })?;
+                    let copies = (4.0 * severity).round().max(1.0) as usize;
+                    Degradation::new().then(CorrelatedInjector::new(source, copies, 0.05))
+                }
+                Criterion::Dimensionality => {
+                    let count = (48.0 * severity).round().max(1.0) as usize;
+                    Degradation::new().then(IrrelevantInjector::gaussian(count))
+                }
+                Criterion::Duplicates => Degradation::new()
+                    .then(DuplicateInjector::near(0.45 * severity, 0.02).exclude(protect)),
+                Criterion::Outliers => Degradation::new()
+                    .then(OutlierInjector::new(0.12 * severity, 6.0).exclude(protect)),
+                Criterion::Inconsistency => Degradation::new()
+                    .then(InconsistencyInjector::new(0.8 * severity).exclude(protect)),
+            };
         Ok(d)
     }
 }
@@ -351,8 +349,7 @@ pub fn phase1_cells(
     criteria: &[Criterion],
     config: &ExperimentConfig,
 ) -> Result<Vec<ExperimentCell>> {
-    let mut cells =
-        Vec::with_capacity(datasets.len() * criteria.len() * config.severities.len());
+    let mut cells = Vec::with_capacity(datasets.len() * criteria.len() * config.severities.len());
     for (di, dataset) in datasets.iter().enumerate() {
         for (ci, criterion) in criteria.iter().enumerate() {
             for (si, &severity) in config.severities.iter().enumerate() {
@@ -511,8 +508,7 @@ pub fn run_cells(
     }
     let locals: Vec<WorkerQueue<ExperimentCell>> =
         (0..workers).map(|_| WorkerQueue::new_fifo()).collect();
-    let stealers: Vec<Stealer<ExperimentCell>> =
-        locals.iter().map(WorkerQueue::stealer).collect();
+    let stealers: Vec<Stealer<ExperimentCell>> = locals.iter().map(WorkerQueue::stealer).collect();
     let records = AtomicUsize::new(0);
     let failures: Mutex<Vec<CellFailure>> = Mutex::new(Vec::new());
     crossbeam::thread::scope(|scope| {
@@ -674,10 +670,7 @@ mod tests {
         assert_eq!(kb.len(), 8);
         let snapshot = kb.snapshot();
         // Clean baselines recorded with empty degradations.
-        assert!(snapshot
-            .records()
-            .iter()
-            .any(|r| r.degradations.is_empty()));
+        assert!(snapshot.records().iter().any(|r| r.degradations.is_empty()));
         // NaiveBayes beats ZeroR on the clean separable baseline.
         let nb = snapshot
             .records()
@@ -709,10 +702,10 @@ mod tests {
         // 1 pair × (2×2 − 1 skipped clean-clean) severity combos × 2 algos.
         assert_eq!(n, 6);
         let snapshot = kb.snapshot();
-        assert!(snapshot
-            .records()
-            .iter()
-            .any(|r| r.degradations.len() == 2), "mixed variants carry two defects");
+        assert!(
+            snapshot.records().iter().any(|r| r.degradations.len() == 2),
+            "mixed variants carry two defects"
+        );
     }
 
     #[test]
@@ -829,8 +822,8 @@ mod tests {
             parallel: true,
             ..fast_config()
         };
-        let parallel = run_phase1(&datasets, &[Criterion::LabelNoise], &config, &parallel_kb)
-            .unwrap();
+        let parallel =
+            run_phase1(&datasets, &[Criterion::LabelNoise], &config, &parallel_kb).unwrap();
         assert_eq!(serial, parallel);
         assert_eq!(serial_kb.len(), parallel_kb.len());
     }

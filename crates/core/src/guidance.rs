@@ -170,9 +170,7 @@ fn apply_step(step: &PreprocessingStep, table: &Table, protected: &[&str]) -> Re
             let names: Vec<String> = table
                 .columns()
                 .iter()
-                .filter(|c| {
-                    c.as_str_slice().is_some() && !protected.contains(&c.name())
-                })
+                .filter(|c| c.as_str_slice().is_some() && !protected.contains(&c.name()))
                 .map(|c| c.name().to_string())
                 .collect();
             for name in names {
@@ -237,8 +235,7 @@ pub fn select_attributes(
     max_features: usize,
 ) -> Result<(Vec<String>, Table)> {
     let exclude: Vec<&str> = protected.iter().copied().filter(|p| *p != target).collect();
-    let instances =
-        openbi_mining::Instances::from_table(table, Some(target), &exclude)?;
+    let instances = openbi_mining::Instances::from_table(table, Some(target), &exclude)?;
     let picked = openbi_mining::cfs_select(&instances, max_features)?;
     let selected: Vec<String> = picked
         .iter()
@@ -246,10 +243,7 @@ pub fn select_attributes(
         .collect();
     let mut keep: Vec<&str> = Vec::new();
     for name in table.column_names() {
-        if selected.iter().any(|s| s == name)
-            || name == target
-            || protected.contains(&name)
-        {
+        if selected.iter().any(|s| s == name) || name == target || protected.contains(&name) {
             keep.push(name);
         }
     }
@@ -269,7 +263,9 @@ mod tests {
             Column::from_i64("id", (0..n).collect::<Vec<i64>>()),
             Column::from_f64(
                 "signal",
-                (0..n).map(|i| if i % 2 == 0 { 0.0 } else { 9.0 }).collect::<Vec<f64>>(),
+                (0..n)
+                    .map(|i| if i % 2 == 0 { 0.0 } else { 9.0 })
+                    .collect::<Vec<f64>>(),
             ),
             Column::from_f64(
                 "noise",
@@ -277,12 +273,13 @@ mod tests {
             ),
             Column::from_str_values(
                 "label",
-                (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<&str>>(),
+                (0..n)
+                    .map(|i| if i % 2 == 0 { "a" } else { "b" })
+                    .collect::<Vec<&str>>(),
             ),
         ])
         .unwrap();
-        let (selected, projected) =
-            select_attributes(&t, "label", &["id", "label"], 4).unwrap();
+        let (selected, projected) = select_attributes(&t, "label", &["id", "label"], 4).unwrap();
         assert_eq!(selected, vec!["signal"]);
         assert!(projected.has_column("label"));
         assert!(projected.has_column("id"), "protected columns survive");
@@ -346,7 +343,10 @@ mod tests {
         let t = Table::new(vec![
             Column::from_f64("x", x.clone()),
             Column::from_f64("x2", x.iter().map(|v| v * 2.0).collect::<Vec<f64>>()),
-            Column::from_f64("z", x.iter().map(|v| (v * 37.0) % 11.0).collect::<Vec<f64>>()),
+            Column::from_f64(
+                "z",
+                x.iter().map(|v| (v * 37.0) % 11.0).collect::<Vec<f64>>(),
+            ),
         ])
         .unwrap();
         let plan = PreprocessingPlan {
@@ -405,10 +405,15 @@ mod tests {
                     .map(|i| if i % 5 == 0 { None } else { Some(i as f64) })
                     .collect::<Vec<Option<f64>>>(),
             ),
-            Column::from_f64("x_copy", (0..60).map(|i| i as f64 * 3.0).collect::<Vec<f64>>()),
+            Column::from_f64(
+                "x_copy",
+                (0..60).map(|i| i as f64 * 3.0).collect::<Vec<f64>>(),
+            ),
             Column::from_str_values(
                 "label",
-                (0..60).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<&str>>(),
+                (0..60)
+                    .map(|i| if i % 2 == 0 { "a" } else { "b" })
+                    .collect::<Vec<&str>>(),
             ),
         ])
         .unwrap();
@@ -425,7 +430,10 @@ mod tests {
     #[test]
     fn protected_columns_survive_everything() {
         let t = Table::new(vec![
-            Column::from_opt_str("target", [Some("A".to_string()), None, Some("A".to_string())]),
+            Column::from_opt_str(
+                "target",
+                [Some("A".to_string()), None, Some("A".to_string())],
+            ),
             Column::from_opt_f64("x", [Some(1.0), Some(2.0), None]),
         ])
         .unwrap();

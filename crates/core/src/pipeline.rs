@@ -208,7 +208,8 @@ pub fn run_pipeline(
     annotate_catalog(&mut catalog, &profile, config.target.as_deref());
     lap(&mut timings, "quality-annotation", &mut clock);
 
-    // Phase 3: advice.
+    // Phase 3: advice (served from the KB's per-algorithm record
+    // index; see DESIGN.md §8).
     let advice = match kb {
         Some(kb) if !kb.is_empty() => Some(config.advisor.advise(kb, &profile)?),
         _ => None,
@@ -229,12 +230,8 @@ pub fn run_pipeline(
     let mut selected_attributes: Vec<String> = Vec::new();
     if config.auto_select_attributes {
         if let Some(target) = &config.target {
-            let (selected, projected) = crate::guidance::select_attributes(
-                &preprocessed,
-                target,
-                &protected,
-                16,
-            )?;
+            let (selected, projected) =
+                crate::guidance::select_attributes(&preprocessed, target, &protected, 16)?;
             selected_attributes = selected;
             preprocessed = projected;
         }
@@ -309,8 +306,7 @@ fn annotate_catalog(catalog: &mut Catalog, profile: &QualityProfile, target: Opt
             }
             if let Some((issue, severity)) = profile.dominant_issue() {
                 cs.annotate(
-                    QualityAnnotation::new("dominant_issue_severity", severity)
-                        .with_detail(issue),
+                    QualityAnnotation::new("dominant_issue_severity", severity).with_detail(issue),
                 );
             }
             if let Some(t) = target {
@@ -442,7 +438,9 @@ mod tests {
         let table = Table::new(vec![
             Column::from_f64(
                 "signal",
-                (0..n).map(|i| if i % 2 == 0 { 0.0 } else { 8.0 }).collect::<Vec<f64>>(),
+                (0..n)
+                    .map(|i| if i % 2 == 0 { 0.0 } else { 8.0 })
+                    .collect::<Vec<f64>>(),
             ),
             Column::from_f64(
                 "junk",
@@ -450,7 +448,9 @@ mod tests {
             ),
             Column::from_str_values(
                 "label",
-                (0..n).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<&str>>(),
+                (0..n)
+                    .map(|i| if i % 2 == 0 { "a" } else { "b" })
+                    .collect::<Vec<&str>>(),
             ),
         ])
         .unwrap();

@@ -29,7 +29,11 @@ pub fn publish_knowledge_base(kb: &KnowledgeBase, base_iri: &str) -> Result<Grap
     let experiment_class = obi("Experiment")?;
     for (i, record) in kb.records().iter().enumerate() {
         let node = Term::Iri(Iri::new(format!("{base}/kb/experiment/{i}"))?);
-        g.add(node.clone(), Term::Iri(rdf::type_()), experiment_class.clone());
+        g.add(
+            node.clone(),
+            Term::Iri(rdf::type_()),
+            experiment_class.clone(),
+        );
         g.add(
             node.clone(),
             Term::Iri(rdfs::label()),
@@ -78,7 +82,11 @@ pub fn publish_knowledge_base(kb: &KnowledgeBase, base_iri: &str) -> Result<Grap
                 Term::Iri(openbi_lod::vocab::obi::measured_value()),
                 Term::Literal(Literal::double(*value)),
             );
-            g.add(node.clone(), Term::Iri(openbi_lod::vocab::obi::has_quality()), m);
+            g.add(
+                node.clone(),
+                Term::Iri(openbi_lod::vocab::obi::has_quality()),
+                m,
+            );
         }
         // Observed performance.
         for (name, value) in [
@@ -118,9 +126,7 @@ pub fn import_knowledge_base(graph: &Graph, base_iri: &str) -> Result<KnowledgeB
                 .first()
                 .and_then(|t| t.as_literal().map(|l| l.lexical.clone()))
         };
-        let number = |prop: &str| -> Option<f64> {
-            literal(prop).and_then(|s| s.parse().ok())
-        };
+        let number = |prop: &str| -> Option<f64> { literal(prop).and_then(|s| s.parse().ok()) };
         let (Some(dataset), Some(algorithm)) =
             (literal("onDataset"), literal("recommendedAlgorithm"))
         else {
@@ -274,7 +280,9 @@ mod tests {
         let g = publish_knowledge_base(&KnowledgeBase::new(), "http://openbi.org").unwrap();
         assert!(g.is_empty());
         assert_eq!(
-            import_knowledge_base(&g, "http://openbi.org").unwrap().len(),
+            import_knowledge_base(&g, "http://openbi.org")
+                .unwrap()
+                .len(),
             0
         );
     }

@@ -31,7 +31,13 @@ pub fn scenario_to_lod(
     let slug: String = scenario
         .name
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '-' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
         .collect();
     let n = scenario.table.n_rows();
     let see_also = Term::Iri(openbi_lod::vocab::rdfs::see_also());

@@ -105,12 +105,10 @@ pub fn air_quality(n_rows: usize, seed: u64) -> Scenario {
         let t = normal(&mut rng, 18.0, 7.0);
         let w = normal(&mut rng, 12.0, 5.0).max(0.0);
         // Pollution rises with traffic, falls with wind.
-        let p = (10.0 + 15.0 * traffic_level as f64 - 0.8 * w
-            + normal(&mut rng, 0.0, 4.0))
-        .max(1.0);
-        let n2 = (8.0 + 12.0 * traffic_level as f64 - 0.5 * w
-            + normal(&mut rng, 0.0, 3.0))
-        .max(1.0);
+        let p =
+            (10.0 + 15.0 * traffic_level as f64 - 0.8 * w + normal(&mut rng, 0.0, 4.0)).max(1.0);
+        let n2 =
+            (8.0 + 12.0 * traffic_level as f64 - 0.5 * w + normal(&mut rng, 0.0, 3.0)).max(1.0);
         let b = if p < 20.0 && n2 < 25.0 {
             "good"
         } else if p < 40.0 {
@@ -261,8 +259,14 @@ mod tests {
 
     #[test]
     fn scenarios_deterministic() {
-        assert_eq!(municipal_budget(100, 9).table, municipal_budget(100, 9).table);
-        assert_ne!(municipal_budget(100, 9).table, municipal_budget(100, 10).table);
+        assert_eq!(
+            municipal_budget(100, 9).table,
+            municipal_budget(100, 9).table
+        );
+        assert_ne!(
+            municipal_budget(100, 9).table,
+            municipal_budget(100, 10).table
+        );
     }
 
     #[test]

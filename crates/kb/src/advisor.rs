@@ -5,10 +5,25 @@
 //! aggregates each algorithm's observed score with similarity weights.
 //! The result is a ranked list with an explanation a non-expert can
 //! read.
+//!
+//! Two implementations share the same semantics:
+//!
+//! * [`Advisor::advise`] — the serving path: walks the store's
+//!   per-algorithm record index, selects the top-k neighbors with
+//!   `select_nth_unstable_by` partial selection (O(n) instead of a full
+//!   O(n log n) sort), and reuses one scratch buffer across algorithms
+//!   (and across queries via [`Advisor::advise_many`]). It also accepts
+//!   a borrowed [`KbView`], so leave-one-dataset-out evaluation masks a
+//!   dataset without cloning the store.
+//! * [`Advisor::advise_reference`] — the original linear-scan
+//!   implementation (filter per algorithm, full sort, truncate), kept
+//!   as the executable specification. The equivalence tests below and
+//!   in `tests/` assert the two return bitwise-identical advice; the
+//!   `advisor_bench` binary measures the gap.
 
 use crate::error::{KbError, Result};
 use crate::record::ExperimentRecord;
-use crate::store::KnowledgeBase;
+use crate::store::{KbView, KnowledgeBase};
 use openbi_quality::QualityProfile;
 
 /// One ranked recommendation.
@@ -35,17 +50,29 @@ pub struct Advice {
 }
 
 impl Advice {
-    /// The winning algorithm name.
-    pub fn best(&self) -> &str {
-        &self.ranking[0].algorithm
+    /// The winning recommendation, if any. The advisor never returns an
+    /// empty ranking, but `Advice` is a public struct users can build
+    /// by hand, so the accessors below must not assume `ranking[0]`
+    /// exists.
+    pub fn top(&self) -> Option<&Recommendation> {
+        self.ranking.first()
     }
 
-    /// Render the headline sentence of Figure 2.
+    /// The winning algorithm name, or `""` when the ranking is empty.
+    pub fn best(&self) -> &str {
+        self.top().map(|r| r.algorithm.as_str()).unwrap_or("")
+    }
+
+    /// Render the headline sentence of Figure 2, or a graceful fallback
+    /// when the ranking is empty.
     pub fn headline(&self) -> String {
-        format!(
-            "the best option is {} (expected score {:.3})",
-            self.ranking[0].algorithm, self.ranking[0].expected_score
-        )
+        match self.top() {
+            Some(top) => format!(
+                "the best option is {} (expected score {:.3})",
+                top.algorithm, top.expected_score
+            ),
+            None => "no recommendation: the ranking is empty".to_string(),
+        }
     }
 }
 
@@ -67,13 +94,152 @@ impl Default for Advisor {
     }
 }
 
+/// Scratch storage for one advise call: `(distance, record position)`
+/// candidate pairs, reused across algorithms and across the queries of
+/// [`Advisor::advise_many`] so the serving path stops allocating per
+/// algorithm per query.
+type Candidates = Vec<(f64, usize)>;
+
 impl Advisor {
-    fn weight(&self, distance: f64) -> f64 {
-        (-(distance * distance) / (2.0 * self.bandwidth * self.bandwidth)).exp()
+    /// Gaussian kernel over the *gap* between a neighbor's distance and
+    /// the nearest selected neighbor's distance.
+    ///
+    /// Weighting raw distances underflowed: with `bandwidth = 0.05`,
+    /// `exp(-d²/2h²)` is below the `1e-9` floor for any `d ≳ 0.4`, so
+    /// whenever a query profile sat that far from the knowledge base
+    /// *every* neighbor collapsed to the uniform floor weight and the
+    /// `bandwidth` knob changed nothing (the historically flat A1
+    /// ablation rows). Shifting by the nearest distance anchors the
+    /// closest neighbor at weight 1, keeps the weight *ratios* of a
+    /// pure Gaussian kernel, and leaves relative weighting meaningful
+    /// at every bandwidth.
+    fn weight(&self, distance: f64, nearest: f64) -> f64 {
+        let gap = distance - nearest;
+        (-(gap * gap) / (2.0 * self.bandwidth * self.bandwidth))
+            .exp()
+            .max(1e-9)
     }
 
-    /// Rank all algorithms in the knowledge base for a new profile.
+    /// Rank one algorithm's visible records for a profile, or `None`
+    /// when the algorithm has no visible records (or `neighbors == 0`).
+    fn rank_algorithm(
+        &self,
+        view: &KbView<'_>,
+        algorithm: &str,
+        profile: &QualityProfile,
+        candidates: &mut Candidates,
+    ) -> Option<Recommendation> {
+        candidates.clear();
+        for &position in view.algorithm_record_indices(algorithm) {
+            let record = view.record(position);
+            if view.includes(record) {
+                candidates.push((profile.distance(&record.profile), position));
+            }
+        }
+        if candidates.is_empty() || self.neighbors == 0 {
+            return None;
+        }
+        let k = self.neighbors.min(candidates.len());
+        // Partial selection: O(n) to isolate the k smallest distances,
+        // then sort only those k. The (distance, position) tie-break
+        // reproduces exactly the stable full sort of the reference
+        // implementation, so both paths pick the same records and sum
+        // their weights in the same order (bitwise-equal results).
+        let by_distance_then_position =
+            |a: &(f64, usize), b: &(f64, usize)| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1));
+        if candidates.len() > k {
+            candidates.select_nth_unstable_by(k - 1, by_distance_then_position);
+            candidates.truncate(k);
+        }
+        candidates.sort_unstable_by(by_distance_then_position);
+        let nearest = candidates[0].0;
+        let mut weight_sum = 0.0;
+        let mut score_sum = 0.0;
+        let mut acc_sum = 0.0;
+        for &(distance, position) in candidates.iter() {
+            let w = self.weight(distance, nearest);
+            let record = view.record(position);
+            weight_sum += w;
+            score_sum += w * record.metrics.score();
+            acc_sum += w * record.metrics.accuracy;
+        }
+        if weight_sum == 0.0 {
+            return None;
+        }
+        Some(Recommendation {
+            algorithm: algorithm.to_string(),
+            expected_score: score_sum / weight_sum,
+            expected_accuracy: acc_sum / weight_sum,
+            support: candidates.len(),
+        })
+    }
+
+    fn advise_view_with(
+        &self,
+        view: &KbView<'_>,
+        profile: &QualityProfile,
+        candidates: &mut Candidates,
+    ) -> Result<Advice> {
+        if view.is_empty() {
+            return Err(KbError::EmptyKnowledgeBase);
+        }
+        let mut ranking: Vec<Recommendation> = Vec::new();
+        for algorithm in view.algorithm_names() {
+            if let Some(rec) = self.rank_algorithm(view, algorithm, profile, candidates) {
+                ranking.push(rec);
+            }
+        }
+        if ranking.is_empty() {
+            return Err(KbError::EmptyKnowledgeBase);
+        }
+        ranking.sort_by(|a, b| {
+            b.expected_score
+                .total_cmp(&a.expected_score)
+                .then(a.algorithm.cmp(&b.algorithm))
+        });
+        let explanation = Self::explain(profile, &ranking);
+        Ok(Advice {
+            ranking,
+            explanation,
+        })
+    }
+
+    /// Rank all algorithms in the knowledge base for a new profile
+    /// (index-backed serving path).
     pub fn advise(&self, kb: &KnowledgeBase, profile: &QualityProfile) -> Result<Advice> {
+        self.advise_view(&kb.view(), profile)
+    }
+
+    /// Rank all algorithms visible through a borrowed (possibly
+    /// dataset-masked) view — the allocation-free leave-one-dataset-out
+    /// path.
+    pub fn advise_view(&self, view: &KbView<'_>, profile: &QualityProfile) -> Result<Advice> {
+        let mut candidates = Candidates::new();
+        self.advise_view_with(view, profile, &mut candidates)
+    }
+
+    /// Advise a batch of profiles against one knowledge base, reusing
+    /// the candidate scratch buffer across queries. Returns one
+    /// [`Advice`] per profile, in order, identical to calling
+    /// [`Advisor::advise`] per profile.
+    pub fn advise_many(
+        &self,
+        kb: &KnowledgeBase,
+        profiles: &[QualityProfile],
+    ) -> Result<Vec<Advice>> {
+        let view = kb.view();
+        let mut candidates = Candidates::new();
+        profiles
+            .iter()
+            .map(|p| self.advise_view_with(&view, p, &mut candidates))
+            .collect()
+    }
+
+    /// The original linear-scan advisor: filter the whole store per
+    /// algorithm, full sort, truncate. Kept as the executable
+    /// specification of [`Advisor::advise`]; the equivalence tests
+    /// assert both return identical advice.
+    pub fn advise_reference(&self, kb: &KnowledgeBase, profile: &QualityProfile) -> Result<Advice> {
         if kb.is_empty() {
             return Err(KbError::EmptyKnowledgeBase);
         }
@@ -86,11 +252,14 @@ impl Advisor {
                 .collect();
             contributions.sort_by(|a, b| a.0.total_cmp(&b.0));
             contributions.truncate(self.neighbors);
+            let Some(&(nearest, _)) = contributions.first() else {
+                continue;
+            };
             let mut weight_sum = 0.0;
             let mut score_sum = 0.0;
             let mut acc_sum = 0.0;
             for (d, r) in &contributions {
-                let w = self.weight(*d).max(1e-9);
+                let w = self.weight(*d, nearest);
                 weight_sum += w;
                 score_sum += w * r.metrics.score();
                 acc_sum += w * r.metrics.accuracy;
@@ -209,9 +378,7 @@ mod tests {
     #[test]
     fn ranking_is_sorted_and_complete() {
         let advisor = Advisor::default();
-        let advice = advisor
-            .advise(&kb(), &QualityProfile::default())
-            .unwrap();
+        let advice = advisor.advise(&kb(), &QualityProfile::default()).unwrap();
         assert_eq!(advice.ranking.len(), 2);
         assert!(advice.ranking[0].expected_score >= advice.ranking[1].expected_score);
         assert!(advice.ranking.iter().all(|r| r.support > 0));
@@ -224,6 +391,21 @@ mod tests {
             advisor.advise(&KnowledgeBase::new(), &QualityProfile::default()),
             Err(KbError::EmptyKnowledgeBase)
         ));
+        assert!(matches!(
+            advisor.advise_reference(&KnowledgeBase::new(), &QualityProfile::default()),
+            Err(KbError::EmptyKnowledgeBase)
+        ));
+    }
+
+    #[test]
+    fn empty_ranking_accessors_do_not_panic() {
+        let empty = Advice {
+            ranking: vec![],
+            explanation: String::new(),
+        };
+        assert!(empty.top().is_none());
+        assert_eq!(empty.best(), "");
+        assert!(empty.headline().contains("no recommendation"));
     }
 
     #[test]
@@ -245,9 +427,198 @@ mod tests {
             neighbors: 3,
             bandwidth: 1.0,
         };
-        let advice = advisor
-            .advise(&kb(), &QualityProfile::default())
-            .unwrap();
+        let advice = advisor.advise(&kb(), &QualityProfile::default()).unwrap();
         assert!(advice.ranking.iter().all(|r| r.support <= 3));
+    }
+
+    /// Regression test for the Gaussian-kernel underflow: before the
+    /// shift-by-nearest fix, a query sitting ≳ 0.4 away from every
+    /// record made `exp()` underflow below the 1e-9 floor for *all*
+    /// neighbors, so weights were uniform and `bandwidth` was a no-op
+    /// (the flat A1 ablation rows).
+    #[test]
+    fn bandwidth_reweights_far_neighborhoods() {
+        let mut kb = KnowledgeBase::new();
+        // Two records, both far from the query at completeness 0.9:
+        // distance 0.4 (acc 0.9, score 0.875) and 0.5 (acc 0.1, score
+        // 0.075). Their uniform mean score is 0.475.
+        kb.add(record("A", 0.5, 0.9));
+        kb.add(record("A", 0.4, 0.1));
+        let query = QualityProfile {
+            completeness: 0.9,
+            ..Default::default()
+        };
+        let narrow = Advisor {
+            neighbors: 2,
+            bandwidth: 0.05,
+        };
+        let wide = Advisor {
+            neighbors: 2,
+            bandwidth: 10.0,
+        };
+        let narrow_score = narrow.advise(&kb, &query).unwrap().ranking[0].expected_score;
+        let wide_score = wide.advise(&kb, &query).unwrap().ranking[0].expected_score;
+        // Narrow bandwidth: the nearer record (score 0.875) dominates.
+        // The old kernel floored both weights and returned the uniform
+        // mean 0.475 at every bandwidth.
+        assert!(
+            narrow_score > 0.7,
+            "narrow bandwidth must follow the nearest record, got {narrow_score}"
+        );
+        // Wide bandwidth: close to the uniform mean of the two scores.
+        assert!(
+            (wide_score - 0.475).abs() < 0.01,
+            "wide bandwidth must flatten the weighting, got {wide_score}"
+        );
+        assert!(
+            narrow_score != wide_score,
+            "bandwidth must change the expected score"
+        );
+    }
+
+    /// Bandwidth must also be able to flip the final *ranking*, not
+    /// just nudge scores.
+    #[test]
+    fn bandwidth_reweights_the_ranking() {
+        let mut kb = KnowledgeBase::new();
+        // Steady: 0.70 nearby, 0.10 far. Volatile: 0.60 nearby, 0.95 far.
+        kb.add(record("Steady", 0.9, 0.70));
+        kb.add(record("Steady", 0.4, 0.10));
+        kb.add(record("Volatile", 0.9, 0.60));
+        kb.add(record("Volatile", 0.4, 0.95));
+        let query = QualityProfile {
+            completeness: 0.9,
+            ..Default::default()
+        };
+        let narrow = Advisor {
+            neighbors: 2,
+            bandwidth: 0.05,
+        };
+        let wide = Advisor {
+            neighbors: 2,
+            bandwidth: 10.0,
+        };
+        // Narrow: nearby records dominate -> Steady (0.70 vs 0.60).
+        assert_eq!(narrow.advise(&kb, &query).unwrap().best(), "Steady");
+        // Wide: near-uniform averaging -> Volatile (0.775 vs 0.40).
+        assert_eq!(wide.advise(&kb, &query).unwrap().best(), "Volatile");
+    }
+
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        *state = x;
+        x
+    }
+
+    fn unit(state: &mut u64) -> f64 {
+        (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    fn random_kb(state: &mut u64) -> KnowledgeBase {
+        let algorithms = ["NB", "kNN", "Tree", "Forest", "OneR", "Logistic"];
+        let n = 1 + (xorshift(state) % 200) as usize;
+        let mut kb = KnowledgeBase::new();
+        for _ in 0..n {
+            let algo = algorithms[(xorshift(state) % algorithms.len() as u64) as usize];
+            let dataset = format!("d{}", xorshift(state) % 5);
+            // Quantized values force plenty of exact distance ties, the
+            // hard case for top-k selection equivalence.
+            let quantized = |state: &mut u64| (unit(state) * 8.0).round() / 8.0;
+            let acc = unit(state);
+            kb.add(ExperimentRecord {
+                dataset,
+                degradations: vec![],
+                profile: QualityProfile {
+                    completeness: quantized(state),
+                    label_noise_estimate: quantized(state),
+                    outlier_ratio: quantized(state),
+                    ..Default::default()
+                },
+                algorithm: algo.into(),
+                metrics: PerfMetrics {
+                    accuracy: acc,
+                    macro_f1: acc,
+                    minority_f1: unit(state),
+                    kappa: 2.0 * acc - 1.0,
+                    train_ms: 1.0,
+                    model_size: 1.0,
+                },
+                seed: xorshift(state) % 3,
+            });
+        }
+        kb
+    }
+
+    fn random_profile(state: &mut u64) -> QualityProfile {
+        QualityProfile {
+            completeness: (unit(state) * 8.0).round() / 8.0,
+            label_noise_estimate: (unit(state) * 8.0).round() / 8.0,
+            outlier_ratio: (unit(state) * 8.0).round() / 8.0,
+            ..Default::default()
+        }
+    }
+
+    /// The indexed serving path must be *bitwise* identical to the
+    /// linear-scan reference across random knowledge bases and the full
+    /// (neighbors × bandwidth) grid, including distance ties at the
+    /// top-k boundary.
+    #[test]
+    fn indexed_advise_matches_reference_on_random_kbs() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        for _ in 0..25 {
+            let kb = random_kb(&mut state);
+            let profile = random_profile(&mut state);
+            for neighbors in [0usize, 1, 3, 10, 500] {
+                for bandwidth in [0.01, 0.25, 5.0] {
+                    let advisor = Advisor {
+                        neighbors,
+                        bandwidth,
+                    };
+                    assert_eq!(
+                        advisor.advise(&kb, &profile),
+                        advisor.advise_reference(&kb, &profile),
+                        "neighbors {neighbors} bandwidth {bandwidth}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The dataset-masked view must equal advising on a deep-cloned
+    /// store with the dataset removed.
+    #[test]
+    fn masked_view_matches_cloned_holdout() {
+        let mut state = 0xD1B54A32D192ED03u64;
+        for _ in 0..10 {
+            let kb = random_kb(&mut state);
+            let profile = random_profile(&mut state);
+            let advisor = Advisor {
+                neighbors: 7,
+                bandwidth: 0.25,
+            };
+            for dataset in kb.datasets() {
+                let via_view = advisor.advise_view(&kb.view_without_dataset(&dataset), &profile);
+                let via_clone = advisor.advise(&kb.without_dataset(&dataset), &profile);
+                assert_eq!(via_view, via_clone, "holding out {dataset}");
+            }
+        }
+    }
+
+    /// `advise_many` (shared scratch buffer) must return exactly what
+    /// one-at-a-time `advise` returns, in order.
+    #[test]
+    fn advise_many_matches_one_at_a_time() {
+        let mut state = 0xA076_1D64_78BD_642Fu64;
+        let kb = random_kb(&mut state);
+        let profiles: Vec<QualityProfile> = (0..20).map(|_| random_profile(&mut state)).collect();
+        let advisor = Advisor::default();
+        let batched = advisor.advise_many(&kb, &profiles).unwrap();
+        assert_eq!(batched.len(), profiles.len());
+        for (profile, batch_advice) in profiles.iter().zip(&batched) {
+            assert_eq!(&advisor.advise(&kb, profile).unwrap(), batch_advice);
+        }
     }
 }

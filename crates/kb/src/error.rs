@@ -36,6 +36,8 @@ mod tests {
 
     #[test]
     fn display() {
-        assert!(KbError::EmptyKnowledgeBase.to_string().contains("no usable"));
+        assert!(KbError::EmptyKnowledgeBase
+            .to_string()
+            .contains("no usable"));
     }
 }

@@ -21,4 +21,4 @@ pub use error::{KbError, Result};
 pub use record::{ExperimentRecord, PerfMetrics};
 pub use regret::{leave_one_dataset_out, AdvisorEvaluation};
 pub use rules::{extract_rules, GuidanceRule};
-pub use store::{KnowledgeBase, SharedKnowledgeBase};
+pub use store::{KbView, KnowledgeBase, SharedKnowledgeBase};

@@ -58,7 +58,9 @@ pub fn extract_rules(
         return vec![];
     }
     // Global winner by mean score.
-    let mean_score = |algo: &str, pred: &dyn Fn(&crate::record::ExperimentRecord) -> bool| -> Option<(f64, usize)> {
+    let mean_score = |algo: &str,
+                      pred: &dyn Fn(&crate::record::ExperimentRecord) -> bool|
+     -> Option<(f64, usize)> {
         let records = kb.filter(|r| r.algorithm == algo && pred(r));
         if records.is_empty() {
             return None;

@@ -1,16 +1,39 @@
 //! The DQ4DM knowledge base: an append-only store of experiment records
-//! with JSON-lines persistence and a thread-safe shared wrapper for
-//! parallel experiment runners.
+//! with JSON-lines persistence, per-algorithm / per-dataset record
+//! indices for the advisor's serving path, and a thread-safe shared
+//! wrapper for parallel experiment runners.
 
 use crate::error::{KbError, Result};
 use crate::record::ExperimentRecord;
 use parking_lot::RwLock;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 /// An in-memory knowledge base.
+///
+/// Alongside the record vector it maintains two secondary indices —
+/// algorithm name → record positions and dataset name → record
+/// positions — kept up to date by every mutation path ([`add`],
+/// [`add_batch`], [`from_jsonl`]). The indices turn the advisor's
+/// per-algorithm candidate scan from "filter the whole store per
+/// algorithm" into a direct slice walk, and make `algorithms()` /
+/// `datasets()` O(1) per name instead of the former O(n²)
+/// `Vec::contains` scan.
+///
+/// [`add`]: KnowledgeBase::add
+/// [`add_batch`]: KnowledgeBase::add_batch
+/// [`from_jsonl`]: KnowledgeBase::from_jsonl
 #[derive(Debug, Clone, Default)]
 pub struct KnowledgeBase {
     records: Vec<ExperimentRecord>,
+    /// Distinct algorithm names, first-seen order.
+    algorithm_order: Vec<String>,
+    /// Algorithm name → positions in `records`, ascending.
+    algorithm_index: HashMap<String, Vec<usize>>,
+    /// Distinct dataset names, first-seen order.
+    dataset_order: Vec<String>,
+    /// Dataset name → positions in `records`, ascending.
+    dataset_index: HashMap<String, Vec<usize>>,
 }
 
 impl KnowledgeBase {
@@ -19,14 +42,33 @@ impl KnowledgeBase {
         KnowledgeBase::default()
     }
 
-    /// Append a record.
+    /// Append a record, updating the algorithm and dataset indices.
     pub fn add(&mut self, record: ExperimentRecord) {
+        let position = self.records.len();
+        match self.algorithm_index.get_mut(&record.algorithm) {
+            Some(positions) => positions.push(position),
+            None => {
+                self.algorithm_order.push(record.algorithm.clone());
+                self.algorithm_index
+                    .insert(record.algorithm.clone(), vec![position]);
+            }
+        }
+        match self.dataset_index.get_mut(&record.dataset) {
+            Some(positions) => positions.push(position),
+            None => {
+                self.dataset_order.push(record.dataset.clone());
+                self.dataset_index
+                    .insert(record.dataset.clone(), vec![position]);
+            }
+        }
         self.records.push(record);
     }
 
     /// Append many records at once.
     pub fn add_batch(&mut self, records: impl IntoIterator<Item = ExperimentRecord>) {
-        self.records.extend(records);
+        for record in records {
+            self.add(record);
+        }
     }
 
     /// All records.
@@ -46,24 +88,60 @@ impl KnowledgeBase {
 
     /// Distinct algorithm names, in first-seen order.
     pub fn algorithms(&self) -> Vec<String> {
-        let mut out: Vec<String> = Vec::new();
-        for r in &self.records {
-            if !out.contains(&r.algorithm) {
-                out.push(r.algorithm.clone());
-            }
-        }
-        out
+        self.algorithm_order.clone()
+    }
+
+    /// Distinct algorithm names, in first-seen order, without cloning.
+    pub fn algorithm_names(&self) -> &[String] {
+        &self.algorithm_order
     }
 
     /// Distinct dataset names, in first-seen order.
     pub fn datasets(&self) -> Vec<String> {
-        let mut out: Vec<String> = Vec::new();
-        for r in &self.records {
-            if !out.contains(&r.dataset) {
-                out.push(r.dataset.clone());
-            }
-        }
-        out
+        self.dataset_order.clone()
+    }
+
+    /// Distinct dataset names, in first-seen order, without cloning.
+    pub fn dataset_names(&self) -> &[String] {
+        &self.dataset_order
+    }
+
+    /// Record positions for one algorithm, ascending (empty for unknown
+    /// names).
+    pub fn algorithm_record_indices(&self, algorithm: &str) -> &[usize] {
+        self.algorithm_index
+            .get(algorithm)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Record positions for one dataset, ascending (empty for unknown
+    /// names).
+    pub fn dataset_record_indices(&self, dataset: &str) -> &[usize] {
+        self.dataset_index
+            .get(dataset)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All records for one algorithm, in insertion order.
+    pub fn algorithm_records<'a>(
+        &'a self,
+        algorithm: &str,
+    ) -> impl Iterator<Item = &'a ExperimentRecord> + 'a {
+        self.algorithm_record_indices(algorithm)
+            .iter()
+            .map(move |&i| &self.records[i])
+    }
+
+    /// All records for one dataset, in insertion order.
+    pub fn dataset_records<'a>(
+        &'a self,
+        dataset: &str,
+    ) -> impl Iterator<Item = &'a ExperimentRecord> + 'a {
+        self.dataset_record_indices(dataset)
+            .iter()
+            .map(move |&i| &self.records[i])
     }
 
     /// Records matching a predicate.
@@ -71,17 +149,37 @@ impl KnowledgeBase {
         self.records.iter().filter(|r| pred(r)).collect()
     }
 
-    /// A copy without any record from the named dataset — the
-    /// leave-one-dataset-out view used by advisor evaluation.
+    /// A borrowed view over every record (no exclusions).
+    pub fn view(&self) -> KbView<'_> {
+        KbView {
+            kb: self,
+            excluded_dataset: None,
+        }
+    }
+
+    /// A borrowed view that hides every record of the named dataset —
+    /// the leave-one-dataset-out evaluation path, without the deep
+    /// clone that [`without_dataset`](KnowledgeBase::without_dataset)
+    /// pays.
+    pub fn view_without_dataset<'a>(&'a self, dataset: &'a str) -> KbView<'a> {
+        KbView {
+            kb: self,
+            excluded_dataset: Some(dataset),
+        }
+    }
+
+    /// A copy without any record from the named dataset. Prefer
+    /// [`view_without_dataset`](KnowledgeBase::view_without_dataset)
+    /// when a borrow suffices: this clones every surviving record.
     pub fn without_dataset(&self, dataset: &str) -> KnowledgeBase {
-        KnowledgeBase {
-            records: self
-                .records
+        let mut kb = KnowledgeBase::new();
+        kb.add_batch(
+            self.records
                 .iter()
                 .filter(|r| r.dataset != dataset)
-                .cloned()
-                .collect(),
-        }
+                .cloned(),
+        );
+        kb
     }
 
     /// Serialize as JSON lines (one record per line).
@@ -118,6 +216,61 @@ impl KnowledgeBase {
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
         let text = std::fs::read_to_string(path).map_err(|e| KbError::Io(e.to_string()))?;
         Self::from_jsonl(&text)
+    }
+}
+
+/// A borrowed, optionally dataset-masked view of a [`KnowledgeBase`].
+///
+/// The advisor and the leave-one-dataset-out evaluator consume this
+/// instead of an owned store, so holding out a dataset costs a string
+/// comparison per candidate record rather than a deep clone of the
+/// whole knowledge base per dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct KbView<'a> {
+    kb: &'a KnowledgeBase,
+    excluded_dataset: Option<&'a str>,
+}
+
+impl<'a> KbView<'a> {
+    /// Number of visible records.
+    pub fn len(&self) -> usize {
+        match self.excluded_dataset {
+            None => self.kb.len(),
+            Some(d) => self.kb.len() - self.kb.dataset_record_indices(d).len(),
+        }
+    }
+
+    /// True iff no record is visible.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Algorithm names of the underlying store, first-seen order. An
+    /// algorithm whose records all belong to the masked dataset yields
+    /// no visible records; callers that iterate candidates must treat
+    /// that as "algorithm absent".
+    pub fn algorithm_names(&self) -> &'a [String] {
+        self.kb.algorithm_names()
+    }
+
+    /// Record positions for one algorithm in the underlying store
+    /// (ascending; may include masked records — pair with
+    /// [`includes`](KbView::includes)).
+    pub fn algorithm_record_indices(&self, algorithm: &str) -> &'a [usize] {
+        self.kb.algorithm_record_indices(algorithm)
+    }
+
+    /// The record at an underlying-store position.
+    pub fn record(&self, position: usize) -> &'a ExperimentRecord {
+        &self.kb.records[position]
+    }
+
+    /// True iff the record is visible through this view.
+    pub fn includes(&self, record: &ExperimentRecord) -> bool {
+        match self.excluded_dataset {
+            None => true,
+            Some(d) => record.dataset != d,
+        }
     }
 }
 
@@ -202,6 +355,105 @@ mod tests {
         assert_eq!(kb.datasets(), vec!["d1", "d2"]);
         assert_eq!(kb.filter(|r| r.dataset == "d1").len(), 2);
         assert_eq!(kb.without_dataset("d1").len(), 1);
+    }
+
+    /// The naive first-seen scans the indices replaced.
+    fn naive_algorithms(kb: &KnowledgeBase) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in kb.records() {
+            if !out.contains(&r.algorithm) {
+                out.push(r.algorithm.clone());
+            }
+        }
+        out
+    }
+
+    fn naive_datasets(kb: &KnowledgeBase) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for r in kb.records() {
+            if !out.contains(&r.dataset) {
+                out.push(r.dataset.clone());
+            }
+        }
+        out
+    }
+
+    fn assert_index_consistent(kb: &KnowledgeBase) {
+        assert_eq!(kb.algorithms(), naive_algorithms(kb));
+        assert_eq!(kb.datasets(), naive_datasets(kb));
+        let mut seen = 0usize;
+        for algo in kb.algorithm_names() {
+            let indices = kb.algorithm_record_indices(algo);
+            assert!(indices.windows(2).all(|w| w[0] < w[1]), "ascending");
+            assert!(indices.iter().all(|&i| kb.records()[i].algorithm == *algo));
+            seen += indices.len();
+        }
+        assert_eq!(seen, kb.len(), "algorithm index covers every record");
+        let mut seen = 0usize;
+        for ds in kb.dataset_names() {
+            let indices = kb.dataset_record_indices(ds);
+            assert!(indices.windows(2).all(|w| w[0] < w[1]), "ascending");
+            assert!(indices.iter().all(|&i| kb.records()[i].dataset == *ds));
+            seen += indices.len();
+        }
+        assert_eq!(seen, kb.len(), "dataset index covers every record");
+    }
+
+    #[test]
+    fn index_tracks_every_mutation_path() {
+        let mut kb = KnowledgeBase::new();
+        kb.add(record("d1", "a", 0.1));
+        kb.add(record("d2", "b", 0.2));
+        kb.add(record("d1", "a", 0.3));
+        kb.add_batch(vec![record("d3", "c", 0.4), record("d2", "a", 0.5)]);
+        assert_index_consistent(&kb);
+
+        let restored = KnowledgeBase::from_jsonl(&kb.to_jsonl().unwrap()).unwrap();
+        assert_eq!(restored.records(), kb.records());
+        assert_index_consistent(&restored);
+
+        let reduced = kb.without_dataset("d2");
+        assert_eq!(reduced.len(), 3);
+        assert!(reduced.dataset_record_indices("d2").is_empty());
+        assert_index_consistent(&reduced);
+
+        assert!(kb.algorithm_record_indices("nope").is_empty());
+        assert_eq!(kb.algorithm_records("a").count(), 3);
+        assert_eq!(kb.dataset_records("d1").count(), 2);
+    }
+
+    #[test]
+    fn view_masks_one_dataset_without_cloning() {
+        let mut kb = KnowledgeBase::new();
+        kb.add(record("d1", "a", 0.1));
+        kb.add(record("d2", "a", 0.2));
+        kb.add(record("d2", "b", 0.3));
+        let full = kb.view();
+        assert_eq!(full.len(), 3);
+        assert!(!full.is_empty());
+        assert!(kb.records().iter().all(|r| full.includes(r)));
+
+        let masked = kb.view_without_dataset("d2");
+        assert_eq!(masked.len(), 1);
+        let visible: Vec<&ExperimentRecord> = masked
+            .algorithm_record_indices("a")
+            .iter()
+            .map(|&i| masked.record(i))
+            .filter(|r| masked.includes(r))
+            .collect();
+        assert_eq!(visible.len(), 1);
+        assert_eq!(visible[0].dataset, "d1");
+        // Algorithm "b" only exists in the masked dataset: indices
+        // remain but none are visible.
+        assert!(masked
+            .algorithm_record_indices("b")
+            .iter()
+            .all(|&i| !masked.includes(masked.record(i))));
+
+        // Masking the only dataset empties the view.
+        let mut solo = KnowledgeBase::new();
+        solo.add(record("only", "a", 0.5));
+        assert!(solo.view_without_dataset("only").is_empty());
     }
 
     #[test]

@@ -65,6 +65,8 @@ mod tests {
         assert!(LodError::UnknownPrefix("ex".into())
             .to_string()
             .contains("ex"));
-        assert!(LodError::UnboundVariable("x".into()).to_string().contains("?x"));
+        assert!(LodError::UnboundVariable("x".into())
+            .to_string()
+            .contains("?x"));
     }
 }

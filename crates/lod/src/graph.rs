@@ -300,9 +300,21 @@ mod tests {
 
     fn sample() -> Graph {
         let mut g = Graph::new();
-        g.insert(t(&format!("{EX}a"), &format!("{EX}knows"), &format!("{EX}b")));
-        g.insert(t(&format!("{EX}a"), &format!("{EX}knows"), &format!("{EX}c")));
-        g.insert(t(&format!("{EX}b"), &format!("{EX}knows"), &format!("{EX}c")));
+        g.insert(t(
+            &format!("{EX}a"),
+            &format!("{EX}knows"),
+            &format!("{EX}b"),
+        ));
+        g.insert(t(
+            &format!("{EX}a"),
+            &format!("{EX}knows"),
+            &format!("{EX}c"),
+        ));
+        g.insert(t(
+            &format!("{EX}b"),
+            &format!("{EX}knows"),
+            &format!("{EX}c"),
+        ));
         g.add(
             Term::iri(&format!("{EX}a")),
             Term::iri(&format!("{EX}age")),
@@ -424,8 +436,16 @@ mod tests {
     fn merge_counts_new_triples() {
         let mut g = sample();
         let mut h = Graph::new();
-        h.insert(t(&format!("{EX}a"), &format!("{EX}knows"), &format!("{EX}b")));
-        h.insert(t(&format!("{EX}x"), &format!("{EX}knows"), &format!("{EX}y")));
+        h.insert(t(
+            &format!("{EX}a"),
+            &format!("{EX}knows"),
+            &format!("{EX}b"),
+        ));
+        h.insert(t(
+            &format!("{EX}x"),
+            &format!("{EX}knows"),
+            &format!("{EX}y"),
+        ));
         assert_eq!(g.merge(&h), 1);
         assert_eq!(g.len(), 5);
     }

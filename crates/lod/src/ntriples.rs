@@ -218,7 +218,8 @@ mod tests {
 
     #[test]
     fn skips_comments_and_blank_lines() {
-        let src = "# a comment\n\n<http://e.org/a> <http://e.org/p> <http://e.org/b> . # trailing\n";
+        let src =
+            "# a comment\n\n<http://e.org/a> <http://e.org/p> <http://e.org/b> . # trailing\n";
         let g = parse_ntriples(src).unwrap();
         assert_eq!(g.len(), 1);
     }

@@ -55,7 +55,11 @@ pub fn publish_table(table: &Table, base_iri: &str, dataset_name: &str) -> Resul
     let base = base_iri.trim_end_matches('/');
     let slug = slugify(dataset_name);
     let ds = Term::Iri(Iri::new(format!("{base}/dataset/{slug}"))?);
-    g.add(ds.clone(), Term::Iri(rdf::type_()), Term::Iri(obi::dataset()));
+    g.add(
+        ds.clone(),
+        Term::Iri(rdf::type_()),
+        Term::Iri(obi::dataset()),
+    );
     g.add(
         ds.clone(),
         Term::Iri(rdfs::label()),
@@ -69,8 +73,14 @@ pub fn publish_table(table: &Table, base_iri: &str, dataset_name: &str) -> Resul
     let mut pred_iris = Vec::new();
     for field in table.schema().fields() {
         let col_slug = prop_slug(&field.name);
-        let col = Term::Iri(Iri::new(format!("{base}/dataset/{slug}/column/{col_slug}"))?);
-        g.add(col.clone(), Term::Iri(rdf::type_()), Term::Iri(obi::column()));
+        let col = Term::Iri(Iri::new(format!(
+            "{base}/dataset/{slug}/column/{col_slug}"
+        ))?);
+        g.add(
+            col.clone(),
+            Term::Iri(rdf::type_()),
+            Term::Iri(obi::column()),
+        );
         g.add(
             col.clone(),
             Term::Iri(rdfs::label()),
@@ -241,7 +251,8 @@ mod tests {
         let ds = Term::iri("http://openbi.org/dataset/air-quality");
         let cols = g.objects(&ds, &Term::Iri(obi::has_column()));
         assert_eq!(cols.len(), 3);
-        let rows = g.subjects_of_type(&Iri::new("http://openbi.org/dataset/air-quality/Row").unwrap());
+        let rows =
+            g.subjects_of_type(&Iri::new("http://openbi.org/dataset/air-quality/Row").unwrap());
         assert_eq!(rows.len(), 2);
     }
 

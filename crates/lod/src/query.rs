@@ -222,8 +222,16 @@ ex:acme a ex:Org .
         let g = sample();
         // Who do people know, and the knower's age?
         let q = Query::new()
-            .pattern(Node::var("s"), Node::iri("http://ex.org/knows"), Node::var("o"))
-            .pattern(Node::var("s"), Node::iri("http://ex.org/age"), Node::var("age"));
+            .pattern(
+                Node::var("s"),
+                Node::iri("http://ex.org/knows"),
+                Node::var("o"),
+            )
+            .pattern(
+                Node::var("s"),
+                Node::iri("http://ex.org/age"),
+                Node::var("age"),
+            );
         let sols = q.execute(&g).unwrap();
         assert_eq!(sols.len(), 2);
         for b in &sols {
@@ -235,8 +243,16 @@ ex:acme a ex:Org .
     fn transitive_style_two_hop_join() {
         let g = sample();
         let q = Query::new()
-            .pattern(Node::var("a"), Node::iri("http://ex.org/knows"), Node::var("b"))
-            .pattern(Node::var("b"), Node::iri("http://ex.org/knows"), Node::var("c"));
+            .pattern(
+                Node::var("a"),
+                Node::iri("http://ex.org/knows"),
+                Node::var("b"),
+            )
+            .pattern(
+                Node::var("b"),
+                Node::iri("http://ex.org/knows"),
+                Node::var("c"),
+            );
         let sols = q.execute(&g).unwrap();
         assert_eq!(sols.len(), 1);
         assert_eq!(sols[0]["a"], Term::iri("http://ex.org/alice"));
@@ -247,7 +263,11 @@ ex:acme a ex:Org .
     fn filter_on_literal() {
         let g = sample();
         let q = Query::new()
-            .pattern(Node::var("s"), Node::iri("http://ex.org/age"), Node::var("age"))
+            .pattern(
+                Node::var("s"),
+                Node::iri("http://ex.org/age"),
+                Node::var("age"),
+            )
             .filter(|b| {
                 b["age"]
                     .as_literal()
@@ -263,7 +283,11 @@ ex:acme a ex:Org .
     fn select_projects() {
         let g = sample();
         let q = Query::new()
-            .pattern(Node::var("s"), Node::iri("http://ex.org/age"), Node::var("age"))
+            .pattern(
+                Node::var("s"),
+                Node::iri("http://ex.org/age"),
+                Node::var("age"),
+            )
             .select(&["s"]);
         let sols = q.execute(&g).unwrap();
         assert!(sols.iter().all(|b| b.len() == 1 && b.contains_key("s")));
@@ -273,7 +297,11 @@ ex:acme a ex:Org .
     fn select_unknown_variable_errors() {
         let g = sample();
         let q = Query::new()
-            .pattern(Node::var("s"), Node::iri("http://ex.org/age"), Node::var("age"))
+            .pattern(
+                Node::var("s"),
+                Node::iri("http://ex.org/age"),
+                Node::var("age"),
+            )
             .select(&["nope"]);
         assert!(matches!(
             q.execute(&g).unwrap_err(),
@@ -294,11 +322,7 @@ ex:acme a ex:Org .
             Term::iri("http://ex.org/p"),
             Term::iri("http://ex.org/b"),
         );
-        let q = Query::new().pattern(
-            Node::var("x"),
-            Node::iri("http://ex.org/p"),
-            Node::var("x"),
-        );
+        let q = Query::new().pattern(Node::var("x"), Node::iri("http://ex.org/p"), Node::var("x"));
         let sols = q.execute(&g).unwrap();
         assert_eq!(sols.len(), 1, "only the self-loop binds x consistently");
     }

@@ -62,9 +62,7 @@ fn cell_from_terms(terms: &[Term], options: &TabularizeOptions) -> Value {
         Term::Literal(l) => {
             if let Some(dt) = &l.datatype {
                 match dt.local_name() {
-                    "integer" | "int" | "long" => {
-                        l.as_i64().map(Value::Int).unwrap_or(Value::Null)
-                    }
+                    "integer" | "int" | "long" => l.as_i64().map(Value::Int).unwrap_or(Value::Null),
                     "double" | "float" | "decimal" => {
                         l.as_f64().map(Value::Float).unwrap_or(Value::Null)
                     }

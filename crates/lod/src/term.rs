@@ -241,7 +241,9 @@ mod tests {
         let l = Literal::lang("hola", "es");
         assert_eq!(l.to_string(), "\"hola\"@es");
         let l = Literal::integer(5);
-        assert!(l.to_string().contains("^^<http://www.w3.org/2001/XMLSchema#integer>"));
+        assert!(l
+            .to_string()
+            .contains("^^<http://www.w3.org/2001/XMLSchema#integer>"));
     }
 
     #[test]

@@ -536,7 +536,10 @@ ex:bob a ex:Person ;
             parse_turtle("@prefix ex: <http://ex.org/> .\nex:a ex:v -3 ; ex:w 1.5e2 .").unwrap();
         let a = Term::iri("http://ex.org/a");
         let v = Term::iri("http://ex.org/v");
-        assert_eq!(g.objects(&a, &v)[0].as_literal().unwrap().as_i64(), Some(-3));
+        assert_eq!(
+            g.objects(&a, &v)[0].as_literal().unwrap().as_i64(),
+            Some(-3)
+        );
         let w = Term::iri("http://ex.org/w");
         assert_eq!(
             g.objects(&a, &w)[0].as_literal().unwrap().as_f64(),

@@ -163,7 +163,12 @@ pub fn write_turtle(graph: &Graph, prefixes: &PrefixMap) -> String {
             render_term(&t.predicate, prefixes)
         };
         let o = render_term(&t.object, prefixes);
-        by_subject.entry(s).or_default().entry(p).or_default().push(o);
+        by_subject
+            .entry(s)
+            .or_default()
+            .entry(p)
+            .or_default()
+            .push(o);
     }
     for (subject, predicates) in by_subject {
         let _ = write!(out, "{subject}");

@@ -140,7 +140,10 @@ mod tests {
             "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
         );
         assert_eq!(xsd::integer().local_name(), "integer");
-        assert_eq!(obi::has_quality().as_str(), "http://openbi.org/ns#hasQuality");
+        assert_eq!(
+            obi::has_quality().as_str(),
+            "http://openbi.org/ns#hasQuality"
+        );
         assert!(owl::same_as().as_str().ends_with("sameAs"));
         assert!(rdfs::label().as_str().starts_with(rdfs::NS));
     }

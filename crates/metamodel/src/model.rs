@@ -324,7 +324,11 @@ mod tests {
         cs.column_mut("pm10")
             .unwrap()
             .annotate(QualityAnnotation::new("outlier_ratio", 0.05).with_detail("IQR fence"));
-        let a = cs.column("pm10").unwrap().annotation("outlier_ratio").unwrap();
+        let a = cs
+            .column("pm10")
+            .unwrap()
+            .annotation("outlier_ratio")
+            .unwrap();
         assert_eq!(a.value, 0.05);
         assert_eq!(a.detail.as_deref(), Some("IQR fence"));
     }
@@ -342,7 +346,9 @@ mod tests {
     #[test]
     fn catalog_navigation() {
         let mut cat = Catalog::new("open-data");
-        cat.schema_mut_or_create("env").column_sets.push(sample_set());
+        cat.schema_mut_or_create("env")
+            .column_sets
+            .push(sample_set());
         assert_eq!(cat.column_set_count(), 1);
         assert!(cat.find_column_set("stations").is_some());
         assert!(cat.schema("env").is_some());

@@ -24,17 +24,14 @@ pub fn save(catalog: &Catalog, path: impl AsRef<std::path::Path>) -> Result<()> 
 
 /// Load a catalog from a JSON file.
 pub fn load(path: impl AsRef<std::path::Path>) -> Result<Catalog> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| MetamodelError::Io(e.to_string()))?;
+    let text = std::fs::read_to_string(path).map_err(|e| MetamodelError::Io(e.to_string()))?;
     from_json(&text)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{
-        ColumnModel, ColumnSet, ModelDataType, Provenance, QualityAnnotation,
-    };
+    use crate::model::{ColumnModel, ColumnSet, ModelDataType, Provenance, QualityAnnotation};
 
     fn sample() -> Catalog {
         let mut cat = Catalog::new("c");

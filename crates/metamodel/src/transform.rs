@@ -98,10 +98,7 @@ mod tests {
         Table::new(vec![
             Column::from_i64("id", [1, 2, 3]),
             Column::from_f64("pm10", [20.0, 30.0, 25.0]),
-            Column::from_opt_str(
-                "city",
-                [Some("a".to_string()), None, Some("b".to_string())],
-            ),
+            Column::from_opt_str("city", [Some("a".to_string()), None, Some("b".to_string())]),
         ])
         .unwrap()
     }

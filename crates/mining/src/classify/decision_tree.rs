@@ -135,10 +135,16 @@ impl DecisionTree {
             None => (0..data.n_attributes()).collect(),
         };
         for a in attrs {
-            let missing_rows: Vec<usize> =
-                rows.iter().copied().filter(|&i| data.rows[i][a].is_none()).collect();
-            let present: Vec<usize> =
-                rows.iter().copied().filter(|&i| data.rows[i][a].is_some()).collect();
+            let missing_rows: Vec<usize> = rows
+                .iter()
+                .copied()
+                .filter(|&i| data.rows[i][a].is_none())
+                .collect();
+            let present: Vec<usize> = rows
+                .iter()
+                .copied()
+                .filter(|&i| data.rows[i][a].is_some())
+                .collect();
             if present.len() < 2 * self.min_leaf {
                 continue;
             }

@@ -134,9 +134,7 @@ impl Classifier for NaiveBayes {
                         logps.push(
                             cat_counts
                                 .iter()
-                                .map(|&n| {
-                                    ((n as f64 + 1.0) / (total_c as f64 + k as f64)).ln()
-                                })
+                                .map(|&n| ((n as f64 + 1.0) / (total_c as f64 + k as f64)).ln())
                                 .collect(),
                         );
                     }

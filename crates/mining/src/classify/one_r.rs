@@ -45,8 +45,8 @@ impl OneR {
                     if width <= 0.0 {
                         0
                     } else {
-                        (((x - min) / width).floor() as isize)
-                            .clamp(0, (n_buckets - 2) as isize) as usize
+                        (((x - min) / width).floor() as isize).clamp(0, (n_buckets - 2) as isize)
+                            as usize
                     }
                 }
                 None => (x as usize).min(n_buckets - 2),
@@ -118,9 +118,8 @@ impl Classifier for OneR {
                 best = Some((errors, rule));
             }
         }
-        let (_, rule) = best.ok_or_else(|| {
-            MiningError::InvalidDataset("OneR found no usable attribute".into())
-        })?;
+        let (_, rule) = best
+            .ok_or_else(|| MiningError::InvalidDataset("OneR found no usable attribute".into()))?;
         self.rule = Some(rule);
         Ok(())
     }
@@ -133,7 +132,10 @@ impl Classifier for OneR {
     }
 
     fn model_size(&self) -> usize {
-        self.rule.as_ref().map(|r| r.bucket_class.len()).unwrap_or(0)
+        self.rule
+            .as_ref()
+            .map(|r| r.bucket_class.len())
+            .unwrap_or(0)
     }
 }
 
@@ -190,7 +192,12 @@ mod tests {
                 name: "color".into(),
                 kind: AttrKind::Nominal(vec!["r".into(), "g".into()]),
             }],
-            rows: vec![vec![Some(0.0)], vec![Some(0.0)], vec![Some(1.0)], vec![Some(1.0)]],
+            rows: vec![
+                vec![Some(0.0)],
+                vec![Some(0.0)],
+                vec![Some(1.0)],
+                vec![Some(1.0)],
+            ],
             labels: vec![Some(0), Some(0), Some(1), Some(1)],
             class_names: vec!["a".into(), "b".into()],
         };

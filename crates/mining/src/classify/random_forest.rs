@@ -170,6 +170,8 @@ mod tests {
 
     #[test]
     fn unfitted_errors() {
-        assert!(RandomForest::new(3, 4, 0).predict_row(&[Some(0.0)]).is_err());
+        assert!(RandomForest::new(3, 4, 0)
+            .predict_row(&[Some(0.0)])
+            .is_err());
     }
 }

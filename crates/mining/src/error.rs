@@ -53,7 +53,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(MiningError::NotFitted("kNN").to_string().contains("kNN"));
-        assert!(MiningError::ColumnNotFound("y".into()).to_string().contains("y"));
+        assert!(MiningError::ColumnNotFound("y".into())
+            .to_string()
+            .contains("y"));
     }
 
     #[test]

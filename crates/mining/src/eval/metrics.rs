@@ -170,12 +170,9 @@ mod tests {
     fn known_confusion_values() {
         // actual:    a a a a b b
         // predicted: a a b a b a
-        let cm = ConfusionMatrix::from_predictions(
-            &classes(),
-            &[0, 0, 0, 0, 1, 1],
-            &[0, 0, 1, 0, 1, 0],
-        )
-        .unwrap();
+        let cm =
+            ConfusionMatrix::from_predictions(&classes(), &[0, 0, 0, 0, 1, 1], &[0, 0, 1, 0, 1, 0])
+                .unwrap();
         assert_eq!(cm.cell(0, 0), 3);
         assert_eq!(cm.cell(0, 1), 1);
         assert_eq!(cm.cell(1, 0), 1);
@@ -191,7 +188,9 @@ mod tests {
     #[test]
     fn majority_predictor_has_zero_kappa() {
         // 90 a's, 10 b's, all predicted a: high accuracy, kappa 0.
-        let actual: Vec<usize> = std::iter::repeat_n(0, 90).chain(std::iter::repeat_n(1, 10)).collect();
+        let actual: Vec<usize> = std::iter::repeat_n(0, 90)
+            .chain(std::iter::repeat_n(1, 10))
+            .collect();
         let predicted = vec![0usize; 100];
         let cm = ConfusionMatrix::from_predictions(&classes(), &actual, &predicted).unwrap();
         assert!((cm.accuracy() - 0.9).abs() < 1e-12);

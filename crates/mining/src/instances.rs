@@ -101,7 +101,11 @@ impl Instances {
                 name: col.name().to_string(),
                 kind,
             });
-            columns.push((attributes.len() - 1, attributes.last().expect("pushed").kind.clone(), data));
+            columns.push((
+                attributes.len() - 1,
+                attributes.last().expect("pushed").kind.clone(),
+                data,
+            ));
         }
         if attributes.is_empty() {
             return Err(MiningError::InvalidDataset(
@@ -170,7 +174,9 @@ impl Instances {
 
     /// Indices of rows with a known label.
     pub fn labeled_indices(&self) -> Vec<usize> {
-        (0..self.len()).filter(|&i| self.labels[i].is_some()).collect()
+        (0..self.len())
+            .filter(|&i| self.labels[i].is_some())
+            .collect()
     }
 
     /// Class distribution over labeled rows.

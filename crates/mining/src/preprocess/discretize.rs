@@ -107,7 +107,9 @@ mod tests {
     #[test]
     fn equal_frequency_balances_counts() {
         // Skewed data: equal-width would cram most rows into bin 1.
-        let vals: Vec<f64> = (0..100).map(|i| if i < 90 { i as f64 } else { 1000.0 }).collect();
+        let vals: Vec<f64> = (0..100)
+            .map(|i| if i < 90 { i as f64 } else { 1000.0 })
+            .collect();
         let t = Table::new(vec![Column::from_f64("x", vals)]).unwrap();
         let out = discretize_column(&t, "x", 4, BinStrategy::EqualFrequency).unwrap();
         let mut counts = std::collections::HashMap::new();
@@ -149,8 +151,14 @@ mod tests {
         ])
         .unwrap();
         let out = discretize_all(&t, 2, BinStrategy::EqualWidth, &["id"]).unwrap();
-        assert_eq!(out.column("a").unwrap().dtype(), openbi_table::DataType::Str);
-        assert_eq!(out.column("id").unwrap().dtype(), openbi_table::DataType::Float);
+        assert_eq!(
+            out.column("a").unwrap().dtype(),
+            openbi_table::DataType::Str
+        );
+        assert_eq!(
+            out.column("id").unwrap().dtype(),
+            openbi_table::DataType::Float
+        );
         assert_eq!(out.column("s").unwrap(), t.column("s").unwrap());
     }
 }

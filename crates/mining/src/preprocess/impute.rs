@@ -129,10 +129,7 @@ mod tests {
         let t = Table::new(vec![
             Column::from_opt_f64("x", [Some(1.0), None, Some(3.0)]),
             Column::from_opt_i64("k", [Some(2), None, Some(4)]),
-            Column::from_opt_str(
-                "s",
-                [Some("a".to_string()), Some("a".to_string()), None],
-            ),
+            Column::from_opt_str("s", [Some("a".to_string()), Some("a".to_string()), None]),
         ])
         .unwrap();
         let out = impute_mean_mode(&t, &[]).unwrap();

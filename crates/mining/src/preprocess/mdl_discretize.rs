@@ -62,8 +62,8 @@ fn split(pairs: &[(f64, usize)], n_classes: usize, cuts: &mut Vec<f64>, depth: u
             .collect();
         let nl = (i + 1) as f64;
         let nr = (n - i - 1) as f64;
-        let cond = (nl / n as f64) * entropy(&left_counts)
-            + (nr / n as f64) * entropy(&right_counts);
+        let cond =
+            (nl / n as f64) * entropy(&left_counts) + (nr / n as f64) * entropy(&right_counts);
         let gain = parent_entropy - cond;
         if best.map(|(_, _, g)| gain > g).unwrap_or(gain > 0.0) {
             best = Some((i, (pairs[i].0 + pairs[i + 1].0) / 2.0, gain));
@@ -79,8 +79,8 @@ fn split(pairs: &[(f64, usize)], n_classes: usize, cuts: &mut Vec<f64>, depth: u
     let k = distinct_classes(&total_counts) as f64;
     let k1 = distinct_classes(&lc) as f64;
     let k2 = distinct_classes(&rc) as f64;
-    let delta = (3f64.powf(k) - 2.0).log2()
-        - (k * parent_entropy - k1 * entropy(&lc) - k2 * entropy(&rc));
+    let delta =
+        (3f64.powf(k) - 2.0).log2() - (k * parent_entropy - k1 * entropy(&lc) - k2 * entropy(&rc));
     let threshold = (((n - 1) as f64).log2() + delta) / n as f64;
     if gain <= threshold {
         return;
@@ -185,7 +185,9 @@ mod tests {
     fn uninformative_attribute_gets_no_cuts() {
         // Class alternates independently of x: no MDL-justified cut.
         let xs: Vec<f64> = (0..80).map(f64::from).collect();
-        let labels: Vec<&str> = (0..80).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect();
+        let labels: Vec<&str> = (0..80)
+            .map(|i| if i % 2 == 0 { "a" } else { "b" })
+            .collect();
         let t = Table::new(vec![
             Column::from_f64("x", xs),
             Column::from_str_values("class", labels),
@@ -230,7 +232,10 @@ mod tests {
         // Boundary at x = 2 inside a long tail: equal-width with 3 bins
         // puts the cut far from 2; MDL nails it.
         let xs: Vec<f64> = (0..120).map(|i| (i as f64 / 4.0).powi(2)).collect();
-        let labels: Vec<&str> = xs.iter().map(|&x| if x < 2.0 { "lo" } else { "hi" }).collect();
+        let labels: Vec<&str> = xs
+            .iter()
+            .map(|&x| if x < 2.0 { "lo" } else { "hi" })
+            .collect();
         let t = Table::new(vec![
             Column::from_f64("x", xs),
             Column::from_str_values("class", labels),

@@ -19,15 +19,7 @@ pub fn min_max_scale(table: &Table, columns: &[&str]) -> Result<Table> {
         let hi = non_null.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let scaled: Vec<Option<f64>> = values
             .iter()
-            .map(|v| {
-                v.map(|x| {
-                    if hi > lo {
-                        (x - lo) / (hi - lo)
-                    } else {
-                        0.5
-                    }
-                })
-            })
+            .map(|v| v.map(|x| if hi > lo { (x - lo) / (hi - lo) } else { 0.5 }))
             .collect();
         out.replace_column(Column::from_opt_f64(name.to_string(), scaled))?;
     }

@@ -214,8 +214,8 @@ mod tests {
         let t = pca.transform(&d).unwrap();
         let vals: Vec<f64> = t.rows.iter().map(|r| r[0].unwrap()).collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-        let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-            / (vals.len() - 1) as f64;
+        let var =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (vals.len() - 1) as f64;
         assert!((var - pca.eigenvalues()[0]).abs() < 1e-6);
     }
 

@@ -136,10 +136,7 @@ fn is_subset(needle: &[ItemId], haystack: &[ItemId]) -> bool {
 impl Apriori {
     /// Mine frequent itemsets; returns `(itemset, support)` pairs with
     /// itemsets as sorted item-id vectors, plus the item dictionary.
-    pub fn frequent_itemsets(
-        &self,
-        table: &Table,
-    ) -> Result<FrequentItemsets> {
+    pub fn frequent_itemsets(&self, table: &Table) -> Result<FrequentItemsets> {
         if !(0.0..=1.0).contains(&self.min_support) {
             return Err(MiningError::InvalidParameter(
                 "min_support must be in [0,1]".into(),
@@ -308,7 +305,9 @@ mod tests {
         let butter_y = dict.iter().position(|d| d == "butter=y").unwrap();
         let mut pair = vec![bread_y, butter_y];
         pair.sort_unstable();
-        assert!(sets.iter().any(|(s, supp)| s == &pair && (*supp - 0.8).abs() < 1e-12));
+        assert!(sets
+            .iter()
+            .any(|(s, supp)| s == &pair && (*supp - 0.8).abs() < 1e-12));
     }
 
     #[test]

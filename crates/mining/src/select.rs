@@ -161,8 +161,7 @@ pub fn cfs_select(data: &Instances, max_features: usize) -> Result<Vec<usize>> {
     let n_attrs = view.n_attributes();
     let class_ids: Vec<usize> = view.labels.iter().map(|l| l.expect("labeled")).collect();
     let n_classes = view.n_classes();
-    let attr_buckets: Vec<(Vec<usize>, usize)> =
-        (0..n_attrs).map(|a| buckets(&view, a)).collect();
+    let attr_buckets: Vec<(Vec<usize>, usize)> = (0..n_attrs).map(|a| buckets(&view, a)).collect();
     let class_su: Vec<f64> = attr_buckets
         .iter()
         .map(|(ids, k)| symmetrical_uncertainty(ids, *k, &class_ids, n_classes))
@@ -345,14 +344,7 @@ mod tests {
 
     #[test]
     fn wrapper_finds_minimal_subset() {
-        let selected = wrapper_select(
-            &data(),
-            &AlgorithmSpec::NaiveBayes,
-            3,
-            1,
-            0.005,
-        )
-        .unwrap();
+        let selected = wrapper_select(&data(), &AlgorithmSpec::NaiveBayes, 3, 1, 0.005).unwrap();
         // signal (or its echo) alone is enough.
         assert_eq!(selected.len(), 1, "selected {selected:?}");
         assert!(selected[0] == 1 || selected[0] == 2);

@@ -52,7 +52,10 @@ impl Cube {
         }
         for m in &measures {
             match m {
-                Measure::Sum(c) | Measure::Mean(c) | Measure::Count(c) | Measure::Min(c)
+                Measure::Sum(c)
+                | Measure::Mean(c)
+                | Measure::Count(c)
+                | Measure::Min(c)
                 | Measure::Max(c) => {
                     facts.column(c)?;
                 }
@@ -107,9 +110,7 @@ impl Cube {
             .iter()
             .position(|n| *n == dimension)
             .expect("validated dimension");
-        let facts = self
-            .facts
-            .filter(|row| row[col_idx].to_string() == value);
+        let facts = self.facts.filter(|row| row[col_idx].to_string() == value);
         Ok(Cube {
             facts,
             dimensions: self.dimensions.clone(),

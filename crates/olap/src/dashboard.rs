@@ -10,7 +10,11 @@ use openbi_table::{Result, Table};
 #[derive(Debug, Clone)]
 enum Panel {
     Text(String),
-    Table { title: String, table: Table, max_rows: usize },
+    Table {
+        title: String,
+        table: Table,
+        max_rows: usize,
+    },
     Chart(String),
 }
 
@@ -65,8 +69,11 @@ impl Dashboard {
 
     /// Add a sparkline panel of a numeric series.
     pub fn trend(mut self, title: impl Into<String>, values: &[f64]) -> Self {
-        self.panels
-            .push(Panel::Chart(format!("== {} ==\n{}\n", title.into(), sparkline(values))));
+        self.panels.push(Panel::Chart(format!(
+            "== {} ==\n{}\n",
+            title.into(),
+            sparkline(values)
+        )));
         self
     }
 
@@ -126,7 +133,13 @@ mod tests {
                 Table::new(vec![Column::from_i64("x", [1])]).unwrap(),
                 5,
             )
-            .rollup_chart("spend by district", &cube(), "district", &Measure::Sum("spend".into()), 10)
+            .rollup_chart(
+                "spend by district",
+                &cube(),
+                "district",
+                &Measure::Sum("spend".into()),
+                10,
+            )
             .unwrap()
             .trend("pm10", &[1.0, 2.0, 3.0]);
         assert_eq!(d.len(), 4);

@@ -17,7 +17,11 @@ pub fn table_report(title: &str, table: &Table, max_rows: usize) -> String {
 pub fn bar_chart(title: &str, data: &[(String, f64)], width: usize) -> String {
     let mut out = format!("== {title} ==\n");
     let max = data.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
-    let label_width = data.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_width = data
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     for (label, value) in data {
         let filled = if max > 0.0 {
             ((value.max(0.0) / max) * width as f64).round() as usize

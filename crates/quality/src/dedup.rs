@@ -201,9 +201,7 @@ pub fn find_duplicate_clusters(table: &Table, config: &LinkageConfig) -> Result<
     for rows in blocks.values() {
         for i in 1..rows.len() {
             for j in 0..i {
-                if row_distance(table, &compared, &ranges, rows[i], rows[j])
-                    <= config.threshold
-                {
+                if row_distance(table, &compared, &ranges, rows[i], rows[j]) <= config.threshold {
                     uf.union(rows[i], rows[j]);
                 }
             }
@@ -213,10 +211,7 @@ pub fn find_duplicate_clusters(table: &Table, config: &LinkageConfig) -> Result<
     for i in 0..n {
         clusters.entry(uf.find(i)).or_default().push(i);
     }
-    let mut out: Vec<Vec<usize>> = clusters
-        .into_values()
-        .filter(|c| c.len() >= 2)
-        .collect();
+    let mut out: Vec<Vec<usize>> = clusters.into_values().filter(|c| c.len() >= 2).collect();
     out.sort_by_key(|c| c[0]);
     Ok(out)
 }

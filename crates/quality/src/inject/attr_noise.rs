@@ -71,7 +71,10 @@ impl Injector for AttributeNoiseInjector {
             let scale = if std > 0.0 {
                 std * self.sigma_factor
             } else {
-                stats::mean(col).map(f64::abs).filter(|m| *m > 0.0).unwrap_or(1.0)
+                stats::mean(col)
+                    .map(f64::abs)
+                    .filter(|m| *m > 0.0)
+                    .unwrap_or(1.0)
                     * self.sigma_factor
             };
             let n = col.len();
@@ -126,7 +129,10 @@ mod tests {
         let inj = AttributeNoiseInjector::new(1.0, 2.0);
         let mut rng = StdRng::seed_from_u64(2);
         let out = inj.apply(&table(), &mut rng).unwrap();
-        assert_eq!(out.column("k").unwrap().dtype(), openbi_table::DataType::Int);
+        assert_eq!(
+            out.column("k").unwrap().dtype(),
+            openbi_table::DataType::Int
+        );
     }
 
     #[test]

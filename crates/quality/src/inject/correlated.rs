@@ -64,9 +64,7 @@ impl Injector for CorrelatedInjector {
             let offset = 0.5 * k as f64;
             let copy: Vec<Option<f64>> = values
                 .iter()
-                .map(|v| {
-                    v.map(|x| scale * x + offset + gauss(rng) * std * self.noise)
-                })
+                .map(|v| v.map(|x| scale * x + offset + gauss(rng) * std * self.noise))
                 .collect();
             let mut name = format!("{}_corr{}", self.source, k + 1);
             while out.has_column(&name) {

@@ -120,7 +120,9 @@ mod tests {
             Column::from_f64("x", (0..50).map(|i| i as f64 * 10.0).collect::<Vec<f64>>()),
             Column::from_str_values(
                 "class",
-                (0..50).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<&str>>(),
+                (0..50)
+                    .map(|i| if i % 2 == 0 { "a" } else { "b" })
+                    .collect::<Vec<&str>>(),
             ),
         ])
         .unwrap()

@@ -70,23 +70,22 @@ impl Injector for ImbalanceInjector {
         }
         by_class.sort_by(|a, b| b.1.len().cmp(&a.1.len()).then_with(|| a.0.cmp(&b.0)));
         let majority_count = by_class[0].1.len();
-        let current_fraction = majority_count as f64
-            / by_class.iter().map(|(_, v)| v.len()).sum::<usize>() as f64;
+        let current_fraction =
+            majority_count as f64 / by_class.iter().map(|(_, v)| v.len()).sum::<usize>() as f64;
         if self.majority_fraction <= current_fraction {
             // Already at least this imbalanced; leave data untouched.
             return Ok(table.clone());
         }
         // Keep all majority rows; scale every minority class by the same
         // factor so that majority / total = majority_fraction.
-        let target_minority_total =
-            (majority_count as f64 * (1.0 - self.majority_fraction) / self.majority_fraction)
-                .round() as usize;
+        let target_minority_total = (majority_count as f64 * (1.0 - self.majority_fraction)
+            / self.majority_fraction)
+            .round() as usize;
         let minority_total: usize = by_class[1..].iter().map(|(_, v)| v.len()).sum();
         let scale = target_minority_total as f64 / minority_total as f64;
         let mut keep: Vec<usize> = by_class[0].1.clone();
         for (_, rows) in &by_class[1..] {
-            let k = ((rows.len() as f64 * scale).round() as usize)
-                .clamp(1, rows.len());
+            let k = ((rows.len() as f64 * scale).round() as usize).clamp(1, rows.len());
             let mut pool = rows.clone();
             pool.shuffle(rng);
             keep.extend(pool.into_iter().take(k));
@@ -108,7 +107,9 @@ mod tests {
             Column::from_i64("x", (0..200).collect::<Vec<i64>>()),
             Column::from_str_values(
                 "class",
-                (0..200).map(|i| if i % 2 == 0 { "pos" } else { "neg" }).collect::<Vec<&str>>(),
+                (0..200)
+                    .map(|i| if i % 2 == 0 { "pos" } else { "neg" })
+                    .collect::<Vec<&str>>(),
             ),
         ])
         .unwrap()

@@ -86,9 +86,7 @@ impl Injector for InconsistencyInjector {
         let names: Vec<String> = table
             .columns()
             .iter()
-            .filter(|c| {
-                c.as_str_slice().is_some() && !self.excluded.iter().any(|e| e == c.name())
-            })
+            .filter(|c| c.as_str_slice().is_some() && !self.excluded.iter().any(|e| e == c.name()))
             .map(|c| c.name().to_string())
             .collect();
         for name in names {

@@ -162,10 +162,15 @@ mod tests {
     fn table() -> Table {
         Table::new(vec![
             openbi_table::Column::from_f64("a", (0..100).map(f64::from).collect::<Vec<f64>>()),
-            openbi_table::Column::from_f64("b", (0..100).map(|i| f64::from(i * 2)).collect::<Vec<f64>>()),
+            openbi_table::Column::from_f64(
+                "b",
+                (0..100).map(|i| f64::from(i * 2)).collect::<Vec<f64>>(),
+            ),
             openbi_table::Column::from_str_values(
                 "class",
-                (0..100).map(|i| if i % 2 == 0 { "x" } else { "y" }).collect::<Vec<&str>>(),
+                (0..100)
+                    .map(|i| if i % 2 == 0 { "x" } else { "y" })
+                    .collect::<Vec<&str>>(),
             ),
         ])
         .unwrap()

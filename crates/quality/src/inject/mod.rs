@@ -131,7 +131,9 @@ mod tests {
             Column::from_f64("x", (0..40).map(|i| i as f64).collect::<Vec<f64>>()),
             Column::from_str_values(
                 "class",
-                (0..40).map(|i| if i % 2 == 0 { "a" } else { "b" }).collect::<Vec<&str>>(),
+                (0..40)
+                    .map(|i| if i % 2 == 0 { "a" } else { "b" })
+                    .collect::<Vec<&str>>(),
             ),
         ])
         .unwrap()

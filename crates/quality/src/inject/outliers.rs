@@ -128,8 +128,12 @@ mod tests {
     #[test]
     fn invalid_params_rejected() {
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(OutlierInjector::new(-0.1, 5.0).apply(&table(), &mut rng).is_err());
-        assert!(OutlierInjector::new(0.1, 0.0).apply(&table(), &mut rng).is_err());
+        assert!(OutlierInjector::new(-0.1, 5.0)
+            .apply(&table(), &mut rng)
+            .is_err());
+        assert!(OutlierInjector::new(0.1, 0.0)
+            .apply(&table(), &mut rng)
+            .is_err());
     }
 
     #[test]

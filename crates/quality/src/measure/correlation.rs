@@ -46,7 +46,11 @@ pub fn correlation_report(table: &Table, exclude: &[&str], threshold: f64) -> Co
     }
     CorrelationReport {
         max_abs,
-        mean_abs: if count == 0 { 0.0 } else { sum_abs / count as f64 },
+        mean_abs: if count == 0 {
+            0.0
+        } else {
+            sum_abs / count as f64
+        },
         redundant_pairs,
     }
 }

@@ -68,8 +68,7 @@ pub fn measure_profile(table: &Table, options: &MeasureOptions) -> QualityProfil
         .filter(|n| !ex.contains(n))
         .count();
     let corr = correlation::correlation_report(table, &ex, options.redundancy_threshold);
-    let (class_balance, minority_ratio, distinct_class_count, label_noise) = match &options.target
-    {
+    let (class_balance, minority_ratio, distinct_class_count, label_noise) = match &options.target {
         Some(t) if table.has_column(t) => {
             let b = balance::balance_report(table, t).expect("column exists");
             let noise =
@@ -123,7 +122,9 @@ mod tests {
             ),
             Column::from_str_values(
                 "class",
-                (0..10).map(|i| if i < 7 { "a" } else { "b" }).collect::<Vec<&str>>(),
+                (0..10)
+                    .map(|i| if i < 7 { "a" } else { "b" })
+                    .collect::<Vec<&str>>(),
             ),
         ])
         .unwrap()

@@ -202,7 +202,11 @@ mod tests {
         // Flip every 4th label.
         for i in (0..t.n_rows()).step_by(4) {
             let v = t.get("class", i).unwrap();
-            let flipped = if v == Value::Str("a".into()) { "b" } else { "a" };
+            let flipped = if v == Value::Str("a".into()) {
+                "b"
+            } else {
+                "a"
+            };
             t.set("class", i, Value::Str(flipped.into())).unwrap();
         }
         let noise = label_noise_estimate(&t, "class", 5, DEFAULT_MAX_ROWS);

@@ -113,7 +113,14 @@ mod tests {
     fn nulls_are_ignored() {
         let c = Column::from_opt_f64(
             "x",
-            [Some(1.0), Some(2.0), Some(3.0), Some(4.0), None, Some(100.0)],
+            [
+                Some(1.0),
+                Some(2.0),
+                Some(3.0),
+                Some(4.0),
+                None,
+                Some(100.0),
+            ],
         );
         assert_eq!(iqr_outliers(&c, 1.5), vec![5]);
     }

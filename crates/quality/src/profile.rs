@@ -130,7 +130,10 @@ impl QualityProfile {
         let issues: [(&'static str, f64); 7] = [
             ("incomplete data", 1.0 - self.completeness),
             ("duplicate records", self.duplicate_ratio),
-            ("redundant correlated attributes", self.max_abs_correlation.max(0.0) - 0.8),
+            (
+                "redundant correlated attributes",
+                self.max_abs_correlation.max(0.0) - 0.8,
+            ),
             ("class imbalance", 1.0 - self.minority_ratio),
             ("outliers", self.outlier_ratio * 2.0),
             ("label noise", self.label_noise_estimate),
@@ -175,7 +178,7 @@ mod tests {
     #[test]
     fn dominant_issue_picks_worst() {
         let mut p = QualityProfile {
-            completeness: 0.6,  // severity 0.4
+            completeness: 0.6,   // severity 0.4
             minority_ratio: 0.9, // severity 0.1 (below threshold)
             ..Default::default()
         };

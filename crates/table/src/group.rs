@@ -161,7 +161,10 @@ mod tests {
         Table::new(vec![
             Column::from_str_values("dept", ["a", "b", "a", "b", "a"]),
             Column::from_str_values("year", ["1", "1", "2", "2", "2"]),
-            Column::from_opt_f64("spend", [Some(10.0), Some(20.0), Some(30.0), None, Some(50.0)]),
+            Column::from_opt_f64(
+                "spend",
+                [Some(10.0), Some(20.0), Some(30.0), None, Some(50.0)],
+            ),
         ])
         .unwrap()
     }

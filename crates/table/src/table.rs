@@ -445,7 +445,8 @@ mod tests {
             .add_column(Column::from_i64("flag", [1, 2, 3, 4]))
             .is_err());
         assert!(t.add_column(Column::from_i64("short", [1])).is_err());
-        t.replace_column(Column::from_i64("id", [9, 8, 7, 6])).unwrap();
+        t.replace_column(Column::from_i64("id", [9, 8, 7, 6]))
+            .unwrap();
         assert_eq!(t.get("id", 0).unwrap(), Value::Int(9));
         t.rename_column("flag", "is_set").unwrap();
         assert!(t.has_column("is_set"));
@@ -526,11 +527,7 @@ mod tests {
 
     #[test]
     fn row_key_distinguishes_null_from_empty() {
-        let t = Table::new(vec![Column::from_opt_str(
-            "s",
-            [Some(String::new()), None],
-        )])
-        .unwrap();
+        let t = Table::new(vec![Column::from_opt_str("s", [Some(String::new()), None])]).unwrap();
         assert_ne!(t.row_key(0).unwrap(), t.row_key(1).unwrap());
     }
 

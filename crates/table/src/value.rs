@@ -111,7 +111,11 @@ impl Value {
     /// empty/NA markers become `Null`, then bool, int, float, else string.
     pub fn infer_from_str(token: &str) -> Value {
         let t = token.trim();
-        if t.is_empty() || t.eq_ignore_ascii_case("na") || t.eq_ignore_ascii_case("null") || t == "?" {
+        if t.is_empty()
+            || t.eq_ignore_ascii_case("na")
+            || t.eq_ignore_ascii_case("null")
+            || t == "?"
+        {
             return Value::Null;
         }
         if t.eq_ignore_ascii_case("true") {

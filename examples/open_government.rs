@@ -7,9 +7,7 @@
 //! Run with: `cargo run --example open_government`
 
 use openbi::datagen::{municipal_budget, scenario_to_lod};
-use openbi::lod::{
-    publish_rules, write_ntriples, Iri, PublishableRule, TabularizeOptions,
-};
+use openbi::lod::{publish_rules, write_ntriples, Iri, PublishableRule, TabularizeOptions};
 use openbi::metamodel::{catalog_from_lod, to_json};
 use openbi::mining::preprocess::{discretize_all, BinStrategy};
 use openbi::mining::Apriori;
@@ -41,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     // The model itself is a durable artifact.
     let model_json = to_json(&catalog)?;
-    println!("common representation: {} bytes of model JSON", model_json.len());
+    println!(
+        "common representation: {} bytes of model JSON",
+        model_json.len()
+    );
 
     // Quality annotation (§3.2.2).
     let opts = MeasureOptions {
@@ -50,7 +51,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..Default::default()
     };
     let profile = measure_profile(&table, &opts);
-    print!("{}", render_profile("municipal-budget (from LOD)", &profile));
+    print!(
+        "{}",
+        render_profile("municipal-budget (from LOD)", &profile)
+    );
 
     // Mine association rules about overspending.
     let for_rules = table.select(&["district", "category", "headcount", "overspend"])?;

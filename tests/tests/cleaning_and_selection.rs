@@ -27,7 +27,11 @@ fn record_linkage_repairs_injected_duplicates_despite_mangling() {
     assert!(injected > 20);
     // Exact-duplicate measurement sees almost nothing…
     let profile = measure_profile(&dirty, &MeasureOptions::default());
-    assert!(profile.duplicate_ratio < 0.05, "exact dups {}", profile.duplicate_ratio);
+    assert!(
+        profile.duplicate_ratio < 0.05,
+        "exact dups {}",
+        profile.duplicate_ratio
+    );
     // …record linkage finds and merges the fuzzy pairs.
     let config = LinkageConfig {
         blocking_column: Some("district".into()),
@@ -94,10 +98,7 @@ fn cfs_selection_recovers_knn_accuracy_under_dimensionality() {
 #[test]
 fn mdl_discretization_feeds_sharper_rules_than_raw_numbers() {
     let scenario = municipal_budget(400, 7);
-    let sub = scenario
-        .table
-        .select(&["headcount", "overspend"])
-        .unwrap();
+    let sub = scenario.table.select(&["headcount", "overspend"]).unwrap();
     let discretized = mdl_discretize_column(&sub, "headcount", "overspend").unwrap();
     // MDL found at least one cut: the column has >1 distinct bucket.
     let distinct = discretized.column("headcount").unwrap().distinct();

@@ -154,9 +154,10 @@ fn knowledge_base_steers_algorithm_choice() {
         .subjects_of_type(&openbi::lod::vocab::obi::advice());
     assert_eq!(advice_nodes.len(), 2);
     let best = Term::iri("http://openbi.org/dataset/messy/advice/0");
-    let alg = outcome
-        .published
-        .objects(&best, &Term::Iri(openbi::lod::vocab::obi::recommended_algorithm()));
+    let alg = outcome.published.objects(
+        &best,
+        &Term::Iri(openbi::lod::vocab::obi::recommended_algorithm()),
+    );
     assert_eq!(
         alg[0].as_literal().unwrap().lexical,
         "DecisionTree(depth=12,leaf=2)"

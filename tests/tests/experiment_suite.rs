@@ -6,7 +6,9 @@
 use openbi::experiment::{
     evaluate_variant, run_phase1, run_phase2, Criterion, ExperimentConfig, ExperimentDataset,
 };
-use openbi::kb::{extract_rules, leave_one_dataset_out, Advisor, KnowledgeBase, SharedKnowledgeBase};
+use openbi::kb::{
+    extract_rules, leave_one_dataset_out, Advisor, KnowledgeBase, SharedKnowledgeBase,
+};
 use openbi::mining::AlgorithmSpec;
 use openbi_datagen::{make_blobs, BlobsConfig};
 
@@ -199,7 +201,10 @@ fn imbalance_hurts_minority_f1_more_than_accuracy() {
         f1_drop > acc_drop + 0.02,
         "minority F1 must collapse faster: f1_drop {f1_drop} vs acc_drop {acc_drop}"
     );
-    assert!(f1_drop > 0.1, "f1_drop {f1_drop} too small to show the defect");
+    assert!(
+        f1_drop > 0.1,
+        "f1_drop {f1_drop} too small to show the defect"
+    );
 }
 
 #[test]
@@ -239,5 +244,8 @@ fn dimensionality_hurts_knn_more_than_tree() {
         knn_drop > tree_drop - 0.02,
         "kNN should suffer at least as much as the tree: knn {knn_drop} vs tree {tree_drop}"
     );
-    assert!(knn_drop > 0.05, "48 noise columns must hurt kNN, drop {knn_drop}");
+    assert!(
+        knn_drop > 0.05,
+        "48 noise columns must hurt kNN, drop {knn_drop}"
+    );
 }

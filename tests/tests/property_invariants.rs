@@ -3,8 +3,8 @@
 //! evaluation-metric ranges.
 
 use openbi::quality::{
-    measure_profile, Degradation, DuplicateInjector, Injector, LabelNoiseInjector,
-    MeasureOptions, MissingInjector,
+    measure_profile, Degradation, DuplicateInjector, Injector, LabelNoiseInjector, MeasureOptions,
+    MissingInjector,
 };
 use openbi::table::{read_csv_str, write_csv_str, Column, CsvOptions, Table, Value};
 use openbi_lod::{parse_ntriples, write_ntriples, Graph, Iri, Literal, Term, Triple};
