@@ -2,16 +2,26 @@
 //! path (and the scratch-reusing `advise_many` batch API) vs the
 //! linear-scan reference advisor, across knowledge-base sizes.
 //!
-//! Prints a table and writes `BENCH_advisor.json` so the serving-path
-//! perf trajectory is tracked across PRs. Also spot-checks, on every KB
-//! size, that the indexed path returns exactly the reference's advice.
+//! Prints a table and writes `BENCH_advisor.json` (shared schema, see
+//! `openbi_bench::report`) so the serving-path perf trajectory is
+//! tracked across PRs. Also spot-checks, on every KB size, that the
+//! indexed path returns exactly the reference's advice.
+//!
+//! The throughput sweep runs with no `openbi-obs` registry installed,
+//! so the q/s columns stay comparable across PRs. A separate
+//! instrumented pass over the largest KB then populates the document's
+//! **metrics** block (`advisor.advise.seconds` latency histogram, index
+//! hit counters, batch amortization stats).
 //!
 //! ```text
 //! cargo run --release -p openbi-bench --bin advisor_bench [-- out.json]
 //! ```
 
 use openbi::kb::{Advisor, ExperimentRecord, KnowledgeBase, PerfMetrics};
+use openbi::obs;
 use openbi::quality::QualityProfile;
+use openbi_bench::{bench_doc, queries_per_second, write_bench_json};
+use std::sync::Arc;
 use std::time::Instant;
 
 const KB_SIZES: [usize; 3] = [5_000, 20_000, 50_000];
@@ -86,10 +96,7 @@ fn measure_qps(
         for q in 0..queries {
             advise_one(&profiles[q % profiles.len()]);
         }
-        let secs = t0.elapsed().as_secs_f64();
-        if secs > 0.0 {
-            best = best.max(queries as f64 / secs);
-        }
+        best = best.max(queries_per_second(queries, t0.elapsed().as_secs_f64()));
     }
     best
 }
@@ -105,6 +112,7 @@ fn main() {
         .collect();
 
     let mut rows = Vec::new();
+    let mut largest_kb: Option<KnowledgeBase> = None;
     for &size in &KB_SIZES {
         let kb = synthetic_kb(size, &mut state);
 
@@ -133,10 +141,10 @@ fn main() {
             for _ in 0..batch_rounds {
                 advisor.advise_many(&kb, &profiles).expect("batch advise");
             }
-            let secs = t0.elapsed().as_secs_f64();
-            if secs > 0.0 {
-                batch_qps = batch_qps.max((batch_rounds * QUERY_PROFILES) as f64 / secs);
-            }
+            batch_qps = batch_qps.max(queries_per_second(
+                batch_rounds * QUERY_PROFILES,
+                t0.elapsed().as_secs_f64(),
+            ));
         }
 
         let speedup = if reference_qps > 0.0 {
@@ -155,24 +163,42 @@ fn main() {
             "advise_many_qps": batch_qps,
             "indexed_speedup_vs_reference": speedup,
         }));
+        largest_kb = Some(kb);
     }
 
-    let doc = serde_json::json!({
-        "benchmark": "advisor_serving",
-        "kb": {
-            "algorithms": ALGORITHMS,
-            "datasets": DATASETS,
-            "sizes": KB_SIZES,
-        },
-        "advisor": { "neighbors": advisor.neighbors, "bandwidth": advisor.bandwidth },
-        "query_profiles": QUERY_PROFILES,
-        "reps": REPS,
-        "results": rows,
-    });
-    std::fs::write(
-        &out_path,
-        serde_json::to_string_pretty(&doc).expect("serialize"),
-    )
-    .expect("write benchmark json");
-    println!("wrote {out_path}");
+    // Instrumented pass over the largest KB: populates the metrics
+    // block without touching the (uninstrumented) q/s columns above.
+    let kb = largest_kb.expect("at least one KB size");
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    obs::install(Arc::clone(&registry));
+    for profile in &profiles {
+        advisor.advise(&kb, profile).expect("instrumented advise");
+    }
+    advisor
+        .advise_many(&kb, &profiles)
+        .expect("instrumented batch advise");
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+
+    let doc = bench_doc(
+        "advisor_serving",
+        serde_json::json!({
+            "kb": {
+                "algorithms": ALGORITHMS,
+                "datasets": DATASETS,
+                "sizes": KB_SIZES,
+            },
+            "advisor": { "neighbors": advisor.neighbors, "bandwidth": advisor.bandwidth },
+            "query_profiles": QUERY_PROFILES,
+            "reps": REPS,
+            "metrics_pass": {
+                "kb_records": KB_SIZES[KB_SIZES.len() - 1],
+                "advise_calls": QUERY_PROFILES,
+                "advise_many_batches": 1,
+            },
+        }),
+        serde_json::json!(rows),
+        &snapshot,
+    );
+    write_bench_json(&out_path, &doc);
 }

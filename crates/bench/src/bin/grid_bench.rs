@@ -2,18 +2,30 @@
 //!
 //! Runs the small phase-1 grid (2 datasets × 3 criteria × 3 severities
 //! × 3 algorithms) at several worker counts, prints a table, and writes
-//! `BENCH_experiment_grid.json` so the perf trajectory is tracked
-//! across PRs.
+//! `BENCH_experiment_grid.json` (shared schema, see
+//! `openbi_bench::report`) so the perf trajectory is tracked across
+//! PRs. The document also carries:
+//!
+//! * an **overhead** block — the same grid at the highest worker count
+//!   with an `openbi-obs` registry installed vs without, verifying that
+//!   instrumentation stays within its ~2% budget (DESIGN.md §9), and
+//! * a **metrics** block — the full [`MetricsSnapshot`] captured from
+//!   the instrumented run (per-cell latency histogram, steal counters,
+//!   queue-wait, flush batch sizes).
 //!
 //! ```text
 //! cargo run --release -p openbi-bench --bin grid_bench [-- out.json]
 //! ```
+//!
+//! [`MetricsSnapshot`]: openbi::obs::MetricsSnapshot
 
 use openbi::datagen::{make_blobs, BlobsConfig};
 use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
 use openbi::kb::SharedKnowledgeBase;
 use openbi::mining::AlgorithmSpec;
-use std::time::Instant;
+use openbi::obs;
+use openbi_bench::{bench_doc, best_of_seconds, write_bench_json};
+use std::sync::Arc;
 
 const REPS: usize = 3;
 
@@ -53,6 +65,18 @@ fn grid_config(workers: usize) -> ExperimentConfig {
     }
 }
 
+/// One full grid run; returns the records produced.
+fn run_grid(datasets: &[ExperimentDataset], criteria: &[Criterion], workers: usize) -> usize {
+    let kb = SharedKnowledgeBase::default();
+    let report =
+        run_phase1_report(datasets, criteria, &grid_config(workers), &kb).expect("benchmark grid");
+    assert!(
+        report.failures.is_empty(),
+        "benchmark grid must not skip cells"
+    );
+    report.records
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -73,25 +97,14 @@ fn main() {
     worker_counts.sort_unstable();
     worker_counts.dedup();
 
+    // Worker sweep, uninstrumented (no registry installed).
     let mut rows = Vec::new();
     let mut base_secs = 0.0f64;
     for &workers in &worker_counts {
-        // Best of REPS, so one scheduling hiccup does not skew the curve.
-        let mut best = f64::INFINITY;
         let mut records = 0usize;
-        for _ in 0..REPS {
-            let kb = SharedKnowledgeBase::default();
-            let t0 = Instant::now();
-            let report = run_phase1_report(&datasets, &criteria, &grid_config(workers), &kb)
-                .expect("benchmark grid");
-            let secs = t0.elapsed().as_secs_f64();
-            assert!(
-                report.failures.is_empty(),
-                "benchmark grid must not skip cells"
-            );
-            records = report.records;
-            best = best.min(secs);
-        }
+        let best = best_of_seconds(REPS, || {
+            records = run_grid(&datasets, &criteria, workers);
+        });
         if workers == 1 {
             base_secs = best;
         }
@@ -105,24 +118,56 @@ fn main() {
         }));
     }
 
-    let doc = serde_json::json!({
-        "benchmark": "experiment_grid",
-        "grid": {
-            "datasets": 2,
-            "rows_per_dataset": 200,
-            "criteria": 3,
-            "severities": 3,
-            "algorithms": 3,
-            "folds": 3,
-        },
-        "available_cores": cores,
-        "reps": REPS,
-        "results": rows,
+    // Instrumentation overhead at the highest worker count: same grid,
+    // best-of-REPS, with a registry installed vs the sweep's
+    // uninstrumented time. The registry stays live across reps, so the
+    // captured snapshot aggregates REPS instrumented runs.
+    let max_workers = *worker_counts.last().expect("non-empty worker sweep");
+    let uninstrumented_secs = rows
+        .last()
+        .and_then(|r| r["seconds"].as_f64())
+        .expect("sweep row");
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    obs::install(Arc::clone(&registry));
+    let instrumented_secs = best_of_seconds(REPS, || {
+        run_grid(&datasets, &criteria, max_workers);
     });
-    std::fs::write(
-        &out_path,
-        serde_json::to_string_pretty(&doc).expect("serialize"),
-    )
-    .expect("write benchmark json");
-    println!("wrote {out_path}");
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+    let overhead_pct = if uninstrumented_secs > 0.0 {
+        (instrumented_secs - uninstrumented_secs) / uninstrumented_secs * 100.0
+    } else {
+        0.0
+    };
+    println!(
+        "instrumented workers {max_workers}: {instrumented_secs:.3}s \
+         (overhead {overhead_pct:+.2}% vs {uninstrumented_secs:.3}s)"
+    );
+
+    let doc = bench_doc(
+        "experiment_grid",
+        serde_json::json!({
+            "grid": {
+                "datasets": 2,
+                "rows_per_dataset": 200,
+                "criteria": 3,
+                "severities": 3,
+                "algorithms": 3,
+                "folds": 3,
+            },
+            "available_cores": cores,
+            "reps": REPS,
+        }),
+        serde_json::json!({
+            "sweep": rows,
+            "overhead": {
+                "workers": max_workers,
+                "uninstrumented_seconds": uninstrumented_secs,
+                "instrumented_seconds": instrumented_secs,
+                "overhead_pct": overhead_pct,
+            },
+        }),
+        &snapshot,
+    );
+    write_bench_json(&out_path, &doc);
 }

@@ -14,7 +14,9 @@
 pub mod ablations;
 pub mod experiments;
 pub mod harness;
+pub mod report;
 pub mod result_table;
 
 pub use harness::{default_datasets, fast_suite, severity_sweep, summarize_series, SEVERITIES};
+pub use report::{bench_doc, best_of_seconds, queries_per_second, write_bench_json};
 pub use result_table::{Cell, ResultTable};

@@ -1,0 +1,129 @@
+//! The shared `BENCH_*.json` schema and its timing helpers.
+//!
+//! Every benchmark binary (`grid_bench`, `advisor_bench`) emits the
+//! same top-level document shape, assembled by [`bench_doc`]:
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "benchmark": "<name>",
+//!   "config": { ... },
+//!   "results": { ... },
+//!   "metrics": { "counters": {...}, "gauges": {...}, "histograms": {...} }
+//! }
+//! ```
+//!
+//! `config` and `results` are benchmark-specific; `metrics` is an
+//! embedded [`MetricsSnapshot`] captured from an instrumented run (see
+//! EXPERIMENTS.md for how to read it). Keeping one schema means perf
+//! tooling can diff any `BENCH_*.json` across PRs without per-benchmark
+//! parsers.
+
+use openbi_obs::MetricsSnapshot;
+use std::time::Instant;
+
+/// Version stamped into every benchmark document; bump when the
+/// top-level shape changes.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Best-of-`reps` wall-clock seconds for `f` — one scheduling hiccup
+/// must not skew a trend line, so benchmarks report the minimum.
+pub fn best_of_seconds(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Throughput from a query count and elapsed seconds; `0.0` when the
+/// elapsed time is too small to measure.
+pub fn queries_per_second(queries: usize, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        queries as f64 / seconds
+    } else {
+        0.0
+    }
+}
+
+/// Assemble the shared benchmark document. The snapshot's hand-written
+/// JSON is re-parsed through `serde_json` so it embeds as a structured
+/// object, not an escaped string.
+pub fn bench_doc(
+    benchmark: &str,
+    config: serde_json::Value,
+    results: serde_json::Value,
+    metrics: &MetricsSnapshot,
+) -> serde_json::Value {
+    let metrics: serde_json::Value =
+        serde_json::from_str(&metrics.to_json()).expect("MetricsSnapshot::to_json is valid JSON");
+    serde_json::json!({
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "config": config,
+        "results": results,
+        "metrics": metrics,
+    })
+}
+
+/// Pretty-print `doc` to `path`, panicking on I/O errors (benchmarks
+/// have no caller to report to).
+pub fn write_bench_json(path: &str, doc: &serde_json::Value) {
+    std::fs::write(path, serde_json::to_string_pretty(doc).expect("serialize"))
+        .expect("write benchmark json");
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_obs::MetricsRegistry;
+
+    #[test]
+    fn best_of_reports_the_minimum() {
+        let mut calls = 0u32;
+        let secs = best_of_seconds(3, || {
+            calls += 1;
+            if calls == 2 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+        });
+        assert_eq!(calls, 3);
+        // The two no-op reps bound the minimum well below the sleep rep.
+        assert!(secs < 0.005, "best-of must skip the slow rep, got {secs}");
+    }
+
+    #[test]
+    fn qps_handles_zero_elapsed() {
+        assert_eq!(queries_per_second(100, 0.0), 0.0);
+        assert_eq!(queries_per_second(100, 2.0), 50.0);
+    }
+
+    #[test]
+    fn bench_doc_embeds_structured_metrics() {
+        let registry = MetricsRegistry::new();
+        registry.counter("grid.cells_total").add(7);
+        registry.histogram("grid.cell.seconds").record(0.003);
+        let doc = bench_doc(
+            "unit-test",
+            serde_json::json!({"workers": 4}),
+            serde_json::json!([{"seconds": 1.5}]),
+            &registry.snapshot(),
+        );
+        assert_eq!(doc["schema_version"], BENCH_SCHEMA_VERSION);
+        assert_eq!(doc["benchmark"], "unit-test");
+        assert_eq!(doc["config"]["workers"], 4);
+        assert_eq!(doc["metrics"]["counters"]["grid.cells_total"], 7);
+        assert_eq!(
+            doc["metrics"]["histograms"]["grid.cell.seconds"]["count"],
+            1
+        );
+        // The overflow bucket's bound survives the round-trip as "+Inf".
+        let buckets = doc["metrics"]["histograms"]["grid.cell.seconds"]["buckets"]
+            .as_array()
+            .unwrap();
+        assert_eq!(buckets.last().unwrap()["le"], "+Inf");
+    }
+}

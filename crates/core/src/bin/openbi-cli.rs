@@ -6,13 +6,21 @@
 //!                     [--kb kb.jsonl] [--no-preprocess] [--select]
 //!                     [--publish out.ttl]
 //! openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S]
-//!                     [--workers W]
+//!                     [--workers W] [--metrics-out metrics.json]
 //! openbi-cli advise   <data.csv> --target COL --kb kb.jsonl
 //!                     [--neighbors N] [--bandwidth H]
+//!                     [--metrics-out metrics.json]
 //! ```
 //!
 //! `experiments` runs the §3.1 phase-1 suite on the reference generators
 //! and writes a knowledge base that `mine`/`advise` can consume.
+//!
+//! `--metrics-out` installs an `openbi-obs` registry for the duration of
+//! the command and writes the final [`MetricsSnapshot`] as JSON — the
+//! same shape embedded in the `BENCH_*.json` documents (README "Reading
+//! the metrics").
+//!
+//! [`MetricsSnapshot`]: openbi::obs::MetricsSnapshot
 
 use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
 use openbi::kb::{Advisor, KnowledgeBase, SharedKnowledgeBase};
@@ -75,13 +83,44 @@ USAGE:
                      [--publish out.ttl]
   openbi-cli advise  <data.csv> --target COL --kb kb.jsonl [--exclude A,B]
                      [--neighbors N] [--bandwidth H]   (advisor tuning)
+                     [--metrics-out metrics.json]
   openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S] [--full]
                      [--workers W]   (W experiment workers; 0 = one per core)
+                     [--metrics-out metrics.json]
+
+  --metrics-out writes serving/executor metrics (latency histograms with
+  p50/p90/p99, counters) captured during the command, e.g.:
+    openbi-cli experiments --out kb.jsonl --metrics-out grid_metrics.json
 ";
 
 fn fail(msg: &str) -> ExitCode {
     eprintln!("error: {msg}\n\n{USAGE}");
     ExitCode::from(2)
+}
+
+/// When `--metrics-out PATH` is given, install a fresh process-global
+/// `openbi-obs` registry and return it with the output path. The caller
+/// hands the pair to [`write_metrics`] once the command finishes.
+fn metrics_registry(args: &Args) -> Option<(std::sync::Arc<openbi::obs::MetricsRegistry>, String)> {
+    let path = args.flag("metrics-out")?.to_string();
+    let registry = std::sync::Arc::new(openbi::obs::MetricsRegistry::new());
+    openbi::obs::install(std::sync::Arc::clone(&registry));
+    Some((registry, path))
+}
+
+/// Uninstall the global registry and write its snapshot as JSON. `true`
+/// on success (including the no-`--metrics-out` no-op).
+fn write_metrics(metrics: Option<(std::sync::Arc<openbi::obs::MetricsRegistry>, String)>) -> bool {
+    let Some((registry, path)) = metrics else {
+        return true;
+    };
+    openbi::obs::uninstall();
+    if let Err(e) = std::fs::write(&path, registry.snapshot().to_json()) {
+        eprintln!("cannot write {path}: {e}");
+        return false;
+    }
+    println!("metrics written to {path}");
+    true
 }
 
 fn load_csv(path: &str) -> Result<openbi::table::Table, String> {
@@ -207,6 +246,7 @@ fn cmd_experiments(args: &Args) -> ExitCode {
         }
     };
     let kb = SharedKnowledgeBase::default();
+    let metrics = metrics_registry(args);
     eprintln!(
         "running phase 1 on {} datasets × {} criteria × {} severities ({} workers)…",
         datasets.len(),
@@ -232,6 +272,9 @@ fn cmd_experiments(args: &Args) -> ExitCode {
                 report.cells,
                 report.failures.len()
             );
+            if !write_metrics(metrics) {
+                return ExitCode::FAILURE;
+            }
             ExitCode::SUCCESS
         }
         Err(e) => {
@@ -281,6 +324,7 @@ fn cmd_advise(args: &Args) -> ExitCode {
             None => defaults.bandwidth,
         },
     };
+    let metrics = metrics_registry(args);
     match advisor.advise(&kb, &profile) {
         Ok(advice) => {
             println!("\n{}", advice.headline());
@@ -293,6 +337,9 @@ fn cmd_advise(args: &Args) -> ExitCode {
                     r.expected_score,
                     r.support
                 );
+            }
+            if !write_metrics(metrics) {
+                return ExitCode::FAILURE;
             }
             ExitCode::SUCCESS
         }

@@ -12,6 +12,30 @@
 //! against a [`SharedKnowledgeBase`]. Each cell's seed is derived from
 //! its grid position, never from the worker that happens to run it, so
 //! any worker count produces the same records.
+//!
+//! ## Execution model (DESIGN.md §7)
+//!
+//! [`run_cells`] pushes every cell into a global crossbeam
+//! [`Injector`](crossbeam::deque::Injector); each worker owns a FIFO
+//! local deque and follows the classic discipline — pop local work
+//! first, then steal a batch from the injector, then steal from a
+//! sibling. Workers buffer produced [`ExperimentRecord`]s locally and
+//! flush them to the shared store in chunks of `FLUSH_THRESHOLD` (64),
+//! so the store's write lock is amortized over many records. A cell that
+//! errors or panics becomes a [`CellFailure`] in the [`GridReport`]
+//! instead of tearing down the run.
+//!
+//! ## Observability (DESIGN.md §9)
+//!
+//! The executor is instrumented with `openbi-obs`: per-cell wall time,
+//! cell/record/failure counters, steal counts, queue-wait time, and
+//! remaining-queue-depth samples are recorded into the process-global
+//! metrics registry when one is [`installed`](openbi_obs::install)
+//! (near-zero cost otherwise), and per-worker totals are always
+//! surfaced in [`GridReport::worker_stats`]. None of this affects the
+//! records produced: instrumentation only reads the wall clock, so the
+//! identical-KB-across-worker-counts guarantee holds with a registry
+//! installed (see `tests/observability.rs`).
 
 use crate::error::{OpenBiError, Result};
 use openbi_kb::{ExperimentRecord, PerfMetrics, SharedKnowledgeBase};
@@ -26,8 +50,10 @@ use openbi_quality::{measure_profile, MeasureOptions};
 use openbi_table::Table;
 
 use crossbeam::deque::{Injector as TaskInjector, Steal, Stealer, Worker as WorkerQueue};
+use openbi_obs as obs;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// A clean input dataset for the experiments.
 #[derive(Debug, Clone)]
@@ -270,6 +296,25 @@ pub struct CellFailure {
     pub error: String,
 }
 
+/// Per-worker execution totals for one grid run. Collected on the
+/// worker's own stack (no shared-state contention on the hot path) and
+/// merged into [`GridReport::worker_stats`] when the worker drains.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerStats {
+    /// Worker index in `0..effective_workers`.
+    pub worker: usize,
+    /// Cells this worker executed (including failed ones).
+    pub cells: usize,
+    /// Successful steals: cells obtained from the global injector or a
+    /// sibling's deque rather than the worker's own local queue.
+    pub steals: usize,
+    /// Total seconds spent looking for work outside the local queue
+    /// (includes the final empty-queue check before shutdown).
+    pub queue_wait_seconds: f64,
+    /// Total seconds spent actually executing cells.
+    pub busy_seconds: f64,
+}
+
 /// What a grid run produced: record count plus the cells that were
 /// skipped because they failed. One bad cell no longer poisons the
 /// whole suite — it lands here instead.
@@ -281,6 +326,11 @@ pub struct GridReport {
     pub cells: usize,
     /// Cells that errored or panicked and were skipped.
     pub failures: Vec<CellFailure>,
+    /// Wall-clock seconds for the whole [`run_cells`] call.
+    pub wall_seconds: f64,
+    /// Per-worker totals, sorted by worker index; one entry per worker
+    /// even when a worker never won a cell.
+    pub worker_stats: Vec<WorkerStats>,
 }
 
 /// Evaluate one degraded variant without touching any store. The
@@ -434,6 +484,40 @@ fn run_one_cell(
     })
 }
 
+/// [`run_one_cell`] plus instrumentation: times the cell, bumps the
+/// worker's local totals, and emits `grid.*` metrics when a registry is
+/// installed. Shared by the sequential and parallel executor paths so
+/// both report identically.
+fn execute_cell(
+    datasets: &[ExperimentDataset],
+    cell: &ExperimentCell,
+    config: &ExperimentConfig,
+    stats: &mut WorkerStats,
+) -> std::result::Result<Vec<ExperimentRecord>, CellFailure> {
+    let start = Instant::now();
+    let outcome = run_one_cell(datasets, cell, config);
+    let elapsed = start.elapsed();
+    stats.cells += 1;
+    stats.busy_seconds += elapsed.as_secs_f64();
+    obs::observe_duration("grid.cell.seconds", elapsed);
+    obs::counter_add("grid.cells_total", 1);
+    match &outcome {
+        Ok(records) => obs::counter_add("grid.records_total", records.len() as u64),
+        Err(_) => obs::counter_add("grid.cell_failures_total", 1),
+    }
+    outcome
+}
+
+/// Pre-register the grid histograms that sample counts rather than
+/// latencies, so they get count-shaped buckets instead of the default
+/// second-shaped ones. No-op when no registry is installed.
+fn register_grid_histograms() {
+    if let Some(registry) = obs::global() {
+        registry.histogram_with("grid.injector_depth", obs::default_count_buckets());
+        registry.histogram_with("grid.flush.batch_records", obs::default_count_buckets());
+    }
+}
+
 fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         format!("panic: {s}")
@@ -447,31 +531,47 @@ fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
 /// Pop local work, then steal: first a batch from the global injector,
 /// then from a sibling worker. Returns `None` only when every queue is
 /// empty, which is final because all cells are enqueued up front.
+///
+/// Time spent outside the local fast path is accumulated into
+/// `stats.queue_wait_seconds` (and the `grid.queue_wait.seconds`
+/// histogram); a successful steal bumps `stats.steals` and
+/// `grid.steals_total`.
 fn next_cell(
     local: &WorkerQueue<ExperimentCell>,
     global: &TaskInjector<ExperimentCell>,
     stealers: &[Stealer<ExperimentCell>],
     me: usize,
+    stats: &mut WorkerStats,
 ) -> Option<ExperimentCell> {
-    local.pop().or_else(|| {
-        std::iter::repeat_with(|| {
-            global.steal_batch_and_pop(local).or_else(|| {
-                stealers
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| *i != me)
-                    .map(|(_, s)| s.steal())
-                    .collect()
-            })
+    if let Some(cell) = local.pop() {
+        return Some(cell);
+    }
+    let wait_start = Instant::now();
+    let stolen = std::iter::repeat_with(|| {
+        global.steal_batch_and_pop(local).or_else(|| {
+            stealers
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != me)
+                .map(|(_, s)| s.steal())
+                .collect()
         })
-        .find(|s| !s.is_retry())
-        .and_then(Steal::success)
     })
+    .find(|s| !s.is_retry())
+    .and_then(Steal::success);
+    let waited = wait_start.elapsed();
+    stats.queue_wait_seconds += waited.as_secs_f64();
+    obs::observe_duration("grid.queue_wait.seconds", waited);
+    if stolen.is_some() {
+        stats.steals += 1;
+        obs::counter_add("grid.steals_total", 1);
+    }
+    stolen
 }
 
 /// Execute a flat cell list on the work-stealing worker pool. Workers
 /// batch records locally and flush them to `kb` in chunks, so the
-/// shared write lock is taken once per [`FLUSH_THRESHOLD`] records
+/// shared write lock is taken once per `FLUSH_THRESHOLD` records
 /// instead of once per record. Failed cells are collected, not fatal.
 pub fn run_cells(
     datasets: &[ExperimentDataset],
@@ -479,6 +579,8 @@ pub fn run_cells(
     config: &ExperimentConfig,
     kb: &SharedKnowledgeBase,
 ) -> Result<GridReport> {
+    let run_start = Instant::now();
+    register_grid_histograms();
     let n_cells = cells.len();
     let workers = config.effective_workers().min(n_cells.max(1));
     if workers <= 1 {
@@ -486,9 +588,11 @@ pub fn run_cells(
             cells: n_cells,
             ..GridReport::default()
         };
+        let mut stats = WorkerStats::default();
         let mut batch: Vec<ExperimentRecord> = Vec::new();
-        for cell in &cells {
-            match run_one_cell(datasets, cell, config) {
+        for (i, cell) in cells.iter().enumerate() {
+            obs::observe("grid.injector_depth", (n_cells - i - 1) as f64);
+            match execute_cell(datasets, cell, config, &mut stats) {
                 Ok(mut records) => {
                     report.records += records.len();
                     batch.append(&mut records);
@@ -496,10 +600,16 @@ pub fn run_cells(
                 Err(failure) => report.failures.push(failure),
             }
             if batch.len() >= FLUSH_THRESHOLD {
+                obs::observe("grid.flush.batch_records", batch.len() as f64);
                 kb.add_batch(std::mem::take(&mut batch));
             }
         }
+        if !batch.is_empty() {
+            obs::observe("grid.flush.batch_records", batch.len() as f64);
+        }
         kb.add_batch(batch);
+        report.wall_seconds = run_start.elapsed().as_secs_f64();
+        report.worker_stats = vec![stats];
         return Ok(report);
     }
     let global = TaskInjector::new();
@@ -510,18 +620,31 @@ pub fn run_cells(
         (0..workers).map(|_| WorkerQueue::new_fifo()).collect();
     let stealers: Vec<Stealer<ExperimentCell>> = locals.iter().map(WorkerQueue::stealer).collect();
     let records = AtomicUsize::new(0);
+    // Cells not yet claimed by any worker; decremented on claim and
+    // sampled into `grid.injector_depth`. Tracked ourselves rather than
+    // polling the injector so the sample is one relaxed atomic op.
+    let remaining = AtomicUsize::new(n_cells);
     let failures: Mutex<Vec<CellFailure>> = Mutex::new(Vec::new());
+    let worker_stats: Mutex<Vec<WorkerStats>> = Mutex::new(Vec::with_capacity(workers));
     crossbeam::thread::scope(|scope| {
         for (wi, local) in locals.into_iter().enumerate() {
             let global = &global;
             let stealers = &stealers;
             let records = &records;
+            let remaining = &remaining;
             let failures = &failures;
+            let worker_stats = &worker_stats;
             let kb = kb.clone();
             scope.spawn(move |_| {
+                let mut stats = WorkerStats {
+                    worker: wi,
+                    ..WorkerStats::default()
+                };
                 let mut batch: Vec<ExperimentRecord> = Vec::new();
-                while let Some(cell) = next_cell(&local, global, stealers, wi) {
-                    match run_one_cell(datasets, &cell, config) {
+                while let Some(cell) = next_cell(&local, global, stealers, wi, &mut stats) {
+                    let depth = remaining.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
+                    obs::observe("grid.injector_depth", depth as f64);
+                    match execute_cell(datasets, &cell, config, &mut stats) {
                         Ok(mut recs) => {
                             records.fetch_add(recs.len(), Ordering::Relaxed);
                             batch.append(&mut recs);
@@ -529,18 +652,27 @@ pub fn run_cells(
                         Err(failure) => failures.lock().push(failure),
                     }
                     if batch.len() >= FLUSH_THRESHOLD {
+                        obs::observe("grid.flush.batch_records", batch.len() as f64);
                         kb.add_batch(std::mem::take(&mut batch));
                     }
                 }
+                if !batch.is_empty() {
+                    obs::observe("grid.flush.batch_records", batch.len() as f64);
+                }
                 kb.add_batch(batch);
+                worker_stats.lock().push(stats);
             });
         }
     })
     .map_err(|_| OpenBiError::Config("experiment executor scope panicked".into()))?;
+    let mut worker_stats = worker_stats.into_inner();
+    worker_stats.sort_by_key(|s| s.worker);
     Ok(GridReport {
         records: records.load(Ordering::Relaxed),
         cells: n_cells,
         failures: failures.into_inner(),
+        wall_seconds: run_start.elapsed().as_secs_f64(),
+        worker_stats,
     })
 }
 
@@ -552,6 +684,7 @@ pub fn run_phase1_report(
     config: &ExperimentConfig,
     kb: &SharedKnowledgeBase,
 ) -> Result<GridReport> {
+    let _phase = obs::span("grid.phase1.seconds");
     let cells = phase1_cells(datasets, criteria, config)?;
     run_cells(datasets, cells, config, kb)
 }
@@ -564,6 +697,7 @@ pub fn run_phase2_report(
     config: &ExperimentConfig,
     kb: &SharedKnowledgeBase,
 ) -> Result<GridReport> {
+    let _phase = obs::span("grid.phase2.seconds");
     let cells = phase2_cells(datasets, pairs, config)?;
     run_cells(datasets, cells, config, kb)
 }
@@ -758,6 +892,35 @@ mod tests {
             assert_eq!(report.failures.len(), 2);
             assert!(report.failures.iter().all(|f| f.dataset == "broken"));
             assert!(!report.failures[0].error.is_empty());
+        }
+    }
+
+    #[test]
+    fn worker_stats_cover_all_cells() {
+        // 1 dataset × 2 criteria × 2 severities = 4 cells.
+        for workers in [1usize, 4] {
+            let kb = SharedKnowledgeBase::default();
+            let config = ExperimentConfig {
+                parallel: workers > 1,
+                workers,
+                ..fast_config()
+            };
+            let report = run_phase1_report(
+                &[small_dataset()],
+                &[Criterion::Completeness, Criterion::LabelNoise],
+                &config,
+                &kb,
+            )
+            .unwrap();
+            assert_eq!(report.worker_stats.len(), workers, "workers={workers}");
+            let cells: usize = report.worker_stats.iter().map(|s| s.cells).sum();
+            assert_eq!(cells, report.cells, "workers={workers}");
+            let indices: Vec<usize> = report.worker_stats.iter().map(|s| s.worker).collect();
+            assert_eq!(indices, (0..workers).collect::<Vec<_>>());
+            assert!(report.wall_seconds > 0.0);
+            // Busy time is bounded by each worker's share of the wall.
+            let busy: f64 = report.worker_stats.iter().map(|s| s.busy_seconds).sum();
+            assert!(busy <= report.wall_seconds * workers as f64 + 1e-6);
         }
     }
 

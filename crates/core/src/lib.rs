@@ -19,6 +19,11 @@
 //! * [`guidance`] — the automated, explained preprocessing plans.
 //! * [`report`] — the non-expert-facing rendering.
 //!
+//! Cross-cutting observability lives in the re-exported [`obs`] crate
+//! (`openbi-obs`): install a [`obs::MetricsRegistry`] to collect
+//! latency histograms and counters from the experiment grid, the
+//! pipeline stages, and the advisor serving path (DESIGN.md §9).
+//!
 //! ```
 //! use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
 //!
@@ -61,6 +66,7 @@ pub use openbi_kb as kb;
 pub use openbi_lod as lod;
 pub use openbi_metamodel as metamodel;
 pub use openbi_mining as mining;
+pub use openbi_obs as obs;
 pub use openbi_olap as olap;
 pub use openbi_quality as quality;
 pub use openbi_table as table;

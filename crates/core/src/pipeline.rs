@@ -4,7 +4,11 @@
 //! mining → publication of results as LOD.
 //!
 //! Every phase is timed, which also regenerates Figure 1's claim that
-//! preprocessing dominates the KDD effort.
+//! preprocessing dominates the KDD effort. The per-run timings land in
+//! [`PipelineOutcome::phase_timings`]; when an `openbi-obs` registry is
+//! installed the same laps are also recorded into per-stage
+//! `pipeline.stage.*.seconds` histograms, so stage latency distributions
+//! accumulate across runs (DESIGN.md §9).
 
 use crate::error::{OpenBiError, Result};
 use crate::guidance::PreprocessingPlan;
@@ -17,6 +21,7 @@ use openbi_metamodel::{
 };
 use openbi_mining::eval::crossval::{cross_validate_with, CrossValOptions};
 use openbi_mining::{AlgorithmSpec, EvalResult, Instances};
+use openbi_obs as obs;
 use openbi_quality::{measure_profile, MeasureOptions, QualityProfile};
 use openbi_table::{read_csv_str, CsvOptions, Table};
 use std::time::Instant;
@@ -147,16 +152,36 @@ pub fn spec_by_name(name: &str) -> Option<AlgorithmSpec> {
         .find(|s| s.to_string() == name || s.name() == name)
 }
 
+/// The `openbi-obs` histogram a phase-timing lap records into. Stage
+/// keys are stable short names so the metric catalog (DESIGN.md §9)
+/// does not track display-label changes.
+fn stage_metric(phase: &str) -> Option<&'static str> {
+    match phase {
+        "ingest+represent" => Some("pipeline.stage.ingest.seconds"),
+        "quality-annotation" => Some("pipeline.stage.quality.seconds"),
+        "advice" => Some("pipeline.stage.advice.seconds"),
+        "preprocessing" => Some("pipeline.stage.preprocess.seconds"),
+        "mining" => Some("pipeline.stage.mine.seconds"),
+        "publish-lod" => Some("pipeline.stage.publish.seconds"),
+        _ => None,
+    }
+}
+
 /// Run the full pipeline.
 pub fn run_pipeline(
     source: DataSource,
     config: &PipelineConfig,
     kb: Option<&KnowledgeBase>,
 ) -> Result<PipelineOutcome> {
+    obs::counter_add("pipeline.runs_total", 1);
     let mut timings: Vec<(String, f64)> = Vec::new();
     let mut clock = Instant::now();
     let lap = |timings: &mut Vec<(String, f64)>, phase: &str, clock: &mut Instant| {
-        timings.push((phase.to_string(), clock.elapsed().as_secs_f64() * 1e3));
+        let elapsed = clock.elapsed();
+        timings.push((phase.to_string(), elapsed.as_secs_f64() * 1e3));
+        if let Some(metric) = stage_metric(phase) {
+            obs::observe_duration(metric, elapsed);
+        }
         *clock = Instant::now();
     };
 
@@ -473,6 +498,17 @@ mod tests {
         assert!(!outcome.preprocessed.has_column("junk"));
         assert!(outcome.preprocessed.has_column("label"));
         assert!(outcome.evaluation.unwrap().accuracy() > 0.9);
+    }
+
+    #[test]
+    fn every_phase_label_has_a_stage_metric() {
+        // Guards the DESIGN.md §9 catalog: a renamed or added pipeline
+        // phase must be mapped to a `pipeline.stage.*.seconds` metric.
+        let outcome = run_pipeline(csv_source(), &PipelineConfig::default(), None).unwrap();
+        assert_eq!(outcome.phase_timings.len(), 6);
+        for (phase, _) in &outcome.phase_timings {
+            assert!(stage_metric(phase).is_some(), "unmapped phase {phase}");
+        }
     }
 
     #[test]

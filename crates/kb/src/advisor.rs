@@ -20,11 +20,27 @@
 //!   as the executable specification. The equivalence tests below and
 //!   in `tests/` assert the two return bitwise-identical advice; the
 //!   `advisor_bench` binary measures the gap.
+//!
+//! ## Observability (DESIGN.md §9)
+//!
+//! When an `openbi-obs` registry is installed, the serving path records
+//! per-query latency (`advisor.advise.seconds`), query and index-lookup
+//! counters, per-algorithm candidate counts, and batch amortization
+//! stats for [`Advisor::advise_many`]. Instrument handles are fetched
+//! once per query (once per *batch* for `advise_many`) into an internal
+//! `ServingMetrics` bundle, so the per-record hot loop never touches
+//! the registry. With no registry installed the cost is
+//! one atomic load per query. [`Advisor::advise_reference`] is left
+//! uninstrumented on purpose: it is the baseline the benchmarks compare
+//! against, so it must not pay (or hide) instrumentation costs.
 
 use crate::error::{KbError, Result};
 use crate::record::ExperimentRecord;
 use crate::store::{KbView, KnowledgeBase};
+use openbi_obs as obs;
 use openbi_quality::QualityProfile;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One ranked recommendation.
 #[derive(Debug, Clone, PartialEq)]
@@ -100,6 +116,50 @@ impl Default for Advisor {
 /// algorithm per query.
 type Candidates = Vec<(f64, usize)>;
 
+/// Instrument handles for the serving path, fetched from the global
+/// `openbi-obs` registry once per query (once per batch in
+/// [`Advisor::advise_many`]) so the inner loops record through plain
+/// atomics instead of re-resolving names.
+struct ServingMetrics {
+    /// `advisor.queries_total`: advise calls served.
+    queries: Arc<obs::Counter>,
+    /// `advisor.advise.seconds`: per-query serving latency.
+    latency: Arc<obs::Histogram>,
+    /// `advisor.index.hits_total`: per-algorithm index lookups that
+    /// yielded at least one visible record.
+    index_hits: Arc<obs::Counter>,
+    /// `advisor.index.empty_total`: lookups that yielded none (masked
+    /// or unknown algorithm).
+    index_empty: Arc<obs::Counter>,
+    /// `advisor.candidates`: visible candidate records per algorithm
+    /// ranking.
+    candidates: Arc<obs::Histogram>,
+    /// `advisor.batch.calls_total`: `advise_many` invocations.
+    batch_calls: Arc<obs::Counter>,
+    /// `advisor.batch.size`: profiles per `advise_many` batch.
+    batch_size: Arc<obs::Histogram>,
+    /// `advisor.batch.seconds`: whole-batch wall time.
+    batch_seconds: Arc<obs::Histogram>,
+}
+
+impl ServingMetrics {
+    /// Fetch all serving instruments, or `None` when no registry is
+    /// installed (the common uninstrumented case: one atomic load).
+    fn fetch() -> Option<ServingMetrics> {
+        let registry = obs::global()?;
+        Some(ServingMetrics {
+            queries: registry.counter("advisor.queries_total"),
+            latency: registry.histogram("advisor.advise.seconds"),
+            index_hits: registry.counter("advisor.index.hits_total"),
+            index_empty: registry.counter("advisor.index.empty_total"),
+            candidates: registry.histogram_with("advisor.candidates", obs::default_count_buckets()),
+            batch_calls: registry.counter("advisor.batch.calls_total"),
+            batch_size: registry.histogram_with("advisor.batch.size", obs::default_count_buckets()),
+            batch_seconds: registry.histogram("advisor.batch.seconds"),
+        })
+    }
+}
+
 impl Advisor {
     /// Gaussian kernel over the *gap* between a neighbor's distance and
     /// the nearest selected neighbor's distance.
@@ -128,12 +188,21 @@ impl Advisor {
         algorithm: &str,
         profile: &QualityProfile,
         candidates: &mut Candidates,
+        metrics: Option<&ServingMetrics>,
     ) -> Option<Recommendation> {
         candidates.clear();
         for &position in view.algorithm_record_indices(algorithm) {
             let record = view.record(position);
             if view.includes(record) {
                 candidates.push((profile.distance(&record.profile), position));
+            }
+        }
+        if let Some(m) = metrics {
+            if candidates.is_empty() {
+                m.index_empty.inc();
+            } else {
+                m.index_hits.inc();
+                m.candidates.record(candidates.len() as f64);
             }
         }
         if candidates.is_empty() || self.neighbors == 0 {
@@ -174,18 +243,37 @@ impl Advisor {
         })
     }
 
+    /// One instrumented query: [`Self::advise_view_inner`] wrapped in
+    /// the per-query latency/counter bookkeeping.
     fn advise_view_with(
         &self,
         view: &KbView<'_>,
         profile: &QualityProfile,
         candidates: &mut Candidates,
+        metrics: Option<&ServingMetrics>,
+    ) -> Result<Advice> {
+        let start = Instant::now();
+        let result = self.advise_view_inner(view, profile, candidates, metrics);
+        if let Some(m) = metrics {
+            m.queries.inc();
+            m.latency.record(start.elapsed().as_secs_f64());
+        }
+        result
+    }
+
+    fn advise_view_inner(
+        &self,
+        view: &KbView<'_>,
+        profile: &QualityProfile,
+        candidates: &mut Candidates,
+        metrics: Option<&ServingMetrics>,
     ) -> Result<Advice> {
         if view.is_empty() {
             return Err(KbError::EmptyKnowledgeBase);
         }
         let mut ranking: Vec<Recommendation> = Vec::new();
         for algorithm in view.algorithm_names() {
-            if let Some(rec) = self.rank_algorithm(view, algorithm, profile, candidates) {
+            if let Some(rec) = self.rank_algorithm(view, algorithm, profile, candidates, metrics) {
                 ranking.push(rec);
             }
         }
@@ -214,25 +302,36 @@ impl Advisor {
     /// dataset-masked) view — the allocation-free leave-one-dataset-out
     /// path.
     pub fn advise_view(&self, view: &KbView<'_>, profile: &QualityProfile) -> Result<Advice> {
+        let metrics = ServingMetrics::fetch();
         let mut candidates = Candidates::new();
-        self.advise_view_with(view, profile, &mut candidates)
+        self.advise_view_with(view, profile, &mut candidates, metrics.as_ref())
     }
 
     /// Advise a batch of profiles against one knowledge base, reusing
     /// the candidate scratch buffer across queries. Returns one
     /// [`Advice`] per profile, in order, identical to calling
-    /// [`Advisor::advise`] per profile.
+    /// [`Advisor::advise`] per profile. Instrument handles are fetched
+    /// once for the whole batch, so per-query metric overhead is
+    /// amortized the same way the scratch buffer is.
     pub fn advise_many(
         &self,
         kb: &KnowledgeBase,
         profiles: &[QualityProfile],
     ) -> Result<Vec<Advice>> {
+        let metrics = ServingMetrics::fetch();
+        let batch_start = Instant::now();
         let view = kb.view();
         let mut candidates = Candidates::new();
-        profiles
+        let result: Result<Vec<Advice>> = profiles
             .iter()
-            .map(|p| self.advise_view_with(&view, p, &mut candidates))
-            .collect()
+            .map(|p| self.advise_view_with(&view, p, &mut candidates, metrics.as_ref()))
+            .collect();
+        if let Some(m) = &metrics {
+            m.batch_calls.inc();
+            m.batch_size.record(profiles.len() as f64);
+            m.batch_seconds.record(batch_start.elapsed().as_secs_f64());
+        }
+        result
     }
 
     /// The original linear-scan advisor: filter the whole store per

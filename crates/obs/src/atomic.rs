@@ -1,0 +1,82 @@
+//! A lock-free `f64` cell built on `AtomicU64` bit transmutation —
+//! histograms and gauges need floating-point sums/extrema without a
+//! mutex on the record path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// An atomic `f64` stored as IEEE-754 bits in an `AtomicU64`.
+///
+/// All read-modify-write operations are compare-and-swap loops with
+/// relaxed ordering: metric cells are independent statistics, not
+/// synchronization points.
+pub(crate) struct AtomicF64(AtomicU64);
+
+impl AtomicF64 {
+    pub(crate) fn new(value: f64) -> Self {
+        AtomicF64(AtomicU64::new(value.to_bits()))
+    }
+
+    pub(crate) fn load(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn store(&self, value: f64) {
+        self.0.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    pub(crate) fn fetch_add(&self, delta: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    pub(crate) fn fetch_min(&self, value: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(current) <= value {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+
+    pub(crate) fn fetch_max(&self, value: f64) {
+        let mut current = self.0.load(Ordering::Relaxed);
+        loop {
+            if f64::from_bits(current) >= value {
+                return;
+            }
+            match self.0.compare_exchange_weak(
+                current,
+                value.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for AtomicF64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.load())
+    }
+}

@@ -1,0 +1,142 @@
+//! The process-global registry slot and its recording helpers.
+//!
+//! Deep call paths (the grid executor's worker loop, the advisor's
+//! serving path) record through these free functions instead of
+//! threading a registry handle through every signature. The fast path
+//! when nothing is installed is a single relaxed atomic load, so
+//! instrumentation can stay unconditionally compiled in.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use openbi_obs::MetricsRegistry;
+//!
+//! assert!(!openbi_obs::is_installed());
+//! openbi_obs::counter_add("ignored_total", 1); // no registry: no-op
+//!
+//! let registry = Arc::new(MetricsRegistry::new());
+//! openbi_obs::install(Arc::clone(&registry));
+//! openbi_obs::counter_add("cells_total", 2);
+//! openbi_obs::observe("cell.seconds", 0.003);
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counters["cells_total"], 2);
+//!
+//! openbi_obs::uninstall();
+//! assert!(!openbi_obs::is_installed());
+//! ```
+
+use crate::registry::MetricsRegistry;
+use crate::span::Span;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+use std::time::Duration;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: RwLock<Option<Arc<MetricsRegistry>>> = RwLock::new(None);
+
+/// Install `registry` as the process-global registry. Replaces any
+/// previously installed one.
+pub fn install(registry: Arc<MetricsRegistry>) {
+    *GLOBAL.write().unwrap_or_else(PoisonError::into_inner) = Some(registry);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Remove and return the process-global registry, disabling global
+/// recording.
+pub fn uninstall() -> Option<Arc<MetricsRegistry>> {
+    ENABLED.store(false, Ordering::Release);
+    GLOBAL
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+}
+
+/// True when a global registry is installed.
+pub fn is_installed() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// The currently installed global registry, if any. The single relaxed
+/// load on the miss path is what makes uninstrumented runs free.
+pub fn global() -> Option<Arc<MetricsRegistry>> {
+    if !ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    GLOBAL
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// Add `delta` to the named counter on the global registry (no-op when
+/// none is installed).
+pub fn counter_add(name: &str, delta: u64) {
+    if let Some(registry) = global() {
+        registry.counter(name).add(delta);
+    }
+}
+
+/// Set the named gauge on the global registry (no-op when none is
+/// installed).
+pub fn gauge_set(name: &str, value: f64) {
+    if let Some(registry) = global() {
+        registry.gauge(name).set(value);
+    }
+}
+
+/// Record one observation into the named histogram on the global
+/// registry (no-op when none is installed). Histograms created this way
+/// use the default latency buckets; use
+/// [`MetricsRegistry::histogram_with`] up front for count-style
+/// metrics.
+pub fn observe(name: &str, value: f64) {
+    if let Some(registry) = global() {
+        registry.histogram(name).record(value);
+    }
+}
+
+/// Record a duration (as seconds) into the named histogram on the
+/// global registry (no-op when none is installed).
+pub fn observe_duration(name: &str, duration: Duration) {
+    if let Some(registry) = global() {
+        registry.histogram(name).record_duration(duration);
+    }
+}
+
+/// Start an RAII [`Span`] recording into the named histogram on the
+/// global registry; inert when none is installed.
+pub fn span(name: &str) -> Span {
+    Span::start(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The single test that touches the global slot (other tests use
+    /// local registries so this cannot race within the test binary).
+    #[test]
+    fn install_record_uninstall_round_trip() {
+        assert!(!is_installed());
+        counter_add("before_total", 1); // dropped: nothing installed
+        let registry = Arc::new(MetricsRegistry::new());
+        install(Arc::clone(&registry));
+        assert!(is_installed());
+        counter_add("cells_total", 3);
+        gauge_set("depth", 2.0);
+        observe("lat.seconds", 0.01);
+        observe_duration("lat.seconds", Duration::from_millis(1));
+        {
+            let _span = span("span.seconds");
+        }
+        let removed = uninstall().expect("a registry was installed");
+        assert!(Arc::ptr_eq(&removed, &registry));
+        assert!(!is_installed());
+        counter_add("cells_total", 100); // dropped: nothing installed
+        let snap = registry.snapshot();
+        assert!(!snap.counters.contains_key("before_total"));
+        assert_eq!(snap.counters["cells_total"], 3);
+        assert_eq!(snap.gauges["depth"], 2.0);
+        assert_eq!(snap.histograms["lat.seconds"].count, 2);
+        assert_eq!(snap.histograms["span.seconds"].count, 1);
+    }
+}

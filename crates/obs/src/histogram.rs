@@ -1,0 +1,368 @@
+//! Fixed-bucket histograms with lock-free recording.
+//!
+//! A [`Histogram`] owns an ascending list of finite bucket upper bounds
+//! plus one implicit overflow bucket (`+Inf`). Recording a value is a
+//! binary search followed by a handful of relaxed atomic increments —
+//! no locks, no allocation — so histograms are safe to hammer from the
+//! experiment grid's worker pool and the advisor's serving path alike.
+//!
+//! Two bucket layouts cover every metric OpenBI emits (the 1-2-5 decade
+//! scheme documented in DESIGN.md §9):
+//!
+//! * [`default_latency_buckets`] — seconds, `1 µs … 60 s`.
+//! * [`default_count_buckets`] — dimensionless counts, `0 … 100 000`.
+//!
+//! Quantiles (p50/p90/p99) are estimated at snapshot time by linear
+//! interpolation inside the bucket that holds the target rank, clamped
+//! to the observed min/max; see
+//! [`HistogramSnapshot::quantile`](crate::snapshot::HistogramSnapshot::quantile).
+
+use crate::atomic::AtomicF64;
+use crate::snapshot::{Bucket, HistogramSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// The default latency bucket upper bounds, in seconds: a 1-2-5 decade
+/// sweep from one microsecond to one second, then 10 s, 30 s, 60 s.
+///
+/// ```
+/// let b = openbi_obs::default_latency_buckets();
+/// assert_eq!(b.first().copied(), Some(1e-6));
+/// assert_eq!(b.last().copied(), Some(60.0));
+/// assert!(b.windows(2).all(|w| w[0] < w[1]));
+/// ```
+pub fn default_latency_buckets() -> Vec<f64> {
+    let mut bounds = Vec::with_capacity(24);
+    for exp in -6..0i32 {
+        for mantissa in [1.0, 2.0, 5.0] {
+            bounds.push(mantissa * 10f64.powi(exp));
+        }
+    }
+    bounds.extend([1.0, 2.0, 5.0, 10.0, 30.0, 60.0]);
+    bounds
+}
+
+/// The default bucket upper bounds for dimensionless counts (queue
+/// depths, batch sizes, candidate counts): `0`, then a 1-2-5 decade
+/// sweep up to `100 000`.
+///
+/// ```
+/// let b = openbi_obs::default_count_buckets();
+/// assert_eq!(&b[..4], &[0.0, 1.0, 2.0, 5.0]);
+/// assert_eq!(b.last().copied(), Some(100_000.0));
+/// ```
+pub fn default_count_buckets() -> Vec<f64> {
+    let mut bounds = vec![0.0];
+    for exp in 0..5i32 {
+        for mantissa in [1.0, 2.0, 5.0] {
+            bounds.push(mantissa * 10f64.powi(exp));
+        }
+    }
+    bounds.push(100_000.0);
+    bounds
+}
+
+/// Exponentially spaced bucket upper bounds: `start`, `start * factor`,
+/// … (`count` bounds in total). `start` must be positive and `factor`
+/// greater than 1.
+///
+/// ```
+/// let b = openbi_obs::exponential_buckets(1.0, 2.0, 4);
+/// assert_eq!(b, vec![1.0, 2.0, 4.0, 8.0]);
+/// ```
+pub fn exponential_buckets(start: f64, factor: f64, count: usize) -> Vec<f64> {
+    assert!(start > 0.0, "exponential_buckets: start must be positive");
+    assert!(factor > 1.0, "exponential_buckets: factor must exceed 1");
+    let mut bounds = Vec::with_capacity(count);
+    let mut bound = start;
+    for _ in 0..count {
+        bounds.push(bound);
+        bound *= factor;
+    }
+    bounds
+}
+
+/// A fixed-bucket histogram: atomic per-bucket counts plus running
+/// count, sum, min, and max.
+///
+/// Values land in the first bucket whose upper bound is `>=` the value
+/// (`le` semantics); values above the last bound land in the implicit
+/// overflow bucket. Non-finite values are ignored.
+///
+/// ```
+/// use openbi_obs::Histogram;
+///
+/// let h = Histogram::new(vec![0.1, 1.0, 10.0]);
+/// h.record(0.05);
+/// h.record(0.5);
+/// h.record(99.0); // overflow bucket
+/// let snap = h.snapshot();
+/// assert_eq!(snap.count, 3);
+/// assert_eq!(snap.buckets.len(), 4);
+/// assert_eq!(snap.buckets[0].count, 1);
+/// assert_eq!(snap.buckets[3].count, 1);
+/// ```
+pub struct Histogram {
+    /// Ascending, finite upper bounds. The overflow bucket is implicit.
+    bounds: Vec<f64>,
+    /// One count per bound, plus the trailing overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum: AtomicF64,
+    min: AtomicF64,
+    max: AtomicF64,
+}
+
+impl Histogram {
+    /// Build a histogram from explicit upper bounds. Bounds are sorted,
+    /// deduplicated, and filtered to finite values; at least one finite
+    /// bound is required.
+    pub fn new(mut bounds: Vec<f64>) -> Histogram {
+        bounds.retain(|b| b.is_finite());
+        bounds.sort_by(f64::total_cmp);
+        bounds.dedup();
+        assert!(
+            !bounds.is_empty(),
+            "Histogram::new: at least one finite bucket bound is required"
+        );
+        let buckets = (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicF64::new(0.0),
+            min: AtomicF64::new(f64::INFINITY),
+            max: AtomicF64::new(f64::NEG_INFINITY),
+        }
+    }
+
+    /// A histogram over [`default_latency_buckets`] (seconds).
+    pub fn latency() -> Histogram {
+        Histogram::new(default_latency_buckets())
+    }
+
+    /// A histogram over [`default_count_buckets`] (dimensionless).
+    pub fn counts() -> Histogram {
+        Histogram::new(default_count_buckets())
+    }
+
+    /// Record one observation. Non-finite values are dropped.
+    pub fn record(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let index = self.bounds.partition_point(|bound| *bound < value);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value);
+        self.min.fetch_min(value);
+        self.max.fetch_max(value);
+    }
+
+    /// Record a wall-clock duration, in seconds.
+    pub fn record_duration(&self, duration: Duration) {
+        self.record(duration.as_secs_f64());
+    }
+
+    /// Total observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded values.
+    pub fn sum(&self) -> f64 {
+        self.sum.load()
+    }
+
+    /// The bucket upper bounds (without the implicit overflow bucket).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// A point-in-time copy with derived statistics (mean, p50, p90,
+    /// p99). Buckets racing with concurrent `record` calls may be a few
+    /// observations apart from `count`; each value read is itself
+    /// consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum.load();
+        let (min, max) = if count == 0 {
+            (0.0, 0.0)
+        } else {
+            (self.min.load(), self.max.load())
+        };
+        let buckets: Vec<Bucket> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .map(|(i, bucket)| Bucket {
+                le: self.bounds.get(i).copied().unwrap_or(f64::INFINITY),
+                count: bucket.load(Ordering::Relaxed),
+            })
+            .collect();
+        let mut snapshot = HistogramSnapshot {
+            count,
+            sum,
+            min,
+            max,
+            mean: if count == 0 { 0.0 } else { sum / count as f64 },
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            buckets,
+        };
+        snapshot.p50 = snapshot.quantile(0.50);
+        snapshot.p90 = snapshot.quantile(0.90);
+        snapshot.p99 = snapshot.quantile(0.99);
+        snapshot
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bounds", &self.bounds)
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_use_le_semantics() {
+        let h = Histogram::new(vec![1.0, 2.0, 5.0]);
+        h.record(0.5); // <= 1.0
+        h.record(1.0); // exactly on a bound -> that bound's bucket
+        h.record(1.5); // (1.0, 2.0]
+        h.record(5.0); // (2.0, 5.0]
+        h.record(7.0); // overflow
+        let snap = h.snapshot();
+        let counts: Vec<u64> = snap.buckets.iter().map(|b| b.count).collect();
+        assert_eq!(counts, vec![2, 1, 1, 1]);
+        assert_eq!(snap.count, 5);
+        assert_eq!(snap.min, 0.5);
+        assert_eq!(snap.max, 7.0);
+    }
+
+    #[test]
+    fn default_buckets_are_strictly_ascending() {
+        for bounds in [default_latency_buckets(), default_count_buckets()] {
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+            assert!(bounds.iter().all(|b| b.is_finite()));
+        }
+        assert_eq!(default_latency_buckets().len(), 24);
+    }
+
+    #[test]
+    fn new_sorts_and_dedups_bounds() {
+        let h = Histogram::new(vec![5.0, 1.0, 5.0, f64::INFINITY, 2.0]);
+        assert_eq!(h.bounds(), &[1.0, 2.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one finite bucket bound")]
+    fn empty_bounds_rejected() {
+        Histogram::new(vec![f64::INFINITY]);
+    }
+
+    #[test]
+    fn non_finite_values_are_dropped() {
+        let h = Histogram::new(vec![1.0]);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert_eq!(h.count(), 0);
+        let snap = h.snapshot();
+        assert_eq!(snap.min, 0.0);
+        assert_eq!(snap.max, 0.0);
+        assert_eq!(snap.mean, 0.0);
+    }
+
+    #[test]
+    fn quantiles_of_a_uniform_distribution() {
+        // 1000 uniform values in (0, 1]: i/1000 for i = 1..=1000. With
+        // 1-2-5 bucket bounds and linear interpolation the estimated
+        // quantiles land on the exact order statistics.
+        let h = Histogram::latency();
+        for i in 1..=1000 {
+            h.record(i as f64 / 1000.0);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 1000);
+        assert!((snap.p50 - 0.5).abs() < 1e-9, "p50 {}", snap.p50);
+        assert!((snap.p90 - 0.9).abs() < 1e-9, "p90 {}", snap.p90);
+        assert!((snap.p99 - 0.99).abs() < 1e-9, "p99 {}", snap.p99);
+        assert!((snap.mean - 0.5005).abs() < 1e-9, "mean {}", snap.mean);
+    }
+
+    #[test]
+    fn quantiles_of_a_skewed_distribution() {
+        // 90 fast observations at 1 ms, 10 slow at 0.3 s: p50 sits in
+        // the 1 ms bucket, p99 in the (0.2, 0.5] bucket.
+        let h = Histogram::latency();
+        for _ in 0..90 {
+            h.record(0.001);
+        }
+        for _ in 0..10 {
+            h.record(0.3);
+        }
+        let snap = h.snapshot();
+        assert!(snap.p50 <= 0.001 + 1e-12, "p50 {}", snap.p50);
+        assert!(
+            snap.p99 > 0.2 && snap.p99 <= 0.5,
+            "p99 {} should sit in the slow bucket",
+            snap.p99
+        );
+        assert_eq!(snap.max, 0.3);
+    }
+
+    #[test]
+    fn quantiles_clamp_to_observed_extrema() {
+        let h = Histogram::new(vec![10.0, 100.0]);
+        h.record(42.0);
+        let snap = h.snapshot();
+        // A single observation: every quantile is that observation.
+        assert_eq!(snap.p50, 42.0);
+        assert_eq!(snap.p99, 42.0);
+    }
+
+    #[test]
+    fn overflow_quantile_reports_observed_max() {
+        let h = Histogram::new(vec![1.0]);
+        for _ in 0..100 {
+            h.record(50.0);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.p99, 50.0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::latency());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let h = Arc::clone(&h);
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        h.record((i % 100) as f64 / 1000.0 + 0.0005);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count, threads * per_thread);
+        let bucket_total: u64 = snap.buckets.iter().map(|b| b.count).sum();
+        assert_eq!(bucket_total, threads * per_thread);
+        // Sum must equal the per-thread sum times the thread count.
+        let one_thread: f64 = (0..per_thread)
+            .map(|i| (i % 100) as f64 / 1000.0 + 0.0005)
+            .sum();
+        assert!((snap.sum - one_thread * threads as f64).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,63 @@
+//! # openbi-obs
+//!
+//! The OpenBI observability substrate: a dependency-free metrics layer
+//! that makes the paper's "quality awareness" stance apply to the
+//! system itself — the experiment grid executor, the KDD pipeline, and
+//! the advisor serving path all record what they do, how often, and how
+//! long it takes, so perf claims are measured rather than asserted
+//! (DESIGN.md §9).
+//!
+//! The model is deliberately small:
+//!
+//! * [`MetricsRegistry`] — a named bag of [`Counter`]s (monotonic
+//!   `u64`), [`Gauge`]s (last-written `f64`), and fixed-bucket
+//!   [`Histogram`]s (lock-free atomic buckets with p50/p90/p99
+//!   summaries). Handles are `Arc`s: fetch once, record many times.
+//! * [`Span`] — an RAII timer that records its elapsed wall time into a
+//!   named histogram when dropped.
+//! * [`MetricsSnapshot`] — a point-in-time copy of every instrument,
+//!   exportable as JSON (the `metrics` block of the `BENCH_*.json`
+//!   files and the CLI's `--metrics-out`).
+//! * a process-global registry slot ([`install`] / [`uninstall`] /
+//!   [`global`]) so deep call paths can record without threading a
+//!   handle through every signature. When nothing is installed, every
+//!   recording helper is a single relaxed atomic load — the instrumented
+//!   binaries stay within the < 2 % overhead budget of DESIGN.md §9
+//!   even on hot paths.
+//!
+//! ```
+//! use openbi_obs::MetricsRegistry;
+//!
+//! let registry = MetricsRegistry::new();
+//! registry.counter("requests_total").add(3);
+//! registry.gauge("queue_depth").set(7.0);
+//! let latency = registry.histogram("request.seconds");
+//! latency.record(0.002);
+//! latency.record(0.004);
+//!
+//! let snapshot = registry.snapshot();
+//! assert_eq!(snapshot.counters["requests_total"], 3);
+//! assert_eq!(snapshot.histograms["request.seconds"].count, 2);
+//! assert!(snapshot.to_json().contains("requests_total"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod atomic;
+mod global;
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use global::{
+    counter_add, gauge_set, global, install, is_installed, observe, observe_duration, span,
+    uninstall,
+};
+pub use histogram::{
+    default_count_buckets, default_latency_buckets, exponential_buckets, Histogram,
+};
+pub use registry::{Counter, Gauge, MetricsRegistry};
+pub use snapshot::{Bucket, HistogramSnapshot, MetricsSnapshot};
+pub use span::Span;

@@ -1,0 +1,250 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! A [`MetricsRegistry`] is a concurrent name → instrument map. Lookup
+//! (`counter` / `gauge` / `histogram`) is get-or-create and returns an
+//! `Arc` handle; hot paths fetch handles once and record through them
+//! without touching the registry again. Recording through a handle is
+//! purely atomic — the registry lock is only taken to register a new
+//! name or to [`snapshot`](MetricsRegistry::snapshot).
+
+use crate::atomic::AtomicF64;
+use crate::histogram::Histogram;
+use crate::snapshot::MetricsSnapshot;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+/// A monotonically increasing `u64` counter.
+///
+/// ```
+/// let c = openbi_obs::Counter::default();
+/// c.add(2);
+/// c.add(1);
+/// assert_eq!(c.get(), 3);
+/// ```
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Increase the counter by `delta`.
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increase the counter by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-value-wins `f64` gauge.
+///
+/// ```
+/// let g = openbi_obs::Gauge::default();
+/// g.set(4.0);
+/// g.add(-1.5);
+/// assert_eq!(g.get(), 2.5);
+/// ```
+#[derive(Debug)]
+pub struct Gauge(AtomicF64);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge(AtomicF64::new(0.0))
+    }
+}
+
+impl Gauge {
+    /// A gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Overwrite the gauge value.
+    pub fn set(&self, value: f64) {
+        self.0.store(value);
+    }
+
+    /// Adjust the gauge by `delta` (negative deltas allowed).
+    pub fn add(&self, delta: f64) {
+        self.0.fetch_add(delta);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        self.0.load()
+    }
+}
+
+/// A concurrent registry of named instruments.
+///
+/// ```
+/// use openbi_obs::MetricsRegistry;
+///
+/// let registry = MetricsRegistry::new();
+/// let cells = registry.counter("grid.cells_total");
+/// cells.inc();
+/// // The same name always resolves to the same instrument.
+/// registry.counter("grid.cells_total").inc();
+/// assert_eq!(cells.get(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: RwLock<BTreeMap<String, Arc<Counter>>>,
+    gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
+    histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
+}
+
+fn get_or_insert<T>(
+    map: &RwLock<BTreeMap<String, Arc<T>>>,
+    name: &str,
+    make: impl FnOnce() -> T,
+) -> Arc<T> {
+    if let Some(found) = map.read().unwrap_or_else(PoisonError::into_inner).get(name) {
+        return Arc::clone(found);
+    }
+    let mut writable = map.write().unwrap_or_else(PoisonError::into_inner);
+    Arc::clone(
+        writable
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(make())),
+    )
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// The counter registered under `name`, created at zero on first
+    /// use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        get_or_insert(&self.counters, name, Counter::new)
+    }
+
+    /// The gauge registered under `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        get_or_insert(&self.gauges, name, Gauge::new)
+    }
+
+    /// The histogram registered under `name`, created with the default
+    /// latency buckets ([`crate::default_latency_buckets`]) on first
+    /// use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name, Histogram::latency)
+    }
+
+    /// The histogram registered under `name`, created with the given
+    /// bucket bounds on first use. If the name already exists, the
+    /// existing histogram (and its buckets) wins.
+    pub fn histogram_with(&self, name: &str, bounds: Vec<f64>) -> Arc<Histogram> {
+        get_or_insert(&self.histograms, name, || Histogram::new(bounds))
+    }
+
+    /// A point-in-time copy of every registered instrument.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = self
+            .counters
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, counter)| (name.clone(), counter.get()))
+            .collect();
+        let gauges = self
+            .gauges
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, gauge)| (name.clone(), gauge.get()))
+            .collect();
+        let histograms = self
+            .histograms
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(name, histogram)| (name.clone(), histogram.snapshot()))
+            .collect();
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruments_are_shared_by_name() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a").add(1);
+        registry.counter("a").add(2);
+        registry.counter("b").add(5);
+        registry.gauge("g").set(1.5);
+        registry.gauge("g").add(0.5);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counters["a"], 3);
+        assert_eq!(snap.counters["b"], 5);
+        assert_eq!(snap.gauges["g"], 2.0);
+    }
+
+    #[test]
+    fn histogram_with_keeps_first_buckets() {
+        let registry = MetricsRegistry::new();
+        let first = registry.histogram_with("h", vec![1.0, 2.0]);
+        let second = registry.histogram_with("h", vec![100.0]);
+        assert_eq!(first.bounds(), second.bounds());
+        assert_eq!(first.bounds(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn concurrent_registration_and_recording_is_lossless() {
+        let registry = Arc::new(MetricsRegistry::new());
+        let threads = 8usize;
+        let per_thread = 10_000u64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    // Each thread re-fetches handles to exercise the
+                    // get-or-create race, and also hammers a shared name.
+                    let own = registry.counter(&format!("worker.{t}.cells"));
+                    let shared = registry.counter("cells_total");
+                    let latency = registry.histogram("cell.seconds");
+                    for i in 0..per_thread {
+                        own.inc();
+                        shared.inc();
+                        latency.record((i % 7) as f64 * 1e-3 + 1e-4);
+                    }
+                });
+            }
+        });
+        let snap = registry.snapshot();
+        let total = threads as u64 * per_thread;
+        assert_eq!(snap.counters["cells_total"], total);
+        for t in 0..threads {
+            assert_eq!(snap.counters[&format!("worker.{t}.cells")], per_thread);
+        }
+        // The shared total equals the sum of the per-thread counters.
+        let per_worker_sum: u64 = (0..threads)
+            .map(|t| snap.counters[&format!("worker.{t}.cells")])
+            .sum();
+        assert_eq!(per_worker_sum, snap.counters["cells_total"]);
+        let hist = &snap.histograms["cell.seconds"];
+        assert_eq!(hist.count, total);
+        assert_eq!(hist.buckets.iter().map(|b| b.count).sum::<u64>(), total);
+    }
+}

@@ -1,0 +1,300 @@
+//! Point-in-time metric snapshots and their JSON export.
+//!
+//! [`MetricsSnapshot`] is what leaves the process: the `metrics` block
+//! embedded in `BENCH_experiment_grid.json` / `BENCH_advisor.json` and
+//! the file written by the CLI's `--metrics-out` flag all share this
+//! one schema (documented in EXPERIMENTS.md). The crate is std-only, so
+//! [`MetricsSnapshot::to_json`] hand-writes the JSON; consumers that
+//! want a typed value parse it with their own `serde_json`.
+
+use std::collections::BTreeMap;
+
+/// One histogram bucket in a snapshot: the inclusive upper bound and
+/// the number of observations that landed in this bucket (per-bucket,
+/// not cumulative). The final bucket's bound is `+Inf`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bucket {
+    /// Inclusive upper bound (`le` semantics); `f64::INFINITY` for the
+    /// overflow bucket.
+    pub le: f64,
+    /// Observations in this bucket alone.
+    pub count: u64,
+}
+
+/// A point-in-time copy of one histogram, with derived statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Smallest observed value (0 when empty).
+    pub min: f64,
+    /// Largest observed value (0 when empty).
+    pub max: f64,
+    /// Arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Estimated median.
+    pub p50: f64,
+    /// Estimated 90th percentile.
+    pub p90: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Per-bucket counts, ascending by bound; the last bucket is the
+    /// `+Inf` overflow bucket.
+    pub buckets: Vec<Bucket>,
+}
+
+impl HistogramSnapshot {
+    /// Estimate the `q`-quantile (`q` in `[0, 1]`) by linear
+    /// interpolation inside the bucket holding the target rank, clamped
+    /// to the observed `[min, max]`. The lower edge of the first bucket
+    /// is taken as 0; the upper edge of the overflow bucket is the
+    /// observed max.
+    ///
+    /// ```
+    /// use openbi_obs::Histogram;
+    ///
+    /// let h = Histogram::new(vec![1.0, 2.0, 4.0]);
+    /// for v in [0.5, 1.5, 2.5, 3.5] {
+    ///     h.record(v);
+    /// }
+    /// let snap = h.snapshot();
+    /// let p75 = snap.quantile(0.75);
+    /// assert!(p75 > 2.0 && p75 <= 4.0, "p75 {p75}");
+    /// ```
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * self.count as f64;
+        let mut cumulative = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            if bucket.count == 0 {
+                continue;
+            }
+            let next = cumulative + bucket.count;
+            if next as f64 >= rank {
+                let lower = if i == 0 { 0.0 } else { self.buckets[i - 1].le };
+                let upper = if bucket.le.is_finite() {
+                    bucket.le
+                } else {
+                    self.max
+                };
+                let fraction = (rank - cumulative as f64) / bucket.count as f64;
+                let estimate = lower + (upper - lower) * fraction;
+                return estimate.clamp(self.min, self.max);
+            }
+            cumulative = next;
+        }
+        self.max
+    }
+}
+
+/// A point-in-time copy of every instrument in a
+/// [`MetricsRegistry`](crate::MetricsRegistry), keyed by metric name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram snapshots.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when no instrument has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Serialize as a compact JSON object:
+    ///
+    /// ```json
+    /// {"counters":{...},"gauges":{...},"histograms":{"name":
+    ///   {"count":2,"sum":0.3,"min":0.1,"max":0.2,"mean":0.15,
+    ///    "p50":0.1,"p90":0.2,"p99":0.2,
+    ///    "buckets":[{"le":0.1,"count":1},{"le":"+Inf","count":1}]}}}
+    /// ```
+    ///
+    /// The overflow bucket's bound is the string `"+Inf"`; every other
+    /// number is a plain JSON number (non-finite values, which cannot
+    /// occur for recorded data, would serialize as `null`).
+    ///
+    /// ```
+    /// use openbi_obs::MetricsRegistry;
+    ///
+    /// let registry = MetricsRegistry::new();
+    /// registry.counter("cells_total").add(2);
+    /// let json = registry.snapshot().to_json();
+    /// assert!(json.starts_with('{') && json.ends_with('}'));
+    /// assert!(json.contains("\"cells_total\":2"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push_str("{\"counters\":{");
+        push_entries(&mut out, &self.counters, |out, v| {
+            out.push_str(&v.to_string())
+        });
+        out.push_str("},\"gauges\":{");
+        push_entries(&mut out, &self.gauges, |out, v| push_f64(out, *v));
+        out.push_str("},\"histograms\":{");
+        push_entries(&mut out, &self.histograms, |out, h| push_histogram(out, h));
+        out.push_str("}}");
+        out
+    }
+}
+
+fn push_entries<V>(
+    out: &mut String,
+    map: &BTreeMap<String, V>,
+    mut push_value: impl FnMut(&mut String, &V),
+) {
+    for (i, (key, value)) in map.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(out, key);
+        out.push(':');
+        push_value(out, value);
+    }
+}
+
+fn push_histogram(out: &mut String, h: &HistogramSnapshot) {
+    out.push_str("{\"count\":");
+    out.push_str(&h.count.to_string());
+    for (label, value) in [
+        ("sum", h.sum),
+        ("min", h.min),
+        ("max", h.max),
+        ("mean", h.mean),
+        ("p50", h.p50),
+        ("p90", h.p90),
+        ("p99", h.p99),
+    ] {
+        out.push_str(",\"");
+        out.push_str(label);
+        out.push_str("\":");
+        push_f64(out, value);
+    }
+    out.push_str(",\"buckets\":[");
+    for (i, bucket) in h.buckets.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"le\":");
+        if bucket.le.is_finite() {
+            push_f64(out, bucket.le);
+        } else {
+            out.push_str("\"+Inf\"");
+        }
+        out.push_str(",\"count\":");
+        out.push_str(&bucket.count.to_string());
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
+fn push_f64(out: &mut String, value: f64) {
+    if value.is_finite() {
+        // Rust's Display for f64 never emits exponents or locale
+        // separators, so the shortest round-trip form is valid JSON.
+        out.push_str(&value.to_string());
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_with_one_histogram() -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.insert("cells_total".into(), 7);
+        snapshot.gauges.insert("queue_depth".into(), 3.5);
+        let h = crate::Histogram::new(vec![0.1, 1.0]);
+        h.record(0.05);
+        h.record(0.5);
+        snapshot
+            .histograms
+            .insert("cell.seconds".into(), h.snapshot());
+        snapshot
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let json = snapshot_with_one_histogram().to_json();
+        assert!(json.starts_with("{\"counters\":{"));
+        assert!(json.contains("\"cells_total\":7"));
+        assert!(json.contains("\"queue_depth\":3.5"));
+        assert!(json.contains("\"cell.seconds\":{\"count\":2"));
+        assert!(json.contains("{\"le\":\"+Inf\",\"count\":0}"));
+        assert!(json.ends_with("}}"));
+        // Balanced braces/brackets: a cheap structural sanity check
+        // (the integration tests parse this with serde_json).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let snapshot = MetricsSnapshot::default();
+        assert!(snapshot.is_empty());
+        assert_eq!(
+            snapshot.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot.counters.insert("weird\"name\\\n".into(), 1);
+        let json = snapshot.to_json();
+        assert!(json.contains("\"weird\\\"name\\\\\\u000a\":1"), "{json}");
+    }
+
+    #[test]
+    fn quantile_handles_empty_and_extremes() {
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            mean: 0.0,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            buckets: vec![],
+        };
+        assert_eq!(empty.quantile(0.5), 0.0);
+        let h = crate::Histogram::new(vec![1.0]);
+        h.record(0.25);
+        h.record(0.75);
+        let snap = h.snapshot();
+        assert_eq!(snap.quantile(0.0), 0.25, "q=0 clamps to min");
+        assert_eq!(snap.quantile(1.0), 0.75, "q=1 clamps to max");
+    }
+}

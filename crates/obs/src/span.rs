@@ -1,0 +1,102 @@
+//! RAII wall-clock spans.
+//!
+//! A [`Span`] measures the wall time between its creation and its drop
+//! and records it into a named latency histogram. Spans created while
+//! no global registry is installed are inert: no clock is read and the
+//! drop is a no-op, which is what keeps always-on instrumentation
+//! within the DESIGN.md §9 overhead budget.
+
+use crate::histogram::Histogram;
+use crate::registry::MetricsRegistry;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// An RAII timer that records its elapsed seconds into a histogram on
+/// drop.
+///
+/// ```
+/// use openbi_obs::{MetricsRegistry, Span};
+///
+/// let registry = MetricsRegistry::new();
+/// {
+///     let _span = Span::on(&registry, "stage.seconds");
+///     // ... timed work ...
+/// }
+/// assert_eq!(registry.snapshot().histograms["stage.seconds"].count, 1);
+/// ```
+#[derive(Debug)]
+pub struct Span {
+    histogram: Option<Arc<Histogram>>,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Start a span that records into `name` on the process-global
+    /// registry; inert when none is installed (see [`crate::install`]).
+    pub fn start(name: &str) -> Span {
+        match crate::global() {
+            Some(registry) => Span::on(&registry, name),
+            None => Span::disabled(),
+        }
+    }
+
+    /// Start a span that records into `name` on an explicit registry.
+    pub fn on(registry: &MetricsRegistry, name: &str) -> Span {
+        Span {
+            histogram: Some(registry.histogram(name)),
+            start: Some(Instant::now()),
+        }
+    }
+
+    /// A span that measures and records nothing.
+    pub fn disabled() -> Span {
+        Span {
+            histogram: None,
+            start: None,
+        }
+    }
+
+    /// True when this span will record on drop.
+    pub fn is_recording(&self) -> bool {
+        self.histogram.is_some()
+    }
+
+    /// End the span now, recording its elapsed time. Equivalent to
+    /// dropping it; provided so call sites can make the measurement
+    /// boundary explicit.
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let (Some(histogram), Some(start)) = (self.histogram.take(), self.start) {
+            histogram.record_duration(start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_once_on_drop() {
+        let registry = MetricsRegistry::new();
+        {
+            let span = Span::on(&registry, "t.seconds");
+            assert!(span.is_recording());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            span.finish();
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.histograms["t.seconds"].count, 1);
+        assert!(snap.histograms["t.seconds"].sum >= 0.002);
+    }
+
+    #[test]
+    fn disabled_span_is_inert() {
+        let span = Span::disabled();
+        assert!(!span.is_recording());
+        drop(span);
+    }
+}

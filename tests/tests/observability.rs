@@ -1,0 +1,206 @@
+//! End-to-end observability: an installed `openbi-obs` registry must
+//! collect consistent metrics from all three instrumented layers (grid
+//! executor, pipeline stages, advisor serving path) WITHOUT changing
+//! any produced result — the identical-KB-across-worker-counts
+//! guarantee must hold while instrumented.
+//!
+//! Everything lives in ONE test function on purpose: the process-global
+//! registry slot is shared, and integration test functions in a binary
+//! run on parallel threads. One function keeps the exact-value
+//! assertions race-free (this file is its own process, so no other test
+//! binary can interfere either).
+
+use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
+use openbi::kb::{Advisor, SharedKnowledgeBase};
+use openbi::obs;
+use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
+use openbi::quality::QualityProfile;
+use openbi_datagen::{make_blobs, BlobsConfig};
+use std::sync::Arc;
+
+fn grid_datasets() -> Vec<ExperimentDataset> {
+    [21u64, 22]
+        .iter()
+        .map(|&seed| {
+            ExperimentDataset::new(
+                format!("obs-blobs-{seed}"),
+                make_blobs(&BlobsConfig {
+                    n_rows: 120,
+                    n_features: 3,
+                    n_classes: 2,
+                    class_separation: 3.0,
+                    seed,
+                }),
+                "class",
+            )
+        })
+        .collect()
+}
+
+fn grid_config(workers: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        algorithms: vec![
+            openbi::mining::AlgorithmSpec::ZeroR,
+            openbi::mining::AlgorithmSpec::NaiveBayes,
+        ],
+        severities: vec![0.0, 0.6],
+        folds: 3,
+        seed: 7,
+        parallel: workers > 1,
+        workers,
+    }
+}
+
+/// Stable identity of every record a grid run produced.
+fn record_keys(kb: &SharedKnowledgeBase) -> Vec<String> {
+    let mut keys: Vec<String> = kb
+        .snapshot()
+        .records()
+        .iter()
+        .map(|r| {
+            format!(
+                "{}|{:?}|{}|{}|{:.12}|{:.12}",
+                r.dataset, r.degradations, r.algorithm, r.seed, r.metrics.accuracy, r.metrics.kappa
+            )
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+#[test]
+fn instrumentation_observes_all_layers_without_changing_results() {
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    obs::install(Arc::clone(&registry));
+
+    // --- Grid executor: determinism across worker counts, instrumented.
+    let datasets = grid_datasets();
+    let criteria = [Criterion::Completeness, Criterion::LabelNoise];
+    let mut keys_by_workers = Vec::new();
+    let mut total_cells = 0usize;
+    let mut total_records = 0usize;
+    for workers in [1usize, 4] {
+        let kb = SharedKnowledgeBase::default();
+        let report = run_phase1_report(&datasets, &criteria, &grid_config(workers), &kb)
+            .expect("instrumented grid run");
+        assert!(report.failures.is_empty());
+        assert_eq!(report.worker_stats.len(), workers);
+        assert_eq!(
+            report.worker_stats.iter().map(|s| s.cells).sum::<usize>(),
+            report.cells,
+            "per-worker cells must sum to the grid total"
+        );
+        assert!(report.wall_seconds > 0.0);
+        total_cells += report.cells;
+        total_records += report.records;
+        keys_by_workers.push(record_keys(&kb));
+    }
+    assert_eq!(
+        keys_by_workers[0], keys_by_workers[1],
+        "identical KB across worker counts must hold with instrumentation on"
+    );
+
+    // --- Pipeline stages.
+    let csv = "x,y,label\n1,2.0,a\n2,3.0,b\n3,4.0,a\n4,5.0,b\n5,6.0,a\n6,7.0,b\n\
+               7,8.0,a\n8,9.0,b\n9,10.0,a\n10,11.0,b\n";
+    let outcome = run_pipeline(
+        DataSource::CsvText {
+            name: "obs-toy".into(),
+            content: csv.into(),
+        },
+        &PipelineConfig {
+            target: Some("label".into()),
+            folds: 2,
+            ..Default::default()
+        },
+        None,
+    )
+    .expect("instrumented pipeline run");
+    assert!(outcome.evaluation.is_some());
+
+    // --- Advisor serving path (single queries + a batch).
+    let kb = SharedKnowledgeBase::default();
+    run_phase1_report(&datasets, &criteria, &grid_config(1), &kb).expect("kb build");
+    total_cells += 8;
+    total_records += 16;
+    let kb = kb.snapshot();
+    let advisor = Advisor::default();
+    let profiles: Vec<QualityProfile> = vec![QualityProfile::default(); 3];
+    let single = advisor.advise(&kb, &profiles[0]).expect("advise");
+    let batched = advisor.advise_many(&kb, &profiles).expect("advise_many");
+    assert_eq!(batched.len(), 3);
+    assert_eq!(&single, &batched[0], "batch must equal one-at-a-time");
+
+    obs::uninstall();
+    let snap = registry.snapshot();
+
+    // Grid metrics: counters equal the per-report totals; the per-cell
+    // histogram saw every cell.
+    assert_eq!(snap.counters["grid.cells_total"], total_cells as u64);
+    assert_eq!(snap.counters["grid.records_total"], total_records as u64);
+    // No cell failed, so the failure counter was never created.
+    assert_eq!(
+        snap.counters
+            .get("grid.cell_failures_total")
+            .copied()
+            .unwrap_or(0),
+        0
+    );
+    assert_eq!(
+        snap.histograms["grid.cell.seconds"].count,
+        total_cells as u64
+    );
+    assert_eq!(
+        snap.histograms["grid.injector_depth"].count,
+        total_cells as u64
+    );
+    assert!(snap.histograms["grid.flush.batch_records"].count >= 3);
+    assert_eq!(snap.histograms["grid.phase1.seconds"].count, 3);
+    assert!(snap.counters.contains_key("grid.steals_total"));
+    assert!(snap.histograms.contains_key("grid.queue_wait.seconds"));
+
+    // Pipeline metrics: one run, every stage histogram populated once.
+    assert_eq!(snap.counters["pipeline.runs_total"], 1);
+    for stage in [
+        "pipeline.stage.ingest.seconds",
+        "pipeline.stage.quality.seconds",
+        "pipeline.stage.advice.seconds",
+        "pipeline.stage.preprocess.seconds",
+        "pipeline.stage.mine.seconds",
+        "pipeline.stage.publish.seconds",
+    ] {
+        assert_eq!(snap.histograms[stage].count, 1, "{stage}");
+    }
+
+    // Advisor metrics: 1 single + 3 batched queries; index lookups hit
+    // both algorithms for every query; one batch of size 3.
+    assert_eq!(snap.counters["advisor.queries_total"], 4);
+    assert_eq!(snap.histograms["advisor.advise.seconds"].count, 4);
+    assert_eq!(snap.counters["advisor.index.hits_total"], 8);
+    assert_eq!(snap.counters["advisor.index.empty_total"], 0);
+    assert_eq!(snap.histograms["advisor.candidates"].count, 8);
+    assert_eq!(snap.counters["advisor.batch.calls_total"], 1);
+    assert_eq!(snap.histograms["advisor.batch.size"].count, 1);
+    assert_eq!(snap.histograms["advisor.batch.size"].max, 3.0);
+    assert_eq!(snap.histograms["advisor.batch.seconds"].count, 1);
+
+    // The exported JSON is valid and structurally complete.
+    let json: serde_json::Value =
+        serde_json::from_str(&snap.to_json()).expect("snapshot JSON parses");
+    assert_eq!(json["counters"]["grid.cells_total"], total_cells as u64);
+    assert_eq!(
+        json["histograms"]["advisor.advise.seconds"]["count"], 4,
+        "histogram counts survive export"
+    );
+    let buckets = json["histograms"]["grid.cell.seconds"]["buckets"]
+        .as_array()
+        .expect("bucket array");
+    assert_eq!(buckets.last().unwrap()["le"], "+Inf");
+
+    // After uninstall, recording is a no-op again.
+    obs::counter_add("grid.cells_total", 999);
+    assert_eq!(
+        registry.snapshot().counters["grid.cells_total"],
+        total_cells as u64
+    );
+}
