@@ -34,6 +34,7 @@ pub fn a1_advisor_params() -> Result<Vec<ResultTable>> {
         seed: SEED,
         parallel: true,
         workers: 0,
+        ..ExperimentConfig::default()
     };
     openbi::experiment::run_phase1(
         &datasets,
@@ -84,6 +85,7 @@ pub fn a2_knn_k_under_dimensionality() -> Result<Vec<ResultTable>> {
                     seed: SEED,
                     parallel: false,
                     workers: 0,
+                    ..ExperimentConfig::default()
                 };
                 let results = evaluate_variant(dataset, &degradation, &config, SEED, &kb)?;
                 out.push(vec![
@@ -121,6 +123,7 @@ pub fn a3_tree_capacity_under_noise() -> Result<Vec<ResultTable>> {
                     seed: SEED,
                     parallel: false,
                     workers: 0,
+                    ..ExperimentConfig::default()
                 };
                 let results = evaluate_variant(dataset, &degradation, &config, SEED, &kb)?;
                 out.push(vec![

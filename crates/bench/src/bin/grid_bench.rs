@@ -62,6 +62,7 @@ fn grid_config(workers: usize) -> ExperimentConfig {
         seed: 42,
         parallel: workers > 1,
         workers,
+        ..ExperimentConfig::default()
     }
 }
 

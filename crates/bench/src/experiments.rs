@@ -160,6 +160,7 @@ pub fn e6_dimensionality() -> Result<Vec<ResultTable>> {
         seed: SEED,
         parallel: false,
         workers: 0,
+        ..ExperimentConfig::default()
     };
     let kb = SharedKnowledgeBase::default();
     for dataset in &datasets {
@@ -258,6 +259,7 @@ pub fn e8_mixed() -> Result<Vec<ResultTable>> {
         seed: SEED,
         parallel: false,
         workers: 0,
+        ..ExperimentConfig::default()
     };
     let kb = SharedKnowledgeBase::default();
     for dataset in &datasets {
@@ -459,6 +461,7 @@ pub fn e12_advisor() -> Result<Vec<ResultTable>> {
         seed: SEED,
         parallel: true,
         workers: 0,
+        ..ExperimentConfig::default()
     };
     for stage in criteria_stages {
         openbi::experiment::run_phase1(&datasets, stage, &config, &kb)?;
@@ -532,6 +535,7 @@ pub fn f2_openbi_flow() -> Result<Vec<ResultTable>> {
         seed: SEED,
         parallel: true,
         workers: 0,
+        ..ExperimentConfig::default()
     };
     let records = openbi::experiment::run_phase1(
         &datasets,

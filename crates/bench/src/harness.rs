@@ -55,6 +55,7 @@ pub fn severity_sweep(
         seed,
         parallel: false,
         workers: 0,
+        ..ExperimentConfig::default()
     };
     for dataset in datasets {
         for (si, &severity) in severities.iter().enumerate() {

@@ -1,0 +1,75 @@
+//! Golden test pinning the `BENCH_*.json` document schema.
+//!
+//! Perf tooling diffs these documents across PRs without per-benchmark
+//! parsers, so the top-level shape is a contract: any change must be
+//! deliberate. If this test fails because the shape changed on purpose,
+//! bump [`BENCH_SCHEMA_VERSION`], update `tests/golden/bench_doc.json`
+//! to the new rendering, and mention the bump in the PR description.
+
+use openbi_bench::report::{bench_doc, BENCH_SCHEMA_VERSION};
+use openbi_obs::MetricsRegistry;
+
+const GOLDEN: &str = include_str!("golden/bench_doc.json");
+
+/// A deterministic document (counters only — histograms carry
+/// measured floats and are schema-checked separately below) must
+/// render byte-identically to the checked-in golden file.
+#[test]
+fn bench_doc_matches_the_golden_rendering() {
+    let registry = MetricsRegistry::new();
+    registry.counter("grid.cell.retries_total").add(3);
+    registry.counter("grid.cells_total").add(12);
+    let doc = bench_doc(
+        "golden",
+        serde_json::json!({"folds": 3, "workers": 4}),
+        serde_json::json!([{"cells": 120, "seconds": 1.5}]),
+        &registry.snapshot(),
+    );
+    let rendered = serde_json::to_string_pretty(&doc).expect("serialize");
+    assert_eq!(
+        rendered.trim_end(),
+        GOLDEN.trim_end(),
+        "BENCH_*.json shape drifted from tests/golden/bench_doc.json — \
+         if intentional, bump BENCH_SCHEMA_VERSION and regenerate the golden"
+    );
+    assert_eq!(
+        doc["schema_version"], BENCH_SCHEMA_VERSION,
+        "the golden file pins schema_version {BENCH_SCHEMA_VERSION}"
+    );
+}
+
+/// The embedded histogram objects keep their key set (floats themselves
+/// are measured, so they are asserted structurally, not byte-for-byte).
+#[test]
+fn histogram_schema_keeps_its_keys() {
+    let registry = MetricsRegistry::new();
+    registry
+        .histogram_with("grid.cell.seconds", vec![0.1, 1.0])
+        .record(0.05);
+    let doc = bench_doc(
+        "hist",
+        serde_json::json!({}),
+        serde_json::json!({}),
+        &registry.snapshot(),
+    );
+    let hist = doc["metrics"]["histograms"]["grid.cell.seconds"]
+        .as_object()
+        .expect("histogram is an object");
+    let keys: Vec<&str> = hist.keys().map(String::as_str).collect();
+    assert_eq!(
+        keys,
+        ["buckets", "count", "max", "mean", "min", "p50", "p90", "p99", "sum"]
+    );
+    let buckets = hist["buckets"].as_array().expect("buckets is an array");
+    assert_eq!(buckets.len(), 3, "two bounds + overflow");
+    for bucket in buckets {
+        let keys: Vec<&str> = bucket
+            .as_object()
+            .expect("bucket is an object")
+            .keys()
+            .map(String::as_str)
+            .collect();
+        assert_eq!(keys, ["count", "le"]);
+    }
+    assert_eq!(buckets.last().unwrap()["le"], "+Inf");
+}

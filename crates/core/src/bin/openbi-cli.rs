@@ -7,6 +7,8 @@
 //!                     [--publish out.ttl]
 //! openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S]
 //!                     [--workers W] [--metrics-out metrics.json]
+//!                     [--fault-plan plan.txt] [--max-retries R]
+//!                     [--cell-deadline-ms MS]
 //! openbi-cli advise   <data.csv> --target COL --kb kb.jsonl
 //!                     [--neighbors N] [--bandwidth H]
 //!                     [--metrics-out metrics.json]
@@ -19,6 +21,12 @@
 //! the command and writes the final [`MetricsSnapshot`] as JSON — the
 //! same shape embedded in the `BENCH_*.json` documents (README "Reading
 //! the metrics").
+//!
+//! `--fault-plan` loads an `openbi-faults` plan (DESIGN.md §10) and
+//! installs it for the duration of the command, so grid cells, pipeline
+//! stages, and KB store I/O misbehave on the plan's schedule. Pair it
+//! with `--max-retries` / `--cell-deadline-ms` to watch the executor
+//! retry and bound injected failures.
 //!
 //! [`MetricsSnapshot`]: openbi::obs::MetricsSnapshot
 
@@ -87,10 +95,17 @@ USAGE:
   openbi-cli experiments --out kb.jsonl [--rows N] [--folds K] [--seed S] [--full]
                      [--workers W]   (W experiment workers; 0 = one per core)
                      [--metrics-out metrics.json]
+                     [--fault-plan plan.txt]   (inject faults on a schedule)
+                     [--max-retries R]         (retry failing cells R times)
+                     [--cell-deadline-ms MS]   (abandon cells slower than MS)
 
   --metrics-out writes serving/executor metrics (latency histograms with
   p50/p90/p99, counters) captured during the command, e.g.:
     openbi-cli experiments --out kb.jsonl --metrics-out grid_metrics.json
+
+  --fault-plan installs a deterministic chaos schedule (`seed N` +
+  `fault <point> <error|panic|delay=MS> [times=N] [ratio=F]` lines) for
+  the whole command; see DESIGN.md §10 for the injection-point catalog.
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -214,6 +229,32 @@ fn cmd_experiments(args: &Args) -> ExitCode {
         .flag("workers")
         .and_then(|w| w.parse().ok())
         .unwrap_or(0);
+    let max_retries: u32 = args
+        .flag("max-retries")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(0);
+    let cell_deadline = args
+        .flag("cell-deadline-ms")
+        .and_then(|m| m.parse::<u64>().ok())
+        .map(std::time::Duration::from_millis);
+    let fault_plan = match args.flag("fault-plan") {
+        Some(path) => match openbi::faults::FaultPlan::from_file(path) {
+            Ok(plan) => {
+                eprintln!(
+                    "fault plan {path}: seed {}, {} rule(s)",
+                    plan.seed(),
+                    plan.rules().len()
+                );
+                let plan = std::sync::Arc::new(plan);
+                // Install globally so KB store I/O (no config of its own)
+                // sees the plan too, not just the grid executor.
+                openbi::faults::install(std::sync::Arc::clone(&plan));
+                Some(plan)
+            }
+            Err(e) => return fail(&e.to_string()),
+        },
+        None => None,
+    };
     let datasets: Vec<ExperimentDataset> = openbi::datagen::reference_datasets(seed)
         .into_iter()
         .map(|(name, table, target)| ExperimentDataset::new(name, table.head(rows), target))
@@ -225,6 +266,9 @@ fn cmd_experiments(args: &Args) -> ExitCode {
             folds,
             seed,
             workers,
+            max_retries,
+            cell_deadline,
+            fault_plan: fault_plan.clone(),
             ..Default::default()
         }
     } else {
@@ -242,6 +286,9 @@ fn cmd_experiments(args: &Args) -> ExitCode {
             folds,
             seed,
             workers,
+            max_retries,
+            cell_deadline,
+            fault_plan: fault_plan.clone(),
             ..Default::default()
         }
     };
@@ -258,8 +305,8 @@ fn cmd_experiments(args: &Args) -> ExitCode {
         Ok(report) => {
             for f in &report.failures {
                 eprintln!(
-                    "warning: skipped cell (dataset {}, seed {}): {}",
-                    f.dataset, f.seed, f.error
+                    "warning: skipped cell (dataset {}, seed {}) after {} attempt(s): {}",
+                    f.dataset, f.seed, f.attempts, f.error
                 );
             }
             if let Err(e) = kb.snapshot().save(out) {
@@ -267,10 +314,11 @@ fn cmd_experiments(args: &Args) -> ExitCode {
                 return ExitCode::FAILURE;
             }
             println!(
-                "{} experiment records written to {out} ({} cells, {} skipped)",
+                "{} experiment records written to {out} ({} cells, {} skipped, {} retries)",
                 report.records,
                 report.cells,
-                report.failures.len()
+                report.failures.len(),
+                report.total_retries()
             );
             if !write_metrics(metrics) {
                 return ExitCode::FAILURE;

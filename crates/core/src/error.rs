@@ -17,6 +17,8 @@ pub enum OpenBiError {
     Kb(openbi_kb::KbError),
     /// Pipeline configuration error.
     Config(String),
+    /// Injected fault (chaos testing via `openbi-faults`).
+    Fault(String),
 }
 
 impl fmt::Display for OpenBiError {
@@ -28,6 +30,7 @@ impl fmt::Display for OpenBiError {
             OpenBiError::Mining(e) => write!(f, "mining: {e}"),
             OpenBiError::Kb(e) => write!(f, "knowledge base: {e}"),
             OpenBiError::Config(m) => write!(f, "configuration: {m}"),
+            OpenBiError::Fault(m) => write!(f, "fault: {m}"),
         }
     }
 }
@@ -59,6 +62,11 @@ impl From<openbi_kb::KbError> for OpenBiError {
         OpenBiError::Kb(e)
     }
 }
+impl From<openbi_faults::FaultError> for OpenBiError {
+    fn from(e: openbi_faults::FaultError) -> Self {
+        OpenBiError::Fault(e.to_string())
+    }
+}
 
 /// Convenience result alias.
 pub type Result<T> = std::result::Result<T, OpenBiError>;
@@ -75,5 +83,8 @@ mod tests {
         assert!(e.to_string().contains("knowledge base"));
         let e = OpenBiError::Config("no target".into());
         assert!(e.to_string().contains("no target"));
+        let plan = openbi_faults::FaultPlan::new(1).with(openbi_faults::FaultRule::error("p"));
+        let e: OpenBiError = plan.fire("p", 0, 0).unwrap_err().into();
+        assert!(e.to_string().starts_with("fault:"), "{e}");
     }
 }

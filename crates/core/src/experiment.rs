@@ -36,6 +36,18 @@
 //! records produced: instrumentation only reads the wall clock, so the
 //! identical-KB-across-worker-counts guarantee holds with a registry
 //! installed (see `tests/observability.rs`).
+//!
+//! ## Resilience (DESIGN.md §10)
+//!
+//! Failed cells are retried up to [`ExperimentConfig::max_retries`]
+//! times with deterministic exponential backoff, and
+//! [`ExperimentConfig::cell_deadline`] bounds each attempt's wall time
+//! so a hung cell cannot stall a worker forever. The `grid.cell.run`
+//! injection point (`openbi-faults`) sits in front of every attempt,
+//! keyed by the cell's position-derived seed — so an injected fault
+//! fires on the same cells at the same attempts regardless of worker
+//! count, and the chaos suite can assert that a run with faults plus
+//! retries produces a byte-identical knowledge base.
 
 use crate::error::{OpenBiError, Result};
 use openbi_kb::{ExperimentRecord, PerfMetrics, SharedKnowledgeBase};
@@ -50,10 +62,12 @@ use openbi_quality::{measure_profile, MeasureOptions};
 use openbi_table::Table;
 
 use crossbeam::deque::{Injector as TaskInjector, Steal, Stealer, Worker as WorkerQueue};
+use openbi_faults::FaultPlan;
 use openbi_obs as obs;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::time::Instant;
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// A clean input dataset for the experiments.
 #[derive(Debug, Clone)]
@@ -236,6 +250,24 @@ pub struct ExperimentConfig {
     /// Worker threads for the cell executor; 0 = one per available
     /// core. Ignored when `parallel` is off.
     pub workers: usize,
+    /// Extra attempts for a failed cell: a cell runs at most
+    /// `max_retries + 1` times before it becomes a [`CellFailure`].
+    /// `0` (the default) keeps the original fail-once behaviour.
+    pub max_retries: u32,
+    /// Base delay before retry `n` (the executor waits
+    /// `retry_backoff × 2^(n−1)`, capped at one second). Deterministic —
+    /// no jitter — so chaos runs replay identically.
+    pub retry_backoff: Duration,
+    /// Wall-clock budget per cell attempt. When set, each attempt runs
+    /// on a detachable thread and is abandoned (counted as a failure,
+    /// records discarded) once the deadline passes, so a hung cell
+    /// cannot stall a worker. `None` (the default) runs attempts inline
+    /// with no deadline and no extra thread.
+    pub cell_deadline: Option<Duration>,
+    /// Fault plan for chaos testing. `None` falls back to the
+    /// process-global plan ([`openbi_faults::active`]), so both
+    /// config-scoped tests and CLI-installed plans reach the executor.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ExperimentConfig {
@@ -247,6 +279,10 @@ impl Default for ExperimentConfig {
             seed: 42,
             parallel: true,
             workers: 0,
+            max_retries: 0,
+            retry_backoff: Duration::from_millis(10),
+            cell_deadline: None,
+            fault_plan: None,
         }
     }
 }
@@ -292,8 +328,11 @@ pub struct CellFailure {
     pub degradations: Vec<String>,
     /// The cell seed.
     pub seed: u64,
-    /// The error or panic message.
+    /// The error or panic message of the final attempt.
     pub error: String,
+    /// How many attempts were made (1 when retries are off; at most
+    /// `max_retries + 1`).
+    pub attempts: u32,
 }
 
 /// Per-worker execution totals for one grid run. Collected on the
@@ -313,6 +352,9 @@ pub struct WorkerStats {
     pub queue_wait_seconds: f64,
     /// Total seconds spent actually executing cells.
     pub busy_seconds: f64,
+    /// Retry attempts this worker made (beyond each cell's first
+    /// attempt).
+    pub retries: usize,
 }
 
 /// What a grid run produced: record count plus the cells that were
@@ -324,13 +366,30 @@ pub struct GridReport {
     pub records: usize,
     /// Total cells executed (including failed ones).
     pub cells: usize,
-    /// Cells that errored or panicked and were skipped.
+    /// Cells that produced records (possibly after retries).
+    pub cells_succeeded: usize,
+    /// Cells that errored or panicked on every attempt and were
+    /// skipped.
     pub failures: Vec<CellFailure>,
     /// Wall-clock seconds for the whole [`run_cells`] call.
     pub wall_seconds: f64,
     /// Per-worker totals, sorted by worker index; one entry per worker
     /// even when a worker never won a cell.
     pub worker_stats: Vec<WorkerStats>,
+}
+
+impl GridReport {
+    /// Cells the executor attempted — an alias for `cells`, named for
+    /// the invariant `cells_attempted() == cells_succeeded +
+    /// failures.len()` the chaos suite checks.
+    pub fn cells_attempted(&self) -> usize {
+        self.cells
+    }
+
+    /// Total retry attempts across all workers.
+    pub fn total_retries(&self) -> usize {
+        self.worker_stats.iter().map(|s| s.retries).sum()
+    }
 }
 
 /// Evaluate one degraded variant without touching any store. The
@@ -460,27 +519,160 @@ pub fn phase2_cells(
 /// to concurrent readers.
 const FLUSH_THRESHOLD: usize = 64;
 
-/// Run one cell with error and panic containment: any failure becomes a
-/// [`CellFailure`] instead of tearing down the executor.
+/// The executor's injection point: fires once per cell attempt, keyed
+/// by the cell's position-derived seed (worker-independent, so a plan
+/// selects the same cells at any worker count).
+const CELL_FAULT_POINT: &str = "grid.cell.run";
+
+/// One failed attempt, before the retry loop decides whether it is
+/// final.
+struct AttemptFailure {
+    error: String,
+    deadline_exceeded: bool,
+}
+
+/// The body of one cell attempt: fire the fault point, then evaluate.
+fn attempt_body(
+    dataset: &ExperimentDataset,
+    degradation: &Degradation,
+    config: &ExperimentConfig,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    attempt: u32,
+) -> Result<Vec<ExperimentRecord>> {
+    if let Some(plan) = plan {
+        plan.fire(CELL_FAULT_POINT, seed, attempt)?;
+    }
+    evaluate_cell(dataset, degradation, config, seed).map(|(records, _)| records)
+}
+
+/// Run one attempt inline with error and panic containment.
+fn run_attempt_inline(
+    dataset: &ExperimentDataset,
+    degradation: &Degradation,
+    config: &ExperimentConfig,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    attempt: u32,
+) -> std::result::Result<Vec<ExperimentRecord>, AttemptFailure> {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        attempt_body(dataset, degradation, config, seed, plan, attempt)
+    }));
+    match outcome {
+        Ok(Ok(records)) => Ok(records),
+        Ok(Err(e)) => Err(AttemptFailure {
+            error: e.to_string(),
+            deadline_exceeded: false,
+        }),
+        Err(panic) => Err(AttemptFailure {
+            error: panic_message(panic.as_ref()),
+            deadline_exceeded: false,
+        }),
+    }
+}
+
+/// Run one attempt on a detachable thread, bounded by `deadline`. On
+/// timeout the thread is abandoned: its eventual result goes to a
+/// channel nobody reads, so an overdue attempt can never write records.
+fn run_attempt_with_deadline(
+    dataset: &ExperimentDataset,
+    degradation: &Degradation,
+    config: &ExperimentConfig,
+    seed: u64,
+    plan: Option<&Arc<FaultPlan>>,
+    attempt: u32,
+    deadline: Duration,
+) -> std::result::Result<Vec<ExperimentRecord>, AttemptFailure> {
+    let dataset = dataset.clone();
+    let degradation = degradation.clone();
+    let config = config.clone();
+    let plan = plan.cloned();
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let outcome = run_attempt_inline(
+            &dataset,
+            &degradation,
+            &config,
+            seed,
+            plan.as_deref(),
+            attempt,
+        );
+        let _ = tx.send(outcome);
+    });
+    match rx.recv_timeout(deadline) {
+        Ok(outcome) => outcome,
+        Err(_) => Err(AttemptFailure {
+            error: format!("cell deadline of {deadline:?} exceeded"),
+            deadline_exceeded: true,
+        }),
+    }
+}
+
+/// Delay before retry `attempt` (≥ 1): `base × 2^(attempt−1)`, capped
+/// at one second. No jitter — replayability beats thundering-herd
+/// avoidance in a bounded in-process pool.
+fn retry_backoff(base: Duration, attempt: u32) -> Duration {
+    const MAX_BACKOFF: Duration = Duration::from_secs(1);
+    base.saturating_mul(1u32 << attempt.saturating_sub(1).min(10))
+        .min(MAX_BACKOFF)
+}
+
+/// Run one cell with error and panic containment plus bounded retry:
+/// up to `max_retries + 1` attempts, deterministic exponential backoff
+/// between them, each bounded by `cell_deadline` when set. Only when
+/// every attempt fails does the cell become a [`CellFailure`] — it
+/// never tears down the executor.
 fn run_one_cell(
     datasets: &[ExperimentDataset],
     cell: &ExperimentCell,
     config: &ExperimentConfig,
+    plan: Option<&Arc<FaultPlan>>,
+    stats: &mut WorkerStats,
 ) -> std::result::Result<Vec<ExperimentRecord>, CellFailure> {
     let dataset = &datasets[cell.dataset];
-    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        evaluate_cell(dataset, &cell.degradation, config, cell.seed)
-    }));
-    let error = match outcome {
-        Ok(Ok((records, _))) => return Ok(records),
-        Ok(Err(e)) => e.to_string(),
-        Err(panic) => panic_message(panic.as_ref()),
-    };
+    let attempts = config.max_retries.saturating_add(1);
+    let mut error = String::new();
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(retry_backoff(config.retry_backoff, attempt));
+            stats.retries += 1;
+            obs::counter_add("grid.cell.retries_total", 1);
+        }
+        let outcome = match config.cell_deadline {
+            Some(deadline) => run_attempt_with_deadline(
+                dataset,
+                &cell.degradation,
+                config,
+                cell.seed,
+                plan,
+                attempt,
+                deadline,
+            ),
+            None => run_attempt_inline(
+                dataset,
+                &cell.degradation,
+                config,
+                cell.seed,
+                plan.map(Arc::as_ref),
+                attempt,
+            ),
+        };
+        match outcome {
+            Ok(records) => return Ok(records),
+            Err(failure) => {
+                if failure.deadline_exceeded {
+                    obs::counter_add("grid.cell.deadline_exceeded_total", 1);
+                }
+                error = failure.error;
+            }
+        }
+    }
     Err(CellFailure {
         dataset: dataset.name.clone(),
         degradations: cell.degradation.describe(),
         seed: cell.seed,
         error,
+        attempts,
     })
 }
 
@@ -492,10 +684,11 @@ fn execute_cell(
     datasets: &[ExperimentDataset],
     cell: &ExperimentCell,
     config: &ExperimentConfig,
+    plan: Option<&Arc<FaultPlan>>,
     stats: &mut WorkerStats,
 ) -> std::result::Result<Vec<ExperimentRecord>, CellFailure> {
     let start = Instant::now();
-    let outcome = run_one_cell(datasets, cell, config);
+    let outcome = run_one_cell(datasets, cell, config, plan, stats);
     let elapsed = start.elapsed();
     stats.cells += 1;
     stats.busy_seconds += elapsed.as_secs_f64();
@@ -518,7 +711,7 @@ fn register_grid_histograms() {
     }
 }
 
-fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = panic.downcast_ref::<&str>() {
         format!("panic: {s}")
     } else if let Some(s) = panic.downcast_ref::<String>() {
@@ -581,6 +774,7 @@ pub fn run_cells(
 ) -> Result<GridReport> {
     let run_start = Instant::now();
     register_grid_histograms();
+    let plan = config.fault_plan.clone().or_else(openbi_faults::active);
     let n_cells = cells.len();
     let workers = config.effective_workers().min(n_cells.max(1));
     if workers <= 1 {
@@ -592,9 +786,10 @@ pub fn run_cells(
         let mut batch: Vec<ExperimentRecord> = Vec::new();
         for (i, cell) in cells.iter().enumerate() {
             obs::observe("grid.injector_depth", (n_cells - i - 1) as f64);
-            match execute_cell(datasets, cell, config, &mut stats) {
+            match execute_cell(datasets, cell, config, plan.as_ref(), &mut stats) {
                 Ok(mut records) => {
                     report.records += records.len();
+                    report.cells_succeeded += 1;
                     batch.append(&mut records);
                 }
                 Err(failure) => report.failures.push(failure),
@@ -620,6 +815,7 @@ pub fn run_cells(
         (0..workers).map(|_| WorkerQueue::new_fifo()).collect();
     let stealers: Vec<Stealer<ExperimentCell>> = locals.iter().map(WorkerQueue::stealer).collect();
     let records = AtomicUsize::new(0);
+    let successes = AtomicUsize::new(0);
     // Cells not yet claimed by any worker; decremented on claim and
     // sampled into `grid.injector_depth`. Tracked ourselves rather than
     // polling the injector so the sample is one relaxed atomic op.
@@ -631,9 +827,11 @@ pub fn run_cells(
             let global = &global;
             let stealers = &stealers;
             let records = &records;
+            let successes = &successes;
             let remaining = &remaining;
             let failures = &failures;
             let worker_stats = &worker_stats;
+            let plan = plan.as_ref();
             let kb = kb.clone();
             scope.spawn(move |_| {
                 let mut stats = WorkerStats {
@@ -644,9 +842,10 @@ pub fn run_cells(
                 while let Some(cell) = next_cell(&local, global, stealers, wi, &mut stats) {
                     let depth = remaining.fetch_sub(1, Ordering::Relaxed).saturating_sub(1);
                     obs::observe("grid.injector_depth", depth as f64);
-                    match execute_cell(datasets, &cell, config, &mut stats) {
+                    match execute_cell(datasets, &cell, config, plan, &mut stats) {
                         Ok(mut recs) => {
                             records.fetch_add(recs.len(), Ordering::Relaxed);
+                            successes.fetch_add(1, Ordering::Relaxed);
                             batch.append(&mut recs);
                         }
                         Err(failure) => failures.lock().push(failure),
@@ -670,6 +869,7 @@ pub fn run_cells(
     Ok(GridReport {
         records: records.load(Ordering::Relaxed),
         cells: n_cells,
+        cells_succeeded: successes.load(Ordering::Relaxed),
         failures: failures.into_inner(),
         wall_seconds: run_start.elapsed().as_secs_f64(),
         worker_stats,
@@ -752,6 +952,7 @@ mod tests {
             seed: 9,
             parallel: false,
             workers: 0,
+            ..ExperimentConfig::default()
         }
     }
 
@@ -889,9 +1090,13 @@ mod tests {
             assert_eq!(report.records, 4, "workers={workers}");
             assert_eq!(kb.len(), 4);
             assert_eq!(report.cells, 4);
+            assert_eq!(report.cells_succeeded, 2);
             assert_eq!(report.failures.len(), 2);
             assert!(report.failures.iter().all(|f| f.dataset == "broken"));
             assert!(!report.failures[0].error.is_empty());
+            // Retries are off by default: one attempt, no retry totals.
+            assert!(report.failures.iter().all(|f| f.attempts == 1));
+            assert_eq!(report.total_retries(), 0);
         }
     }
 
@@ -922,6 +1127,127 @@ mod tests {
             let busy: f64 = report.worker_stats.iter().map(|s| s.busy_seconds).sum();
             assert!(busy <= report.wall_seconds * workers as f64 + 1e-6);
         }
+    }
+
+    #[test]
+    fn panic_message_handles_all_payload_shapes() {
+        let p: Box<dyn std::any::Any + Send> = Box::new("static str");
+        assert_eq!(panic_message(p.as_ref()), "panic: static str");
+        let p: Box<dyn std::any::Any + Send> = Box::new(String::from("owned message"));
+        assert_eq!(panic_message(p.as_ref()), "panic: owned message");
+        let p: Box<dyn std::any::Any + Send> = Box::new(42u32);
+        assert_eq!(panic_message(p.as_ref()), "panic: <non-string payload>");
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_caps() {
+        let base = Duration::from_millis(10);
+        assert_eq!(retry_backoff(base, 1), Duration::from_millis(10));
+        assert_eq!(retry_backoff(base, 2), Duration::from_millis(20));
+        assert_eq!(retry_backoff(base, 3), Duration::from_millis(40));
+        assert_eq!(retry_backoff(base, 30), Duration::from_secs(1));
+        assert_eq!(retry_backoff(Duration::ZERO, 5), Duration::ZERO);
+    }
+
+    #[test]
+    fn injected_fault_is_retried_to_success() {
+        use openbi_faults::{FaultPlan, FaultRule};
+        // Every cell fails its first attempt, then retries succeed.
+        let plan = Arc::new(FaultPlan::new(11).with(FaultRule::error(CELL_FAULT_POINT)));
+        for workers in [1usize, 4] {
+            let kb = SharedKnowledgeBase::default();
+            let config = ExperimentConfig {
+                parallel: workers > 1,
+                workers,
+                max_retries: 1,
+                retry_backoff: Duration::ZERO,
+                fault_plan: Some(Arc::clone(&plan)),
+                ..fast_config()
+            };
+            let report =
+                run_phase1_report(&[small_dataset()], &[Criterion::LabelNoise], &config, &kb)
+                    .unwrap();
+            assert!(
+                report.failures.is_empty(),
+                "workers={workers}: {:?}",
+                report.failures
+            );
+            assert_eq!(report.records, 4, "workers={workers}");
+            assert_eq!(report.cells_succeeded, report.cells);
+            assert_eq!(
+                report.total_retries(),
+                report.cells,
+                "workers={workers}: every cell fails exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn exhausted_retries_record_attempt_count() {
+        use openbi_faults::{FaultPlan, FaultRule};
+        let plan = Arc::new(FaultPlan::new(3).with(
+            FaultRule::error(CELL_FAULT_POINT).times(u32::MAX), // persistent
+        ));
+        let kb = SharedKnowledgeBase::default();
+        let config = ExperimentConfig {
+            max_retries: 2,
+            retry_backoff: Duration::ZERO,
+            fault_plan: Some(plan),
+            ..fast_config()
+        };
+        let report =
+            run_phase1_report(&[small_dataset()], &[Criterion::LabelNoise], &config, &kb).unwrap();
+        assert_eq!(report.records, 0);
+        assert_eq!(report.cells_succeeded, 0);
+        assert_eq!(report.failures.len(), report.cells);
+        assert!(
+            report.failures.iter().all(|f| f.attempts == 3),
+            "max_retries + 1"
+        );
+        assert!(report.failures[0].error.contains("injected fault"));
+        assert_eq!(report.total_retries(), 2 * report.cells);
+    }
+
+    #[test]
+    fn deadline_bounds_a_hung_cell() {
+        use openbi_faults::{FaultPlan, FaultRule};
+        // The injected delay exceeds the deadline on every attempt, so
+        // the single cell is abandoned rather than waited on.
+        let plan = Arc::new(
+            FaultPlan::new(5).with(FaultRule::delay(CELL_FAULT_POINT, 400).times(u32::MAX)),
+        );
+        let kb = SharedKnowledgeBase::default();
+        let config = ExperimentConfig {
+            severities: vec![0.5],
+            cell_deadline: Some(Duration::from_millis(50)),
+            retry_backoff: Duration::ZERO,
+            fault_plan: Some(plan),
+            ..fast_config()
+        };
+        let report =
+            run_phase1_report(&[small_dataset()], &[Criterion::LabelNoise], &config, &kb).unwrap();
+        assert_eq!(report.failures.len(), 1);
+        assert_eq!(report.failures[0].attempts, 1);
+        assert!(
+            report.failures[0].error.contains("deadline"),
+            "{}",
+            report.failures[0].error
+        );
+        assert_eq!(kb.len(), 0, "abandoned attempts must not write records");
+    }
+
+    #[test]
+    fn deadline_passes_fast_cells_through() {
+        // A generous deadline on healthy cells: same records, no
+        // failures — the deadline path must not change results.
+        let kb = SharedKnowledgeBase::default();
+        let config = ExperimentConfig {
+            cell_deadline: Some(Duration::from_secs(60)),
+            ..fast_config()
+        };
+        let n = run_phase1(&[small_dataset()], &[Criterion::LabelNoise], &config, &kb).unwrap();
+        assert_eq!(n, 4);
+        assert_eq!(kb.len(), 4);
     }
 
     #[test]

@@ -23,6 +23,11 @@
 //! (`openbi-obs`): install a [`obs::MetricsRegistry`] to collect
 //! latency histograms and counters from the experiment grid, the
 //! pipeline stages, and the advisor serving path (DESIGN.md §9).
+//! Deterministic fault injection lives in the re-exported [`faults`]
+//! crate (`openbi-faults`): install a [`faults::FaultPlan`] — or set
+//! one on [`ExperimentConfig`] / [`PipelineConfig`] — to chaos-test
+//! the executor's retries and deadlines and the pipeline's graceful
+//! degradation (DESIGN.md §10).
 //!
 //! ```
 //! use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
@@ -62,6 +67,7 @@ pub use report::render_outcome;
 
 // Re-export the substrate crates so downstream users need one dependency.
 pub use openbi_datagen as datagen;
+pub use openbi_faults as faults;
 pub use openbi_kb as kb;
 pub use openbi_lod as lod;
 pub use openbi_metamodel as metamodel;

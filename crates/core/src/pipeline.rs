@@ -9,9 +9,23 @@
 //! installed the same laps are also recorded into per-stage
 //! `pipeline.stage.*.seconds` histograms, so stage latency distributions
 //! accumulate across runs (DESIGN.md §9).
+//!
+//! ## Graceful degradation (DESIGN.md §10)
+//!
+//! Every stage has an `openbi-faults` injection point
+//! (`pipeline.stage.<key>`, keyed by the dataset name). Stages whose
+//! output is advisory — quality annotation, advice, LOD publication —
+//! degrade instead of aborting: a failure (or injected fault) there
+//! substitutes an explicit fallback and records a [`DegradedStage`]
+//! marker in [`PipelineOutcome::degraded`], so a non-expert still gets
+//! a mining result, clearly labelled as running without quality
+//! guidance. Stages the result depends on — ingestion, preprocessing,
+//! mining — stay fatal and propagate their errors.
 
 use crate::error::{OpenBiError, Result};
+use crate::experiment::panic_message;
 use crate::guidance::PreprocessingPlan;
+use openbi_faults::FaultPlan;
 use openbi_kb::{Advice, Advisor, KnowledgeBase};
 use openbi_lod::{
     publish_advice, publish_quality_measurements, publish_table, Graph, Iri, TabularizeOptions,
@@ -24,6 +38,7 @@ use openbi_mining::{AlgorithmSpec, EvalResult, Instances};
 use openbi_obs as obs;
 use openbi_quality::{measure_profile, MeasureOptions, QualityProfile};
 use openbi_table::{read_csv_str, CsvOptions, Table};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Where the pipeline's input comes from.
@@ -93,6 +108,9 @@ pub struct PipelineConfig {
     /// is identical to the sequential run; on for the interactive
     /// single-dataset path, which otherwise uses one core.
     pub parallel_folds: bool,
+    /// Fault plan for chaos testing. `None` falls back to the
+    /// process-global plan ([`openbi_faults::active`]).
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for PipelineConfig {
@@ -108,8 +126,22 @@ impl Default for PipelineConfig {
             advisor: Advisor::default(),
             fallback_algorithm: AlgorithmSpec::NaiveBayes,
             parallel_folds: true,
+            fault_plan: None,
         }
     }
+}
+
+/// A pipeline stage that fell back instead of aborting the run — the
+/// explicit "Degraded" marker a non-expert can read off the outcome.
+#[derive(Debug, Clone)]
+pub struct DegradedStage {
+    /// Stage key, e.g. `"quality"` (matches the `pipeline.stage.<key>`
+    /// injection point and metric names).
+    pub stage: String,
+    /// The error or panic that triggered the fallback.
+    pub error: String,
+    /// What the pipeline substituted for the stage's output.
+    pub fallback: String,
 }
 
 /// Everything the pipeline produced.
@@ -142,6 +174,16 @@ pub struct PipelineOutcome {
     pub published: Graph,
     /// Wall time per phase, milliseconds: `(phase name, ms)`.
     pub phase_timings: Vec<(String, f64)>,
+    /// Stages that fell back instead of completing normally; empty on a
+    /// healthy run.
+    pub degraded: Vec<DegradedStage>,
+}
+
+impl PipelineOutcome {
+    /// True iff any stage fell back instead of completing normally.
+    pub fn is_degraded(&self) -> bool {
+        !self.degraded.is_empty()
+    }
 }
 
 /// Map an advisor algorithm name back to a runnable spec from the
@@ -150,6 +192,46 @@ pub fn spec_by_name(name: &str) -> Option<AlgorithmSpec> {
     AlgorithmSpec::standard_suite()
         .into_iter()
         .find(|s| s.to_string() == name || s.name() == name)
+}
+
+/// Fire a fatal stage's injection point: an injected error propagates
+/// as [`OpenBiError::Fault`]; no plan is a no-op.
+fn fire_fatal(plan: Option<&FaultPlan>, stage: &str, key: u64) -> Result<()> {
+    if let Some(plan) = plan {
+        plan.fire(&format!("pipeline.stage.{stage}"), key, 0)?;
+    }
+    Ok(())
+}
+
+/// Run a degradable stage: fire its injection point, then run `body`
+/// with panic containment. Any failure substitutes `fallback` and
+/// records a [`DegradedStage`] instead of aborting the pipeline.
+fn run_degradable<T>(
+    stage: &str,
+    plan: Option<&FaultPlan>,
+    key: u64,
+    fallback: (T, &str),
+    degraded: &mut Vec<DegradedStage>,
+    body: impl FnOnce() -> Result<T>,
+) -> T {
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(plan) = plan {
+            plan.fire(&format!("pipeline.stage.{stage}"), key, 0)?;
+        }
+        body()
+    }));
+    let (fallback_value, fallback_desc) = fallback;
+    let error = match outcome {
+        Ok(Ok(value)) => return value,
+        Ok(Err(e)) => e.to_string(),
+        Err(panic) => panic_message(panic.as_ref()),
+    };
+    degraded.push(DegradedStage {
+        stage: stage.to_string(),
+        error,
+        fallback: fallback_desc.to_string(),
+    });
+    fallback_value
 }
 
 /// The `openbi-obs` histogram a phase-timing lap records into. Stage
@@ -187,6 +269,11 @@ pub fn run_pipeline(
 
     // Phase 1: ingestion + common representation.
     let dataset = source.name().to_string();
+    let plan = config.fault_plan.clone().or_else(openbi_faults::active);
+    let plan = plan.as_deref();
+    let fault_key = openbi_faults::key(&dataset);
+    let mut degraded: Vec<DegradedStage> = Vec::new();
+    fire_fatal(plan, "ingest", fault_key)?;
     let (raw, mut catalog) = match source {
         DataSource::CsvText { name, content } => {
             let table = read_csv_str(&content, &CsvOptions::default())?;
@@ -229,26 +316,50 @@ pub fn run_pipeline(
         exclude: exclude.clone(),
         ..Default::default()
     };
-    let profile = measure_profile(&raw, &measure_opts);
-    annotate_catalog(&mut catalog, &profile, config.target.as_deref());
+    let profile = run_degradable(
+        "quality",
+        plan,
+        fault_key,
+        (
+            QualityProfile::default(),
+            "unmeasured default profile; catalog left unannotated",
+        ),
+        &mut degraded,
+        || {
+            let profile = measure_profile(&raw, &measure_opts);
+            annotate_catalog(&mut catalog, &profile, config.target.as_deref());
+            Ok(profile)
+        },
+    );
     lap(&mut timings, "quality-annotation", &mut clock);
 
     // Phase 3: advice (served from the KB's per-algorithm record
     // index; see DESIGN.md §8).
-    let advice = match kb {
-        Some(kb) if !kb.is_empty() => Some(config.advisor.advise(kb, &profile)?),
-        _ => None,
-    };
+    let advice = run_degradable(
+        "advice",
+        plan,
+        fault_key,
+        (
+            None,
+            "no advice; mining falls back to the configured algorithm",
+        ),
+        &mut degraded,
+        || match kb {
+            Some(kb) if !kb.is_empty() => Ok(Some(config.advisor.advise(kb, &profile)?)),
+            _ => Ok(None),
+        },
+    );
     lap(&mut timings, "advice", &mut clock);
 
     // Phase 4: guided preprocessing.
-    let plan = PreprocessingPlan::recommend(&profile);
+    fire_fatal(plan, "preprocess", fault_key)?;
+    let preprocessing_plan = PreprocessingPlan::recommend(&profile);
     let mut protected: Vec<&str> = exclude.iter().map(String::as_str).collect();
     if let Some(t) = &config.target {
         protected.push(t.as_str());
     }
     let mut preprocessed = if config.auto_preprocess {
-        plan.apply(&raw, &protected)?
+        preprocessing_plan.apply(&raw, &protected)?
     } else {
         raw.clone()
     };
@@ -265,6 +376,7 @@ pub fn run_pipeline(
     lap(&mut timings, "preprocessing", &mut clock);
 
     // Phase 5: mining (when a target is configured).
+    fire_fatal(plan, "mine", fault_key)?;
     let (evaluation, chosen_algorithm) = if let Some(target) = &config.target {
         let spec = advice
             .as_ref()
@@ -288,29 +400,42 @@ pub fn run_pipeline(
     lap(&mut timings, "mining", &mut clock);
 
     // Phase 6: publish results as LOD.
-    let mut published = publish_table(&preprocessed, &config.base_iri, &dataset)?;
-    published.merge(&publish_quality_measurements(
-        &config.base_iri,
-        &dataset,
-        &profile.criteria(),
-    )?);
-    if let Some(a) = &advice {
-        let ranking: Vec<(String, f64)> = a
-            .ranking
-            .iter()
-            .map(|r| (r.algorithm.clone(), r.expected_score))
-            .collect();
-        published.merge(&publish_advice(&config.base_iri, &dataset, &ranking)?);
-    }
+    let published = run_degradable(
+        "publish",
+        plan,
+        fault_key,
+        (Graph::default(), "empty published graph"),
+        &mut degraded,
+        || {
+            let mut published = publish_table(&preprocessed, &config.base_iri, &dataset)?;
+            published.merge(&publish_quality_measurements(
+                &config.base_iri,
+                &dataset,
+                &profile.criteria(),
+            )?);
+            if let Some(a) = &advice {
+                let ranking: Vec<(String, f64)> = a
+                    .ranking
+                    .iter()
+                    .map(|r| (r.algorithm.clone(), r.expected_score))
+                    .collect();
+                published.merge(&publish_advice(&config.base_iri, &dataset, &ranking)?);
+            }
+            Ok(published)
+        },
+    );
     lap(&mut timings, "publish-lod", &mut clock);
 
+    if !degraded.is_empty() {
+        obs::counter_add("pipeline.degraded_runs_total", 1);
+    }
     Ok(PipelineOutcome {
         dataset,
         raw,
         catalog,
         profile,
         advice,
-        plan,
+        plan: preprocessing_plan,
         preprocessed,
         selected_attributes,
         profile_after,
@@ -318,6 +443,7 @@ pub fn run_pipeline(
         chosen_algorithm,
         published,
         phase_timings: timings,
+        degraded,
     })
 }
 
@@ -516,5 +642,116 @@ mod tests {
         assert_eq!(spec_by_name("NaiveBayes"), Some(AlgorithmSpec::NaiveBayes));
         assert!(spec_by_name("kNN(k=5)").is_some());
         assert!(spec_by_name("NoSuchAlgorithm").is_none());
+    }
+
+    #[test]
+    fn healthy_run_is_not_degraded() {
+        let outcome = run_pipeline(csv_source(), &PipelineConfig::default(), None).unwrap();
+        assert!(!outcome.is_degraded());
+        assert!(outcome.degraded.is_empty());
+    }
+
+    #[test]
+    fn failing_quality_stage_degrades_not_aborts() {
+        use openbi_faults::{FaultPlan, FaultRule};
+        let plan = Arc::new(FaultPlan::new(2).with(FaultRule::error("pipeline.stage.quality")));
+        let config = PipelineConfig {
+            target: Some("label".into()),
+            folds: 2,
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        let outcome = run_pipeline(csv_source(), &config, None).unwrap();
+        assert!(outcome.is_degraded());
+        assert_eq!(outcome.degraded.len(), 1);
+        assert_eq!(outcome.degraded[0].stage, "quality");
+        assert!(outcome.degraded[0].error.contains("injected fault"));
+        // The fallback profile is the unmeasured default and the
+        // catalog stays unannotated — but mining still completed.
+        let cs = outcome.catalog.find_column_set("toy").unwrap();
+        assert!(cs.annotation("completeness").is_none());
+        assert!(outcome.evaluation.is_some());
+        assert_eq!(outcome.phase_timings.len(), 6);
+    }
+
+    #[test]
+    fn panicking_publish_stage_degrades_to_empty_graph() {
+        use openbi_faults::{FaultPlan, FaultRule};
+        let plan = Arc::new(FaultPlan::new(2).with(FaultRule::panic("pipeline.stage.publish")));
+        let config = PipelineConfig {
+            target: Some("label".into()),
+            folds: 2,
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        let outcome = run_pipeline(csv_source(), &config, None).unwrap();
+        assert!(outcome.published.is_empty());
+        let d = outcome
+            .degraded
+            .iter()
+            .find(|d| d.stage == "publish")
+            .unwrap();
+        assert!(d.error.contains("injected fault"), "{}", d.error);
+        assert_eq!(d.fallback, "empty published graph");
+        assert!(
+            outcome.evaluation.is_some(),
+            "mining happened before publish"
+        );
+    }
+
+    #[test]
+    fn fatal_stage_fault_propagates() {
+        use openbi_faults::{FaultPlan, FaultRule};
+        for stage in ["ingest", "preprocess", "mine"] {
+            let plan = Arc::new(
+                FaultPlan::new(2).with(FaultRule::error(format!("pipeline.stage.{stage}"))),
+            );
+            let config = PipelineConfig {
+                target: Some("label".into()),
+                folds: 2,
+                fault_plan: Some(plan),
+                ..Default::default()
+            };
+            let err = run_pipeline(csv_source(), &config, None).unwrap_err();
+            assert!(matches!(err, OpenBiError::Fault(_)), "stage {stage}: {err}");
+        }
+    }
+
+    #[test]
+    fn degraded_advice_falls_back_to_configured_algorithm() {
+        use openbi_faults::{FaultPlan, FaultRule};
+        use openbi_kb::{ExperimentRecord, KnowledgeBase, PerfMetrics};
+        // A KB that would recommend kNN — but the advice stage fails.
+        let mut kb = KnowledgeBase::new();
+        for i in 0..5 {
+            for (algo, acc) in [("kNN(k=5)", 0.95), ("NaiveBayes", 0.6)] {
+                kb.add(ExperimentRecord {
+                    dataset: format!("d{i}"),
+                    degradations: vec![],
+                    profile: QualityProfile::default(),
+                    algorithm: algo.into(),
+                    metrics: PerfMetrics {
+                        accuracy: acc,
+                        macro_f1: acc,
+                        minority_f1: acc,
+                        kappa: acc,
+                        train_ms: 1.0,
+                        model_size: 1.0,
+                    },
+                    seed: 0,
+                });
+            }
+        }
+        let plan = Arc::new(FaultPlan::new(2).with(FaultRule::error("pipeline.stage.advice")));
+        let config = PipelineConfig {
+            target: Some("label".into()),
+            folds: 2,
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        let outcome = run_pipeline(csv_source(), &config, Some(&kb)).unwrap();
+        assert!(outcome.advice.is_none());
+        assert!(outcome.degraded.iter().any(|d| d.stage == "advice"));
+        assert_eq!(outcome.chosen_algorithm, Some(AlgorithmSpec::NaiveBayes));
     }
 }

@@ -15,6 +15,21 @@ pub fn render_outcome(outcome: &PipelineOutcome) -> String {
         outcome.raw.n_rows(),
         outcome.raw.n_cols()
     );
+    if outcome.is_degraded() {
+        let _ = writeln!(
+            out,
+            "DEGRADED RUN — {} stage(s) fell back instead of completing:",
+            outcome.degraded.len()
+        );
+        for d in &outcome.degraded {
+            let _ = writeln!(
+                out,
+                "  {} failed ({}); used {}",
+                d.stage, d.error, d.fallback
+            );
+        }
+        out.push('\n');
+    }
     out.push_str(&render_profile(&outcome.dataset, &outcome.profile));
     out.push('\n');
     if let Some(advice) = &outcome.advice {
@@ -104,5 +119,27 @@ mod tests {
         assert!(r.contains("Mining result"));
         assert!(r.contains("KDD phase timings"));
         assert!(r.contains("Published"));
+        assert!(!r.contains("DEGRADED RUN"), "healthy run has no marker");
+    }
+
+    #[test]
+    fn report_flags_degraded_runs() {
+        use openbi_faults::{FaultPlan, FaultRule};
+        use std::sync::Arc;
+        let source = DataSource::CsvText {
+            name: "demo".into(),
+            content: "a,b,label\n1,x,p\n2,y,q\n3,x,p\n4,y,q\n5,x,p\n6,y,q\n".into(),
+        };
+        let plan = Arc::new(FaultPlan::new(4).with(FaultRule::error("pipeline.stage.quality")));
+        let config = PipelineConfig {
+            target: Some("label".into()),
+            folds: 2,
+            fault_plan: Some(plan),
+            ..Default::default()
+        };
+        let outcome = run_pipeline(source, &config, None).unwrap();
+        let r = super::render_outcome(&outcome);
+        assert!(r.contains("DEGRADED RUN"), "{r}");
+        assert!(r.contains("quality failed"), "{r}");
     }
 }

@@ -1,0 +1,83 @@
+//! The process-global fault-plan slot.
+//!
+//! Deep call paths that cannot reasonably thread a plan through their
+//! signatures (the knowledge-base store's file I/O, code behind trait
+//! objects) check this slot instead, mirroring the `openbi-obs` global
+//! registry: the miss path is a single relaxed atomic load, so
+//! production runs pay nothing.
+//!
+//! Call paths that *do* have a configuration struct (the experiment
+//! executor, the pipeline) should prefer an explicit
+//! `Option<Arc<FaultPlan>>` field and fall back to this slot, so tests
+//! can inject faults without touching process-global state.
+
+use crate::plan::{FaultError, FaultPlan};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static ACTIVE: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
+
+/// Install `plan` as the process-global fault plan, replacing any
+/// previously installed one.
+pub fn install(plan: Arc<FaultPlan>) {
+    *ACTIVE.write().unwrap_or_else(PoisonError::into_inner) = Some(plan);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Remove and return the process-global plan, disabling global
+/// injection.
+pub fn uninstall() -> Option<Arc<FaultPlan>> {
+    ENABLED.store(false, Ordering::Release);
+    ACTIVE
+        .write()
+        .unwrap_or_else(PoisonError::into_inner)
+        .take()
+}
+
+/// The currently installed plan, if any.
+pub fn active() -> Option<Arc<FaultPlan>> {
+    if !ENABLED.load(Ordering::Acquire) {
+        return None;
+    }
+    ACTIVE
+        .read()
+        .unwrap_or_else(PoisonError::into_inner)
+        .clone()
+}
+
+/// [`FaultPlan::fire`] against the installed plan; `Ok(())` when none
+/// is installed.
+pub fn fire_installed(point: &str, key: u64, attempt: u32) -> Result<(), FaultError> {
+    match active() {
+        Some(plan) => plan.fire(point, key, attempt),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultRule;
+
+    /// The single test that touches the global slot (the rest of the
+    /// crate's tests use owned plans, so this cannot race within the
+    /// test binary).
+    #[test]
+    fn install_fire_uninstall_round_trip() {
+        assert!(active().is_none());
+        assert!(fire_installed("p", 0, 0).is_ok(), "no plan: no faults");
+
+        let plan = Arc::new(FaultPlan::new(1).with(FaultRule::error("p")));
+        install(Arc::clone(&plan));
+        assert!(active().is_some());
+        assert!(fire_installed("p", 0, 0).is_err());
+        assert!(fire_installed("p", 0, 1).is_ok(), "times=1: retries pass");
+        assert!(fire_installed("other", 0, 0).is_ok());
+
+        let removed = uninstall().expect("a plan was installed");
+        assert!(Arc::ptr_eq(&removed, &plan));
+        assert!(uninstall().is_none());
+        assert!(fire_installed("p", 0, 0).is_ok(), "uninstalled: no faults");
+    }
+}

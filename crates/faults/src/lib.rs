@@ -1,0 +1,47 @@
+//! # openbi-faults
+//!
+//! Deterministic, seed-replayable fault injection for OpenBI chaos
+//! testing. Nikiforova's open-data-quality catalog and the paper's own
+//! pitch — a non-expert must be able to trust "the best option is
+//! ALGORITHM X" — mean partial failure is an *input* the system has to
+//! absorb, so this crate makes faults a first-class, testable input:
+//!
+//! * [`FaultPlan`] maps named injection points (`grid.cell.run`,
+//!   `pipeline.stage.quality`, `kb.store.save`, …) to schedules of
+//!   [`FaultKind::Error`] / [`FaultKind::Panic`] /
+//!   [`FaultKind::Delay`] faults.
+//! * Every decision is a pure hash of `(plan seed, rule, scope key)` —
+//!   no interior state — so a plan fires the same faults regardless of
+//!   thread count or execution order, and any chaos run is replayable
+//!   from its seed.
+//! * Plans have a one-line-per-rule text form
+//!   ([`FaultPlan::parse`] / [`FaultPlan::to_text`]) so chaos runs are
+//!   scriptable: `openbi-cli experiments --fault-plan plan.txt`.
+//! * A process-global slot ([`install`] / [`uninstall`] / [`active`])
+//!   reaches call paths that have no configuration struct of their own
+//!   (the knowledge-base store's file I/O); everything else takes the
+//!   plan explicitly.
+//!
+//! ```
+//! use openbi_faults::{FaultPlan, FaultRule};
+//!
+//! let plan = FaultPlan::parse("seed 7\nfault grid.cell.run error\n").unwrap();
+//! assert!(plan.fire("grid.cell.run", 0xC0FFEE, 0).is_err()); // attempt 0 fails
+//! assert!(plan.fire("grid.cell.run", 0xC0FFEE, 1).is_ok());  // retry succeeds
+//! assert_eq!(FaultPlan::parse(&plan.to_text()).unwrap(), plan);
+//! ```
+//!
+//! The injection-point catalog and the retry/deadline/degradation
+//! semantics built on top of this crate are documented in DESIGN.md
+//! §10.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+mod global;
+mod parse;
+mod plan;
+
+pub use global::{active, fire_installed, install, uninstall};
+pub use parse::PlanParseError;
+pub use plan::{key, FaultError, FaultKind, FaultPlan, FaultRule};

@@ -1,0 +1,244 @@
+//! The fault-plan text format: one directive per line, `#` comments.
+//!
+//! ```text
+//! # chaos: fail every grid cell once, slow every KB save by 50 ms
+//! seed 42
+//! fault grid.cell.run error
+//! fault kb.store.save delay=50 times=2 ratio=0.5
+//! fault pipeline.stage.quality panic times=1
+//! ```
+//!
+//! Grammar per non-comment line:
+//!
+//! * `seed <u64>` — the plan seed (defaults to 0 when absent).
+//! * `fault <point> <error|panic|delay=MS> [times=N] [ratio=F]`
+//!
+//! [`FaultPlan::to_text`] renders the canonical form; parsing it back
+//! yields an equal plan, so plans can be generated, saved, and replayed.
+
+use crate::plan::{FaultKind, FaultPlan, FaultRule};
+use std::fmt;
+
+/// A fault-plan text that could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError {
+    /// 1-based line number of the offending line (0 for file-level
+    /// errors such as an unreadable path).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "fault plan: {}", self.message)
+        } else {
+            write!(f, "fault plan line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+fn err(line: usize, message: impl Into<String>) -> PlanParseError {
+    PlanParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+impl FaultPlan {
+    /// Parse a plan from its text form.
+    pub fn parse(text: &str) -> Result<FaultPlan, PlanParseError> {
+        let mut plan = FaultPlan::new(0);
+        for (i, raw) in text.lines().enumerate() {
+            let line_no = i + 1;
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("seed") => {
+                    let value = words
+                        .next()
+                        .ok_or_else(|| err(line_no, "seed needs a value"))?;
+                    let seed = value
+                        .parse::<u64>()
+                        .map_err(|_| err(line_no, format!("invalid seed {value:?}")))?;
+                    plan = FaultPlan::new(seed).with_rules(plan);
+                }
+                Some("fault") => {
+                    let rule = parse_rule(line_no, &mut words)?;
+                    plan = plan.with(rule);
+                }
+                Some(other) => {
+                    return Err(err(
+                        line_no,
+                        format!("unknown directive {other:?} (expected `seed` or `fault`)"),
+                    ))
+                }
+                None => unreachable!("blank lines are skipped"),
+            }
+            if let Some(extra) = words.next() {
+                return Err(err(line_no, format!("trailing token {extra:?}")));
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Load a plan from a file in the text format.
+    pub fn from_file(path: impl AsRef<std::path::Path>) -> Result<FaultPlan, PlanParseError> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| err(0, format!("cannot read {}: {e}", path.display())))?;
+        FaultPlan::parse(&text)
+    }
+
+    /// Render the canonical text form (round-trips through
+    /// [`parse`](FaultPlan::parse)).
+    pub fn to_text(&self) -> String {
+        let mut out = format!("seed {}\n", self.seed());
+        for rule in self.rules() {
+            out.push_str(&format!(
+                "fault {} {} times={} ratio={}\n",
+                rule.point, rule.kind, rule.times, rule.ratio
+            ));
+        }
+        out
+    }
+
+    /// Keep `self`'s seed but take every rule of `other` (parser
+    /// helper: `seed` lines may appear after `fault` lines).
+    fn with_rules(mut self, other: FaultPlan) -> FaultPlan {
+        for rule in other.rules() {
+            self = self.with(rule.clone());
+        }
+        self
+    }
+}
+
+fn parse_rule<'a>(
+    line: usize,
+    words: &mut impl Iterator<Item = &'a str>,
+) -> Result<FaultRule, PlanParseError> {
+    let point = words
+        .next()
+        .ok_or_else(|| err(line, "fault needs an injection-point name"))?;
+    let kind_word = words
+        .next()
+        .ok_or_else(|| err(line, "fault needs a kind: error, panic, or delay=MS"))?;
+    let kind = match kind_word {
+        "error" => FaultKind::Error,
+        "panic" => FaultKind::Panic,
+        other => match other.strip_prefix("delay=") {
+            Some(ms) => FaultKind::Delay(
+                ms.parse::<u64>()
+                    .map_err(|_| err(line, format!("invalid delay milliseconds {ms:?}")))?,
+            ),
+            None => return Err(err(line, format!("unknown fault kind {other:?}"))),
+        },
+    };
+    let mut rule = FaultRule::new(point, kind);
+    for option in words {
+        if let Some(times) = option.strip_prefix("times=") {
+            rule = rule.times(
+                times
+                    .parse::<u32>()
+                    .map_err(|_| err(line, format!("invalid times {times:?}")))?,
+            );
+        } else if let Some(ratio) = option.strip_prefix("ratio=") {
+            let ratio = ratio
+                .parse::<f64>()
+                .map_err(|_| err(line, format!("invalid ratio {ratio:?}")))?;
+            if !(0.0..=1.0).contains(&ratio) {
+                return Err(err(line, format!("ratio {ratio} outside [0, 1]")));
+            }
+            rule = rule.ratio(ratio);
+        } else {
+            return Err(err(line, format!("unknown option {option:?}")));
+        }
+    }
+    Ok(rule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_documented_example() {
+        let plan = FaultPlan::parse(
+            "# chaos\n\
+             seed 42\n\
+             fault grid.cell.run error\n\
+             fault kb.store.save delay=50 times=2 ratio=0.5\n\
+             fault pipeline.stage.quality panic times=1\n",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.rules().len(), 3);
+        assert_eq!(plan.rules()[0].kind, FaultKind::Error);
+        assert_eq!(plan.rules()[1].kind, FaultKind::Delay(50));
+        assert_eq!(plan.rules()[1].times, 2);
+        assert_eq!(plan.rules()[1].ratio, 0.5);
+        assert_eq!(plan.rules()[2].kind, FaultKind::Panic);
+    }
+
+    #[test]
+    fn text_round_trip_is_identity() {
+        let plan = FaultPlan::new(7)
+            .with(FaultRule::error("grid.cell.run").times(3))
+            .with(FaultRule::delay("kb.store.*", 10).ratio(0.25))
+            .with(FaultRule::panic("pipeline.stage.quality"));
+        let reparsed = FaultPlan::parse(&plan.to_text()).unwrap();
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_late_seed_are_fine() {
+        let plan =
+            FaultPlan::parse("\n# header\nfault p error  # trailing comment\n\nseed 9\n").unwrap();
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.rules().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_lines_with_line_numbers() {
+        for (text, needle) in [
+            ("seed\n", "seed needs a value"),
+            ("seed nope\n", "invalid seed"),
+            ("fault p\n", "needs a kind"),
+            ("fault p maybe\n", "unknown fault kind"),
+            ("fault p delay=soon\n", "invalid delay"),
+            ("fault p error times=x\n", "invalid times"),
+            ("fault p error ratio=1.5\n", "outside [0, 1]"),
+            ("fault p error wat=1\n", "unknown option"),
+            ("boom p error\n", "unknown directive"),
+            ("seed 1 2\n", "trailing token"),
+        ] {
+            let e = FaultPlan::parse(text).unwrap_err();
+            assert!(e.to_string().contains(needle), "{text:?} → {e}");
+            assert_eq!(e.line, 1, "{text:?}");
+        }
+    }
+
+    #[test]
+    fn missing_file_is_a_file_level_error() {
+        let e = FaultPlan::from_file("/no/such/plan.txt").unwrap_err();
+        assert_eq!(e.line, 0);
+        assert!(e.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let plan = FaultPlan::new(3).with(FaultRule::error("grid.cell.run"));
+        let dir = std::env::temp_dir().join("openbi-faults-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("plan.txt");
+        std::fs::write(&path, plan.to_text()).unwrap();
+        assert_eq!(FaultPlan::from_file(&path).unwrap(), plan);
+        std::fs::remove_file(path).ok();
+    }
+}

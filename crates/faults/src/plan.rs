@@ -1,0 +1,343 @@
+//! Fault plans: which injection points misbehave, how, and when.
+//!
+//! A [`FaultPlan`] is a pure decision table. Every decision is a hash of
+//! `(plan seed, rule index, scope key)` — no interior state, no RNG
+//! stream to keep in sync — so the same plan produces the same faults
+//! no matter how many threads execute the workload or in which order
+//! the injection points are reached. That property is what lets the
+//! chaos tests assert byte-identical results across worker counts.
+
+use std::fmt;
+use std::time::Duration;
+
+/// What an injection point does when a rule fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail with an injected error; the site maps it into its own
+    /// error type and takes its normal failure path (retry, skip, …).
+    Error,
+    /// Panic with a deterministic message; the site's panic containment
+    /// (if any) is what is being tested.
+    Panic,
+    /// Sleep for the given number of milliseconds, then continue
+    /// normally — exercises deadlines and slow-path handling without
+    /// changing any result.
+    Delay(u64),
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::Error => f.write_str("error"),
+            FaultKind::Panic => f.write_str("panic"),
+            FaultKind::Delay(ms) => write!(f, "delay={ms}"),
+        }
+    }
+}
+
+/// One schedule entry: at which point, what to inject, for which scope
+/// keys, and on how many attempts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Injection-point name this rule applies to. A trailing `*` is a
+    /// prefix wildcard: `grid.*` matches every grid point.
+    pub point: String,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Fire on attempts `0..times` of each selected key; `1` (the
+    /// default) means "fail once, then let retries succeed", a large
+    /// value means the key fails persistently.
+    pub times: u32,
+    /// Deterministic fraction of scope keys this rule selects, in
+    /// `[0, 1]`. `1.0` (the default) selects every key.
+    pub ratio: f64,
+}
+
+impl FaultRule {
+    /// A rule with the default schedule (`times = 1`, `ratio = 1.0`).
+    pub fn new(point: impl Into<String>, kind: FaultKind) -> Self {
+        FaultRule {
+            point: point.into(),
+            kind,
+            times: 1,
+            ratio: 1.0,
+        }
+    }
+
+    /// Shorthand for an [`FaultKind::Error`] rule.
+    pub fn error(point: impl Into<String>) -> Self {
+        FaultRule::new(point, FaultKind::Error)
+    }
+
+    /// Shorthand for a [`FaultKind::Panic`] rule.
+    pub fn panic(point: impl Into<String>) -> Self {
+        FaultRule::new(point, FaultKind::Panic)
+    }
+
+    /// Shorthand for a [`FaultKind::Delay`] rule.
+    pub fn delay(point: impl Into<String>, ms: u64) -> Self {
+        FaultRule::new(point, FaultKind::Delay(ms))
+    }
+
+    /// Set how many attempts per key this rule fires on.
+    pub fn times(mut self, times: u32) -> Self {
+        self.times = times;
+        self
+    }
+
+    /// Set the deterministic fraction of keys selected (clamped to
+    /// `[0, 1]`).
+    pub fn ratio(mut self, ratio: f64) -> Self {
+        self.ratio = ratio.clamp(0.0, 1.0);
+        self
+    }
+
+    /// True iff this rule's point pattern matches `point`.
+    pub fn matches(&self, point: &str) -> bool {
+        match self.point.strip_suffix('*') {
+            Some(prefix) => point.starts_with(prefix),
+            None => self.point == point,
+        }
+    }
+}
+
+/// The error an injection point raises when an [`FaultKind::Error`]
+/// rule fires. Carries enough context to find the rule and replay the
+/// exact decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The injection point that fired.
+    pub point: String,
+    /// Index of the firing rule in the plan.
+    pub rule: usize,
+    /// The scope key the decision was made for.
+    pub key: u64,
+    /// The attempt number the fault fired on.
+    pub attempt: u32,
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected fault at {} (rule {}, key {:#x}, attempt {})",
+            self.point, self.rule, self.key, self.attempt
+        )
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+/// A named, seed-deterministic schedule of faults.
+///
+/// ```
+/// use openbi_faults::{FaultKind, FaultPlan, FaultRule};
+///
+/// let plan = FaultPlan::new(42)
+///     .with(FaultRule::error("grid.cell.run"))          // fail once per key
+///     .with(FaultRule::delay("kb.store.save", 5).times(2));
+///
+/// // Attempt 0 fails, attempt 1 succeeds — for every key, every time.
+/// assert!(plan.fire("grid.cell.run", 7, 0).is_err());
+/// assert!(plan.fire("grid.cell.run", 7, 1).is_ok());
+/// assert!(plan.fire("unwired.point", 7, 0).is_ok());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// The plan seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The schedule, in evaluation order.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Append a rule (builder style). Rules are evaluated in insertion
+    /// order; the first match per `(point, key, attempt)` wins.
+    pub fn with(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Pure decision: which rule (if any) fires at `point` for scope
+    /// `key` on `attempt`. Never sleeps, errors, or panics — the
+    /// side-effecting counterpart is [`fire`](FaultPlan::fire).
+    pub fn decide(&self, point: &str, key: u64, attempt: u32) -> Option<(usize, FaultKind)> {
+        self.rules
+            .iter()
+            .enumerate()
+            .find(|(i, r)| r.matches(point) && attempt < r.times && self.selects(*i, key))
+            .map(|(i, r)| (i, r.kind))
+    }
+
+    /// Execute the decision for `(point, key, attempt)`:
+    /// [`Delay`](FaultKind::Delay) sleeps then returns `Ok`,
+    /// [`Error`](FaultKind::Error) returns a [`FaultError`], and
+    /// [`Panic`](FaultKind::Panic) panics with a deterministic message.
+    /// No matching rule is `Ok(())`.
+    pub fn fire(&self, point: &str, key: u64, attempt: u32) -> Result<(), FaultError> {
+        match self.decide(point, key, attempt) {
+            None => Ok(()),
+            Some((_, FaultKind::Delay(ms))) => {
+                std::thread::sleep(Duration::from_millis(ms));
+                Ok(())
+            }
+            Some((rule, FaultKind::Error)) => Err(FaultError {
+                point: point.to_string(),
+                rule,
+                key,
+                attempt,
+            }),
+            Some((rule, FaultKind::Panic)) => {
+                panic!("injected fault: panic at {point} (rule {rule}, key {key:#x}, attempt {attempt})")
+            }
+        }
+    }
+
+    /// Whether rule `rule_index` selects scope `key` — a pure hash of
+    /// `(seed, rule index, key)`, so the same key is selected (or not)
+    /// on every run and on every thread.
+    fn selects(&self, rule_index: usize, key: u64) -> bool {
+        let ratio = self.rules[rule_index].ratio;
+        if ratio >= 1.0 {
+            return true;
+        }
+        if ratio <= 0.0 {
+            return false;
+        }
+        let h = splitmix64(self.seed ^ splitmix64(key ^ ((rule_index as u64 + 1) << 32)));
+        unit_interval(h) < ratio
+    }
+}
+
+/// Stable string → key hash (FNV-1a) for string-scoped injection points
+/// (file paths, dataset names).
+pub fn key(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf29ce484222325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100000001b3);
+    }
+    hash
+}
+
+/// SplitMix64 finalizer: one well-mixed u64 from another.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to `[0, 1)` using its top 53 bits.
+fn unit_interval(hash: u64) -> f64 {
+    (hash >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_and_key_scoped() {
+        let plan = FaultPlan::new(9).with(FaultRule::error("p").ratio(0.5));
+        for key in 0..64u64 {
+            let first = plan.decide("p", key, 0);
+            for _ in 0..8 {
+                assert_eq!(plan.decide("p", key, 0), first, "key {key}");
+            }
+        }
+        // A 0.5 ratio selects some keys and spares others.
+        let selected = (0..256u64)
+            .filter(|&k| plan.decide("p", k, 0).is_some())
+            .count();
+        assert!((64..192).contains(&selected), "selected {selected}/256");
+    }
+
+    #[test]
+    fn times_bounds_the_failing_attempts() {
+        let plan = FaultPlan::new(1).with(FaultRule::error("p").times(2));
+        assert!(plan.fire("p", 3, 0).is_err());
+        assert!(plan.fire("p", 3, 1).is_err());
+        assert!(plan.fire("p", 3, 2).is_ok());
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::new(1)
+            .with(FaultRule::delay("grid.*", 0))
+            .with(FaultRule::error("grid.cell.run"));
+        // The wildcard delay shadows the error rule.
+        assert_eq!(
+            plan.decide("grid.cell.run", 0, 0),
+            Some((0, FaultKind::Delay(0)))
+        );
+        assert!(plan.fire("grid.cell.run", 0, 0).is_ok());
+        // A point only the second rule could match: still rule 0's
+        // wildcard.
+        assert!(plan.decide("grid.flush", 0, 0).is_some());
+        assert!(plan.decide("pipeline.stage.mine", 0, 0).is_none());
+    }
+
+    #[test]
+    fn ratio_extremes_short_circuit() {
+        let all = FaultPlan::new(5).with(FaultRule::error("p").ratio(1.0));
+        let none = FaultPlan::new(5).with(FaultRule::error("p").ratio(0.0));
+        for key in 0..32u64 {
+            assert!(all.decide("p", key, 0).is_some());
+            assert!(none.decide("p", key, 0).is_none());
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_selected_keys() {
+        let a = FaultPlan::new(1).with(FaultRule::error("p").ratio(0.5));
+        let b = FaultPlan::new(2).with(FaultRule::error("p").ratio(0.5));
+        let pick = |plan: &FaultPlan| -> Vec<u64> {
+            (0..128u64)
+                .filter(|&k| plan.decide("p", k, 0).is_some())
+                .collect()
+        };
+        assert_ne!(pick(&a), pick(&b), "different seeds, different keys");
+    }
+
+    #[test]
+    fn injected_panic_is_catchable_and_deterministic() {
+        let plan = FaultPlan::new(1).with(FaultRule::panic("p"));
+        let caught = std::panic::catch_unwind(|| plan.fire("p", 0xAB, 0)).unwrap_err();
+        let message = caught.downcast_ref::<String>().expect("string payload");
+        assert!(message.contains("injected fault: panic at p"), "{message}");
+        assert!(message.contains("0xab"), "{message}");
+    }
+
+    #[test]
+    fn fault_error_displays_context() {
+        let plan = FaultPlan::new(1).with(FaultRule::error("kb.store.save"));
+        let e = plan.fire("kb.store.save", key("kb.jsonl"), 0).unwrap_err();
+        let text = e.to_string();
+        assert!(text.contains("kb.store.save"), "{text}");
+        assert!(text.contains("rule 0"), "{text}");
+    }
+
+    #[test]
+    fn string_keys_are_stable() {
+        assert_eq!(key("kb.jsonl"), key("kb.jsonl"));
+        assert_ne!(key("kb.jsonl"), key("kb2.jsonl"));
+        assert_ne!(key(""), key(" "));
+    }
+}

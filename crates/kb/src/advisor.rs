@@ -455,6 +455,38 @@ mod tests {
     }
 
     #[test]
+    fn empty_ranking_accessors_are_graceful() {
+        // `Advice` is public: users can build one with no ranking, and
+        // the degraded pipeline path surfaces exactly that shape.
+        let advice = Advice {
+            ranking: vec![],
+            explanation: "hand-built".into(),
+        };
+        assert!(advice.top().is_none());
+        assert_eq!(advice.best(), "");
+        assert_eq!(advice.headline(), "no recommendation: the ranking is empty");
+    }
+
+    #[test]
+    fn populated_ranking_accessors_agree() {
+        let advice = Advice {
+            ranking: vec![Recommendation {
+                algorithm: "NaiveBayes".into(),
+                expected_score: 0.875,
+                expected_accuracy: 0.9,
+                support: 12,
+            }],
+            explanation: String::new(),
+        };
+        assert_eq!(advice.top().unwrap().algorithm, "NaiveBayes");
+        assert_eq!(advice.best(), "NaiveBayes");
+        assert_eq!(
+            advice.headline(),
+            "the best option is NaiveBayes (expected score 0.875)"
+        );
+    }
+
+    #[test]
     fn advice_depends_on_profile() {
         let advisor = Advisor {
             neighbors: 5,

@@ -208,15 +208,35 @@ impl KnowledgeBase {
     }
 
     /// Persist to a JSON-lines file.
+    ///
+    /// Checks the `kb.store.save` injection point (keyed by the path)
+    /// against the process-global fault plan before touching the
+    /// filesystem, so chaos runs can simulate a failing disk.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let path = path.as_ref();
+        fire_store_fault("kb.store.save", path)?;
         std::fs::write(path, self.to_jsonl()?).map_err(|e| KbError::Io(e.to_string()))
     }
 
     /// Load from a JSON-lines file.
+    ///
+    /// Checks the `kb.store.load` injection point (keyed by the path)
+    /// against the process-global fault plan before reading.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
+        let path = path.as_ref();
+        fire_store_fault("kb.store.load", path)?;
         let text = std::fs::read_to_string(path).map_err(|e| KbError::Io(e.to_string()))?;
         Self::from_jsonl(&text)
     }
+}
+
+/// Fire a store I/O injection point against the process-global fault
+/// plan, mapping an injected fault into [`KbError::Io`]. The store has
+/// no configuration struct of its own, so the global slot is the only
+/// plan source here; the miss path is one atomic load.
+fn fire_store_fault(point: &str, path: &std::path::Path) -> Result<()> {
+    openbi_faults::fire_installed(point, openbi_faults::key(&path.to_string_lossy()), 0)
+        .map_err(|e| KbError::Io(e.to_string()))
 }
 
 /// A borrowed, optionally dataset-masked view of a [`KnowledgeBase`].

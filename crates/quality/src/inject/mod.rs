@@ -36,14 +36,37 @@ use rand::SeedableRng;
 /// `Send + Sync` so composed [`Degradation`]s can migrate between the
 /// worker threads of the cell-level experiment executor; injectors are
 /// pure parameter records, so every implementation satisfies the bound
-/// for free.
-pub trait Injector: std::fmt::Debug + Send + Sync {
+/// for free. The [`BoxCloneInjector`] supertrait (blanket-implemented
+/// for every `Clone` injector) additionally lets a boxed injector be
+/// cloned, so a `Degradation` can be copied onto a detachable thread
+/// when the executor enforces per-cell deadlines.
+pub trait Injector: std::fmt::Debug + Send + Sync + BoxCloneInjector {
     /// Stable identifier, e.g. `"missing"`.
     fn name(&self) -> &'static str;
     /// Human-readable description with parameters.
     fn describe(&self) -> String;
     /// Apply the defect to a copy of `table`.
     fn apply(&self, table: &Table, rng: &mut StdRng) -> Result<Table>;
+}
+
+/// Object-safe clone support for boxed injectors. Implemented for free
+/// for every `Clone` injector; implementations never need to write it
+/// by hand.
+pub trait BoxCloneInjector {
+    /// Clone `self` into a fresh box.
+    fn box_clone(&self) -> Box<dyn Injector>;
+}
+
+impl<T: Injector + Clone + 'static> BoxCloneInjector for T {
+    fn box_clone(&self) -> Box<dyn Injector> {
+        Box::new(self.clone())
+    }
+}
+
+impl Clone for Box<dyn Injector> {
+    fn clone(&self) -> Self {
+        self.box_clone()
+    }
 }
 
 /// Standard normal deviate via Box–Muller (keeps `rand_distr` out of the
@@ -68,7 +91,7 @@ pub(crate) fn sample_indices(len: usize, count: usize, rng: &mut StdRng) -> Vec<
 
 /// A named, ordered composition of injectors applied with one seed —
 /// the unit of the phase-2 "mixed data quality criteria" experiments.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone)]
 pub struct Degradation {
     injectors: Vec<Box<dyn Injector>>,
 }
@@ -177,6 +200,19 @@ mod tests {
         let c = d.apply(&t, 8).unwrap();
         assert_ne!(a, c, "different seeds should differ");
         assert!(a.column("x").unwrap().null_count() > 0);
+    }
+
+    #[test]
+    fn cloned_degradation_behaves_identically() {
+        let d = Degradation::new()
+            .then(MissingInjector::mcar(0.2).exclude(["class"]))
+            .then(LabelNoiseInjector::new("class", 0.1));
+        let cloned = d.clone();
+        assert_eq!(cloned.len(), d.len());
+        assert_eq!(cloned.names(), d.names());
+        assert_eq!(cloned.describe(), d.describe());
+        let t = table();
+        assert_eq!(cloned.apply(&t, 7).unwrap(), d.apply(&t, 7).unwrap());
     }
 
     #[test]

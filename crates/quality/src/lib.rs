@@ -18,9 +18,9 @@ pub mod report;
 
 pub use dedup::{find_duplicate_clusters, merge_duplicates, string_similarity, LinkageConfig};
 pub use inject::{
-    AttributeNoiseInjector, CorrelatedInjector, Degradation, DuplicateInjector, ImbalanceInjector,
-    InconsistencyInjector, Injector, IrrelevantInjector, LabelNoiseInjector, MissingInjector,
-    MissingMechanism, OutlierInjector,
+    AttributeNoiseInjector, BoxCloneInjector, CorrelatedInjector, Degradation, DuplicateInjector,
+    ImbalanceInjector, InconsistencyInjector, Injector, IrrelevantInjector, LabelNoiseInjector,
+    MissingInjector, MissingMechanism, OutlierInjector,
 };
 pub use measure::{measure_profile, MeasureOptions};
 pub use profile::{QualityProfile, PROFILE_DIMENSIONS};

@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         seed: 11,
         parallel: true,
         workers: 0,
+        ..ExperimentConfig::default()
     };
     let kb = SharedKnowledgeBase::default();
     let criteria = [

@@ -40,6 +40,7 @@ fn experiment_kb() -> KnowledgeBase {
         seed: 21,
         parallel: true,
         workers: 0,
+        ..ExperimentConfig::default()
     };
     let kb = SharedKnowledgeBase::default();
     let n = run_phase1(

@@ -163,6 +163,7 @@ fn knowledge_base_shares_as_lod_and_advises_after_import() {
             seed: 2,
             parallel: false,
             workers: 0,
+            ..ExperimentConfig::default()
         },
         &kb,
     )

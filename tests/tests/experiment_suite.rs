@@ -38,6 +38,7 @@ fn config() -> ExperimentConfig {
         seed: 3,
         parallel: true,
         workers: 0,
+        ..ExperimentConfig::default()
     }
 }
 
@@ -176,6 +177,7 @@ fn imbalance_hurts_minority_f1_more_than_accuracy() {
         parallel: false,
         workers: 0,
         severities: vec![],
+        ..ExperimentConfig::default()
     };
     let clean = evaluate_variant(
         &d,
@@ -224,6 +226,7 @@ fn dimensionality_hurts_knn_more_than_tree() {
         parallel: false,
         workers: 0,
         severities: vec![],
+        ..ExperimentConfig::default()
     };
     let run = |severity: f64| {
         evaluate_variant(

@@ -1,0 +1,237 @@
+//! Chaos suite for the fault-injection subsystem (DESIGN.md §10).
+//!
+//! The headline guarantee: because fault decisions are pure hashes of
+//! `(plan seed, rule, scope key)` and cell seeds derive from the grid
+//! position, a faulted run that retries to success produces a knowledge
+//! base **byte-identical** to the fault-free run — at every worker
+//! count. The suite also proves the per-cell deadline bounds hung
+//! cells, the pipeline degrades instead of aborting, and the KB store's
+//! injection points surface and recover.
+//!
+//! CI's `chaos` step sweeps a seed matrix through these tests via
+//! `OPENBI_CHAOS_SEEDS` / `OPENBI_CHAOS_WORKERS` (comma-separated);
+//! unset, a single fast seed runs locally.
+
+use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
+use openbi::kb::SharedKnowledgeBase;
+use openbi::mining::AlgorithmSpec;
+use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
+use openbi_datagen::{make_blobs, BlobsConfig};
+use openbi_faults::{FaultPlan, FaultRule};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn env_list(var: &str, default: &[u64]) -> Vec<u64> {
+    std::env::var(var)
+        .ok()
+        .map(|s| {
+            s.split(',')
+                .filter_map(|x| x.trim().parse().ok())
+                .collect::<Vec<u64>>()
+        })
+        .filter(|v| !v.is_empty())
+        .unwrap_or_else(|| default.to_vec())
+}
+
+fn chaos_seeds() -> Vec<u64> {
+    env_list("OPENBI_CHAOS_SEEDS", &[7])
+}
+
+fn chaos_workers() -> Vec<usize> {
+    env_list("OPENBI_CHAOS_WORKERS", &[1, 4])
+        .into_iter()
+        .map(|w| w as usize)
+        .collect()
+}
+
+fn datasets() -> Vec<ExperimentDataset> {
+    [1u64, 2]
+        .iter()
+        .map(|&seed| {
+            ExperimentDataset::new(
+                format!("blobs-{seed}"),
+                make_blobs(&BlobsConfig {
+                    n_rows: 120,
+                    n_features: 4,
+                    n_classes: 2,
+                    class_separation: 3.0,
+                    seed,
+                }),
+                "class",
+            )
+        })
+        .collect()
+}
+
+fn config(seed: u64, workers: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        algorithms: vec![AlgorithmSpec::ZeroR, AlgorithmSpec::NaiveBayes],
+        severities: vec![0.0, 1.0],
+        folds: 2,
+        seed,
+        parallel: true,
+        workers,
+        retry_backoff: Duration::ZERO,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Serialize a KB into an order-independent, timing-free fingerprint
+/// (the executor-determinism pattern: `train_ms` is the only wall-clock
+/// field in a record).
+fn kb_fingerprint(kb: &SharedKnowledgeBase) -> Vec<String> {
+    let mut keys: Vec<String> = kb
+        .snapshot()
+        .records()
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.metrics.train_ms = 0.0;
+            serde_json::to_string(&r).unwrap()
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+/// A plan that fails every cell's first attempt, plus two retries of
+/// budget, must converge to the exact fault-free knowledge base — for
+/// every seed in the matrix and every worker count.
+#[test]
+fn retried_faults_leave_the_kb_byte_identical() {
+    let criteria = [Criterion::Completeness, Criterion::LabelNoise];
+    for seed in chaos_seeds() {
+        let baseline_kb = SharedKnowledgeBase::default();
+        let baseline =
+            run_phase1_report(&datasets(), &criteria, &config(seed, 1), &baseline_kb).unwrap();
+        assert!(baseline.failures.is_empty(), "baseline must be fault-free");
+        let expected = kb_fingerprint(&baseline_kb);
+        assert!(!expected.is_empty());
+
+        for workers in chaos_workers() {
+            let plan = Arc::new(FaultPlan::new(seed).with(FaultRule::error("grid.cell.run")));
+            let cfg = ExperimentConfig {
+                max_retries: 2,
+                fault_plan: Some(plan),
+                ..config(seed, workers)
+            };
+            let kb = SharedKnowledgeBase::default();
+            let report = run_phase1_report(&datasets(), &criteria, &cfg, &kb).unwrap();
+            assert!(
+                report.failures.is_empty(),
+                "seed {seed}, {workers} workers: every cell must retry to success, got {:?}",
+                report.failures
+            );
+            assert_eq!(report.cells_succeeded, report.cells_attempted());
+            assert_eq!(
+                report.total_retries(),
+                report.cells,
+                "seed {seed}: each cell fails exactly its first attempt"
+            );
+            assert_eq!(
+                kb_fingerprint(&kb),
+                expected,
+                "seed {seed}, {workers} workers: faulted KB diverged from fault-free KB"
+            );
+        }
+    }
+}
+
+/// Cells that hang past the deadline are abandoned and reported — the
+/// grid finishes instead of stalling a worker forever.
+#[test]
+fn deadline_abandons_hung_cells_without_stalling_the_grid() {
+    let plan =
+        Arc::new(FaultPlan::new(3).with(FaultRule::delay("grid.cell.run", 2_000).times(u32::MAX)));
+    let cfg = ExperimentConfig {
+        severities: vec![0.5],
+        cell_deadline: Some(Duration::from_millis(50)),
+        fault_plan: Some(plan),
+        ..config(13, 2)
+    };
+    let kb = SharedKnowledgeBase::default();
+    let started = std::time::Instant::now();
+    let report = run_phase1_report(&datasets(), &[Criterion::Completeness], &cfg, &kb).unwrap();
+    assert_eq!(report.cells_succeeded, 0);
+    assert_eq!(report.failures.len(), report.cells_attempted());
+    for f in &report.failures {
+        assert!(f.error.contains("deadline"), "{}", f.error);
+        assert_eq!(f.attempts, 1, "no retry budget: one attempt per cell");
+    }
+    assert_eq!(kb.snapshot().len(), 0, "abandoned cells must not publish");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "the grid must not wait out every injected 2 s delay serially"
+    );
+}
+
+/// A failing quality stage degrades the Figure-2 pipeline — the run
+/// completes with an explicit `Degraded` marker, unannotated advice
+/// context, and a mining result — instead of aborting.
+#[test]
+fn pipeline_degrades_instead_of_aborting() {
+    let source = DataSource::CsvText {
+        name: "chaos-demo".into(),
+        content: "a,b,label\n1,x,p\n2,y,q\n3,x,p\n4,y,q\n5,x,p\n6,y,q\n".into(),
+    };
+    let plan = Arc::new(FaultPlan::new(5).with(FaultRule::error("pipeline.stage.quality")));
+    let cfg = PipelineConfig {
+        target: Some("label".into()),
+        folds: 2,
+        fault_plan: Some(plan),
+        ..Default::default()
+    };
+    let outcome = run_pipeline(source, &cfg, None).unwrap();
+    assert!(outcome.is_degraded());
+    assert_eq!(outcome.degraded.len(), 1);
+    assert_eq!(outcome.degraded[0].stage, "quality");
+    assert!(
+        outcome.degraded[0].error.contains("injected fault"),
+        "{}",
+        outcome.degraded[0].error
+    );
+    assert!(
+        outcome.evaluation.is_some(),
+        "mining must still run on a degraded profile"
+    );
+    let report = openbi::render_outcome(&outcome);
+    assert!(report.contains("DEGRADED RUN"), "{report}");
+}
+
+/// The knowledge-base store's injection points are reached through the
+/// process-global slot, surface as ordinary I/O errors, and disappear
+/// on uninstall. Install/uninstall stay inside this one test; the plan
+/// only matches `kb.store.*`, so concurrent tests in this binary (which
+/// never touch the store) cannot observe it.
+#[test]
+fn store_io_faults_surface_and_recover() {
+    let dir = std::env::temp_dir().join("openbi-chaos-store");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("kb.jsonl");
+    let kb = SharedKnowledgeBase::default().snapshot();
+
+    kb.save(&path).expect("fault-free save succeeds");
+
+    let plan = Arc::new(
+        FaultPlan::new(9)
+            .with(FaultRule::error("kb.store.save").times(u32::MAX))
+            .with(FaultRule::error("kb.store.load").times(u32::MAX)),
+    );
+    openbi_faults::install(plan);
+    let save_err = kb.save(&path).expect_err("injected save fault");
+    assert!(
+        save_err.to_string().contains("injected fault"),
+        "{save_err}"
+    );
+    let load_err = openbi::kb::KnowledgeBase::load(&path).expect_err("injected load fault");
+    assert!(
+        load_err.to_string().contains("injected fault"),
+        "{load_err}"
+    );
+    openbi_faults::uninstall();
+
+    kb.save(&path).expect("save recovers after uninstall");
+    let restored = openbi::kb::KnowledgeBase::load(&path).expect("load recovers");
+    assert_eq!(restored.len(), kb.len());
+    std::fs::remove_file(&path).ok();
+}

@@ -48,6 +48,7 @@ fn grid_config(workers: usize) -> ExperimentConfig {
         seed: 7,
         parallel: workers > 1,
         workers,
+        ..ExperimentConfig::default()
     }
 }
 

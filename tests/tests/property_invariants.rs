@@ -1,6 +1,7 @@
 //! Property-based tests (proptest) on cross-crate invariants: CSV and
-//! N-Triples round trips, injector contracts, profile bounds, and
-//! evaluation-metric ranges.
+//! N-Triples round trips, injector contracts, profile bounds,
+//! evaluation-metric ranges, and grid accounting under arbitrary fault
+//! plans.
 
 use openbi::quality::{
     measure_profile, Degradation, DuplicateInjector, Injector, LabelNoiseInjector, MeasureOptions,
@@ -255,6 +256,74 @@ proptest! {
             if values[i - 1] < values[i] {
                 prop_assert!(out[i - 1] <= out[i]);
             }
+        }
+    }
+
+    #[test]
+    fn grid_accounting_holds_under_arbitrary_fault_plans(
+        plan_seed in 0u64..1_000,
+        ratio in 0.0f64..=1.0,
+        times in 0u32..3,
+        delay in proptest::option::of(0u64..2),
+        max_retries in 0u32..3,
+        workers in 1usize..3,
+    ) {
+        use openbi::experiment::{
+            run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset,
+        };
+        use openbi_datagen::{make_blobs, BlobsConfig};
+        use openbi_faults::{FaultKind, FaultPlan, FaultRule};
+
+        // An arbitrary seeded plan against a tiny grid: whatever the
+        // schedule does, the executor's books must balance.
+        let kind = match delay {
+            Some(ms) => FaultKind::Delay(ms),
+            None => FaultKind::Error,
+        };
+        let plan = FaultPlan::new(plan_seed)
+            .with(FaultRule::new("grid.cell.run", kind).times(times).ratio(ratio));
+        let datasets = vec![ExperimentDataset::new(
+            "blobs",
+            make_blobs(&BlobsConfig {
+                n_rows: 40,
+                n_features: 3,
+                n_classes: 2,
+                class_separation: 3.0,
+                seed: 1,
+            }),
+            "class",
+        )];
+        let cfg = ExperimentConfig {
+            algorithms: vec![openbi::mining::AlgorithmSpec::ZeroR],
+            severities: vec![0.0, 1.0],
+            folds: 2,
+            seed: plan_seed,
+            parallel: true,
+            workers,
+            max_retries,
+            retry_backoff: std::time::Duration::ZERO,
+            fault_plan: Some(std::sync::Arc::new(plan)),
+            ..ExperimentConfig::default()
+        };
+        let kb = openbi::kb::SharedKnowledgeBase::default();
+        let report = run_phase1_report(&datasets, &[Criterion::Completeness], &cfg, &kb).unwrap();
+        prop_assert_eq!(
+            report.cells_attempted(),
+            report.cells_succeeded + report.failures.len(),
+            "attempted = succeeded + failed must hold for any plan"
+        );
+        for f in &report.failures {
+            prop_assert!(
+                (1..=max_retries + 1).contains(&f.attempts),
+                "attempts {} outside 1..={}",
+                f.attempts,
+                max_retries + 1
+            );
+        }
+        if delay.is_some() {
+            // Delay faults slow cells down but never change results.
+            prop_assert!(report.failures.is_empty());
+            prop_assert_eq!(report.cells_succeeded, report.cells_attempted());
         }
     }
 
