@@ -119,14 +119,14 @@ fn bench_classifiers(c: &mut Criterion) {
         group.bench_function(format!("train_{spec}"), |b| {
             b.iter(|| {
                 let mut m = spec.build();
-                m.fit(&train).unwrap();
+                m.fit_view(&train).unwrap();
                 black_box(m.model_size())
             })
         });
         let mut model = spec.build();
-        model.fit(&train).unwrap();
+        model.fit_view(&train).unwrap();
         group.bench_function(format!("predict_{spec}"), |b| {
-            b.iter(|| black_box(model.predict(&test).unwrap().len()))
+            b.iter(|| black_box(model.predict_view(&test).unwrap().len()))
         });
     }
     group.finish();

@@ -1,0 +1,48 @@
+//! Criterion benchmarks of the mining kernels in both data layouts
+//! (DESIGN.md §11): for each kernel, a `columnar` function running on
+//! zero-copy `InstancesView`s and a `row_major_reference` function
+//! running the frozen pre-rewrite implementation on the same rows —
+//! so `cargo bench -p openbi-bench --bench mining_kernels` shows the
+//! layout speedup per kernel with criterion's statistics behind it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use openbi_bench::kernels::{
+    holdout_indices, kernel_dataset, kernel_suite, run_columnar, run_reference,
+};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let n = 1_000;
+    let (columnar, row_major) = kernel_dataset(n, 0x1234_5678);
+    let (train_idx, test_idx) = holdout_indices(n);
+    let train = columnar.view().select_rows_owned(train_idx.clone());
+    let test = columnar.view().select_rows_owned(test_idx.clone());
+    let ref_train = row_major.subset(&train_idx);
+    let ref_test = row_major.subset(&test_idx);
+    for kernel in kernel_suite() {
+        let mut group = c.benchmark_group(format!("kernel_{}", kernel.name));
+        group.bench_function("columnar", |b| {
+            b.iter(|| black_box(run_columnar(&kernel.spec, &train, &test)))
+        });
+        group.bench_function("row_major_reference", |b| {
+            b.iter(|| black_box(run_reference(&kernel.spec, &ref_train, &ref_test)))
+        });
+        group.finish();
+    }
+}
+
+fn config() -> Criterion {
+    // Small samples keep the suite fast; these workloads are far above
+    // timer noise at 1k rows.
+    Criterion::default()
+        .sample_size(15)
+        .measurement_time(std::time::Duration::from_secs(3))
+        .warm_up_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kernels
+}
+criterion_main!(benches);

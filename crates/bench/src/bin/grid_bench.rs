@@ -14,8 +14,11 @@
 //!   queue-wait, flush batch sizes).
 //!
 //! ```text
-//! cargo run --release -p openbi-bench --bin grid_bench [-- out.json]
+//! cargo run --release -p openbi-bench --bin grid_bench [-- [--quick] [out.json]]
 //! ```
+//!
+//! `--quick` shrinks the grid, rep count, and worker sweep for CI smoke
+//! runs that only validate the document shape.
 //!
 //! [`MetricsSnapshot`]: openbi::obs::MetricsSnapshot
 
@@ -29,13 +32,13 @@ use std::sync::Arc;
 
 const REPS: usize = 3;
 
-fn grid_datasets() -> Vec<ExperimentDataset> {
+fn grid_datasets(n_rows: usize) -> Vec<ExperimentDataset> {
     (0..2u64)
         .map(|i| {
             ExperimentDataset::new(
                 format!("grid-blobs-{i}"),
                 make_blobs(&BlobsConfig {
-                    n_rows: 200,
+                    n_rows,
                     n_features: 4,
                     n_classes: 2,
                     class_separation: 2.5,
@@ -79,10 +82,17 @@ fn run_grid(datasets: &[ExperimentDataset], criteria: &[Criterion], workers: usi
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_experiment_grid.json".to_string());
-    let datasets = grid_datasets();
+    let mut quick = false;
+    let mut out_path = "BENCH_experiment_grid.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (n_rows, reps) = if quick { (120, 1) } else { (200, REPS) };
+    let datasets = grid_datasets(n_rows);
     let criteria = [
         Criterion::Completeness,
         Criterion::LabelNoise,
@@ -91,8 +101,12 @@ fn main() {
     let cores = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut worker_counts = vec![1usize, 2, 4, 8];
-    if !worker_counts.contains(&cores) {
+    let mut worker_counts = if quick {
+        vec![1usize, 2]
+    } else {
+        vec![1usize, 2, 4, 8]
+    };
+    if !quick && !worker_counts.contains(&cores) {
         worker_counts.push(cores);
     }
     worker_counts.sort_unstable();
@@ -103,7 +117,7 @@ fn main() {
     let mut base_secs = 0.0f64;
     for &workers in &worker_counts {
         let mut records = 0usize;
-        let best = best_of_seconds(REPS, || {
+        let best = best_of_seconds(reps, || {
             records = run_grid(&datasets, &criteria, workers);
         });
         if workers == 1 {
@@ -130,7 +144,7 @@ fn main() {
         .expect("sweep row");
     let registry = Arc::new(obs::MetricsRegistry::new());
     obs::install(Arc::clone(&registry));
-    let instrumented_secs = best_of_seconds(REPS, || {
+    let instrumented_secs = best_of_seconds(reps, || {
         run_grid(&datasets, &criteria, max_workers);
     });
     obs::uninstall();
@@ -150,14 +164,15 @@ fn main() {
         serde_json::json!({
             "grid": {
                 "datasets": 2,
-                "rows_per_dataset": 200,
+                "rows_per_dataset": n_rows,
                 "criteria": 3,
                 "severities": 3,
                 "algorithms": 3,
                 "folds": 3,
             },
             "available_cores": cores,
-            "reps": REPS,
+            "reps": reps,
+            "quick": quick,
         }),
         serde_json::json!({
             "sweep": rows,

@@ -1,0 +1,98 @@
+//! Columnar-vs-row-major kernel benchmark (DESIGN.md §11).
+//!
+//! Times each mining kernel — `fit` plus holdout `predict`, best-of-N —
+//! on the columnar struct-of-arrays layout against the frozen row-major
+//! `openbi::mining::reference` implementation running the identical
+//! workload on the identical rows in the same process, then writes
+//! `BENCH_mining_kernels.json` (shared schema, see
+//! `openbi_bench::report`): per-kernel `best_of_seconds` for both
+//! layouts, the speedup, and an embedded `openbi-obs` metrics snapshot
+//! from the instrumented columnar runs.
+//!
+//! ```text
+//! cargo run --release -p openbi-bench --bin kernel_bench [-- [--quick] [out.json]]
+//! ```
+//!
+//! `--quick` shrinks the dataset and rep count for CI smoke runs; the
+//! headline speedups quoted in the README come from the full mode.
+
+use openbi::obs;
+use openbi_bench::kernels::{
+    holdout_indices, kernel_dataset, kernel_suite, run_columnar, run_reference, KERNEL_ATTRS,
+};
+use openbi_bench::{bench_doc, best_of_seconds, write_bench_json};
+use std::sync::Arc;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_mining_kernels.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (n, reps) = if quick { (600, 2) } else { (2_000, 5) };
+
+    let (columnar, row_major) = kernel_dataset(n, 0x1234_5678);
+    let (train_idx, test_idx) = holdout_indices(n);
+    let train = columnar.view().select_rows_owned(train_idx.clone());
+    let test = columnar.view().select_rows_owned(test_idx.clone());
+    let ref_train = row_major.subset(&train_idx);
+    let ref_test = row_major.subset(&test_idx);
+
+    // Columnar runs are instrumented; the snapshot rides along in the
+    // document so kernel timings land next to whatever the kernels
+    // themselves record.
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    obs::install(Arc::clone(&registry));
+
+    let mut per_kernel = Vec::new();
+    for kernel in kernel_suite() {
+        let columnar_secs = best_of_seconds(reps, || {
+            let _span = obs::span(&format!("kernel.{}.seconds", kernel.name));
+            std::hint::black_box(run_columnar(&kernel.spec, &train, &test));
+        });
+        let reference_secs = best_of_seconds(reps, || {
+            std::hint::black_box(run_reference(&kernel.spec, &ref_train, &ref_test));
+        });
+        let speedup = if columnar_secs > 0.0 {
+            reference_secs / columnar_secs
+        } else {
+            0.0
+        };
+        println!(
+            "{:<14} row-major {:>9.3}ms  columnar {:>9.3}ms  speedup ×{speedup:.2}",
+            kernel.name,
+            reference_secs * 1e3,
+            columnar_secs * 1e3,
+        );
+        per_kernel.push(serde_json::json!({
+            "kernel": kernel.name,
+            "algorithm": kernel.spec.to_string(),
+            "reference_best_of_seconds": reference_secs,
+            "columnar_best_of_seconds": columnar_secs,
+            "best_of_seconds": columnar_secs,
+            "speedup_vs_row_major": speedup,
+        }));
+    }
+
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+    let doc = bench_doc(
+        "mining_kernels",
+        serde_json::json!({
+            "rows": n,
+            "attributes": KERNEL_ATTRS,
+            "classes": 3,
+            "train_rows": train_idx.len(),
+            "test_rows": test_idx.len(),
+            "reps": reps,
+            "quick": quick,
+        }),
+        serde_json::json!({ "kernels": per_kernel }),
+        &snapshot,
+    );
+    write_bench_json(&out_path, &doc);
+}

@@ -1,0 +1,184 @@
+//! Shared workload for the mining-kernel benchmarks: one deterministic
+//! dataset and one kernel roster, used by both the `mining_kernels`
+//! criterion bench and the `kernel_bench` binary so their numbers are
+//! directly comparable.
+//!
+//! The dataset is the **discretized-sensor regime** the paper's BI
+//! scenarios live in: numeric attributes quantized to 24 levels (think
+//! binned pollutant readings or pre-aggregated measures), ~5% missing
+//! cells, three classes, a deterministic LCG so every run sees the same
+//! bytes. Low-cardinality columns are where the columnar layout earns
+//! its keep — candidate thresholds collapse and the kernels spend their
+//! time in sort/gather/scan, exactly the paths the struct-of-arrays
+//! rewrite targets.
+//!
+//! Each kernel is timed end to end — `fit` on the training view plus
+//! `predict` over the holdout — against the frozen row-major
+//! [`reference`] implementation running the identical workload on the
+//! identical rows.
+
+use openbi::mining::instances::{AttrKind, Attribute, Instances, InstancesView};
+use openbi::mining::{reference, AlgorithmSpec};
+
+/// Attributes in the kernel dataset.
+pub const KERNEL_ATTRS: usize = 8;
+
+/// One benchmarked kernel: a display name and its algorithm spec.
+pub struct Kernel {
+    /// Stable snake_case identifier used in JSON and criterion IDs.
+    pub name: &'static str,
+    /// The algorithm under test.
+    pub spec: AlgorithmSpec,
+}
+
+/// The kernel roster: the classifiers whose inner loops the columnar
+/// rewrite touched most.
+pub fn kernel_suite() -> Vec<Kernel> {
+    vec![
+        Kernel {
+            name: "knn",
+            spec: AlgorithmSpec::Knn { k: 5 },
+        },
+        Kernel {
+            name: "decision_tree",
+            spec: AlgorithmSpec::DecisionTree {
+                max_depth: 10,
+                min_leaf: 2,
+            },
+        },
+        Kernel {
+            name: "naive_bayes",
+            spec: AlgorithmSpec::NaiveBayes,
+        },
+        Kernel {
+            name: "random_forest",
+            spec: AlgorithmSpec::RandomForest {
+                trees: 10,
+                max_depth: 8,
+                seed: 42,
+            },
+        },
+    ]
+}
+
+/// Build the shared workload in both layouts from the same rows:
+/// `n` rows × [`KERNEL_ATTRS`] quantized numeric attributes, 3 classes,
+/// ~5% missing cells.
+pub fn kernel_dataset(n: usize, seed: u64) -> (Instances, reference::Instances) {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / ((1u64 << 31) as f64)
+    };
+    let attrs: Vec<Attribute> = (0..KERNEL_ATTRS)
+        .map(|i| Attribute {
+            name: format!("f{i}"),
+            kind: AttrKind::Numeric,
+        })
+        .collect();
+    let mut rows = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let cls = (next() * 3.0) as usize % 3;
+        let row: Vec<Option<f64>> = (0..KERNEL_ATTRS)
+            .map(|a| {
+                if next() < 0.05 {
+                    None
+                } else {
+                    // 24 discrete levels, shifted per class so the
+                    // problem is learnable but not separable.
+                    Some((next() * 24.0).floor() / 6.0 + (cls as f64) * (a as f64 % 3.0))
+                }
+            })
+            .collect();
+        rows.push(row);
+        labels.push(Some(cls));
+    }
+    let class_names = vec!["low".into(), "mid".into(), "high".into()];
+    let columnar = Instances::from_rows(
+        attrs.clone(),
+        rows.clone(),
+        labels.clone(),
+        class_names.clone(),
+    );
+    let row_major = reference::Instances {
+        attributes: attrs,
+        rows,
+        labels,
+        class_names,
+    };
+    (columnar, row_major)
+}
+
+/// Deterministic 75/25 train/holdout row split.
+pub fn holdout_indices(n: usize) -> (Vec<usize>, Vec<usize>) {
+    (
+        (0..n).filter(|i| i % 4 != 0).collect(),
+        (0..n).filter(|i| i % 4 == 0).collect(),
+    )
+}
+
+/// One columnar kernel run: fit on the training view, predict the
+/// holdout view. Returns a sink value so the optimizer can't discard
+/// the work.
+pub fn run_columnar(
+    spec: &AlgorithmSpec,
+    train: &InstancesView<'_>,
+    test: &InstancesView<'_>,
+) -> usize {
+    let mut model = spec.build();
+    model.fit_view(train).expect("kernel fit");
+    model.predict_view(test).expect("kernel predict").len() + model.model_size()
+}
+
+/// The same kernel run through the frozen row-major reference.
+pub fn run_reference(
+    spec: &AlgorithmSpec,
+    train: &reference::Instances,
+    test: &reference::Instances,
+) -> usize {
+    let mut model = reference::build(spec);
+    model.fit(train).expect("reference fit");
+    model.predict(test).expect("reference predict").len() + model.model_size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_layouts_hold_identical_rows() {
+        let (cols, rows) = kernel_dataset(300, 7);
+        assert_eq!(cols.len(), rows.len());
+        let view = cols.view();
+        for i in 0..rows.len() {
+            assert_eq!(
+                cols.row_vec(i),
+                rows.rows[i],
+                "row {i} differs between layouts"
+            );
+            assert_eq!(view.label(i), rows.labels[i]);
+        }
+    }
+
+    #[test]
+    fn kernels_agree_across_layouts() {
+        let (cols, rows) = kernel_dataset(240, 21);
+        let (train_idx, test_idx) = holdout_indices(cols.len());
+        let train = cols.view().select_rows_owned(train_idx.clone());
+        let test = cols.view().select_rows_owned(test_idx.clone());
+        let ref_train = rows.subset(&train_idx);
+        let ref_test = rows.subset(&test_idx);
+        for kernel in kernel_suite() {
+            let mut new_model = kernel.spec.build();
+            new_model.fit_view(&train).unwrap();
+            let new_preds = new_model.predict_view(&test).unwrap();
+            let mut old_model = reference::build(&kernel.spec);
+            old_model.fit(&ref_train).unwrap();
+            let old_preds = old_model.predict(&ref_test).unwrap();
+            assert_eq!(new_preds, old_preds, "kernel {} diverged", kernel.name);
+        }
+    }
+}

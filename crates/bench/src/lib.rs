@@ -14,6 +14,7 @@
 pub mod ablations;
 pub mod experiments;
 pub mod harness;
+pub mod kernels;
 pub mod report;
 pub mod result_table;
 

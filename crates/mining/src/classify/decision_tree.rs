@@ -1,10 +1,17 @@
 //! A C4.5-style decision tree: gain-ratio splits, binary thresholds on
 //! numeric attributes, multiway splits on nominal attributes, missing
 //! values routed to the most populated branch.
+//!
+//! Split search is columnar: each candidate attribute gathers its node
+//! rows' values from one contiguous column slice (one pass builds the
+//! present/missing partition and the value buffer), instead of chasing a
+//! row pointer per cell. The arithmetic — sort order, prefix counts,
+//! entropy/gain-ratio evaluation — is unchanged from the row-major
+//! implementation, so fitted trees are bit-identical.
 
 use super::Classifier;
 use crate::error::{MiningError, Result};
-use crate::instances::{AttrKind, Instances};
+use crate::instances::{AttrKind, InstancesView};
 
 #[derive(Debug, Clone)]
 enum Node {
@@ -62,7 +69,13 @@ pub struct DecisionTree {
 }
 
 fn entropy(counts: &[usize]) -> f64 {
-    let total: usize = counts.iter().sum();
+    entropy_with_total(counts, counts.iter().sum())
+}
+
+/// Entropy when the caller already tracks `total` incrementally (an exact
+/// integer equal to `counts.iter().sum()` — same `f64` divisions, so the
+/// result is bit-identical to [`entropy`]).
+fn entropy_with_total(counts: &[usize], total: usize) -> f64 {
     if total == 0 {
         return 0.0;
     }
@@ -76,11 +89,37 @@ fn entropy(counts: &[usize]) -> f64 {
         .sum()
 }
 
+/// Per-fit state threaded through the recursive build.
+///
+/// Each numeric attribute is sorted once per fit; every node then derives
+/// its own sorted value lists by filtering its parent's lists with a
+/// membership stamp (a stable filter preserves sort order), so no node
+/// ever re-sorts and per-level work shrinks with the partitions. Sort
+/// order is `(value, row)`; tie order among equal values never influences
+/// the chosen split, because equal values admit no threshold between them
+/// and class counts accumulate as exact integers.
+struct FitCtx {
+    /// Label cache, one slot per view row.
+    labels: Vec<Option<usize>>,
+    /// Node-membership stamps (one slot per view row; bumping the
+    /// counter invalidates the previous node's marks without an O(n)
+    /// clear).
+    stamp: Vec<u32>,
+    counter: u32,
+    /// Scratch: the node's `(value, label)` pairs in ascending value
+    /// order (reused across attributes and nodes).
+    vals: Vec<(f64, Option<usize>)>,
+    /// Scratch for the local-sort fallback path.
+    sort_buf: Vec<(f64, usize)>,
+    /// Scratch class-count accumulators.
+    total_counts: Vec<usize>,
+    left_counts: Vec<usize>,
+}
+
 struct Split {
     attribute: usize,
     /// `Some(threshold)` for numeric, `None` for nominal.
     threshold: Option<f64>,
-    gain_ratio: f64,
     /// Row partitions (numeric: [left, right]; nominal: per category).
     partitions: Vec<Vec<usize>>,
     missing_rows: Vec<usize>,
@@ -107,16 +146,6 @@ impl DecisionTree {
         self.root.as_ref().map(Node::depth).unwrap_or(0)
     }
 
-    fn class_counts(data: &Instances, rows: &[usize]) -> Vec<usize> {
-        let mut counts = vec![0usize; data.n_classes()];
-        for &i in rows {
-            if let Some(l) = data.labels[i] {
-                counts[l] += 1;
-            }
-        }
-        counts
-    }
-
     fn majority(counts: &[usize], fallback: usize) -> usize {
         counts
             .iter()
@@ -127,45 +156,81 @@ impl DecisionTree {
             .unwrap_or(fallback)
     }
 
-    fn best_split(&self, data: &Instances, rows: &[usize], parent_entropy: f64) -> Option<Split> {
+    /// Scan every candidate split and return the winner. Only `(attr,
+    /// threshold, gain_ratio)` is tracked during the scan; the winning
+    /// partition index vectors are rebuilt once at the end, instead of on
+    /// every improvement. The comparison sequence (attribute order, then
+    /// ascending value order, strict `>` on gain ratio) matches the
+    /// row-major reference, so the chosen split is identical.
+    fn best_split(
+        &self,
+        data: &InstancesView<'_>,
+        rows: &[usize],
+        parent_entropy: f64,
+        ctx: &mut FitCtx,
+        sorted: &[Option<Vec<(usize, f64)>>],
+    ) -> Option<Split> {
         let n = rows.len() as f64;
-        let mut best: Option<Split> = None;
+        // (gain_ratio, attribute, Some(threshold) | None = nominal).
+        let mut best: Option<(f64, usize, Option<f64>)> = None;
         let attrs: Vec<usize> = match &self.feature_subset {
             Some(subset) => subset.clone(),
             None => (0..data.n_attributes()).collect(),
         };
+        let FitCtx {
+            labels,
+            vals,
+            sort_buf,
+            total_counts,
+            left_counts,
+            ..
+        } = ctx;
+        let n_classes = data.n_classes();
         for a in attrs {
-            let missing_rows: Vec<usize> = rows
-                .iter()
-                .copied()
-                .filter(|&i| data.rows[i][a].is_none())
-                .collect();
-            let present: Vec<usize> = rows
-                .iter()
-                .copied()
-                .filter(|&i| data.rows[i][a].is_some())
-                .collect();
-            if present.len() < 2 * self.min_leaf {
-                continue;
-            }
-            let present_frac = present.len() as f64 / n;
-            match &data.attributes[a].kind {
+            let col = data.col(a);
+            match &data.attribute(a).kind {
                 AttrKind::Numeric => {
-                    // Candidate thresholds: midpoints between distinct
-                    // sorted values (capped for speed).
-                    let mut vals: Vec<(f64, usize)> = present
-                        .iter()
-                        .map(|&i| (data.rows[i][a].expect("present"), i))
-                        .collect();
-                    vals.sort_by(|x, y| x.0.total_cmp(&y.0));
+                    // The node's present `(value, label)` pairs in
+                    // ascending value order, straight from the node's
+                    // filtered sort list (local sort only as a fallback
+                    // if a list is missing). Buffers are reused across
+                    // attributes and nodes.
+                    vals.clear();
+                    match &sorted[a] {
+                        Some(list) => {
+                            vals.extend(list.iter().map(|&(i, v)| (v, labels[i])));
+                        }
+                        None => {
+                            sort_buf.clear();
+                            sort_buf
+                                .extend(rows.iter().filter_map(|&i| col.get(i).map(|v| (v, i))));
+                            sort_buf
+                                .sort_unstable_by(|x, y| x.0.total_cmp(&y.0).then(x.1.cmp(&y.1)));
+                            vals.extend(sort_buf.iter().map(|&(v, i)| (v, labels[i])));
+                        }
+                    };
+                    if vals.len() < 2 * self.min_leaf {
+                        continue;
+                    }
+                    let present_n = vals.len();
+                    let present_frac = present_n as f64 / n;
                     // Prefix class counts for O(1) split evaluation.
-                    let n_classes = data.n_classes();
-                    let total_counts = Self::class_counts(data, &present);
-                    let mut left_counts = vec![0usize; n_classes];
+                    total_counts.clear();
+                    total_counts.resize(n_classes, 0);
+                    for (_, l) in vals.iter() {
+                        if let Some(l) = l {
+                            total_counts[*l] += 1;
+                        }
+                    }
+                    let total_labeled: usize = total_counts.iter().sum();
+                    left_counts.clear();
+                    left_counts.resize(n_classes, 0);
+                    let mut left_labeled = 0usize;
                     let mut i = 0;
                     while i + 1 < vals.len() {
-                        if let Some(l) = data.labels[vals[i].1] {
+                        if let Some(l) = vals[i].1 {
                             left_counts[l] += 1;
+                            left_labeled += 1;
                         }
                         let (v, _) = vals[i];
                         let (next_v, _) = vals[i + 1];
@@ -174,48 +239,40 @@ impl DecisionTree {
                             continue;
                         }
                         let left_n = i;
-                        let right_n = vals.len() - i;
+                        let right_n = present_n - i;
                         if left_n < self.min_leaf || right_n < self.min_leaf {
                             continue;
                         }
-                        let right_counts: Vec<usize> = total_counts
-                            .iter()
-                            .zip(&left_counts)
-                            .map(|(t, l)| t - l)
-                            .collect();
-                        let child_entropy = (left_n as f64 / present.len() as f64)
-                            * entropy(&left_counts)
-                            + (right_n as f64 / present.len() as f64) * entropy(&right_counts);
+                        // Right-side entropy from `total - left` without
+                        // allocating: same per-class terms, same fold
+                        // order as `entropy()` over a materialized slice.
+                        let right_labeled = total_labeled - left_labeled;
+                        let right_entropy = if right_labeled == 0 {
+                            0.0
+                        } else {
+                            total_counts
+                                .iter()
+                                .zip(left_counts.iter())
+                                .map(|(t, l)| t - l)
+                                .filter(|&c| c > 0)
+                                .map(|c| {
+                                    let p = c as f64 / right_labeled as f64;
+                                    -p * p.log2()
+                                })
+                                .sum()
+                        };
+                        let child_entropy = (left_n as f64 / present_n as f64)
+                            * entropy_with_total(left_counts, left_labeled)
+                            + (right_n as f64 / present_n as f64) * right_entropy;
                         let gain = present_frac * (parent_entropy - child_entropy);
                         if gain <= 1e-12 {
                             continue;
                         }
-                        let p_l = left_n as f64 / present.len() as f64;
+                        let p_l = left_n as f64 / present_n as f64;
                         let split_info = -p_l * p_l.log2() - (1.0 - p_l) * (1.0 - p_l).log2();
                         let gain_ratio = gain / split_info.max(1e-9);
-                        if best
-                            .as_ref()
-                            .map(|b| gain_ratio > b.gain_ratio)
-                            .unwrap_or(true)
-                        {
-                            let threshold = (v + next_v) / 2.0;
-                            let left: Vec<usize> = present
-                                .iter()
-                                .copied()
-                                .filter(|&r| data.rows[r][a].expect("present") <= threshold)
-                                .collect();
-                            let right: Vec<usize> = present
-                                .iter()
-                                .copied()
-                                .filter(|&r| data.rows[r][a].expect("present") > threshold)
-                                .collect();
-                            best = Some(Split {
-                                attribute: a,
-                                threshold: Some(threshold),
-                                gain_ratio,
-                                partitions: vec![left, right],
-                                missing_rows: missing_rows.clone(),
-                            });
+                        if best.map(|(g, _, _)| gain_ratio > g).unwrap_or(true) {
+                            best = Some((gain_ratio, a, Some((v + next_v) / 2.0)));
                         }
                     }
                 }
@@ -223,25 +280,39 @@ impl DecisionTree {
                     if dict.len() < 2 {
                         continue;
                     }
-                    let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); dict.len()];
-                    for &i in &present {
-                        let idx = data.rows[i][a].expect("present") as usize;
-                        if idx < dict.len() {
-                            partitions[idx].push(i);
+                    // Per-category sizes and class counts in one pass —
+                    // no per-category index vectors during the scan.
+                    let mut sizes = vec![0usize; dict.len()];
+                    let mut counts = vec![vec![0usize; n_classes]; dict.len()];
+                    let mut present_n = 0usize;
+                    for &i in rows {
+                        if let Some(v) = col.get(i) {
+                            present_n += 1;
+                            let idx = v as usize;
+                            if idx < dict.len() {
+                                sizes[idx] += 1;
+                                if let Some(l) = labels[i] {
+                                    counts[idx][l] += 1;
+                                }
+                            }
                         }
                     }
-                    let non_empty = partitions.iter().filter(|p| !p.is_empty()).count();
+                    if present_n < 2 * self.min_leaf {
+                        continue;
+                    }
+                    let present_frac = present_n as f64 / n;
+                    let non_empty = sizes.iter().filter(|&&s| s > 0).count();
                     if non_empty < 2 {
                         continue;
                     }
                     let mut child_entropy = 0.0;
                     let mut split_info = 0.0;
-                    for p in &partitions {
-                        if p.is_empty() {
+                    for (s, c) in sizes.iter().zip(&counts) {
+                        if *s == 0 {
                             continue;
                         }
-                        let frac = p.len() as f64 / present.len() as f64;
-                        child_entropy += frac * entropy(&Self::class_counts(data, p));
+                        let frac = *s as f64 / present_n as f64;
+                        child_entropy += frac * entropy(c);
                         split_info -= frac * frac.log2();
                     }
                     let gain = present_frac * (parent_entropy - child_entropy);
@@ -249,34 +320,103 @@ impl DecisionTree {
                         continue;
                     }
                     let gain_ratio = gain / split_info.max(1e-9);
-                    if best
-                        .as_ref()
-                        .map(|b| gain_ratio > b.gain_ratio)
-                        .unwrap_or(true)
-                    {
-                        best = Some(Split {
-                            attribute: a,
-                            threshold: None,
-                            gain_ratio,
-                            partitions,
-                            missing_rows: missing_rows.clone(),
-                        });
+                    if best.map(|(g, _, _)| gain_ratio > g).unwrap_or(true) {
+                        best = Some((gain_ratio, a, None));
                     }
                 }
             }
         }
-        best
+        // Rebuild the winning split's partitions (row order, exactly as
+        // the scan-time builds did).
+        let (_, attribute, threshold) = best?;
+        let col = data.col(attribute);
+        let mut missing_rows: Vec<usize> = Vec::new();
+        let partitions: Vec<Vec<usize>> = match threshold {
+            Some(t) => {
+                let mut left = Vec::new();
+                let mut right = Vec::new();
+                for &i in rows {
+                    match col.get(i) {
+                        Some(v) => {
+                            if v <= t {
+                                left.push(i);
+                            } else {
+                                right.push(i);
+                            }
+                        }
+                        None => missing_rows.push(i),
+                    }
+                }
+                vec![left, right]
+            }
+            None => {
+                let AttrKind::Nominal(dict) = &data.attribute(attribute).kind else {
+                    unreachable!("nominal winner on a numeric attribute");
+                };
+                let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); dict.len()];
+                for &i in rows {
+                    match col.get(i) {
+                        Some(v) => {
+                            let idx = v as usize;
+                            if idx < dict.len() {
+                                partitions[idx].push(i);
+                            }
+                        }
+                        None => missing_rows.push(i),
+                    }
+                }
+                partitions
+            }
+        };
+        Some(Split {
+            attribute,
+            threshold,
+            partitions,
+            missing_rows,
+        })
     }
 
-    fn build(&self, data: &Instances, rows: &[usize], depth: usize, fallback: usize) -> Node {
-        let counts = Self::class_counts(data, rows);
+    fn build(
+        &self,
+        data: &InstancesView<'_>,
+        rows: &[usize],
+        depth: usize,
+        fallback: usize,
+        ctx: &mut FitCtx,
+        parent_sorted: &[Option<Vec<(usize, f64)>>],
+    ) -> Node {
+        let mut counts = vec![0usize; data.n_classes()];
+        for &i in rows {
+            if let Some(l) = ctx.labels[i] {
+                counts[l] += 1;
+            }
+        }
         let majority = Self::majority(&counts, fallback);
         let non_zero_classes = counts.iter().filter(|&&c| c > 0).count();
         if depth >= self.max_depth || rows.len() < 2 * self.min_leaf || non_zero_classes <= 1 {
             return Node::Leaf { class: majority };
         }
+        // Derive this node's sorted lists by stable-filtering the parent's
+        // with a membership stamp — order is preserved, nothing re-sorts,
+        // and leaves (handled above) never pay for it.
+        ctx.counter += 1;
+        for &i in rows {
+            ctx.stamp[i] = ctx.counter;
+        }
+        let (stamp, counter) = (&ctx.stamp, ctx.counter);
+        let sorted: Vec<Option<Vec<(usize, f64)>>> = parent_sorted
+            .iter()
+            .map(|o| {
+                o.as_ref().map(|list| {
+                    list.iter()
+                        .copied()
+                        .filter(|&(i, _)| stamp[i] == counter)
+                        .collect()
+                })
+            })
+            .collect();
         let parent_entropy = entropy(&counts);
-        let Some(split) = self.best_split(data, rows, parent_entropy) else {
+        let Some(split) = self.best_split(data, rows, parent_entropy, ctx, &sorted) else {
             return Node::Leaf { class: majority };
         };
         // Missing rows follow the most populated partition.
@@ -299,7 +439,7 @@ impl DecisionTree {
                 if child_rows.is_empty() {
                     Node::Leaf { class: majority }
                 } else {
-                    self.build(data, &child_rows, depth + 1, majority)
+                    self.build(data, &child_rows, depth + 1, majority, ctx, &sorted)
                 }
             })
             .collect();
@@ -319,7 +459,7 @@ impl DecisionTree {
         }
     }
 
-    fn walk(&self, node: &Node, row: &[Option<f64>]) -> usize {
+    fn walk(&self, node: &Node, value_of: &impl Fn(usize) -> Option<f64>) -> usize {
         match node {
             Node::Leaf { class } => *class,
             Node::NumericSplit {
@@ -328,7 +468,7 @@ impl DecisionTree {
                 missing_to,
                 children,
             } => {
-                let child = match row.get(*attribute).copied().flatten() {
+                let child = match value_of(*attribute) {
                     Some(v) => {
                         if v <= *threshold {
                             0
@@ -338,23 +478,23 @@ impl DecisionTree {
                     }
                     None => *missing_to,
                 };
-                self.walk(&children[child], row)
+                self.walk(&children[child], value_of)
             }
             Node::NominalSplit {
                 attribute,
                 missing_to,
                 children,
                 default,
-            } => match row.get(*attribute).copied().flatten() {
+            } => match value_of(*attribute) {
                 Some(v) => {
                     let idx = v as usize;
                     if idx < children.len() {
-                        self.walk(&children[idx], row)
+                        self.walk(&children[idx], value_of)
                     } else {
                         *default
                     }
                 }
-                None => self.walk(&children[*missing_to], row),
+                None => self.walk(&children[*missing_to], value_of),
             },
         }
     }
@@ -365,7 +505,7 @@ impl Classifier for DecisionTree {
         "DecisionTree"
     }
 
-    fn fit(&mut self, data: &Instances) -> Result<()> {
+    fn fit_view(&mut self, data: &InstancesView<'_>) -> Result<()> {
         let labeled = data.labeled_indices();
         if labeled.is_empty() {
             return Err(MiningError::InvalidDataset(
@@ -373,7 +513,34 @@ impl Classifier for DecisionTree {
             ));
         }
         let fallback = data.majority_class();
-        self.root = Some(self.build(data, &labeled, 0, fallback));
+        let n = data.len();
+        let labels: Vec<Option<usize>> = (0..n).map(|i| data.label(i)).collect();
+        let attrs: Vec<usize> = match &self.feature_subset {
+            Some(subset) => subset.clone(),
+            None => (0..data.n_attributes()).collect(),
+        };
+        // One sort per numeric attribute per fit; every node reuses it.
+        let mut presorted: Vec<Option<Vec<(usize, f64)>>> = vec![None; data.n_attributes()];
+        for &a in &attrs {
+            if data.attribute(a).kind != AttrKind::Numeric {
+                continue;
+            }
+            let col = data.col(a);
+            let mut order: Vec<(usize, f64)> =
+                (0..n).filter_map(|i| col.get(i).map(|v| (i, v))).collect();
+            order.sort_unstable_by(|x, y| x.1.total_cmp(&y.1).then(x.0.cmp(&y.0)));
+            presorted[a] = Some(order);
+        }
+        let mut ctx = FitCtx {
+            labels,
+            stamp: vec![0u32; n],
+            counter: 0,
+            vals: Vec::new(),
+            sort_buf: Vec::new(),
+            total_counts: Vec::new(),
+            left_counts: Vec::new(),
+        };
+        self.root = Some(self.build(data, &labeled, 0, fallback, &mut ctx, &presorted));
         Ok(())
     }
 
@@ -382,7 +549,63 @@ impl Classifier for DecisionTree {
             .root
             .as_ref()
             .ok_or(MiningError::NotFitted("DecisionTree"))?;
-        Ok(self.walk(root, row))
+        Ok(self.walk(root, &|a| row.get(a).copied().flatten()))
+    }
+
+    fn predict_view(&self, data: &InstancesView<'_>) -> Result<Vec<usize>> {
+        let root = self
+            .root
+            .as_ref()
+            .ok_or(MiningError::NotFitted("DecisionTree"))?;
+        // Iterative descent against pre-fetched column views: no closure
+        // dispatch or recursion per node on the prediction fast path.
+        let cols: Vec<_> = (0..data.n_attributes()).map(|a| data.col(a)).collect();
+        Ok((0..data.len())
+            .map(|i| {
+                let mut node = root;
+                loop {
+                    match node {
+                        Node::Leaf { class } => break *class,
+                        Node::NumericSplit {
+                            attribute,
+                            threshold,
+                            missing_to,
+                            children,
+                        } => {
+                            let child = match cols.get(*attribute).and_then(|c| c.get(i)) {
+                                // Keep the reference's `<=` comparison
+                                // (a present NaN goes right, as before).
+                                Some(v) => {
+                                    if v <= *threshold {
+                                        0
+                                    } else {
+                                        1
+                                    }
+                                }
+                                None => *missing_to,
+                            };
+                            node = &children[child];
+                        }
+                        Node::NominalSplit {
+                            attribute,
+                            missing_to,
+                            children,
+                            default,
+                        } => match cols.get(*attribute).and_then(|c| c.get(i)) {
+                            Some(v) => {
+                                let idx = v as usize;
+                                if idx < children.len() {
+                                    node = &children[idx];
+                                } else {
+                                    break *default;
+                                }
+                            }
+                            None => node = &children[*missing_to],
+                        },
+                    }
+                }
+            })
+            .collect())
     }
 
     fn model_size(&self) -> usize {
@@ -393,7 +616,7 @@ impl Classifier for DecisionTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instances::Attribute;
+    use crate::instances::{Attribute, Instances};
 
     fn xor_like() -> Instances {
         // Class = (x > 3.5) XOR (y > 3.5): needs depth-2 splits. The
@@ -410,8 +633,8 @@ mod tests {
                 labels.push(Some(usize::from((x > 3.5) != (y > 3.5))));
             }
         }
-        Instances {
-            attributes: vec![
+        Instances::from_rows(
+            vec![
                 Attribute {
                     name: "x".into(),
                     kind: AttrKind::Numeric,
@@ -423,8 +646,8 @@ mod tests {
             ],
             rows,
             labels,
-            class_names: vec!["0".into(), "1".into()],
-        }
+            vec!["0".into(), "1".into()],
+        )
     }
 
     #[test]
@@ -460,15 +683,15 @@ mod tests {
 
     #[test]
     fn nominal_split() {
-        let d = Instances {
-            attributes: vec![Attribute {
+        let d = Instances::from_rows(
+            vec![Attribute {
                 name: "color".into(),
                 kind: AttrKind::Nominal(vec!["r".into(), "g".into(), "b".into()]),
             }],
-            rows: (0..30).map(|i| vec![Some((i % 3) as f64)]).collect(),
-            labels: (0..30).map(|i| Some(usize::from(i % 3 == 2))).collect(),
-            class_names: vec!["no".into(), "yes".into()],
-        };
+            (0..30).map(|i| vec![Some((i % 3) as f64)]).collect(),
+            (0..30).map(|i| Some(usize::from(i % 3 == 2))).collect(),
+            vec!["no".into(), "yes".into()],
+        );
         let mut t = DecisionTree::new(3, 1);
         t.fit(&d).unwrap();
         assert_eq!(t.predict_row(&[Some(2.0)]).unwrap(), 1);
@@ -498,15 +721,15 @@ mod tests {
 
     #[test]
     fn pure_node_becomes_leaf() {
-        let d = Instances {
-            attributes: vec![Attribute {
+        let d = Instances::from_rows(
+            vec![Attribute {
                 name: "x".into(),
                 kind: AttrKind::Numeric,
             }],
-            rows: vec![vec![Some(1.0)], vec![Some(2.0)]],
-            labels: vec![Some(0), Some(0)],
-            class_names: vec!["a".into(), "b".into()],
-        };
+            vec![vec![Some(1.0)], vec![Some(2.0)]],
+            vec![Some(0), Some(0)],
+            vec!["a".into(), "b".into()],
+        );
         let mut t = DecisionTree::new(5, 1);
         t.fit(&d).unwrap();
         assert_eq!(t.node_count(), 1);

@@ -6,19 +6,57 @@
 //! kNN is the suite's canary for the *dimensionality* defect: irrelevant
 //! attributes dilute the distance and degrade it faster than the other
 //! algorithms.
+//!
+//! The kernel is columnar: squared distances accumulate one training
+//! column at a time over contiguous value slices, neighbor selection is
+//! `select_nth_unstable_by` with a `(distance, index)` tie-break instead
+//! of a full sort, and the distance/vote buffers live in a reusable
+//! scratch so a prediction allocates nothing in steady state.
 
 use super::Classifier;
 use crate::error::{MiningError, Result};
-use crate::instances::{AttrKind, Instances};
+use crate::instances::{AttrKind, Bitmap, InstancesView};
+use std::cell::RefCell;
+use std::cmp::Ordering;
 
-/// The kNN classifier (stores the training data).
+/// One training attribute gathered into contiguous columnar storage.
+#[derive(Debug, Clone)]
+struct TrainColumn {
+    values: Vec<f64>,
+    validity: Bitmap,
+    numeric: bool,
+    /// Min-max of the training column (numeric only).
+    range: Option<(f64, f64)>,
+}
+
+#[derive(Debug, Clone)]
+struct Model {
+    columns: Vec<TrainColumn>,
+    labels: Vec<usize>,
+    n_classes: usize,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Squared-distance accumulator, one slot per training row.
+    acc: Vec<f64>,
+    /// `(distance, train index)` pairs fed to the selection.
+    dists: Vec<(f64, usize)>,
+    votes: Vec<f64>,
+}
+
+/// The kNN classifier (stores the training data in columnar form).
 #[derive(Debug, Clone)]
 pub struct Knn {
     /// Neighborhood size.
     pub k: usize,
-    train: Option<Instances>,
-    ranges: Vec<Option<(f64, f64)>>,
-    numeric: Vec<bool>,
+    model: Option<Model>,
+    scratch: RefCell<Scratch>,
+}
+
+#[inline]
+fn neighbor_order(a: &(f64, usize), b: &(f64, usize)) -> Ordering {
+    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
 }
 
 impl Knn {
@@ -26,45 +64,78 @@ impl Knn {
     pub fn new(k: usize) -> Self {
         Knn {
             k: k.max(1),
-            train: None,
-            ranges: vec![],
-            numeric: vec![],
+            model: None,
+            scratch: RefCell::new(Scratch::default()),
         }
     }
 
-    fn dim_distance(&self, a: usize, x: Option<f64>, y: Option<f64>) -> f64 {
-        match (x, y) {
-            (Some(x), Some(y)) => {
-                if self.numeric[a] {
-                    match self.ranges[a] {
-                        Some((lo, hi)) if hi > lo => ((x - y).abs() / (hi - lo)).min(1.0),
-                        _ => {
-                            if x == y {
-                                0.0
-                            } else {
-                                1.0
-                            }
-                        }
+    /// Accumulate one query dimension into the per-row squared-distance
+    /// accumulator: the column-at-a-time form of the HEOM distance.
+    fn accumulate_dim(col: &TrainColumn, x: Option<f64>, acc: &mut [f64]) {
+        let Some(x) = x else {
+            // Missing query value: maximal dissimilarity to every row.
+            for a in acc.iter_mut() {
+                *a += 1.0;
+            }
+            return;
+        };
+        match (col.numeric, col.range) {
+            (true, Some((lo, hi))) if hi > lo => {
+                let span = hi - lo;
+                for (i, a) in acc.iter_mut().enumerate() {
+                    if col.validity.get(i) {
+                        let d = ((x - col.values[i]).abs() / span).min(1.0);
+                        *a += d * d;
+                    } else {
+                        *a += 1.0;
                     }
-                } else if x == y {
-                    0.0
-                } else {
-                    1.0
                 }
             }
-            // Missing on either side: maximal dissimilarity.
-            _ => 1.0,
+            // Degenerate numeric range or nominal: 0/1 match distance.
+            _ => {
+                for (i, a) in acc.iter_mut().enumerate() {
+                    if !(col.validity.get(i) && x == col.values[i]) {
+                        *a += 1.0;
+                    }
+                }
+            }
         }
     }
 
-    fn distance(&self, a: &[Option<f64>], b: &[Option<f64>]) -> f64 {
-        (0..self.numeric.len())
-            .map(|i| {
-                let d = self.dim_distance(i, a.get(i).copied().flatten(), b[i]);
-                d * d
-            })
-            .sum::<f64>()
-            .sqrt()
+    /// The shared prediction kernel; `query` yields the row's value for a
+    /// training attribute index.
+    fn predict_query(&self, model: &Model, query: impl Fn(usize) -> Option<f64>) -> usize {
+        let n = model.labels.len();
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch { acc, dists, votes } = &mut *scratch;
+        acc.clear();
+        acc.resize(n, 0.0);
+        for (a, col) in model.columns.iter().enumerate() {
+            Self::accumulate_dim(col, query(a), acc);
+        }
+        dists.clear();
+        dists.extend(acc.iter().enumerate().map(|(i, s)| (s.sqrt(), i)));
+        // Partition the k nearest to the front, then order just those —
+        // O(n + k log k) against the old full O(n log n) sort. The
+        // (distance, index) key is a total order, so the first k pairs
+        // come out exactly as the full sort produced them.
+        let k = self.k.min(n);
+        if k < n {
+            dists.select_nth_unstable_by(k - 1, neighbor_order);
+        }
+        dists[..k].sort_unstable_by(neighbor_order);
+        votes.clear();
+        votes.resize(model.n_classes.max(1), 0.0);
+        for &(d, i) in &dists[..k] {
+            // Inverse-distance weighting with a floor for exact matches.
+            votes[model.labels[i]] += 1.0 / (d + 1e-6);
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     }
 }
 
@@ -73,49 +144,73 @@ impl Classifier for Knn {
         "kNN"
     }
 
-    fn fit(&mut self, data: &Instances) -> Result<()> {
+    fn fit_view(&mut self, data: &InstancesView<'_>) -> Result<()> {
         let labeled = data.labeled_indices();
         if labeled.is_empty() {
             return Err(MiningError::InvalidDataset("kNN needs labeled rows".into()));
         }
-        let train = data.subset(&labeled);
-        self.ranges = train.numeric_ranges();
-        self.numeric = train
-            .attributes
+        let mut columns = Vec::with_capacity(data.n_attributes());
+        for a in 0..data.n_attributes() {
+            let numeric = data.attribute(a).kind == AttrKind::Numeric;
+            let col = data.col(a);
+            let mut values = Vec::with_capacity(labeled.len());
+            let mut validity = Bitmap::with_capacity(labeled.len());
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut any = false;
+            for &i in &labeled {
+                match col.get(i) {
+                    Some(v) => {
+                        values.push(v);
+                        validity.push(true);
+                        if numeric {
+                            lo = lo.min(v);
+                            hi = hi.max(v);
+                            any = true;
+                        }
+                    }
+                    None => {
+                        values.push(f64::NAN);
+                        validity.push(false);
+                    }
+                }
+            }
+            columns.push(TrainColumn {
+                values,
+                validity,
+                numeric,
+                range: (numeric && any).then_some((lo, hi)),
+            });
+        }
+        let labels = labeled
             .iter()
-            .map(|a| a.kind == AttrKind::Numeric)
+            .map(|&i| data.label(i).expect("labeled"))
             .collect();
-        self.train = Some(train);
+        self.model = Some(Model {
+            columns,
+            labels,
+            n_classes: data.n_classes(),
+        });
         Ok(())
     }
 
     fn predict_row(&self, row: &[Option<f64>]) -> Result<usize> {
-        let train = self.train.as_ref().ok_or(MiningError::NotFitted("kNN"))?;
-        let mut dists: Vec<(f64, usize)> = train
-            .rows
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (self.distance(row, r), i))
-            .collect();
-        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
-        let mut votes = vec![0.0f64; train.n_classes().max(1)];
-        for &(d, i) in dists.iter().take(self.k) {
-            let label = train.labels[i].expect("training rows are labeled");
-            // Inverse-distance weighting with a floor for exact matches.
-            votes[label] += 1.0 / (d + 1e-6);
-        }
-        Ok(votes
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0))
+        let model = self.model.as_ref().ok_or(MiningError::NotFitted("kNN"))?;
+        Ok(self.predict_query(model, |a| row.get(a).copied().flatten()))
+    }
+
+    fn predict_view(&self, data: &InstancesView<'_>) -> Result<Vec<usize>> {
+        let model = self.model.as_ref().ok_or(MiningError::NotFitted("kNN"))?;
+        let cols: Vec<_> = (0..data.n_attributes()).map(|a| data.col(a)).collect();
+        Ok((0..data.len())
+            .map(|i| self.predict_query(model, |a| cols.get(a).and_then(|c| c.get(i))))
+            .collect())
     }
 
     fn model_size(&self) -> usize {
-        self.train
+        self.model
             .as_ref()
-            .map(|t| t.len() * t.n_attributes())
+            .map(|m| m.labels.len() * m.columns.len())
             .unwrap_or(0)
     }
 }
@@ -123,7 +218,7 @@ impl Classifier for Knn {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instances::Attribute;
+    use crate::instances::{Attribute, Instances};
 
     fn clusters() -> Instances {
         let mut rows = Vec::new();
@@ -135,8 +230,8 @@ mod tests {
             rows.push(vec![Some(8.0 + j), Some(8.0 - j)]);
             labels.push(Some(1));
         }
-        Instances {
-            attributes: vec![
+        Instances::from_rows(
+            vec![
                 Attribute {
                     name: "x".into(),
                     kind: AttrKind::Numeric,
@@ -148,8 +243,8 @@ mod tests {
             ],
             rows,
             labels,
-            class_names: vec!["near".into(), "far".into()],
-        }
+            vec!["near".into(), "far".into()],
+        )
     }
 
     #[test]
@@ -172,10 +267,20 @@ mod tests {
     }
 
     #[test]
+    fn k_larger_than_training_set_votes_over_everyone() {
+        let d = clusters();
+        let mut m = Knn::new(1000);
+        m.fit(&d).unwrap();
+        // Degenerates gracefully: all rows vote, inverse-distance
+        // weighting still favors the near cluster.
+        assert_eq!(m.predict_row(&[Some(0.0), Some(0.0)]).unwrap(), 0);
+    }
+
+    #[test]
     fn normalization_prevents_scale_domination() {
         // y is on a huge scale but irrelevant; x separates the classes.
-        let d = Instances {
-            attributes: vec![
+        let d = Instances::from_rows(
+            vec![
                 Attribute {
                     name: "x".into(),
                     kind: AttrKind::Numeric,
@@ -185,15 +290,15 @@ mod tests {
                     kind: AttrKind::Numeric,
                 },
             ],
-            rows: vec![
+            vec![
                 vec![Some(0.0), Some(100_000.0)],
                 vec![Some(0.1), Some(-100_000.0)],
                 vec![Some(1.0), Some(50_000.0)],
                 vec![Some(0.9), Some(-50_000.0)],
             ],
-            labels: vec![Some(0), Some(0), Some(1), Some(1)],
-            class_names: vec!["a".into(), "b".into()],
-        };
+            vec![Some(0), Some(0), Some(1), Some(1)],
+            vec!["a".into(), "b".into()],
+        );
         let mut m = Knn::new(1);
         m.fit(&d).unwrap();
         assert_eq!(m.predict_row(&[Some(0.05), Some(0.0)]).unwrap(), 0);
@@ -211,15 +316,15 @@ mod tests {
 
     #[test]
     fn nominal_mismatch_distance() {
-        let d = Instances {
-            attributes: vec![Attribute {
+        let d = Instances::from_rows(
+            vec![Attribute {
                 name: "c".into(),
                 kind: AttrKind::Nominal(vec!["p".into(), "q".into()]),
             }],
-            rows: vec![vec![Some(0.0)], vec![Some(1.0)]],
-            labels: vec![Some(0), Some(1)],
-            class_names: vec!["a".into(), "b".into()],
-        };
+            vec![vec![Some(0.0)], vec![Some(1.0)]],
+            vec![Some(0), Some(1)],
+            vec!["a".into(), "b".into()],
+        );
         let mut m = Knn::new(1);
         m.fit(&d).unwrap();
         assert_eq!(m.predict_row(&[Some(0.0)]).unwrap(), 0);

@@ -2,10 +2,15 @@
 //! descent. Numeric attributes are z-scored; nominal attributes are
 //! one-hot encoded; missing values are mean/zero-imputed at encoding
 //! time (the model's documented missing-value strategy).
+//!
+//! Training encodes the design matrix column-by-column into one flat
+//! row-major `Vec<f64>` (contiguous rows, no per-row allocations), then
+//! runs the same gradient loop as before over slice windows — the
+//! floating-point sequence is unchanged, only the memory layout is.
 
 use super::Classifier;
 use crate::error::{MiningError, Result};
-use crate::instances::{AttrKind, Instances};
+use crate::instances::{AttrKind, InstancesView};
 
 /// The logistic-regression classifier.
 #[derive(Debug, Clone)]
@@ -38,21 +43,30 @@ enum EncSpec {
 }
 
 impl Encoder {
-    fn from_instances(data: &Instances) -> Encoder {
+    fn from_view(data: &InstancesView<'_>) -> Encoder {
         let means = data.numeric_means();
         let mut specs = Vec::with_capacity(data.n_attributes());
         let mut width = 0;
-        for (a, attr) in data.attributes.iter().enumerate() {
-            match &attr.kind {
+        for a in 0..data.n_attributes() {
+            match &data.attribute(a).kind {
                 AttrKind::Numeric => {
                     let mean = means[a].unwrap_or(0.0);
-                    let vals: Vec<f64> = data.rows.iter().filter_map(|r| r[a]).collect();
-                    let std = if vals.len() < 2 {
+                    let col = data.col(a);
+                    // One column pass for count and squared deviations,
+                    // in row order (same additions as the old collect-
+                    // then-sum).
+                    let mut n = 0usize;
+                    let mut sq = 0.0f64;
+                    for i in 0..col.len() {
+                        if let Some(x) = col.get(i) {
+                            sq += (x - mean) * (x - mean);
+                            n += 1;
+                        }
+                    }
+                    let std = if n < 2 {
                         1.0
                     } else {
-                        let v = vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-                            / (vals.len() - 1) as f64;
-                        v.sqrt().max(1e-9)
+                        (sq / (n - 1) as f64).sqrt().max(1e-9)
                     };
                     specs.push(EncSpec::Numeric { mean, std });
                     width += 1;
@@ -86,6 +100,38 @@ impl Encoder {
             }
         }
         out
+    }
+
+    /// Encode a whole training view into a flat row-major design matrix,
+    /// filling one encoded column at a time (contiguous source reads).
+    fn encode_matrix(&self, data: &InstancesView<'_>) -> Vec<f64> {
+        let n_rows = data.len();
+        let mut xs = vec![0.0f64; n_rows * self.width];
+        let mut offset = 0usize;
+        for (a, spec) in self.specs.iter().enumerate() {
+            let col = data.col(a);
+            match spec {
+                EncSpec::Numeric { mean, std } => {
+                    for r in 0..n_rows {
+                        let v = col.get(r).unwrap_or(*mean);
+                        xs[r * self.width + offset] = (v - mean) / std;
+                    }
+                    offset += 1;
+                }
+                EncSpec::Nominal { cardinality } => {
+                    for r in 0..n_rows {
+                        if let Some(x) = col.get(r) {
+                            let i = x as usize;
+                            if i < *cardinality {
+                                xs[r * self.width + offset + i] = 1.0;
+                            }
+                        }
+                    }
+                    offset += *cardinality;
+                }
+            }
+        }
+        xs
     }
 }
 
@@ -141,7 +187,7 @@ impl Classifier for LogisticRegression {
         "LogisticRegression"
     }
 
-    fn fit(&mut self, data: &Instances) -> Result<()> {
+    fn fit_view(&mut self, data: &InstancesView<'_>) -> Result<()> {
         let labeled = data.labeled_indices();
         if labeled.is_empty() {
             return Err(MiningError::InvalidDataset(
@@ -153,17 +199,19 @@ impl Classifier for LogisticRegression {
                 "learning rate must be positive".into(),
             ));
         }
-        let train = data.subset(&labeled);
-        let encoder = Encoder::from_instances(&train);
-        let xs: Vec<Vec<f64>> = train.rows.iter().map(|r| encoder.encode(r)).collect();
-        let n = xs.len() as f64;
+        let train = data.select_rows(&labeled);
+        let encoder = Encoder::from_view(&train);
+        let xs = encoder.encode_matrix(&train);
+        let labels: Vec<Option<usize>> = (0..train.len()).map(|i| train.label(i)).collect();
+        let n = train.len() as f64;
         let n_classes = train.n_classes().max(2);
         let width = encoder.width;
         let mut weights = vec![vec![0.0f64; width + 1]; n_classes];
         for (c, w) in weights.iter_mut().enumerate() {
             for _ in 0..self.epochs {
                 let mut grad = vec![0.0f64; width + 1];
-                for (x, label) in xs.iter().zip(&train.labels) {
+                for (r, label) in labels.iter().enumerate() {
+                    let x = &xs[r * width..(r + 1) * width];
                     let y = if *label == Some(c) { 1.0 } else { 0.0 };
                     let z: f64 =
                         x.iter().zip(w.iter()).map(|(xi, wi)| xi * wi).sum::<f64>() + w[width];
@@ -201,7 +249,7 @@ impl Classifier for LogisticRegression {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instances::Attribute;
+    use crate::instances::{Attribute, Instances};
 
     fn linearly_separable() -> Instances {
         let mut rows = Vec::new();
@@ -213,8 +261,8 @@ mod tests {
             rows.push(vec![Some(3.0 + j), Some(4.0 - j)]);
             labels.push(Some(1));
         }
-        Instances {
-            attributes: vec![
+        Instances::from_rows(
+            vec![
                 Attribute {
                     name: "x".into(),
                     kind: AttrKind::Numeric,
@@ -226,8 +274,8 @@ mod tests {
             ],
             rows,
             labels,
-            class_names: vec!["a".into(), "b".into()],
-        }
+            vec!["a".into(), "b".into()],
+        )
     }
 
     #[test]
@@ -267,15 +315,15 @@ mod tests {
             rows.push(vec![Some(10.0 + j)]);
             labels.push(Some(2));
         }
-        let d = Instances {
-            attributes: vec![Attribute {
+        let d = Instances::from_rows(
+            vec![Attribute {
                 name: "x".into(),
                 kind: AttrKind::Numeric,
             }],
             rows,
             labels,
-            class_names: vec!["lo".into(), "mid".into(), "hi".into()],
-        };
+            vec!["lo".into(), "mid".into(), "hi".into()],
+        );
         let mut m = LogisticRegression::new(400, 0.5);
         m.fit(&d).unwrap();
         assert_eq!(m.predict_row(&[Some(0.1)]).unwrap(), 0);
@@ -285,15 +333,15 @@ mod tests {
 
     #[test]
     fn nominal_one_hot() {
-        let d = Instances {
-            attributes: vec![Attribute {
+        let d = Instances::from_rows(
+            vec![Attribute {
                 name: "c".into(),
                 kind: AttrKind::Nominal(vec!["p".into(), "q".into()]),
             }],
-            rows: (0..20).map(|i| vec![Some((i % 2) as f64)]).collect(),
-            labels: (0..20).map(|i| Some(i % 2)).collect(),
-            class_names: vec!["a".into(), "b".into()],
-        };
+            (0..20).map(|i| vec![Some((i % 2) as f64)]).collect(),
+            (0..20).map(|i| Some(i % 2)).collect(),
+            vec!["a".into(), "b".into()],
+        );
         let mut m = LogisticRegression::new(300, 0.5);
         m.fit(&d).unwrap();
         assert_eq!(m.predict_row(&[Some(0.0)]).unwrap(), 0);

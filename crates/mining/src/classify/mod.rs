@@ -22,22 +22,46 @@ pub use random_forest::RandomForest;
 pub use zero_r::ZeroR;
 
 use crate::error::Result;
-use crate::instances::Instances;
+use crate::instances::{Instances, InstancesView};
 
 /// A trainable classifier over [`Instances`].
+///
+/// The primary entry points are the view-based `fit_view` /
+/// `predict_view`, which train and predict straight off borrowed
+/// [`InstancesView`]s (the zero-copy cross-validation path); the owned
+/// `fit` / `predict` are thin bridges over a whole-dataset view.
 pub trait Classifier {
     /// Short algorithm name (e.g. `"NaiveBayes"`).
     fn name(&self) -> &'static str;
 
-    /// Train on the labeled rows of `data`.
-    fn fit(&mut self, data: &Instances) -> Result<()>;
+    /// Train on the labeled rows of a (possibly row/column-masked) view.
+    fn fit_view(&mut self, data: &InstancesView<'_>) -> Result<()>;
 
-    /// Predict the class index of one feature row.
+    /// Train on the labeled rows of `data`.
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        self.fit_view(&data.view())
+    }
+
+    /// Predict the class index of one feature row (cells in the fitted
+    /// view's attribute order).
     fn predict_row(&self, row: &[Option<f64>]) -> Result<usize>;
+
+    /// Predict every row of a view. The default gathers each row into a
+    /// reused scratch buffer; columnar classifiers override this with
+    /// batch kernels.
+    fn predict_view(&self, data: &InstancesView<'_>) -> Result<Vec<usize>> {
+        let mut buf = Vec::with_capacity(data.n_attributes());
+        (0..data.len())
+            .map(|i| {
+                data.fill_row(i, &mut buf);
+                self.predict_row(&buf)
+            })
+            .collect()
+    }
 
     /// Predict every row of a dataset.
     fn predict(&self, data: &Instances) -> Result<Vec<usize>> {
-        data.rows.iter().map(|r| self.predict_row(r)).collect()
+        self.predict_view(&data.view())
     }
 
     /// A size proxy for the fitted model (nodes, stored rows, weights…);

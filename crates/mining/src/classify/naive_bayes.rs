@@ -2,10 +2,16 @@
 //! smoothed categorical likelihoods for nominal attributes. Missing
 //! values are simply skipped in the likelihood product — the textbook
 //! reason Naive Bayes degrades gracefully under missingness.
+//!
+//! Likelihood tables are built in one columnar pass per attribute:
+//! per-class sums/counts accumulate down the contiguous column (in row
+//! order, so the floating-point results are identical to the old
+//! collect-then-sum row-major code), and batch prediction walks each
+//! column once instead of gathering rows.
 
 use super::Classifier;
 use crate::error::{MiningError, Result};
-use crate::instances::{AttrKind, Instances};
+use crate::instances::{AttrKind, InstancesView};
 
 #[derive(Debug, Clone)]
 enum AttrModel {
@@ -46,22 +52,37 @@ impl NaiveBayes {
             let Some(v) = row.get(a).copied().flatten() else {
                 continue;
             };
-            for (c, score) in scores.iter_mut().enumerate() {
-                match model {
-                    AttrModel::Gaussian(params) => {
-                        let (mean, var) = params[c];
-                        *score += Self::gaussian_log_pdf(v, mean, var);
-                    }
-                    AttrModel::Categorical(logps) => {
-                        let idx = v as usize;
-                        if let Some(lp) = logps[c].get(idx) {
-                            *score += lp;
-                        }
+            Self::add_likelihood(model, v, &mut scores);
+        }
+        Ok(scores)
+    }
+
+    #[inline]
+    fn add_likelihood(model: &AttrModel, v: f64, scores: &mut [f64]) {
+        for (c, score) in scores.iter_mut().enumerate() {
+            match model {
+                AttrModel::Gaussian(params) => {
+                    let (mean, var) = params[c];
+                    *score += Self::gaussian_log_pdf(v, mean, var);
+                }
+                AttrModel::Categorical(logps) => {
+                    let idx = v as usize;
+                    if let Some(lp) = logps[c].get(idx) {
+                        *score += lp;
                     }
                 }
             }
         }
-        Ok(scores)
+    }
+
+    #[inline]
+    fn argmax(scores: &[f64]) -> usize {
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
     }
 }
 
@@ -70,7 +91,7 @@ impl Classifier for NaiveBayes {
         "NaiveBayes"
     }
 
-    fn fit(&mut self, data: &Instances) -> Result<()> {
+    fn fit_view(&mut self, data: &InstancesView<'_>) -> Result<()> {
         let labeled = data.labeled_indices();
         if labeled.is_empty() {
             return Err(MiningError::InvalidDataset(
@@ -87,57 +108,73 @@ impl Classifier for NaiveBayes {
             .iter()
             .map(|&c| ((c as f64 + 1.0) / (total as f64 + n_classes as f64)).ln())
             .collect();
+        let labels: Vec<usize> = labeled
+            .iter()
+            .map(|&i| data.label(i).expect("labeled"))
+            .collect();
         self.models = Vec::with_capacity(data.n_attributes());
-        for (a, attr) in data.attributes.iter().enumerate() {
-            match &attr.kind {
+        for a in 0..data.n_attributes() {
+            let col = data.col(a);
+            match &data.attribute(a).kind {
                 AttrKind::Numeric => {
-                    let mut params = Vec::with_capacity(n_classes);
-                    for c in 0..n_classes {
-                        let vals: Vec<f64> = labeled
-                            .iter()
-                            .filter(|&&i| data.labels[i] == Some(c))
-                            .filter_map(|&i| data.rows[i][a])
-                            .collect();
-                        if vals.is_empty() {
-                            params.push((0.0, 1.0));
-                            continue;
+                    // Two column passes: per-class sum/count for the
+                    // means, then per-class squared deviations. Each
+                    // class's accumulator sees its values in row order —
+                    // the same addition sequence as the old per-class
+                    // collect-then-sum, so the bits match.
+                    let mut sums = vec![0.0f64; n_classes];
+                    let mut ns = vec![0usize; n_classes];
+                    for (&i, &c) in labeled.iter().zip(&labels) {
+                        if let Some(v) = col.get(i) {
+                            sums[c] += v;
+                            ns[c] += 1;
                         }
-                        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
-                        let var = if vals.len() < 2 {
-                            MIN_VARIANCE
-                        } else {
-                            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                                / (vals.len() - 1) as f64
-                        };
-                        params.push((mean, var));
                     }
+                    let means: Vec<f64> = sums
+                        .iter()
+                        .zip(&ns)
+                        .map(|(&s, &n)| if n > 0 { s / n as f64 } else { 0.0 })
+                        .collect();
+                    let mut sq = vec![0.0f64; n_classes];
+                    for (&i, &c) in labeled.iter().zip(&labels) {
+                        if let Some(v) = col.get(i) {
+                            sq[c] += (v - means[c]) * (v - means[c]);
+                        }
+                    }
+                    let params: Vec<(f64, f64)> = (0..n_classes)
+                        .map(|c| {
+                            if ns[c] == 0 {
+                                (0.0, 1.0)
+                            } else if ns[c] < 2 {
+                                (means[c], MIN_VARIANCE)
+                            } else {
+                                (means[c], sq[c] / (ns[c] - 1) as f64)
+                            }
+                        })
+                        .collect();
                     self.models.push(AttrModel::Gaussian(params));
                 }
                 AttrKind::Nominal(dict) => {
                     let k = dict.len().max(1);
-                    let mut logps = Vec::with_capacity(n_classes);
-                    for c in 0..n_classes {
-                        let mut cat_counts = vec![0usize; k];
-                        let mut total_c = 0usize;
-                        for &i in &labeled {
-                            if data.labels[i] != Some(c) {
-                                continue;
-                            }
-                            if let Some(v) = data.rows[i][a] {
-                                let idx = v as usize;
-                                if idx < k {
-                                    cat_counts[idx] += 1;
-                                    total_c += 1;
-                                }
+                    let mut cat_counts = vec![vec![0usize; k]; n_classes];
+                    let mut totals = vec![0usize; n_classes];
+                    for (&i, &c) in labeled.iter().zip(&labels) {
+                        if let Some(v) = col.get(i) {
+                            let idx = v as usize;
+                            if idx < k {
+                                cat_counts[c][idx] += 1;
+                                totals[c] += 1;
                             }
                         }
-                        logps.push(
-                            cat_counts
-                                .iter()
-                                .map(|&n| ((n as f64 + 1.0) / (total_c as f64 + k as f64)).ln())
-                                .collect(),
-                        );
                     }
+                    let logps: Vec<Vec<f64>> = (0..n_classes)
+                        .map(|c| {
+                            cat_counts[c]
+                                .iter()
+                                .map(|&n| ((n as f64 + 1.0) / (totals[c] as f64 + k as f64)).ln())
+                                .collect()
+                        })
+                        .collect();
                     self.models.push(AttrModel::Categorical(logps));
                 }
             }
@@ -148,12 +185,34 @@ impl Classifier for NaiveBayes {
 
     fn predict_row(&self, row: &[Option<f64>]) -> Result<usize> {
         let scores = self.log_posteriors(row)?;
-        Ok(scores
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.total_cmp(b.1))
-            .map(|(i, _)| i)
-            .unwrap_or(0))
+        Ok(Self::argmax(&scores))
+    }
+
+    fn predict_view(&self, data: &InstancesView<'_>) -> Result<Vec<usize>> {
+        if !self.fitted {
+            return Err(MiningError::NotFitted("NaiveBayes"));
+        }
+        let n = data.len();
+        let k = self.log_priors.len();
+        // Row-major score matrix seeded with the priors; one pass per
+        // attribute column keeps the per-(row, class) addition order
+        // identical to log_posteriors().
+        let mut scores = Vec::with_capacity(n * k);
+        for _ in 0..n {
+            scores.extend_from_slice(&self.log_priors);
+        }
+        for (a, model) in self.models.iter().enumerate() {
+            if a >= data.n_attributes() {
+                break;
+            }
+            let col = data.col(a);
+            for (i, row_scores) in scores.chunks_mut(k.max(1)).enumerate() {
+                if let Some(v) = col.get(i) {
+                    Self::add_likelihood(model, v, row_scores);
+                }
+            }
+        }
+        Ok(scores.chunks(k.max(1)).map(Self::argmax).collect())
     }
 
     fn model_size(&self) -> usize {
@@ -170,7 +229,7 @@ impl Classifier for NaiveBayes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instances::Attribute;
+    use crate::instances::{Attribute, Instances};
 
     fn gaussian_data() -> Instances {
         // Class 0 around x=0, class 1 around x=10.
@@ -183,15 +242,15 @@ mod tests {
             rows.push(vec![Some(10.0 + jitter)]);
             labels.push(Some(1));
         }
-        Instances {
-            attributes: vec![Attribute {
+        Instances::from_rows(
+            vec![Attribute {
                 name: "x".into(),
                 kind: AttrKind::Numeric,
             }],
             rows,
             labels,
-            class_names: vec!["lo".into(), "hi".into()],
-        }
+            vec!["lo".into(), "hi".into()],
+        )
     }
 
     #[test]
@@ -216,25 +275,36 @@ mod tests {
 
     #[test]
     fn nominal_likelihoods() {
-        let d = Instances {
-            attributes: vec![Attribute {
+        let d = Instances::from_rows(
+            vec![Attribute {
                 name: "color".into(),
                 kind: AttrKind::Nominal(vec!["r".into(), "g".into(), "b".into()]),
             }],
-            rows: vec![
+            vec![
                 vec![Some(0.0)],
                 vec![Some(0.0)],
                 vec![Some(1.0)],
                 vec![Some(1.0)],
                 vec![Some(2.0)],
             ],
-            labels: vec![Some(0), Some(0), Some(1), Some(1), Some(0)],
-            class_names: vec!["a".into(), "b".into()],
-        };
+            vec![Some(0), Some(0), Some(1), Some(1), Some(0)],
+            vec!["a".into(), "b".into()],
+        );
         let mut m = NaiveBayes::new();
         m.fit(&d).unwrap();
         assert_eq!(m.predict_row(&[Some(0.0)]).unwrap(), 0);
         assert_eq!(m.predict_row(&[Some(1.0)]).unwrap(), 1);
+    }
+
+    #[test]
+    fn batch_prediction_matches_per_row() {
+        let d = gaussian_data();
+        let mut m = NaiveBayes::new();
+        m.fit(&d).unwrap();
+        let batch = m.predict(&d).unwrap();
+        for (i, &p) in batch.iter().enumerate() {
+            assert_eq!(p, m.predict_row(&d.row_vec(i)).unwrap());
+        }
     }
 
     #[test]

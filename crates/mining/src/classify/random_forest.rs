@@ -1,9 +1,10 @@
 //! Random forest: bagged C4.5-style trees with √d feature subsampling
-//! and majority voting.
+//! and majority voting. Bootstrap samples are row-index views over the
+//! training data — no per-tree row copies.
 
 use super::{Classifier, DecisionTree};
 use crate::error::{MiningError, Result};
-use crate::instances::Instances;
+use crate::instances::InstancesView;
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
@@ -32,6 +33,21 @@ impl RandomForest {
             n_classes: 0,
         }
     }
+
+    fn vote(&self, per_tree: &[usize]) -> usize {
+        let mut votes = vec![0usize; self.n_classes.max(1)];
+        for &p in per_tree {
+            if p < votes.len() {
+                votes[p] += 1;
+            }
+        }
+        votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
 }
 
 impl Classifier for RandomForest {
@@ -39,7 +55,7 @@ impl Classifier for RandomForest {
         "RandomForest"
     }
 
-    fn fit(&mut self, data: &Instances) -> Result<()> {
+    fn fit_view(&mut self, data: &InstancesView<'_>) -> Result<()> {
         let labeled = data.labeled_indices();
         if labeled.is_empty() {
             return Err(MiningError::InvalidDataset(
@@ -57,11 +73,12 @@ impl Classifier for RandomForest {
         self.n_classes = data.n_classes();
         self.forest.clear();
         for _ in 0..self.trees {
-            // Bootstrap sample of the labeled rows.
+            // Bootstrap sample of the labeled rows (view-local indices):
+            // the tree trains on a borrowed row-index view, not a copy.
             let sample: Vec<usize> = (0..labeled.len())
                 .map(|_| labeled[rng.random_range(0..labeled.len())])
                 .collect();
-            let boot = data.subset(&sample);
+            let boot = data.select_rows(&sample);
             // Feature subset (distinct attribute indices).
             let mut attrs: Vec<usize> = (0..n_attrs).collect();
             for i in 0..subset_size {
@@ -71,7 +88,7 @@ impl Classifier for RandomForest {
             attrs.truncate(subset_size);
             let mut tree = DecisionTree::new(self.max_depth, 2);
             tree.feature_subset = Some(attrs);
-            tree.fit(&boot)?;
+            tree.fit_view(&boot)?;
             self.forest.push(tree);
         }
         Ok(())
@@ -81,19 +98,34 @@ impl Classifier for RandomForest {
         if self.forest.is_empty() {
             return Err(MiningError::NotFitted("RandomForest"));
         }
-        let mut votes = vec![0usize; self.n_classes.max(1)];
-        for tree in &self.forest {
-            let p = tree.predict_row(row)?;
-            if p < votes.len() {
-                votes[p] += 1;
-            }
-        }
-        Ok(votes
+        let preds = self
+            .forest
             .iter()
-            .enumerate()
-            .max_by_key(|(_, v)| **v)
-            .map(|(i, _)| i)
-            .unwrap_or(0))
+            .map(|t| t.predict_row(row))
+            .collect::<Result<Vec<usize>>>()?;
+        Ok(self.vote(&preds))
+    }
+
+    fn predict_view(&self, data: &InstancesView<'_>) -> Result<Vec<usize>> {
+        if self.forest.is_empty() {
+            return Err(MiningError::NotFitted("RandomForest"));
+        }
+        // Each tree predicts the whole view in one columnar pass; votes
+        // are tallied per row in tree order (same counts as the old
+        // row-at-a-time loop).
+        let per_tree = self
+            .forest
+            .iter()
+            .map(|t| t.predict_view(data))
+            .collect::<Result<Vec<Vec<usize>>>>()?;
+        let mut row_votes = Vec::with_capacity(self.forest.len());
+        Ok((0..data.len())
+            .map(|i| {
+                row_votes.clear();
+                row_votes.extend(per_tree.iter().map(|p| p[i]));
+                self.vote(&row_votes)
+            })
+            .collect())
     }
 
     fn model_size(&self) -> usize {
@@ -104,7 +136,7 @@ impl Classifier for RandomForest {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instances::{AttrKind, Attribute};
+    use crate::instances::{AttrKind, Attribute, Instances};
 
     fn data() -> Instances {
         // Diagonal boundary: class = x + y > 10.
@@ -116,8 +148,8 @@ mod tests {
                 labels.push(Some(usize::from(xi + yi > 10)));
             }
         }
-        Instances {
-            attributes: vec![
+        Instances::from_rows(
+            vec![
                 Attribute {
                     name: "x".into(),
                     kind: AttrKind::Numeric,
@@ -129,8 +161,8 @@ mod tests {
             ],
             rows,
             labels,
-            class_names: vec!["lo".into(), "hi".into()],
-        }
+            vec!["lo".into(), "hi".into()],
+        )
     }
 
     #[test]

@@ -2,7 +2,7 @@
 
 use super::Classifier;
 use crate::error::{MiningError, Result};
-use crate::instances::Instances;
+use crate::instances::InstancesView;
 
 /// Predicts the training majority class for every row.
 #[derive(Debug, Clone, Default)]
@@ -22,7 +22,7 @@ impl Classifier for ZeroR {
         "ZeroR"
     }
 
-    fn fit(&mut self, data: &Instances) -> Result<()> {
+    fn fit_view(&mut self, data: &InstancesView<'_>) -> Result<()> {
         if data.labeled_indices().is_empty() {
             return Err(MiningError::InvalidDataset(
                 "ZeroR needs at least one labeled row".into(),
@@ -35,23 +35,28 @@ impl Classifier for ZeroR {
     fn predict_row(&self, _row: &[Option<f64>]) -> Result<usize> {
         self.majority.ok_or(MiningError::NotFitted("ZeroR"))
     }
+
+    fn predict_view(&self, data: &InstancesView<'_>) -> Result<Vec<usize>> {
+        let majority = self.majority.ok_or(MiningError::NotFitted("ZeroR"))?;
+        Ok(vec![majority; data.len()])
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::instances::{AttrKind, Attribute};
+    use crate::instances::{AttrKind, Attribute, Instances};
 
     fn data() -> Instances {
-        Instances {
-            attributes: vec![Attribute {
+        Instances::from_rows(
+            vec![Attribute {
                 name: "x".into(),
                 kind: AttrKind::Numeric,
             }],
-            rows: vec![vec![Some(1.0)], vec![Some(2.0)], vec![Some(3.0)]],
-            labels: vec![Some(1), Some(1), Some(0)],
-            class_names: vec!["a".into(), "b".into()],
-        }
+            vec![vec![Some(1.0)], vec![Some(2.0)], vec![Some(3.0)]],
+            vec![Some(1), Some(1), Some(0)],
+            vec!["a".into(), "b".into()],
+        )
     }
 
     #[test]

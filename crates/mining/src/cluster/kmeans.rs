@@ -57,16 +57,19 @@ impl KMeans {
             ));
         }
         let means = data.numeric_means();
-        Ok(data
-            .rows
-            .iter()
-            .map(|row| {
-                numeric_attrs
-                    .iter()
-                    .map(|&a| row[a].or(means[a]).unwrap_or(0.0))
-                    .collect()
-            })
-            .collect())
+        // Fill the point matrix one contiguous source column at a time;
+        // missing cells take the cached column mean.
+        let n = data.len();
+        let mut points = vec![vec![0.0f64; numeric_attrs.len()]; n];
+        for (ci, &a) in numeric_attrs.iter().enumerate() {
+            let values = data.column_values(a);
+            let validity = data.column_validity(a);
+            let fill = means[a].unwrap_or(0.0);
+            for (r, p) in points.iter_mut().enumerate() {
+                p[ci] = if validity.get(r) { values[r] } else { fill };
+            }
+        }
+        Ok(points)
     }
 
     fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
@@ -177,8 +180,9 @@ mod tests {
             rows.push(vec![Some(j), Some(j)]);
             rows.push(vec![Some(10.0 + j), Some(10.0 + j)]);
         }
-        Instances {
-            attributes: vec![
+        let labels = vec![None; rows.len()];
+        Instances::from_rows(
+            vec![
                 Attribute {
                     name: "x".into(),
                     kind: AttrKind::Numeric,
@@ -188,10 +192,10 @@ mod tests {
                     kind: AttrKind::Numeric,
                 },
             ],
-            labels: vec![None; rows.len()],
             rows,
-            class_names: vec![],
-        }
+            labels,
+            vec![],
+        )
     }
 
     #[test]
@@ -233,23 +237,23 @@ mod tests {
     #[test]
     fn missing_values_tolerated() {
         let mut d = two_blobs();
-        d.rows[0][0] = None;
-        d.rows[7][1] = None;
+        d.set(0, 0, None);
+        d.set(7, 1, None);
         let r = KMeans::new(2, 1).fit(&d).unwrap();
         assert_eq!(r.assignments.len(), 50);
     }
 
     #[test]
     fn no_numeric_attributes_rejected() {
-        let d = Instances {
-            attributes: vec![Attribute {
+        let d = Instances::from_rows(
+            vec![Attribute {
                 name: "c".into(),
                 kind: AttrKind::Nominal(vec!["a".into()]),
             }],
-            rows: vec![vec![Some(0.0)]],
-            labels: vec![None],
-            class_names: vec![],
-        };
+            vec![vec![Some(0.0)]],
+            vec![None],
+            vec![],
+        );
         assert!(KMeans::new(1, 1).fit(&d).is_err());
     }
 }

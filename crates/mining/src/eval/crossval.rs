@@ -1,9 +1,15 @@
 //! Seeded, stratified k-fold cross-validation and holdout evaluation.
+//!
+//! Folds are *views*: each fold trains and tests on a borrowed
+//! row-index selection over the one columnar [`Instances`], so the CV
+//! loop copies zero cells. Fold assignment, training and prediction are
+//! bit-identical to the old materializing implementation — only the
+//! allocations are gone.
 
 use super::metrics::ConfusionMatrix;
 use crate::classify::AlgorithmSpec;
 use crate::error::{MiningError, Result};
-use crate::instances::Instances;
+use crate::instances::{Instances, InstancesView};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -68,6 +74,16 @@ impl EvalResult {
 /// dealt round-robin so each fold preserves the class distribution.
 /// Returns `folds` lists of row indices.
 pub fn stratified_folds(data: &Instances, folds: usize, seed: u64) -> Result<Vec<Vec<usize>>> {
+    stratified_folds_view(&data.view(), folds, seed)
+}
+
+/// [`stratified_folds`] over a view; the returned indices are
+/// view-local.
+pub fn stratified_folds_view(
+    data: &InstancesView<'_>,
+    folds: usize,
+    seed: u64,
+) -> Result<Vec<Vec<usize>>> {
     if folds < 2 {
         return Err(MiningError::InvalidParameter(
             "cross-validation needs at least 2 folds".into(),
@@ -84,7 +100,7 @@ pub fn stratified_folds(data: &Instances, folds: usize, seed: u64) -> Result<Vec
     let mut rng = StdRng::seed_from_u64(seed);
     let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes().max(1)];
     for &i in &labeled {
-        per_class[data.labels[i].expect("labeled")].push(i);
+        per_class[data.label(i).expect("labeled")].push(i);
     }
     let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); folds];
     let mut next = 0usize;
@@ -127,11 +143,12 @@ struct FoldOutcome {
     model_size: f64,
 }
 
-/// Train and test one fold. `train_buf` is a caller-owned scratch vector
-/// for the training-row indices so sequential sweeps reuse one
-/// allocation across all folds.
+/// Train and test one fold over borrowed row selections — no cell is
+/// copied. `train_buf` is a caller-owned scratch vector for the
+/// training-row indices so sequential sweeps reuse one allocation
+/// across all folds.
 fn run_fold(
-    data: &Instances,
+    data: &InstancesView<'_>,
     spec: &AlgorithmSpec,
     fold_rows: &[Vec<usize>],
     f: usize,
@@ -144,19 +161,19 @@ fn run_fold(
         }
     }
     let test_rows = &fold_rows[f];
-    let train = data.subset(train_buf);
-    let test = data.subset(test_rows);
+    let train = data.select_rows(train_buf);
+    let test = data.select_rows(test_rows);
     let mut model = spec.build();
     let t0 = Instant::now();
-    model.fit(&train)?;
+    model.fit_view(&train)?;
     let train_ms = t0.elapsed().as_secs_f64() * 1e3;
     let t1 = Instant::now();
-    let predicted = model.predict(&test)?;
+    let predicted = model.predict_view(&test)?;
     let predict_ms = t1.elapsed().as_secs_f64() * 1e3;
     let mut actual = Vec::with_capacity(test_rows.len());
     let mut correct = 0usize;
-    for (p, l) in predicted.iter().zip(&test.labels) {
-        let l = l.expect("stratified folds hold labeled rows");
+    for (i, p) in predicted.iter().enumerate() {
+        let l = test.label(i).expect("stratified folds hold labeled rows");
         actual.push(l);
         if *p == l {
             correct += 1;
@@ -193,7 +210,20 @@ pub fn cross_validate_with(
     seed: u64,
     opts: &CrossValOptions,
 ) -> Result<EvalResult> {
-    let fold_rows = stratified_folds(data, folds, seed)?;
+    cross_validate_view(&data.view(), spec, folds, seed, opts)
+}
+
+/// Cross-validate directly on a view — lets callers evaluate an
+/// attribute projection (`select_attrs`) or row selection without
+/// materializing it first.
+pub fn cross_validate_view(
+    data: &InstancesView<'_>,
+    spec: &AlgorithmSpec,
+    folds: usize,
+    seed: u64,
+    opts: &CrossValOptions,
+) -> Result<EvalResult> {
+    let fold_rows = stratified_folds_view(data, folds, seed)?;
     let n_labeled: usize = fold_rows.iter().map(Vec::len).sum();
     let outcomes: Vec<FoldOutcome> = if opts.parallel_folds && folds > 1 {
         std::thread::scope(|scope| {
@@ -241,7 +271,7 @@ pub fn cross_validate_with(
     }
     Ok(EvalResult {
         algorithm: spec.to_string(),
-        confusion: ConfusionMatrix::from_predictions(&data.class_names, &actual, &predicted)?,
+        confusion: ConfusionMatrix::from_predictions(data.class_names(), &actual, &predicted)?,
         fold_accuracies,
         train_ms,
         predict_ms,
@@ -249,13 +279,15 @@ pub fn cross_validate_with(
     })
 }
 
-/// Single stratified holdout split: returns `(train, test)` with
-/// `test_fraction` of each class in the test set.
+/// Single stratified holdout split: returns `(train, test)` views with
+/// `test_fraction` of each class in the test set. The views borrow
+/// `data` — no rows are copied; call [`InstancesView::materialize`] if
+/// an owned dataset is needed.
 pub fn holdout_split(
     data: &Instances,
     test_fraction: f64,
     seed: u64,
-) -> Result<(Instances, Instances)> {
+) -> Result<(InstancesView<'_>, InstancesView<'_>)> {
     if !(0.0..1.0).contains(&test_fraction) || test_fraction == 0.0 {
         return Err(MiningError::InvalidParameter(
             "test fraction must be in (0,1)".into(),
@@ -281,7 +313,10 @@ pub fn holdout_split(
             "holdout produced an empty split".into(),
         ));
     }
-    Ok((data.subset(&train_rows), data.subset(&test_rows)))
+    Ok((
+        data.view().select_rows_owned(train_rows),
+        data.view().select_rows_owned(test_rows),
+    ))
 }
 
 #[cfg(test)]
@@ -299,15 +334,15 @@ mod tests {
             rows.push(vec![Some(5.0 + j)]);
             labels.push(Some(1));
         }
-        Instances {
-            attributes: vec![Attribute {
+        Instances::from_rows(
+            vec![Attribute {
                 name: "x".into(),
                 kind: AttrKind::Numeric,
             }],
             rows,
             labels,
-            class_names: vec!["a".into(), "b".into()],
-        }
+            vec!["a".into(), "b".into()],
+        )
     }
 
     #[test]
@@ -359,6 +394,22 @@ mod tests {
     }
 
     #[test]
+    fn view_cross_validation_matches_instances() {
+        let d = data(30);
+        let whole = cross_validate(&d, &AlgorithmSpec::NaiveBayes, 5, 7).unwrap();
+        let via_view = cross_validate_view(
+            &d.view(),
+            &AlgorithmSpec::NaiveBayes,
+            5,
+            7,
+            &CrossValOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(whole.confusion, via_view.confusion);
+        assert_eq!(whole.fold_accuracies, via_view.fold_accuracies);
+    }
+
+    #[test]
     fn zero_r_floor_is_class_prior() {
         let d = data(30);
         let r = cross_validate(&d, &AlgorithmSpec::ZeroR, 5, 1).unwrap();
@@ -380,8 +431,24 @@ mod tests {
         let (train, test) = holdout_split(&d, 0.2, 4).unwrap();
         assert_eq!(test.len(), 20);
         assert_eq!(train.len(), 80);
-        let test_pos = test.labels.iter().filter(|l| **l == Some(0)).count();
+        let test_pos = (0..test.len())
+            .filter(|&i| test.label(i) == Some(0))
+            .count();
         assert_eq!(test_pos, 10);
+    }
+
+    #[test]
+    fn holdout_views_borrow_without_copying() {
+        let d = data(20);
+        let (train, test) = holdout_split(&d, 0.25, 1).unwrap();
+        // Views map back into the parent rows; materializing them
+        // reproduces a plain subset.
+        let m = test.materialize();
+        assert_eq!(m.len(), test.len());
+        for i in 0..test.len() {
+            assert_eq!(m.get(i, 0), d.get(test.base_row(i), 0));
+        }
+        assert_eq!(train.len() + test.len(), d.len());
     }
 
     #[test]

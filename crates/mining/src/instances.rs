@@ -1,13 +1,32 @@
 //! The [`Instances`] mining dataset: a typed feature matrix with an
 //! optional nominal class attribute, built from an `openbi-table` table.
 //!
+//! # Data layout (DESIGN.md §11)
+//!
+//! Storage is columnar struct-of-arrays: each attribute is one
+//! contiguous `Vec<f64>` plus a validity [`Bitmap`] (one bit per row).
+//! Missing cells carry a NaN sentinel in the value slot, but the bitmap
+//! is the ground truth for presence — a *present* NaN (bit set, value
+//! NaN) is representable and kept distinct from a missing cell, exactly
+//! as the old `Option<f64>` rows distinguished `Some(NAN)` from `None`.
 //! Numeric attributes hold their value; nominal attributes hold a
-//! category index (as `f64` so one row type serves both). Missing cells
-//! are `None` — classifiers must tolerate them, since the quality
-//! experiments inject missingness on purpose.
+//! category index (as `f64` so one column type serves both). Classifiers
+//! must tolerate missing cells, since the quality experiments inject
+//! missingness on purpose.
+//!
+//! Per-column statistics (min/max/mean/mode/present-count) are computed
+//! once at construction and cached, so [`Instances::numeric_ranges`],
+//! [`Instances::numeric_means`] and [`Instances::modes`] are O(columns)
+//! lookups instead of full re-scans. Any mutation goes through
+//! [`Instances::set`], which recomputes the touched column's stats.
+//!
+//! Cross-validation folds and attribute subsets are expressed as
+//! borrowed [`InstancesView`]s (row-index + column-mask) — zero row
+//! copies per fold.
 
 use crate::error::{MiningError, Result};
 use openbi_table::{DataType, Table, Value};
+use std::borrow::Cow;
 
 /// The kind of a mining attribute.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,18 +56,314 @@ pub struct Attribute {
     pub kind: AttrKind,
 }
 
-/// A mining dataset: rows of optional feature values plus optional class
-/// labels.
+/// A fixed-length validity bitmap: bit `i` set ⇔ row `i` is present.
+///
+/// Backed by `u64` words, little-endian within a word (bit `i` lives at
+/// `words[i / 64] >> (i % 64)`). Bits past `len` are kept zero so word
+/// slices of equal-length bitmaps compare directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// A bitmap of `len` bits, all set (`filled = true`) or all clear.
+    pub fn new(len: usize, filled: bool) -> Self {
+        let mut b = Bitmap {
+            words: vec![if filled { !0u64 } else { 0 }; len.div_ceil(64)],
+            len,
+        };
+        if filled {
+            b.clear_tail();
+        }
+        b
+    }
+
+    /// An empty bitmap ready for [`Bitmap::push`].
+    pub fn with_capacity(bits: usize) -> Self {
+        Bitmap {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+        }
+    }
+
+    fn clear_tail(&mut self) {
+        let tail = self.len % 64;
+        if tail != 0 {
+            if let Some(w) = self.words.last_mut() {
+                *w &= (1u64 << tail) - 1;
+            }
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True iff the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit `i` (panics past the end).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range for {} bits", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Set bit `i` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range for {} bits", self.len);
+        let (w, b) = (i / 64, i % 64);
+        if value {
+            self.words[w] |= 1u64 << b;
+        } else {
+            self.words[w] &= !(1u64 << b);
+        }
+    }
+
+    /// Append one bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        if value {
+            let i = self.len;
+            self.words[i / 64] |= 1u64 << (i % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// True iff every bit is set.
+    pub fn all_set(&self) -> bool {
+        self.count_ones() == self.len
+    }
+
+    /// True iff no bit is set.
+    pub fn none_set(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// The backing words (tail bits past `len` are zero).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+}
+
+/// Cached per-column statistics, computed at construction time.
 #[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Non-missing cells in the column.
+    pub present: usize,
+    /// `(min, max)` over present values — numeric columns only.
+    pub range: Option<(f64, f64)>,
+    /// Mean over present values — numeric columns only.
+    pub mean: Option<f64>,
+    /// Modal category index — nominal columns only.
+    pub mode: Option<f64>,
+}
+
+/// One attribute's storage: contiguous values, validity, cached stats.
+#[derive(Debug, Clone)]
+struct ColumnData {
+    /// Cell values; missing slots hold `f64::NAN` (see module docs:
+    /// `validity` is the ground truth for presence).
+    values: Vec<f64>,
+    validity: Bitmap,
+    stats: ColumnStats,
+}
+
+impl ColumnData {
+    fn from_options<I: IntoIterator<Item = Option<f64>>>(kind: &AttrKind, cells: I) -> Self {
+        let mut values = Vec::new();
+        let mut validity = Bitmap::with_capacity(0);
+        for cell in cells {
+            match cell {
+                Some(v) => {
+                    values.push(v);
+                    validity.push(true);
+                }
+                None => {
+                    values.push(f64::NAN);
+                    validity.push(false);
+                }
+            }
+        }
+        let stats = compute_stats(kind, &values, &validity);
+        ColumnData {
+            values,
+            validity,
+            stats,
+        }
+    }
+
+    fn gather(&self, kind: &AttrKind, indices: &[usize]) -> Self {
+        let mut values = Vec::with_capacity(indices.len());
+        let mut validity = Bitmap::with_capacity(indices.len());
+        for &i in indices {
+            values.push(self.values[i]);
+            validity.push(self.validity.get(i));
+        }
+        let stats = compute_stats(kind, &values, &validity);
+        ColumnData {
+            values,
+            validity,
+            stats,
+        }
+    }
+}
+
+/// Column statistics with the exact accumulation order of the pre-rewrite
+/// per-call scans (row-ascending running min/max/sum), so cached values
+/// are bit-identical to what `numeric_ranges()` / `numeric_means()` /
+/// `modes()` used to recompute.
+fn compute_stats(kind: &AttrKind, values: &[f64], validity: &Bitmap) -> ColumnStats {
+    match kind {
+        AttrKind::Numeric => {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut sum = 0.0;
+            let mut present = 0usize;
+            for (i, &v) in values.iter().enumerate() {
+                if validity.get(i) {
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                    sum += v;
+                    present += 1;
+                }
+            }
+            ColumnStats {
+                present,
+                range: (present > 0).then_some((lo, hi)),
+                mean: (present > 0).then(|| sum / present as f64),
+                mode: None,
+            }
+        }
+        AttrKind::Nominal(dict) => {
+            let mut counts = vec![0usize; dict.len()];
+            let mut present = 0usize;
+            for (i, &v) in values.iter().enumerate() {
+                if validity.get(i) {
+                    present += 1;
+                    let idx = v as usize;
+                    if idx < counts.len() {
+                        counts[idx] += 1;
+                    }
+                }
+            }
+            let mode = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .map(|(i, _)| i as f64);
+            ColumnStats {
+                present,
+                range: None,
+                mean: None,
+                mode,
+            }
+        }
+    }
+}
+
+/// Same scans restricted to (and ordered by) a row selection — what a
+/// masked [`InstancesView`] reports, matching a materialized subset.
+fn compute_stats_over(
+    kind: &AttrKind,
+    values: &[f64],
+    validity: &Bitmap,
+    rows: &[usize],
+) -> ColumnStats {
+    match kind {
+        AttrKind::Numeric => {
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            let mut sum = 0.0;
+            let mut present = 0usize;
+            for &r in rows {
+                if validity.get(r) {
+                    let v = values[r];
+                    lo = lo.min(v);
+                    hi = hi.max(v);
+                    sum += v;
+                    present += 1;
+                }
+            }
+            ColumnStats {
+                present,
+                range: (present > 0).then_some((lo, hi)),
+                mean: (present > 0).then(|| sum / present as f64),
+                mode: None,
+            }
+        }
+        AttrKind::Nominal(dict) => {
+            let mut counts = vec![0usize; dict.len()];
+            let mut present = 0usize;
+            for &r in rows {
+                if validity.get(r) {
+                    present += 1;
+                    let idx = values[r] as usize;
+                    if idx < counts.len() {
+                        counts[idx] += 1;
+                    }
+                }
+            }
+            let mode = counts
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, c)| **c)
+                .map(|(i, _)| i as f64);
+            ColumnStats {
+                present,
+                range: None,
+                mean: None,
+                mode,
+            }
+        }
+    }
+}
+
+/// A mining dataset in columnar struct-of-arrays layout (see module
+/// docs): one contiguous value vector + validity bitmap per attribute,
+/// plus optional class labels.
+#[derive(Debug, Clone)]
 pub struct Instances {
     /// Attribute metadata, in column order.
     pub attributes: Vec<Attribute>,
-    /// Feature rows; nominal values are category indices.
-    pub rows: Vec<Vec<Option<f64>>>,
     /// Class label index per row (`None` = unlabeled).
     pub labels: Vec<Option<usize>>,
     /// Class value dictionary (empty when the dataset has no target).
     pub class_names: Vec<String>,
+    columns: Vec<ColumnData>,
+    n_rows: usize,
+}
+
+impl PartialEq for Instances {
+    /// Cell-level equality with the old row-major semantics: missing
+    /// matches missing, present values compare with `f64` equality (so a
+    /// present NaN is unequal to itself, exactly like `Some(NAN)`).
+    fn eq(&self, other: &Self) -> bool {
+        if self.attributes != other.attributes
+            || self.labels != other.labels
+            || self.class_names != other.class_names
+            || self.n_rows != other.n_rows
+        {
+            return false;
+        }
+        self.columns.iter().zip(&other.columns).all(|(a, b)| {
+            a.validity == b.validity
+                && (0..self.n_rows).all(|i| !a.validity.get(i) || a.values[i] == b.values[i])
+        })
+    }
 }
 
 impl Instances {
@@ -62,7 +377,7 @@ impl Instances {
             table.column(t)?;
         }
         let mut attributes = Vec::new();
-        let mut columns: Vec<(usize, AttrKind, Vec<Option<f64>>)> = Vec::new();
+        let mut columns: Vec<ColumnData> = Vec::new();
         for col in table.columns() {
             if exclude.contains(&col.name()) || Some(col.name()) == target {
                 continue;
@@ -97,15 +412,11 @@ impl Instances {
                     (AttrKind::Nominal(dict), data)
                 }
             };
+            columns.push(ColumnData::from_options(&kind, data));
             attributes.push(Attribute {
                 name: col.name().to_string(),
                 kind,
             });
-            columns.push((
-                attributes.len() - 1,
-                attributes.last().expect("pushed").kind.clone(),
-                data,
-            ));
         }
         if attributes.is_empty() {
             return Err(MiningError::InvalidDataset(
@@ -113,12 +424,6 @@ impl Instances {
             ));
         }
         let n = table.n_rows();
-        let mut rows: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(attributes.len()); n];
-        for (_, _, data) in &columns {
-            for (r, v) in data.iter().enumerate() {
-                rows[r].push(*v);
-            }
-        }
         let (labels, class_names) = match target {
             Some(t) => {
                 let col = table.column(t)?;
@@ -146,20 +451,53 @@ impl Instances {
         };
         Ok(Instances {
             attributes,
-            rows,
             labels,
             class_names,
+            columns,
+            n_rows: n,
         })
+    }
+
+    /// Build instances directly from row-major cells (test fixtures and
+    /// the row-major reference bridge). Panics if any row's width differs
+    /// from `attributes.len()` or `labels.len() != rows.len()`.
+    pub fn from_rows(
+        attributes: Vec<Attribute>,
+        rows: Vec<Vec<Option<f64>>>,
+        labels: Vec<Option<usize>>,
+        class_names: Vec<String>,
+    ) -> Self {
+        let n = rows.len();
+        assert_eq!(labels.len(), n, "labels and rows must be the same length");
+        for row in &rows {
+            assert_eq!(
+                row.len(),
+                attributes.len(),
+                "every row must have one cell per attribute"
+            );
+        }
+        let columns = attributes
+            .iter()
+            .enumerate()
+            .map(|(a, attr)| ColumnData::from_options(&attr.kind, rows.iter().map(|r| r[a])))
+            .collect();
+        Instances {
+            attributes,
+            labels,
+            class_names,
+            columns,
+            n_rows: n,
+        }
     }
 
     /// Number of rows.
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.n_rows
     }
 
     /// True iff there are no rows.
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.n_rows == 0
     }
 
     /// Number of attributes.
@@ -188,87 +526,118 @@ impl Instances {
         counts
     }
 
+    /// Cell value (`None` = missing). The validity bit decides presence,
+    /// so a present NaN comes back as `Some(NAN)`.
+    #[inline]
+    pub fn get(&self, row: usize, attr: usize) -> Option<f64> {
+        let col = &self.columns[attr];
+        col.validity.get(row).then(|| col.values[row])
+    }
+
+    /// Overwrite one cell and recompute the column's cached stats.
+    pub fn set(&mut self, row: usize, attr: usize, value: Option<f64>) {
+        let kind = self.attributes[attr].kind.clone();
+        let col = &mut self.columns[attr];
+        match value {
+            Some(v) => {
+                col.values[row] = v;
+                col.validity.set(row, true);
+            }
+            None => {
+                col.values[row] = f64::NAN;
+                col.validity.set(row, false);
+            }
+        }
+        col.stats = compute_stats(&kind, &col.values, &col.validity);
+    }
+
+    /// The contiguous value slice of one attribute (NaN at missing slots).
+    pub fn column_values(&self, attr: usize) -> &[f64] {
+        &self.columns[attr].values
+    }
+
+    /// The validity bitmap of one attribute.
+    pub fn column_validity(&self, attr: usize) -> &Bitmap {
+        &self.columns[attr].validity
+    }
+
+    /// Cached statistics of one attribute.
+    pub fn column_stats(&self, attr: usize) -> &ColumnStats {
+        &self.columns[attr].stats
+    }
+
+    /// A borrowed column accessor (unmasked).
+    pub fn col(&self, attr: usize) -> ColumnView<'_> {
+        let col = &self.columns[attr];
+        ColumnView {
+            values: &col.values,
+            validity: &col.validity,
+            rows: None,
+        }
+    }
+
+    /// Copy one row's cells into `buf` (cleared first).
+    pub fn fill_row(&self, row: usize, buf: &mut Vec<Option<f64>>) {
+        buf.clear();
+        buf.extend(
+            self.columns
+                .iter()
+                .map(|c| c.validity.get(row).then(|| c.values[row])),
+        );
+    }
+
+    /// One row as owned cells (prefer [`Instances::fill_row`] in loops).
+    pub fn row_vec(&self, row: usize) -> Vec<Option<f64>> {
+        let mut buf = Vec::with_capacity(self.n_attributes());
+        self.fill_row(row, &mut buf);
+        buf
+    }
+
+    /// A borrowed whole-dataset view (zero-copy fold building starts
+    /// here: chain [`InstancesView::select_rows`] /
+    /// [`InstancesView::select_attrs`]).
+    pub fn view(&self) -> InstancesView<'_> {
+        InstancesView {
+            data: self,
+            rows: None,
+            cols: None,
+        }
+    }
+
     /// A new dataset holding only the given rows (indices may repeat).
     pub fn subset(&self, indices: &[usize]) -> Instances {
         Instances {
             attributes: self.attributes.clone(),
-            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
             labels: indices.iter().map(|&i| self.labels[i]).collect(),
             class_names: self.class_names.clone(),
+            columns: self
+                .attributes
+                .iter()
+                .zip(&self.columns)
+                .map(|(attr, col)| col.gather(&attr.kind, indices))
+                .collect(),
+            n_rows: indices.len(),
         }
     }
 
     /// Per-attribute `(min, max)` over non-missing numeric values
-    /// (`None` for nominal or all-missing attributes).
+    /// (`None` for nominal or all-missing attributes). Served from the
+    /// cached column stats.
     pub fn numeric_ranges(&self) -> Vec<Option<(f64, f64)>> {
-        self.attributes
-            .iter()
-            .enumerate()
-            .map(|(a, attr)| {
-                if attr.kind != AttrKind::Numeric {
-                    return None;
-                }
-                let mut lo = f64::INFINITY;
-                let mut hi = f64::NEG_INFINITY;
-                let mut any = false;
-                for row in &self.rows {
-                    if let Some(v) = row[a] {
-                        lo = lo.min(v);
-                        hi = hi.max(v);
-                        any = true;
-                    }
-                }
-                any.then_some((lo, hi))
-            })
-            .collect()
+        self.columns.iter().map(|c| c.stats.range).collect()
     }
 
     /// Per-attribute mean over non-missing numeric values (`None` for
     /// nominal attributes; nominal get their modal category instead via
-    /// [`Instances::modes`]).
+    /// [`Instances::modes`]). Served from the cached column stats.
     pub fn numeric_means(&self) -> Vec<Option<f64>> {
-        self.attributes
-            .iter()
-            .enumerate()
-            .map(|(a, attr)| {
-                if attr.kind != AttrKind::Numeric {
-                    return None;
-                }
-                let vals: Vec<f64> = self.rows.iter().filter_map(|r| r[a]).collect();
-                if vals.is_empty() {
-                    None
-                } else {
-                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
-                }
-            })
-            .collect()
+        self.columns.iter().map(|c| c.stats.mean).collect()
     }
 
     /// Per-attribute modal category index for nominal attributes.
+    /// Served from the cached column stats.
     pub fn modes(&self) -> Vec<Option<f64>> {
-        self.attributes
-            .iter()
-            .enumerate()
-            .map(|(a, attr)| {
-                let AttrKind::Nominal(dict) = &attr.kind else {
-                    return None;
-                };
-                let mut counts = vec![0usize; dict.len()];
-                for row in &self.rows {
-                    if let Some(v) = row[a] {
-                        let idx = v as usize;
-                        if idx < counts.len() {
-                            counts[idx] += 1;
-                        }
-                    }
-                }
-                counts
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|(_, c)| **c)
-                    .map(|(i, _)| i as f64)
-            })
-            .collect()
+        self.columns.iter().map(|c| c.stats.mode).collect()
     }
 
     /// The majority class index over labeled rows (0 if unlabeled).
@@ -280,6 +649,333 @@ impl Instances {
             .max_by_key(|(_, c)| **c)
             .map(|(i, _)| i)
             .unwrap_or(0)
+    }
+}
+
+/// A borrowed row-selection + column-mask over an [`Instances`].
+///
+/// Views are cheap (two optional index slices); `select_rows` on a fold
+/// costs one index vector, never a row copy. Row indices in a view are
+/// *view-local*: `get(i, j)` addresses the `i`-th selected row and the
+/// `j`-th selected attribute. An unmasked view serves the dataset's
+/// cached column stats; a row-masked view recomputes stats over the
+/// selection in selection order, exactly matching what a materialized
+/// [`Instances::subset`] would report.
+///
+/// Aliasing: a view holds `&Instances`, so the borrow checker statically
+/// rules out mutation while any view is alive — there is no
+/// copy-then-diverge hazard like the old cloning `subset()` had.
+#[derive(Debug, Clone)]
+pub struct InstancesView<'a> {
+    data: &'a Instances,
+    /// Selected base-dataset row indices (`None` = all rows, in order).
+    rows: Option<Cow<'a, [usize]>>,
+    /// Selected base-dataset attribute indices (`None` = all).
+    cols: Option<Cow<'a, [usize]>>,
+}
+
+impl<'a> InstancesView<'a> {
+    /// Map a view-local attribute index to the base dataset's index.
+    #[inline]
+    fn base_attr(&self, attr: usize) -> usize {
+        match &self.cols {
+            Some(c) => c[attr],
+            None => attr,
+        }
+    }
+
+    /// Map a view-local row index to the base dataset's index.
+    #[inline]
+    pub fn base_row(&self, row: usize) -> usize {
+        match &self.rows {
+            Some(r) => r[row],
+            None => row,
+        }
+    }
+
+    /// Number of (selected) rows.
+    pub fn len(&self) -> usize {
+        match &self.rows {
+            Some(r) => r.len(),
+            None => self.data.len(),
+        }
+    }
+
+    /// True iff the view selects no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of (selected) attributes.
+    pub fn n_attributes(&self) -> usize {
+        match &self.cols {
+            Some(c) => c.len(),
+            None => self.data.n_attributes(),
+        }
+    }
+
+    /// Attribute metadata by view-local index.
+    pub fn attribute(&self, attr: usize) -> &'a Attribute {
+        &self.data.attributes[self.base_attr(attr)]
+    }
+
+    /// Number of classes in the base dataset.
+    pub fn n_classes(&self) -> usize {
+        self.data.n_classes()
+    }
+
+    /// Class value dictionary of the base dataset.
+    pub fn class_names(&self) -> &'a [String] {
+        &self.data.class_names
+    }
+
+    /// Label of a view-local row.
+    #[inline]
+    pub fn label(&self, row: usize) -> Option<usize> {
+        self.data.labels[self.base_row(row)]
+    }
+
+    /// View-local indices of rows with a known label.
+    pub fn labeled_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.label(i).is_some())
+            .collect()
+    }
+
+    /// Class distribution over the view's labeled rows.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for i in 0..self.len() {
+            if let Some(l) = self.label(i) {
+                counts[l] += 1;
+            }
+        }
+        counts
+    }
+
+    /// The majority class index over the view's labeled rows.
+    pub fn majority_class(&self) -> usize {
+        let counts = self.class_counts();
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Cell value by view-local row and attribute.
+    #[inline]
+    pub fn get(&self, row: usize, attr: usize) -> Option<f64> {
+        self.data.get(self.base_row(row), self.base_attr(attr))
+    }
+
+    /// A borrowed column accessor (carries the view's row selection).
+    pub fn col(&self, attr: usize) -> ColumnView<'_> {
+        let col = &self.data.columns[self.base_attr(attr)];
+        ColumnView {
+            values: &col.values,
+            validity: &col.validity,
+            rows: self.rows.as_deref(),
+        }
+    }
+
+    /// Copy one view-local row's cells into `buf` (cleared first).
+    pub fn fill_row(&self, row: usize, buf: &mut Vec<Option<f64>>) {
+        buf.clear();
+        let base = self.base_row(row);
+        for j in 0..self.n_attributes() {
+            let col = &self.data.columns[self.base_attr(j)];
+            buf.push(col.validity.get(base).then(|| col.values[base]));
+        }
+    }
+
+    /// Narrow to a subset of this view's rows (indices are view-local and
+    /// may repeat). Borrows `rows` — no copies.
+    pub fn select_rows<'b>(&'b self, rows: &'b [usize]) -> InstancesView<'b> {
+        let mapped: Cow<'b, [usize]> = match &self.rows {
+            None => Cow::Borrowed(rows),
+            Some(_) => Cow::Owned(rows.iter().map(|&i| self.base_row(i)).collect()),
+        };
+        InstancesView {
+            data: self.data,
+            rows: Some(mapped),
+            cols: self.cols.as_deref().map(Cow::Borrowed),
+        }
+    }
+
+    /// Narrow to a subset of this view's rows with an owned index vector
+    /// (for views that must outlive the index buffer, e.g. holdout
+    /// splits returned to the caller).
+    pub fn select_rows_owned(&self, rows: Vec<usize>) -> InstancesView<'a> {
+        let mapped: Vec<usize> = match &self.rows {
+            None => rows,
+            Some(_) => rows.iter().map(|&i| self.base_row(i)).collect(),
+        };
+        InstancesView {
+            data: self.data,
+            rows: Some(Cow::Owned(mapped)),
+            cols: self.cols.clone(),
+        }
+    }
+
+    /// Narrow to a subset of this view's attributes (view-local indices).
+    pub fn select_attrs<'b>(&'b self, attrs: &'b [usize]) -> InstancesView<'b> {
+        let mapped: Cow<'b, [usize]> = match &self.cols {
+            None => Cow::Borrowed(attrs),
+            Some(_) => Cow::Owned(attrs.iter().map(|&j| self.base_attr(j)).collect()),
+        };
+        InstancesView {
+            data: self.data,
+            rows: self.rows.as_deref().map(Cow::Borrowed),
+            cols: Some(mapped),
+        }
+    }
+
+    /// Attribute mask variant that owns its indices (outlives the buffer).
+    pub fn select_attrs_owned(&self, attrs: Vec<usize>) -> InstancesView<'a> {
+        let mapped: Vec<usize> = match &self.cols {
+            None => attrs,
+            Some(_) => attrs.iter().map(|&j| self.base_attr(j)).collect(),
+        };
+        InstancesView {
+            data: self.data,
+            rows: self.rows.clone(),
+            cols: Some(Cow::Owned(mapped)),
+        }
+    }
+
+    /// Per-attribute `(min, max)`: cached stats when the view selects all
+    /// rows, recomputed over the selection otherwise.
+    pub fn numeric_ranges(&self) -> Vec<Option<(f64, f64)>> {
+        (0..self.n_attributes())
+            .map(|j| self.stats_of(j).range)
+            .collect()
+    }
+
+    /// Per-attribute mean (cached or recomputed; see
+    /// [`InstancesView::numeric_ranges`]).
+    pub fn numeric_means(&self) -> Vec<Option<f64>> {
+        (0..self.n_attributes())
+            .map(|j| self.stats_of(j).mean)
+            .collect()
+    }
+
+    /// Per-attribute modal category (cached or recomputed).
+    pub fn modes(&self) -> Vec<Option<f64>> {
+        (0..self.n_attributes())
+            .map(|j| self.stats_of(j).mode)
+            .collect()
+    }
+
+    /// Stats of one view-local attribute: the dataset's cached stats when
+    /// no row mask is active, else recomputed over the selected rows.
+    pub fn stats_of(&self, attr: usize) -> ColumnStats {
+        let base = self.base_attr(attr);
+        match &self.rows {
+            None => self.data.columns[base].stats.clone(),
+            Some(rows) => {
+                let col = &self.data.columns[base];
+                compute_stats_over(
+                    &self.data.attributes[base].kind,
+                    &col.values,
+                    &col.validity,
+                    rows,
+                )
+            }
+        }
+    }
+
+    /// Materialize the view into an owned [`Instances`] (used where an
+    /// owned dataset is genuinely needed, e.g. handing a reduced dataset
+    /// back to a caller).
+    pub fn materialize(&self) -> Instances {
+        let attrs: Vec<Attribute> = (0..self.n_attributes())
+            .map(|j| self.attribute(j).clone())
+            .collect();
+        let columns = (0..self.n_attributes())
+            .map(|j| {
+                let base = self.base_attr(j);
+                let col = &self.data.columns[base];
+                match &self.rows {
+                    None => col.clone(),
+                    Some(rows) => col.gather(&self.data.attributes[base].kind, rows),
+                }
+            })
+            .collect();
+        Instances {
+            attributes: attrs,
+            labels: (0..self.len()).map(|i| self.label(i)).collect(),
+            class_names: self.data.class_names.clone(),
+            columns,
+            n_rows: self.len(),
+        }
+    }
+}
+
+/// A borrowed single-column accessor carrying an optional row selection.
+///
+/// `get(i)` addresses the `i`-th selected row; [`ColumnView::dense`]
+/// exposes the raw contiguous slices on unmasked columns for tight
+/// kernel loops.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnView<'a> {
+    values: &'a [f64],
+    validity: &'a Bitmap,
+    rows: Option<&'a [usize]>,
+}
+
+impl<'a> ColumnView<'a> {
+    /// Number of (selected) rows.
+    pub fn len(&self) -> usize {
+        match self.rows {
+            Some(r) => r.len(),
+            None => self.values.len(),
+        }
+    }
+
+    /// True iff the column view has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cell value by view-local row index.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<f64> {
+        let r = match self.rows {
+            Some(rows) => rows[i],
+            None => i,
+        };
+        self.validity.get(r).then(|| self.values[r])
+    }
+
+    /// Presence of a view-local row.
+    #[inline]
+    pub fn is_present(&self, i: usize) -> bool {
+        let r = match self.rows {
+            Some(rows) => rows[i],
+            None => i,
+        };
+        self.validity.get(r)
+    }
+
+    /// The raw `(values, validity)` slices when no row selection is
+    /// active (the fast path for dense kernels); `None` when masked.
+    pub fn dense(&self) -> Option<(&'a [f64], &'a Bitmap)> {
+        match self.rows {
+            None => Some((self.values, self.validity)),
+            Some(_) => None,
+        }
+    }
+
+    /// The active row selection, if any.
+    pub fn row_selection(&self) -> Option<&'a [usize]> {
+        self.rows
+    }
+
+    /// Iterate cells in view order.
+    pub fn iter(&self) -> impl Iterator<Item = Option<f64>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
     }
 }
 
@@ -324,10 +1020,10 @@ mod tests {
     #[test]
     fn nominal_codes_match_dictionary() {
         let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
-        assert_eq!(inst.rows[0][1], Some(0.0)); // red
-        assert_eq!(inst.rows[1][1], Some(1.0)); // blue
-        assert_eq!(inst.rows[2][1], None);
-        assert_eq!(inst.rows[3][1], Some(0.0)); // red again
+        assert_eq!(inst.get(0, 1), Some(0.0)); // red
+        assert_eq!(inst.get(1, 1), Some(1.0)); // blue
+        assert_eq!(inst.get(2, 1), None);
+        assert_eq!(inst.get(3, 1), Some(0.0)); // red again
         assert_eq!(inst.labels, vec![Some(0), Some(1), Some(0), Some(0)]);
     }
 
@@ -371,6 +1067,185 @@ mod tests {
         let s = inst.subset(&[3, 0, 3]);
         assert_eq!(s.len(), 3);
         assert_eq!(s.labels, vec![Some(0), Some(0), Some(0)]);
-        assert_eq!(s.rows[0][0], Some(3.5));
+        assert_eq!(s.get(0, 0), Some(3.5));
+    }
+
+    #[test]
+    fn bitmap_set_get_count() {
+        let mut b = Bitmap::new(130, false);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        assert!(b.none_set());
+        b.set(0, true);
+        b.set(64, true);
+        b.set(129, true);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1) && !b.get(63) && !b.get(128));
+        assert_eq!(b.count_ones(), 3);
+        b.set(64, false);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn bitmap_filled_clears_tail_bits() {
+        let b = Bitmap::new(70, true);
+        assert!(b.all_set());
+        assert_eq!(b.count_ones(), 70);
+        // The 6-bit tail word must not carry set bits past `len`,
+        // so equal-length bitmaps compare by word slices.
+        assert_eq!(b.words()[1], (1u64 << 6) - 1);
+        assert_eq!(b, {
+            let mut p = Bitmap::with_capacity(70);
+            for _ in 0..70 {
+                p.push(true);
+            }
+            p
+        });
+    }
+
+    #[test]
+    fn bitmap_all_missing_and_no_missing_columns() {
+        let attr = Attribute {
+            name: "x".into(),
+            kind: AttrKind::Numeric,
+        };
+        let full = Instances::from_rows(
+            vec![attr.clone()],
+            vec![vec![Some(1.0)], vec![Some(2.0)], vec![Some(3.0)]],
+            vec![None; 3],
+            vec![],
+        );
+        assert!(full.column_validity(0).all_set());
+        assert_eq!(full.column_stats(0).present, 3);
+        let empty = Instances::from_rows(
+            vec![attr],
+            vec![vec![None], vec![None], vec![None]],
+            vec![None; 3],
+            vec![],
+        );
+        assert!(empty.column_validity(0).none_set());
+        assert_eq!(empty.column_stats(0).present, 0);
+        assert_eq!(empty.numeric_ranges()[0], None);
+        assert_eq!(empty.numeric_means()[0], None);
+        assert!(empty.column_values(0).iter().all(|v| v.is_nan()));
+    }
+
+    #[test]
+    fn present_nan_stays_distinct_from_missing() {
+        let attr = Attribute {
+            name: "x".into(),
+            kind: AttrKind::Numeric,
+        };
+        let inst = Instances::from_rows(
+            vec![attr],
+            vec![vec![Some(f64::NAN)], vec![None]],
+            vec![None; 2],
+            vec![],
+        );
+        assert!(inst.get(0, 0).unwrap().is_nan());
+        assert_eq!(inst.get(1, 0), None);
+        assert_eq!(inst.column_stats(0).present, 1);
+        // A present NaN is unequal to itself — old Some(NAN) semantics.
+        assert_ne!(inst, inst.clone());
+    }
+
+    #[test]
+    fn set_recomputes_cached_stats() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        let mut inst = inst;
+        assert_eq!(inst.numeric_means()[0], Some(2.0));
+        inst.set(0, 0, None);
+        assert_eq!(inst.numeric_ranges()[0], Some((1.5, 3.5)));
+        assert_eq!(inst.numeric_means()[0], Some(2.5));
+        assert_eq!(inst.column_stats(0).present, 3);
+        inst.set(0, 0, Some(10.0));
+        assert_eq!(inst.numeric_ranges()[0], Some((1.5, 10.0)));
+    }
+
+    #[test]
+    fn view_masking_matches_materialized_subset() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        let view = inst.view();
+        assert_eq!(view.numeric_ranges(), inst.numeric_ranges());
+        let rows = [3usize, 0, 3];
+        let masked = view.select_rows(&rows);
+        let owned = inst.subset(&rows);
+        assert_eq!(masked.len(), 3);
+        assert_eq!(masked.numeric_ranges(), owned.numeric_ranges());
+        assert_eq!(masked.numeric_means(), owned.numeric_means());
+        assert_eq!(masked.modes(), owned.modes());
+        assert_eq!(masked.class_counts(), owned.class_counts());
+        assert_eq!(masked.materialize(), owned);
+        // Chained selection composes through to base rows.
+        let narrower = masked.select_rows(&[1]);
+        assert_eq!(narrower.get(0, 0), Some(0.5));
+        assert_eq!(narrower.base_row(0), 0);
+    }
+
+    #[test]
+    fn view_attr_masking_remaps_indices() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        let view = inst.view();
+        let attrs = [2usize, 0];
+        let masked = view.select_attrs(&attrs);
+        assert_eq!(masked.n_attributes(), 2);
+        assert_eq!(masked.attribute(0).name, "flag");
+        assert_eq!(masked.attribute(1).name, "x");
+        assert_eq!(masked.get(0, 1), Some(0.5));
+        // Stats follow the mask.
+        assert_eq!(masked.numeric_ranges(), vec![None, Some((0.5, 3.5))]);
+        // Chained attr selection maps through the existing mask.
+        let narrower = masked.select_attrs(&[1]);
+        assert_eq!(narrower.attribute(0).name, "x");
+        let m = narrower.materialize();
+        assert_eq!(m.n_attributes(), 1);
+        assert_eq!(m.attributes[0].name, "x");
+    }
+
+    #[test]
+    fn masked_view_stats_recompute_in_selection_order() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        let view = inst.view();
+        let rows = [2usize, 1];
+        let masked = view.select_rows(&rows);
+        // color: row 2 is missing, row 1 is "blue" (code 1).
+        let stats = masked.stats_of(1);
+        assert_eq!(stats.present, 1);
+        assert_eq!(stats.mode, Some(1.0));
+        // x over rows {2, 1}.
+        assert_eq!(masked.stats_of(0).range, Some((1.5, 2.5)));
+    }
+
+    #[test]
+    fn column_view_dense_and_masked_access() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        let dense = inst.col(1);
+        assert!(dense.dense().is_some());
+        assert_eq!(dense.len(), 4);
+        assert_eq!(dense.get(2), None);
+        assert!(!dense.is_present(2));
+        let view = inst.view();
+        let rows = [2usize, 0];
+        let masked_view = view.select_rows(&rows);
+        let col = masked_view.col(1);
+        assert!(col.dense().is_none());
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.get(0), None);
+        assert_eq!(col.get(1), Some(0.0));
+        assert_eq!(col.iter().collect::<Vec<_>>(), vec![None, Some(0.0)]);
+    }
+
+    #[test]
+    fn from_rows_round_trips_through_row_vec() {
+        let inst = Instances::from_table(&table(), Some("class"), &["id"]).unwrap();
+        let rows: Vec<Vec<Option<f64>>> = (0..inst.len()).map(|i| inst.row_vec(i)).collect();
+        let rebuilt = Instances::from_rows(
+            inst.attributes.clone(),
+            rows,
+            inst.labels.clone(),
+            inst.class_names.clone(),
+        );
+        assert_eq!(rebuilt, inst);
     }
 }

@@ -22,6 +22,7 @@ pub mod instances;
 pub mod matrix;
 pub mod preprocess;
 pub mod reduce;
+pub mod reference;
 pub mod regression;
 pub mod rules;
 pub mod select;
@@ -32,7 +33,9 @@ pub use eval::{
     cross_validate, cross_validate_with, holdout_split, ConfusionMatrix, CrossValOptions,
     EvalResult,
 };
-pub use instances::{AttrKind, Attribute, Instances};
+pub use instances::{
+    AttrKind, Attribute, Bitmap, ColumnStats, ColumnView, Instances, InstancesView,
+};
 pub use reduce::Pca;
 pub use rules::{Apriori, Rule};
 pub use select::{cfs_select, information_gain, information_gain_ranking, project, wrapper_select};

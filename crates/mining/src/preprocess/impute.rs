@@ -42,6 +42,12 @@ pub fn impute_mean_mode(table: &Table, exclude: &[&str]) -> Result<Table> {
 /// min-max-normalized numeric attributes present in both rows).
 /// Non-numeric columns fall back to mode imputation. Quadratic; intended
 /// for datasets in the experiment-size range.
+///
+/// The normalized feature matrix is one flat row-major `Vec<f64>` with a
+/// parallel presence mask (no per-row allocations), and neighbor
+/// selection partitions the k nearest with `select_nth_unstable_by`
+/// using a `(distance, row)` tie-break — the same k rows, in the same
+/// order, as the old full sort.
 pub fn impute_knn(table: &Table, k: usize, exclude: &[&str]) -> Result<Table> {
     let numeric: Vec<&Column> = table
         .columns()
@@ -49,9 +55,11 @@ pub fn impute_knn(table: &Table, k: usize, exclude: &[&str]) -> Result<Table> {
         .filter(|c| c.dtype().is_numeric() && !exclude.contains(&c.name()))
         .collect();
     let n = table.n_rows();
-    // Normalized matrix with None for missing.
-    let mut matrix: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(numeric.len()); n];
-    for col in &numeric {
+    let d = numeric.len();
+    // Flat row-major normalized matrix + presence mask.
+    let mut values = vec![0.0f64; n * d];
+    let mut present = vec![false; n * d];
+    for (ci, col) in numeric.iter().enumerate() {
         let raw = col.to_f64_vec();
         let vals: Vec<f64> = raw.iter().flatten().copied().collect();
         let (lo, hi) = if vals.is_empty() {
@@ -64,15 +72,20 @@ pub fn impute_knn(table: &Table, k: usize, exclude: &[&str]) -> Result<Table> {
         };
         let span = if hi > lo { hi - lo } else { 1.0 };
         for (r, v) in raw.iter().enumerate() {
-            matrix[r].push(v.map(|x| (x - lo) / span));
+            if let Some(x) = v {
+                values[r * d + ci] = (x - lo) / span;
+                present[r * d + ci] = true;
+            }
         }
     }
-    let distance = |a: &[Option<f64>], b: &[Option<f64>]| -> Option<f64> {
+    let distance = |a: usize, b: usize| -> Option<f64> {
+        let (va, pa) = (&values[a * d..(a + 1) * d], &present[a * d..(a + 1) * d]);
+        let (vb, pb) = (&values[b * d..(b + 1) * d], &present[b * d..(b + 1) * d]);
         let mut sum = 0.0;
         let mut dims = 0usize;
-        for (x, y) in a.iter().zip(b) {
-            if let (Some(x), Some(y)) = (x, y) {
-                sum += (x - y) * (x - y);
+        for i in 0..d {
+            if pa[i] && pb[i] {
+                sum += (va[i] - vb[i]) * (va[i] - vb[i]);
                 dims += 1;
             }
         }
@@ -91,20 +104,30 @@ pub fn impute_knn(table: &Table, k: usize, exclude: &[&str]) -> Result<Table> {
                 continue;
             }
             // Neighbors with a value in this attribute.
-            let mut candidates: Vec<(f64, f64)> = (0..n)
+            let mut candidates: Vec<(f64, usize, f64)> = (0..n)
                 .filter(|&j| j != row)
                 .filter_map(|j| {
                     let v = raw[j]?;
-                    let d = distance(&matrix[row], &matrix[j])?;
-                    Some((d, v))
+                    let dist = distance(row, j)?;
+                    Some((dist, j, v))
                 })
                 .collect();
-            candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
-            let neighbors: Vec<f64> = candidates.iter().take(k).map(|(_, v)| *v).collect();
+            // (distance, row index) is a total order, so partition + sort
+            // of the front yields exactly the old stable full sort's
+            // first k entries.
+            let order = |a: &(f64, usize, f64), b: &(f64, usize, f64)| {
+                a.0.total_cmp(&b.0).then(a.1.cmp(&b.1))
+            };
+            let kk = k.min(candidates.len());
+            if kk > 0 && kk < candidates.len() {
+                candidates.select_nth_unstable_by(kk - 1, order);
+            }
+            candidates[..kk].sort_unstable_by(order);
+            let neighbors = &candidates[..kk];
             let fill = if neighbors.is_empty() {
                 stats::mean(col)
             } else {
-                Some(neighbors.iter().sum::<f64>() / neighbors.len() as f64)
+                Some(neighbors.iter().map(|(_, _, v)| *v).sum::<f64>() / neighbors.len() as f64)
             };
             if let Some(f) = fill {
                 let value = if is_int {

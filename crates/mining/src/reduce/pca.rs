@@ -4,6 +4,11 @@
 //! The paper (§1) notes that dimensionality reduction like PCA loses
 //! information ("data structure cannot be considered") — experiment E9
 //! quantifies that trade-off, and this is the implementation it uses.
+//!
+//! Both the covariance estimate and the projection work on centered
+//! dense columns (missing → 0 after mean-centering), walking pairs of
+//! contiguous column slices; each accumulator still sees its additions
+//! in row order, so results are bit-identical to the row-major code.
 
 use crate::error::{MiningError, Result};
 use crate::instances::{AttrKind, Attribute, Instances};
@@ -22,6 +27,22 @@ pub struct Pca {
     projection: Matrix,
     /// All eigenvalues, descending.
     eigenvalues: Vec<f64>,
+}
+
+/// Centered dense copies of the numeric attribute columns: missing
+/// values become 0 (i.e. the mean, after centering).
+fn centered_columns(data: &Instances, attr_indices: &[usize], means: &[f64]) -> Vec<Vec<f64>> {
+    attr_indices
+        .iter()
+        .zip(means)
+        .map(|(&a, &m)| {
+            let values = data.column_values(a);
+            let validity = data.column_validity(a);
+            (0..data.len())
+                .map(|r| if validity.get(r) { values[r] - m } else { 0.0 })
+                .collect()
+        })
+        .collect()
 }
 
 impl Pca {
@@ -55,18 +76,17 @@ impl Pca {
             .iter()
             .map(|&a| all_means[a].unwrap_or(0.0))
             .collect();
-        // Covariance matrix (mean-imputed, centered).
+        // Covariance matrix: each upper-triangle cell is a dot product
+        // of two centered columns, accumulated in row order.
+        let xc = centered_columns(data, &attr_indices, &means);
         let mut cov = Matrix::zeros(d, d);
-        for row in &data.rows {
-            let x: Vec<f64> = attr_indices
-                .iter()
-                .zip(&means)
-                .map(|(&a, m)| row[a].unwrap_or(*m) - m)
-                .collect();
-            for i in 0..d {
-                for j in i..d {
-                    cov[(i, j)] += x[i] * x[j];
+        for i in 0..d {
+            for j in i..d {
+                let mut s = 0.0;
+                for (xi, xj) in xc[i].iter().zip(&xc[j]) {
+                    s += xi * xj;
                 }
+                cov[(i, j)] = s;
             }
         }
         for i in 0..d {
@@ -121,34 +141,29 @@ impl Pca {
                 kind: AttrKind::Numeric,
             })
             .collect();
-        let rows: Vec<Vec<Option<f64>>> = data
-            .rows
-            .iter()
-            .map(|row| {
-                let x: Vec<f64> = self
-                    .attr_indices
-                    .iter()
-                    .zip(&self.means)
-                    .map(|(&a, m)| row.get(a).copied().flatten().unwrap_or(*m) - m)
-                    .collect();
-                (0..self.components)
-                    .map(|j| {
-                        Some(
-                            x.iter()
-                                .enumerate()
-                                .map(|(i, xi)| xi * self.projection[(i, j)])
-                                .sum::<f64>(),
-                        )
-                    })
-                    .collect()
-            })
+        let n = data.len();
+        let xc = centered_columns(data, &self.attr_indices, &self.means);
+        // One output column per component; every cell accumulates over
+        // source columns in ascending order (the old per-row dot
+        // product's order), one contiguous column at a time.
+        let mut out = vec![vec![0.0f64; n]; self.components];
+        for (i, col) in xc.iter().enumerate() {
+            for (j, out_col) in out.iter_mut().enumerate() {
+                let p = self.projection[(i, j)];
+                for (o, xi) in out_col.iter_mut().zip(col) {
+                    *o += xi * p;
+                }
+            }
+        }
+        let rows: Vec<Vec<Option<f64>>> = (0..n)
+            .map(|r| out.iter().map(|c| Some(c[r])).collect())
             .collect();
-        Ok(Instances {
+        Ok(Instances::from_rows(
             attributes,
             rows,
-            labels: data.labels.clone(),
-            class_names: data.class_names.clone(),
-        })
+            data.labels.clone(),
+            data.class_names.clone(),
+        ))
     }
 }
 
@@ -164,8 +179,9 @@ mod tests {
             let wiggle = if i % 2 == 0 { 0.05 } else { -0.05 };
             rows.push(vec![Some(t + wiggle), Some(2.0 * t - wiggle)]);
         }
-        Instances {
-            attributes: vec![
+        let labels = vec![None; rows.len()];
+        Instances::from_rows(
+            vec![
                 Attribute {
                     name: "x".into(),
                     kind: AttrKind::Numeric,
@@ -175,10 +191,10 @@ mod tests {
                     kind: AttrKind::Numeric,
                 },
             ],
-            labels: vec![None; rows.len()],
             rows,
-            class_names: vec![],
-        }
+            labels,
+            vec![],
+        )
     }
 
     #[test]
@@ -212,7 +228,7 @@ mod tests {
         let d = correlated_data();
         let pca = Pca::fit(&d, 1).unwrap();
         let t = pca.transform(&d).unwrap();
-        let vals: Vec<f64> = t.rows.iter().map(|r| r[0].unwrap()).collect();
+        let vals: Vec<f64> = (0..t.len()).map(|r| t.get(r, 0).unwrap()).collect();
         let mean = vals.iter().sum::<f64>() / vals.len() as f64;
         let var =
             vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (vals.len() - 1) as f64;
@@ -240,9 +256,9 @@ mod tests {
     #[test]
     fn missing_values_mean_imputed() {
         let mut d = correlated_data();
-        d.rows[0][0] = None;
+        d.set(0, 0, None);
         let pca = Pca::fit(&d, 1).unwrap();
         let t = pca.transform(&d).unwrap();
-        assert!(t.rows[0][0].unwrap().is_finite());
+        assert!(t.get(0, 0).unwrap().is_finite());
     }
 }

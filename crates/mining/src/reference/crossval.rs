@@ -1,0 +1,136 @@
+//! The pre-rewrite cross-validation loop: stratified folds realized by
+//! **cloning** `subset()` per fold — exactly what the zero-copy view
+//! path replaced. Fold assignment is byte-identical to the live
+//! implementation (same RNG, same shuffle, same round-robin deal), so
+//! any divergence between this and the live `cross_validate` is a
+//! kernel difference, not a fold difference.
+
+use super::build;
+use super::instances::Instances;
+use crate::classify::AlgorithmSpec;
+use crate::error::{MiningError, Result};
+use crate::eval::{ConfusionMatrix, EvalResult};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Stratified fold assignment (pre-rewrite copy).
+pub fn stratified_folds(data: &Instances, folds: usize, seed: u64) -> Result<Vec<Vec<usize>>> {
+    if folds < 2 {
+        return Err(MiningError::InvalidParameter(
+            "cross-validation needs at least 2 folds".into(),
+        ));
+    }
+    let labeled = data.labeled_indices();
+    if labeled.len() < folds {
+        return Err(MiningError::InvalidDataset(format!(
+            "{} labeled rows cannot fill {} folds",
+            labeled.len(),
+            folds
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); data.n_classes().max(1)];
+    for &i in &labeled {
+        per_class[data.labels[i].expect("labeled")].push(i);
+    }
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); folds];
+    let mut next = 0usize;
+    for class_rows in &mut per_class {
+        class_rows.shuffle(&mut rng);
+        for &row in class_rows.iter() {
+            assignment[next % folds].push(row);
+            next += 1;
+        }
+    }
+    Ok(assignment)
+}
+
+struct FoldOutcome {
+    actual: Vec<usize>,
+    predicted: Vec<usize>,
+    accuracy: f64,
+    train_ms: f64,
+    predict_ms: f64,
+    model_size: f64,
+}
+
+fn run_fold(
+    data: &Instances,
+    spec: &AlgorithmSpec,
+    fold_rows: &[Vec<usize>],
+    f: usize,
+    train_buf: &mut Vec<usize>,
+) -> Result<FoldOutcome> {
+    train_buf.clear();
+    for (i, rows) in fold_rows.iter().enumerate() {
+        if i != f {
+            train_buf.extend_from_slice(rows);
+        }
+    }
+    let test_rows = &fold_rows[f];
+    let train = data.subset(train_buf);
+    let test = data.subset(test_rows);
+    let mut model = build(spec);
+    let t0 = Instant::now();
+    model.fit(&train)?;
+    let train_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let predicted = model.predict(&test)?;
+    let predict_ms = t1.elapsed().as_secs_f64() * 1e3;
+    let mut actual = Vec::with_capacity(test_rows.len());
+    let mut correct = 0usize;
+    for (p, l) in predicted.iter().zip(&test.labels) {
+        let l = l.expect("stratified folds hold labeled rows");
+        actual.push(l);
+        if *p == l {
+            correct += 1;
+        }
+    }
+    Ok(FoldOutcome {
+        accuracy: correct as f64 / test.len().max(1) as f64,
+        actual,
+        predicted,
+        train_ms,
+        predict_ms,
+        model_size: model.model_size() as f64,
+    })
+}
+
+/// Sequential stratified k-fold CV over the reference kernels; returns
+/// the same [`EvalResult`] type as the live implementation so results
+/// compare field-for-field.
+pub fn cross_validate(
+    data: &Instances,
+    spec: &AlgorithmSpec,
+    folds: usize,
+    seed: u64,
+) -> Result<EvalResult> {
+    let fold_rows = stratified_folds(data, folds, seed)?;
+    let n_labeled: usize = fold_rows.iter().map(Vec::len).sum();
+    let mut train_buf = Vec::with_capacity(n_labeled);
+    let mut actual = Vec::with_capacity(n_labeled);
+    let mut predicted = Vec::with_capacity(n_labeled);
+    let mut fold_accuracies = Vec::with_capacity(folds);
+    let mut train_ms = 0.0;
+    let mut predict_ms = 0.0;
+    let mut model_size_sum = 0.0;
+    for f in 0..folds {
+        let o = run_fold(data, spec, &fold_rows, f, &mut train_buf)?;
+        actual.extend(o.actual);
+        predicted.extend(o.predicted);
+        fold_accuracies.push(o.accuracy);
+        train_ms += o.train_ms;
+        predict_ms += o.predict_ms;
+        model_size_sum += o.model_size;
+    }
+    Ok(EvalResult {
+        algorithm: spec.to_string(),
+        confusion: ConfusionMatrix::from_predictions(&data.class_names, &actual, &predicted)?,
+        fold_accuracies,
+        train_ms,
+        predict_ms,
+        model_size: model_size_sum / folds as f64,
+    })
+}

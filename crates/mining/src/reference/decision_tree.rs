@@ -1,0 +1,391 @@
+//! A C4.5-style decision tree: gain-ratio splits, binary thresholds on
+//! numeric attributes, multiway splits on nominal attributes, missing
+//! values routed to the most populated branch.
+
+use super::instances::{AttrKind, Instances};
+use super::Classifier;
+use crate::error::{MiningError, Result};
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        class: usize,
+    },
+    NumericSplit {
+        attribute: usize,
+        threshold: f64,
+        /// Branch for missing values (index into `children`: 0 = left).
+        missing_to: usize,
+        children: Vec<Node>, // exactly [left (<=), right (>)]
+    },
+    NominalSplit {
+        attribute: usize,
+        missing_to: usize,
+        /// One child per category (same order as the dictionary).
+        children: Vec<Node>,
+        /// Fallback class for unseen categories.
+        default: usize,
+    },
+}
+
+impl Node {
+    fn size(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::NumericSplit { children, .. } | Node::NominalSplit { children, .. } => {
+                1 + children.iter().map(Node::size).sum::<usize>()
+            }
+        }
+    }
+
+    fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::NumericSplit { children, .. } | Node::NominalSplit { children, .. } => {
+                1 + children.iter().map(Node::depth).max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+/// The decision-tree classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    /// Maximum depth of the tree.
+    pub max_depth: usize,
+    /// Minimum number of rows in a leaf.
+    pub min_leaf: usize,
+    /// Restrict split search to these attribute indices (used by the
+    /// random forest for feature subsampling). `None` = all attributes.
+    pub feature_subset: Option<Vec<usize>>,
+    root: Option<Node>,
+}
+
+fn entropy(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+struct Split {
+    attribute: usize,
+    /// `Some(threshold)` for numeric, `None` for nominal.
+    threshold: Option<f64>,
+    gain_ratio: f64,
+    /// Row partitions (numeric: [left, right]; nominal: per category).
+    partitions: Vec<Vec<usize>>,
+    missing_rows: Vec<usize>,
+}
+
+impl DecisionTree {
+    /// Create an untrained tree.
+    pub fn new(max_depth: usize, min_leaf: usize) -> Self {
+        DecisionTree {
+            max_depth: max_depth.max(1),
+            min_leaf: min_leaf.max(1),
+            feature_subset: None,
+            root: None,
+        }
+    }
+
+    /// Number of nodes in the fitted tree.
+    pub fn node_count(&self) -> usize {
+        self.root.as_ref().map(Node::size).unwrap_or(0)
+    }
+
+    /// Depth of the fitted tree.
+    pub fn depth(&self) -> usize {
+        self.root.as_ref().map(Node::depth).unwrap_or(0)
+    }
+
+    fn class_counts(data: &Instances, rows: &[usize]) -> Vec<usize> {
+        let mut counts = vec![0usize; data.n_classes()];
+        for &i in rows {
+            if let Some(l) = data.labels[i] {
+                counts[l] += 1;
+            }
+        }
+        counts
+    }
+
+    fn majority(counts: &[usize], fallback: usize) -> usize {
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, _)| i)
+            .unwrap_or(fallback)
+    }
+
+    fn best_split(&self, data: &Instances, rows: &[usize], parent_entropy: f64) -> Option<Split> {
+        let n = rows.len() as f64;
+        let mut best: Option<Split> = None;
+        let attrs: Vec<usize> = match &self.feature_subset {
+            Some(subset) => subset.clone(),
+            None => (0..data.n_attributes()).collect(),
+        };
+        for a in attrs {
+            let missing_rows: Vec<usize> = rows
+                .iter()
+                .copied()
+                .filter(|&i| data.rows[i][a].is_none())
+                .collect();
+            let present: Vec<usize> = rows
+                .iter()
+                .copied()
+                .filter(|&i| data.rows[i][a].is_some())
+                .collect();
+            if present.len() < 2 * self.min_leaf {
+                continue;
+            }
+            let present_frac = present.len() as f64 / n;
+            match &data.attributes[a].kind {
+                AttrKind::Numeric => {
+                    // Candidate thresholds: midpoints between distinct
+                    // sorted values (capped for speed).
+                    let mut vals: Vec<(f64, usize)> = present
+                        .iter()
+                        .map(|&i| (data.rows[i][a].expect("present"), i))
+                        .collect();
+                    vals.sort_by(|x, y| x.0.total_cmp(&y.0));
+                    // Prefix class counts for O(1) split evaluation.
+                    let n_classes = data.n_classes();
+                    let total_counts = Self::class_counts(data, &present);
+                    let mut left_counts = vec![0usize; n_classes];
+                    let mut i = 0;
+                    while i + 1 < vals.len() {
+                        if let Some(l) = data.labels[vals[i].1] {
+                            left_counts[l] += 1;
+                        }
+                        let (v, _) = vals[i];
+                        let (next_v, _) = vals[i + 1];
+                        i += 1;
+                        if v == next_v {
+                            continue;
+                        }
+                        let left_n = i;
+                        let right_n = vals.len() - i;
+                        if left_n < self.min_leaf || right_n < self.min_leaf {
+                            continue;
+                        }
+                        let right_counts: Vec<usize> = total_counts
+                            .iter()
+                            .zip(&left_counts)
+                            .map(|(t, l)| t - l)
+                            .collect();
+                        let child_entropy = (left_n as f64 / present.len() as f64)
+                            * entropy(&left_counts)
+                            + (right_n as f64 / present.len() as f64) * entropy(&right_counts);
+                        let gain = present_frac * (parent_entropy - child_entropy);
+                        if gain <= 1e-12 {
+                            continue;
+                        }
+                        let p_l = left_n as f64 / present.len() as f64;
+                        let split_info = -p_l * p_l.log2() - (1.0 - p_l) * (1.0 - p_l).log2();
+                        let gain_ratio = gain / split_info.max(1e-9);
+                        if best
+                            .as_ref()
+                            .map(|b| gain_ratio > b.gain_ratio)
+                            .unwrap_or(true)
+                        {
+                            let threshold = (v + next_v) / 2.0;
+                            let left: Vec<usize> = present
+                                .iter()
+                                .copied()
+                                .filter(|&r| data.rows[r][a].expect("present") <= threshold)
+                                .collect();
+                            let right: Vec<usize> = present
+                                .iter()
+                                .copied()
+                                .filter(|&r| data.rows[r][a].expect("present") > threshold)
+                                .collect();
+                            best = Some(Split {
+                                attribute: a,
+                                threshold: Some(threshold),
+                                gain_ratio,
+                                partitions: vec![left, right],
+                                missing_rows: missing_rows.clone(),
+                            });
+                        }
+                    }
+                }
+                AttrKind::Nominal(dict) => {
+                    if dict.len() < 2 {
+                        continue;
+                    }
+                    let mut partitions: Vec<Vec<usize>> = vec![Vec::new(); dict.len()];
+                    for &i in &present {
+                        let idx = data.rows[i][a].expect("present") as usize;
+                        if idx < dict.len() {
+                            partitions[idx].push(i);
+                        }
+                    }
+                    let non_empty = partitions.iter().filter(|p| !p.is_empty()).count();
+                    if non_empty < 2 {
+                        continue;
+                    }
+                    let mut child_entropy = 0.0;
+                    let mut split_info = 0.0;
+                    for p in &partitions {
+                        if p.is_empty() {
+                            continue;
+                        }
+                        let frac = p.len() as f64 / present.len() as f64;
+                        child_entropy += frac * entropy(&Self::class_counts(data, p));
+                        split_info -= frac * frac.log2();
+                    }
+                    let gain = present_frac * (parent_entropy - child_entropy);
+                    if gain <= 1e-12 {
+                        continue;
+                    }
+                    let gain_ratio = gain / split_info.max(1e-9);
+                    if best
+                        .as_ref()
+                        .map(|b| gain_ratio > b.gain_ratio)
+                        .unwrap_or(true)
+                    {
+                        best = Some(Split {
+                            attribute: a,
+                            threshold: None,
+                            gain_ratio,
+                            partitions,
+                            missing_rows: missing_rows.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    fn build(&self, data: &Instances, rows: &[usize], depth: usize, fallback: usize) -> Node {
+        let counts = Self::class_counts(data, rows);
+        let majority = Self::majority(&counts, fallback);
+        let non_zero_classes = counts.iter().filter(|&&c| c > 0).count();
+        if depth >= self.max_depth || rows.len() < 2 * self.min_leaf || non_zero_classes <= 1 {
+            return Node::Leaf { class: majority };
+        }
+        let parent_entropy = entropy(&counts);
+        let Some(split) = self.best_split(data, rows, parent_entropy) else {
+            return Node::Leaf { class: majority };
+        };
+        // Missing rows follow the most populated partition.
+        let missing_to = split
+            .partitions
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.len())
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let children: Vec<Node> = split
+            .partitions
+            .iter()
+            .enumerate()
+            .map(|(pi, partition)| {
+                let mut child_rows = partition.clone();
+                if pi == missing_to {
+                    child_rows.extend_from_slice(&split.missing_rows);
+                }
+                if child_rows.is_empty() {
+                    Node::Leaf { class: majority }
+                } else {
+                    self.build(data, &child_rows, depth + 1, majority)
+                }
+            })
+            .collect();
+        match split.threshold {
+            Some(threshold) => Node::NumericSplit {
+                attribute: split.attribute,
+                threshold,
+                missing_to,
+                children,
+            },
+            None => Node::NominalSplit {
+                attribute: split.attribute,
+                missing_to,
+                children,
+                default: majority,
+            },
+        }
+    }
+
+    fn walk(&self, node: &Node, row: &[Option<f64>]) -> usize {
+        match node {
+            Node::Leaf { class } => *class,
+            Node::NumericSplit {
+                attribute,
+                threshold,
+                missing_to,
+                children,
+            } => {
+                let child = match row.get(*attribute).copied().flatten() {
+                    Some(v) => {
+                        if v <= *threshold {
+                            0
+                        } else {
+                            1
+                        }
+                    }
+                    None => *missing_to,
+                };
+                self.walk(&children[child], row)
+            }
+            Node::NominalSplit {
+                attribute,
+                missing_to,
+                children,
+                default,
+            } => match row.get(*attribute).copied().flatten() {
+                Some(v) => {
+                    let idx = v as usize;
+                    if idx < children.len() {
+                        self.walk(&children[idx], row)
+                    } else {
+                        *default
+                    }
+                }
+                None => self.walk(&children[*missing_to], row),
+            },
+        }
+    }
+}
+
+impl Classifier for DecisionTree {
+    fn name(&self) -> &'static str {
+        "DecisionTree"
+    }
+
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        let labeled = data.labeled_indices();
+        if labeled.is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "DecisionTree needs labeled rows".into(),
+            ));
+        }
+        let fallback = data.majority_class();
+        self.root = Some(self.build(data, &labeled, 0, fallback));
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[Option<f64>]) -> Result<usize> {
+        let root = self
+            .root
+            .as_ref()
+            .ok_or(MiningError::NotFitted("DecisionTree"))?;
+        Ok(self.walk(root, row))
+    }
+
+    fn model_size(&self) -> usize {
+        self.node_count()
+    }
+}

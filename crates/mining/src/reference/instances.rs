@@ -1,0 +1,257 @@
+//! The [`Instances`] mining dataset: a typed feature matrix with an
+//! optional nominal class attribute, built from an `openbi-table` table.
+//!
+//! Numeric attributes hold their value; nominal attributes hold a
+//! category index (as `f64` so one row type serves both). Missing cells
+//! are `None` — classifiers must tolerate them, since the quality
+//! experiments inject missingness on purpose.
+
+use crate::error::{MiningError, Result};
+pub use crate::instances::{AttrKind, Attribute};
+use openbi_table::{DataType, Table, Value};
+
+/// A mining dataset: rows of optional feature values plus optional class
+/// labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instances {
+    /// Attribute metadata, in column order.
+    pub attributes: Vec<Attribute>,
+    /// Feature rows; nominal values are category indices.
+    pub rows: Vec<Vec<Option<f64>>>,
+    /// Class label index per row (`None` = unlabeled).
+    pub labels: Vec<Option<usize>>,
+    /// Class value dictionary (empty when the dataset has no target).
+    pub class_names: Vec<String>,
+}
+
+impl Instances {
+    /// Build instances from a table.
+    ///
+    /// * `target`: optional class column (any type; values are stringified
+    ///   into a nominal dictionary).
+    /// * `exclude`: columns to skip entirely (identifiers etc.).
+    pub fn from_table(table: &Table, target: Option<&str>, exclude: &[&str]) -> Result<Self> {
+        if let Some(t) = target {
+            table.column(t)?;
+        }
+        let mut attributes = Vec::new();
+        let mut columns: Vec<(usize, AttrKind, Vec<Option<f64>>)> = Vec::new();
+        for col in table.columns() {
+            if exclude.contains(&col.name()) || Some(col.name()) == target {
+                continue;
+            }
+            let (kind, data): (AttrKind, Vec<Option<f64>>) = match col.dtype() {
+                DataType::Int | DataType::Float => (AttrKind::Numeric, col.to_f64_vec()),
+                DataType::Bool => (
+                    AttrKind::Nominal(vec!["false".into(), "true".into()]),
+                    col.iter()
+                        .map(|v| v.as_bool().map(|b| if b { 1.0 } else { 0.0 }))
+                        .collect(),
+                ),
+                DataType::Str => {
+                    let mut dict: Vec<String> = Vec::new();
+                    let data = col
+                        .iter()
+                        .map(|v| match v {
+                            Value::Null => None,
+                            v => {
+                                let s = v.to_string();
+                                let idx = match dict.iter().position(|d| *d == s) {
+                                    Some(i) => i,
+                                    None => {
+                                        dict.push(s);
+                                        dict.len() - 1
+                                    }
+                                };
+                                Some(idx as f64)
+                            }
+                        })
+                        .collect();
+                    (AttrKind::Nominal(dict), data)
+                }
+            };
+            attributes.push(Attribute {
+                name: col.name().to_string(),
+                kind,
+            });
+            columns.push((
+                attributes.len() - 1,
+                attributes.last().expect("pushed").kind.clone(),
+                data,
+            ));
+        }
+        if attributes.is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "no usable feature columns".to_string(),
+            ));
+        }
+        let n = table.n_rows();
+        let mut rows: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(attributes.len()); n];
+        for (_, _, data) in &columns {
+            for (r, v) in data.iter().enumerate() {
+                rows[r].push(*v);
+            }
+        }
+        let (labels, class_names) = match target {
+            Some(t) => {
+                let col = table.column(t)?;
+                let mut dict: Vec<String> = Vec::new();
+                let labels = col
+                    .iter()
+                    .map(|v| match v {
+                        Value::Null => None,
+                        v => {
+                            let s = v.to_string();
+                            let idx = match dict.iter().position(|d| *d == s) {
+                                Some(i) => i,
+                                None => {
+                                    dict.push(s);
+                                    dict.len() - 1
+                                }
+                            };
+                            Some(idx)
+                        }
+                    })
+                    .collect();
+                (labels, dict)
+            }
+            None => (vec![None; n], vec![]),
+        };
+        Ok(Instances {
+            attributes,
+            rows,
+            labels,
+            class_names,
+        })
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff there are no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of attributes.
+    pub fn n_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Indices of rows with a known label.
+    pub fn labeled_indices(&self) -> Vec<usize> {
+        (0..self.len())
+            .filter(|&i| self.labels[i].is_some())
+            .collect()
+    }
+
+    /// Class distribution over labeled rows.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for l in self.labels.iter().flatten() {
+            counts[*l] += 1;
+        }
+        counts
+    }
+
+    /// A new dataset holding only the given rows (indices may repeat).
+    pub fn subset(&self, indices: &[usize]) -> Instances {
+        Instances {
+            attributes: self.attributes.clone(),
+            rows: indices.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: indices.iter().map(|&i| self.labels[i]).collect(),
+            class_names: self.class_names.clone(),
+        }
+    }
+
+    /// Per-attribute `(min, max)` over non-missing numeric values
+    /// (`None` for nominal or all-missing attributes).
+    pub fn numeric_ranges(&self) -> Vec<Option<(f64, f64)>> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(a, attr)| {
+                if attr.kind != AttrKind::Numeric {
+                    return None;
+                }
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                let mut any = false;
+                for row in &self.rows {
+                    if let Some(v) = row[a] {
+                        lo = lo.min(v);
+                        hi = hi.max(v);
+                        any = true;
+                    }
+                }
+                any.then_some((lo, hi))
+            })
+            .collect()
+    }
+
+    /// Per-attribute mean over non-missing numeric values (`None` for
+    /// nominal attributes; nominal get their modal category instead via
+    /// [`Instances::modes`]).
+    pub fn numeric_means(&self) -> Vec<Option<f64>> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(a, attr)| {
+                if attr.kind != AttrKind::Numeric {
+                    return None;
+                }
+                let vals: Vec<f64> = self.rows.iter().filter_map(|r| r[a]).collect();
+                if vals.is_empty() {
+                    None
+                } else {
+                    Some(vals.iter().sum::<f64>() / vals.len() as f64)
+                }
+            })
+            .collect()
+    }
+
+    /// Per-attribute modal category index for nominal attributes.
+    pub fn modes(&self) -> Vec<Option<f64>> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .map(|(a, attr)| {
+                let AttrKind::Nominal(dict) = &attr.kind else {
+                    return None;
+                };
+                let mut counts = vec![0usize; dict.len()];
+                for row in &self.rows {
+                    if let Some(v) = row[a] {
+                        let idx = v as usize;
+                        if idx < counts.len() {
+                            counts[idx] += 1;
+                        }
+                    }
+                }
+                counts
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|(_, c)| **c)
+                    .map(|(i, _)| i as f64)
+            })
+            .collect()
+    }
+
+    /// The majority class index over labeled rows (0 if unlabeled).
+    pub fn majority_class(&self) -> usize {
+        let counts = self.class_counts();
+        counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+}

@@ -1,0 +1,121 @@
+//! k-nearest neighbors with min-max normalized heterogeneous distance
+//! (HEOM-style): numeric dimensions use range-normalized absolute
+//! difference, nominal dimensions 0/1 mismatch, and any missing value
+//! contributes the maximum distance of 1 — the standard Weka convention.
+//!
+//! kNN is the suite's canary for the *dimensionality* defect: irrelevant
+//! attributes dilute the distance and degrade it faster than the other
+//! algorithms.
+
+use super::instances::{AttrKind, Instances};
+use super::Classifier;
+use crate::error::{MiningError, Result};
+
+/// The kNN classifier (stores the training data).
+#[derive(Debug, Clone)]
+pub struct Knn {
+    /// Neighborhood size.
+    pub k: usize,
+    train: Option<Instances>,
+    ranges: Vec<Option<(f64, f64)>>,
+    numeric: Vec<bool>,
+}
+
+impl Knn {
+    /// Create an untrained kNN.
+    pub fn new(k: usize) -> Self {
+        Knn {
+            k: k.max(1),
+            train: None,
+            ranges: vec![],
+            numeric: vec![],
+        }
+    }
+
+    fn dim_distance(&self, a: usize, x: Option<f64>, y: Option<f64>) -> f64 {
+        match (x, y) {
+            (Some(x), Some(y)) => {
+                if self.numeric[a] {
+                    match self.ranges[a] {
+                        Some((lo, hi)) if hi > lo => ((x - y).abs() / (hi - lo)).min(1.0),
+                        _ => {
+                            if x == y {
+                                0.0
+                            } else {
+                                1.0
+                            }
+                        }
+                    }
+                } else if x == y {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            // Missing on either side: maximal dissimilarity.
+            _ => 1.0,
+        }
+    }
+
+    fn distance(&self, a: &[Option<f64>], b: &[Option<f64>]) -> f64 {
+        (0..self.numeric.len())
+            .map(|i| {
+                let d = self.dim_distance(i, a.get(i).copied().flatten(), b[i]);
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Classifier for Knn {
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        let labeled = data.labeled_indices();
+        if labeled.is_empty() {
+            return Err(MiningError::InvalidDataset("kNN needs labeled rows".into()));
+        }
+        let train = data.subset(&labeled);
+        self.ranges = train.numeric_ranges();
+        self.numeric = train
+            .attributes
+            .iter()
+            .map(|a| a.kind == AttrKind::Numeric)
+            .collect();
+        self.train = Some(train);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[Option<f64>]) -> Result<usize> {
+        let train = self.train.as_ref().ok_or(MiningError::NotFitted("kNN"))?;
+        let mut dists: Vec<(f64, usize)> = train
+            .rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (self.distance(row, r), i))
+            .collect();
+        dists.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut votes = vec![0.0f64; train.n_classes().max(1)];
+        for &(d, i) in dists.iter().take(self.k) {
+            let label = train.labels[i].expect("training rows are labeled");
+            // Inverse-distance weighting with a floor for exact matches.
+            votes[label] += 1.0 / (d + 1e-6);
+        }
+        Ok(votes
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    fn model_size(&self) -> usize {
+        self.train
+            .as_ref()
+            .map(|t| t.len() * t.n_attributes())
+            .unwrap_or(0)
+    }
+}

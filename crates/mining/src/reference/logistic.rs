@@ -1,0 +1,199 @@
+//! One-vs-rest logistic regression trained by full-batch gradient
+//! descent. Numeric attributes are z-scored; nominal attributes are
+//! one-hot encoded; missing values are mean/zero-imputed at encoding
+//! time (the model's documented missing-value strategy).
+
+use super::instances::{AttrKind, Instances};
+use super::Classifier;
+use crate::error::{MiningError, Result};
+
+/// The logistic-regression classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization strength.
+    pub l2: f64,
+    /// Per-class weight vectors (bias last), after fit.
+    weights: Vec<Vec<f64>>,
+    encoder: Option<Encoder>,
+}
+
+/// Feature encoder: attribute layout, z-score parameters and one-hot
+/// offsets derived from the training data.
+#[derive(Debug, Clone)]
+struct Encoder {
+    /// Per attribute: numeric (mean, std) or nominal cardinality.
+    specs: Vec<EncSpec>,
+    /// Total encoded width (excluding bias).
+    width: usize,
+}
+
+#[derive(Debug, Clone)]
+enum EncSpec {
+    Numeric { mean: f64, std: f64 },
+    Nominal { cardinality: usize },
+}
+
+impl Encoder {
+    fn from_instances(data: &Instances) -> Encoder {
+        let means = data.numeric_means();
+        let mut specs = Vec::with_capacity(data.n_attributes());
+        let mut width = 0;
+        for (a, attr) in data.attributes.iter().enumerate() {
+            match &attr.kind {
+                AttrKind::Numeric => {
+                    let mean = means[a].unwrap_or(0.0);
+                    let vals: Vec<f64> = data.rows.iter().filter_map(|r| r[a]).collect();
+                    let std = if vals.len() < 2 {
+                        1.0
+                    } else {
+                        let v = vals.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+                            / (vals.len() - 1) as f64;
+                        v.sqrt().max(1e-9)
+                    };
+                    specs.push(EncSpec::Numeric { mean, std });
+                    width += 1;
+                }
+                AttrKind::Nominal(dict) => {
+                    specs.push(EncSpec::Nominal {
+                        cardinality: dict.len(),
+                    });
+                    width += dict.len();
+                }
+            }
+        }
+        Encoder { specs, width }
+    }
+
+    fn encode(&self, row: &[Option<f64>]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.width);
+        for (a, spec) in self.specs.iter().enumerate() {
+            let v = row.get(a).copied().flatten();
+            match spec {
+                EncSpec::Numeric { mean, std } => {
+                    // Missing numeric → mean → encodes to 0.
+                    out.push((v.unwrap_or(*mean) - mean) / std);
+                }
+                EncSpec::Nominal { cardinality } => {
+                    let hot = v.map(|x| x as usize).filter(|i| i < cardinality);
+                    for i in 0..*cardinality {
+                        out.push(if Some(i) == hot { 1.0 } else { 0.0 });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl LogisticRegression {
+    /// Create an untrained model.
+    pub fn new(epochs: usize, learning_rate: f64) -> Self {
+        LogisticRegression {
+            epochs: epochs.max(1),
+            learning_rate,
+            l2: 1e-4,
+            weights: vec![],
+            encoder: None,
+        }
+    }
+
+    /// Per-class probabilities for a row (softmax over OvR scores).
+    pub fn probabilities(&self, row: &[Option<f64>]) -> Result<Vec<f64>> {
+        let enc = self
+            .encoder
+            .as_ref()
+            .ok_or(MiningError::NotFitted("LogisticRegression"))?;
+        let x = enc.encode(row);
+        let mut probs: Vec<f64> = self
+            .weights
+            .iter()
+            .map(|w| {
+                let z: f64 =
+                    x.iter().zip(w.iter()).map(|(xi, wi)| xi * wi).sum::<f64>() + w[w.len() - 1];
+                sigmoid(z)
+            })
+            .collect();
+        let total: f64 = probs.iter().sum();
+        if total > 0.0 {
+            for p in &mut probs {
+                *p /= total;
+            }
+        }
+        Ok(probs)
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn name(&self) -> &'static str {
+        "LogisticRegression"
+    }
+
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        let labeled = data.labeled_indices();
+        if labeled.is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "LogisticRegression needs labeled rows".into(),
+            ));
+        }
+        if self.learning_rate <= 0.0 {
+            return Err(MiningError::InvalidParameter(
+                "learning rate must be positive".into(),
+            ));
+        }
+        let train = data.subset(&labeled);
+        let encoder = Encoder::from_instances(&train);
+        let xs: Vec<Vec<f64>> = train.rows.iter().map(|r| encoder.encode(r)).collect();
+        let n = xs.len() as f64;
+        let n_classes = train.n_classes().max(2);
+        let width = encoder.width;
+        let mut weights = vec![vec![0.0f64; width + 1]; n_classes];
+        for (c, w) in weights.iter_mut().enumerate() {
+            for _ in 0..self.epochs {
+                let mut grad = vec![0.0f64; width + 1];
+                for (x, label) in xs.iter().zip(&train.labels) {
+                    let y = if *label == Some(c) { 1.0 } else { 0.0 };
+                    let z: f64 =
+                        x.iter().zip(w.iter()).map(|(xi, wi)| xi * wi).sum::<f64>() + w[width];
+                    let err = sigmoid(z) - y;
+                    for (g, xi) in grad.iter_mut().zip(x.iter()) {
+                        *g += err * xi;
+                    }
+                    grad[width] += err;
+                }
+                for (wi, gi) in w.iter_mut().zip(grad.iter()) {
+                    *wi -= self.learning_rate * (gi / n + self.l2 * *wi);
+                }
+            }
+        }
+        self.weights = weights;
+        self.encoder = Some(encoder);
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[Option<f64>]) -> Result<usize> {
+        let probs = self.probabilities(row)?;
+        Ok(probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    fn model_size(&self) -> usize {
+        self.weights.iter().map(Vec::len).sum()
+    }
+}

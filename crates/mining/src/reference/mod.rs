@@ -1,0 +1,84 @@
+//! The pre-rewrite **row-major reference** implementation.
+//!
+//! A snapshot of the `Instances` data layout (`Vec<Vec<Option<f64>>>`
+//! rows) and every classifier kernel exactly as they existed before the
+//! columnar struct-of-arrays rewrite (DESIGN.md §11). It exists for two
+//! reasons:
+//!
+//! 1. the equivalence suite proves the columnar kernels reproduce these
+//!    results **bit for bit** (same predictions, same accuracies, same
+//!    KB bytes) across seeds and worker counts, and
+//! 2. `kernel_bench` measures the columnar speedup against this
+//!    baseline, in the same process on the same data.
+//!
+//! It is not part of the supported API surface and will not grow new
+//! features; treat it as a frozen oracle.
+#![allow(missing_docs)]
+
+pub mod crossval;
+pub mod decision_tree;
+pub mod instances;
+pub mod knn;
+pub mod logistic;
+pub mod naive_bayes;
+pub mod one_r;
+pub mod random_forest;
+pub mod zero_r;
+
+pub use crossval::{cross_validate, stratified_folds};
+pub use decision_tree::DecisionTree;
+pub use instances::Instances;
+pub use knn::Knn;
+pub use logistic::LogisticRegression;
+pub use naive_bayes::NaiveBayes;
+pub use one_r::OneR;
+pub use random_forest::RandomForest;
+pub use zero_r::ZeroR;
+
+use crate::classify::AlgorithmSpec;
+use crate::error::Result;
+
+/// The pre-rewrite classifier trait: row-major fit and per-row predict.
+pub trait Classifier {
+    /// Short algorithm name (e.g. `"NaiveBayes"`).
+    fn name(&self) -> &'static str;
+
+    /// Train on the labeled rows of `data`.
+    fn fit(&mut self, data: &Instances) -> Result<()>;
+
+    /// Predict the class index of one feature row.
+    fn predict_row(&self, row: &[Option<f64>]) -> Result<usize>;
+
+    /// Predict every row of a dataset.
+    fn predict(&self, data: &Instances) -> Result<Vec<usize>> {
+        data.rows.iter().map(|r| self.predict_row(r)).collect()
+    }
+
+    /// A size proxy for the fitted model.
+    fn model_size(&self) -> usize {
+        1
+    }
+}
+
+/// Instantiate the reference (row-major) classifier for a spec.
+pub fn build(spec: &AlgorithmSpec) -> Box<dyn Classifier> {
+    match spec {
+        AlgorithmSpec::ZeroR => Box::new(ZeroR::new()),
+        AlgorithmSpec::OneR => Box::new(OneR::new()),
+        AlgorithmSpec::NaiveBayes => Box::new(NaiveBayes::new()),
+        AlgorithmSpec::DecisionTree {
+            max_depth,
+            min_leaf,
+        } => Box::new(DecisionTree::new(*max_depth, *min_leaf)),
+        AlgorithmSpec::Knn { k } => Box::new(Knn::new(*k)),
+        AlgorithmSpec::Logistic {
+            epochs,
+            learning_rate,
+        } => Box::new(LogisticRegression::new(*epochs, *learning_rate)),
+        AlgorithmSpec::RandomForest {
+            trees,
+            max_depth,
+            seed,
+        } => Box::new(RandomForest::new(*trees, *max_depth, *seed)),
+    }
+}

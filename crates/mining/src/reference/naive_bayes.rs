@@ -1,0 +1,168 @@
+//! Naive Bayes: Gaussian likelihoods for numeric attributes, Laplace-
+//! smoothed categorical likelihoods for nominal attributes. Missing
+//! values are simply skipped in the likelihood product — the textbook
+//! reason Naive Bayes degrades gracefully under missingness.
+
+use super::instances::{AttrKind, Instances};
+use super::Classifier;
+use crate::error::{MiningError, Result};
+
+#[derive(Debug, Clone)]
+enum AttrModel {
+    /// Per-class `(mean, variance)`.
+    Gaussian(Vec<(f64, f64)>),
+    /// Per-class smoothed log-probabilities per category.
+    Categorical(Vec<Vec<f64>>),
+}
+
+/// The Naive Bayes classifier.
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayes {
+    log_priors: Vec<f64>,
+    models: Vec<AttrModel>,
+    fitted: bool,
+}
+
+const MIN_VARIANCE: f64 = 1e-9;
+
+impl NaiveBayes {
+    /// Create an untrained Naive Bayes.
+    pub fn new() -> Self {
+        NaiveBayes::default()
+    }
+
+    fn gaussian_log_pdf(x: f64, mean: f64, var: f64) -> f64 {
+        let var = var.max(MIN_VARIANCE);
+        -0.5 * ((x - mean) * (x - mean) / var + var.ln() + (2.0 * std::f64::consts::PI).ln())
+    }
+
+    /// Per-class log-posterior (unnormalized) of a row.
+    pub fn log_posteriors(&self, row: &[Option<f64>]) -> Result<Vec<f64>> {
+        if !self.fitted {
+            return Err(MiningError::NotFitted("NaiveBayes"));
+        }
+        let mut scores = self.log_priors.clone();
+        for (a, model) in self.models.iter().enumerate() {
+            let Some(v) = row.get(a).copied().flatten() else {
+                continue;
+            };
+            for (c, score) in scores.iter_mut().enumerate() {
+                match model {
+                    AttrModel::Gaussian(params) => {
+                        let (mean, var) = params[c];
+                        *score += Self::gaussian_log_pdf(v, mean, var);
+                    }
+                    AttrModel::Categorical(logps) => {
+                        let idx = v as usize;
+                        if let Some(lp) = logps[c].get(idx) {
+                            *score += lp;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(scores)
+    }
+}
+
+impl Classifier for NaiveBayes {
+    fn name(&self) -> &'static str {
+        "NaiveBayes"
+    }
+
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        let labeled = data.labeled_indices();
+        if labeled.is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "NaiveBayes needs labeled rows".into(),
+            ));
+        }
+        let n_classes = data.n_classes();
+        if n_classes == 0 {
+            return Err(MiningError::InvalidDataset("dataset has no classes".into()));
+        }
+        let counts = data.class_counts();
+        let total: usize = counts.iter().sum();
+        self.log_priors = counts
+            .iter()
+            .map(|&c| ((c as f64 + 1.0) / (total as f64 + n_classes as f64)).ln())
+            .collect();
+        self.models = Vec::with_capacity(data.n_attributes());
+        for (a, attr) in data.attributes.iter().enumerate() {
+            match &attr.kind {
+                AttrKind::Numeric => {
+                    let mut params = Vec::with_capacity(n_classes);
+                    for c in 0..n_classes {
+                        let vals: Vec<f64> = labeled
+                            .iter()
+                            .filter(|&&i| data.labels[i] == Some(c))
+                            .filter_map(|&i| data.rows[i][a])
+                            .collect();
+                        if vals.is_empty() {
+                            params.push((0.0, 1.0));
+                            continue;
+                        }
+                        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+                        let var = if vals.len() < 2 {
+                            MIN_VARIANCE
+                        } else {
+                            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                                / (vals.len() - 1) as f64
+                        };
+                        params.push((mean, var));
+                    }
+                    self.models.push(AttrModel::Gaussian(params));
+                }
+                AttrKind::Nominal(dict) => {
+                    let k = dict.len().max(1);
+                    let mut logps = Vec::with_capacity(n_classes);
+                    for c in 0..n_classes {
+                        let mut cat_counts = vec![0usize; k];
+                        let mut total_c = 0usize;
+                        for &i in &labeled {
+                            if data.labels[i] != Some(c) {
+                                continue;
+                            }
+                            if let Some(v) = data.rows[i][a] {
+                                let idx = v as usize;
+                                if idx < k {
+                                    cat_counts[idx] += 1;
+                                    total_c += 1;
+                                }
+                            }
+                        }
+                        logps.push(
+                            cat_counts
+                                .iter()
+                                .map(|&n| ((n as f64 + 1.0) / (total_c as f64 + k as f64)).ln())
+                                .collect(),
+                        );
+                    }
+                    self.models.push(AttrModel::Categorical(logps));
+                }
+            }
+        }
+        self.fitted = true;
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[Option<f64>]) -> Result<usize> {
+        let scores = self.log_posteriors(row)?;
+        Ok(scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    fn model_size(&self) -> usize {
+        self.models
+            .iter()
+            .map(|m| match m {
+                AttrModel::Gaussian(p) => p.len() * 2,
+                AttrModel::Categorical(p) => p.iter().map(Vec::len).sum(),
+            })
+            .sum()
+    }
+}

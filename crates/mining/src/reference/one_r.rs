@@ -4,9 +4,9 @@
 //! attribute whose per-bucket majority rule has the lowest training
 //! error wins. Missing values form their own bucket.
 
+use super::instances::{AttrKind, Instances};
 use super::Classifier;
 use crate::error::{MiningError, Result};
-use crate::instances::{AttrKind, InstancesView};
 
 const NUMERIC_BINS: usize = 8;
 
@@ -60,7 +60,7 @@ impl Classifier for OneR {
         "OneR"
     }
 
-    fn fit_view(&mut self, data: &InstancesView<'_>) -> Result<()> {
+    fn fit(&mut self, data: &Instances) -> Result<()> {
         let labeled = data.labeled_indices();
         if labeled.is_empty() {
             return Err(MiningError::InvalidDataset(
@@ -70,14 +70,8 @@ impl Classifier for OneR {
         let n_classes = data.n_classes().max(1);
         let default = data.majority_class();
         let ranges = data.numeric_ranges();
-        let labels: Vec<usize> = labeled
-            .iter()
-            .map(|&i| data.label(i).expect("labeled"))
-            .collect();
-        let mut buckets: Vec<usize> = Vec::with_capacity(labeled.len());
         let mut best: Option<(usize, Rule)> = None; // (errors, rule)
-        for a in 0..data.n_attributes() {
-            let attr = data.attribute(a);
+        for (a, attr) in data.attributes.iter().enumerate() {
             let (binning, n_value_buckets) = match &attr.kind {
                 AttrKind::Numeric => {
                     let Some((lo, hi)) = ranges[a] else { continue };
@@ -92,16 +86,10 @@ impl Classifier for OneR {
                 }
             };
             let n_buckets = n_value_buckets + 1; // + missing bucket
-            let col = data.col(a);
-            buckets.clear();
-            buckets.extend(
-                labeled
-                    .iter()
-                    .map(|&i| Self::bucket_of(binning, n_buckets, col.get(i))),
-            );
             let mut counts = vec![vec![0usize; n_classes]; n_buckets];
-            for (&b, &l) in buckets.iter().zip(&labels) {
-                counts[b][l] += 1;
+            for &i in &labeled {
+                let b = Self::bucket_of(binning, n_buckets, data.rows[i][a]);
+                counts[b][data.labels[i].expect("labeled")] += 1;
             }
             let bucket_class: Vec<usize> = counts
                 .iter()
@@ -113,10 +101,12 @@ impl Classifier for OneR {
                         .unwrap_or(default)
                 })
                 .collect();
-            let errors: usize = buckets
+            let errors: usize = labeled
                 .iter()
-                .zip(&labels)
-                .filter(|&(&b, &l)| bucket_class[b] != l)
+                .filter(|&&i| {
+                    let b = Self::bucket_of(binning, n_buckets, data.rows[i][a]);
+                    bucket_class[b] != data.labels[i].expect("labeled")
+                })
                 .count();
             let rule = Rule {
                 attribute: a,
@@ -141,104 +131,10 @@ impl Classifier for OneR {
         Ok(*rule.bucket_class.get(b).unwrap_or(&rule.default))
     }
 
-    fn predict_view(&self, data: &InstancesView<'_>) -> Result<Vec<usize>> {
-        let rule = self.rule.as_ref().ok_or(MiningError::NotFitted("OneR"))?;
-        let col = data.col(rule.attribute);
-        Ok((0..data.len())
-            .map(|i| {
-                let b = Self::bucket_of(rule.binning, rule.bucket_class.len(), col.get(i));
-                *rule.bucket_class.get(b).unwrap_or(&rule.default)
-            })
-            .collect())
-    }
-
     fn model_size(&self) -> usize {
         self.rule
             .as_ref()
             .map(|r| r.bucket_class.len())
             .unwrap_or(0)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::instances::{Attribute, Instances};
-
-    /// Attribute 1 perfectly predicts the class; attribute 0 is noise.
-    fn data() -> Instances {
-        let rows: Vec<Vec<Option<f64>>> = (0..40)
-            .map(|i| {
-                let noise = ((i * 13) % 7) as f64;
-                let signal = if i % 2 == 0 { 0.0 } else { 10.0 };
-                vec![Some(noise), Some(signal)]
-            })
-            .collect();
-        let labels = (0..40).map(|i| Some(i % 2)).collect();
-        Instances::from_rows(
-            vec![
-                Attribute {
-                    name: "noise".into(),
-                    kind: AttrKind::Numeric,
-                },
-                Attribute {
-                    name: "signal".into(),
-                    kind: AttrKind::Numeric,
-                },
-            ],
-            rows,
-            labels,
-            vec!["even".into(), "odd".into()],
-        )
-    }
-
-    #[test]
-    fn picks_the_informative_attribute() {
-        let mut m = OneR::new();
-        m.fit(&data()).unwrap();
-        assert_eq!(m.chosen_attribute(), Some(1));
-        let preds = m.predict(&data()).unwrap();
-        let correct = preds
-            .iter()
-            .zip(&data().labels)
-            .filter(|(p, l)| Some(**p) == **l)
-            .count();
-        assert_eq!(correct, 40);
-    }
-
-    #[test]
-    fn nominal_attribute_rule() {
-        let d = Instances::from_rows(
-            vec![Attribute {
-                name: "color".into(),
-                kind: AttrKind::Nominal(vec!["r".into(), "g".into()]),
-            }],
-            vec![
-                vec![Some(0.0)],
-                vec![Some(0.0)],
-                vec![Some(1.0)],
-                vec![Some(1.0)],
-            ],
-            vec![Some(0), Some(0), Some(1), Some(1)],
-            vec!["a".into(), "b".into()],
-        );
-        let mut m = OneR::new();
-        m.fit(&d).unwrap();
-        assert_eq!(m.predict_row(&[Some(0.0)]).unwrap(), 0);
-        assert_eq!(m.predict_row(&[Some(1.0)]).unwrap(), 1);
-    }
-
-    #[test]
-    fn missing_goes_to_missing_bucket() {
-        let mut m = OneR::new();
-        m.fit(&data()).unwrap();
-        // Missing signal → majority of missing bucket (empty → default).
-        let p = m.predict_row(&[Some(1.0), None]).unwrap();
-        assert!(p < 2);
-    }
-
-    #[test]
-    fn unfitted_errors() {
-        assert!(OneR::new().predict_row(&[Some(0.0)]).is_err());
     }
 }

@@ -1,0 +1,102 @@
+//! Random forest: bagged C4.5-style trees with √d feature subsampling
+//! and majority voting.
+
+use super::instances::Instances;
+use super::{Classifier, DecisionTree};
+use crate::error::{MiningError, Result};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// The random-forest classifier.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    /// Number of trees.
+    pub trees: usize,
+    /// Maximum depth per tree.
+    pub max_depth: usize,
+    /// Seed for bootstrap sampling and feature subsampling.
+    pub seed: u64,
+    forest: Vec<DecisionTree>,
+    n_classes: usize,
+}
+
+impl RandomForest {
+    /// Create an untrained forest.
+    pub fn new(trees: usize, max_depth: usize, seed: u64) -> Self {
+        RandomForest {
+            trees: trees.max(1),
+            max_depth: max_depth.max(1),
+            seed,
+            forest: vec![],
+            n_classes: 0,
+        }
+    }
+}
+
+impl Classifier for RandomForest {
+    fn name(&self) -> &'static str {
+        "RandomForest"
+    }
+
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        let labeled = data.labeled_indices();
+        if labeled.is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "RandomForest needs labeled rows".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_attrs = data.n_attributes();
+        // √d features per tree, but never fewer than 2 (when available):
+        // with tiny attribute counts a 1-feature tree cannot express
+        // interactions at all.
+        let subset_size = ((n_attrs as f64).sqrt().round() as usize)
+            .max(2)
+            .min(n_attrs);
+        self.n_classes = data.n_classes();
+        self.forest.clear();
+        for _ in 0..self.trees {
+            // Bootstrap sample of the labeled rows.
+            let sample: Vec<usize> = (0..labeled.len())
+                .map(|_| labeled[rng.random_range(0..labeled.len())])
+                .collect();
+            let boot = data.subset(&sample);
+            // Feature subset (distinct attribute indices).
+            let mut attrs: Vec<usize> = (0..n_attrs).collect();
+            for i in 0..subset_size {
+                let j = i + rng.random_range(0..n_attrs - i);
+                attrs.swap(i, j);
+            }
+            attrs.truncate(subset_size);
+            let mut tree = DecisionTree::new(self.max_depth, 2);
+            tree.feature_subset = Some(attrs);
+            tree.fit(&boot)?;
+            self.forest.push(tree);
+        }
+        Ok(())
+    }
+
+    fn predict_row(&self, row: &[Option<f64>]) -> Result<usize> {
+        if self.forest.is_empty() {
+            return Err(MiningError::NotFitted("RandomForest"));
+        }
+        let mut votes = vec![0usize; self.n_classes.max(1)];
+        for tree in &self.forest {
+            let p = tree.predict_row(row)?;
+            if p < votes.len() {
+                votes[p] += 1;
+            }
+        }
+        Ok(votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, v)| **v)
+            .map(|(i, _)| i)
+            .unwrap_or(0))
+    }
+
+    fn model_size(&self) -> usize {
+        self.forest.iter().map(DecisionTree::node_count).sum()
+    }
+}

@@ -1,0 +1,38 @@
+//! ZeroR: the majority-class baseline every real classifier must beat.
+
+use super::instances::Instances;
+use super::Classifier;
+use crate::error::{MiningError, Result};
+
+/// Predicts the training majority class for every row.
+#[derive(Debug, Clone, Default)]
+pub struct ZeroR {
+    majority: Option<usize>,
+}
+
+impl ZeroR {
+    /// Create an untrained ZeroR.
+    pub fn new() -> Self {
+        ZeroR::default()
+    }
+}
+
+impl Classifier for ZeroR {
+    fn name(&self) -> &'static str {
+        "ZeroR"
+    }
+
+    fn fit(&mut self, data: &Instances) -> Result<()> {
+        if data.labeled_indices().is_empty() {
+            return Err(MiningError::InvalidDataset(
+                "ZeroR needs at least one labeled row".into(),
+            ));
+        }
+        self.majority = Some(data.majority_class());
+        Ok(())
+    }
+
+    fn predict_row(&self, _row: &[Option<f64>]) -> Result<usize> {
+        self.majority.ok_or(MiningError::NotFitted("ZeroR"))
+    }
+}

@@ -3,7 +3,7 @@
 //! ("PCA or Regression Trees, among others").
 
 use crate::error::{MiningError, Result};
-use crate::instances::{AttrKind, Instances};
+use crate::instances::{AttrKind, Attribute, ColumnView, Instances};
 
 #[derive(Debug, Clone)]
 enum Node {
@@ -67,7 +67,14 @@ impl RegressionTree {
         self.root.as_ref().map(Node::size).unwrap_or(0)
     }
 
-    fn build(&self, data: &Instances, target: &[f64], rows: &[usize], depth: usize) -> Node {
+    fn build(
+        &self,
+        attributes: &[Attribute],
+        cols: &[ColumnView<'_>],
+        target: &[f64],
+        rows: &[usize],
+        depth: usize,
+    ) -> Node {
         let ys: Vec<f64> = rows.iter().map(|&i| target[i]).collect();
         let node_value = mean(&ys);
         if depth >= self.max_depth || rows.len() < 2 * self.min_leaf || sse(&ys) < 1e-12 {
@@ -75,13 +82,13 @@ impl RegressionTree {
         }
         let parent_sse = sse(&ys);
         let mut best: Option<(f64, usize, f64)> = None; // (gain, attr, threshold)
-        for (a, attr) in data.attributes.iter().enumerate() {
+        for (a, attr) in attributes.iter().enumerate() {
             if attr.kind != AttrKind::Numeric {
                 continue;
             }
             let mut vals: Vec<(f64, f64)> = rows
                 .iter()
-                .filter_map(|&i| data.rows[i][a].map(|v| (v, target[i])))
+                .filter_map(|&i| cols[a].get(i).map(|v| (v, target[i])))
                 .collect();
             if vals.len() < 2 * self.min_leaf {
                 continue;
@@ -115,20 +122,21 @@ impl RegressionTree {
         let Some((_, attribute, threshold)) = best else {
             return Node::Leaf { value: node_value };
         };
+        let split_col = &cols[attribute];
         let left_rows: Vec<usize> = rows
             .iter()
             .copied()
-            .filter(|&i| matches!(data.rows[i][attribute], Some(v) if v <= threshold))
+            .filter(|&i| matches!(split_col.get(i), Some(v) if v <= threshold))
             .collect();
         let right_rows: Vec<usize> = rows
             .iter()
             .copied()
-            .filter(|&i| matches!(data.rows[i][attribute], Some(v) if v > threshold))
+            .filter(|&i| matches!(split_col.get(i), Some(v) if v > threshold))
             .collect();
         let missing: Vec<usize> = rows
             .iter()
             .copied()
-            .filter(|&i| data.rows[i][attribute].is_none())
+            .filter(|&i| split_col.get(i).is_none())
             .collect();
         let missing_to = usize::from(right_rows.len() > left_rows.len());
         let mut l = left_rows;
@@ -145,8 +153,8 @@ impl RegressionTree {
             attribute,
             threshold,
             missing_to,
-            left: Box::new(self.build(data, target, &l, depth + 1)),
-            right: Box::new(self.build(data, target, &r, depth + 1)),
+            left: Box::new(self.build(attributes, cols, target, &l, depth + 1)),
+            right: Box::new(self.build(attributes, cols, target, &r, depth + 1)),
         }
     }
 
@@ -161,7 +169,8 @@ impl RegressionTree {
             return Err(MiningError::InvalidDataset("no rows".into()));
         }
         let rows: Vec<usize> = (0..data.len()).collect();
-        self.root = Some(self.build(data, target, &rows, 0));
+        let cols: Vec<ColumnView<'_>> = (0..data.n_attributes()).map(|a| data.col(a)).collect();
+        self.root = Some(self.build(&data.attributes, &cols, target, &rows, 0));
         Ok(())
     }
 
@@ -193,8 +202,12 @@ impl RegressionTree {
 
     /// Mean squared error over a dataset.
     pub fn mse(&self, data: &Instances, target: &[f64]) -> Result<f64> {
-        let preds: Result<Vec<f64>> = data.rows.iter().map(|r| self.predict_row(r)).collect();
-        let preds = preds?;
+        let mut buf = Vec::new();
+        let mut preds = Vec::with_capacity(data.len());
+        for i in 0..data.len() {
+            data.fill_row(i, &mut buf);
+            preds.push(self.predict_row(&buf)?);
+        }
         Ok(preds
             .iter()
             .zip(target)
@@ -216,15 +229,15 @@ mod tests {
             .map(|i| if (i as f64 / 10.0) < 5.0 { 1.0 } else { 10.0 })
             .collect();
         (
-            Instances {
-                attributes: vec![Attribute {
+            Instances::from_rows(
+                vec![Attribute {
                     name: "x".into(),
                     kind: AttrKind::Numeric,
                 }],
                 rows,
-                labels: vec![None; 100],
-                class_names: vec![],
-            },
+                vec![None; 100],
+                vec![],
+            ),
             target,
         )
     }
@@ -244,15 +257,15 @@ mod tests {
         // A linear target needs many splits; depth caps the node count.
         let rows: Vec<Vec<Option<f64>>> = (0..100).map(|i| vec![Some(i as f64)]).collect();
         let y: Vec<f64> = (0..100).map(|i| i as f64).collect();
-        let d = Instances {
-            attributes: vec![Attribute {
+        let d = Instances::from_rows(
+            vec![Attribute {
                 name: "x".into(),
                 kind: AttrKind::Numeric,
             }],
             rows,
-            labels: vec![None; 100],
-            class_names: vec![],
-        };
+            vec![None; 100],
+            vec![],
+        );
         let mut stump = RegressionTree::new(1, 2);
         stump.fit(&d, &y).unwrap();
         assert_eq!(stump.node_count(), 3, "depth 1 = one split + two leaves");

@@ -74,21 +74,19 @@ impl LinearRegression {
                 "{n} rows cannot fit {d} coefficients"
             )));
         }
-        // Design matrix with bias column.
-        let xs: Vec<Vec<f64>> = data
-            .rows
-            .iter()
-            .map(|row| {
-                let mut x: Vec<f64> = self
-                    .attr_indices
-                    .iter()
-                    .zip(&self.means)
-                    .map(|(&a, m)| row[a].unwrap_or(*m))
-                    .collect();
-                x.push(1.0);
-                x
-            })
-            .collect();
+        // Design matrix with bias column, filled one contiguous source
+        // column at a time (missing → column mean).
+        let mut xs: Vec<Vec<f64>> = vec![vec![0.0f64; d + 1]; n];
+        for x in xs.iter_mut() {
+            x[d] = 1.0;
+        }
+        for (ci, (&a, m)) in self.attr_indices.iter().zip(&self.means).enumerate() {
+            let values = data.column_values(a);
+            let validity = data.column_validity(a);
+            for (r, x) in xs.iter_mut().enumerate() {
+                x[ci] = if validity.get(r) { values[r] } else { *m };
+            }
+        }
         let x = Matrix::from_rows(&xs)?;
         let xt = x.transpose();
         let mut xtx = xt.matmul(&x)?;
@@ -122,8 +120,12 @@ impl LinearRegression {
 
     /// R² on a dataset.
     pub fn r_squared(&self, data: &Instances, target: &[f64]) -> Result<f64> {
-        let preds: Result<Vec<f64>> = data.rows.iter().map(|r| self.predict_row(r)).collect();
-        let preds = preds?;
+        let mut buf = Vec::new();
+        let mut preds = Vec::with_capacity(data.len());
+        for i in 0..data.len() {
+            data.fill_row(i, &mut buf);
+            preds.push(self.predict_row(&buf)?);
+        }
         let mean_y = target.iter().sum::<f64>() / target.len().max(1) as f64;
         let ss_res: f64 = preds
             .iter()
@@ -160,8 +162,8 @@ mod tests {
             target.push(2.0 * x1 - 3.0 * x2 + 5.0);
         }
         (
-            Instances {
-                attributes: vec![
+            Instances::from_rows(
+                vec![
                     Attribute {
                         name: "x1".into(),
                         kind: AttrKind::Numeric,
@@ -172,9 +174,9 @@ mod tests {
                     },
                 ],
                 rows,
-                labels: vec![None; 50],
-                class_names: vec![],
-            },
+                vec![None; 50],
+                vec![],
+            ),
             target,
         )
     }
@@ -210,15 +212,15 @@ mod tests {
 
     #[test]
     fn too_few_rows_rejected() {
-        let d = Instances {
-            attributes: vec![Attribute {
+        let d = Instances::from_rows(
+            vec![Attribute {
                 name: "x".into(),
                 kind: AttrKind::Numeric,
             }],
-            rows: vec![vec![Some(1.0)]],
-            labels: vec![None],
-            class_names: vec![],
-        };
+            vec![vec![Some(1.0)]],
+            vec![None],
+            vec![],
+        );
         let mut m = LinearRegression::new();
         assert!(m.fit(&d, &[1.0]).is_err());
     }

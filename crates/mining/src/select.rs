@@ -9,41 +9,40 @@
 //!   inter-attribute redundancy — exactly the defect the paper's §3.1
 //!   redundancy example warns about.
 //! * [`wrapper_select`] — wrapper: greedy forward selection scored by
-//!   cross-validated accuracy of a caller-chosen algorithm.
+//!   cross-validated accuracy of a caller-chosen algorithm. Candidate
+//!   subsets are evaluated through attribute-masked views — no
+//!   projected copies of the dataset are materialized.
 
 use crate::classify::AlgorithmSpec;
 use crate::error::{MiningError, Result};
-use crate::eval::crossval::cross_validate;
-use crate::instances::{AttrKind, Instances};
+use crate::eval::crossval::{cross_validate_view, CrossValOptions};
+use crate::instances::{AttrKind, Instances, InstancesView};
 
 const GAIN_BINS: usize = 8;
 
 /// Discretize one attribute column into bucket ids for MI estimation
-/// (missing = its own bucket).
-fn buckets(data: &Instances, attr: usize) -> (Vec<usize>, usize) {
-    match &data.attributes[attr].kind {
+/// (missing = its own bucket). One pass down the contiguous column.
+fn buckets(data: &InstancesView<'_>, attr: usize) -> (Vec<usize>, usize) {
+    let col = data.col(attr);
+    match &data.attribute(attr).kind {
         AttrKind::Nominal(dict) => {
             let k = dict.len().max(1);
-            let ids = data
-                .rows
-                .iter()
-                .map(|r| r[attr].map(|v| (v as usize).min(k - 1)).unwrap_or(k))
+            let ids = (0..data.len())
+                .map(|i| col.get(i).map(|v| (v as usize).min(k - 1)).unwrap_or(k))
                 .collect();
             (ids, k + 1)
         }
         AttrKind::Numeric => {
-            let vals: Vec<f64> = data.rows.iter().filter_map(|r| r[attr]).collect();
+            let vals: Vec<f64> = (0..data.len()).filter_map(|i| col.get(i)).collect();
             if vals.is_empty() {
                 return (vec![GAIN_BINS; data.len()], GAIN_BINS + 1);
             }
             let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
             let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             let width = ((hi - lo) / GAIN_BINS as f64).max(1e-12);
-            let ids = data
-                .rows
-                .iter()
-                .map(|r| {
-                    r[attr]
+            let ids = (0..data.len())
+                .map(|i| {
+                    col.get(i)
                         .map(|v| (((v - lo) / width) as usize).min(GAIN_BINS - 1))
                         .unwrap_or(GAIN_BINS)
                 })
@@ -82,7 +81,7 @@ pub fn information_gain(data: &Instances, attr: usize) -> Result<f64> {
             "information gain needs labeled rows with >= 2 classes".into(),
         ));
     }
-    let (bucket_ids, n_buckets) = buckets(data, attr);
+    let (bucket_ids, n_buckets) = buckets(&data.view(), attr);
     let n_classes = data.n_classes();
     let mut class_counts = vec![0usize; n_classes];
     let mut joint = vec![vec![0usize; n_classes]; n_buckets];
@@ -157,9 +156,13 @@ pub fn cfs_select(data: &Instances, max_features: usize) -> Result<Vec<usize>> {
             "CFS needs labeled rows with >= 2 classes".into(),
         ));
     }
-    let view = data.subset(&labeled);
+    // Row-masked view onto the labeled rows; bucketing reads straight
+    // through the mask, so nothing is copied.
+    let view = data.view().select_rows_owned(labeled);
     let n_attrs = view.n_attributes();
-    let class_ids: Vec<usize> = view.labels.iter().map(|l| l.expect("labeled")).collect();
+    let class_ids: Vec<usize> = (0..view.len())
+        .map(|i| view.label(i).expect("labeled"))
+        .collect();
     let n_classes = view.n_classes();
     let attr_buckets: Vec<(Vec<usize>, usize)> = (0..n_attrs).map(|a| buckets(&view, a)).collect();
     let class_su: Vec<f64> = attr_buckets
@@ -223,7 +226,8 @@ pub fn cfs_select(data: &Instances, max_features: usize) -> Result<Vec<usize>> {
 
 /// Greedy forward wrapper selection: add the attribute that most
 /// improves cross-validated accuracy of `spec`, stopping when no
-/// attribute improves it by more than `min_improvement`.
+/// attribute improves it by more than `min_improvement`. Each candidate
+/// subset is scored through an attribute-masked view.
 pub fn wrapper_select(
     data: &Instances,
     spec: &AlgorithmSpec,
@@ -232,6 +236,7 @@ pub fn wrapper_select(
     min_improvement: f64,
 ) -> Result<Vec<usize>> {
     let n_attrs = data.n_attributes();
+    let opts = CrossValOptions::default();
     let mut selected: Vec<usize> = Vec::new();
     let mut best_acc = 0.0;
     loop {
@@ -242,8 +247,8 @@ pub fn wrapper_select(
             }
             let mut subset = selected.clone();
             subset.push(a);
-            let projected = project(data, &subset);
-            let acc = cross_validate(&projected, spec, folds, seed)?.accuracy();
+            let projected = data.view().select_attrs_owned(subset);
+            let acc = cross_validate_view(&projected, spec, folds, seed, &opts)?.accuracy();
             if best_step.map(|(_, b)| acc > b).unwrap_or(true) {
                 best_step = Some((a, acc));
             }
@@ -262,18 +267,10 @@ pub fn wrapper_select(
     Ok(selected)
 }
 
-/// Project a dataset onto a subset of attributes (selection order kept).
+/// Project a dataset onto a subset of attributes (selection order
+/// kept), materializing a new columnar dataset.
 pub fn project(data: &Instances, attrs: &[usize]) -> Instances {
-    Instances {
-        attributes: attrs.iter().map(|&a| data.attributes[a].clone()).collect(),
-        rows: data
-            .rows
-            .iter()
-            .map(|r| attrs.iter().map(|&a| r[a]).collect())
-            .collect(),
-        labels: data.labels.clone(),
-        class_names: data.class_names.clone(),
-    }
+    data.view().select_attrs(attrs).materialize()
 }
 
 #[cfg(test)]
@@ -293,8 +290,8 @@ mod tests {
             rows.push(vec![Some(noise), Some(signal), Some(echo)]);
             labels.push(Some(i % 2));
         }
-        Instances {
-            attributes: vec![
+        Instances::from_rows(
+            vec![
                 Attribute {
                     name: "noise".into(),
                     kind: AttrKind::Numeric,
@@ -310,8 +307,8 @@ mod tests {
             ],
             rows,
             labels,
-            class_names: vec!["even".into(), "odd".into()],
-        }
+            vec!["even".into(), "odd".into()],
+        )
     }
 
     #[test]
@@ -358,7 +355,7 @@ mod tests {
         assert_eq!(p.attributes[0].name, "echo");
         assert_eq!(p.len(), d.len());
         assert_eq!(p.labels, d.labels);
-        assert_eq!(p.rows[0][1], d.rows[0][0]);
+        assert_eq!(p.get(0, 1), d.get(0, 0));
     }
 
     #[test]
@@ -377,8 +374,8 @@ mod tests {
     #[test]
     fn missing_values_get_their_own_bucket() {
         let mut d = data();
-        for r in d.rows.iter_mut().take(10) {
-            r[1] = None;
+        for i in 0..10 {
+            d.set(i, 1, None);
         }
         // Still works; an informative attribute (echo now carries the
         // cleaner copy) still ranks first.

@@ -1,0 +1,260 @@
+//! Columnar-rewrite equivalence suite (DESIGN.md §11).
+//!
+//! The pre-rewrite row-major implementation is frozen in-tree as
+//! `openbi::mining::reference` — the same `Vec<Vec<Option<f64>>>` layout
+//! and kernel code that existed before the struct-of-arrays rewrite.
+//! Every test here runs the identical workload through both
+//! implementations **in the same process** and demands byte-identical
+//! output: the same CV accuracies down to the f64 bit pattern, the same
+//! pooled confusion matrices, the same holdout predictions, and the same
+//! experiment-grid KB records at every worker count, across seeds
+//! {7, 21, 42, 1042}. Nothing here is tolerance-based — a one-ULP drift
+//! in any kernel fails the suite.
+//!
+//! Coverage is layered:
+//!
+//! 1. **Kernel + CV layer** — live `cross_validate` (zero-copy views)
+//!    vs. `reference::cross_validate` (cloning `subset()` folds). Fold
+//!    assignment is the same code path in both, so a mismatch is a
+//!    kernel difference.
+//! 2. **Holdout layer** — view-based `fit_view`/`predict_view` vs.
+//!    reference training on materialized subsets of the same rows.
+//! 3. **Grid layer** — the §3.1 experiment grid must produce the same
+//!    KB bytes at workers 1 and 4. Combined with layer 1 (the grid's
+//!    only layout-dependent computation is the CV it runs per cell)
+//!    this pins the grid KB to the pre-rewrite bytes.
+
+use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
+use openbi::kb::SharedKnowledgeBase;
+use openbi::mining::eval::crossval::{cross_validate_with, holdout_split, CrossValOptions};
+use openbi::mining::{reference, AlgorithmSpec, Instances};
+use openbi_datagen::{make_blobs, make_rule_based, BlobsConfig, RuleConfig};
+use openbi_quality::{Degradation, MissingInjector};
+use openbi_table::Table;
+
+const SEEDS: [u64; 4] = [7, 21, 42, 1042];
+const WORKERS: [usize; 2] = [1, 4];
+
+/// The algorithm roster: every classifier kernel in the crate.
+fn algorithms() -> Vec<AlgorithmSpec> {
+    vec![
+        AlgorithmSpec::ZeroR,
+        AlgorithmSpec::OneR,
+        AlgorithmSpec::NaiveBayes,
+        AlgorithmSpec::Knn { k: 3 },
+        AlgorithmSpec::DecisionTree {
+            max_depth: 6,
+            min_leaf: 2,
+        },
+        AlgorithmSpec::RandomForest {
+            trees: 5,
+            max_depth: 5,
+            seed: 11,
+        },
+        AlgorithmSpec::Logistic {
+            epochs: 12,
+            learning_rate: 0.1,
+        },
+    ]
+}
+
+fn grid_datasets() -> Vec<ExperimentDataset> {
+    [1u64, 2]
+        .iter()
+        .map(|&seed| {
+            ExperimentDataset::new(
+                format!("blobs-{seed}"),
+                make_blobs(&BlobsConfig {
+                    n_rows: 120,
+                    n_features: 4,
+                    n_classes: 2,
+                    class_separation: 3.0,
+                    seed,
+                }),
+                "class",
+            )
+        })
+        .collect()
+}
+
+fn grid_config(seed: u64, workers: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        algorithms: algorithms(),
+        severities: vec![0.0, 1.0],
+        folds: 2,
+        seed,
+        parallel: workers > 1,
+        workers,
+        ..ExperimentConfig::default()
+    }
+}
+
+/// Serialize a KB into an order-independent, timing-free fingerprint
+/// (`train_ms` is the only wall-clock field in a record).
+fn kb_fingerprint(kb: &SharedKnowledgeBase) -> Vec<String> {
+    let mut keys: Vec<String> = kb
+        .snapshot()
+        .records()
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.metrics.train_ms = 0.0;
+            serde_json::to_string(&r).unwrap()
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn run_grid_fingerprint(seed: u64, workers: usize) -> Vec<String> {
+    let kb = SharedKnowledgeBase::default();
+    let criteria = [Criterion::Completeness, Criterion::LabelNoise];
+    let report = run_phase1_report(
+        &grid_datasets(),
+        &criteria,
+        &grid_config(seed, workers),
+        &kb,
+    )
+    .unwrap();
+    assert!(
+        report.failures.is_empty(),
+        "seed {seed}, {workers} workers: grid must run clean"
+    );
+    kb_fingerprint(&kb)
+}
+
+/// The two direct-CV datasets: Gaussian blobs with 25% MCAR missing
+/// cells (exercises every missing-value path), and the rule-based set
+/// with a nominal `region` attribute (exercises the categorical paths).
+fn cv_tables(seed: u64) -> Vec<(String, Table, String)> {
+    let blobs = make_blobs(&BlobsConfig {
+        n_rows: 150,
+        n_features: 5,
+        n_classes: 3,
+        class_separation: 2.5,
+        seed: 5,
+    });
+    let degraded = Degradation::new()
+        .then(MissingInjector::mcar(0.25).exclude(["class"]))
+        .apply(&blobs, seed)
+        .unwrap();
+    let rules = make_rule_based(&RuleConfig {
+        n_rows: 150,
+        n_noise_features: 2,
+        seed: 9,
+    });
+    vec![
+        ("blobs-mcar".into(), degraded, "class".into()),
+        ("rules".into(), rules, "class".into()),
+    ]
+}
+
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Every classifier's CV accuracies, confusion matrix, and model size
+/// must match the frozen row-major reference to the exact bit — with the
+/// live side running both sequentially and with a worker pool.
+#[test]
+fn cv_results_are_bitwise_identical_to_reference() {
+    for seed in SEEDS {
+        for (name, table, target) in cv_tables(seed) {
+            let live = Instances::from_table(&table, Some(&target), &[]).unwrap();
+            let frozen = reference::Instances::from_table(&table, Some(&target), &[]).unwrap();
+            for spec in algorithms() {
+                let old = reference::cross_validate(&frozen, &spec, 3, seed).unwrap();
+                for parallel in [false, true] {
+                    let opts = if parallel {
+                        CrossValOptions::parallel()
+                    } else {
+                        CrossValOptions::default()
+                    };
+                    let new = cross_validate_with(&live, &spec, 3, seed, &opts).unwrap();
+                    let ctx = format!("seed {seed}, dataset {name}, {spec}, parallel={parallel}");
+                    assert_eq!(new.algorithm, old.algorithm, "{ctx}: algorithm label");
+                    assert_eq!(
+                        new.fold_accuracies
+                            .iter()
+                            .map(|&a| bits(a))
+                            .collect::<Vec<_>>(),
+                        old.fold_accuracies
+                            .iter()
+                            .map(|&a| bits(a))
+                            .collect::<Vec<_>>(),
+                        "{ctx}: per-fold accuracy bits drifted from the row-major reference"
+                    );
+                    assert_eq!(
+                        bits(new.accuracy()),
+                        bits(old.accuracy()),
+                        "{ctx}: pooled accuracy bits drifted"
+                    );
+                    assert_eq!(
+                        bits(new.model_size),
+                        bits(old.model_size),
+                        "{ctx}: model size drifted"
+                    );
+                    assert_eq!(
+                        new.confusion, old.confusion,
+                        "{ctx}: confusion matrix drifted"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// View-based holdout training must predict exactly what the reference
+/// predicts after training on a materialized copy of the same rows.
+#[test]
+fn holdout_predictions_are_identical_to_reference() {
+    for seed in SEEDS {
+        for (name, table, target) in cv_tables(seed) {
+            let live = Instances::from_table(&table, Some(&target), &[]).unwrap();
+            let frozen = reference::Instances::from_table(&table, Some(&target), &[]).unwrap();
+            let (train, test) = holdout_split(&live, 0.3, seed).unwrap();
+            let train_rows: Vec<usize> = (0..train.len()).map(|i| train.base_row(i)).collect();
+            let test_rows: Vec<usize> = (0..test.len()).map(|i| test.base_row(i)).collect();
+            for spec in algorithms() {
+                let mut new_model = spec.build();
+                new_model.fit_view(&train).unwrap();
+                let new_preds = new_model.predict_view(&test).unwrap();
+                let mut old_model = reference::build(&spec);
+                old_model.fit(&frozen.subset(&train_rows)).unwrap();
+                let old_preds = old_model.predict(&frozen.subset(&test_rows)).unwrap();
+                assert_eq!(
+                    new_preds, old_preds,
+                    "seed {seed}, dataset {name}, {spec}: holdout predictions drifted"
+                );
+            }
+        }
+    }
+}
+
+/// The experiment grid must produce the same KB bytes at every worker
+/// count — one Table→Instances conversion per cell, zero-copy folds, and
+/// a work-stealing pool must not change a single record.
+#[test]
+fn grid_kb_is_byte_identical_across_worker_counts() {
+    for seed in SEEDS {
+        let mut fingerprints = WORKERS.iter().map(|&w| run_grid_fingerprint(seed, w));
+        let baseline = fingerprints.next().unwrap();
+        assert!(
+            !baseline.is_empty(),
+            "seed {seed}: grid produced no KB records"
+        );
+        for (w, fp) in WORKERS[1..].iter().zip(fingerprints) {
+            assert_eq!(
+                fp.len(),
+                baseline.len(),
+                "seed {seed}, {w} workers: record count drifted"
+            );
+            for (i, (a, e)) in fp.iter().zip(&baseline).enumerate() {
+                assert_eq!(
+                    a, e,
+                    "seed {seed}, {w} workers: KB record {i} drifted from the 1-worker bytes"
+                );
+            }
+        }
+    }
+}
