@@ -1,0 +1,118 @@
+//! Quality-measurement kernel benchmark (DESIGN.md §12).
+//!
+//! Times each quality criterion — and the full profile end to end —
+//! best-of-N on the columnar single-pass kernels against the frozen
+//! row-wise `openbi::quality::reference` implementation running on the
+//! identical table in the same process, then exercises the profile cache
+//! and writes `BENCH_quality.json` (shared schema, see
+//! `openbi_bench::report`): per-criterion `best_of_seconds` for both
+//! implementations, the speedup, cache hit/miss timings, and an embedded
+//! `openbi-obs` metrics snapshot from the instrumented live runs.
+//!
+//! ```text
+//! cargo run --release -p openbi-bench --bin quality_bench [-- [--quick] [out.json]]
+//! ```
+//!
+//! `--quick` shrinks the table and rep count for CI smoke runs; the
+//! headline speedups quoted in the README come from the full mode.
+
+use openbi::obs;
+use openbi::quality::ProfileCache;
+use openbi_bench::quality::{criterion_suite, quality_dataset, quality_options, QUALITY_ATTRS};
+use openbi_bench::{bench_doc, best_of_seconds, write_bench_json};
+use std::sync::Arc;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_quality.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (n, reps) = if quick { (600, 2) } else { (2_000, 5) };
+
+    let table = quality_dataset(n, 0x0B1_DA7A);
+    let options = quality_options();
+
+    // Live runs are instrumented; the snapshot rides along in the
+    // document so criterion timings land next to the
+    // `quality.measure.seconds` / `quality.cache.*` metrics the kernels
+    // themselves record.
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    obs::install(Arc::clone(&registry));
+
+    let mut per_criterion = Vec::new();
+    for criterion in criterion_suite() {
+        let live_secs = best_of_seconds(reps, || {
+            std::hint::black_box((criterion.live)(&table, &options));
+        });
+        let reference_secs = best_of_seconds(reps, || {
+            std::hint::black_box((criterion.reference)(&table, &options));
+        });
+        let speedup = if live_secs > 0.0 {
+            reference_secs / live_secs
+        } else {
+            0.0
+        };
+        println!(
+            "{:<14} row-wise {:>9.3}ms  columnar {:>9.3}ms  speedup ×{speedup:.2}",
+            criterion.name,
+            reference_secs * 1e3,
+            live_secs * 1e3,
+        );
+        per_criterion.push(serde_json::json!({
+            "criterion": criterion.name,
+            "reference_best_of_seconds": reference_secs,
+            "columnar_best_of_seconds": live_secs,
+            "best_of_seconds": live_secs,
+            "speedup_vs_row_wise": speedup,
+        }));
+    }
+
+    // Cache demonstration on a private cache (the global one would keep
+    // state across benchmark runs): first measurement misses and pays
+    // the full profile, the repeat hits and pays only a fingerprint.
+    let cache = ProfileCache::new(16);
+    let miss_secs = best_of_seconds(1, || {
+        std::hint::black_box(cache.measure(&table, &options));
+    });
+    let hit_secs = best_of_seconds(reps, || {
+        std::hint::black_box(cache.measure(&table, &options));
+    });
+    println!(
+        "profile cache  miss {:>9.3}ms  hit {:>9.3}ms  speedup ×{:.2}",
+        miss_secs * 1e3,
+        hit_secs * 1e3,
+        if hit_secs > 0.0 {
+            miss_secs / hit_secs
+        } else {
+            0.0
+        },
+    );
+
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+    let doc = bench_doc(
+        "quality_profile",
+        serde_json::json!({
+            "rows": n,
+            "attributes": QUALITY_ATTRS,
+            "classes": 3,
+            "reps": reps,
+            "quick": quick,
+        }),
+        serde_json::json!({
+            "criteria": per_criterion,
+            "cache": {
+                "miss_seconds": miss_secs,
+                "hit_best_of_seconds": hit_secs,
+                "speedup_vs_miss": if hit_secs > 0.0 { miss_secs / hit_secs } else { 0.0 },
+            },
+        }),
+        &snapshot,
+    );
+    write_bench_json(&out_path, &doc);
+}

@@ -1,0 +1,231 @@
+//! Shared workload for the quality-measurement benchmarks: one
+//! deterministic dirty table and one criterion roster, used by the
+//! `quality_bench` binary so live-vs-reference numbers are directly
+//! comparable.
+//!
+//! The table is the **discretized-sensor regime** the paper's BI
+//! scenarios live in (same LCG recipe as the mining-kernel workload):
+//! numeric attributes quantized to 24 levels, ~5% missing cells, three
+//! classes, plus the two columns every real open-data table drags along —
+//! a monotone `id` the profiler must exclude and a string `station`
+//! column with deliberately inconsistent casing. A slice of rows is
+//! duplicated verbatim so the duplicate kernel has real work.
+
+use openbi::quality::{measure, reference, MeasureOptions};
+use openbi::table::{Column, Table};
+
+/// Numeric attributes in the quality workload.
+pub const QUALITY_ATTRS: usize = 8;
+
+/// Build the deterministic dirty table: `n` rows × [`QUALITY_ATTRS`]
+/// quantized numeric attributes, ~5% missing, 3 classes, a monotone
+/// `id`, an inconsistently-cased `station` string column, and ~3% of
+/// rows exact-duplicated.
+pub fn quality_dataset(n: usize, seed: u64) -> Table {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64) / ((1u64 << 31) as f64)
+    };
+    let mut attrs: Vec<Vec<Option<f64>>> = vec![Vec::with_capacity(n); QUALITY_ATTRS];
+    let mut labels: Vec<&'static str> = Vec::with_capacity(n);
+    let mut stations: Vec<String> = Vec::with_capacity(n);
+    const CLASSES: [&str; 3] = ["low", "mid", "high"];
+    const STATIONS: [&str; 4] = ["Alicante", "ALICANTE", "alicante", "Elche"];
+    for _ in 0..n {
+        let cls = (next() * 3.0) as usize % 3;
+        labels.push(CLASSES[cls]);
+        stations.push(STATIONS[(next() * 4.0) as usize % 4].to_string());
+        for (a, col) in attrs.iter_mut().enumerate() {
+            col.push(if next() < 0.05 {
+                None
+            } else {
+                // 24 discrete levels, shifted per class so the profile's
+                // noise estimators see structure, not i.i.d. fuzz.
+                Some((next() * 24.0).floor() / 6.0 + (cls as f64) * (a as f64 % 3.0))
+            });
+        }
+    }
+    // Duplicate ~3% of rows verbatim (copy row i over row i+1, `id`
+    // included — otherwise the monotone id would make every row unique
+    // and hide the duplicates from the exact-duplicate kernel).
+    let mut ids: Vec<i64> = (0..n as i64).collect();
+    let mut i = 0;
+    while i + 1 < n {
+        for col in attrs.iter_mut() {
+            col[i + 1] = col[i];
+        }
+        ids[i + 1] = ids[i];
+        labels[i + 1] = labels[i];
+        stations[i + 1] = stations[i].clone();
+        i += 33;
+    }
+    let mut columns = vec![Column::from_i64("id", ids)];
+    for (a, col) in attrs.into_iter().enumerate() {
+        columns.push(Column::from_opt_f64(format!("f{a}"), col));
+    }
+    columns.push(Column::from_str_values("station", stations));
+    columns.push(Column::from_str_values("class", labels));
+    Table::new(columns).expect("workload table")
+}
+
+/// The measurement options both implementations profile under.
+pub fn quality_options() -> MeasureOptions {
+    MeasureOptions {
+        target: Some("class".into()),
+        exclude: vec!["id".into()],
+        ..Default::default()
+    }
+}
+
+/// One benchmarked criterion: a stable name plus the live and reference
+/// closures over the same table. Each closure returns an `f64` sink so
+/// the optimizer cannot discard the measurement.
+pub struct Criterion {
+    /// Stable snake_case identifier used in JSON output.
+    pub name: &'static str,
+    /// The columnar single-pass kernel.
+    pub live: fn(&Table, &MeasureOptions) -> f64,
+    /// The frozen pre-rewrite implementation.
+    pub reference: fn(&Table, &MeasureOptions) -> f64,
+}
+
+fn ex<'a>(o: &'a MeasureOptions) -> Vec<&'a str> {
+    let mut v: Vec<&str> = o.exclude.iter().map(String::as_str).collect();
+    if let Some(t) = &o.target {
+        v.push(t.as_str());
+    }
+    v
+}
+
+fn target(o: &MeasureOptions) -> &str {
+    o.target.as_deref().expect("workload has a target")
+}
+
+/// The criterion roster: every profile field whose kernel the columnar
+/// rewrite touched, plus the full profile end to end.
+pub fn criterion_suite() -> Vec<Criterion> {
+    vec![
+        Criterion {
+            name: "correlation",
+            live: |t, o| {
+                measure::correlation::correlation_report(t, &ex(o), o.redundancy_threshold).max_abs
+            },
+            reference: |t, o| {
+                reference::correlation::correlation_report(t, &ex(o), o.redundancy_threshold)
+                    .max_abs
+            },
+        },
+        Criterion {
+            name: "outliers",
+            live: |t, o| measure::outliers::outlier_ratio(t, &ex(o)),
+            reference: |t, o| reference::outliers::outlier_ratio(t, &ex(o)),
+        },
+        Criterion {
+            name: "duplicates",
+            live: |t, _| measure::duplicates::exact_duplicate_ratio(t),
+            reference: |t, _| reference::duplicates::exact_duplicate_ratio(t),
+        },
+        Criterion {
+            name: "label_noise",
+            live: |t, o| {
+                measure::noise::label_noise_estimate(
+                    t,
+                    target(o),
+                    &ex(o),
+                    o.noise_k,
+                    o.noise_max_rows,
+                    o.noise_seed,
+                )
+            },
+            reference: |t, o| {
+                reference::noise::label_noise_estimate(t, target(o), o.noise_k, o.noise_max_rows)
+            },
+        },
+        Criterion {
+            name: "attr_noise",
+            live: |t, o| {
+                measure::noise::attribute_noise_estimate(
+                    t,
+                    &ex(o),
+                    o.noise_k,
+                    o.noise_max_rows,
+                    o.noise_seed,
+                )
+            },
+            reference: |t, o| {
+                reference::noise::attribute_noise_estimate(t, &ex(o), o.noise_k, o.noise_max_rows)
+            },
+        },
+        Criterion {
+            name: "balance",
+            live: |t, o| {
+                measure::balance::balance_report(t, target(o))
+                    .expect("target exists")
+                    .normalized_entropy
+            },
+            reference: |t, o| {
+                reference::balance::balance_report(t, target(o))
+                    .expect("target exists")
+                    .normalized_entropy
+            },
+        },
+        Criterion {
+            name: "consistency",
+            live: |t, o| measure::consistency::table_consistency(t, &ex(o)),
+            reference: |t, o| reference::consistency::table_consistency(t, &ex(o)),
+        },
+        Criterion {
+            name: "full_profile",
+            live: |t, o| openbi::quality::measure_profile(t, o).completeness,
+            reference: |t, o| reference::measure_profile(t, o).completeness,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_the_advertised_shape() {
+        let t = quality_dataset(400, 7);
+        assert_eq!(t.n_rows(), 400);
+        assert_eq!(t.n_cols(), QUALITY_ATTRS + 3); // id + attrs + station + class
+        assert!(t.has_column("id") && t.has_column("class") && t.has_column("station"));
+        // Deterministic: same seed, same bytes.
+        assert_eq!(t.fingerprint(), quality_dataset(400, 7).fingerprint());
+        assert_ne!(t.fingerprint(), quality_dataset(400, 8).fingerprint());
+        // The duplicated slice is visible to the duplicate kernel.
+        assert!(measure::duplicates::exact_duplicate_ratio(&t) > 0.01);
+    }
+
+    #[test]
+    fn live_and_reference_agree_on_the_workload() {
+        let t = quality_dataset(300, 42);
+        let o = quality_options();
+        for c in criterion_suite() {
+            let live = (c.live)(&t, &o);
+            let frozen = (c.reference)(&t, &o);
+            // Within the row cap every criterion except label noise (tie
+            // rule + exclusion fixes) must agree bitwise; label noise
+            // must still be in the same neighborhood.
+            if c.name == "label_noise" {
+                assert!(
+                    (live - frozen).abs() < 0.5,
+                    "{}: live {live} vs reference {frozen}",
+                    c.name
+                );
+            } else {
+                assert_eq!(
+                    live.to_bits(),
+                    frozen.to_bits(),
+                    "{}: live {live} vs reference {frozen}",
+                    c.name
+                );
+            }
+        }
+    }
+}

@@ -58,7 +58,7 @@ use openbi_quality::inject::{
     InconsistencyInjector, IrrelevantInjector, LabelNoiseInjector, MissingInjector,
     OutlierInjector,
 };
-use openbi_quality::{measure_profile, MeasureOptions};
+use openbi_quality::{measure_profile_cached, MeasureOptions};
 use openbi_table::Table;
 
 use crossbeam::deque::{Injector as TaskInjector, Steal, Stealer, Worker as WorkerQueue};
@@ -403,7 +403,7 @@ fn evaluate_cell(
 ) -> Result<(Vec<ExperimentRecord>, Vec<(AlgorithmSpec, EvalResult)>)> {
     let degraded = degradation.apply(&dataset.table, seed)?;
     let exclude: Vec<&str> = dataset.exclude.iter().map(String::as_str).collect();
-    let profile = measure_profile(
+    let profile = measure_profile_cached(
         &degraded,
         &MeasureOptions {
             target: Some(dataset.target.clone()),

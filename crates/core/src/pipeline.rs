@@ -36,7 +36,7 @@ use openbi_metamodel::{
 use openbi_mining::eval::crossval::{cross_validate_with, CrossValOptions};
 use openbi_mining::{AlgorithmSpec, EvalResult, Instances};
 use openbi_obs as obs;
-use openbi_quality::{measure_profile, MeasureOptions, QualityProfile};
+use openbi_quality::{measure_profile_cached, MeasureOptions, QualityProfile};
 use openbi_table::{read_csv_str, CsvOptions, Table};
 use std::sync::Arc;
 use std::time::Instant;
@@ -206,17 +206,23 @@ fn fire_fatal(plan: Option<&FaultPlan>, stage: &str, key: u64) -> Result<()> {
 /// Run a degradable stage: fire its injection point, then run `body`
 /// with panic containment. Any failure substitutes `fallback` and
 /// records a [`DegradedStage`] instead of aborting the pipeline.
+///
+/// `attempt` is the occurrence number passed to the fault plan — stages
+/// that run more than once per pipeline (quality measurement runs before
+/// and after preprocessing) pass 0, 1, … so a `times(n)` rule can target
+/// each occurrence independently.
 fn run_degradable<T>(
     stage: &str,
     plan: Option<&FaultPlan>,
     key: u64,
+    attempt: u32,
     fallback: (T, &str),
     degraded: &mut Vec<DegradedStage>,
     body: impl FnOnce() -> Result<T>,
 ) -> T {
     let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if let Some(plan) = plan {
-            plan.fire(&format!("pipeline.stage.{stage}"), key, 0)?;
+            plan.fire(&format!("pipeline.stage.{stage}"), key, attempt)?;
         }
         body()
     }));
@@ -320,13 +326,14 @@ pub fn run_pipeline(
         "quality",
         plan,
         fault_key,
+        0,
         (
             QualityProfile::default(),
             "unmeasured default profile; catalog left unannotated",
         ),
         &mut degraded,
         || {
-            let profile = measure_profile(&raw, &measure_opts);
+            let profile = measure_profile_cached(&raw, &measure_opts);
             annotate_catalog(&mut catalog, &profile, config.target.as_deref());
             Ok(profile)
         },
@@ -339,6 +346,7 @@ pub fn run_pipeline(
         "advice",
         plan,
         fault_key,
+        0,
         (
             None,
             "no advice; mining falls back to the configured algorithm",
@@ -372,7 +380,25 @@ pub fn run_pipeline(
             preprocessed = projected;
         }
     }
-    let profile_after = measure_profile(&preprocessed, &measure_opts);
+    let preprocessing_ran = config.auto_preprocess;
+    let selection_ran = config.auto_select_attributes && config.target.is_some();
+    let profile_after = if !preprocessing_ran && !selection_ran {
+        // The table is untouched; re-measuring would recompute `profile`.
+        profile.clone()
+    } else {
+        run_degradable(
+            "quality",
+            plan,
+            fault_key,
+            1,
+            (
+                profile.clone(),
+                "post-preprocessing profile unavailable; pre-preprocessing profile reused",
+            ),
+            &mut degraded,
+            || Ok(measure_profile_cached(&preprocessed, &measure_opts)),
+        )
+    };
     lap(&mut timings, "preprocessing", &mut clock);
 
     // Phase 5: mining (when a target is configured).
@@ -404,6 +430,7 @@ pub fn run_pipeline(
         "publish",
         plan,
         fault_key,
+        0,
         (Graph::default(), "empty published graph"),
         &mut degraded,
         || {

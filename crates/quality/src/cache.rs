@@ -1,0 +1,244 @@
+//! Memoization of quality profiles.
+//!
+//! A [`QualityProfile`] is a pure function of the table's content and the
+//! [`MeasureOptions`], so re-profiling an unchanged table (every pipeline
+//! run measures at least twice, and grid experiments re-profile the same
+//! degraded tables across folds) is wasted work. The [`ProfileCache`]
+//! keys on `(Table::fingerprint(), options)` — a 128-bit content hash,
+//! not identity — so any table with identical columns, names, dtypes, and
+//! cells hits, no matter how it was produced.
+//!
+//! Hits and misses are counted in the `quality.cache.hits` /
+//! `quality.cache.misses` metrics when an [`openbi_obs`] registry is
+//! installed.
+
+use crate::measure::{measure_profile, MeasureOptions};
+use crate::profile::QualityProfile;
+use openbi_table::Table;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Default capacity of the global cache (profiles are a few hundred
+/// bytes, so this is deliberately generous).
+pub const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// Everything besides table content that can change a profile.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct OptionsKey {
+    target: Option<String>,
+    /// Sorted — exclusion order does not affect the profile.
+    exclude: Vec<String>,
+    redundancy_threshold_bits: u64,
+    noise_k: usize,
+    noise_max_rows: usize,
+    noise_seed: u64,
+}
+
+impl OptionsKey {
+    fn new(options: &MeasureOptions) -> Self {
+        let mut exclude = options.exclude.clone();
+        exclude.sort_unstable();
+        OptionsKey {
+            target: options.target.clone(),
+            exclude,
+            redundancy_threshold_bits: options.redundancy_threshold.to_bits(),
+            noise_k: options.noise_k,
+            noise_max_rows: options.noise_max_rows,
+            noise_seed: options.noise_seed,
+        }
+    }
+}
+
+type CacheKey = (u128, OptionsKey);
+
+struct CacheState {
+    map: HashMap<CacheKey, QualityProfile>,
+    /// Insertion order for FIFO eviction.
+    order: VecDeque<CacheKey>,
+}
+
+/// A bounded, thread-safe memo table for [`measure_profile`] results.
+pub struct ProfileCache {
+    inner: Mutex<CacheState>,
+    enabled: AtomicBool,
+    capacity: usize,
+}
+
+impl ProfileCache {
+    /// Create an enabled cache holding at most `capacity` profiles
+    /// (FIFO eviction; a capacity of 0 disables storage entirely).
+    pub fn new(capacity: usize) -> Self {
+        ProfileCache {
+            inner: Mutex::new(CacheState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            enabled: AtomicBool::new(true),
+            capacity,
+        }
+    }
+
+    /// The process-wide cache used by [`measure_profile_cached`].
+    pub fn global() -> &'static ProfileCache {
+        static GLOBAL: OnceLock<ProfileCache> = OnceLock::new();
+        GLOBAL.get_or_init(|| ProfileCache::new(DEFAULT_CACHE_CAPACITY))
+    }
+
+    fn state(&self) -> MutexGuard<'_, CacheState> {
+        // A panic while holding the lock leaves only a stale memo table;
+        // the data is still valid, so poisoning is ignored.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Measure `table`, serving a cached profile when one exists for the
+    /// same content fingerprint and options.
+    pub fn measure(&self, table: &Table, options: &MeasureOptions) -> QualityProfile {
+        if !self.is_enabled() || self.capacity == 0 {
+            return measure_profile(table, options);
+        }
+        let key: CacheKey = (table.fingerprint(), OptionsKey::new(options));
+        if let Some(hit) = self.state().map.get(&key).cloned() {
+            openbi_obs::counter_add("quality.cache.hits", 1);
+            return hit;
+        }
+        openbi_obs::counter_add("quality.cache.misses", 1);
+        // Measure outside the lock: profiling is the expensive part and
+        // concurrent misses on different tables must not serialize.
+        let profile = measure_profile(table, options);
+        let mut state = self.state();
+        if !state.map.contains_key(&key) {
+            if state.map.len() >= self.capacity {
+                if let Some(oldest) = state.order.pop_front() {
+                    state.map.remove(&oldest);
+                }
+            }
+            state.order.push_back(key.clone());
+            state.map.insert(key, profile.clone());
+        }
+        profile
+    }
+
+    /// Number of cached profiles.
+    pub fn len(&self) -> usize {
+        self.state().map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached profile.
+    pub fn clear(&self) {
+        let mut state = self.state();
+        state.map.clear();
+        state.order.clear();
+    }
+
+    /// Turn lookups and insertions on or off (measurement always works).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Whether lookups and insertions are active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+}
+
+/// [`measure_profile`] through the process-wide [`ProfileCache`].
+pub fn measure_profile_cached(table: &Table, options: &MeasureOptions) -> QualityProfile {
+    ProfileCache::global().measure(table, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_table::Column;
+
+    fn sample(shift: i64) -> Table {
+        Table::new(vec![
+            Column::from_i64("a", (shift..shift + 8).collect::<Vec<i64>>()),
+            Column::from_str_values("class", ["x", "y", "x", "y", "x", "y", "x", "y"]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_content_hits() {
+        let cache = ProfileCache::new(16);
+        let opts = MeasureOptions::with_target("class");
+        let first = cache.measure(&sample(0), &opts);
+        assert_eq!(cache.len(), 1);
+        // A structurally identical, separately built table hits.
+        let second = cache.measure(&sample(0), &opts);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn content_or_options_change_misses() {
+        let cache = ProfileCache::new(16);
+        let opts = MeasureOptions::with_target("class");
+        cache.measure(&sample(0), &opts);
+        cache.measure(&sample(1), &opts);
+        assert_eq!(cache.len(), 2, "different content, different entry");
+        let other = MeasureOptions {
+            noise_k: 3,
+            ..MeasureOptions::with_target("class")
+        };
+        cache.measure(&sample(0), &other);
+        assert_eq!(cache.len(), 3, "different options, different entry");
+    }
+
+    #[test]
+    fn exclusion_order_is_canonical() {
+        let cache = ProfileCache::new(16);
+        let a = MeasureOptions {
+            exclude: vec!["u".into(), "v".into()],
+            ..Default::default()
+        };
+        let b = MeasureOptions {
+            exclude: vec!["v".into(), "u".into()],
+            ..Default::default()
+        };
+        cache.measure(&sample(0), &a);
+        cache.measure(&sample(0), &b);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let cache = ProfileCache::new(2);
+        let opts = MeasureOptions::default();
+        for shift in 0..4 {
+            cache.measure(&sample(shift), &opts);
+        }
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let cache = ProfileCache::new(16);
+        cache.set_enabled(false);
+        let opts = MeasureOptions::default();
+        let p = cache.measure(&sample(0), &opts);
+        assert!(cache.is_empty());
+        cache.set_enabled(true);
+        assert_eq!(cache.measure(&sample(0), &opts), p);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn cached_profile_equals_direct_measurement() {
+        let cache = ProfileCache::new(16);
+        let opts = MeasureOptions::with_target("class");
+        let t = sample(3);
+        let direct = measure_profile(&t, &opts);
+        let via_cache = cache.measure(&t, &opts);
+        let repeat = cache.measure(&t, &opts);
+        assert_eq!(direct, via_cache);
+        assert_eq!(direct, repeat);
+    }
+}

@@ -10,18 +10,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod dedup;
 pub mod inject;
 pub mod measure;
 pub mod profile;
+pub mod reference;
 pub mod report;
 
+pub use cache::{measure_profile_cached, ProfileCache};
 pub use dedup::{find_duplicate_clusters, merge_duplicates, string_similarity, LinkageConfig};
 pub use inject::{
     AttributeNoiseInjector, BoxCloneInjector, CorrelatedInjector, Degradation, DuplicateInjector,
     ImbalanceInjector, InconsistencyInjector, Injector, IrrelevantInjector, LabelNoiseInjector,
     MissingInjector, MissingMechanism, OutlierInjector,
 };
-pub use measure::{measure_profile, MeasureOptions};
+pub use measure::{measure_profile, MeasureOptions, DEFAULT_NOISE_SEED};
 pub use profile::{QualityProfile, PROFILE_DIMENSIONS};
 pub use report::render_profile;

@@ -1,6 +1,14 @@
 //! Class balance measurement for a designated target column.
+//!
+//! Counting is columnar: string targets (the common case) are counted by
+//! `&str` borrow and only the distinct labels are cloned, instead of
+//! rendering every cell to a fresh `String` as `stats::value_counts`
+//! does. Entropy is summed in sorted-key order — the same deterministic
+//! order as the fixed `stats::entropy` — and the normalized value is
+//! clamped to 1.0 (uniform distributions can overshoot by an ulp).
 
 use openbi_table::{stats, Table};
+use std::collections::HashMap;
 
 /// Class-distribution summary of a target column.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,10 +23,28 @@ pub struct BalanceReport {
     pub class_counts: Vec<(String, usize)>,
 }
 
+/// Count distinct non-null rendered values. String columns take a
+/// borrow-first fast path; other dtypes go through `stats::value_counts`
+/// (identical counts — `Value::to_string` rendering either way).
+fn class_counts(table: &Table, target: &str) -> openbi_table::Result<Vec<(String, usize)>> {
+    let col = table.column(target)?;
+    if let Some(values) = col.as_str_slice() {
+        let mut counts: HashMap<&str, usize> = HashMap::new();
+        for v in values.iter().flatten() {
+            *counts.entry(v.as_str()).or_insert(0) += 1;
+        }
+        Ok(counts
+            .into_iter()
+            .map(|(k, c)| (k.to_string(), c))
+            .collect())
+    } else {
+        Ok(stats::value_counts(col).into_iter().collect())
+    }
+}
+
 /// Measure class balance of `target`. Errors if the column is missing.
 pub fn balance_report(table: &Table, target: &str) -> openbi_table::Result<BalanceReport> {
-    let col = table.column(target)?;
-    let mut counts: Vec<(String, usize)> = stats::value_counts(col).into_iter().collect();
+    let mut counts = class_counts(table, target)?;
     counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
     let class_count = counts.len();
     let normalized_entropy = if class_count <= 1 {
@@ -28,7 +54,19 @@ pub fn balance_report(table: &Table, target: &str) -> openbi_table::Result<Balan
             1.0
         }
     } else {
-        stats::entropy(col) / (class_count as f64).log2()
+        // Same summation as `stats::entropy`: per-class terms added in
+        // lexicographic key order for bit-determinism.
+        let total: usize = counts.iter().map(|(_, c)| c).sum();
+        let mut by_key: Vec<(&str, usize)> = counts.iter().map(|(k, c)| (k.as_str(), *c)).collect();
+        by_key.sort_by(|a, b| a.0.cmp(b.0));
+        let entropy: f64 = by_key
+            .iter()
+            .map(|&(_, c)| {
+                let p = c as f64 / total as f64;
+                -p * p.log2()
+            })
+            .sum();
+        (entropy / (class_count as f64).log2()).min(1.0)
     };
     let minority_ratio = match (counts.last(), counts.first()) {
         (Some((_, min)), Some((_, max))) if *max > 0 => *min as f64 / *max as f64,
@@ -78,5 +116,35 @@ mod tests {
     fn missing_column_errors() {
         let t = Table::new(vec![Column::from_i64("x", [1])]).unwrap();
         assert!(balance_report(&t, "y").is_err());
+    }
+
+    #[test]
+    fn uniform_entropy_never_exceeds_one() {
+        // Three equiprobable classes: H/log2(3) can overshoot 1 by an ulp
+        // without the clamp.
+        let t = Table::new(vec![Column::from_str_values(
+            "y",
+            ["a", "b", "c", "a", "b", "c"],
+        )])
+        .unwrap();
+        let r = balance_report(&t, "y").unwrap();
+        assert!(r.normalized_entropy <= 1.0);
+        assert!((r.normalized_entropy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn numeric_target_matches_reference() {
+        let t = Table::new(vec![Column::from_i64("y", [1, 2, 2, 3, 3, 3])]).unwrap();
+        let live = balance_report(&t, "y").unwrap();
+        let frozen = crate::reference::balance::balance_report(&t, "y").unwrap();
+        assert_eq!(live.class_counts, frozen.class_counts);
+        assert_eq!(
+            live.normalized_entropy.to_bits(),
+            frozen.normalized_entropy.to_bits()
+        );
+        assert_eq!(
+            live.minority_ratio.to_bits(),
+            frozen.minority_ratio.to_bits()
+        );
     }
 }

@@ -6,25 +6,45 @@
 //! each string is reduced to a *format signature* (runs of character
 //! classes), and a column's consistency is the share of its dominant
 //! signature.
+//!
+//! The signature is built in one pass with a last-class state machine
+//! writing directly into the output `String` (the reference materialized
+//! an intermediate `Vec` of runs first); output is identical.
 
 use openbi_table::{Column, Table};
 use std::collections::HashMap;
+
+/// Character classes a signature distinguishes.
+#[derive(PartialEq, Clone, Copy)]
+enum Class {
+    Lower,
+    Upper,
+    Capitalized,
+    Digit,
+    Space,
+    Other(char),
+}
+
+impl Class {
+    fn glyph(self) -> char {
+        match self {
+            Class::Lower => 'a',
+            Class::Upper => 'A',
+            Class::Capitalized => 'C',
+            Class::Digit => '9',
+            Class::Space => ' ',
+            Class::Other(c) => c,
+        }
+    }
+}
 
 /// Reduce a string to a format signature: `a` = lowercase run, `A` =
 /// uppercase run, `Aa` = capitalized run, `9` = digit run, other chars
 /// verbatim, whitespace normalized to a single space (leading/trailing
 /// whitespace is kept — it is an inconsistency signal).
 pub fn format_signature(s: &str) -> String {
-    #[derive(PartialEq, Clone, Copy)]
-    enum Class {
-        Lower,
-        Upper,
-        Capitalized,
-        Digit,
-        Space,
-        Other(char),
-    }
-    let mut runs: Vec<Class> = Vec::new();
+    let mut out = String::new();
+    let mut last: Option<Class> = None;
     for c in s.chars() {
         let class = if c.is_ascii_digit() {
             Class::Digit
@@ -37,29 +57,25 @@ pub fn format_signature(s: &str) -> String {
         } else {
             Class::Other(c)
         };
-        match (runs.last().copied(), class) {
+        match (last, class) {
             // An uppercase letter followed by lowercase = capitalized word.
             (Some(Class::Upper), Class::Lower) => {
-                *runs.last_mut().expect("nonempty") = Class::Capitalized;
+                out.pop();
+                out.push(Class::Capitalized.glyph());
+                last = Some(Class::Capitalized);
             }
             (Some(Class::Capitalized), Class::Lower)
             | (Some(Class::Lower), Class::Lower)
             | (Some(Class::Upper), Class::Upper)
             | (Some(Class::Digit), Class::Digit)
             | (Some(Class::Space), Class::Space) => {}
-            (_, c) => runs.push(c),
+            (_, c) => {
+                out.push(c.glyph());
+                last = Some(c);
+            }
         }
     }
-    runs.iter()
-        .map(|r| match r {
-            Class::Lower => 'a',
-            Class::Upper => 'A',
-            Class::Capitalized => 'C',
-            Class::Digit => '9',
-            Class::Space => ' ',
-            Class::Other(c) => *c,
-        })
-        .collect()
+    out
 }
 
 /// Share of the dominant format signature among non-null values of a
@@ -110,6 +126,26 @@ mod tests {
         assert_eq!(format_signature("31/01/2024"), "9/9/9");
         assert_eq!(format_signature("A-12"), "A-9");
         assert_eq!(format_signature(" padded "), " a ");
+    }
+
+    #[test]
+    fn signatures_match_reference_on_tricky_strings() {
+        for s in [
+            "",
+            "AAbb",
+            "AbC9 x",
+            "  ",
+            "a1B2c3",
+            "ABc",
+            "ÜberStraße",
+            "x\u{1}y",
+        ] {
+            assert_eq!(
+                format_signature(s),
+                crate::reference::consistency::format_signature(s),
+                "signature of {s:?} drifted from the reference"
+            );
+        }
     }
 
     #[test]

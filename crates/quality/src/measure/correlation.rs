@@ -3,8 +3,17 @@
 //! The paper's own motivating example (§3.1): strongly correlated inputs
 //! make a classifier's output "correct but not useful". These measures
 //! quantify that redundancy so the advisor can warn about it.
+//!
+//! The kernel is columnar: all pairwise coefficients are accumulated in
+//! two row-major sweeps over the packed column slices (sweep 1: per-pair
+//! counts and sums for the means; sweep 2: per-pair centered co-moments),
+//! instead of the reference's per-pair `pearson` re-scans, each of which
+//! cloned the sub-table and re-converted both columns. Accumulation
+//! order per pair is row order — the same addition order the reference
+//! uses — so the coefficients are bit-identical.
 
-use openbi_table::{stats, Table};
+use super::{pack_numeric, PackedColumn};
+use openbi_table::Table;
 
 /// Redundancy summary over the numeric columns of a table.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,27 +30,97 @@ pub struct CorrelationReport {
 /// Compute the correlation report; `exclude` columns (e.g. the target and
 /// identifiers) are skipped. `threshold` flags redundant pairs.
 pub fn correlation_report(table: &Table, exclude: &[&str], threshold: f64) -> CorrelationReport {
-    let keep: Vec<&str> = table
-        .column_names()
-        .into_iter()
-        .filter(|n| !exclude.contains(n))
+    report_from_packed(&pack_numeric(table, exclude), threshold)
+}
+
+/// The correlation kernel over already-packed columns.
+///
+/// A cell participates in a pair iff both cells are present **and
+/// finite** — the same pair filter as `openbi_table::stats::pearson`.
+pub(crate) fn report_from_packed(packed: &[PackedColumn], threshold: f64) -> CorrelationReport {
+    let p = packed.len();
+    let n_pairs = p * (p - 1) / 2;
+    let n_rows = packed.first().map(|c| c.values.len()).unwrap_or(0);
+    let mut cnt = vec![0usize; n_pairs];
+    let mut sx = vec![0.0f64; n_pairs];
+    let mut sy = vec![0.0f64; n_pairs];
+    let mut usable = vec![false; p];
+    let mut vals = vec![0.0f64; p];
+    // Sweep 1: per-pair complete-pair counts and coordinate sums.
+    for r in 0..n_rows {
+        for (d, c) in packed.iter().enumerate() {
+            let v = c.values[r];
+            usable[d] = c.present[r] && v.is_finite();
+            vals[d] = v;
+        }
+        let mut t = 0;
+        for i in 0..p {
+            for j in (i + 1)..p {
+                if usable[i] && usable[j] {
+                    cnt[t] += 1;
+                    sx[t] += vals[i];
+                    sy[t] += vals[j];
+                }
+                t += 1;
+            }
+        }
+    }
+    let mx: Vec<f64> = cnt
+        .iter()
+        .zip(&sx)
+        .map(|(&n, &s)| if n > 0 { s / n as f64 } else { 0.0 })
         .collect();
-    let sub = table.select(&keep).expect("names from table");
-    let (names, m) = stats::correlation_matrix(&sub);
-    let n = names.len();
+    let my: Vec<f64> = cnt
+        .iter()
+        .zip(&sy)
+        .map(|(&n, &s)| if n > 0 { s / n as f64 } else { 0.0 })
+        .collect();
+    // Sweep 2: centered co-moments around the per-pair means.
+    let mut sxy = vec![0.0f64; n_pairs];
+    let mut sxx = vec![0.0f64; n_pairs];
+    let mut syy = vec![0.0f64; n_pairs];
+    for r in 0..n_rows {
+        for (d, c) in packed.iter().enumerate() {
+            let v = c.values[r];
+            usable[d] = c.present[r] && v.is_finite();
+            vals[d] = v;
+        }
+        let mut t = 0;
+        for i in 0..p {
+            for j in (i + 1)..p {
+                if usable[i] && usable[j] {
+                    let dx = vals[i] - mx[t];
+                    let dy = vals[j] - my[t];
+                    sxy[t] += dx * dy;
+                    sxx[t] += dx * dx;
+                    syy[t] += dy * dy;
+                }
+                t += 1;
+            }
+        }
+    }
     let mut max_abs: f64 = 0.0;
     let mut sum_abs = 0.0;
     let mut count = 0usize;
     let mut redundant_pairs = Vec::new();
-    for i in 0..n {
-        for j in (i + 1)..n {
-            let r = m[i][j];
+    let mut t = 0;
+    for i in 0..p {
+        for j in (i + 1)..p {
+            // Same guards as `stats::pearson`: needs ≥ 2 complete pairs
+            // and nonzero variance on both sides; otherwise the pair
+            // contributes 0 (matching `pearson(..).unwrap_or(0.0)`).
+            let r = if cnt[t] < 2 || sxx[t] == 0.0 || syy[t] == 0.0 {
+                0.0
+            } else {
+                (sxy[t] / (sxx[t] * syy[t]).sqrt()).clamp(-1.0, 1.0)
+            };
             max_abs = max_abs.max(r.abs());
             sum_abs += r.abs();
             count += 1;
             if r.abs() >= threshold {
-                redundant_pairs.push((names[i].clone(), names[j].clone(), r));
+                redundant_pairs.push((packed[i].name.clone(), packed[j].name.clone(), r));
             }
+            t += 1;
         }
     }
     CorrelationReport {
@@ -98,5 +177,32 @@ mod tests {
     fn mean_abs_averages_pairs() {
         let r = correlation_report(&table_with_copy(), &["label"], 0.99);
         assert!(r.mean_abs > 0.0 && r.mean_abs < 1.0);
+    }
+
+    #[test]
+    fn matches_reference_bits_with_nulls_and_ints() {
+        let t = Table::new(vec![
+            Column::from_opt_f64("a", [Some(1.0), None, Some(2.5), Some(4.0), Some(0.5)]),
+            Column::from_i64("b", [3, 1, 4, 1, 5]),
+            Column::from_opt_f64("c", [Some(2.0), Some(9.0), None, Some(6.5), Some(1.0)]),
+        ])
+        .unwrap();
+        let live = correlation_report(&t, &[], 0.9);
+        let frozen = crate::reference::correlation::correlation_report(&t, &[], 0.9);
+        assert_eq!(live.max_abs.to_bits(), frozen.max_abs.to_bits());
+        assert_eq!(live.mean_abs.to_bits(), frozen.mean_abs.to_bits());
+        assert_eq!(live.redundant_pairs.len(), frozen.redundant_pairs.len());
+    }
+
+    #[test]
+    fn nan_cells_do_not_poison_coefficients() {
+        let t = Table::new(vec![
+            Column::from_f64("a", [1.0, f64::NAN, 3.0, 4.0]),
+            Column::from_f64("b", [2.0, 5.0, 6.0, 8.0]),
+        ])
+        .unwrap();
+        let r = correlation_report(&t, &[], 0.9);
+        assert!(r.max_abs.is_finite());
+        assert!(r.mean_abs.is_finite());
     }
 }

@@ -1,50 +1,131 @@
 //! Duplicate detection: exact and near duplicates.
 //!
-//! Exact duplicates use the table's row-key hashing; near duplicates use
-//! a normalized per-attribute distance with a configurable threshold —
-//! the classic record-matching setting of Elmagarmid et al. \[5\] and
-//! Ananthakrishna et al. \[1\], scoped to a single table.
+//! Exact duplicates are found by hashed row fingerprints: each cell is
+//! folded column-major into a per-row `u64` hash (no per-row `String`
+//! allocation, unlike the reference's `Table::row_key` keys), rows are
+//! bucketed by hash, and every bucket is verified by exact typed cell
+//! comparison — so a hash collision can never merge distinct rows. The
+//! equality relation matches the reference's textual keys (all NaNs
+//! equal, `0.0` ≠ `-0.0`, null ≠ empty string) except that typed
+//! comparison also closes the reference's separator-injection ambiguity
+//! (a string cell containing the key separator could alias another row).
+//!
+//! Near duplicates use a normalized per-attribute distance with a
+//! configurable threshold — the classic record-matching setting of
+//! Elmagarmid et al. \[5\] and Ananthakrishna et al. \[1\], scoped to a
+//! single table.
 
-use openbi_table::{Table, Value};
+use openbi_table::fingerprint::{canonical_f64_bits, mix_u64, row_hash_seed};
+use openbi_table::{ColumnData, Table, Value};
 use std::collections::HashMap;
+
+/// Per-row content hashes: every cell folded column-major into one `u64`
+/// per row, with null/value tags and canonical float bits.
+fn row_hashes(table: &Table) -> Vec<u64> {
+    let mut hashes = vec![row_hash_seed(); table.n_rows()];
+    for c in table.columns() {
+        match c.data() {
+            ColumnData::Int(v) => {
+                for (h, cell) in hashes.iter_mut().zip(v) {
+                    *h = match cell {
+                        None => mix_u64(*h, 0),
+                        Some(i) => mix_u64(mix_u64(*h, 1), *i as u64),
+                    };
+                }
+            }
+            ColumnData::Float(v) => {
+                for (h, cell) in hashes.iter_mut().zip(v) {
+                    *h = match cell {
+                        None => mix_u64(*h, 0),
+                        Some(x) => mix_u64(mix_u64(*h, 1), canonical_f64_bits(*x)),
+                    };
+                }
+            }
+            ColumnData::Str(v) => {
+                for (h, cell) in hashes.iter_mut().zip(v) {
+                    *h = match cell {
+                        None => mix_u64(*h, 0),
+                        Some(s) => {
+                            let mut sh = mix_u64(*h, 1);
+                            sh = mix_u64(sh, s.len() as u64);
+                            for chunk in s.as_bytes().chunks(8) {
+                                let mut word = [0u8; 8];
+                                word[..chunk.len()].copy_from_slice(chunk);
+                                sh = mix_u64(sh, u64::from_le_bytes(word));
+                            }
+                            sh
+                        }
+                    };
+                }
+            }
+            ColumnData::Bool(v) => {
+                for (h, cell) in hashes.iter_mut().zip(v) {
+                    *h = match cell {
+                        None => mix_u64(*h, 0),
+                        Some(b) => mix_u64(mix_u64(*h, 1), *b as u64),
+                    };
+                }
+            }
+        }
+    }
+    hashes
+}
+
+/// Exact typed equality of two rows: nulls match nulls, floats compare by
+/// canonical bits (all NaNs equal, signed zeros distinct).
+fn rows_equal(table: &Table, a: usize, b: usize) -> bool {
+    table.columns().iter().all(|c| match c.data() {
+        ColumnData::Int(v) => v[a] == v[b],
+        ColumnData::Float(v) => match (v[a], v[b]) {
+            (None, None) => true,
+            (Some(x), Some(y)) => canonical_f64_bits(x) == canonical_f64_bits(y),
+            _ => false,
+        },
+        ColumnData::Str(v) => v[a] == v[b],
+        ColumnData::Bool(v) => v[a] == v[b],
+    })
+}
+
+/// All exact-duplicate groups (including singletons), in first-occurrence
+/// order. Buckets rows by content hash, then splits each bucket by exact
+/// typed comparison.
+fn duplicate_groups(table: &Table) -> Vec<Vec<usize>> {
+    let hashes = row_hashes(table);
+    // hash → indices into `groups` of the groups sharing that hash.
+    let mut by_hash: HashMap<u64, Vec<usize>> = HashMap::new();
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (row, &h) in hashes.iter().enumerate() {
+        let candidates = by_hash.entry(h).or_default();
+        let found = candidates
+            .iter()
+            .copied()
+            .find(|&g| rows_equal(table, groups[g][0], row));
+        match found {
+            Some(g) => groups[g].push(row),
+            None => {
+                candidates.push(groups.len());
+                groups.push(vec![row]);
+            }
+        }
+    }
+    groups
+}
 
 /// Fraction of rows that exactly duplicate an earlier row.
 pub fn exact_duplicate_ratio(table: &Table) -> f64 {
     if table.n_rows() == 0 {
         return 0.0;
     }
-    let mut seen: HashMap<String, usize> = HashMap::new();
-    let mut dups = 0usize;
-    for i in 0..table.n_rows() {
-        let key = table.row_key(i).expect("in-bounds");
-        if seen.insert(key, i).is_some() {
-            dups += 1;
-        }
-    }
+    let dups: usize = duplicate_groups(table).iter().map(|g| g.len() - 1).sum();
     dups as f64 / table.n_rows() as f64
 }
 
 /// Groups of row indices that are exact duplicates of each other
 /// (only groups of size ≥ 2 are returned, in first-occurrence order).
 pub fn exact_duplicate_groups(table: &Table) -> Vec<Vec<usize>> {
-    let mut order: Vec<String> = Vec::new();
-    let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
-    for i in 0..table.n_rows() {
-        let key = table.row_key(i).expect("in-bounds");
-        groups
-            .entry(key.clone())
-            .or_insert_with(|| {
-                order.push(key.clone());
-                Vec::new()
-            })
-            .push(i);
-    }
-    order
+    duplicate_groups(table)
         .into_iter()
-        .filter_map(|k| {
-            let g = groups.remove(&k).expect("inserted");
-            (g.len() >= 2).then_some(g)
-        })
+        .filter(|g| g.len() >= 2)
         .collect()
 }
 
@@ -162,6 +243,30 @@ mod tests {
         let t = Table::new(vec![Column::from_opt_i64("a", [Some(1), None, None])]).unwrap();
         // Row 2 duplicates row 1 (both null) → 1/3.
         assert!((exact_duplicate_ratio(&t) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_differs_from_empty_string() {
+        let t = Table::new(vec![Column::from_opt_str(
+            "s",
+            [Some(String::new()), None, Some(String::new())],
+        )])
+        .unwrap();
+        assert!((exact_duplicate_ratio(&t) - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(exact_duplicate_groups(&t), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn nan_rows_duplicate_but_signed_zeros_do_not() {
+        let t = Table::new(vec![Column::from_f64(
+            "x",
+            [f64::NAN, f64::from_bits(0x7FF8_0000_0000_0001), 0.0, -0.0],
+        )])
+        .unwrap();
+        // The two NaN payloads collapse; 0.0 and -0.0 stay distinct —
+        // exactly the `Value::to_string` key semantics ("NaN", "0", "-0").
+        assert!((exact_duplicate_ratio(&t) - 0.25).abs() < 1e-12);
+        assert_eq!(exact_duplicate_groups(&t), vec![vec![0, 1]]);
     }
 
     #[test]

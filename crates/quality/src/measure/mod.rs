@@ -2,6 +2,15 @@
 //!
 //! Individual criteria live in submodules; [`measure_profile`] combines
 //! them into a [`crate::profile::QualityProfile`].
+//!
+//! The criteria are **columnar single-pass kernels**: numeric columns are
+//! packed once per profile into contiguous `f64` slices
+//! ([`PackedColumn`]), and correlation, outliers, and both noise
+//! estimators consume the packed slices — no per-cell `Value` boxing, no
+//! per-pair column re-conversion, no per-row `String` keys. The
+//! pre-rewrite row-wise implementation is frozen as [`crate::reference`]
+//! and `tests/tests/quality_equivalence.rs` proves the two agree bitwise
+//! on every exact criterion.
 
 pub mod balance;
 pub mod completeness;
@@ -12,7 +21,13 @@ pub mod noise;
 pub mod outliers;
 
 use crate::profile::QualityProfile;
-use openbi_table::Table;
+use openbi_table::{ColumnData, Table};
+
+/// Default seed for the noise estimators' deterministic row sampling.
+///
+/// Any fixed value works (the estimate must simply be reproducible); this
+/// one nods to the paper's publication year.
+pub const DEFAULT_NOISE_SEED: u64 = 2012;
 
 /// Options controlling profile measurement.
 #[derive(Debug, Clone)]
@@ -27,6 +42,9 @@ pub struct MeasureOptions {
     pub noise_k: usize,
     /// Row cap for the quadratic noise estimators.
     pub noise_max_rows: usize,
+    /// Seed for the deterministic row sample the noise estimators draw
+    /// when the table exceeds `noise_max_rows`.
+    pub noise_seed: u64,
 }
 
 impl Default for MeasureOptions {
@@ -37,6 +55,7 @@ impl Default for MeasureOptions {
             redundancy_threshold: 0.95,
             noise_k: 5,
             noise_max_rows: noise::DEFAULT_MAX_ROWS,
+            noise_seed: DEFAULT_NOISE_SEED,
         }
     }
 }
@@ -50,7 +69,7 @@ impl MeasureOptions {
         }
     }
 
-    fn feature_exclusions(&self) -> Vec<&str> {
+    pub(crate) fn feature_exclusions(&self) -> Vec<&str> {
         let mut ex: Vec<&str> = self.exclude.iter().map(String::as_str).collect();
         if let Some(t) = &self.target {
             ex.push(t.as_str());
@@ -59,20 +78,84 @@ impl MeasureOptions {
     }
 }
 
+/// One numeric column packed into contiguous `f64` storage.
+///
+/// `values[i]` is the cell's numeric value (ints widened to `f64`, float
+/// cells kept raw — including NaN and ±inf) and `present[i]` records
+/// whether the cell was non-null. Keeping presence separate from the
+/// value preserves the distinction the reference implementation sees
+/// through `Option<f64>`: a NaN *cell* is present (it counts toward
+/// outlier-cell totals) while a null is not.
+pub(crate) struct PackedColumn {
+    /// Column name (for correlation-report pair labels).
+    pub name: String,
+    /// Cell values; `0.0` placeholder where `present` is false.
+    pub values: Vec<f64>,
+    /// Non-null mask, parallel to `values`.
+    pub present: Vec<bool>,
+}
+
+/// Pack the non-excluded numeric (int/float) columns, in table order —
+/// one pass per column, shared by the correlation, outlier, and noise
+/// kernels.
+pub(crate) fn pack_numeric(table: &Table, exclude: &[&str]) -> Vec<PackedColumn> {
+    let mut out = Vec::new();
+    for c in table.columns() {
+        if exclude.contains(&c.name()) || !c.dtype().is_numeric() {
+            continue;
+        }
+        let (values, present): (Vec<f64>, Vec<bool>) = match c.data() {
+            ColumnData::Int(v) => v
+                .iter()
+                .map(|x| match x {
+                    Some(i) => (*i as f64, true),
+                    None => (0.0, false),
+                })
+                .unzip(),
+            ColumnData::Float(v) => v
+                .iter()
+                .map(|x| match x {
+                    Some(f) => (*f, true),
+                    None => (0.0, false),
+                })
+                .unzip(),
+            // `DataType::is_numeric` is int/float only.
+            ColumnData::Str(_) | ColumnData::Bool(_) => unreachable!("filtered above"),
+        };
+        out.push(PackedColumn {
+            name: c.name().to_string(),
+            values,
+            present,
+        });
+    }
+    out
+}
+
 /// Measure every quality criterion of a table into one profile.
+///
+/// Records the wall time into the `quality.measure.seconds` histogram
+/// when an [`openbi_obs`] registry is installed.
 pub fn measure_profile(table: &Table, options: &MeasureOptions) -> QualityProfile {
+    let _timer = openbi_obs::span("quality.measure.seconds");
     let ex = options.feature_exclusions();
     let n_attributes = table
         .column_names()
         .iter()
         .filter(|n| !ex.contains(n))
         .count();
-    let corr = correlation::correlation_report(table, &ex, options.redundancy_threshold);
+    let packed = pack_numeric(table, &ex);
+    let corr = correlation::report_from_packed(&packed, options.redundancy_threshold);
     let (class_balance, minority_ratio, distinct_class_count, label_noise) = match &options.target {
         Some(t) if table.has_column(t) => {
             let b = balance::balance_report(table, t).expect("column exists");
-            let noise =
-                noise::label_noise_estimate(table, t, options.noise_k, options.noise_max_rows);
+            let noise = noise::label_noise_from_packed(
+                table,
+                t,
+                &packed,
+                options.noise_k,
+                options.noise_max_rows,
+                options.noise_seed,
+            );
             (b.normalized_entropy, b.minority_ratio, b.class_count, noise)
         }
         _ => (1.0, 1.0, 0, 0.0),
@@ -91,13 +174,14 @@ pub fn measure_profile(table: &Table, options: &MeasureOptions) -> QualityProfil
         } else {
             (n_attributes as f64 / table.n_rows() as f64).min(1.0)
         },
-        outlier_ratio: outliers::outlier_ratio(table, &ex),
+        outlier_ratio: outliers::ratio_from_packed(&packed),
         label_noise_estimate: label_noise,
-        attr_noise_estimate: noise::attribute_noise_estimate(
+        attr_noise_estimate: noise::attribute_noise_from_packed(
             table,
-            &ex,
+            &packed,
             options.noise_k,
             options.noise_max_rows,
+            options.noise_seed,
         ),
         consistency: consistency::table_consistency(table, &ex),
         distinct_class_count,
@@ -170,5 +254,26 @@ mod tests {
         .unwrap();
         let p = measure_profile(&t, &MeasureOptions::default());
         assert_eq!(p.dimensionality, 1.0);
+    }
+
+    #[test]
+    fn packing_preserves_presence_and_raw_values() {
+        let t = Table::new(vec![
+            Column::from_opt_i64("i", [Some(3), None]),
+            Column::from_opt_f64("f", [Some(f64::NAN), Some(-0.0)]),
+            Column::from_str_values("s", ["a", "b"]),
+            Column::from_bool("b", [true, false]),
+        ])
+        .unwrap();
+        let packed = pack_numeric(&t, &[]);
+        assert_eq!(packed.len(), 2, "strings and bools are not numeric");
+        assert_eq!(packed[0].name, "i");
+        assert_eq!(packed[0].values[0], 3.0);
+        assert_eq!(packed[0].present, vec![true, false]);
+        assert!(packed[1].values[0].is_nan(), "NaN cells stay present");
+        assert!(packed[1].present[0]);
+        assert_eq!(packed[1].values[1].to_bits(), (-0.0f64).to_bits());
+        let excluded = pack_numeric(&t, &["i"]);
+        assert_eq!(excluded.len(), 1);
     }
 }

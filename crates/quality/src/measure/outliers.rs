@@ -1,5 +1,11 @@
 //! Outlier detection over numeric columns (Tukey IQR fences and z-scores).
+//!
+//! The table-level ratio is a columnar kernel: each packed column's
+//! present cells are gathered into one reused scratch buffer, sorted once
+//! for the quartiles, and fence violations are counted directly — no
+//! per-column index-vector materialization as in the reference.
 
+use super::{pack_numeric, PackedColumn};
 use openbi_table::{stats, Column, Table};
 
 /// Row indices of cells outside the `k`×IQR fences of a numeric column.
@@ -50,14 +56,39 @@ pub fn zscore_outliers(column: &Column, threshold: f64) -> Vec<usize> {
 /// Fraction of numeric cells that are 1.5×IQR outliers, over the whole
 /// table (excluding the named columns).
 pub fn outlier_ratio(table: &Table, exclude: &[&str]) -> f64 {
+    ratio_from_packed(&pack_numeric(table, exclude))
+}
+
+/// The outlier-ratio kernel over already-packed columns: one sort per
+/// column into a reused scratch buffer, 1.5×IQR fences.
+pub(crate) fn ratio_from_packed(packed: &[PackedColumn]) -> f64 {
+    const K: f64 = 1.5;
     let mut outliers = 0usize;
     let mut cells = 0usize;
-    for c in table.columns() {
-        if exclude.contains(&c.name()) || !c.dtype().is_numeric() {
+    let mut scratch: Vec<f64> = Vec::new();
+    for col in packed {
+        scratch.clear();
+        scratch.extend(
+            col.values
+                .iter()
+                .zip(&col.present)
+                .filter(|(_, &p)| p)
+                .map(|(&v, _)| v),
+        );
+        cells += scratch.len();
+        if scratch.len() < 4 {
             continue;
         }
-        outliers += iqr_outliers(c, 1.5).len();
-        cells += c.len() - c.null_count();
+        scratch.sort_by(f64::total_cmp);
+        let q1 = stats::quantile_sorted(&scratch, 0.25);
+        let q3 = stats::quantile_sorted(&scratch, 0.75);
+        let iqr = q3 - q1;
+        let lo = q1 - K * iqr;
+        let hi = q3 + K * iqr;
+        // NaN cells compare false on both fences, exactly as in the
+        // row-wise reference, so they count toward `cells` but never
+        // toward `outliers`.
+        outliers += scratch.iter().filter(|&&x| x < lo || x > hi).count();
     }
     if cells == 0 {
         0.0
@@ -123,5 +154,27 @@ mod tests {
             ],
         );
         assert_eq!(iqr_outliers(&c, 1.5), vec![5]);
+    }
+
+    #[test]
+    fn ratio_matches_reference_with_nan_cells() {
+        let t = Table::new(vec![
+            Column::from_opt_f64(
+                "x",
+                [
+                    Some(1.0),
+                    Some(2.0),
+                    Some(f64::NAN),
+                    Some(4.0),
+                    None,
+                    Some(100.0),
+                ],
+            ),
+            Column::from_i64("i", [1, 2, 3, 4, 5, 6]),
+        ])
+        .unwrap();
+        let live = outlier_ratio(&t, &[]);
+        let frozen = crate::reference::outliers::outlier_ratio(&t, &[]);
+        assert_eq!(live.to_bits(), frozen.to_bits());
     }
 }

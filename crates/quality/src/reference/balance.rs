@@ -1,0 +1,48 @@
+//! Frozen class-balance measurement (see [`super`] for the contract).
+
+use openbi_table::{stats, Table};
+
+/// Class-distribution summary of a target column (frozen copy of the
+/// live `crate::measure::balance::BalanceReport`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BalanceReport {
+    /// Distinct class count.
+    pub class_count: usize,
+    /// Normalized entropy in `[0,1]` (1 = uniform, 0 = single class).
+    pub normalized_entropy: f64,
+    /// Rarest class frequency / most common class frequency.
+    pub minority_ratio: f64,
+    /// `(class label, count)` pairs, most common first.
+    pub class_counts: Vec<(String, usize)>,
+}
+
+/// Measure class balance of `target`. Errors if the column is missing.
+///
+/// The `min(1.0)` clamp on normalized entropy is a shared baseline fix
+/// (uniform distributions can overshoot 1.0 by an ulp); both this frozen
+/// copy and the live kernel apply it identically.
+pub fn balance_report(table: &Table, target: &str) -> openbi_table::Result<BalanceReport> {
+    let col = table.column(target)?;
+    let mut counts: Vec<(String, usize)> = stats::value_counts(col).into_iter().collect();
+    counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let class_count = counts.len();
+    let normalized_entropy = if class_count <= 1 {
+        if class_count == 1 {
+            0.0
+        } else {
+            1.0
+        }
+    } else {
+        (stats::entropy(col) / (class_count as f64).log2()).min(1.0)
+    };
+    let minority_ratio = match (counts.last(), counts.first()) {
+        (Some((_, min)), Some((_, max))) if *max > 0 => *min as f64 / *max as f64,
+        _ => 1.0,
+    };
+    Ok(BalanceReport {
+        class_count,
+        normalized_entropy,
+        minority_ratio,
+        class_counts: counts,
+    })
+}

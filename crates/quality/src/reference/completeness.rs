@@ -1,0 +1,13 @@
+//! Frozen completeness measurement (see [`super`] for the contract).
+
+use openbi_table::Table;
+
+/// Overall completeness of a table: non-null cells / total cells.
+/// An empty table is trivially complete (1.0).
+pub fn completeness(table: &Table) -> f64 {
+    let total = table.n_rows() * table.n_cols();
+    if total == 0 {
+        return 1.0;
+    }
+    1.0 - table.total_null_count() as f64 / total as f64
+}

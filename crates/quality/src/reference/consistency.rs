@@ -1,0 +1,94 @@
+//! Frozen representational-consistency measurement (see [`super`]).
+//!
+//! Signature computation via an intermediate `Vec<Class>` of runs — the
+//! live kernel builds the signature string directly with a last-class
+//! state machine, producing identical output without the allocation.
+
+use openbi_table::{Column, Table};
+use std::collections::HashMap;
+
+/// Reduce a string to a format signature: `a` = lowercase run, `A` =
+/// uppercase run, `Aa` = capitalized run, `9` = digit run, other chars
+/// verbatim, whitespace normalized to a single space.
+pub fn format_signature(s: &str) -> String {
+    #[derive(PartialEq, Clone, Copy)]
+    enum Class {
+        Lower,
+        Upper,
+        Capitalized,
+        Digit,
+        Space,
+        Other(char),
+    }
+    let mut runs: Vec<Class> = Vec::new();
+    for c in s.chars() {
+        let class = if c.is_ascii_digit() {
+            Class::Digit
+        } else if c.is_lowercase() {
+            Class::Lower
+        } else if c.is_uppercase() {
+            Class::Upper
+        } else if c.is_whitespace() {
+            Class::Space
+        } else {
+            Class::Other(c)
+        };
+        match (runs.last().copied(), class) {
+            // An uppercase letter followed by lowercase = capitalized word.
+            (Some(Class::Upper), Class::Lower) => {
+                *runs.last_mut().expect("nonempty") = Class::Capitalized;
+            }
+            (Some(Class::Capitalized), Class::Lower)
+            | (Some(Class::Lower), Class::Lower)
+            | (Some(Class::Upper), Class::Upper)
+            | (Some(Class::Digit), Class::Digit)
+            | (Some(Class::Space), Class::Space) => {}
+            (_, c) => runs.push(c),
+        }
+    }
+    runs.iter()
+        .map(|r| match r {
+            Class::Lower => 'a',
+            Class::Upper => 'A',
+            Class::Capitalized => 'C',
+            Class::Digit => '9',
+            Class::Space => ' ',
+            Class::Other(c) => *c,
+        })
+        .collect()
+}
+
+/// Share of the dominant format signature among non-null values of a
+/// string column; 1.0 for empty or non-string columns.
+pub fn column_consistency(column: &Column) -> f64 {
+    let Some(values) = column.as_str_slice() else {
+        return 1.0;
+    };
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    let mut total = 0usize;
+    for v in values.iter().flatten() {
+        *counts.entry(format_signature(v)).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return 1.0;
+    }
+    let max = counts.values().copied().max().unwrap_or(0);
+    max as f64 / total as f64
+}
+
+/// Mean consistency over string columns (excluding the named columns);
+/// 1.0 if there are no string columns.
+pub fn table_consistency(table: &Table, exclude: &[&str]) -> f64 {
+    let scores: Vec<f64> = table
+        .columns()
+        .iter()
+        .filter(|c| !exclude.contains(&c.name()) && c.as_str_slice().is_some())
+        .map(column_consistency)
+        .collect();
+    if scores.is_empty() {
+        1.0
+    } else {
+        scores.iter().sum::<f64>() / scores.len() as f64
+    }
+}

@@ -1,0 +1,57 @@
+//! Frozen correlation measurement (see [`super`] for the contract).
+//!
+//! Clones the non-excluded columns into a sub-table and runs per-pair
+//! `stats::pearson` re-scans — each pair re-reads both columns end to
+//! end. The live kernel computes identical bits with per-pair co-moment
+//! accumulators over packed slices, without the clone or the re-scans.
+
+use openbi_table::{stats, Table};
+
+/// Redundancy summary over the numeric columns of a table (frozen copy
+/// of the live `crate::measure::correlation::CorrelationReport`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorrelationReport {
+    /// Maximum absolute pairwise Pearson correlation (0 if < 2 columns).
+    pub max_abs: f64,
+    /// Mean absolute pairwise Pearson correlation (0 if < 2 columns).
+    pub mean_abs: f64,
+    /// Pairs with |r| above the redundancy threshold, as
+    /// `(col_a, col_b, r)`.
+    pub redundant_pairs: Vec<(String, String, f64)>,
+}
+
+/// Compute the correlation report; `exclude` columns are skipped.
+pub fn correlation_report(table: &Table, exclude: &[&str], threshold: f64) -> CorrelationReport {
+    let keep: Vec<&str> = table
+        .column_names()
+        .into_iter()
+        .filter(|n| !exclude.contains(n))
+        .collect();
+    let sub = table.select(&keep).expect("names from table");
+    let (names, m) = stats::correlation_matrix(&sub);
+    let n = names.len();
+    let mut max_abs: f64 = 0.0;
+    let mut sum_abs = 0.0;
+    let mut count = 0usize;
+    let mut redundant_pairs = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let r = m[i][j];
+            max_abs = max_abs.max(r.abs());
+            sum_abs += r.abs();
+            count += 1;
+            if r.abs() >= threshold {
+                redundant_pairs.push((names[i].clone(), names[j].clone(), r));
+            }
+        }
+    }
+    CorrelationReport {
+        max_abs,
+        mean_abs: if count == 0 {
+            0.0
+        } else {
+            sum_abs / count as f64
+        },
+        redundant_pairs,
+    }
+}

@@ -1,0 +1,26 @@
+//! Frozen exact-duplicate measurement (see [`super`] for the contract).
+//!
+//! Allocates a `String` key per row via `Table::row_key`. The live
+//! kernel hashes cells column-major into per-row `u64` fingerprints and
+//! verifies candidate buckets by typed comparison — same equality
+//! relation (all NaNs equal, `0.0` ≠ `-0.0`, null ≠ empty string), no
+//! per-row allocation.
+
+use openbi_table::Table;
+use std::collections::HashMap;
+
+/// Fraction of rows that exactly duplicate an earlier row.
+pub fn exact_duplicate_ratio(table: &Table) -> f64 {
+    if table.n_rows() == 0 {
+        return 0.0;
+    }
+    let mut seen: HashMap<String, usize> = HashMap::new();
+    let mut dups = 0usize;
+    for i in 0..table.n_rows() {
+        let key = table.row_key(i).expect("in-bounds");
+        if seen.insert(key, i).is_some() {
+            dups += 1;
+        }
+    }
+    dups as f64 / table.n_rows() as f64
+}

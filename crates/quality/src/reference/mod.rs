@@ -1,0 +1,99 @@
+//! Frozen pre-rewrite quality measurement — the equivalence baseline.
+//!
+//! This module is a faithful copy of `crate::measure` as it stood before
+//! the columnar single-pass rewrite (the same row-wise, `Value`-boxed
+//! code paths: per-pair `pearson` re-scans over cloned sub-tables,
+//! per-row `String` keys for duplicate detection, full-sort kNN noise
+//! estimators over the *first* `noise_max_rows` rows). It exists so
+//! `tests/tests/quality_equivalence.rs` can prove the rewrite equivalent
+//! — bitwise where the criterion is exact, and with pinned, documented
+//! tolerances where an estimator legitimately changed — following the
+//! same reference-equivalence convention as `openbi::mining::reference`
+//! and `Advisor::advise_reference`.
+//!
+//! Two *shared* fixes land beneath both implementations and are therefore
+//! part of the baseline, not a rewrite delta:
+//!
+//! * `openbi_table::stats::pearson` skips non-finite pairs (a NaN cell no
+//!   longer poisons a whole coefficient), and
+//! * `openbi_table::stats::entropy` sums per-class terms in sorted key
+//!   order (bit-deterministic regardless of hasher state), plus the
+//!   `normalized_entropy ≤ 1.0` clamp in [`balance::balance_report`].
+//!
+//! The live rewrite deliberately diverges from this reference in exactly
+//! three documented ways (all in the noise estimators):
+//!
+//! 1. `label_noise_estimate` receives the full exclusion list, so ID
+//!    columns no longer enter the kNN feature space (here they do);
+//! 2. majority-vote ties never count a row as a disagreement when its own
+//!    label is among the tied maxima (here `max_by_key` arbitrarily picks
+//!    the last-inserted maximum);
+//! 3. tables larger than `noise_max_rows` are sampled deterministically
+//!    (here: the first `noise_max_rows` rows).
+//!
+//! Do not "improve" this module; its value is that it does not move.
+
+pub mod balance;
+pub mod completeness;
+pub mod consistency;
+pub mod correlation;
+pub mod duplicates;
+pub mod noise;
+pub mod outliers;
+
+use crate::measure::MeasureOptions;
+use crate::profile::QualityProfile;
+use openbi_table::Table;
+
+/// Measure every quality criterion with the frozen pre-rewrite code.
+///
+/// Takes the same [`MeasureOptions`] as the live
+/// [`crate::measure_profile`]; the `noise_seed` field is ignored because
+/// this implementation never samples (it truncates to the first
+/// `noise_max_rows` rows, as the original did).
+pub fn measure_profile(table: &Table, options: &MeasureOptions) -> QualityProfile {
+    let mut ex: Vec<&str> = options.exclude.iter().map(String::as_str).collect();
+    if let Some(t) = &options.target {
+        ex.push(t.as_str());
+    }
+    let n_attributes = table
+        .column_names()
+        .iter()
+        .filter(|n| !ex.contains(n))
+        .count();
+    let corr = correlation::correlation_report(table, &ex, options.redundancy_threshold);
+    let (class_balance, minority_ratio, distinct_class_count, label_noise) = match &options.target {
+        Some(t) if table.has_column(t) => {
+            let b = balance::balance_report(table, t).expect("column exists");
+            let noise =
+                noise::label_noise_estimate(table, t, options.noise_k, options.noise_max_rows);
+            (b.normalized_entropy, b.minority_ratio, b.class_count, noise)
+        }
+        _ => (1.0, 1.0, 0, 0.0),
+    };
+    QualityProfile {
+        n_rows: table.n_rows(),
+        n_attributes,
+        completeness: completeness::completeness(table),
+        duplicate_ratio: duplicates::exact_duplicate_ratio(table),
+        max_abs_correlation: corr.max_abs,
+        mean_abs_correlation: corr.mean_abs,
+        class_balance,
+        minority_ratio,
+        dimensionality: if table.n_rows() == 0 {
+            1.0
+        } else {
+            (n_attributes as f64 / table.n_rows() as f64).min(1.0)
+        },
+        outlier_ratio: outliers::outlier_ratio(table, &ex),
+        label_noise_estimate: label_noise,
+        attr_noise_estimate: noise::attribute_noise_estimate(
+            table,
+            &ex,
+            options.noise_k,
+            options.noise_max_rows,
+        ),
+        consistency: consistency::table_consistency(table, &ex),
+        distinct_class_count,
+    }
+}

@@ -1,0 +1,155 @@
+//! Frozen pre-rewrite noise estimators (see [`super`] for the contract).
+//!
+//! Full-sort kNN over a `Vec<Vec<f64>>` row matrix built from the *first*
+//! `max_rows` rows. Label noise uses only the target as an exclusion and
+//! `max_by_key` (last-maximum) tie-breaking — both were bugs, fixed in
+//! the live `crate::measure::noise` and kept here verbatim so the fixes
+//! stay visible as asserted behavior changes.
+
+use openbi_table::{Table, Value};
+
+/// Min-max normalized numeric feature matrix (rows × features); nulls
+/// become column means (0.5 after normalization of an empty column).
+fn feature_matrix(table: &Table, exclude: &[&str], max_rows: usize) -> Vec<Vec<f64>> {
+    let n = table.n_rows().min(max_rows);
+    let mut cols: Vec<Vec<f64>> = Vec::new();
+    for c in table.columns() {
+        if exclude.contains(&c.name()) || !c.dtype().is_numeric() {
+            continue;
+        }
+        let raw = c.to_f64_vec();
+        let vals: Vec<f64> = raw.iter().take(n).flatten().copied().collect();
+        if vals.is_empty() {
+            continue;
+        }
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let span = if hi > lo { hi - lo } else { 1.0 };
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let col: Vec<f64> = raw
+            .iter()
+            .take(n)
+            .map(|v| (v.unwrap_or(mean) - lo) / span)
+            .collect();
+        cols.push(col);
+    }
+    (0..n)
+        .map(|r| cols.iter().map(|c| c[r]).collect())
+        .collect()
+}
+
+fn sq_dist(a: &[f64], b: &[f64], skip: Option<usize>) -> f64 {
+    a.iter()
+        .zip(b)
+        .enumerate()
+        .filter(|(i, _)| Some(*i) != skip)
+        .map(|(_, (x, y))| (x - y) * (x - y))
+        .sum()
+}
+
+fn k_nearest(matrix: &[Vec<f64>], row: usize, k: usize, skip_dim: Option<usize>) -> Vec<usize> {
+    let mut dists: Vec<(usize, f64)> = (0..matrix.len())
+        .filter(|&j| j != row)
+        .map(|j| (j, sq_dist(&matrix[row], &matrix[j], skip_dim)))
+        .collect();
+    dists.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+    dists.into_iter().take(k).map(|(j, _)| j).collect()
+}
+
+/// k-NN disagreement estimate of label noise; 0.0 when there is no
+/// usable target or fewer than `k + 1` rows.
+///
+/// Frozen quirks (fixed in the live estimator): only the target column is
+/// excluded from the feature space, and a tie for the neighborhood
+/// majority resolves to the *last* tied label in insertion order.
+pub fn label_noise_estimate(table: &Table, target: &str, k: usize, max_rows: usize) -> f64 {
+    let Ok(target_col) = table.column(target) else {
+        return 0.0;
+    };
+    let n = table.n_rows().min(max_rows);
+    if n < k + 1 {
+        return 0.0;
+    }
+    let labels: Vec<Option<String>> = (0..n)
+        .map(|i| match target_col.get(i).expect("in-bounds") {
+            Value::Null => None,
+            v => Some(v.to_string()),
+        })
+        .collect();
+    let matrix = feature_matrix(table, &[target], max_rows);
+    if matrix.is_empty() || matrix[0].is_empty() {
+        return 0.0;
+    }
+    let mut disagreements = 0usize;
+    let mut counted = 0usize;
+    for i in 0..n {
+        let Some(label) = &labels[i] else { continue };
+        let neighbors = k_nearest(&matrix, i, k, None);
+        let mut votes: Vec<(String, usize)> = Vec::new();
+        for &j in &neighbors {
+            let Some(nl) = &labels[j] else { continue };
+            if let Some(entry) = votes.iter_mut().find(|(l, _)| l == nl) {
+                entry.1 += 1;
+            } else {
+                votes.push((nl.clone(), 1));
+            }
+        }
+        let Some((majority, _)) = votes.iter().max_by_key(|(_, c)| *c) else {
+            continue;
+        };
+        counted += 1;
+        if majority != label {
+            disagreements += 1;
+        }
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        disagreements as f64 / counted as f64
+    }
+}
+
+/// Local-roughness estimate of attribute noise in `[0,1]`; 0.0 when the
+/// table has fewer than two numeric attributes or too few rows.
+pub fn attribute_noise_estimate(table: &Table, exclude: &[&str], k: usize, max_rows: usize) -> f64 {
+    let matrix = feature_matrix(table, exclude, max_rows);
+    let n = matrix.len();
+    if n < k + 1 {
+        return 0.0;
+    }
+    let dims = matrix[0].len();
+    if dims < 2 {
+        return 0.0;
+    }
+    let mut ratios: Vec<f64> = Vec::with_capacity(dims);
+    for d in 0..dims {
+        let global_mean = matrix.iter().map(|r| r[d]).sum::<f64>() / n as f64;
+        let global_var = matrix
+            .iter()
+            .map(|r| (r[d] - global_mean) * (r[d] - global_mean))
+            .sum::<f64>()
+            / n as f64;
+        if global_var < 1e-12 {
+            continue;
+        }
+        let mut local_var_sum = 0.0;
+        for i in 0..n {
+            let neighbors = k_nearest(&matrix, i, k, Some(d));
+            let vals: Vec<f64> = neighbors
+                .iter()
+                .map(|&j| matrix[j][d])
+                .chain(std::iter::once(matrix[i][d]))
+                .collect();
+            let m = vals.iter().sum::<f64>() / vals.len() as f64;
+            local_var_sum +=
+                vals.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / vals.len() as f64;
+        }
+        let local_var = local_var_sum / n as f64;
+        ratios.push((local_var / global_var).min(1.0));
+    }
+    if ratios.is_empty() {
+        0.0
+    } else {
+        ratios.iter().sum::<f64>() / ratios.len() as f64
+    }
+}

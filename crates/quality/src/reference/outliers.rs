@@ -1,0 +1,49 @@
+//! Frozen outlier-ratio measurement (see [`super`] for the contract).
+//!
+//! Materializes the per-column outlier index list just to count it; the
+//! live kernel sorts once per column into a reused scratch buffer and
+//! counts fence violations directly.
+
+use openbi_table::{stats, Column, Table};
+
+/// Row indices of cells outside the `k`×IQR fences of a numeric column.
+pub fn iqr_outliers(column: &Column, k: f64) -> Vec<usize> {
+    let values = column.to_f64_vec();
+    let mut non_null: Vec<f64> = values.iter().flatten().copied().collect();
+    if non_null.len() < 4 {
+        return vec![];
+    }
+    non_null.sort_by(f64::total_cmp);
+    let q1 = stats::quantile_sorted(&non_null, 0.25);
+    let q3 = stats::quantile_sorted(&non_null, 0.75);
+    let iqr = q3 - q1;
+    let lo = q1 - k * iqr;
+    let hi = q3 + k * iqr;
+    values
+        .iter()
+        .enumerate()
+        .filter_map(|(i, v)| match v {
+            Some(x) if *x < lo || *x > hi => Some(i),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Fraction of numeric cells that are 1.5×IQR outliers, over the whole
+/// table (excluding the named columns).
+pub fn outlier_ratio(table: &Table, exclude: &[&str]) -> f64 {
+    let mut outliers = 0usize;
+    let mut cells = 0usize;
+    for c in table.columns() {
+        if exclude.contains(&c.name()) || !c.dtype().is_numeric() {
+            continue;
+        }
+        outliers += iqr_outliers(c, 1.5).len();
+        cells += c.len() - c.null_count();
+    }
+    if cells == 0 {
+        0.0
+    } else {
+        outliers as f64 / cells as f64
+    }
+}

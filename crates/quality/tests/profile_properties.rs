@@ -1,0 +1,174 @@
+//! Property tests: every ratio field of a [`QualityProfile`] is finite
+//! and in `[0, 1]` no matter how adversarial the table — all-null
+//! columns, constant columns, NaN and ±∞ cells, zero rows, a single row,
+//! missing or degenerate targets — and for **both** the live columnar
+//! kernels and the frozen `reference` implementation (the invariant is
+//! part of the equivalence contract, not a rewrite artifact).
+
+use openbi_quality::{measure_profile, reference, MeasureOptions, QualityProfile};
+use openbi_table::{Column, Table};
+use proptest::prelude::*;
+
+/// Every profile field that is a ratio/score bounded to the unit
+/// interval, by name.
+fn ratio_fields(p: &QualityProfile) -> [(&'static str, f64); 11] {
+    [
+        ("completeness", p.completeness),
+        ("duplicate_ratio", p.duplicate_ratio),
+        ("max_abs_correlation", p.max_abs_correlation),
+        ("mean_abs_correlation", p.mean_abs_correlation),
+        ("class_balance", p.class_balance),
+        ("minority_ratio", p.minority_ratio),
+        ("dimensionality", p.dimensionality),
+        ("outlier_ratio", p.outlier_ratio),
+        ("label_noise_estimate", p.label_noise_estimate),
+        ("attr_noise_estimate", p.attr_noise_estimate),
+        ("consistency", p.consistency),
+    ]
+}
+
+fn assert_profile_in_unit_range(p: &QualityProfile, ctx: &str) {
+    for (name, v) in ratio_fields(p) {
+        assert!(
+            v.is_finite() && (0.0..=1.0).contains(&v),
+            "{ctx}: {name} must be finite and in [0,1], got {v}"
+        );
+    }
+}
+
+fn check_both(table: &Table, options: &MeasureOptions, ctx: &str) {
+    assert_profile_in_unit_range(&measure_profile(table, options), &format!("live/{ctx}"));
+    assert_profile_in_unit_range(
+        &reference::measure_profile(table, options),
+        &format!("reference/{ctx}"),
+    );
+}
+
+/// One adversarial cell: nulls, NaN, infinities, signed zeros, and
+/// ordinary values all appear.
+fn cell() -> impl Strategy<Value = Option<f64>> {
+    prop_oneof![
+        3 => prop::num::f64::NORMAL.prop_map(Some),
+        1 => Just(None),
+        1 => Just(Some(f64::NAN)),
+        1 => Just(Some(f64::INFINITY)),
+        1 => Just(Some(f64::NEG_INFINITY)),
+        1 => Just(Some(0.0)),
+        1 => Just(Some(-0.0)),
+        1 => (-5i64..5).prop_map(|i| Some(i as f64)),
+    ]
+}
+
+fn label() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        4 => prop::sample::select(vec!["a", "b", "c"]).prop_map(|s| Some(s.to_string())),
+        1 => Just(None),
+        1 => Just(Some(String::new())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Random mixed tables: numeric columns full of NaN/∞/null traps,
+    /// a string label column with nulls and empties.
+    #[test]
+    fn random_adversarial_tables_stay_in_range(
+        n_rows in 0usize..14,
+        n_cols in 1usize..5,
+        cells in prop::collection::vec(cell(), 0..70),
+        labels in prop::collection::vec(label(), 0..14),
+        with_target in any::<bool>(),
+    ) {
+        let mut columns = Vec::new();
+        for c in 0..n_cols {
+            let col: Vec<Option<f64>> = (0..n_rows)
+                .map(|r| cells.get(c * n_rows + r).copied().flatten())
+                .collect();
+            columns.push(Column::from_opt_f64(format!("f{c}"), col));
+        }
+        let class: Vec<Option<String>> = (0..n_rows)
+            .map(|r| labels.get(r).cloned().flatten())
+            .collect();
+        columns.push(Column::from_opt_str("class", class));
+        let table = Table::new(columns).unwrap();
+        let options = if with_target {
+            MeasureOptions::with_target("class")
+        } else {
+            MeasureOptions::default()
+        };
+        check_both(&table, &options, "random");
+    }
+}
+
+#[test]
+fn named_edge_cases_stay_in_range() {
+    let nan_col = |n: usize| vec![Some(f64::NAN); n];
+    let cases: Vec<(&str, Table)> = vec![
+        (
+            "zero-row",
+            Table::new(vec![
+                Column::from_f64("x", Vec::<f64>::new()),
+                Column::from_str_values("class", Vec::<&str>::new()),
+            ])
+            .unwrap(),
+        ),
+        (
+            "single-row",
+            Table::new(vec![
+                Column::from_f64("x", [1.0]),
+                Column::from_str_values("class", ["a"]),
+            ])
+            .unwrap(),
+        ),
+        (
+            "all-null",
+            Table::new(vec![
+                Column::from_opt_f64("x", vec![None; 6]),
+                Column::from_opt_i64("y", vec![None; 6]),
+                Column::from_opt_str("class", vec![None::<String>; 6]),
+            ])
+            .unwrap(),
+        ),
+        (
+            "constant",
+            Table::new(vec![
+                Column::from_f64("x", vec![3.0; 8]),
+                Column::from_i64("y", vec![7; 8]),
+                Column::from_str_values("class", vec!["a"; 8]),
+            ])
+            .unwrap(),
+        ),
+        (
+            "all-nan",
+            Table::new(vec![
+                Column::from_opt_f64("x", nan_col(8)),
+                Column::from_opt_f64("y", nan_col(8)),
+                Column::from_str_values("class", ["a", "b", "a", "b", "a", "b", "a", "b"]),
+            ])
+            .unwrap(),
+        ),
+        (
+            "mixed-inf",
+            Table::new(vec![
+                Column::from_f64("x", [f64::INFINITY, f64::NEG_INFINITY, 1.0, 2.0, 3.0, 4.0]),
+                Column::from_f64("y", [1.0, 2.0, f64::NAN, 4.0, 5.0, 6.0]),
+                Column::from_str_values("class", ["a", "b", "a", "b", "a", "b"]),
+            ])
+            .unwrap(),
+        ),
+    ];
+    for (name, table) in cases {
+        check_both(&table, &MeasureOptions::with_target("class"), name);
+        check_both(&table, &MeasureOptions::default(), name);
+        check_both(
+            &table,
+            &MeasureOptions {
+                target: Some("class".into()),
+                exclude: vec!["x".into()],
+                ..Default::default()
+            },
+            name,
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Content fingerprinting for tables, columns, and rows.
+//!
+//! The quality layer caches a full [`crate::Table`] profile under a key
+//! derived from the table *contents* (not its identity), so two
+//! materializations of the same `(dataset, degradation, seed)` cell hit the
+//! same cache slot. That needs a hash that is:
+//!
+//! * **deterministic across processes** — `std::collections::HashMap`'s
+//!   SipHash keys are randomized per process, so we roll a fixed-key
+//!   FNV-style mixer instead;
+//! * **wide enough that collisions are ignorable** — two independent 64-bit
+//!   lanes give a 128-bit digest; at the cache's working-set sizes
+//!   (hundreds of tables) accidental collision probability is ~2⁻¹⁰⁰;
+//! * **canonical over floats** — every NaN bit pattern collapses to one
+//!   fingerprint (mirroring how `Value::to_string` renders all NaNs as
+//!   `"NaN"`), while `0.0` and `-0.0` stay distinct (they stringify
+//!   differently and are legitimately different bit patterns).
+//!
+//! The digest covers schema and data: column names, declared dtypes, the
+//! row count, and every cell column-major with explicit null/value tags.
+
+/// Fixed odd multiplier for the first lane (the 64-bit FNV prime).
+const LANE0_PRIME: u64 = 0x0000_0100_0000_01B3;
+/// Fixed odd multiplier for the second lane (golden-ratio based).
+const LANE1_PRIME: u64 = 0x9E37_79B9_7F4A_7C15;
+/// FNV-1a offset basis, seeding the first lane.
+const LANE0_SEED: u64 = 0xCBF2_9CE4_8422_2325;
+/// Arbitrary non-zero seed for the second lane.
+const LANE1_SEED: u64 = 0x5851_F42D_4C95_7F2D;
+
+/// SplitMix64 finalizer: diffuses every input bit across the word.
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mix one 64-bit word into a running 64-bit hash with a fixed key.
+///
+/// Exposed for per-row hashing in the duplicate-detection kernel: fold each
+/// cell's canonical word into an accumulator seeded with [`row_hash_seed`].
+pub fn mix_u64(h: u64, word: u64) -> u64 {
+    finalize((h ^ word).wrapping_mul(LANE1_PRIME))
+}
+
+/// Starting accumulator for [`mix_u64`]-based row hashing.
+pub fn row_hash_seed() -> u64 {
+    LANE1_SEED
+}
+
+/// Canonical bit pattern of an `f64` for hashing/equality: all NaNs map to
+/// one pattern; everything else (including `-0.0` vs `0.0`) keeps its bits.
+pub fn canonical_f64_bits(x: f64) -> u64 {
+    if x.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+/// Incremental 128-bit content hasher (two independent 64-bit lanes).
+#[derive(Debug, Clone)]
+pub struct Fnv128 {
+    lane0: u64,
+    lane1: u64,
+}
+
+impl Default for Fnv128 {
+    fn default() -> Self {
+        Fnv128::new()
+    }
+}
+
+impl Fnv128 {
+    /// Fresh hasher with the fixed seeds.
+    pub fn new() -> Self {
+        Fnv128 {
+            lane0: LANE0_SEED,
+            lane1: LANE1_SEED,
+        }
+    }
+
+    /// Mix one 64-bit word into both lanes.
+    pub fn write_u64(&mut self, word: u64) {
+        self.lane0 = (self.lane0 ^ word).wrapping_mul(LANE0_PRIME);
+        self.lane0 = self.lane0.rotate_left(29) ^ word.rotate_left(17);
+        self.lane1 = finalize((self.lane1 ^ word).wrapping_mul(LANE1_PRIME));
+    }
+
+    /// Mix a byte string (length-prefixed, then 8-byte words with
+    /// zero-padded tail) so `["ab","c"]` and `["a","bc"]` differ.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// Finish: both lanes pass through the finalizer and concatenate.
+    pub fn finish(&self) -> u128 {
+        let lo = finalize(self.lane0);
+        let hi = finalize(self.lane1 ^ self.lane0.rotate_left(32));
+        ((hi as u128) << 64) | lo as u128
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Fnv128::new();
+        a.write_u64(1);
+        a.write_u64(2);
+        let mut b = Fnv128::new();
+        b.write_u64(1);
+        b.write_u64(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv128::new();
+        c.write_u64(2);
+        c.write_u64(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn byte_boundaries_matter() {
+        let mut a = Fnv128::new();
+        a.write_bytes(b"ab");
+        a.write_bytes(b"c");
+        let mut b = Fnv128::new();
+        b.write_bytes(b"a");
+        b.write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn canonical_floats() {
+        let nan1 = f64::NAN;
+        let nan2 = f64::from_bits(0x7FF8_0000_0000_0001);
+        assert!(nan2.is_nan());
+        assert_eq!(canonical_f64_bits(nan1), canonical_f64_bits(nan2));
+        assert_ne!(canonical_f64_bits(0.0), canonical_f64_bits(-0.0));
+        assert_eq!(canonical_f64_bits(1.5), 1.5f64.to_bits());
+    }
+
+    #[test]
+    fn mix_u64_spreads_small_inputs() {
+        let h0 = row_hash_seed();
+        let a = mix_u64(h0, 0);
+        let b = mix_u64(h0, 1);
+        assert_ne!(a, b);
+        // A one-bit input difference flips a healthy share of output bits.
+        assert!((a ^ b).count_ones() >= 16);
+    }
+}

@@ -22,6 +22,7 @@
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod fingerprint;
 pub mod group;
 pub mod schema;
 pub mod stats;
@@ -31,6 +32,7 @@ pub mod value;
 pub use column::{Column, ColumnData};
 pub use csv::{read_csv_path, read_csv_str, write_csv_path, write_csv_str, CsvOptions};
 pub use error::{Result, TableError};
+pub use fingerprint::Fnv128;
 pub use group::{group_by, Aggregate};
 pub use schema::{Field, Schema};
 pub use stats::NumericSummary;

@@ -103,14 +103,19 @@ pub fn summarize(column: &Column) -> Result<NumericSummary> {
 }
 
 /// Pearson correlation between two numeric columns, over rows where both
-/// are non-null. `None` when fewer than two complete pairs or zero variance.
+/// are non-null **and finite** (NaN/±inf cells are treated like nulls, so
+/// one corrupt cell cannot poison the whole coefficient). `None` when fewer
+/// than two usable pairs or zero variance.
 pub fn pearson(a: &Column, b: &Column) -> Option<f64> {
     let av = a.to_f64_vec();
     let bv = b.to_f64_vec();
     let pairs: Vec<(f64, f64)> = av
         .iter()
         .zip(bv.iter())
-        .filter_map(|(x, y)| Some(((*x)?, (*y)?)))
+        .filter_map(|(x, y)| {
+            let (x, y) = ((*x)?, (*y)?);
+            (x.is_finite() && y.is_finite()).then_some((x, y))
+        })
         .collect();
     pearson_pairs(&pairs)
 }
@@ -191,15 +196,21 @@ pub fn value_counts(column: &Column) -> HashMap<String, usize> {
 }
 
 /// Shannon entropy (bits) of the distribution of distinct non-null values.
+///
+/// The per-class terms are summed in lexicographic key order so the result
+/// is a deterministic function of the distribution — summing in `HashMap`
+/// iteration order would make the low bits depend on hasher state.
 pub fn entropy(column: &Column) -> f64 {
     let counts = value_counts(column);
     let total: usize = counts.values().sum();
     if total == 0 {
         return 0.0;
     }
-    counts
-        .values()
-        .map(|&c| {
+    let mut items: Vec<(String, usize)> = counts.into_iter().collect();
+    items.sort_by(|a, b| a.0.cmp(&b.0));
+    items
+        .iter()
+        .map(|&(_, c)| {
             let p = c as f64 / total as f64;
             -p * p.log2()
         })
@@ -280,6 +291,16 @@ mod tests {
         let b = Column::from_opt_f64("b", [Some(2.0), None, Some(9.0), Some(6.0)]);
         // Complete pairs: (1,2),(3,6) — perfectly correlated.
         assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_skips_non_finite_pairs() {
+        let a = Column::from_f64("a", [1.0, 2.0, f64::NAN, 3.0]);
+        let b = Column::from_f64("b", [2.0, 4.0, 100.0, 6.0]);
+        // NaN row is dropped like a null; remaining pairs are collinear.
+        assert!((pearson(&a, &b).unwrap() - 1.0).abs() < 1e-12);
+        let c = Column::from_f64("c", [2.0, f64::INFINITY, 5.0, 6.0]);
+        assert!(pearson(&a, &c).is_some());
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The [`Table`]: an ordered collection of equally long named columns.
 
-use crate::column::Column;
+use crate::column::{Column, ColumnData};
 use crate::error::{Result, TableError};
+use crate::fingerprint::{canonical_f64_bits, Fnv128};
 use crate::schema::{Field, Schema};
 use crate::value::{DataType, Value};
 use std::fmt;
@@ -281,10 +282,14 @@ impl Table {
         self.take(&idx)
     }
 
-    /// Deterministic pseudo-random row sample of size `n` without
-    /// replacement (partial Fisher–Yates driven by a SplitMix64 stream, so
-    /// the substrate needs no external RNG dependency).
-    pub fn sample(&self, n: usize, seed: u64) -> Table {
+    /// The row indices [`Table::sample`] would select, in draw order.
+    ///
+    /// Exposed separately so callers that only need *which* rows were
+    /// picked (e.g. the quality noise estimators, which gather the sampled
+    /// rows into a scratch matrix) can skip materializing a new `Table`.
+    /// Partial Fisher–Yates driven by a SplitMix64 stream, so the substrate
+    /// needs no external RNG dependency.
+    pub fn sample_indices(&self, n: usize, seed: u64) -> Vec<usize> {
         let len = self.n_rows();
         let n = n.min(len);
         let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -301,6 +306,13 @@ impl Table {
             idx.swap(i, j);
         }
         idx.truncate(n);
+        idx
+    }
+
+    /// Deterministic pseudo-random row sample of size `n` without
+    /// replacement; see [`Table::sample_indices`] for the index stream.
+    pub fn sample(&self, n: usize, seed: u64) -> Table {
+        let idx = self.sample_indices(n, seed);
         self.take(&idx).expect("indices in bounds")
     }
 
@@ -336,6 +348,75 @@ impl Table {
     /// Total number of null cells in the table.
     pub fn total_null_count(&self) -> usize {
         self.columns.iter().map(|c| c.null_count()).sum()
+    }
+
+    /// 128-bit content fingerprint of schema and data.
+    ///
+    /// Covers column names, declared dtypes, the row count, and every cell
+    /// column-major with explicit null/value tags, so any edit — renaming a
+    /// column, flipping a cell to null, reordering columns — changes the
+    /// digest. Floats hash by canonical bits (all NaNs equal; `0.0` and
+    /// `-0.0` distinct), matching the equality the duplicate kernel uses.
+    /// Deterministic across runs and platforms; used by the quality layer's
+    /// profile cache to key measurements by content, not identity.
+    pub fn fingerprint(&self) -> u128 {
+        let mut h = Fnv128::new();
+        h.write_u64(self.columns.len() as u64);
+        h.write_u64(self.n_rows() as u64);
+        for c in &self.columns {
+            h.write_bytes(c.name().as_bytes());
+            match c.data() {
+                ColumnData::Int(v) => {
+                    h.write_u64(0);
+                    for cell in v {
+                        match cell {
+                            None => h.write_u64(0),
+                            Some(i) => {
+                                h.write_u64(1);
+                                h.write_u64(*i as u64);
+                            }
+                        }
+                    }
+                }
+                ColumnData::Float(v) => {
+                    h.write_u64(1);
+                    for cell in v {
+                        match cell {
+                            None => h.write_u64(0),
+                            Some(x) => {
+                                h.write_u64(1);
+                                h.write_u64(canonical_f64_bits(*x));
+                            }
+                        }
+                    }
+                }
+                ColumnData::Str(v) => {
+                    h.write_u64(2);
+                    for cell in v {
+                        match cell {
+                            None => h.write_u64(0),
+                            Some(s) => {
+                                h.write_u64(1);
+                                h.write_bytes(s.as_bytes());
+                            }
+                        }
+                    }
+                }
+                ColumnData::Bool(v) => {
+                    h.write_u64(3);
+                    for cell in v {
+                        match cell {
+                            None => h.write_u64(0),
+                            Some(b) => {
+                                h.write_u64(1);
+                                h.write_u64(*b as u64);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        h.finish()
     }
 
     /// Render the first `max_rows` rows as an aligned ASCII table.
@@ -515,6 +596,48 @@ mod tests {
         dedup.dedup();
         assert_eq!(dedup.len(), 3, "sampled without replacement");
         assert_eq!(t.sample(99, 1).n_rows(), 4);
+    }
+
+    #[test]
+    fn sample_indices_match_sample() {
+        let t = sample();
+        let idx = t.sample_indices(3, 42);
+        assert_eq!(idx.len(), 3);
+        assert_eq!(t.take(&idx).unwrap(), t.sample(3, 42));
+        assert_eq!(t.sample_indices(99, 1).len(), 4);
+        assert!(Table::empty().sample_indices(5, 7).is_empty());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let t = sample();
+        assert_eq!(t.fingerprint(), sample().fingerprint());
+        let mut edited = t.clone();
+        edited
+            .column_mut("score")
+            .unwrap()
+            .set(0, Value::Null)
+            .unwrap();
+        assert_ne!(t.fingerprint(), edited.fingerprint());
+        // Renames, reorders, and row slices all change the digest.
+        let mut renamed = t.clone();
+        renamed.column_mut("score").unwrap().set_name("points");
+        assert_ne!(t.fingerprint(), renamed.fingerprint());
+        let reordered = t.select(&["score", "id", "label"]).unwrap();
+        assert_ne!(t.fingerprint(), reordered.fingerprint());
+        let (head, _) = t.split_at(2).unwrap();
+        assert_ne!(t.fingerprint(), head.fingerprint());
+        // NaN payloads collapse; signed zeros stay distinct.
+        let a = Table::new(vec![Column::from_f64("x", [f64::NAN])]).unwrap();
+        let b = Table::new(vec![Column::from_f64(
+            "x",
+            [f64::from_bits(0x7FF8_0000_0000_0001)],
+        )])
+        .unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        let z = Table::new(vec![Column::from_f64("x", [0.0])]).unwrap();
+        let nz = Table::new(vec![Column::from_f64("x", [-0.0])]).unwrap();
+        assert_ne!(z.fingerprint(), nz.fingerprint());
     }
 
     #[test]

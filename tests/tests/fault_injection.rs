@@ -198,6 +198,52 @@ fn pipeline_degrades_instead_of_aborting() {
     assert!(report.contains("DEGRADED RUN"), "{report}");
 }
 
+/// The quality stage runs twice per pipeline — the raw profile in phase
+/// 2 (attempt 0) and the post-preprocessing re-measure in phase 4
+/// (attempt 1) — and **both** occurrences sit inside the degradation
+/// harness. A rule with two firings of budget must degrade both, leave
+/// `profile_after` at the phase-2 fallback it was cloned from, and still
+/// finish the run.
+#[test]
+fn quality_faults_in_both_phases_degrade_twice_and_complete() {
+    let source = DataSource::CsvText {
+        name: "chaos-demo-2".into(),
+        content: "a,b,label\n1,x,p\n2,y,q\n3,x,p\n4,y,q\n5,x,p\n6,y,q\n".into(),
+    };
+    let plan =
+        Arc::new(FaultPlan::new(5).with(FaultRule::error("pipeline.stage.quality").times(2)));
+    let cfg = PipelineConfig {
+        target: Some("label".into()),
+        folds: 2,
+        fault_plan: Some(plan),
+        ..Default::default()
+    };
+    let outcome = run_pipeline(source, &cfg, None).unwrap();
+    let quality_degradations: Vec<_> = outcome
+        .degraded
+        .iter()
+        .filter(|d| d.stage == "quality")
+        .collect();
+    assert_eq!(
+        quality_degradations.len(),
+        2,
+        "phase 2 and phase 4 must each record a quality degradation: {:?}",
+        outcome.degraded
+    );
+    assert!(
+        quality_degradations[1].fallback.contains("reused"),
+        "phase 4 falls back to the pre-preprocessing profile: {:?}",
+        quality_degradations[1].fallback
+    );
+    // Phase 2 fell back to the default profile and phase 4 reused it, so
+    // both sides of the before/after comparison are the same fallback.
+    assert_eq!(outcome.profile, outcome.profile_after);
+    assert!(
+        outcome.evaluation.is_some(),
+        "mining must still run after a double quality degradation"
+    );
+}
+
 /// The knowledge-base store's injection points are reached through the
 /// process-global slot, surface as ordinary I/O errors, and disappear
 /// on uninstall. Install/uninstall stay inside this one test; the plan

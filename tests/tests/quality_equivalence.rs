@@ -1,0 +1,385 @@
+//! Quality-kernel rewrite equivalence suite (DESIGN.md §12).
+//!
+//! The pre-rewrite row-wise measurement code is frozen in-tree as
+//! `openbi::quality::reference`. Every test here profiles the identical
+//! table through both implementations **in the same process** and
+//! demands byte-identical output for every exact criterion —
+//! completeness, duplicates, correlation, balance, outliers,
+//! consistency, dimensionality — across seeds {7, 21, 42, 1042}, with
+//! MCAR-degraded and multi-class corpora.
+//!
+//! The noise estimators carry the PR's three intentional fixes
+//! (exclusion threading, order-independent tie-breaking, seeded
+//! sampling instead of first-`max_rows` truncation), so they get the
+//! frozen-vs-live treatment the fixes demand instead: bitwise equality
+//! where no fix applies (2-class tables within the row cap), a pinned
+//! tolerance plus bit-stable reproducibility where sampling legitimately
+//! changed the estimate, and directional assertions for the tie fix.
+//!
+//! The grid layer pins the serving path: the §3.1 experiment grid must
+//! produce the same KB bytes at workers {1, 4}, with the profile cache
+//! disabled and enabled — a cached profile must be indistinguishable
+//! from a freshly measured one.
+
+use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
+use openbi::kb::SharedKnowledgeBase;
+use openbi::obs;
+use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
+use openbi_datagen::{make_blobs, BlobsConfig};
+use openbi_quality::{
+    measure_profile, measure_profile_cached, reference, Degradation, MeasureOptions,
+    MissingInjector, ProfileCache, QualityProfile,
+};
+use openbi_table::Table;
+use std::sync::{Arc, Mutex};
+
+const SEEDS: [u64; 4] = [7, 21, 42, 1042];
+const WORKERS: [usize; 2] = [1, 4];
+
+/// Serializes the tests that toggle the global profile cache or install
+/// a global metrics registry — both are process-wide.
+fn global_state_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn bits(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Assert every profile field matches to the exact bit, except the two
+/// noise estimates, which the caller checks per its corpus.
+fn assert_exact_criteria_bitwise(live: &QualityProfile, frozen: &QualityProfile, ctx: &str) {
+    assert_eq!(live.n_rows, frozen.n_rows, "{ctx}: n_rows");
+    assert_eq!(
+        live.n_attributes, frozen.n_attributes,
+        "{ctx}: n_attributes"
+    );
+    let fields: [(&str, f64, f64); 9] = [
+        ("completeness", live.completeness, frozen.completeness),
+        (
+            "duplicate_ratio",
+            live.duplicate_ratio,
+            frozen.duplicate_ratio,
+        ),
+        (
+            "max_abs_correlation",
+            live.max_abs_correlation,
+            frozen.max_abs_correlation,
+        ),
+        (
+            "mean_abs_correlation",
+            live.mean_abs_correlation,
+            frozen.mean_abs_correlation,
+        ),
+        ("class_balance", live.class_balance, frozen.class_balance),
+        ("minority_ratio", live.minority_ratio, frozen.minority_ratio),
+        ("dimensionality", live.dimensionality, frozen.dimensionality),
+        ("outlier_ratio", live.outlier_ratio, frozen.outlier_ratio),
+        ("consistency", live.consistency, frozen.consistency),
+    ];
+    for (name, l, f) in fields {
+        assert_eq!(
+            bits(l),
+            bits(f),
+            "{ctx}: {name} drifted from the row-wise reference ({l} vs {f})"
+        );
+    }
+    assert_eq!(
+        live.distinct_class_count, frozen.distinct_class_count,
+        "{ctx}: distinct_class_count"
+    );
+}
+
+/// 2-class corpora within the noise row cap: blobs, and the same blobs
+/// with 25% MCAR missing cells (labels kept intact so k-NN votes never
+/// thin out into ties).
+fn two_class_corpora(seed: u64) -> Vec<(String, Table)> {
+    let blobs = make_blobs(&BlobsConfig {
+        n_rows: 150,
+        n_features: 5,
+        n_classes: 2,
+        class_separation: 2.5,
+        seed,
+    });
+    let degraded = Degradation::new()
+        .then(MissingInjector::mcar(0.25).exclude(["class"]))
+        .apply(&blobs, seed)
+        .unwrap();
+    vec![
+        (format!("blobs-{seed}"), blobs),
+        (format!("blobs-mcar-{seed}"), degraded),
+    ]
+}
+
+/// On 2-class tables within the row cap, none of the three noise fixes
+/// can fire (full feature set, 5 votes over 2 labels never tie, no
+/// sampling) — so the *entire* profile, noise estimates included, must
+/// be bit-identical to the frozen reference.
+#[test]
+fn two_class_profiles_are_bitwise_identical_to_reference() {
+    for seed in SEEDS {
+        for (name, table) in two_class_corpora(seed) {
+            let opts = MeasureOptions::with_target("class");
+            let live = measure_profile(&table, &opts);
+            let frozen = reference::measure_profile(&table, &opts);
+            let ctx = format!("dataset {name}");
+            assert_exact_criteria_bitwise(&live, &frozen, &ctx);
+            assert_eq!(
+                bits(live.label_noise_estimate),
+                bits(frozen.label_noise_estimate),
+                "{ctx}: label noise must not drift without a tie or exclusion in play"
+            );
+            assert_eq!(
+                bits(live.attr_noise_estimate),
+                bits(frozen.attr_noise_estimate),
+                "{ctx}: attribute noise must not drift within the row cap"
+            );
+        }
+    }
+}
+
+/// With 3 classes, 5-vote neighborhoods can tie; the tie fix only ever
+/// removes disagreements, so the live estimate is bounded above by the
+/// reference. Every exact criterion still matches bitwise.
+#[test]
+fn three_class_profiles_match_except_tie_broken_label_noise() {
+    for seed in SEEDS {
+        let table = make_blobs(&BlobsConfig {
+            n_rows: 180,
+            n_features: 4,
+            n_classes: 3,
+            class_separation: 1.0,
+            seed,
+        });
+        let opts = MeasureOptions::with_target("class");
+        let live = measure_profile(&table, &opts);
+        let frozen = reference::measure_profile(&table, &opts);
+        let ctx = format!("blobs3-{seed}");
+        assert_exact_criteria_bitwise(&live, &frozen, &ctx);
+        assert_eq!(
+            bits(live.attr_noise_estimate),
+            bits(frozen.attr_noise_estimate),
+            "{ctx}: attribute noise must not drift within the row cap"
+        );
+        assert!(
+            live.label_noise_estimate <= frozen.label_noise_estimate,
+            "{ctx}: the tie fix can only remove disagreements \
+             (live {} vs reference {})",
+            live.label_noise_estimate,
+            frozen.label_noise_estimate
+        );
+        assert!(
+            (0.0..=1.0).contains(&live.label_noise_estimate),
+            "{ctx}: label noise out of range"
+        );
+    }
+}
+
+/// Beyond the row cap the estimators legitimately diverge (seeded sample
+/// vs. first-512 truncation). Pin the divergence: a fixed tolerance, the
+/// same seeded sample on every call (bit-stable), and both estimates in
+/// range.
+#[test]
+fn sampled_noise_estimates_are_pinned_and_reproducible() {
+    for seed in SEEDS {
+        let table = make_blobs(&BlobsConfig {
+            n_rows: 1500,
+            n_features: 4,
+            n_classes: 2,
+            class_separation: 2.0,
+            seed,
+        });
+        let opts = MeasureOptions::with_target("class");
+        let live = measure_profile(&table, &opts);
+        let frozen = reference::measure_profile(&table, &opts);
+        let ctx = format!("blobs-large-{seed}");
+        // Exact criteria never sample — still bitwise.
+        assert_exact_criteria_bitwise(&live, &frozen, &ctx);
+        // Homogeneous blobs: a fair sample and the prefix must land in
+        // the same neighborhood even though the rows differ.
+        assert!(
+            (live.attr_noise_estimate - frozen.attr_noise_estimate).abs() <= 0.2,
+            "{ctx}: attribute noise moved more than the pinned tolerance \
+             (live {} vs reference {})",
+            live.attr_noise_estimate,
+            frozen.attr_noise_estimate
+        );
+        for (name, v) in [
+            ("label_noise", live.label_noise_estimate),
+            ("attr_noise", live.attr_noise_estimate),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{ctx}: {name} out of range: {v}");
+        }
+        let again = measure_profile(&table, &opts);
+        assert_eq!(
+            bits(live.label_noise_estimate),
+            bits(again.label_noise_estimate),
+            "{ctx}: seeded sampling must be reproducible"
+        );
+        assert_eq!(
+            bits(live.attr_noise_estimate),
+            bits(again.attr_noise_estimate),
+            "{ctx}: seeded sampling must be reproducible"
+        );
+    }
+}
+
+fn grid_datasets() -> Vec<ExperimentDataset> {
+    [1u64, 2]
+        .iter()
+        .map(|&seed| {
+            ExperimentDataset::new(
+                format!("blobs-{seed}"),
+                make_blobs(&BlobsConfig {
+                    n_rows: 120,
+                    n_features: 4,
+                    n_classes: 2,
+                    class_separation: 3.0,
+                    seed,
+                }),
+                "class",
+            )
+        })
+        .collect()
+}
+
+/// Order-independent, timing-free KB fingerprint (`train_ms` is the only
+/// wall-clock field in a record).
+fn kb_fingerprint(kb: &SharedKnowledgeBase) -> Vec<String> {
+    let mut keys: Vec<String> = kb
+        .snapshot()
+        .records()
+        .iter()
+        .map(|r| {
+            let mut r = r.clone();
+            r.metrics.train_ms = 0.0;
+            serde_json::to_string(&r).unwrap()
+        })
+        .collect();
+    keys.sort();
+    keys
+}
+
+fn run_grid_fingerprint(workers: usize) -> Vec<String> {
+    let kb = SharedKnowledgeBase::default();
+    let config = ExperimentConfig {
+        severities: vec![0.0, 1.0],
+        folds: 2,
+        seed: 42,
+        parallel: workers > 1,
+        workers,
+        ..ExperimentConfig::default()
+    };
+    let criteria = [Criterion::Completeness, Criterion::LabelNoise];
+    let report = run_phase1_report(&grid_datasets(), &criteria, &config, &kb).unwrap();
+    assert!(
+        report.failures.is_empty(),
+        "{workers} workers: grid must run clean"
+    );
+    kb_fingerprint(&kb)
+}
+
+/// The experiment grid must produce the same KB bytes at every worker
+/// count, with the profile cache off and on — a cached profile must be
+/// indistinguishable from a fresh measurement.
+#[test]
+fn grid_kb_is_byte_identical_across_workers_and_cache_modes() {
+    let _guard = global_state_lock();
+    let cache = ProfileCache::global();
+    let mut fingerprints = Vec::new();
+    for enabled in [false, true] {
+        cache.set_enabled(enabled);
+        cache.clear();
+        for workers in WORKERS {
+            fingerprints.push((enabled, workers, run_grid_fingerprint(workers)));
+        }
+    }
+    cache.set_enabled(true);
+    let (_, _, baseline) = &fingerprints[0];
+    assert!(!baseline.is_empty(), "grid produced no KB records");
+    for (enabled, workers, fp) in &fingerprints[1..] {
+        assert_eq!(
+            fp, baseline,
+            "cache={enabled}, {workers} workers: KB bytes drifted from the \
+             cache-off 1-worker run"
+        );
+    }
+}
+
+/// Re-running the pipeline on an unchanged table must serve the quality
+/// profile from the cache — observable as `quality.cache.hits`.
+#[test]
+fn pipeline_records_cache_hits_for_unchanged_tables() {
+    let _guard = global_state_lock();
+    let cache = ProfileCache::global();
+    cache.set_enabled(true);
+    cache.clear();
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    obs::install(Arc::clone(&registry));
+    let table = make_blobs(&BlobsConfig {
+        n_rows: 80,
+        n_features: 3,
+        n_classes: 2,
+        class_separation: 3.0,
+        seed: 5,
+    });
+    let config = PipelineConfig {
+        target: Some("class".into()),
+        folds: 2,
+        ..PipelineConfig::default()
+    };
+    for _ in 0..2 {
+        let outcome = run_pipeline(
+            DataSource::Table {
+                name: "cached".into(),
+                table: table.clone(),
+            },
+            &config,
+            None,
+        )
+        .unwrap();
+        assert!(outcome.degraded.is_empty(), "pipeline must run clean");
+    }
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+    let hits = snapshot.counters.get("quality.cache.hits").copied();
+    assert!(
+        hits.is_some_and(|h| h >= 1),
+        "an unchanged table re-profiled twice must hit the cache; counters: {:?}",
+        snapshot.counters
+    );
+    // The cached path still timed its (cheap) measurements.
+    assert!(
+        snapshot.histograms.contains_key("quality.measure.seconds"),
+        "profile measurement must record its duration histogram"
+    );
+}
+
+/// A profile served through the cache must be byte-identical to a direct
+/// measurement — same struct, same bits.
+#[test]
+fn cached_profile_is_bitwise_identical_to_direct_measurement() {
+    let table = make_blobs(&BlobsConfig {
+        n_rows: 100,
+        n_features: 4,
+        n_classes: 2,
+        class_separation: 2.0,
+        seed: 13,
+    });
+    let opts = MeasureOptions::with_target("class");
+    let direct = measure_profile(&table, &opts);
+    let first = measure_profile_cached(&table, &opts);
+    let repeat = measure_profile_cached(&table, &opts);
+    for p in [&first, &repeat] {
+        assert_exact_criteria_bitwise(p, &direct, "cached vs direct");
+        assert_eq!(
+            bits(p.label_noise_estimate),
+            bits(direct.label_noise_estimate)
+        );
+        assert_eq!(
+            bits(p.attr_noise_estimate),
+            bits(direct.attr_noise_estimate)
+        );
+    }
+}
