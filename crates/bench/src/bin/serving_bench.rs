@@ -1,0 +1,319 @@
+//! Closed-loop knowledge-base serving benchmark: N client threads each
+//! fire M advisor queries against a store that is concurrently
+//! receiving publishes, comparing three read paths:
+//!
+//! - `snapshot` — [`AdvisorService`] over the lock-free snapshot-swap
+//!   [`SnapshotKnowledgeBase`] (readers pin a generation, never block);
+//! - `rwlock_clone` — the pre-serving baseline: deep-clone the
+//!   [`SharedKnowledgeBase`] under its read lock for every query;
+//! - `rwlock_read` — advise inside the read lock without cloning
+//!   (fast, but publisher writes stall every reader).
+//!
+//! Each (path, clients) cell reports queries/sec, exact p50/p90/p99
+//! query latency, and the generations (publish batches) applied while
+//! the clients ran. Writes `BENCH_serving.json` in the shared schema
+//! (`openbi_bench::report`, see EXPERIMENTS.md); a separate
+//! instrumented pass populates the document's metrics block
+//! (`serving.advise.seconds`, `kb.publish.*`, `kb.snapshot.generation`).
+//!
+//! ```text
+//! cargo run --release -p openbi-bench --bin serving_bench [-- --quick] [-- out.json]
+//! ```
+
+use openbi::kb::{Advisor, AdvisorService, ExperimentRecord, KnowledgeBase};
+use openbi::kb::{SharedKnowledgeBase, SnapshotKnowledgeBase};
+use openbi::obs;
+use openbi::quality::QualityProfile;
+use openbi_bench::{
+    bench_doc, latency_summary, queries_per_second, random_profile, synthetic_records,
+    write_bench_json, LatencySummary,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const QUERY_PROFILES: usize = 64;
+/// Records per publish batch fed to the store while clients query.
+const PUBLISH_BATCH: usize = 64;
+/// Distinct pre-generated publish batches the publisher cycles over.
+const PUBLISH_BATCHES: usize = 32;
+
+struct Scale {
+    seed_records: usize,
+    clients: &'static [usize],
+    /// Queries per client on the pin/read paths.
+    queries: usize,
+    /// Queries per client on the deep-clone baseline — O(KB) per query,
+    /// so kept small the same way `advisor_bench` caps its reference
+    /// path.
+    clone_queries: usize,
+}
+
+const FULL: Scale = Scale {
+    seed_records: 20_000,
+    clients: &[1, 2, 4, 8],
+    queries: 2_000,
+    clone_queries: 50,
+};
+
+const QUICK: Scale = Scale {
+    seed_records: 2_000,
+    clients: &[2, 8],
+    queries: 200,
+    clone_queries: 10,
+};
+
+/// One measured (path, clients) cell.
+struct Row {
+    path: &'static str,
+    clients: usize,
+    queries: usize,
+    qps: f64,
+    latency_us: LatencySummary,
+    generations: u64,
+}
+
+/// Run `clients` closed-loop query threads to completion while a
+/// publisher thread applies `publish_tick` until they finish. Returns
+/// wall-clock queries/sec and every per-query latency in microseconds.
+fn closed_loop(
+    clients: usize,
+    queries_per_client: usize,
+    profiles: &[QualityProfile],
+    advise: &(impl Fn(&QualityProfile) + Sync),
+    mut publish_tick: impl FnMut() + Send,
+) -> (f64, Vec<f64>) {
+    let stop = AtomicBool::new(false);
+    let t0 = Instant::now();
+    let (elapsed, latencies) = std::thread::scope(|s| {
+        let workers: Vec<_> = (0..clients)
+            .map(|c| {
+                s.spawn(move || {
+                    let mut lat = Vec::with_capacity(queries_per_client);
+                    for q in 0..queries_per_client {
+                        // Stagger clients across the profile pool so
+                        // they do not query in lockstep.
+                        let profile = &profiles[(c * 31 + q) % profiles.len()];
+                        let q0 = Instant::now();
+                        advise(profile);
+                        lat.push(q0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let publisher = s.spawn({
+            let stop = &stop;
+            move || {
+                while !stop.load(Ordering::Relaxed) {
+                    publish_tick();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+        });
+        let mut latencies = Vec::with_capacity(clients * queries_per_client);
+        for w in workers {
+            latencies.extend(w.join().expect("client thread"));
+        }
+        let elapsed = t0.elapsed().as_secs_f64();
+        stop.store(true, Ordering::Relaxed);
+        publisher.join().expect("publisher thread");
+        (elapsed, latencies)
+    });
+    (
+        queries_per_second(clients * queries_per_client, elapsed),
+        latencies,
+    )
+}
+
+fn run_snapshot_path(
+    clients: usize,
+    queries: usize,
+    seed_kb: &KnowledgeBase,
+    profiles: &[QualityProfile],
+    batches: &[Vec<ExperimentRecord>],
+) -> Row {
+    let store = Arc::new(SnapshotKnowledgeBase::new(seed_kb.clone()));
+    let service = AdvisorService::new(Advisor::default(), Arc::clone(&store));
+    let mut next = 0usize;
+    let publisher_store = Arc::clone(&store);
+    let (qps, mut lat) = closed_loop(
+        clients,
+        queries,
+        profiles,
+        &|p| {
+            service.advise(p).expect("snapshot advise");
+        },
+        move || {
+            publisher_store.add_batch(batches[next % batches.len()].clone());
+            next += 1;
+        },
+    );
+    Row {
+        path: "snapshot",
+        clients,
+        queries: clients * queries,
+        qps,
+        latency_us: latency_summary(&mut lat),
+        generations: store.generation(),
+    }
+}
+
+fn rwlock_row(
+    path: &'static str,
+    clients: usize,
+    queries: usize,
+    seed_kb: &KnowledgeBase,
+    profiles: &[QualityProfile],
+    batches: &[Vec<ExperimentRecord>],
+    advise: &(impl Fn(&SharedKnowledgeBase, &QualityProfile) + Sync),
+) -> Row {
+    let shared = SharedKnowledgeBase::new(seed_kb.clone());
+    let published = AtomicU64::new(0);
+    let mut next = 0usize;
+    let (qps, mut lat) = {
+        let shared_pub = shared.clone();
+        let published = &published;
+        closed_loop(
+            clients,
+            queries,
+            profiles,
+            &|p| advise(&shared, p),
+            move || {
+                shared_pub.add_batch(batches[next % batches.len()].clone());
+                next += 1;
+                published.fetch_add(1, Ordering::Relaxed);
+            },
+        )
+    };
+    Row {
+        path,
+        clients,
+        queries: clients * queries,
+        qps,
+        latency_us: latency_summary(&mut lat),
+        generations: published.load(Ordering::Relaxed),
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_serving.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let scale = if quick { QUICK } else { FULL };
+
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let mut seed_kb = KnowledgeBase::new();
+    seed_kb.add_batch(synthetic_records(scale.seed_records, &mut state));
+    let profiles: Vec<QualityProfile> = (0..QUERY_PROFILES)
+        .map(|_| random_profile(&mut state))
+        .collect();
+    let batches: Vec<Vec<ExperimentRecord>> = (0..PUBLISH_BATCHES)
+        .map(|_| synthetic_records(PUBLISH_BATCH, &mut state))
+        .collect();
+
+    let advisor = Advisor::default();
+    let mut rows = Vec::new();
+    for &clients in scale.clients {
+        let snapshot = run_snapshot_path(clients, scale.queries, &seed_kb, &profiles, &batches);
+        let clone = rwlock_row(
+            "rwlock_clone",
+            clients,
+            scale.clone_queries,
+            &seed_kb,
+            &profiles,
+            &batches,
+            &|shared, p| {
+                let kb = shared.snapshot();
+                advisor.advise(&kb, p).expect("clone advise");
+            },
+        );
+        let read = rwlock_row(
+            "rwlock_read",
+            clients,
+            scale.queries,
+            &seed_kb,
+            &profiles,
+            &batches,
+            &|shared, p| {
+                shared
+                    .with_read(|kb| advisor.advise(kb, p))
+                    .expect("read advise");
+            },
+        );
+        let speedup = if clone.qps > 0.0 {
+            snapshot.qps / clone.qps
+        } else {
+            0.0
+        };
+        for row in [&snapshot, &clone, &read] {
+            println!(
+                "{:>2} clients  {:<12}  {:>10.1} q/s  p50 {:>8.1}µs  p99 {:>9.1}µs  {:>4} gen",
+                row.clients,
+                row.path,
+                row.qps,
+                row.latency_us.p50,
+                row.latency_us.p99,
+                row.generations
+            );
+        }
+        println!("            snapshot vs rwlock_clone: ×{speedup:.1}");
+        rows.extend([snapshot, clone, read].map(|row| {
+            serde_json::json!({
+                "path": row.path,
+                "clients": row.clients,
+                "queries": row.queries,
+                "queries_per_second": row.qps,
+                "latency_us": {
+                    "p50": row.latency_us.p50,
+                    "p90": row.latency_us.p90,
+                    "p99": row.latency_us.p99,
+                },
+                "generations_published": row.generations,
+            })
+        }));
+    }
+
+    // Instrumented pass (outside the timed sweep): a short snapshot-path
+    // run with a registry installed, so the document's metrics block
+    // carries serving.advise.seconds, kb.publish.*, and the final
+    // kb.snapshot.generation gauge.
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    obs::install(Arc::clone(&registry));
+    let store = Arc::new(SnapshotKnowledgeBase::new(seed_kb.clone()));
+    let service = AdvisorService::new(Advisor::default(), Arc::clone(&store));
+    for (i, profile) in profiles.iter().enumerate() {
+        service.advise(profile).expect("instrumented advise");
+        if i % 8 == 0 {
+            store.add_batch(batches[(i / 8) % batches.len()].clone());
+        }
+    }
+    service
+        .advise_many(&profiles)
+        .expect("instrumented batch advise");
+    store.flush().expect("instrumented flush");
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+
+    let doc = bench_doc(
+        "kb_serving",
+        serde_json::json!({
+            "quick": quick,
+            "seed_kb_records": scale.seed_records,
+            "query_profiles": QUERY_PROFILES,
+            "clients": scale.clients,
+            "queries_per_client": scale.queries,
+            "clone_queries_per_client": scale.clone_queries,
+            "publish_batch_records": PUBLISH_BATCH,
+        }),
+        serde_json::json!(rows),
+        &snapshot,
+    );
+    write_bench_json(&out_path, &doc);
+}

@@ -18,7 +18,9 @@ pub mod kernels;
 pub mod quality;
 pub mod report;
 pub mod result_table;
+pub mod serving;
 
 pub use harness::{default_datasets, fast_suite, severity_sweep, summarize_series, SEVERITIES};
 pub use report::{bench_doc, best_of_seconds, queries_per_second, write_bench_json};
 pub use result_table::{Cell, ResultTable};
+pub use serving::{latency_summary, percentile, random_profile, synthetic_records, LatencySummary};

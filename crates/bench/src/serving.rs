@@ -1,0 +1,147 @@
+//! Shared workload helpers for the closed-loop serving benchmark
+//! (`serving_bench`): deterministic synthetic knowledge-base records,
+//! random query profiles, and exact percentile summaries over per-query
+//! latency samples.
+//!
+//! The record/profile generators mirror `advisor_bench`'s xorshift
+//! workload so serving numbers stay comparable with the single-threaded
+//! advisor numbers across PRs.
+
+use openbi::kb::{ExperimentRecord, PerfMetrics};
+use openbi::quality::QualityProfile;
+
+/// Distinct algorithm labels in the synthetic workload.
+pub const ALGORITHMS: usize = 12;
+/// Distinct dataset labels in the synthetic workload.
+pub const DATASETS: usize = 40;
+
+/// Advance the xorshift64 generator and return the next value.
+pub fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Uniform sample in `[0, 1)` from the xorshift stream.
+pub fn unit(state: &mut u64) -> f64 {
+    (xorshift(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A random-but-plausible quality profile for advisor queries.
+pub fn random_profile(state: &mut u64) -> QualityProfile {
+    QualityProfile {
+        completeness: unit(state),
+        duplicate_ratio: unit(state) * 0.3,
+        class_balance: unit(state),
+        outlier_ratio: unit(state) * 0.2,
+        label_noise_estimate: unit(state) * 0.4,
+        attr_noise_estimate: unit(state) * 0.4,
+        ..Default::default()
+    }
+}
+
+/// Deterministic synthetic experiment records spanning [`ALGORITHMS`]
+/// algorithm labels and [`DATASETS`] dataset labels, for seeding a
+/// serving store or feeding a publisher thread.
+pub fn synthetic_records(records: usize, state: &mut u64) -> Vec<ExperimentRecord> {
+    (0..records)
+        .map(|i| {
+            let acc = 0.4 + unit(state) * 0.6;
+            ExperimentRecord {
+                dataset: format!("dataset-{}", i % DATASETS),
+                degradations: vec![],
+                profile: random_profile(state),
+                algorithm: format!("algorithm-{:02}", i % ALGORITHMS),
+                metrics: PerfMetrics {
+                    accuracy: acc,
+                    macro_f1: acc - 0.05,
+                    minority_f1: acc - 0.1,
+                    kappa: 2.0 * acc - 1.0,
+                    train_ms: 1.0,
+                    model_size: 1.0,
+                },
+                seed: i as u64,
+            }
+        })
+        .collect()
+}
+
+/// Exact percentile (nearest-rank) over an **ascending-sorted** slice.
+/// `p` is in `[0, 100]`; an empty slice yields `0.0`.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// p50/p90/p99 summary of a latency sample, in the sample's unit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Median latency.
+    pub p50: f64,
+    /// 90th-percentile latency.
+    pub p90: f64,
+    /// 99th-percentile latency.
+    pub p99: f64,
+}
+
+/// Sort the samples in place and take their nearest-rank p50/p90/p99.
+pub fn latency_summary(samples: &mut [f64]) -> LatencySummary {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    LatencySummary {
+        p50: percentile(samples, 50.0),
+        p90: percentile(samples, 90.0),
+        p99: percentile(samples, 99.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_uses_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50.0);
+        assert_eq!(percentile(&sorted, 90.0), 90.0);
+        assert_eq!(percentile(&sorted, 99.0), 99.0);
+        assert_eq!(percentile(&sorted, 100.0), 100.0);
+        assert_eq!(percentile(&sorted, 0.0), 1.0, "floor clamps to the minimum");
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.5], 99.0), 7.5);
+    }
+
+    #[test]
+    fn latency_summary_sorts_before_ranking() {
+        let mut samples = vec![9.0, 1.0, 5.0, 3.0, 7.0];
+        let summary = latency_summary(&mut samples);
+        assert_eq!(summary.p50, 5.0);
+        assert_eq!(summary.p99, 9.0);
+        assert!(samples.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn synthetic_records_are_deterministic_and_diverse() {
+        let mut a = 42u64;
+        let mut b = 42u64;
+        let first = synthetic_records(200, &mut a);
+        let second = synthetic_records(200, &mut b);
+        assert_eq!(first.len(), 200);
+        assert_eq!(
+            serde_json::to_string(&first).unwrap(),
+            serde_json::to_string(&second).unwrap(),
+            "same seed must reproduce the same workload"
+        );
+        let algorithms: std::collections::BTreeSet<_> =
+            first.iter().map(|r| r.algorithm.clone()).collect();
+        assert_eq!(algorithms.len(), ALGORITHMS);
+        for r in &first {
+            assert!((0.4..=1.0).contains(&r.metrics.accuracy));
+        }
+    }
+}

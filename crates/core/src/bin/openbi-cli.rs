@@ -9,6 +9,7 @@
 //!                     [--workers W] [--metrics-out metrics.json]
 //!                     [--fault-plan plan.txt] [--max-retries R]
 //!                     [--cell-deadline-ms MS]
+//!                     [--serving rwlock|snapshot] [--publish-capacity N]
 //! openbi-cli advise   <data.csv> --target COL --kb kb.jsonl
 //!                     [--neighbors N] [--bandwidth H]
 //!                     [--metrics-out metrics.json]
@@ -31,7 +32,7 @@
 //! [`MetricsSnapshot`]: openbi::obs::MetricsSnapshot
 
 use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
-use openbi::kb::{Advisor, KnowledgeBase, SharedKnowledgeBase};
+use openbi::kb::{Advisor, KnowledgeBase, SharedKnowledgeBase, SnapshotKnowledgeBase};
 use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
 use openbi::quality::{measure_profile, render_profile, MeasureOptions};
 use openbi::render_outcome;
@@ -98,6 +99,8 @@ USAGE:
                      [--fault-plan plan.txt]   (inject faults on a schedule)
                      [--max-retries R]         (retry failing cells R times)
                      [--cell-deadline-ms MS]   (abandon cells slower than MS)
+                     [--serving rwlock|snapshot]  (publish path; default rwlock)
+                     [--publish-capacity N]    (snapshot publish-queue bound)
 
   --metrics-out writes serving/executor metrics (latency histograms with
   p50/p90/p99, counters) captured during the command, e.g.:
@@ -292,24 +295,54 @@ fn cmd_experiments(args: &Args) -> ExitCode {
             ..Default::default()
         }
     };
-    let kb = SharedKnowledgeBase::default();
+    let serving = args.flag("serving").unwrap_or("rwlock");
     let metrics = metrics_registry(args);
     eprintln!(
-        "running phase 1 on {} datasets × {} criteria × {} severities ({} workers)…",
+        "running phase 1 on {} datasets × {} criteria × {} severities ({} workers, {serving} publish path)…",
         datasets.len(),
         Criterion::all().len(),
         config.severities.len(),
         config.effective_workers()
     );
-    match run_phase1_report(&datasets, &Criterion::all(), &config, &kb) {
-        Ok(report) => {
+    // The grid is generic over its record sink: the default RwLock
+    // store, or the snapshot-swap serving store (DESIGN.md §13) which
+    // coalesces worker flushes into published generations.
+    let run = match serving {
+        "rwlock" => {
+            let kb = SharedKnowledgeBase::default();
+            run_phase1_report(&datasets, &Criterion::all(), &config, &kb)
+                .map(|report| (report, kb.snapshot()))
+        }
+        "snapshot" => {
+            let capacity: usize = args
+                .flag("publish-capacity")
+                .and_then(|c| c.parse().ok())
+                .unwrap_or(openbi::kb::serving::DEFAULT_PUBLISH_CAPACITY);
+            let store = SnapshotKnowledgeBase::with_capacity(KnowledgeBase::new(), capacity);
+            run_phase1_report(&datasets, &Criterion::all(), &config, &store).and_then(|report| {
+                store.flush().map_err(openbi::OpenBiError::Kb)?;
+                eprintln!(
+                    "serving store published {} generation(s)",
+                    store.generation()
+                );
+                Ok((report, store.pin().kb().clone()))
+            })
+        }
+        other => {
+            return fail(&format!(
+                "unknown --serving mode {other:?} (rwlock|snapshot)"
+            ))
+        }
+    };
+    match run {
+        Ok((report, final_kb)) => {
             for f in &report.failures {
                 eprintln!(
                     "warning: skipped cell (dataset {}, seed {}) after {} attempt(s): {}",
                     f.dataset, f.seed, f.attempts, f.error
                 );
             }
-            if let Err(e) = kb.snapshot().save(out) {
+            if let Err(e) = final_kb.save(out) {
                 eprintln!("cannot save {out}: {e}");
                 return ExitCode::FAILURE;
             }

@@ -9,9 +9,12 @@
 //! Both phases flatten into independent [`ExperimentCell`]s — one per
 //! (dataset, degradation, seed) grid point — executed by a
 //! work-stealing worker pool (crossbeam injector/stealer deques)
-//! against a [`SharedKnowledgeBase`]. Each cell's seed is derived from
-//! its grid position, never from the worker that happens to run it, so
-//! any worker count produces the same records.
+//! against any [`RecordSink`]: the lock-based [`SharedKnowledgeBase`]
+//! (the default) or the snapshot-swap
+//! [`SnapshotKnowledgeBase`](openbi_kb::SnapshotKnowledgeBase) serving
+//! store (DESIGN.md §13). Each cell's seed is derived from its grid
+//! position, never from the worker that happens to run it, so any
+//! worker count produces the same records.
 //!
 //! ## Execution model (DESIGN.md §7)
 //!
@@ -50,7 +53,7 @@
 //! retries produces a byte-identical knowledge base.
 
 use crate::error::{OpenBiError, Result};
-use openbi_kb::{ExperimentRecord, PerfMetrics, SharedKnowledgeBase};
+use openbi_kb::{ExperimentRecord, PerfMetrics, RecordSink, SharedKnowledgeBase};
 use openbi_mining::eval::crossval::cross_validate;
 use openbi_mining::{AlgorithmSpec, EvalResult, Instances};
 use openbi_quality::inject::{
@@ -437,13 +440,13 @@ fn evaluate_cell(
 }
 
 /// Evaluate one degraded variant: returns the per-algorithm results and
-/// pushes records into the knowledge base.
-pub fn evaluate_variant(
+/// pushes records into the knowledge base (any [`RecordSink`]).
+pub fn evaluate_variant<S: RecordSink>(
     dataset: &ExperimentDataset,
     degradation: &Degradation,
     config: &ExperimentConfig,
     seed: u64,
-    kb: &SharedKnowledgeBase,
+    kb: &S,
 ) -> Result<Vec<(AlgorithmSpec, EvalResult)>> {
     let (records, evals) = evaluate_cell(dataset, degradation, config, seed)?;
     kb.add_batch(records);
@@ -763,14 +766,15 @@ fn next_cell(
 }
 
 /// Execute a flat cell list on the work-stealing worker pool. Workers
-/// batch records locally and flush them to `kb` in chunks, so the
-/// shared write lock is taken once per `FLUSH_THRESHOLD` records
-/// instead of once per record. Failed cells are collected, not fatal.
-pub fn run_cells(
+/// batch records locally and flush them to `kb` (any [`RecordSink`]) in
+/// chunks, so a lock-based sink's write lock is amortized over
+/// `FLUSH_THRESHOLD` records — and a snapshot-swap sink coalesces the
+/// flushes into few generations. Failed cells are collected, not fatal.
+pub fn run_cells<S: RecordSink>(
     datasets: &[ExperimentDataset],
     cells: Vec<ExperimentCell>,
     config: &ExperimentConfig,
-    kb: &SharedKnowledgeBase,
+    kb: &S,
 ) -> Result<GridReport> {
     let run_start = Instant::now();
     register_grid_histograms();
@@ -832,7 +836,6 @@ pub fn run_cells(
             let failures = &failures;
             let worker_stats = &worker_stats;
             let plan = plan.as_ref();
-            let kb = kb.clone();
             scope.spawn(move |_| {
                 let mut stats = WorkerStats {
                     worker: wi,
@@ -878,11 +881,11 @@ pub fn run_cells(
 
 /// Run phase 1 ("simple" criteria) on all datasets, reporting both the
 /// records produced and any skipped cells.
-pub fn run_phase1_report(
+pub fn run_phase1_report<S: RecordSink>(
     datasets: &[ExperimentDataset],
     criteria: &[Criterion],
     config: &ExperimentConfig,
-    kb: &SharedKnowledgeBase,
+    kb: &S,
 ) -> Result<GridReport> {
     let _phase = obs::span("grid.phase1.seconds");
     let cells = phase1_cells(datasets, criteria, config)?;
@@ -891,11 +894,11 @@ pub fn run_phase1_report(
 
 /// Run phase 2 ("mixed" criteria) on all datasets, reporting both the
 /// records produced and any skipped cells.
-pub fn run_phase2_report(
+pub fn run_phase2_report<S: RecordSink>(
     datasets: &[ExperimentDataset],
     pairs: &[(Criterion, Criterion)],
     config: &ExperimentConfig,
-    kb: &SharedKnowledgeBase,
+    kb: &S,
 ) -> Result<GridReport> {
     let _phase = obs::span("grid.phase2.seconds");
     let cells = phase2_cells(datasets, pairs, config)?;
@@ -904,22 +907,22 @@ pub fn run_phase2_report(
 
 /// Run phase 1 ("simple" criteria) on all datasets. Returns the number
 /// of knowledge-base records produced.
-pub fn run_phase1(
+pub fn run_phase1<S: RecordSink>(
     datasets: &[ExperimentDataset],
     criteria: &[Criterion],
     config: &ExperimentConfig,
-    kb: &SharedKnowledgeBase,
+    kb: &S,
 ) -> Result<usize> {
     run_phase1_report(datasets, criteria, config, kb).map(|r| r.records)
 }
 
 /// Run phase 2 ("mixed" criteria) on all datasets. Returns the number of
 /// knowledge-base records produced.
-pub fn run_phase2(
+pub fn run_phase2<S: RecordSink>(
     datasets: &[ExperimentDataset],
     pairs: &[(Criterion, Criterion)],
     config: &ExperimentConfig,
-    kb: &SharedKnowledgeBase,
+    kb: &S,
 ) -> Result<usize> {
     run_phase2_report(datasets, pairs, config, kb).map(|r| r.records)
 }
@@ -1315,5 +1318,48 @@ mod tests {
             run_phase1(&datasets, &[Criterion::LabelNoise], &config, &parallel_kb).unwrap();
         assert_eq!(serial, parallel);
         assert_eq!(serial_kb.len(), parallel_kb.len());
+    }
+
+    /// The executor is generic over its sink: running the same grid
+    /// into the snapshot-swap serving store must produce the same
+    /// record set as the lock-based store (order-independent — parallel
+    /// arrival order is worker-timing dependent on both paths).
+    #[test]
+    fn snapshot_sink_matches_shared_sink() {
+        use openbi_kb::SnapshotKnowledgeBase;
+
+        let datasets = vec![small_dataset()];
+        let criteria = [Criterion::Completeness, Criterion::LabelNoise];
+
+        let shared = SharedKnowledgeBase::default();
+        run_phase1(&datasets, &criteria, &fast_config(), &shared).unwrap();
+
+        let snapshot_store = SnapshotKnowledgeBase::default();
+        let config = ExperimentConfig {
+            parallel: true,
+            workers: 4,
+            ..fast_config()
+        };
+        run_phase1(&datasets, &criteria, &config, &snapshot_store).unwrap();
+        let generation = snapshot_store.flush().unwrap();
+        assert!(generation >= 1, "the grid must have published");
+        assert_eq!(snapshot_store.pending_len(), 0);
+
+        let fingerprint = |records: &[ExperimentRecord]| -> Vec<String> {
+            let mut keys: Vec<String> = records
+                .iter()
+                .map(|r| {
+                    let mut r = r.clone();
+                    r.metrics.train_ms = 0.0;
+                    serde_json::to_string(&r).unwrap()
+                })
+                .collect();
+            keys.sort();
+            keys
+        };
+        assert_eq!(
+            fingerprint(snapshot_store.pin().records()),
+            fingerprint(shared.snapshot().records())
+        );
     }
 }

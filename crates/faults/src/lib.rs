@@ -7,7 +7,8 @@
 //! absorb, so this crate makes faults a first-class, testable input:
 //!
 //! * [`FaultPlan`] maps named injection points (`grid.cell.run`,
-//!   `pipeline.stage.quality`, `kb.store.save`, …) to schedules of
+//!   `pipeline.stage.quality`, `kb.store.save`, `kb.publish`, …) to
+//!   schedules of
 //!   [`FaultKind::Error`] / [`FaultKind::Panic`] /
 //!   [`FaultKind::Delay`] faults.
 //! * Every decision is a pure hash of `(plan seed, rule, scope key)` —

@@ -294,6 +294,28 @@ impl Advisor {
 
     /// Rank all algorithms in the knowledge base for a new profile
     /// (index-backed serving path).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use openbi_kb::{Advisor, ExperimentRecord, KnowledgeBase, PerfMetrics};
+    /// use openbi_quality::QualityProfile;
+    ///
+    /// let mut kb = KnowledgeBase::new();
+    /// kb.add(ExperimentRecord {
+    ///     algorithm: "NaiveBayes".into(),
+    ///     metrics: PerfMetrics {
+    ///         accuracy: 0.9,
+    ///         ..PerfMetrics::default()
+    ///     },
+    ///     ..ExperimentRecord::default()
+    /// });
+    /// let advice = Advisor::default()
+    ///     .advise(&kb, &QualityProfile::default())
+    ///     .unwrap();
+    /// assert_eq!(advice.best(), "NaiveBayes");
+    /// assert!(advice.headline().contains("the best option is"));
+    /// ```
     pub fn advise(&self, kb: &KnowledgeBase, profile: &QualityProfile) -> Result<Advice> {
         self.advise_view(&kb.view(), profile)
     }

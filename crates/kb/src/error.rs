@@ -11,6 +11,11 @@ pub enum KbError {
     Serde(String),
     /// File I/O failed.
     Io(String),
+    /// Publishing a knowledge-base snapshot failed (see
+    /// [`SnapshotKnowledgeBase::flush`]); the records stay pending.
+    ///
+    /// [`SnapshotKnowledgeBase::flush`]: crate::SnapshotKnowledgeBase::flush
+    Publish(String),
 }
 
 impl fmt::Display for KbError {
@@ -21,6 +26,7 @@ impl fmt::Display for KbError {
             }
             KbError::Serde(m) => write!(f, "serialization error: {m}"),
             KbError::Io(m) => write!(f, "I/O error: {m}"),
+            KbError::Publish(m) => write!(f, "snapshot publish error: {m}"),
         }
     }
 }

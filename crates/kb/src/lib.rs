@@ -4,9 +4,14 @@
 //! records pairing measured data-quality profiles with observed
 //! algorithm performance, JSON-lines persistence, a similarity-weighted
 //! **advisor** ("the best option is ALGORITHM X"), explainable guidance
-//! rules, and leave-one-dataset-out advisor evaluation.
+//! rules, leave-one-dataset-out advisor evaluation, and a lock-free
+//! snapshot-swap [`serving`] tier for read-mostly advice traffic.
+//!
+//! `unsafe` is denied crate-wide; the one exception is the pointer-swap
+//! core of the serving store (`serving::swap`), which carries a scoped
+//! `allow` and a written safety argument — see DESIGN.md §13.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod advisor;
@@ -14,6 +19,7 @@ pub mod error;
 pub mod record;
 pub mod regret;
 pub mod rules;
+pub mod serving;
 pub mod store;
 
 pub use advisor::{Advice, Advisor, Recommendation};
@@ -21,4 +27,5 @@ pub use error::{KbError, Result};
 pub use record::{ExperimentRecord, PerfMetrics};
 pub use regret::{leave_one_dataset_out, AdvisorEvaluation};
 pub use rules::{extract_rules, GuidanceRule};
-pub use store::{KbView, KnowledgeBase, SharedKnowledgeBase};
+pub use serving::{AdvisorService, KbSnapshot, ServedAdvice, ServedBatch, SnapshotKnowledgeBase};
+pub use store::{KbView, KnowledgeBase, RecordSink, SharedKnowledgeBase};

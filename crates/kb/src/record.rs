@@ -6,7 +6,7 @@ use openbi_quality::QualityProfile;
 use serde::{Deserialize, Serialize};
 
 /// Performance observed for one algorithm on one (degraded) dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PerfMetrics {
     /// Pooled cross-validation accuracy.
     pub accuracy: f64,
@@ -32,7 +32,10 @@ impl PerfMetrics {
 
 /// One knowledge-base entry: *this algorithm, on data with this quality
 /// profile, achieved this performance*.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Default` builds a blank record (empty names, zeroed metrics) —
+/// handy as a starting point in examples and tests.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentRecord {
     /// Source dataset identifier (generator name or file).
     pub dataset: String,

@@ -1,0 +1,779 @@
+//! Read-mostly snapshot serving for the knowledge base (DESIGN.md §13).
+//!
+//! [`SharedKnowledgeBase`] funnels every reader through an `RwLock` and
+//! its `snapshot()` deep-clones the whole store per call — fine for the
+//! experiment grid, hostile to a serving tier answering many concurrent
+//! advice queries while experiments keep publishing. This module is the
+//! serving-tier alternative:
+//!
+//! * [`SnapshotKnowledgeBase`] — an epoch/snapshot-swap store. The
+//!   current [`KnowledgeBase`] lives behind an atomic pointer as an
+//!   immutable `Arc` snapshot with a **generation number**. Writers
+//!   build the next snapshot off-lock (clone + append) and publish it
+//!   with a single pointer swap; readers pin a snapshot without ever
+//!   blocking and without cloning any records. A bounded publish queue
+//!   coalesces `add_batch` bursts from the grid executor: while one
+//!   thread is publishing, other appenders enqueue and return
+//!   immediately, and the publisher folds everything pending into one
+//!   new generation.
+//! * [`KbSnapshot`] — a pinned generation: cheap to clone, `Deref`s to
+//!   [`KnowledgeBase`], immutable forever.
+//! * [`AdvisorService`] — pins exactly one snapshot per query (or per
+//!   `advise_many` batch), so every ranking is computed against a
+//!   single internally consistent generation even mid-publish.
+//!
+//! ## Observability
+//!
+//! With an `openbi-obs` registry installed the store records
+//! `kb.snapshot.generation` (gauge), `kb.publish.coalesced_total`,
+//! `kb.publish.failed_total`, `kb.publish.seconds` and
+//! `kb.publish.batch_records`; the service records
+//! `serving.advise.seconds` and `serving.queries_total`.
+//!
+//! ## Fault injection
+//!
+//! Every publish checks the `kb.publish` injection point (keyed by the
+//! generation it is trying to create, with a per-generation attempt
+//! counter) against the store's plan or the process-global slot. An
+//! injected fault leaves the batch in the pending queue — pinned
+//! snapshots and the serving generation are untouched, nothing is lost,
+//! and a later publish (or [`SnapshotKnowledgeBase::flush`]) retries.
+
+mod swap;
+
+use crate::advisor::{Advice, Advisor};
+use crate::error::{KbError, Result};
+use crate::record::ExperimentRecord;
+use crate::store::{KnowledgeBase, RecordSink};
+use openbi_obs as obs;
+use openbi_quality::QualityProfile;
+use parking_lot::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+use swap::SwapCell;
+
+/// The publish injection point: fires once per publish attempt, keyed
+/// by the generation the publisher is trying to create.
+pub const PUBLISH_FAULT_POINT: &str = "kb.publish";
+
+/// Pending batches the queue absorbs before appenders block on the
+/// publisher (backpressure); see [`SnapshotKnowledgeBase::with_capacity`].
+pub const DEFAULT_PUBLISH_CAPACITY: usize = 4096;
+
+/// A pinned, immutable knowledge-base generation.
+///
+/// Cloning is two reference-count bumps; the underlying records are
+/// shared, never copied. A snapshot stays valid (and bitwise unchanged)
+/// for as long as it is held, regardless of how many generations the
+/// store publishes after it.
+///
+/// # Examples
+///
+/// ```
+/// use openbi_kb::{ExperimentRecord, SnapshotKnowledgeBase};
+///
+/// let store = SnapshotKnowledgeBase::default();
+/// let pinned = store.pin();
+/// store.add_batch(vec![ExperimentRecord::default()]);
+/// store.flush().unwrap();
+/// // The pin still serves its original generation…
+/// assert_eq!(pinned.generation(), 0);
+/// assert!(pinned.is_empty());
+/// // …while a fresh pin sees the published record.
+/// assert_eq!(store.pin().len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct KbSnapshot {
+    generation: u64,
+    kb: Arc<KnowledgeBase>,
+}
+
+impl KbSnapshot {
+    /// The generation number this snapshot pins (0 = initial contents).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The pinned knowledge base.
+    pub fn kb(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+}
+
+impl std::ops::Deref for KbSnapshot {
+    type Target = KnowledgeBase;
+
+    fn deref(&self) -> &KnowledgeBase {
+        &self.kb
+    }
+}
+
+impl std::fmt::Debug for KbSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KbSnapshot")
+            .field("generation", &self.generation)
+            .field("records", &self.kb.len())
+            .finish()
+    }
+}
+
+/// Instrument handles for the publish path, fetched once per
+/// `add_batch`/`flush` call (the usual `openbi-obs` bundle pattern).
+struct PublishMetrics {
+    /// `kb.snapshot.generation`: the serving generation, set on every
+    /// successful publish.
+    generation: Arc<obs::Gauge>,
+    /// `kb.publish.coalesced_total`: appends absorbed into another
+    /// thread's in-flight publish instead of publishing themselves.
+    coalesced: Arc<obs::Counter>,
+    /// `kb.publish.failed_total`: publish attempts vetoed by the
+    /// `kb.publish` injection point.
+    failed: Arc<obs::Counter>,
+    /// `kb.publish.seconds`: off-lock snapshot build + pointer swap.
+    seconds: Arc<obs::Histogram>,
+    /// `kb.publish.batch_records`: records folded into one generation.
+    batch_records: Arc<obs::Histogram>,
+}
+
+impl PublishMetrics {
+    fn fetch() -> Option<PublishMetrics> {
+        let registry = obs::global()?;
+        Some(PublishMetrics {
+            generation: registry.gauge("kb.snapshot.generation"),
+            coalesced: registry.counter("kb.publish.coalesced_total"),
+            failed: registry.counter("kb.publish.failed_total"),
+            seconds: registry.histogram("kb.publish.seconds"),
+            batch_records: registry
+                .histogram_with("kb.publish.batch_records", obs::default_count_buckets()),
+        })
+    }
+}
+
+/// The epoch/snapshot-swap knowledge-base store.
+///
+/// Readers ([`pin`](SnapshotKnowledgeBase::pin)) are lock-free and
+/// never clone a record; writers fold pending batches into a freshly
+/// built immutable snapshot and publish it with one pointer swap. See
+/// the [module docs](self) for the full lifecycle and DESIGN.md §13 for
+/// the consistency guarantees.
+///
+/// # Examples
+///
+/// ```
+/// use openbi_kb::{ExperimentRecord, SnapshotKnowledgeBase};
+///
+/// let store = SnapshotKnowledgeBase::default();
+/// assert_eq!(store.generation(), 0);
+/// store.add_batch(vec![ExperimentRecord::default(), ExperimentRecord::default()]);
+/// let generation = store.flush().unwrap();
+/// assert!(generation >= 1);
+/// assert_eq!(store.pin().len(), 2);
+/// ```
+pub struct SnapshotKnowledgeBase {
+    cell: SwapCell<KnowledgeBase>,
+    /// Records accepted but not yet folded into a snapshot.
+    pending: Mutex<Vec<ExperimentRecord>>,
+    /// Serializes snapshot builds; appenders `try_lock` it so at most
+    /// one thread pays the clone+swap while the rest enqueue and leave.
+    publish_lock: Mutex<()>,
+    /// Pending-record count past which appenders stop coalescing and
+    /// block on `publish_lock` instead (backpressure).
+    capacity: usize,
+    /// Explicit fault plan; falls back to the process-global slot.
+    fault_plan: Option<Arc<openbi_faults::FaultPlan>>,
+    /// Failed attempts at creating `attempt_generation`, for the
+    /// `kb.publish` fault key. Only the publish-lock holder writes.
+    attempts: AtomicU32,
+    attempt_generation: AtomicU64,
+}
+
+impl Default for SnapshotKnowledgeBase {
+    fn default() -> Self {
+        SnapshotKnowledgeBase::new(KnowledgeBase::new())
+    }
+}
+
+impl std::fmt::Debug for SnapshotKnowledgeBase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SnapshotKnowledgeBase")
+            .field("generation", &self.generation())
+            .field("records", &self.pin().len())
+            .field("pending", &self.pending_len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl SnapshotKnowledgeBase {
+    /// Serve `kb` as generation 0.
+    pub fn new(kb: KnowledgeBase) -> Self {
+        Self::with_capacity(kb, DEFAULT_PUBLISH_CAPACITY)
+    }
+
+    /// Serve `kb` as generation 0 with an explicit publish-queue bound.
+    ///
+    /// While fewer than `capacity` records are pending, an `add_batch`
+    /// that finds another thread mid-publish enqueues and returns
+    /// (coalescing). At or past the bound it blocks until it can
+    /// publish the backlog itself, so the queue cannot grow without
+    /// limit under a stalled or fault-degraded publisher.
+    pub fn with_capacity(kb: KnowledgeBase, capacity: usize) -> Self {
+        SnapshotKnowledgeBase {
+            cell: SwapCell::new(Arc::new(kb)),
+            pending: Mutex::new(Vec::new()),
+            publish_lock: Mutex::new(()),
+            capacity: capacity.max(1),
+            fault_plan: None,
+            attempts: AtomicU32::new(0),
+            attempt_generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Attach an explicit fault plan for the `kb.publish` injection
+    /// point. Without one, the process-global plan (if installed)
+    /// applies.
+    pub fn with_fault_plan(mut self, plan: Arc<openbi_faults::FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Pin the current snapshot: lock-free, no record is cloned.
+    pub fn pin(&self) -> KbSnapshot {
+        let (generation, kb) = self.cell.load();
+        KbSnapshot { generation, kb }
+    }
+
+    /// The serving generation (0 until the first publish).
+    pub fn generation(&self) -> u64 {
+        self.cell.generation()
+    }
+
+    /// Records visible in the serving snapshot (pending records are not
+    /// counted until published).
+    pub fn len(&self) -> usize {
+        self.pin().len()
+    }
+
+    /// True iff the serving snapshot holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.pin().is_empty()
+    }
+
+    /// Records accepted but not yet folded into a snapshot.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Append one record (enqueue + opportunistic publish).
+    pub fn add(&self, record: ExperimentRecord) {
+        self.add_batch(vec![record]);
+    }
+
+    /// Append a batch and publish opportunistically.
+    ///
+    /// The batch is always accepted. If no other publisher is active,
+    /// this thread builds and swaps in the next snapshot (folding in
+    /// anything else pending); if one is, the batch rides along with
+    /// that publisher — `kb.publish.coalesced_total` counts those — so
+    /// grid workers flushing concurrently produce a handful of
+    /// generations, not one per flush. A publish vetoed by the
+    /// `kb.publish` fault point leaves the batch pending for a later
+    /// attempt; [`flush`](SnapshotKnowledgeBase::flush) surfaces such
+    /// errors, this fire-and-forget path only counts them.
+    pub fn add_batch(&self, records: Vec<ExperimentRecord>) {
+        if records.is_empty() {
+            return;
+        }
+        let metrics = PublishMetrics::fetch();
+        let backlog = {
+            let mut pending = self.pending.lock();
+            pending.extend(records);
+            pending.len()
+        };
+        if backlog >= self.capacity {
+            // Backpressure: the queue is full, so this appender must
+            // wait its turn and drain the backlog itself.
+            let guard = self.publish_lock.lock();
+            let _ = self.drain(guard, metrics.as_ref());
+        } else if let Some(guard) = self.publish_lock.try_lock() {
+            let _ = self.drain(guard, metrics.as_ref());
+        } else {
+            // Another thread is publishing; it re-checks the pending
+            // queue before releasing the lock and will fold this batch
+            // into its snapshot (or leave it for the next publisher).
+            if let Some(m) = &metrics {
+                m.coalesced.inc();
+            }
+        }
+    }
+
+    /// Force-publish everything pending; returns the serving generation.
+    ///
+    /// Unlike [`add_batch`](SnapshotKnowledgeBase::add_batch) this
+    /// surfaces an injected `kb.publish` fault as an error — records
+    /// stay pending and a later `flush` retries them. Call it after a
+    /// grid run to guarantee the last coalesced batches are visible.
+    pub fn flush(&self) -> Result<u64> {
+        let metrics = PublishMetrics::fetch();
+        let guard = self.publish_lock.lock();
+        self.drain(guard, metrics.as_ref())?;
+        Ok(self.generation())
+    }
+
+    /// Drain the pending queue into successive snapshots while holding
+    /// the publish lock. Re-checks the queue after every swap so
+    /// batches enqueued mid-publish are folded in before the lock is
+    /// released.
+    fn drain(&self, _guard: MutexGuard<'_, ()>, metrics: Option<&PublishMetrics>) -> Result<()> {
+        loop {
+            let batch = {
+                let mut pending = self.pending.lock();
+                if pending.is_empty() {
+                    return Ok(());
+                }
+                std::mem::take(&mut *pending)
+            };
+            if let Err(e) = self.publish_batch(batch, metrics) {
+                if let Some(m) = metrics {
+                    m.failed.inc();
+                }
+                return Err(e);
+            }
+        }
+    }
+
+    /// Build and swap in one new generation from `batch`. On an
+    /// injected fault the batch is restored to the *front* of the
+    /// pending queue (append order is preserved) and the serving
+    /// snapshot is left untouched.
+    fn publish_batch(
+        &self,
+        batch: Vec<ExperimentRecord>,
+        metrics: Option<&PublishMetrics>,
+    ) -> Result<()> {
+        let start = Instant::now();
+        let (current_generation, current) = self.cell.load();
+        let next_generation = current_generation + 1;
+        if let Err(e) = self.fire_publish_fault(next_generation) {
+            let mut pending = self.pending.lock();
+            let mut restored = batch;
+            restored.append(&mut pending);
+            *pending = restored;
+            return Err(KbError::Publish(e.to_string()));
+        }
+        // Off-lock snapshot build: clone the current generation and
+        // append. Readers keep serving `current` untouched until the
+        // single pointer swap below.
+        let mut next = KnowledgeBase::clone(&current);
+        let records = batch.len();
+        next.add_batch(batch);
+        let generation = self.cell.publish(Arc::new(next));
+        debug_assert_eq!(generation, next_generation);
+        if let Some(m) = metrics {
+            m.generation.set(generation as f64);
+            m.batch_records.record(records as f64);
+            m.seconds.record(start.elapsed().as_secs_f64());
+        }
+        Ok(())
+    }
+
+    /// Fire `kb.publish` keyed by the generation under construction,
+    /// with a per-generation attempt counter so retry budgets
+    /// (`times=N`) behave like the executor's per-cell attempts.
+    fn fire_publish_fault(
+        &self,
+        next_generation: u64,
+    ) -> std::result::Result<(), openbi_faults::FaultError> {
+        let plan = self.fault_plan.clone().or_else(openbi_faults::active);
+        let Some(plan) = plan else {
+            return Ok(());
+        };
+        // Only the publish-lock holder reaches this, so the pair of
+        // atomics is effectively plain state.
+        let attempt = if self.attempt_generation.load(Relaxed) == next_generation {
+            self.attempts.load(Relaxed)
+        } else {
+            self.attempt_generation.store(next_generation, Relaxed);
+            self.attempts.store(0, Relaxed);
+            0
+        };
+        match plan.fire(PUBLISH_FAULT_POINT, next_generation, attempt) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.attempts.store(attempt + 1, Relaxed);
+                Err(e)
+            }
+        }
+    }
+}
+
+impl RecordSink for SnapshotKnowledgeBase {
+    /// Grid-executor publish path: enqueue + opportunistic coalesced
+    /// publish. Callers should [`flush`](SnapshotKnowledgeBase::flush)
+    /// after the run to force out the tail and surface publish faults.
+    fn add_batch(&self, records: Vec<ExperimentRecord>) {
+        SnapshotKnowledgeBase::add_batch(self, records);
+    }
+}
+
+/// Serving-path metric handles for [`AdvisorService`].
+struct ServiceMetrics {
+    /// `serving.queries_total`: advise calls answered.
+    queries: Arc<obs::Counter>,
+    /// `serving.advise.seconds`: pin-to-answer latency (whole batch for
+    /// [`AdvisorService::advise_many`]).
+    seconds: Arc<obs::Histogram>,
+}
+
+impl ServiceMetrics {
+    fn fetch() -> Option<ServiceMetrics> {
+        let registry = obs::global()?;
+        Some(ServiceMetrics {
+            queries: registry.counter("serving.queries_total"),
+            seconds: registry.histogram("serving.advise.seconds"),
+        })
+    }
+}
+
+/// One advisor answer together with the generation it was computed on.
+#[derive(Debug, Clone)]
+pub struct ServedAdvice {
+    /// The ranking and explanation.
+    pub advice: Advice,
+    /// The knowledge-base generation the ranking was computed against.
+    pub generation: u64,
+}
+
+/// A batch of advisor answers, all computed on one pinned generation.
+#[derive(Debug, Clone)]
+pub struct ServedBatch {
+    /// One advice per input profile, in order.
+    pub advice: Vec<Advice>,
+    /// The single generation every answer in the batch was computed on.
+    pub generation: u64,
+}
+
+/// The serving front-end: an [`Advisor`] bound to a
+/// [`SnapshotKnowledgeBase`], pinning exactly one snapshot per query
+/// (or per batch) so every ranking is internally consistent even while
+/// publishes land concurrently.
+///
+/// # Examples
+///
+/// ```
+/// use openbi_kb::{Advisor, AdvisorService, ExperimentRecord, SnapshotKnowledgeBase};
+/// use openbi_quality::QualityProfile;
+/// use std::sync::Arc;
+///
+/// let store = Arc::new(SnapshotKnowledgeBase::default());
+/// store.add_batch(vec![ExperimentRecord {
+///     algorithm: "NaiveBayes".into(),
+///     ..ExperimentRecord::default()
+/// }]);
+/// store.flush().unwrap();
+///
+/// let service = AdvisorService::new(Advisor::default(), Arc::clone(&store));
+/// let served = service.advise(&QualityProfile::default()).unwrap();
+/// assert_eq!(served.advice.best(), "NaiveBayes");
+/// assert_eq!(served.generation, store.generation());
+/// ```
+#[derive(Clone)]
+pub struct AdvisorService {
+    advisor: Advisor,
+    store: Arc<SnapshotKnowledgeBase>,
+}
+
+impl AdvisorService {
+    /// Bind an advisor configuration to a snapshot store.
+    pub fn new(advisor: Advisor, store: Arc<SnapshotKnowledgeBase>) -> Self {
+        AdvisorService { advisor, store }
+    }
+
+    /// The underlying snapshot store.
+    pub fn store(&self) -> &SnapshotKnowledgeBase {
+        &self.store
+    }
+
+    /// The advisor configuration.
+    pub fn advisor(&self) -> &Advisor {
+        &self.advisor
+    }
+
+    /// Answer one query against a freshly pinned snapshot.
+    pub fn advise(&self, profile: &QualityProfile) -> Result<ServedAdvice> {
+        let metrics = ServiceMetrics::fetch();
+        let start = Instant::now();
+        let snapshot = self.store.pin();
+        let advice = self.advisor.advise(snapshot.kb(), profile)?;
+        if let Some(m) = &metrics {
+            m.queries.inc();
+            m.seconds.record(start.elapsed().as_secs_f64());
+        }
+        Ok(ServedAdvice {
+            advice,
+            generation: snapshot.generation(),
+        })
+    }
+
+    /// Answer a batch of queries against **one** pinned snapshot: every
+    /// answer reflects the same generation, no matter how many
+    /// publishes land while the batch runs.
+    pub fn advise_many(&self, profiles: &[QualityProfile]) -> Result<ServedBatch> {
+        let metrics = ServiceMetrics::fetch();
+        let start = Instant::now();
+        let snapshot = self.store.pin();
+        let advice = self.advisor.advise_many(snapshot.kb(), profiles)?;
+        if let Some(m) = &metrics {
+            m.queries.add(profiles.len() as u64);
+            m.seconds.record(start.elapsed().as_secs_f64());
+        }
+        Ok(ServedBatch {
+            advice,
+            generation: snapshot.generation(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::PerfMetrics;
+    use openbi_faults::{FaultPlan, FaultRule};
+
+    fn record(dataset: &str, algorithm: &str, acc: f64) -> ExperimentRecord {
+        ExperimentRecord {
+            dataset: dataset.into(),
+            degradations: vec![],
+            profile: QualityProfile::default(),
+            algorithm: algorithm.into(),
+            metrics: PerfMetrics {
+                accuracy: acc,
+                macro_f1: acc,
+                minority_f1: acc,
+                kappa: acc,
+                train_ms: 1.0,
+                model_size: 5.0,
+            },
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn empty_batches_do_not_publish() {
+        let store = SnapshotKnowledgeBase::default();
+        store.add_batch(vec![]);
+        assert_eq!(store.generation(), 0);
+        assert_eq!(store.pending_len(), 0);
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn add_batch_publishes_a_new_generation() {
+        let store = SnapshotKnowledgeBase::default();
+        store.add_batch(vec![record("d1", "a", 0.5), record("d1", "b", 0.6)]);
+        assert_eq!(store.generation(), 1);
+        assert_eq!(store.pending_len(), 0);
+        let pinned = store.pin();
+        assert_eq!(pinned.generation(), 1);
+        assert_eq!(pinned.len(), 2);
+        assert_eq!(pinned.algorithms(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn pinned_snapshots_are_immutable_across_publishes() {
+        let store = SnapshotKnowledgeBase::default();
+        store.add(record("d1", "a", 0.5));
+        let pinned = store.pin();
+        store.add(record("d2", "b", 0.6));
+        store.add(record("d3", "c", 0.7));
+        assert_eq!(pinned.generation(), 1);
+        assert_eq!(pinned.len(), 1, "a pin must never see later publishes");
+        assert_eq!(store.pin().len(), 3);
+        assert_eq!(store.generation(), 3);
+    }
+
+    #[test]
+    fn snapshot_contents_match_a_sequential_store() {
+        let store = SnapshotKnowledgeBase::default();
+        let mut sequential = KnowledgeBase::new();
+        for i in 0..10 {
+            let r = record(&format!("d{}", i % 3), "a", i as f64 / 10.0);
+            sequential.add(r.clone());
+            store.add(r);
+        }
+        store.flush().unwrap();
+        assert_eq!(store.pin().records(), sequential.records());
+        assert_eq!(
+            store.pin().to_jsonl().unwrap(),
+            sequential.to_jsonl().unwrap()
+        );
+    }
+
+    #[test]
+    fn flush_is_a_no_op_when_nothing_is_pending() {
+        let store = SnapshotKnowledgeBase::default();
+        assert_eq!(store.flush().unwrap(), 0);
+        store.add(record("d", "a", 0.5));
+        assert_eq!(store.flush().unwrap(), 1, "already published by add");
+    }
+
+    #[test]
+    fn injected_publish_fault_preserves_pending_and_serving_state() {
+        let plan = Arc::new(FaultPlan::new(7).with(FaultRule::error(PUBLISH_FAULT_POINT)));
+        let store = SnapshotKnowledgeBase::default().with_fault_plan(plan);
+        let pinned = store.pin();
+
+        // The fire-and-forget path degrades: records stay pending.
+        store.add_batch(vec![record("d1", "a", 0.5)]);
+        assert_eq!(store.generation(), 0, "faulted publish must not swap");
+        assert_eq!(store.pending_len(), 1, "faulted batch must stay queued");
+        assert_eq!(pinned.len(), 0, "pinned snapshot untouched");
+
+        // flush() surfaces the second attempt… which the times(1)
+        // budget no longer vetoes, so the batch lands.
+        let generation = store.flush().unwrap();
+        assert_eq!(generation, 1);
+        assert_eq!(store.pin().len(), 1);
+        assert_eq!(store.pending_len(), 0);
+    }
+
+    #[test]
+    fn unbudgeted_publish_fault_surfaces_from_flush() {
+        let plan =
+            Arc::new(FaultPlan::new(7).with(FaultRule::error(PUBLISH_FAULT_POINT).times(u32::MAX)));
+        let store = SnapshotKnowledgeBase::default().with_fault_plan(plan);
+        store.add_batch(vec![record("d1", "a", 0.5)]);
+        let err = store.flush().expect_err("every attempt is vetoed");
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert!(matches!(err, KbError::Publish(_)));
+        assert_eq!(store.pending_len(), 1, "records are never dropped");
+        assert_eq!(store.generation(), 0);
+    }
+
+    #[test]
+    fn faulted_batch_restores_in_append_order() {
+        let plan = Arc::new(FaultPlan::new(7).with(FaultRule::error(PUBLISH_FAULT_POINT)));
+        let store = SnapshotKnowledgeBase::default().with_fault_plan(plan);
+        store.add_batch(vec![record("d1", "a", 0.1)]); // faulted, stays pending
+        {
+            // Enqueue directly (publish lock free, but we bypass the
+            // opportunistic publish to model a coalesced batch).
+            store.pending.lock().push(record("d2", "b", 0.2));
+        }
+        store.flush().unwrap();
+        let pinned = store.pin();
+        assert_eq!(pinned.records()[0].dataset, "d1");
+        assert_eq!(pinned.records()[1].dataset, "d2");
+    }
+
+    #[test]
+    fn capacity_floor_is_one_and_backpressure_drains() {
+        // capacity 0 is clamped to 1, so every add_batch publishes
+        // through the backpressure path and nothing accumulates.
+        let store = SnapshotKnowledgeBase::with_capacity(KnowledgeBase::new(), 0);
+        for i in 0..5 {
+            store.add_batch(vec![record("d", "a", i as f64 / 5.0)]);
+        }
+        assert_eq!(store.pending_len(), 0);
+        assert_eq!(store.pin().len(), 5);
+    }
+
+    #[test]
+    fn concurrent_appends_coalesce_into_fewer_generations() {
+        let store = SnapshotKnowledgeBase::default();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let store = &store;
+                s.spawn(move || {
+                    for i in 0..25 {
+                        store.add_batch(vec![record(&format!("d{t}"), "a", i as f64 / 25.0)]);
+                    }
+                });
+            }
+        });
+        store.flush().unwrap();
+        let pinned = store.pin();
+        assert_eq!(pinned.len(), 100);
+        assert_eq!(pinned.datasets().len(), 4);
+        assert!(
+            store.generation() <= 100,
+            "coalescing can only reduce the publish count"
+        );
+    }
+
+    #[test]
+    fn service_pins_one_generation_per_batch() {
+        let store = Arc::new(SnapshotKnowledgeBase::default());
+        store.add_batch(vec![record("d1", "a", 0.9), record("d1", "b", 0.4)]);
+        let service = AdvisorService::new(Advisor::default(), Arc::clone(&store));
+        let profiles = vec![QualityProfile::default(); 3];
+        let batch = service.advise_many(&profiles).unwrap();
+        assert_eq!(batch.advice.len(), 3);
+        assert_eq!(batch.generation, 1);
+        for advice in &batch.advice {
+            assert_eq!(advice.best(), "a");
+        }
+        // advise() agrees with the plain Advisor on the pinned KB.
+        let served = service.advise(&QualityProfile::default()).unwrap();
+        let direct = Advisor::default()
+            .advise(store.pin().kb(), &QualityProfile::default())
+            .unwrap();
+        assert_eq!(served.advice, direct);
+        assert_eq!(served.generation, 1);
+        assert_eq!(service.advisor().neighbors, Advisor::default().neighbors);
+        assert_eq!(service.store().generation(), 1);
+    }
+
+    #[test]
+    fn service_errors_on_an_empty_store() {
+        let service = AdvisorService::new(
+            Advisor::default(),
+            Arc::new(SnapshotKnowledgeBase::default()),
+        );
+        assert!(matches!(
+            service.advise(&QualityProfile::default()),
+            Err(KbError::EmptyKnowledgeBase)
+        ));
+    }
+
+    /// Readers hammering `pin` while a writer publishes must always see
+    /// monotone generations whose record count matches the generation
+    /// (each publish appends exactly one record here).
+    #[test]
+    fn concurrent_pins_see_monotone_consistent_generations() {
+        const PUBLISHES: u64 = 200;
+        let store = SnapshotKnowledgeBase::default();
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                let store = &store;
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    loop {
+                        let pinned = store.pin();
+                        assert_eq!(
+                            pinned.len() as u64,
+                            pinned.generation(),
+                            "every generation holds exactly its generation-count of records"
+                        );
+                        assert!(pinned.generation() >= last, "generations are monotone");
+                        last = pinned.generation();
+                        if last == PUBLISHES {
+                            return;
+                        }
+                    }
+                });
+            }
+            let store = &store;
+            s.spawn(move || {
+                for i in 0..PUBLISHES {
+                    // flush() (not add_batch) so exactly one record
+                    // lands per generation even under queue races.
+                    store.pending.lock().push(record("d", "a", i as f64));
+                    store.flush().unwrap();
+                }
+            });
+        });
+        assert_eq!(store.generation(), PUBLISHES);
+    }
+}

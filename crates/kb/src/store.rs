@@ -38,6 +38,16 @@ pub struct KnowledgeBase {
 
 impl KnowledgeBase {
     /// Create an empty knowledge base.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use openbi_kb::KnowledgeBase;
+    ///
+    /// let kb = KnowledgeBase::new();
+    /// assert!(kb.is_empty());
+    /// assert_eq!(kb.len(), 0);
+    /// ```
     pub fn new() -> Self {
         KnowledgeBase::default()
     }
@@ -65,6 +75,26 @@ impl KnowledgeBase {
     }
 
     /// Append many records at once.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use openbi_kb::{ExperimentRecord, KnowledgeBase};
+    ///
+    /// let mut kb = KnowledgeBase::new();
+    /// kb.add_batch(vec![
+    ///     ExperimentRecord {
+    ///         algorithm: "NaiveBayes".into(),
+    ///         ..ExperimentRecord::default()
+    ///     },
+    ///     ExperimentRecord {
+    ///         algorithm: "kNN".into(),
+    ///         ..ExperimentRecord::default()
+    ///     },
+    /// ]);
+    /// assert_eq!(kb.len(), 2);
+    /// assert_eq!(kb.algorithms(), vec!["NaiveBayes", "kNN"]);
+    /// ```
     pub fn add_batch(&mut self, records: impl IntoIterator<Item = ExperimentRecord>) {
         for record in records {
             self.add(record);
@@ -207,21 +237,73 @@ impl KnowledgeBase {
         Ok(kb)
     }
 
-    /// Persist to a JSON-lines file.
+    /// Persist to a JSON-lines file, crash-safely.
     ///
-    /// Checks the `kb.store.save` injection point (keyed by the path)
-    /// against the process-global fault plan before touching the
-    /// filesystem, so chaos runs can simulate a failing disk.
+    /// The contents are written to a temporary file in the **same
+    /// directory** and atomically renamed over the target, so a crash
+    /// (or injected fault) mid-write can never leave a truncated or
+    /// half-written knowledge base behind: readers see either the old
+    /// file or the new one, never a torn state. Checks the
+    /// `kb.store.save` injection point (keyed by the path) against the
+    /// process-global fault plan before touching the filesystem, so
+    /// chaos runs can simulate a failing disk.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use openbi_kb::{ExperimentRecord, KnowledgeBase};
+    ///
+    /// let mut kb = KnowledgeBase::new();
+    /// kb.add(ExperimentRecord::default());
+    /// let path = std::env::temp_dir().join("openbi-doc-save.jsonl");
+    /// kb.save(&path).unwrap();
+    /// assert_eq!(KnowledgeBase::load(&path).unwrap().len(), 1);
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<()> {
         let path = path.as_ref();
         fire_store_fault("kb.store.save", path)?;
-        std::fs::write(path, self.to_jsonl()?).map_err(|e| KbError::Io(e.to_string()))
+        let text = self.to_jsonl()?;
+        // Same-directory temp file: `rename` is atomic only within a
+        // filesystem, and the system temp dir may be a different one.
+        let dir = path.parent().filter(|p| !p.as_os_str().is_empty());
+        let file_name = path.file_name().ok_or_else(|| {
+            KbError::Io(format!("save path has no file name: {}", path.display()))
+        })?;
+        let mut tmp_name = std::ffi::OsString::from(".");
+        tmp_name.push(file_name);
+        tmp_name.push(format!(".tmp.{}", std::process::id()));
+        let tmp = match dir {
+            Some(dir) => dir.join(&tmp_name),
+            None => std::path::PathBuf::from(&tmp_name),
+        };
+        let write_and_rename = (|| {
+            std::fs::write(&tmp, text)?;
+            std::fs::rename(&tmp, path)
+        })();
+        if let Err(e) = write_and_rename {
+            std::fs::remove_file(&tmp).ok();
+            return Err(KbError::Io(e.to_string()));
+        }
+        Ok(())
     }
 
     /// Load from a JSON-lines file.
     ///
     /// Checks the `kb.store.load` injection point (keyed by the path)
     /// against the process-global fault plan before reading.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use openbi_kb::KnowledgeBase;
+    ///
+    /// let path = std::env::temp_dir().join("openbi-doc-load.jsonl");
+    /// KnowledgeBase::new().save(&path).unwrap();
+    /// let kb = KnowledgeBase::load(&path).unwrap();
+    /// assert!(kb.is_empty());
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self> {
         let path = path.as_ref();
         fire_store_fault("kb.store.load", path)?;
@@ -294,8 +376,44 @@ impl<'a> KbView<'a> {
     }
 }
 
+/// Anything the experiment grid can publish record batches into.
+///
+/// The executor is generic over its sink, so the same grid run can feed
+/// the lock-based [`SharedKnowledgeBase`] (the default) or the
+/// snapshot-swap [`SnapshotKnowledgeBase`] serving store without either
+/// knowing about the other.
+///
+/// `Sync` is a supertrait because the parallel executor shares one sink
+/// reference across its worker threads.
+///
+/// [`SnapshotKnowledgeBase`]: crate::SnapshotKnowledgeBase
+pub trait RecordSink: Sync {
+    /// Accept a batch of freshly produced experiment records. Batches
+    /// may arrive from many workers concurrently; implementations
+    /// decide when the records become visible to readers.
+    fn add_batch(&self, records: Vec<ExperimentRecord>);
+}
+
 /// A cheaply clonable, thread-safe knowledge base handle for concurrent
 /// experiment runners.
+///
+/// Every reader and writer goes through one `RwLock`; `snapshot()`
+/// deep-clones the store. That is the right trade for the experiment
+/// grid (few readers, write-heavy); for read-mostly serving, prefer
+/// [`SnapshotKnowledgeBase`](crate::SnapshotKnowledgeBase), whose
+/// readers neither lock nor clone.
+///
+/// # Examples
+///
+/// ```
+/// use openbi_kb::{ExperimentRecord, SharedKnowledgeBase};
+///
+/// let shared = SharedKnowledgeBase::default();
+/// let handle = shared.clone(); // same store, cheap to clone
+/// handle.add_batch(vec![ExperimentRecord::default()]);
+/// assert_eq!(shared.len(), 1);
+/// assert_eq!(shared.snapshot().len(), 1);
+/// ```
 #[derive(Debug, Clone, Default)]
 pub struct SharedKnowledgeBase {
     inner: Arc<RwLock<KnowledgeBase>>,
@@ -334,9 +452,27 @@ impl SharedKnowledgeBase {
         self.inner.read().is_empty()
     }
 
-    /// Snapshot the current contents.
+    /// Snapshot the current contents (a deep clone of every record).
     pub fn snapshot(&self) -> KnowledgeBase {
         self.inner.read().clone()
+    }
+
+    /// Run `f` against the store under the read lock, without cloning.
+    ///
+    /// This is the "shared-lock read" serving baseline the
+    /// `serving_bench` binary measures: readers skip the deep clone but
+    /// hold the lock for the whole call, so they block (and are blocked
+    /// by) concurrent publishes — and two consecutive calls may observe
+    /// different contents.
+    pub fn with_read<R>(&self, f: impl FnOnce(&KnowledgeBase) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+impl RecordSink for SharedKnowledgeBase {
+    /// Publish under one write-lock acquisition per batch.
+    fn add_batch(&self, records: Vec<ExperimentRecord>) {
+        SharedKnowledgeBase::add_batch(self, records);
     }
 }
 
@@ -506,6 +642,62 @@ mod tests {
         kb.save(&path).unwrap();
         assert_eq!(KnowledgeBase::load(&path).unwrap().len(), 1);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn save_replaces_existing_files_atomically() {
+        let dir = std::env::temp_dir().join("openbi-kb-atomic-save");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("kb.jsonl");
+
+        let mut first = KnowledgeBase::new();
+        first.add(record("d", "a", 0.5));
+        first.save(&path).unwrap();
+
+        let mut second = KnowledgeBase::new();
+        second.add(record("d", "a", 0.1));
+        second.add(record("d", "b", 0.2));
+        second.save(&path).unwrap();
+
+        assert_eq!(KnowledgeBase::load(&path).unwrap().len(), 2);
+        // The same-directory temp file must not survive a successful
+        // rename.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_rejects_directory_targets() {
+        // A path with no file name cannot be renamed into; the error
+        // must surface instead of panicking.
+        let err = KnowledgeBase::new().save("..").expect_err("no file name");
+        assert!(err.to_string().contains("file name"), "{err}");
+    }
+
+    #[test]
+    fn with_read_observes_the_live_store() {
+        let shared = SharedKnowledgeBase::default();
+        shared.add(record("d1", "a", 0.5));
+        let (len, algorithms) = shared.with_read(|kb| (kb.len(), kb.algorithms()));
+        assert_eq!(len, 1);
+        assert_eq!(algorithms, vec!["a"]);
+        shared.add(record("d1", "b", 0.6));
+        assert_eq!(shared.with_read(|kb| kb.len()), 2);
+    }
+
+    #[test]
+    fn record_sink_routes_through_the_shared_store() {
+        fn publish<S: RecordSink>(sink: &S) {
+            sink.add_batch(vec![record("d", "a", 0.5)]);
+        }
+        let shared = SharedKnowledgeBase::default();
+        publish(&shared);
+        assert_eq!(shared.len(), 1);
     }
 
     #[test]

@@ -79,9 +79,8 @@ fn config(seed: u64, workers: usize) -> ExperimentConfig {
 /// Serialize a KB into an order-independent, timing-free fingerprint
 /// (the executor-determinism pattern: `train_ms` is the only wall-clock
 /// field in a record).
-fn kb_fingerprint(kb: &SharedKnowledgeBase) -> Vec<String> {
+fn kb_fingerprint(kb: &openbi::kb::KnowledgeBase) -> Vec<String> {
     let mut keys: Vec<String> = kb
-        .snapshot()
         .records()
         .iter()
         .map(|r| {
@@ -105,7 +104,7 @@ fn retried_faults_leave_the_kb_byte_identical() {
         let baseline =
             run_phase1_report(&datasets(), &criteria, &config(seed, 1), &baseline_kb).unwrap();
         assert!(baseline.failures.is_empty(), "baseline must be fault-free");
-        let expected = kb_fingerprint(&baseline_kb);
+        let expected = kb_fingerprint(&baseline_kb.snapshot());
         assert!(!expected.is_empty());
 
         for workers in chaos_workers() {
@@ -129,7 +128,7 @@ fn retried_faults_leave_the_kb_byte_identical() {
                 "seed {seed}: each cell fails exactly its first attempt"
             );
             assert_eq!(
-                kb_fingerprint(&kb),
+                kb_fingerprint(&kb.snapshot()),
                 expected,
                 "seed {seed}, {workers} workers: faulted KB diverged from fault-free KB"
             );
@@ -280,4 +279,64 @@ fn store_io_faults_surface_and_recover() {
     let restored = openbi::kb::KnowledgeBase::load(&path).expect("load recovers");
     assert_eq!(restored.len(), kb.len());
     std::fs::remove_file(&path).ok();
+}
+
+/// Injected `kb.publish` faults degrade the snapshot store — batches
+/// fall back to the pending queue, the served snapshot stays on its
+/// last good generation — and a bounded flush retry loop converges to
+/// the exact fault-free knowledge base. A snapshot pinned before the
+/// run never changes, no matter how many publishes fail behind it.
+#[test]
+fn publish_faults_degrade_without_corrupting_served_snapshots() {
+    use openbi::kb::{KnowledgeBase, SnapshotKnowledgeBase};
+
+    let criteria = [Criterion::Completeness, Criterion::LabelNoise];
+    for seed in chaos_seeds() {
+        let baseline_kb = SharedKnowledgeBase::default();
+        let baseline =
+            run_phase1_report(&datasets(), &criteria, &config(seed, 1), &baseline_kb).unwrap();
+        assert!(baseline.failures.is_empty(), "baseline must be fault-free");
+        let expected = kb_fingerprint(&baseline_kb.snapshot());
+
+        for workers in chaos_workers() {
+            // The plan lives on the store, not the executor: grid cells
+            // run clean, only generation publishes misbehave (each
+            // generation's first attempt fails under the times=1 budget).
+            let plan = Arc::new(FaultPlan::new(seed).with(FaultRule::error("kb.publish")));
+            let store = SnapshotKnowledgeBase::new(KnowledgeBase::new()).with_fault_plan(plan);
+            let pinned = store.pin();
+
+            let report =
+                run_phase1_report(&datasets(), &criteria, &config(seed, workers), &store).unwrap();
+            assert!(
+                report.failures.is_empty(),
+                "publish faults must not fail grid cells: {:?}",
+                report.failures
+            );
+            assert_eq!(
+                (pinned.generation(), pinned.len()),
+                (0, 0),
+                "seed {seed}, {workers} workers: pre-run pin must be untouched"
+            );
+
+            // Operational drain loop: each flush either publishes the
+            // backlog or surfaces the injected fault; the per-generation
+            // retry budget guarantees convergence within two attempts
+            // per generation.
+            let mut flushes = 0;
+            while store.pending_len() > 0 {
+                if let Err(e) = store.flush() {
+                    assert!(e.to_string().contains("injected fault"), "{e}");
+                }
+                flushes += 1;
+                assert!(flushes < 64, "flush retry loop must converge");
+            }
+            assert!(store.generation() > 0, "drained store must have published");
+            assert_eq!(
+                kb_fingerprint(&store.pin()),
+                expected,
+                "seed {seed}, {workers} workers: degraded publishing corrupted the KB"
+            );
+        }
+    }
 }
