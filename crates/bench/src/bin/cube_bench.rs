@@ -1,0 +1,109 @@
+//! Sharded OLAP cube benchmark (DESIGN.md §14).
+//!
+//! Times the sharded cube engine across a shard-count sweep against the
+//! frozen single-threaded `openbi::olap::reference` cube building the
+//! identical rollup in the same process, re-checks bitwise equivalence
+//! at every shard count (a benchmark that drifted from the oracle would
+//! be measuring a different computation), and writes `BENCH_olap.json`
+//! (shared schema, see `openbi_bench::report`): per-shard-count
+//! `best_of_seconds`, the speedup over the reference, cube cell counts,
+//! and an embedded `openbi-obs` metrics snapshot
+//! (`olap.cube.build.seconds`, `olap.shard.seconds`, `olap.cube.cells`)
+//! from the instrumented live runs.
+//!
+//! ```text
+//! cargo run --release -p openbi-bench --bin cube_bench [-- [--quick] [out.json]]
+//! ```
+//!
+//! `--quick` shrinks the fact table and rep count for CI smoke runs;
+//! the headline speedups quoted in the README come from the full mode.
+
+use openbi::obs;
+use openbi_bench::olap::{cube_dataset, reference_rollup, sharded_rollup, CUBE_DIMS, CUBE_FACTS};
+use openbi_bench::{bench_doc, best_of_seconds, write_bench_json};
+use std::sync::Arc;
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_olap.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let (n, reps) = if quick { (20_000, 2) } else { (200_000, 3) };
+    let shard_counts: &[usize] = if quick { &[1, 2, 4] } else { &[1, 2, 4, 8] };
+
+    let facts = cube_dataset(n, 0x01AB);
+
+    let reference_secs = best_of_seconds(reps, || {
+        std::hint::black_box(reference_rollup(&facts));
+    });
+    let oracle = reference_rollup(&facts);
+    println!(
+        "reference ({} rows, {} dims, {} measures): {:>9.3}ms",
+        n,
+        CUBE_DIMS.len(),
+        CUBE_FACTS.len() * 5,
+        reference_secs * 1e3,
+    );
+
+    // Live runs are instrumented; the snapshot rides along in the
+    // document so shard timings land next to the `olap.*` metrics the
+    // engine itself records.
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    obs::install(Arc::clone(&registry));
+
+    let mut per_shards = Vec::new();
+    for &shards in shard_counts {
+        let live_secs = best_of_seconds(reps, || {
+            std::hint::black_box(sharded_rollup(&facts, shards));
+        });
+        let result = sharded_rollup(&facts, shards);
+        let bitwise_equal = result.table.fingerprint() == oracle.fingerprint();
+        assert!(
+            bitwise_equal,
+            "sharded cube at {shards} shard(s) diverged from the reference"
+        );
+        let speedup = if live_secs > 0.0 {
+            reference_secs / live_secs
+        } else {
+            0.0
+        };
+        println!(
+            "shards {shards}: reference {:>9.3}ms  sharded {:>9.3}ms  speedup ×{speedup:.2}  ({} cells)",
+            reference_secs * 1e3,
+            live_secs * 1e3,
+            result.table.n_rows(),
+        );
+        per_shards.push(serde_json::json!({
+            "shards": shards,
+            "reference_best_of_seconds": reference_secs,
+            "sharded_best_of_seconds": live_secs,
+            "best_of_seconds": live_secs,
+            "speedup_vs_reference": speedup,
+            "cells": result.table.n_rows(),
+            "bitwise_equal": bitwise_equal,
+        }));
+    }
+
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+    let doc = bench_doc(
+        "olap_cube",
+        serde_json::json!({
+            "rows": n,
+            "dims": CUBE_DIMS,
+            "measures": CUBE_FACTS.len() * 5,
+            "reps": reps,
+            "quick": quick,
+        }),
+        serde_json::json!({
+            "shard_sweep": per_shards,
+        }),
+        &snapshot,
+    );
+    write_bench_json(&out_path, &doc);
+}

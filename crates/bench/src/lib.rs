@@ -15,6 +15,7 @@ pub mod ablations;
 pub mod experiments;
 pub mod harness;
 pub mod kernels;
+pub mod olap;
 pub mod quality;
 pub mod report;
 pub mod result_table;

@@ -1,0 +1,94 @@
+//! Shared workload for the OLAP cube benchmark: one deterministic
+//! municipal-budget fact table and one measure roster, used by the
+//! `cube_bench` binary so sharded-vs-reference numbers are directly
+//! comparable.
+//!
+//! The workload is the paper's §1 BI regime: a city-budget fact table
+//! (`openbi::datagen::municipal_budget` — nulls, skewed spend, a few
+//! hundred distinct dimension values) rolled up by
+//! `district × category × year` under a wide measure roster (sum, mean,
+//! min, max, count over every numeric column). Wide rosters are where
+//! the sharded engine earns its keep: each extra measure deepens the
+//! single pass instead of adding another full `group_by` scan.
+
+use openbi::olap::{build_cube, reference, CubeOptions, CubeResult, Measure};
+use openbi::table::Table;
+
+/// The rollup dimensions of the cube workload.
+pub const CUBE_DIMS: [&str; 3] = ["district", "category", "year"];
+
+/// Numeric fact columns the measure roster aggregates.
+pub const CUBE_FACTS: [&str; 3] = ["budgeted_eur", "headcount", "spent_eur"];
+
+/// Build the deterministic fact table: `n` municipal-budget rows
+/// (deterministic in `seed`), with the nulls and skew the generator
+/// bakes in.
+pub fn cube_dataset(n: usize, seed: u64) -> Table {
+    openbi::datagen::municipal_budget(n, seed).table
+}
+
+/// The measure roster: all five aggregates over every numeric fact
+/// column — 15 measures, one shared pass in the sharded engine,
+/// 15 `group_by` value scans in the reference.
+pub fn cube_measures() -> Vec<Measure> {
+    CUBE_FACTS
+        .iter()
+        .flat_map(|c| {
+            [
+                Measure::Sum((*c).into()),
+                Measure::Mean((*c).into()),
+                Measure::Count((*c).into()),
+                Measure::Min((*c).into()),
+                Measure::Max((*c).into()),
+            ]
+        })
+        .collect()
+}
+
+/// Run the frozen single-threaded reference cube over the workload and
+/// return its rollup table.
+pub fn reference_rollup(facts: &Table) -> Table {
+    reference::Cube::new(facts.clone(), &CUBE_DIMS, cube_measures())
+        .expect("workload dims exist")
+        .rollup(&CUBE_DIMS)
+        .expect("reference rollup")
+}
+
+/// Run the sharded engine over the workload at the given shard count
+/// and return the full quality-annotated result.
+pub fn sharded_rollup(facts: &Table, shards: usize) -> CubeResult {
+    build_cube(
+        facts,
+        &CUBE_DIMS,
+        &cube_measures(),
+        &CubeOptions::with_shards(shards),
+    )
+    .expect("sharded rollup")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_and_equivalent() {
+        let facts = cube_dataset(500, 0x01AB);
+        assert_eq!(facts.fingerprint(), cube_dataset(500, 0x01AB).fingerprint());
+        let reference = reference_rollup(&facts);
+        for shards in [1, 3] {
+            let live = sharded_rollup(&facts, shards);
+            assert_eq!(
+                live.table.fingerprint(),
+                reference.fingerprint(),
+                "sharded ({shards}) must match reference bitwise"
+            );
+            assert_eq!(live.quality.len(), live.table.n_rows());
+        }
+    }
+
+    #[test]
+    fn roster_covers_every_aggregate_of_every_fact() {
+        let m = cube_measures();
+        assert_eq!(m.len(), CUBE_FACTS.len() * 5);
+    }
+}

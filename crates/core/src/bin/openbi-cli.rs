@@ -13,6 +13,10 @@
 //! openbi-cli advise   <data.csv> --target COL --kb kb.jsonl
 //!                     [--neighbors N] [--bandwidth H]
 //!                     [--metrics-out metrics.json]
+//! openbi-cli cube     <data.csv> --dims A,B [--measures sum:X,mean:Y,...]
+//!                     [--shards N] [--min-support N] [--max-null-ratio F]
+//!                     [--metrics-out metrics.json]
+//!                     [--fault-plan plan.txt] [--max-retries R]
 //! ```
 //!
 //! `experiments` runs the §3.1 phase-1 suite on the reference generators
@@ -101,6 +105,19 @@ USAGE:
                      [--cell-deadline-ms MS]   (abandon cells slower than MS)
                      [--serving rwlock|snapshot]  (publish path; default rwlock)
                      [--publish-capacity N]    (snapshot publish-queue bound)
+
+  openbi-cli cube    <data.csv> --dims A,B [--measures sum:X,mean:Y,...]
+                     [--shards N]              (0 = one per core)
+                     [--min-support N] [--max-null-ratio F]  (quality flags)
+                     [--metrics-out metrics.json]
+                     [--fault-plan plan.txt] [--max-retries R]
+
+  cube builds a sharded, quality-annotated OLAP rollup (DESIGN.md §14):
+  every aggregate cell carries its row support and null ratio, and cells
+  below --min-support (default 5) or above --max-null-ratio (default
+  0.2) are flagged in the rendered report. Measures are AGG:COLUMN pairs
+  with AGG one of sum|mean|count|min|max; default is count over the
+  first dimension.
 
   --metrics-out writes serving/executor metrics (latency histograms with
   p50/p90/p99, counters) captured during the command, e.g.:
@@ -431,6 +448,119 @@ fn cmd_advise(args: &Args) -> ExitCode {
     }
 }
 
+/// Parse a `--measures sum:X,mean:Y` list into [`Measure`]s. `None`
+/// input yields `count` over `default_col` (the first dimension), so a
+/// bare `cube --dims A` still renders something meaningful.
+fn parse_measures(
+    spec: Option<&str>,
+    default_col: &str,
+) -> Result<Vec<openbi::olap::Measure>, String> {
+    use openbi::olap::Measure;
+    let Some(spec) = spec else {
+        return Ok(vec![Measure::Count(default_col.to_string())]);
+    };
+    spec.split(',')
+        .map(|part| {
+            let part = part.trim();
+            let (agg, col) = part
+                .split_once(':')
+                .ok_or_else(|| format!("measure {part:?} is not AGG:COLUMN"))?;
+            let col = col.trim().to_string();
+            match agg.trim() {
+                "sum" => Ok(Measure::Sum(col)),
+                "mean" => Ok(Measure::Mean(col)),
+                "count" => Ok(Measure::Count(col)),
+                "min" => Ok(Measure::Min(col)),
+                "max" => Ok(Measure::Max(col)),
+                other => Err(format!(
+                    "unknown aggregate {other:?} (sum|mean|count|min|max)"
+                )),
+            }
+        })
+        .collect()
+}
+
+fn cmd_cube(args: &Args) -> ExitCode {
+    use openbi::olap::{quality_table_report, Cube, CubeOptions, QualityThresholds};
+    let Some(path) = args.positional.first() else {
+        return fail("cube needs a CSV path");
+    };
+    let Some(dims_spec) = args.flag("dims") else {
+        return fail("--dims is required for cube");
+    };
+    let dims: Vec<String> = dims_spec
+        .split(',')
+        .map(|d| d.trim().to_string())
+        .filter(|d| !d.is_empty())
+        .collect();
+    if dims.is_empty() {
+        return fail("--dims must name at least one column");
+    }
+    let table = match load_csv(path) {
+        Ok(t) => t,
+        Err(e) => return fail(&e),
+    };
+    let measures = match parse_measures(args.flag("measures"), &dims[0]) {
+        Ok(m) => m,
+        Err(e) => return fail(&e),
+    };
+    let mut options = CubeOptions::with_shards(
+        args.flag("shards")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0),
+    );
+    options.max_retries = args
+        .flag("max-retries")
+        .and_then(|r| r.parse().ok())
+        .unwrap_or(0);
+    if let Some(plan_path) = args.flag("fault-plan") {
+        match openbi::faults::FaultPlan::from_file(plan_path) {
+            Ok(plan) => options.fault_plan = Some(std::sync::Arc::new(plan)),
+            Err(e) => return fail(&e.to_string()),
+        }
+    }
+    let thresholds = QualityThresholds {
+        min_support: args
+            .flag("min-support")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(QualityThresholds::default().min_support),
+        max_null_ratio: args
+            .flag("max-null-ratio")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(QualityThresholds::default().max_null_ratio),
+    };
+    let dim_refs: Vec<&str> = dims.iter().map(String::as_str).collect();
+    let cube = match Cube::new(table, &dim_refs, measures) {
+        Ok(c) => c,
+        Err(e) => return fail(&e.to_string()),
+    };
+    let metrics = metrics_registry(args);
+    let result = match cube.rollup_quality(&dim_refs, &options) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cube failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let title = format!("{path} by {}", dims.join(", "));
+    match quality_table_report(&title, &result, &thresholds, usize::MAX) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("cube failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if !write_metrics(metrics) {
+        return ExitCode::FAILURE;
+    }
+    if result.is_degraded() {
+        // Partial totals are rendered (with a banner), but signal the
+        // degradation to scripts via the exit code.
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = raw.first().cloned() else {
@@ -442,6 +572,7 @@ fn main() -> ExitCode {
         "mine" => cmd_mine(&args, false),
         "advise" => cmd_advise(&args),
         "experiments" => cmd_experiments(&args),
+        "cube" => cmd_cube(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             ExitCode::SUCCESS
@@ -488,5 +619,23 @@ mod tests {
     fn repeated_positionals_kept_in_order() {
         let a = parse(&["first.csv", "second.csv"]);
         assert_eq!(a.positional, vec!["first.csv", "second.csv"]);
+    }
+
+    #[test]
+    fn measure_specs_parse_and_reject() {
+        use openbi::olap::Measure;
+        let m = super::parse_measures(Some("sum:spend, mean:pm10,count:id"), "d").unwrap();
+        assert_eq!(
+            m,
+            vec![
+                Measure::Sum("spend".into()),
+                Measure::Mean("pm10".into()),
+                Measure::Count("id".into()),
+            ]
+        );
+        let default = super::parse_measures(None, "district").unwrap();
+        assert_eq!(default, vec![Measure::Count("district".into())]);
+        assert!(super::parse_measures(Some("median:x"), "d").is_err());
+        assert!(super::parse_measures(Some("spend"), "d").is_err());
     }
 }

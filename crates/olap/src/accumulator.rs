@@ -1,0 +1,376 @@
+//! Mergeable per-measure accumulators and quality-annotated cell state.
+//!
+//! Each cube cell is built from one [`CellState`]: a vector of
+//! [`MeasureAcc`]s (one per declared measure) plus the quality tallies
+//! ([`CellState::support`], [`CellState::null_cells`]) that become the
+//! cell's [`CellQuality`] annotation. The accumulators are the reason
+//! shard merging is *exact*:
+//!
+//! * `Sum`/`Mean` hold an [`ExactSum`] superaccumulator, so partial sums
+//!   merge without rounding and the final double is independent of how
+//!   rows were partitioned (`mean = (sum, n)`; the single division
+//!   happens once, at [`MeasureAcc::value`]).
+//! * `Count` is a `u64` — trivially exact.
+//! * `Min`/`Max` fold with strict `<`/`>` — first-seen wins ties
+//!   (including ±0.0), NaN never beats the incumbent — so the
+//!   first-seen best composes over contiguous shards merged in shard
+//!   order and equals the sequential fold.
+//!
+//! The `value()` of every accumulator reproduces the frozen
+//! [`crate::reference`] semantics bit for bit: a group with no numeric
+//! input yields `Value::Null`, `Count` yields `Value::Int`, everything
+//! else `Value::Float`, and a group whose only numeric inputs are NaN
+//! yields `NaN` for sum/mean but the fold identity (±∞) for min/max —
+//! that is what the reference's strict-comparison fold over
+//! `filter_map(as_f64)` does, and the differential suite holds us to
+//! it.
+
+use crate::cube::Measure;
+use openbi_table::{ExactSum, Value};
+
+/// One measure's mergeable accumulator state.
+#[derive(Debug, Clone)]
+pub enum MeasureAcc {
+    /// Exact sum + count of numeric (non-null, non-string) inputs.
+    Sum {
+        /// Exact running sum.
+        sum: ExactSum,
+        /// Numeric inputs seen (NaN included).
+        n: u64,
+    },
+    /// Mean as `(exact sum, count)`; divided once at readout.
+    Mean {
+        /// Exact running sum.
+        sum: ExactSum,
+        /// Numeric inputs seen (NaN included).
+        n: u64,
+    },
+    /// Count of non-null cells of any type.
+    Count {
+        /// Non-null cells seen.
+        n: u64,
+    },
+    /// First-seen minimum under strict `<` (±0.0 ties keep the earlier
+    /// value), NaN skipped.
+    Min {
+        /// Least value seen (fold identity `+∞`).
+        best: f64,
+        /// Numeric inputs seen (NaN included) — decides Null vs value.
+        n: u64,
+    },
+    /// First-seen maximum under strict `>` (±0.0 ties keep the earlier
+    /// value), NaN skipped.
+    Max {
+        /// Greatest value seen (fold identity `-∞`).
+        best: f64,
+        /// Numeric inputs seen (NaN included) — decides Null vs value.
+        n: u64,
+    },
+}
+
+/// `a < b` under the min/max fold contract: plain strict `<`, so ties
+/// (including `-0.0` vs `+0.0`) keep the incumbent and NaN never beats
+/// it. This matches `group_by`'s explicit fold exactly, and first-seen
+/// wins composes over contiguous shards merged in shard order — the
+/// property the bitwise differential tests rely on (DESIGN.md §14).
+fn less(a: f64, b: f64) -> bool {
+    a < b
+}
+
+impl MeasureAcc {
+    /// A fresh accumulator for the given measure.
+    pub fn new(measure: &Measure) -> Self {
+        match measure {
+            Measure::Sum(_) => MeasureAcc::Sum {
+                sum: ExactSum::new(),
+                n: 0,
+            },
+            Measure::Mean(_) => MeasureAcc::Mean {
+                sum: ExactSum::new(),
+                n: 0,
+            },
+            Measure::Count(_) => MeasureAcc::Count { n: 0 },
+            Measure::Min(_) => MeasureAcc::Min {
+                best: f64::INFINITY,
+                n: 0,
+            },
+            Measure::Max(_) => MeasureAcc::Max {
+                best: f64::NEG_INFINITY,
+                n: 0,
+            },
+        }
+    }
+
+    /// Fold one row's cell in: `is_null` is the raw cell's nullness (any
+    /// type), `num` its numeric view (`Value::as_f64` — `None` for null
+    /// *and* string cells).
+    pub fn update(&mut self, is_null: bool, num: Option<f64>) {
+        match self {
+            MeasureAcc::Sum { sum, n } | MeasureAcc::Mean { sum, n } => {
+                if let Some(v) = num {
+                    sum.add(v);
+                    *n += 1;
+                }
+            }
+            MeasureAcc::Count { n } => {
+                if !is_null {
+                    *n += 1;
+                }
+            }
+            MeasureAcc::Min { best, n } => {
+                if let Some(v) = num {
+                    *n += 1;
+                    if less(v, *best) {
+                        *best = v;
+                    }
+                }
+            }
+            MeasureAcc::Max { best, n } => {
+                if let Some(v) = num {
+                    *n += 1;
+                    if less(*best, v) {
+                        *best = v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fold another shard's accumulator in. Exact for sum/mean/count;
+    /// associative for min/max — callers merge in shard order, so the
+    /// result equals the sequential fold over the full row range.
+    ///
+    /// # Panics
+    /// If the two accumulators are of different variants (they never are
+    /// inside the engine: shard states are built from the same measure
+    /// list).
+    pub fn merge(&mut self, other: &MeasureAcc) {
+        match (self, other) {
+            (MeasureAcc::Sum { sum, n }, MeasureAcc::Sum { sum: osum, n: onum })
+            | (MeasureAcc::Mean { sum, n }, MeasureAcc::Mean { sum: osum, n: onum }) => {
+                sum.merge(osum);
+                *n += onum;
+            }
+            (MeasureAcc::Count { n }, MeasureAcc::Count { n: onum }) => *n += onum,
+            (MeasureAcc::Min { best, n }, MeasureAcc::Min { best: ob, n: onum }) => {
+                *n += onum;
+                if less(*ob, *best) {
+                    *best = *ob;
+                }
+            }
+            (MeasureAcc::Max { best, n }, MeasureAcc::Max { best: ob, n: onum }) => {
+                *n += onum;
+                if less(*best, *ob) {
+                    *best = *ob;
+                }
+            }
+            _ => panic!("cannot merge accumulators of different measures"),
+        }
+    }
+
+    /// Read the accumulator out as the cell value, reproducing the
+    /// reference `group_by` semantics exactly (see module docs).
+    pub fn value(&self) -> Value {
+        match self {
+            MeasureAcc::Sum { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum.value())
+                }
+            }
+            MeasureAcc::Mean { sum, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum.value() / *n as f64)
+                }
+            }
+            MeasureAcc::Count { n } => Value::Int(*n as i64),
+            MeasureAcc::Min { best, n } | MeasureAcc::Max { best, n } => {
+                if *n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(*best)
+                }
+            }
+        }
+    }
+}
+
+/// Quality annotation carried by every cube cell (row of a rollup):
+/// how many fact rows back the aggregate, and what fraction of the
+/// measure-relevant cells among them were null — the paper's
+/// "quality awareness" travelling with the aggregate itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellQuality {
+    /// Fact rows contributing to this cell.
+    pub support: u64,
+    /// Null fraction over the distinct measure source columns within
+    /// those rows, in `[0, 1]` (`0.0` when there are no measures).
+    pub null_ratio: f64,
+}
+
+/// The full mergeable state behind one cube cell.
+#[derive(Debug, Clone)]
+pub struct CellState {
+    /// One accumulator per declared measure, in declaration order.
+    pub accs: Vec<MeasureAcc>,
+    /// Fact rows folded into this cell.
+    pub support: u64,
+    /// Null cells seen across the *distinct* measure source columns.
+    pub null_cells: u64,
+}
+
+impl CellState {
+    /// Fresh state for the given measure list.
+    pub fn new(measures: &[Measure]) -> Self {
+        CellState {
+            accs: measures.iter().map(MeasureAcc::new).collect(),
+            support: 0,
+            null_cells: 0,
+        }
+    }
+
+    /// Fold another shard's cell state in (same measure list).
+    pub fn merge(&mut self, other: &CellState) {
+        debug_assert_eq!(self.accs.len(), other.accs.len());
+        for (a, b) in self.accs.iter_mut().zip(&other.accs) {
+            a.merge(b);
+        }
+        self.support += other.support;
+        self.null_cells += other.null_cells;
+    }
+
+    /// The quality annotation for this cell, given the number of
+    /// distinct measure source columns the null tally ran over.
+    pub fn quality(&self, n_quality_cols: usize) -> CellQuality {
+        let denom = self.support * n_quality_cols as u64;
+        CellQuality {
+            support: self.support,
+            null_ratio: if denom == 0 {
+                0.0
+            } else {
+                self.null_cells as f64 / denom as f64
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_mean_merge_exactly() {
+        let m = Measure::Sum("x".into());
+        let mut a = MeasureAcc::new(&m);
+        let mut b = MeasureAcc::new(&m);
+        a.update(false, Some(1e16));
+        a.update(false, Some(1.0));
+        b.update(false, Some(-1e16));
+        b.update(false, Some(1.0));
+        a.merge(&b);
+        assert_eq!(a.value(), Value::Float(2.0));
+
+        let mut seq = MeasureAcc::new(&Measure::Mean("x".into()));
+        for v in [3.0, 4.0, 5.0, 100.0] {
+            seq.update(false, Some(v));
+        }
+        let mut left = MeasureAcc::new(&Measure::Mean("x".into()));
+        let mut right = MeasureAcc::new(&Measure::Mean("x".into()));
+        left.update(false, Some(3.0));
+        left.update(false, Some(4.0));
+        right.update(false, Some(5.0));
+        right.update(false, Some(100.0));
+        left.merge(&right);
+        assert_eq!(seq.value(), left.value());
+    }
+
+    #[test]
+    fn empty_numeric_input_reads_null() {
+        for m in [
+            Measure::Sum("x".into()),
+            Measure::Mean("x".into()),
+            Measure::Min("x".into()),
+            Measure::Max("x".into()),
+        ] {
+            let mut acc = MeasureAcc::new(&m);
+            acc.update(true, None); // a null cell
+            assert_eq!(acc.value(), Value::Null, "{m:?}");
+        }
+        let mut count = MeasureAcc::new(&Measure::Count("x".into()));
+        count.update(true, None);
+        assert_eq!(count.value(), Value::Int(0));
+        count.update(false, None); // non-null string cell still counts
+        assert_eq!(count.value(), Value::Int(1));
+    }
+
+    #[test]
+    fn min_max_match_reference_fold_semantics() {
+        // All-NaN numeric input: the strict fold from +∞ never moves,
+        // so the reference reports +∞ (not Null, not NaN).
+        let mut min = MeasureAcc::new(&Measure::Min("x".into()));
+        min.update(false, Some(f64::NAN));
+        assert_eq!(min.value(), Value::Float(f64::INFINITY));
+        min.update(false, Some(2.0));
+        min.update(false, Some(-3.0));
+        assert_eq!(min.value(), Value::Float(-3.0));
+
+        // ±0 ties keep the first-seen value for both min and max — the
+        // strict-comparison contract `group_by`'s explicit fold pins.
+        let mut a = MeasureAcc::new(&Measure::Min("x".into()));
+        a.update(false, Some(0.0));
+        a.update(false, Some(-0.0));
+        let mut b = MeasureAcc::new(&Measure::Min("x".into()));
+        b.update(false, Some(-0.0));
+        b.update(false, Some(0.0));
+        let (Value::Float(x), Value::Float(y)) = (a.value(), b.value()) else {
+            panic!("expected floats");
+        };
+        assert!(!x.is_sign_negative(), "first-seen +0.0 survives the tie");
+        assert!(y.is_sign_negative(), "first-seen -0.0 survives the tie");
+
+        let mut max = MeasureAcc::new(&Measure::Max("x".into()));
+        max.update(false, Some(-0.0));
+        max.update(false, Some(0.0));
+        let Value::Float(z) = max.value() else {
+            panic!("expected float");
+        };
+        assert!(z.is_sign_negative(), "first-seen -0.0 survives the tie");
+    }
+
+    #[test]
+    fn min_merge_is_associative_over_shards() {
+        let values = [5.0, -1.0, f64::NAN, -1.0, 7.0, -0.0, 0.0];
+        let mut seq = MeasureAcc::new(&Measure::Min("x".into()));
+        for v in values {
+            seq.update(false, Some(v));
+        }
+        for split in 1..values.len() {
+            let mut left = MeasureAcc::new(&Measure::Min("x".into()));
+            let mut right = MeasureAcc::new(&Measure::Min("x".into()));
+            for &v in &values[..split] {
+                left.update(false, Some(v));
+            }
+            for &v in &values[split..] {
+                right.update(false, Some(v));
+            }
+            left.merge(&right);
+            assert_eq!(seq.value(), left.value(), "split at {split}");
+        }
+    }
+
+    #[test]
+    fn cell_quality_ratio() {
+        let measures = [Measure::Sum("x".into()), Measure::Mean("x".into())];
+        let mut cell = CellState::new(&measures);
+        cell.support = 4;
+        cell.null_cells = 1; // x is one distinct column with 1 null in 4 rows
+        let q = cell.quality(1);
+        assert_eq!(q.support, 4);
+        assert!((q.null_ratio - 0.25).abs() < 1e-12);
+        assert_eq!(CellState::new(&measures).quality(1).null_ratio, 0.0);
+        assert_eq!(cell.quality(0).null_ratio, 0.0);
+    }
+}

@@ -1,7 +1,15 @@
 //! A lightweight OLAP cube over a table: dimensions, measures, rollup,
-//! slice and dice — the "OLAP analysis" leg of the OpenBI vision (§1).
+//! slice and dice — the "OLAP analysis" leg of the OpenBI vision (§1),
+//! served by the sharded engine in [`crate::shard`] (DESIGN.md §14).
+//!
+//! Every aggregation — [`Cube::rollup`], [`Cube::total`], and the
+//! quality-annotated [`Cube::rollup_quality`] — runs the sharded build
+//! and is bitwise-identical to the frozen single-threaded
+//! [`crate::reference`] cube at any shard count; the differential suite
+//! (`tests/tests/olap_equivalence.rs`) holds that line.
 
-use openbi_table::{group_by, Aggregate, Result, Table, TableError};
+use crate::shard::{build_cube, CubeOptions, CubeResult};
+use openbi_table::{Result, Table, TableError};
 
 /// An aggregate measure definition.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,19 +27,27 @@ pub enum Measure {
 }
 
 impl Measure {
-    fn to_aggregate(&self) -> Aggregate {
+    /// The source column the measure reads.
+    pub fn column(&self) -> &str {
         match self {
-            Measure::Sum(c) => Aggregate::Sum(c.clone()),
-            Measure::Mean(c) => Aggregate::Mean(c.clone()),
-            Measure::Count(c) => Aggregate::Count(c.clone()),
-            Measure::Min(c) => Aggregate::Min(c.clone()),
-            Measure::Max(c) => Aggregate::Max(c.clone()),
+            Measure::Sum(c)
+            | Measure::Mean(c)
+            | Measure::Count(c)
+            | Measure::Min(c)
+            | Measure::Max(c) => c,
         }
     }
 
-    /// Name of the output column this measure produces.
+    /// Name of the output column this measure produces (matches the
+    /// `group_by` aggregate naming: `sum(col)`, `mean(col)`, …).
     pub fn output_name(&self) -> String {
-        self.to_aggregate().output_name()
+        match self {
+            Measure::Sum(c) => format!("sum({c})"),
+            Measure::Mean(c) => format!("mean({c})"),
+            Measure::Count(c) => format!("count({c})"),
+            Measure::Min(c) => format!("min({c})"),
+            Measure::Max(c) => format!("max({c})"),
+        }
     }
 }
 
@@ -51,15 +67,7 @@ impl Cube {
             facts.column(d)?;
         }
         for m in &measures {
-            match m {
-                Measure::Sum(c)
-                | Measure::Mean(c)
-                | Measure::Count(c)
-                | Measure::Min(c)
-                | Measure::Max(c) => {
-                    facts.column(c)?;
-                }
-            }
+            facts.column(m.column())?;
         }
         if dimensions.is_empty() {
             return Err(TableError::InvalidArgument(
@@ -78,13 +86,17 @@ impl Cube {
         &self.dimensions
     }
 
+    /// The declared measures.
+    pub fn measures(&self) -> &[Measure] {
+        &self.measures
+    }
+
     /// The underlying fact table.
     pub fn facts(&self) -> &Table {
         &self.facts
     }
 
-    /// Roll up to the named subset of dimensions (must be declared).
-    pub fn rollup(&self, dims: &[&str]) -> Result<Table> {
+    fn check_dims(&self, dims: &[&str]) -> Result<()> {
         for d in dims {
             if !self.dimensions.iter().any(|x| x == d) {
                 return Err(TableError::InvalidArgument(format!(
@@ -92,8 +104,25 @@ impl Cube {
                 )));
             }
         }
-        let aggregates: Vec<Aggregate> = self.measures.iter().map(Measure::to_aggregate).collect();
-        group_by(&self.facts, dims, &aggregates)
+        if dims.is_empty() {
+            return Err(TableError::InvalidArgument(
+                "group_by requires at least one key column".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Roll up to the named subset of dimensions (must be declared).
+    pub fn rollup(&self, dims: &[&str]) -> Result<Table> {
+        Ok(self.rollup_quality(dims, &CubeOptions::default())?.table)
+    }
+
+    /// Roll up with full quality annotation and build control: returns
+    /// the aggregate table plus per-cell support / null-ratio and the
+    /// shard fault outcome.
+    pub fn rollup_quality(&self, dims: &[&str], options: &CubeOptions) -> Result<CubeResult> {
+        self.check_dims(dims)?;
+        build_cube(&self.facts, dims, &self.measures, options)
     }
 
     /// Slice: fix one dimension to a value, returning a cube over the
@@ -142,18 +171,16 @@ impl Cube {
         })
     }
 
-    /// Grand total: all measures over all facts (single-row table with a
-    /// synthetic `all` dimension).
+    /// Grand total: all measures over all facts (one row when the fact
+    /// table has rows, zero when it is empty — same shape as grouping
+    /// by a synthetic constant key).
     pub fn total(&self) -> Result<Table> {
-        let mut with_all = self.facts.clone();
-        with_all.add_column(openbi_table::Column::from_str_values(
-            "__all__",
-            vec!["all"; self.facts.n_rows()],
-        ))?;
-        let aggregates: Vec<Aggregate> = self.measures.iter().map(Measure::to_aggregate).collect();
-        let mut out = group_by(&with_all, &["__all__"], &aggregates)?;
-        out.drop_column("__all__")?;
-        Ok(out)
+        Ok(self.total_quality(&CubeOptions::default())?.table)
+    }
+
+    /// Grand total with quality annotation and build control.
+    pub fn total_quality(&self, options: &CubeOptions) -> Result<CubeResult> {
+        build_cube(&self.facts, &[], &self.measures, options)
     }
 }
 
@@ -221,9 +248,22 @@ mod tests {
     #[test]
     fn undeclared_dimension_rejected() {
         assert!(cube().rollup(&["spend"]).is_err());
+        assert!(cube().rollup(&[]).is_err());
         assert!(cube().slice("spend", "x").is_err());
         assert!(cube().dice("nope", &["x"]).is_err());
         assert!(Cube::new(facts(), &[], vec![]).is_err());
         assert!(Cube::new(facts(), &["nope"], vec![]).is_err());
+    }
+
+    #[test]
+    fn rollup_quality_annotates_cells() {
+        let r = cube()
+            .rollup_quality(&["district"], &CubeOptions::with_shards(2))
+            .unwrap();
+        assert_eq!(r.table.n_rows(), 2);
+        assert_eq!(r.quality.len(), 2);
+        assert_eq!(r.quality[0].support, 2);
+        assert_eq!(r.quality[0].null_ratio, 0.0);
+        assert!(!r.is_degraded());
     }
 }

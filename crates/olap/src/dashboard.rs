@@ -3,7 +3,10 @@
 //! citizen-facing output surface of OpenBI.
 
 use crate::cube::{Cube, Measure};
-use crate::report::{bar_chart_from_table, sparkline, table_report};
+use crate::report::{
+    bar_chart_from_table, quality_table_report, sparkline, table_report, QualityThresholds,
+};
+use crate::shard::CubeOptions;
 use openbi_table::{Result, Table};
 
 /// A dashboard panel.
@@ -64,6 +67,24 @@ impl Dashboard {
         let chart =
             bar_chart_from_table(&title.into(), &rolled, dim, &measure.output_name(), width)?;
         self.panels.push(Panel::Chart(chart));
+        Ok(self)
+    }
+
+    /// Add a quality-annotated rollup panel: the sharded engine's
+    /// aggregate table with per-cell quality flags, and — when shard
+    /// retries were exhausted — a `DEGRADED` banner over the partial
+    /// result instead of an abort (DESIGN.md §14).
+    pub fn quality_rollup(
+        mut self,
+        title: impl Into<String>,
+        cube: &Cube,
+        dims: &[&str],
+        thresholds: &QualityThresholds,
+        options: &CubeOptions,
+    ) -> Result<Self> {
+        let result = cube.rollup_quality(dims, options)?;
+        let report = quality_table_report(&title.into(), &result, thresholds, usize::MAX)?;
+        self.panels.push(Panel::Chart(report));
         Ok(self)
     }
 
@@ -163,6 +184,38 @@ mod tests {
         let d = Dashboard::new("x");
         assert!(d
             .rollup_chart("bad", &cube(), "nope", &Measure::Sum("spend".into()), 10)
+            .is_err());
+    }
+
+    #[test]
+    fn quality_rollup_panel_renders_flags() {
+        let thresholds = QualityThresholds {
+            min_support: 2,
+            max_null_ratio: 0.5,
+        };
+        let d = Dashboard::new("q")
+            .quality_rollup(
+                "spend by district",
+                &cube(),
+                &["district"],
+                &thresholds,
+                &CubeOptions::with_shards(2),
+            )
+            .unwrap();
+        let r = d.render();
+        // "n" has 2 rows (ok), "s" has 1 (flagged).
+        assert!(r.contains("spend by district"));
+        assert!(r.contains("ok"));
+        assert!(r.contains("[!] support=1"));
+        assert!(r.contains("1/2 cells flagged"));
+        assert!(Dashboard::new("x")
+            .quality_rollup(
+                "bad",
+                &cube(),
+                &["nope"],
+                &thresholds,
+                &CubeOptions::default()
+            )
             .is_err());
     }
 }

@@ -1,0 +1,165 @@
+//! The pre-rewrite **single-threaded reference** cube — the equivalence
+//! baseline.
+//!
+//! A faithful snapshot of `crate::cube` as it stood before the sharded
+//! columnar rewrite (DESIGN.md §14): every operation routes through
+//! [`openbi_table::group_by`] over a cloned fact table, one group at a
+//! time, no shards, no metrics, no fault points. It exists for two
+//! reasons:
+//!
+//! 1. `tests/tests/olap_equivalence.rs` proves the sharded engine
+//!    reproduces these tables **bit for bit** (same
+//!    [`Table::fingerprint`](openbi_table::Table::fingerprint)) at every
+//!    shard count, and
+//! 2. `cube_bench` measures the sharded engine's speedup against this
+//!    baseline, in the same process on the same facts.
+//!
+//! The one shared substrate change beneath both implementations — and
+//! therefore part of the baseline, not a rewrite delta — is that
+//! `group_by`'s `Sum`/`Mean` run on the exact order-independent
+//! [`ExactSum`](openbi_table::ExactSum) accumulator, which is what makes
+//! bitwise equality achievable for *any* row partitioning in the first
+//! place.
+//!
+//! It shares the [`Measure`] input spec with the live engine (the same
+//! convention as `openbi::mining::reference` sharing `AlgorithmSpec`)
+//! but freezes everything else. Do not "improve" this module; its value
+//! is that it does not move.
+
+#![allow(missing_docs)]
+
+use crate::cube::Measure;
+use openbi_table::{group_by, Aggregate, Result, Table, TableError};
+
+fn to_aggregate(measure: &Measure) -> Aggregate {
+    match measure {
+        Measure::Sum(c) => Aggregate::Sum(c.clone()),
+        Measure::Mean(c) => Aggregate::Mean(c.clone()),
+        Measure::Count(c) => Aggregate::Count(c.clone()),
+        Measure::Min(c) => Aggregate::Min(c.clone()),
+        Measure::Max(c) => Aggregate::Max(c.clone()),
+    }
+}
+
+/// The frozen pre-rewrite cube: a fact table plus declared dimensions
+/// and measures, aggregated via `group_by`.
+#[derive(Debug, Clone)]
+pub struct Cube {
+    facts: Table,
+    dimensions: Vec<String>,
+    measures: Vec<Measure>,
+}
+
+impl Cube {
+    /// Build a cube, validating that dimensions and measure columns
+    /// exist.
+    pub fn new(facts: Table, dimensions: &[&str], measures: Vec<Measure>) -> Result<Self> {
+        for d in dimensions {
+            facts.column(d)?;
+        }
+        for m in &measures {
+            match m {
+                Measure::Sum(c)
+                | Measure::Mean(c)
+                | Measure::Count(c)
+                | Measure::Min(c)
+                | Measure::Max(c) => {
+                    facts.column(c)?;
+                }
+            }
+        }
+        if dimensions.is_empty() {
+            return Err(TableError::InvalidArgument(
+                "a cube needs at least one dimension".to_string(),
+            ));
+        }
+        Ok(Cube {
+            facts,
+            dimensions: dimensions.iter().map(|s| s.to_string()).collect(),
+            measures,
+        })
+    }
+
+    /// The declared dimensions.
+    pub fn dimensions(&self) -> &[String] {
+        &self.dimensions
+    }
+
+    /// The underlying fact table.
+    pub fn facts(&self) -> &Table {
+        &self.facts
+    }
+
+    /// Roll up to the named subset of dimensions (must be declared).
+    pub fn rollup(&self, dims: &[&str]) -> Result<Table> {
+        for d in dims {
+            if !self.dimensions.iter().any(|x| x == d) {
+                return Err(TableError::InvalidArgument(format!(
+                    "{d} is not a declared dimension"
+                )));
+            }
+        }
+        let aggregates: Vec<Aggregate> = self.measures.iter().map(to_aggregate).collect();
+        group_by(&self.facts, dims, &aggregates)
+    }
+
+    /// Slice: fix one dimension to a value, returning a cube over the
+    /// remaining facts.
+    pub fn slice(&self, dimension: &str, value: &str) -> Result<Cube> {
+        if !self.dimensions.iter().any(|x| x == dimension) {
+            return Err(TableError::InvalidArgument(format!(
+                "{dimension} is not a declared dimension"
+            )));
+        }
+        let col_idx = self
+            .facts
+            .column_names()
+            .iter()
+            .position(|n| *n == dimension)
+            .expect("validated dimension");
+        let facts = self.facts.filter(|row| row[col_idx].to_string() == value);
+        Ok(Cube {
+            facts,
+            dimensions: self.dimensions.clone(),
+            measures: self.measures.clone(),
+        })
+    }
+
+    /// Dice: keep rows where `dimension`'s value is in `values`.
+    pub fn dice(&self, dimension: &str, values: &[&str]) -> Result<Cube> {
+        if !self.dimensions.iter().any(|x| x == dimension) {
+            return Err(TableError::InvalidArgument(format!(
+                "{dimension} is not a declared dimension"
+            )));
+        }
+        let col_idx = self
+            .facts
+            .column_names()
+            .iter()
+            .position(|n| *n == dimension)
+            .expect("validated dimension");
+        let facts = self.facts.filter(|row| {
+            let v = row[col_idx].to_string();
+            values.iter().any(|x| *x == v)
+        });
+        Ok(Cube {
+            facts,
+            dimensions: self.dimensions.clone(),
+            measures: self.measures.clone(),
+        })
+    }
+
+    /// Grand total: all measures over all facts (single-row table with a
+    /// synthetic `all` dimension).
+    pub fn total(&self) -> Result<Table> {
+        let mut with_all = self.facts.clone();
+        with_all.add_column(openbi_table::Column::from_str_values(
+            "__all__",
+            vec!["all"; self.facts.n_rows()],
+        ))?;
+        let aggregates: Vec<Aggregate> = self.measures.iter().map(to_aggregate).collect();
+        let mut out = group_by(&with_all, &["__all__"], &aggregates)?;
+        out.drop_column("__all__")?;
+        Ok(out)
+    }
+}

@@ -1,7 +1,85 @@
 //! Tabular reports and ASCII charts — the "reporting / dashboards" leg
 //! of the OpenBI vision, rendered for a terminal.
+//!
+//! [`quality_table_report`] is where the paper's "data quality awareness
+//! in user-friendly data mining" lands in the BI layer itself: every
+//! aggregate row of a [`CubeResult`] is rendered next to its quality
+//! flag, so a low-support or null-heavy cell can never masquerade as a
+//! trustworthy number, and a degraded (shard-failed) build announces
+//! itself instead of quietly serving partial totals.
 
-use openbi_table::{Result, Table};
+use crate::accumulator::CellQuality;
+use crate::shard::CubeResult;
+use openbi_table::{Column, Result, Table};
+
+/// Thresholds below/above which a cube cell is flagged in reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityThresholds {
+    /// Minimum fact rows a cell must aggregate to be unflagged.
+    pub min_support: u64,
+    /// Maximum tolerated null fraction among measure cells.
+    pub max_null_ratio: f64,
+}
+
+impl Default for QualityThresholds {
+    fn default() -> Self {
+        QualityThresholds {
+            min_support: 5,
+            max_null_ratio: 0.2,
+        }
+    }
+}
+
+impl QualityThresholds {
+    /// The flag text for one cell: `"ok"` when it clears both
+    /// thresholds, otherwise `"[!] …"` naming what failed.
+    pub fn flag(&self, quality: &CellQuality) -> String {
+        let low_support = quality.support < self.min_support;
+        let many_nulls = quality.null_ratio > self.max_null_ratio;
+        match (low_support, many_nulls) {
+            (false, false) => "ok".to_string(),
+            (true, false) => format!("[!] support={}", quality.support),
+            (false, true) => format!("[!] nulls={:.0}%", quality.null_ratio * 100.0),
+            (true, true) => format!(
+                "[!] support={} nulls={:.0}%",
+                quality.support,
+                quality.null_ratio * 100.0
+            ),
+        }
+    }
+}
+
+/// Render a quality-annotated rollup: the aggregate table with a
+/// trailing `quality` column flagging every cell below the thresholds,
+/// a flag-count footer, and — when shards failed — a `DEGRADED` banner
+/// making the partial-ness of the numbers impossible to miss.
+pub fn quality_table_report(
+    title: &str,
+    result: &CubeResult,
+    thresholds: &QualityThresholds,
+    max_rows: usize,
+) -> Result<String> {
+    let flags: Vec<String> = result.quality.iter().map(|q| thresholds.flag(q)).collect();
+    let flagged = flags.iter().filter(|f| f.starts_with("[!]")).count();
+    let mut annotated = result.table.clone();
+    annotated.add_column(Column::from_str_values("quality", flags))?;
+    let mut out = String::new();
+    if result.is_degraded() {
+        out.push_str(&format!(
+            "!! DEGRADED: {}/{} shards failed; totals are partial !!\n",
+            result.failed_shards.len(),
+            result.total_shards
+        ));
+    }
+    out.push_str(&table_report(title, &annotated, max_rows));
+    out.push_str(&format!(
+        "{flagged}/{} cells flagged (support < {} or null ratio > {:.0}%)\n",
+        result.quality.len(),
+        thresholds.min_support,
+        thresholds.max_null_ratio * 100.0
+    ));
+    Ok(out)
+}
 
 /// Render a table as an aligned report with a title and row count.
 pub fn table_report(title: &str, table: &Table, max_rows: usize) -> String {
@@ -79,7 +157,86 @@ pub fn sparkline(values: &[f64]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use openbi_table::Column;
+    use crate::cube::{Cube, Measure};
+    use crate::shard::CubeOptions;
+    use std::sync::Arc;
+
+    #[test]
+    fn quality_flags_follow_thresholds() {
+        let t = QualityThresholds {
+            min_support: 3,
+            max_null_ratio: 0.5,
+        };
+        let ok = CellQuality {
+            support: 3,
+            null_ratio: 0.5,
+        };
+        assert_eq!(t.flag(&ok), "ok");
+        let thin = CellQuality {
+            support: 2,
+            null_ratio: 0.0,
+        };
+        assert_eq!(t.flag(&thin), "[!] support=2");
+        let hollow = CellQuality {
+            support: 9,
+            null_ratio: 0.75,
+        };
+        assert_eq!(t.flag(&hollow), "[!] nulls=75%");
+        let both = CellQuality {
+            support: 1,
+            null_ratio: 1.0,
+        };
+        assert!(t.flag(&both).contains("support=1"));
+        assert!(t.flag(&both).contains("nulls=100%"));
+    }
+
+    #[test]
+    fn quality_report_flags_and_footers() {
+        let facts = Table::new(vec![
+            Column::from_str_values("d", ["a", "a", "a", "b"]),
+            Column::from_opt_f64("v", [Some(1.0), Some(2.0), Some(3.0), None]),
+        ])
+        .unwrap();
+        let cube = Cube::new(facts, &["d"], vec![Measure::Sum("v".into())]).unwrap();
+        let result = cube
+            .rollup_quality(&["d"], &CubeOptions::with_shards(2))
+            .unwrap();
+        let thresholds = QualityThresholds {
+            min_support: 2,
+            max_null_ratio: 0.5,
+        };
+        let r = quality_table_report("spend", &result, &thresholds, 10).unwrap();
+        assert!(r.contains("== spend =="));
+        assert!(r.contains("quality"));
+        assert!(r.contains("[!] support=1 nulls=100%"));
+        assert!(r.contains("1/2 cells flagged"));
+        assert!(!r.contains("DEGRADED"));
+    }
+
+    #[test]
+    fn degraded_result_gets_a_banner() {
+        use openbi_faults::{FaultPlan, FaultRule};
+        let facts = Table::new(vec![
+            Column::from_str_values("d", ["a", "b"]),
+            Column::from_f64("v", [1.0, 2.0]),
+        ])
+        .unwrap();
+        let cube = Cube::new(facts, &["d"], vec![Measure::Sum("v".into())]).unwrap();
+        let plan = Arc::new(FaultPlan::new(7).with(FaultRule::error("olap.cube.build")));
+        let result = cube
+            .rollup_quality(
+                &["d"],
+                &CubeOptions {
+                    shards: 2,
+                    max_retries: 0,
+                    fault_plan: Some(plan),
+                },
+            )
+            .unwrap();
+        assert!(result.is_degraded());
+        let r = quality_table_report("spend", &result, &QualityThresholds::default(), 10).unwrap();
+        assert!(r.contains("DEGRADED: 2/2 shards failed"));
+    }
 
     #[test]
     fn table_report_has_title_and_count() {

@@ -1,0 +1,650 @@
+//! The sharded, parallel cube build engine (DESIGN.md §14).
+//!
+//! The fact table is partitioned into **contiguous row shards**
+//! ([`ShardPlan::contiguous`]); each shard runs a single-pass columnar
+//! aggregation kernel producing a map of group key → [`CellState`] with
+//! groups in first-seen order *within the shard*; shard maps are then
+//! merged **in shard order**. Why that is bitwise-identical to the
+//! frozen single-threaded [`crate::reference`] at any shard count:
+//!
+//! * **Group order** — shards are contiguous and ordered, and the merge
+//!   walks them in shard order with first-seen-wins insertion, so a
+//!   group's first appearance in the merged output equals its first
+//!   appearance in global row order: exactly `group_by`'s ordering.
+//! * **Sum / Mean** — [`ExactSum`](openbi_table::ExactSum) partial sums
+//!   merge without rounding, so the single final rounding sees the same
+//!   exact total regardless of partitioning; mean divides once, at
+//!   readout, by the exact combined count.
+//! * **Count** — integer addition.
+//! * **Min / Max** — strict-comparison folds where first-seen wins
+//!   ties and NaN never beats the incumbent; first-seen-wins composes
+//!   over contiguous shards merged in shard order, so the merge equals
+//!   the sequential fold.
+//!
+//! Each shard build passes the `olap.cube.build` fault point (keyed on
+//! the shard index) with bounded retry; shards whose retries are
+//! exhausted are recorded in [`CubeResult::failed_shards`] and the cube
+//! degrades to the surviving rows rather than aborting — the dashboard
+//! renders the degradation banner (DESIGN.md §10's graceful-degradation
+//! contract applied to the serving tier).
+//!
+//! Observability: `olap.cube.build.seconds`, `olap.shard.seconds`
+//! histograms, `olap.cube.cells` / `olap.shard.retries` /
+//! `olap.shard.failures` counters — all through the `openbi-obs` global
+//! slot, free when nothing is installed.
+
+use crate::accumulator::{CellQuality, CellState};
+use crate::cube::Measure;
+use openbi_faults::FaultPlan;
+use openbi_table::{Column, ColumnData, DataType, Result, Table, Value};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The fault point every shard build passes (keyed on shard index).
+pub const CUBE_BUILD_FAULT_POINT: &str = "olap.cube.build";
+
+/// Options for a sharded cube build.
+#[derive(Debug, Clone, Default)]
+pub struct CubeOptions {
+    /// Number of row shards; `0` means one per available core (capped
+    /// at 8). The result is bitwise-identical at any value.
+    pub shards: usize,
+    /// Retries per shard when `olap.cube.build` fires an error fault.
+    pub max_retries: u32,
+    /// Explicit fault plan; falls back to the process-global plan
+    /// ([`openbi_faults::active`]) when `None`.
+    pub fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl CubeOptions {
+    /// A build with a fixed shard count and no fault handling.
+    pub fn with_shards(shards: usize) -> Self {
+        CubeOptions {
+            shards,
+            ..CubeOptions::default()
+        }
+    }
+
+    fn resolved_shards(&self, n_rows: usize) -> usize {
+        let requested = if self.shards == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1)
+        } else {
+            self.shards
+        };
+        requested.clamp(1, n_rows.max(1))
+    }
+}
+
+/// A quality-annotated rollup: the aggregate table (bitwise-identical
+/// to the reference cube's) plus per-row [`CellQuality`] and the fault
+/// outcome of the build.
+#[derive(Debug, Clone)]
+pub struct CubeResult {
+    /// Key columns then aggregate columns, one row per group —
+    /// exactly the `group_by` layout.
+    pub table: Table,
+    /// One quality annotation per output row.
+    pub quality: Vec<CellQuality>,
+    /// Shard indices whose retries were exhausted; their rows are
+    /// missing from `table` (graceful degradation).
+    pub failed_shards: Vec<usize>,
+    /// Total shards the build planned.
+    pub total_shards: usize,
+}
+
+impl CubeResult {
+    /// True when at least one shard failed and the cube is partial.
+    pub fn is_degraded(&self) -> bool {
+        !self.failed_shards.is_empty()
+    }
+}
+
+/// A contiguous, ordered partition of `n_rows` into row ranges.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// Half-open `[start, end)` row ranges, in row order.
+    pub bounds: Vec<(usize, usize)>,
+}
+
+impl ShardPlan {
+    /// Split `n_rows` into `n_shards` balanced contiguous ranges (sizes
+    /// differ by at most one, deterministic).
+    pub fn contiguous(n_rows: usize, n_shards: usize) -> ShardPlan {
+        let k = n_shards.max(1);
+        ShardPlan {
+            bounds: (0..k)
+                .map(|i| (i * n_rows / k, (i + 1) * n_rows / k))
+                .collect(),
+        }
+    }
+}
+
+/// A dictionary-encoded dimension column: every row mapped to the id of
+/// its **rendered** value (`Value::to_string()` semantics, nulls become
+/// `""` and merge with literal empty strings, exactly like `group_by`'s
+/// string keys). Ids are assigned in first-seen row order, so they are
+/// a pure function of the column — independent of shard count — and the
+/// per-row hot path of the aggregation kernel touches only `u32`s, no
+/// string allocation.
+struct DimIndex {
+    /// Row → value id.
+    ids: Vec<u32>,
+    /// Value id → rendered string (materialized into key columns once,
+    /// per output row, at the end of the build).
+    values: Vec<String>,
+}
+
+/// Intern `rendered` into `values`, deduplicating by final string (this
+/// is what conflates a null cell with a literal `""`, `1.0` written two
+/// ways, or NaNs with different payloads — whatever renders the same
+/// groups the same, as in `group_by`).
+fn intern_string(
+    rendered: String,
+    by_string: &mut HashMap<String, u32>,
+    values: &mut Vec<String>,
+) -> u32 {
+    match by_string.get(rendered.as_str()) {
+        Some(&id) => id,
+        None => {
+            let id = values.len() as u32;
+            by_string.insert(rendered.clone(), id);
+            values.push(rendered);
+            id
+        }
+    }
+}
+
+impl DimIndex {
+    fn new(col: &Column) -> DimIndex {
+        let mut ids: Vec<u32> = Vec::with_capacity(col.len());
+        let mut values: Vec<String> = Vec::new();
+        let mut by_string: HashMap<String, u32> = HashMap::new();
+        let mut null_id: Option<u32> = None;
+        let mut intern_null = |by_string: &mut HashMap<String, u32>, values: &mut Vec<String>| {
+            *null_id.get_or_insert_with(|| intern_string(String::new(), by_string, values))
+        };
+        match col.data() {
+            ColumnData::Str(v) => {
+                // Raw-value cache so repeated strings hash once without
+                // rendering; the id still comes from the string table.
+                let mut by_raw: HashMap<&str, u32> = HashMap::new();
+                for cell in v {
+                    ids.push(match cell {
+                        Some(s) => match by_raw.get(s.as_str()) {
+                            Some(&id) => id,
+                            None => {
+                                let id = intern_string(s.clone(), &mut by_string, &mut values);
+                                by_raw.insert(s.as_str(), id);
+                                id
+                            }
+                        },
+                        None => intern_null(&mut by_string, &mut values),
+                    });
+                }
+            }
+            ColumnData::Int(v) => {
+                let mut by_raw: HashMap<i64, u32> = HashMap::new();
+                for cell in v {
+                    ids.push(match cell {
+                        Some(x) => match by_raw.get(x) {
+                            Some(&id) => id,
+                            None => {
+                                let id = intern_string(x.to_string(), &mut by_string, &mut values);
+                                by_raw.insert(*x, id);
+                                id
+                            }
+                        },
+                        None => intern_null(&mut by_string, &mut values),
+                    });
+                }
+            }
+            ColumnData::Float(v) => {
+                // Cache on raw bits; dedup still happens on the rendered
+                // string, so bit-distinct NaNs land in one group.
+                let mut by_raw: HashMap<u64, u32> = HashMap::new();
+                for cell in v {
+                    ids.push(match cell {
+                        Some(x) => match by_raw.get(&x.to_bits()) {
+                            Some(&id) => id,
+                            None => {
+                                let id = intern_string(format!("{x}"), &mut by_string, &mut values);
+                                by_raw.insert(x.to_bits(), id);
+                                id
+                            }
+                        },
+                        None => intern_null(&mut by_string, &mut values),
+                    });
+                }
+            }
+            ColumnData::Bool(v) => {
+                let mut by_raw: [Option<u32>; 2] = [None, None];
+                for cell in v {
+                    ids.push(match cell {
+                        Some(x) => match by_raw[*x as usize] {
+                            Some(id) => id,
+                            None => {
+                                let id = intern_string(x.to_string(), &mut by_string, &mut values);
+                                by_raw[*x as usize] = Some(id);
+                                id
+                            }
+                        },
+                        None => intern_null(&mut by_string, &mut values),
+                    });
+                }
+            }
+        }
+        DimIndex { ids, values }
+    }
+}
+
+/// Typed read-only view of a measure source column yielding each cell's
+/// `(is_null, as_f64)` pair — the two facts every accumulator needs.
+enum NumView<'a> {
+    Int(&'a [Option<i64>]),
+    Float(&'a [Option<f64>]),
+    Str(&'a [Option<String>]),
+    Bool(&'a [Option<bool>]),
+}
+
+impl<'a> NumView<'a> {
+    fn new(col: &'a Column) -> NumView<'a> {
+        match col.data() {
+            ColumnData::Int(v) => NumView::Int(v),
+            ColumnData::Float(v) => NumView::Float(v),
+            ColumnData::Str(v) => NumView::Str(v),
+            ColumnData::Bool(v) => NumView::Bool(v),
+        }
+    }
+
+    fn cell(&self, row: usize) -> (bool, Option<f64>) {
+        match self {
+            NumView::Int(v) => match v[row] {
+                Some(x) => (false, Some(x as f64)),
+                None => (true, None),
+            },
+            NumView::Float(v) => match v[row] {
+                Some(x) => (false, Some(x)),
+                None => (true, None),
+            },
+            NumView::Str(v) => (v[row].is_none(), None),
+            NumView::Bool(v) => match v[row] {
+                Some(x) => (false, Some(if x { 1.0 } else { 0.0 })),
+                None => (true, None),
+            },
+        }
+    }
+}
+
+/// One shard's aggregation output: groups in first-seen (shard-local)
+/// order, keyed by dimension value ids.
+struct ShardAgg {
+    keys: Vec<Vec<u32>>,
+    states: Vec<CellState>,
+}
+
+/// What a shard worker came back with.
+enum ShardOutcome {
+    Done(ShardAgg),
+    Failed,
+}
+
+/// Single-pass columnar aggregation of rows `[start, end)`.
+fn aggregate_range(
+    start: usize,
+    end: usize,
+    dims: &[DimIndex],
+    quality_views: &[NumView<'_>],
+    measure_view_of: &[usize],
+    measures: &[Measure],
+) -> ShardAgg {
+    let mut keys: Vec<Vec<u32>> = Vec::new();
+    let mut states: Vec<CellState> = Vec::new();
+    let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut scratch: Vec<u32> = Vec::with_capacity(dims.len());
+    let mut cells: Vec<(bool, Option<f64>)> = vec![(true, None); quality_views.len()];
+    for row in start..end {
+        scratch.clear();
+        for d in dims {
+            scratch.push(d.ids[row]);
+        }
+        let slot = match index.get(scratch.as_slice()) {
+            Some(&i) => i,
+            None => {
+                let i = states.len();
+                keys.push(scratch.clone());
+                index.insert(scratch.clone(), i);
+                states.push(CellState::new(measures));
+                i
+            }
+        };
+        let state = &mut states[slot];
+        state.support += 1;
+        for (c, view) in cells.iter_mut().zip(quality_views) {
+            *c = view.cell(row);
+            if c.0 {
+                state.null_cells += 1;
+            }
+        }
+        for (acc, &vi) in state.accs.iter_mut().zip(measure_view_of) {
+            let (is_null, num) = cells[vi];
+            acc.update(is_null, num);
+        }
+    }
+    ShardAgg { keys, states }
+}
+
+/// Build a quality-annotated rollup of `facts` grouped by `dims`
+/// (empty `dims` = grand total: one group when the table has rows,
+/// none when it is empty — matching `group_by` over a synthetic
+/// constant key).
+pub fn build_cube(
+    facts: &Table,
+    dims: &[&str],
+    measures: &[Measure],
+    options: &CubeOptions,
+) -> Result<CubeResult> {
+    let build_started = Instant::now();
+    for d in dims {
+        facts.column(d)?;
+    }
+    // Distinct measure source columns, in first-declared order: the
+    // quality mask runs over these once per row even when several
+    // measures share a column.
+    let mut quality_cols: Vec<&str> = Vec::new();
+    let mut measure_view_of: Vec<usize> = Vec::with_capacity(measures.len());
+    for m in measures {
+        let c = m.column();
+        facts.column(c)?;
+        let vi = match quality_cols.iter().position(|q| *q == c) {
+            Some(i) => i,
+            None => {
+                quality_cols.push(c);
+                quality_cols.len() - 1
+            }
+        };
+        measure_view_of.push(vi);
+    }
+    // Dictionary-encode the dimension columns up front (in parallel —
+    // one column per thread). Encoding is a pure per-column function of
+    // the data, so it is identical at every shard count.
+    let dim_views: Vec<DimIndex> = if dims.len() > 1 {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = dims
+                .iter()
+                .map(|d| {
+                    let col = facts.column(d).expect("validated");
+                    scope.spawn(move || DimIndex::new(col))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(index) => index,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    } else {
+        dims.iter()
+            .map(|d| DimIndex::new(facts.column(d).expect("validated")))
+            .collect()
+    };
+    let quality_views: Vec<NumView<'_>> = quality_cols
+        .iter()
+        .map(|c| NumView::new(facts.column(c).expect("validated")))
+        .collect();
+
+    let n_shards = options.resolved_shards(facts.n_rows());
+    let plan = ShardPlan::contiguous(facts.n_rows(), n_shards);
+    let fault_plan = options.fault_plan.clone().or_else(openbi_faults::active);
+
+    let run_shard = |shard: usize, &(start, end): &(usize, usize)| -> ShardOutcome {
+        let shard_started = Instant::now();
+        let mut attempt: u32 = 0;
+        let outcome = loop {
+            let attempt_result = match &fault_plan {
+                Some(p) => p.fire(CUBE_BUILD_FAULT_POINT, shard as u64, attempt),
+                None => Ok(()),
+            };
+            match attempt_result {
+                Ok(()) => {
+                    break ShardOutcome::Done(aggregate_range(
+                        start,
+                        end,
+                        &dim_views,
+                        &quality_views,
+                        &measure_view_of,
+                        measures,
+                    ))
+                }
+                Err(_) if attempt < options.max_retries => {
+                    openbi_obs::counter_add("olap.shard.retries", 1);
+                    attempt += 1;
+                }
+                Err(_) => {
+                    openbi_obs::counter_add("olap.shard.failures", 1);
+                    break ShardOutcome::Failed;
+                }
+            }
+        };
+        openbi_obs::observe_duration("olap.shard.seconds", shard_started.elapsed());
+        outcome
+    };
+
+    let outcomes: Vec<ShardOutcome> = if plan.bounds.len() == 1 {
+        vec![run_shard(0, &plan.bounds[0])]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = plan
+                .bounds
+                .iter()
+                .enumerate()
+                .map(|(shard, range)| scope.spawn(move || run_shard(shard, range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(outcome) => outcome,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    };
+
+    // Merge shard maps in shard order: first-seen-wins insertion over
+    // contiguous ordered shards reproduces global first-seen order.
+    let mut keys: Vec<Vec<u32>> = Vec::new();
+    let mut states: Vec<CellState> = Vec::new();
+    let mut index: HashMap<Vec<u32>, usize> = HashMap::new();
+    let mut failed_shards: Vec<usize> = Vec::new();
+    for (shard, outcome) in outcomes.into_iter().enumerate() {
+        let agg = match outcome {
+            ShardOutcome::Done(agg) => agg,
+            ShardOutcome::Failed => {
+                failed_shards.push(shard);
+                continue;
+            }
+        };
+        for (key, state) in agg.keys.into_iter().zip(agg.states) {
+            match index.get(key.as_slice()) {
+                Some(&i) => states[i].merge(&state),
+                None => {
+                    let i = states.len();
+                    index.insert(key.clone(), i);
+                    keys.push(key);
+                    states.push(state);
+                }
+            }
+        }
+    }
+
+    // Materialize the output table in the exact group_by layout.
+    let mut out_cols: Vec<Column> = Vec::with_capacity(dims.len() + measures.len());
+    for (i, d) in dims.iter().enumerate() {
+        let values: Vec<String> = keys
+            .iter()
+            .map(|k| dim_views[i].values[k[i] as usize].clone())
+            .collect();
+        out_cols.push(Column::from_str_values(*d, values));
+    }
+    for (mi, m) in measures.iter().enumerate() {
+        let values: Vec<Value> = states.iter().map(|s| s.accs[mi].value()).collect();
+        let dtype = match m {
+            Measure::Count(_) => DataType::Int,
+            _ => DataType::Float,
+        };
+        out_cols.push(Column::from_values(m.output_name(), dtype, values)?);
+    }
+    let table = Table::new(out_cols)?;
+    let quality: Vec<CellQuality> = states
+        .iter()
+        .map(|s| s.quality(quality_cols.len()))
+        .collect();
+
+    openbi_obs::counter_add("olap.cube.cells", table.n_rows() as u64);
+    openbi_obs::observe_duration("olap.cube.build.seconds", build_started.elapsed());
+    Ok(CubeResult {
+        table,
+        quality,
+        failed_shards,
+        total_shards: plan.bounds.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use openbi_faults::FaultRule;
+
+    fn facts() -> Table {
+        Table::new(vec![
+            Column::from_str_values("d", ["a", "b", "a", "b", "a", "c"]),
+            Column::from_opt_f64(
+                "v",
+                [Some(1.0), Some(2.0), None, Some(4.0), Some(5.0), None],
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn measures() -> Vec<Measure> {
+        vec![
+            Measure::Sum("v".into()),
+            Measure::Mean("v".into()),
+            Measure::Count("v".into()),
+        ]
+    }
+
+    #[test]
+    fn shard_plan_is_contiguous_and_balanced() {
+        let p = ShardPlan::contiguous(10, 4);
+        assert_eq!(p.bounds.first().unwrap().0, 0);
+        assert_eq!(p.bounds.last().unwrap().1, 10);
+        for w in p.bounds.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        let sizes: Vec<usize> = p.bounds.iter().map(|(s, e)| e - s).collect();
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+        assert_eq!(ShardPlan::contiguous(0, 4).bounds, vec![(0, 0); 4]);
+        assert_eq!(ShardPlan::contiguous(5, 1).bounds, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_the_bits() {
+        let f = facts();
+        let one = build_cube(&f, &["d"], &measures(), &CubeOptions::with_shards(1)).unwrap();
+        for shards in [2, 3, 4, 6] {
+            let many =
+                build_cube(&f, &["d"], &measures(), &CubeOptions::with_shards(shards)).unwrap();
+            assert_eq!(
+                one.table.fingerprint(),
+                many.table.fingerprint(),
+                "{shards} shards"
+            );
+            assert_eq!(one.quality, many.quality, "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn quality_annotation_counts_nulls_and_support() {
+        let f = facts();
+        let r = build_cube(&f, &["d"], &measures(), &CubeOptions::with_shards(2)).unwrap();
+        // Groups in first-seen order: a (3 rows, 1 null), b (2 rows),
+        // c (1 row, 1 null). One distinct measure column (`v`).
+        assert_eq!(r.quality.len(), 3);
+        assert_eq!(r.quality[0].support, 3);
+        assert!((r.quality[0].null_ratio - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(r.quality[1].support, 2);
+        assert_eq!(r.quality[1].null_ratio, 0.0);
+        assert_eq!(r.quality[2].support, 1);
+        assert_eq!(r.quality[2].null_ratio, 1.0);
+        assert!(!r.is_degraded());
+    }
+
+    #[test]
+    fn empty_dims_is_a_grand_total() {
+        let f = facts();
+        let r = build_cube(&f, &[], &measures(), &CubeOptions::with_shards(3)).unwrap();
+        assert_eq!(r.table.n_rows(), 1);
+        assert_eq!(r.table.get("sum(v)", 0).unwrap(), Value::Float(12.0));
+        assert_eq!(r.quality[0].support, 6);
+        let empty = Table::new(vec![Column::from_opt_f64("v", Vec::<Option<f64>>::new())]).unwrap();
+        let r = build_cube(&empty, &[], &measures(), &CubeOptions::default()).unwrap();
+        assert_eq!(r.table.n_rows(), 0);
+        assert!(r.quality.is_empty());
+    }
+
+    #[test]
+    fn exhausted_retries_degrade_instead_of_aborting() {
+        let plan = Arc::new(FaultPlan::new(7).with(FaultRule::error(CUBE_BUILD_FAULT_POINT)));
+        // Default plan semantics: attempt 0 fails, attempt 1 succeeds.
+        let retried = build_cube(
+            &facts(),
+            &["d"],
+            &measures(),
+            &CubeOptions {
+                shards: 3,
+                max_retries: 1,
+                fault_plan: Some(Arc::clone(&plan)),
+            },
+        )
+        .unwrap();
+        assert!(!retried.is_degraded());
+        let clean =
+            build_cube(&facts(), &["d"], &measures(), &CubeOptions::with_shards(3)).unwrap();
+        assert_eq!(clean.table.fingerprint(), retried.table.fingerprint());
+
+        // No retry budget: every shard fails; the cube is empty but the
+        // call still succeeds and reports the damage.
+        let degraded = build_cube(
+            &facts(),
+            &["d"],
+            &measures(),
+            &CubeOptions {
+                shards: 3,
+                max_retries: 0,
+                fault_plan: Some(plan),
+            },
+        )
+        .unwrap();
+        assert!(degraded.is_degraded());
+        assert_eq!(degraded.failed_shards, vec![0, 1, 2]);
+        assert_eq!(degraded.total_shards, 3);
+        assert_eq!(degraded.table.n_rows(), 0);
+    }
+
+    #[test]
+    fn missing_columns_are_errors() {
+        assert!(build_cube(&facts(), &["nope"], &measures(), &CubeOptions::default()).is_err());
+        assert!(build_cube(
+            &facts(),
+            &["d"],
+            &[Measure::Sum("nope".into())],
+            &CubeOptions::default()
+        )
+        .is_err());
+    }
+}

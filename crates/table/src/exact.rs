@@ -1,0 +1,517 @@
+//! Exact, order-independent `f64` summation.
+//!
+//! [`ExactSum`] accumulates IEEE doubles into a fixed-point
+//! **superaccumulator**: an array of base-2³² digits spanning the whole
+//! double range (2⁻¹⁰⁷⁴ … 2¹⁰²³, plus headroom for 2⁶³ addends), with
+//! positive and negative addends kept in separate magnitude arrays so no
+//! signed-carry arithmetic is ever needed. Every addition is exact, so
+//! the final [`ExactSum::value`] — the exact total rounded **once** to
+//! the nearest double (ties to even) — depends only on the *multiset* of
+//! addends, never on the order they arrived in or on how partial sums
+//! were merged.
+//!
+//! That invariance is what the sharded OLAP engine is built on: a cube
+//! can partition its fact rows into any number of shards, accumulate
+//! per shard, and [`ExactSum::merge`] the partials, and the result is
+//! bitwise identical to a sequential single-shard pass (DESIGN.md §14).
+//! [`crate::group_by`]'s `Sum`/`Mean` aggregates run on the same
+//! accumulator, so the table layer and the cube engine agree exactly.
+//!
+//! Non-finite addends are tracked out-of-band the way a left-to-right
+//! IEEE sum behaves once order no longer matters: any NaN — or both
+//! +∞ and −∞ together — makes the total NaN; otherwise an ∞ of a single
+//! sign wins; otherwise the total is the correctly rounded exact sum of
+//! the finite addends (overflow to ±∞ only if the *exact* total rounds
+//! there, never from an intermediate).
+//!
+//! ```
+//! use openbi_table::ExactSum;
+//!
+//! let mut forward = ExactSum::new();
+//! for x in [1e16, 1.0, -1e16, 1.0] {
+//!     forward.add(x);
+//! }
+//! assert_eq!(forward.value(), 2.0); // naive left-to-right gives 0.0 or 2.0 by order
+//!
+//! let (mut a, mut b) = (ExactSum::new(), ExactSum::new());
+//! a.add(1e16);
+//! a.add(1.0);
+//! b.add(-1e16);
+//! b.add(1.0);
+//! a.merge(&b);
+//! assert_eq!(a.value(), 2.0); // any partition merges to the same bits
+//! ```
+
+/// Number of base-2³² digits. Bit `b` of the fixed-point grid weighs
+/// 2^(b − 1074); the largest finite double tops out at bit 2097, and
+/// 2⁶³ worst-case addends need 63 more bits, so 68 digits (2176 bits)
+/// cover every reachable total with room to spare.
+const DIGITS: usize = 68;
+
+/// Digits hold values `< 2³²` when normalized; each `add` deposits at
+/// most `2³² − 1` per digit, so a `u64` digit can absorb 2³⁰ additions
+/// between carry propagations without overflow.
+const CARRY_EVERY: u32 = 1 << 30;
+
+const MASK32: u64 = 0xFFFF_FFFF;
+
+/// An exact, mergeable accumulator for `f64` addends.
+///
+/// `add` is exact (no rounding), `merge` is exact, and [`ExactSum::value`]
+/// rounds the exact total to the nearest double exactly once — so the
+/// result is independent of addition order and merge topology. See the
+/// module docs for the non-finite rules.
+#[derive(Debug, Clone)]
+pub struct ExactSum {
+    /// Magnitudes of positive addends, base-2³² little-endian digits.
+    pos: [u64; DIGITS],
+    /// Magnitudes of negative addends.
+    neg: [u64; DIGITS],
+    /// Lowest digit index touched so far (`DIGITS` when none): real
+    /// sums touch a handful of the 68 digits, so normalize/merge walk
+    /// only `lo..=hi` instead of the whole grid — the difference
+    /// between O(68) and O(3) per cube-cell merge.
+    lo: usize,
+    /// Highest digit index touched so far (`0` when none).
+    hi: usize,
+    /// Additions since the last carry propagation.
+    pending: u32,
+    /// Count of `+∞` addends.
+    pos_inf: u64,
+    /// Count of `-∞` addends.
+    neg_inf: u64,
+    /// Whether any NaN was added.
+    nan: bool,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        ExactSum::new()
+    }
+}
+
+impl ExactSum {
+    /// An empty sum (value `0.0`).
+    pub fn new() -> Self {
+        ExactSum {
+            pos: [0; DIGITS],
+            neg: [0; DIGITS],
+            lo: DIGITS,
+            hi: 0,
+            pending: 0,
+            pos_inf: 0,
+            neg_inf: 0,
+            nan: false,
+        }
+    }
+
+    /// Add one addend, exactly.
+    pub fn add(&mut self, x: f64) {
+        if x.is_nan() {
+            self.nan = true;
+            return;
+        }
+        if x.is_infinite() {
+            if x > 0.0 {
+                self.pos_inf += 1;
+            } else {
+                self.neg_inf += 1;
+            }
+            return;
+        }
+        if x == 0.0 {
+            return; // ±0 contributes nothing to an exact sum
+        }
+        let bits = x.to_bits();
+        let negative = bits >> 63 == 1;
+        let be = ((bits >> 52) & 0x7FF) as usize;
+        let frac = bits & ((1u64 << 52) - 1);
+        // value = m × 2^(offset − 1074): subnormals sit at offset 0,
+        // normals carry the implicit leading bit.
+        let (m, offset) = if be == 0 {
+            (frac, 0)
+        } else {
+            (frac | (1u64 << 52), be - 1)
+        };
+        let digits = if negative {
+            &mut self.neg
+        } else {
+            &mut self.pos
+        };
+        let v = (m as u128) << (offset % 32);
+        let d = offset / 32;
+        digits[d] += (v & MASK32 as u128) as u64;
+        digits[d + 1] += ((v >> 32) & MASK32 as u128) as u64;
+        digits[d + 2] += (v >> 64) as u64;
+        self.lo = self.lo.min(d);
+        self.hi = self.hi.max(d + 2);
+        self.pending += 1;
+        if self.pending >= CARRY_EVERY {
+            self.normalize();
+        }
+    }
+
+    /// Fold another accumulator in, exactly. The result is the
+    /// accumulator of the combined multiset of addends.
+    ///
+    /// No clone, O(touched digits): `other` may carry pending
+    /// un-normalized digits, but the lazy-carry invariant bounds every
+    /// digit below 2⁶², so adding a normalized (`< 2³²`) digit cannot
+    /// overflow a `u64` before the renormalize.
+    pub fn merge(&mut self, other: &ExactSum) {
+        self.pos_inf += other.pos_inf;
+        self.neg_inf += other.neg_inf;
+        self.nan |= other.nan;
+        if other.lo > other.hi {
+            return; // no finite addends on the other side
+        }
+        self.normalize();
+        for i in other.lo..=other.hi {
+            self.pos[i] += other.pos[i];
+            self.neg[i] += other.neg[i];
+        }
+        self.lo = self.lo.min(other.lo);
+        self.hi = self.hi.max(other.hi);
+        self.normalize();
+    }
+
+    /// Propagate carries so every touched digit is `< 2³²` again (the
+    /// top digit keeps the full carry; by construction it never
+    /// overflows). Walks only `lo..=hi` plus however far a carry runs.
+    fn normalize(&mut self) {
+        self.pending = 0;
+        if self.lo > self.hi {
+            return;
+        }
+        let mut new_hi = self.hi;
+        for digits in [&mut self.pos, &mut self.neg] {
+            let mut carry: u64 = 0;
+            let mut i = self.lo;
+            loop {
+                if i == DIGITS - 1 {
+                    digits[i] += carry;
+                    new_hi = DIGITS - 1;
+                    break;
+                }
+                let t = digits[i] + carry;
+                digits[i] = t & MASK32;
+                carry = t >> 32;
+                if i >= self.hi && carry == 0 {
+                    new_hi = new_hi.max(i);
+                    break;
+                }
+                i += 1;
+            }
+        }
+        self.hi = new_hi;
+    }
+
+    /// The exact total rounded once to the nearest `f64` (ties to even).
+    pub fn value(&self) -> f64 {
+        if self.nan || (self.pos_inf > 0 && self.neg_inf > 0) {
+            return f64::NAN;
+        }
+        if self.pos_inf > 0 {
+            return f64::INFINITY;
+        }
+        if self.neg_inf > 0 {
+            return f64::NEG_INFINITY;
+        }
+        let mut n = self.clone();
+        n.normalize();
+        // Exact difference |pos − neg| with its sign.
+        let (mag, negative) = match compare(&n.pos, &n.neg) {
+            std::cmp::Ordering::Equal => return 0.0,
+            std::cmp::Ordering::Greater => (subtract(&n.pos, &n.neg), false),
+            std::cmp::Ordering::Less => (subtract(&n.neg, &n.pos), true),
+        };
+        round_to_f64(&mag, negative)
+    }
+
+    /// True iff no addend has been recorded (distinct from a sum that
+    /// cancels to zero).
+    pub fn is_empty(&self) -> bool {
+        !self.nan
+            && self.pos_inf == 0
+            && self.neg_inf == 0
+            && self.pos.iter().all(|&d| d == 0)
+            && self.neg.iter().all(|&d| d == 0)
+            && self.pending == 0
+    }
+}
+
+/// Compare two normalized magnitude arrays.
+fn compare(a: &[u64; DIGITS], b: &[u64; DIGITS]) -> std::cmp::Ordering {
+    for i in (0..DIGITS).rev() {
+        match a[i].cmp(&b[i]) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// `a − b` over normalized magnitudes, requiring `a ≥ b`.
+fn subtract(a: &[u64; DIGITS], b: &[u64; DIGITS]) -> [u64; DIGITS] {
+    let mut out = [0u64; DIGITS];
+    let mut borrow: u64 = 0;
+    for i in 0..DIGITS {
+        let (t, under) = a[i].overflowing_sub(b[i] + borrow);
+        if under {
+            out[i] = t.wrapping_add(1 << 32) & MASK32;
+            borrow = 1;
+        } else if i < DIGITS - 1 && t > MASK32 {
+            // Cannot happen for normalized inputs, but keep digits canonical.
+            out[i] = t & MASK32;
+            borrow = 0;
+        } else {
+            out[i] = t;
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "subtract requires a >= b");
+    out
+}
+
+/// Bit `b` of a magnitude array (fixed-point grid index).
+fn get_bit(mag: &[u64; DIGITS], b: usize) -> u64 {
+    (mag[b / 32] >> (b % 32)) & 1
+}
+
+/// Round a normalized magnitude (grid: bit b = 2^(b − 1074)) to the
+/// nearest double, ties to even; `negative` sets the sign bit.
+fn round_to_f64(mag: &[u64; DIGITS], negative: bool) -> f64 {
+    // Most significant set bit.
+    let mut top = None;
+    for i in (0..DIGITS).rev() {
+        if mag[i] != 0 {
+            top = Some(32 * i + (63 - mag[i].leading_zeros() as usize));
+            break;
+        }
+    }
+    let h = match top {
+        None => return 0.0,
+        Some(h) => h,
+    };
+    let sign = if negative { 1u64 << 63 } else { 0 };
+    if h <= 52 {
+        // Fits the grid's bottom 53 bits: subnormal or smallest normals,
+        // exactly representable — no rounding.
+        let m = mag[0] | (mag[1] << 32);
+        let bits = if m < (1u64 << 52) {
+            m // subnormal: biased exponent 0
+        } else {
+            (1u64 << 52) | (m & ((1u64 << 52) - 1)) // normal with be = 1
+        };
+        return f64::from_bits(sign | bits);
+    }
+    // Extract the 53-bit mantissa [h-52, h], guard bit and sticky below.
+    let mut m: u64 = 0;
+    for b in (h - 52..=h).rev() {
+        m = (m << 1) | get_bit(mag, b);
+    }
+    let guard = get_bit(mag, h - 53) == 1;
+    // Sticky: any set bit strictly below the guard position.
+    let sticky = guard && {
+        let cut = h - 53;
+        let whole_digits = cut / 32;
+        mag[..whole_digits].iter().any(|&d| d != 0)
+            || (cut % 32 != 0 && mag[whole_digits] & ((1u64 << (cut % 32)) - 1) != 0)
+    };
+    let mut h = h;
+    if guard && (sticky || (m & 1) == 1) {
+        m += 1;
+        if m == 1u64 << 53 {
+            m >>= 1;
+            h += 1;
+        }
+    }
+    // value = m × 2^(h − 52 − 1074); biased exponent = h − 51.
+    let e = h as i64 - 1074; // exponent of the MSB
+    if e > 1023 {
+        return if negative {
+            f64::NEG_INFINITY
+        } else {
+            f64::INFINITY
+        };
+    }
+    let be = (h - 51) as u64;
+    f64::from_bits(sign | (be << 52) | (m & ((1u64 << 52) - 1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact(values: &[f64]) -> f64 {
+        let mut s = ExactSum::new();
+        for &v in values {
+            s.add(v);
+        }
+        s.value()
+    }
+
+    /// SplitMix64 stream of doubles spanning many magnitudes and signs.
+    fn stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        (0..n)
+            .map(|_| {
+                let u = next();
+                let mantissa = (u >> 11) as f64 / (1u64 << 53) as f64;
+                let exp = ((next() % 120) as i32) - 60;
+                let sign = if next() % 2 == 0 { 1.0 } else { -1.0 };
+                sign * mantissa * 2f64.powi(exp)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn simple_sums_match_naive() {
+        assert_eq!(exact(&[]), 0.0);
+        assert_eq!(exact(&[1.5]), 1.5);
+        assert_eq!(exact(&[10.0, 20.0, 30.0]), 60.0);
+        assert_eq!(exact(&[0.1, 0.2]), 0.1 + 0.2);
+        assert_eq!(exact(&[-2.5, 2.5]), 0.0);
+        assert_eq!(exact(&[-0.0, -0.0]), 0.0);
+    }
+
+    #[test]
+    fn cancellation_is_exact() {
+        assert_eq!(exact(&[1e16, 1.0, -1e16, 1.0]), 2.0);
+        assert_eq!(exact(&[1e308, 1e308, -1e308]), 1e308);
+        let tiny = f64::from_bits(1); // smallest subnormal
+        assert_eq!(exact(&[1.0, tiny, -1.0]), tiny);
+    }
+
+    #[test]
+    fn order_independence_on_random_streams() {
+        for seed in [7u64, 21, 1042] {
+            let values = stream(seed, 4_000);
+            let forward = exact(&values);
+            let mut rev = values.clone();
+            rev.reverse();
+            assert_eq!(forward.to_bits(), exact(&rev).to_bits(), "seed {seed}");
+            // Interleaved partition.
+            let mut sa = ExactSum::new();
+            let mut sb = ExactSum::new();
+            for (i, v) in values.iter().enumerate() {
+                if i % 2 == 0 {
+                    sa.add(*v);
+                } else {
+                    sb.add(*v);
+                }
+            }
+            sa.merge(&sb);
+            assert_eq!(forward.to_bits(), sa.value().to_bits(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_sequential_at_any_split() {
+        let values = stream(3, 257);
+        let expected = exact(&values);
+        for shards in [1usize, 2, 3, 5, 8, 257] {
+            let mut partials: Vec<ExactSum> = (0..shards).map(|_| ExactSum::new()).collect();
+            for (i, v) in values.iter().enumerate() {
+                partials[i * shards / values.len()].add(*v);
+            }
+            let mut total = ExactSum::new();
+            for p in &partials {
+                total.merge(p);
+            }
+            assert_eq!(
+                expected.to_bits(),
+                total.value().to_bits(),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn non_finite_rules() {
+        assert_eq!(exact(&[f64::INFINITY, 1.0]), f64::INFINITY);
+        assert_eq!(exact(&[f64::NEG_INFINITY, 1e300]), f64::NEG_INFINITY);
+        assert!(exact(&[f64::INFINITY, f64::NEG_INFINITY]).is_nan());
+        assert!(exact(&[f64::NAN, 1.0]).is_nan());
+        assert!(exact(&[1.0, f64::NAN, f64::INFINITY]).is_nan());
+    }
+
+    #[test]
+    fn overflow_only_when_the_exact_total_overflows() {
+        // Intermediate would overflow naively; exact total is finite.
+        assert_eq!(exact(&[f64::MAX, f64::MAX, -f64::MAX]), f64::MAX);
+        // Exact total past the rounding threshold really is infinite.
+        assert_eq!(exact(&[f64::MAX, f64::MAX]), f64::INFINITY);
+        assert_eq!(exact(&[-f64::MAX, -f64::MAX]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn subnormal_totals_are_exact() {
+        let tiny = f64::from_bits(3);
+        assert_eq!(exact(&[tiny, tiny]), f64::from_bits(6));
+        let min_pos = f64::from_bits(1);
+        assert_eq!(exact(&[min_pos, -min_pos]), 0.0);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        // 1 + 2^-53 is exactly halfway between 1.0 and the next double:
+        // round-to-even keeps 1.0.
+        let half_ulp = 2f64.powi(-53);
+        assert_eq!(exact(&[1.0, half_ulp]), 1.0);
+        // Adding any dust below the halfway point tips it up.
+        let dust = 2f64.powi(-80);
+        assert_eq!(exact(&[1.0, half_ulp, dust]), 1.0 + 2f64.powi(-52));
+        // 1 + 3·2^-54 is past halfway: rounds up.
+        assert_eq!(
+            exact(&[1.0, half_ulp, 2f64.powi(-54)]),
+            1.0 + 2f64.powi(-52)
+        );
+    }
+
+    #[test]
+    fn matches_naive_when_naive_is_exact() {
+        // Integer-valued doubles well inside 2^53: naive summation is
+        // exact too, so both must agree bit for bit.
+        let values: Vec<f64> = (0..10_000)
+            .map(|i| ((i * 37 % 1000) as f64) - 500.0)
+            .collect();
+        let naive: f64 = values.iter().sum();
+        assert_eq!(exact(&values).to_bits(), naive.to_bits());
+    }
+
+    #[test]
+    fn is_empty_tracks_addends() {
+        let mut s = ExactSum::new();
+        assert!(s.is_empty());
+        s.add(0.0);
+        assert!(s.is_empty(), "±0 adds nothing");
+        s.add(2.0);
+        assert!(!s.is_empty());
+        let mut t = ExactSum::new();
+        t.add(-2.0);
+        s.merge(&t);
+        assert_eq!(s.value(), 0.0);
+        assert!(!s.is_empty(), "cancelled is not empty");
+    }
+
+    #[test]
+    fn many_addends_survive_carry_pressure() {
+        // Hammer a single digit region far past a u32's worth of chunk
+        // additions would allow without propagation logic.
+        let mut s = ExactSum::new();
+        let x = 1.5f64;
+        let n = 200_000u32;
+        for _ in 0..n {
+            s.add(x);
+        }
+        assert_eq!(s.value(), 1.5 * n as f64);
+    }
+}

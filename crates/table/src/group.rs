@@ -4,6 +4,7 @@
 
 use crate::column::Column;
 use crate::error::{Result, TableError};
+use crate::exact::ExactSum;
 use crate::table::Table;
 use crate::value::{DataType, Value};
 use std::collections::HashMap;
@@ -80,16 +81,51 @@ impl Aggregate {
                 if vals.is_empty() {
                     Value::Null
                 } else {
+                    // Sum and Mean go through the exact superaccumulator
+                    // (`ExactSum`) so the result is independent of row
+                    // order and of how the rows are partitioned — the
+                    // invariant the sharded OLAP engine's differential
+                    // tests rely on (DESIGN.md §14).
                     match self {
-                        Aggregate::Sum(_) => Value::Float(vals.iter().sum()),
-                        Aggregate::Mean(_) => {
-                            Value::Float(vals.iter().sum::<f64>() / vals.len() as f64)
+                        Aggregate::Sum(_) => {
+                            let mut s = ExactSum::new();
+                            for &v in &vals {
+                                s.add(v);
+                            }
+                            Value::Float(s.value())
                         }
+                        Aggregate::Mean(_) => {
+                            let mut s = ExactSum::new();
+                            for &v in &vals {
+                                s.add(v);
+                            }
+                            Value::Float(s.value() / vals.len() as f64)
+                        }
+                        // Min/Max fold with explicit strict comparisons
+                        // rather than `f64::min`/`f64::max`: the
+                        // intrinsics' ±0.0 tie sign is codegen-defined,
+                        // which would leave the result unspecified. The
+                        // strict fold pins it: first-seen wins ties, NaN
+                        // never beats the running best — the contract
+                        // the sharded OLAP engine reproduces
+                        // (DESIGN.md §14).
                         Aggregate::Min(_) => {
-                            Value::Float(vals.iter().cloned().fold(f64::INFINITY, f64::min))
+                            let mut best = f64::INFINITY;
+                            for &v in &vals {
+                                if v < best {
+                                    best = v;
+                                }
+                            }
+                            Value::Float(best)
                         }
                         Aggregate::Max(_) => {
-                            Value::Float(vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+                            let mut best = f64::NEG_INFINITY;
+                            for &v in &vals {
+                                if v > best {
+                                    best = v;
+                                }
+                            }
+                            Value::Float(best)
                         }
                         _ => unreachable!(),
                     }

@@ -22,6 +22,7 @@
 pub mod column;
 pub mod csv;
 pub mod error;
+pub mod exact;
 pub mod fingerprint;
 pub mod group;
 pub mod schema;
@@ -32,6 +33,7 @@ pub mod value;
 pub use column::{Column, ColumnData};
 pub use csv::{read_csv_path, read_csv_str, write_csv_path, write_csv_str, CsvOptions};
 pub use error::{Result, TableError};
+pub use exact::ExactSum;
 pub use fingerprint::Fnv128;
 pub use group::{group_by, Aggregate};
 pub use schema::{Field, Schema};

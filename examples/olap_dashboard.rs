@@ -5,7 +5,7 @@
 //! Run with: `cargo run --example olap_dashboard`
 
 use openbi::datagen::air_quality;
-use openbi::olap::{Cube, Dashboard, Measure};
+use openbi::olap::{Cube, CubeOptions, Dashboard, Measure, QualityThresholds};
 use openbi::quality::{measure_profile, MeasureOptions};
 use openbi::table::{group_by, Aggregate};
 
@@ -61,6 +61,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             36,
         )?
         .table("harbor district by traffic level", harbor_by_traffic, 10)
+        // The sharded engine's quality-annotated rollup: each aggregate
+        // cell carries its row support and null ratio, and thin or
+        // null-heavy cells are flagged right in the report.
+        .quality_rollup(
+            "mean PM10 / NO2 by district x traffic (quality-flagged)",
+            &cube,
+            &["district", "traffic"],
+            &QualityThresholds::default(),
+            &CubeOptions::default(),
+        )?
         .trend("PM10 trend at station ST000", &pm10_series)
         .text(format!(
             "data quality: completeness {:.1}%, class balance {:.2}, consistency {:.2}",

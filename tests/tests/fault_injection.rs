@@ -5,8 +5,10 @@
 //! position, a faulted run that retries to success produces a knowledge
 //! base **byte-identical** to the fault-free run — at every worker
 //! count. The suite also proves the per-cell deadline bounds hung
-//! cells, the pipeline degrades instead of aborting, and the KB store's
-//! injection points surface and recover.
+//! cells, the pipeline degrades instead of aborting, the KB store's
+//! injection points surface and recover, and the sharded OLAP cube
+//! (DESIGN.md §14) retries shard faults to a byte-identical cube or
+//! degrades to an explicitly flagged partial one.
 //!
 //! CI's `chaos` step sweeps a seed matrix through these tests via
 //! `OPENBI_CHAOS_SEEDS` / `OPENBI_CHAOS_WORKERS` (comma-separated);
@@ -15,6 +17,9 @@
 use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
 use openbi::kb::SharedKnowledgeBase;
 use openbi::mining::AlgorithmSpec;
+use openbi::olap::{
+    quality_table_report, Cube, CubeOptions, Measure, QualityThresholds, CUBE_BUILD_FAULT_POINT,
+};
 use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
 use openbi_datagen::{make_blobs, BlobsConfig};
 use openbi_faults::{FaultPlan, FaultRule};
@@ -339,4 +344,154 @@ fn publish_faults_degrade_without_corrupting_served_snapshots() {
             );
         }
     }
+}
+
+/// The OLAP cube workload used by the shard-fault tests: the
+/// municipal-budget fact table rolled up by district × category with
+/// the full aggregate roster over spend.
+fn budget_cube(seed: u64) -> Cube {
+    let facts = openbi::datagen::municipal_budget(600, seed).table;
+    Cube::new(
+        facts,
+        &["district", "category"],
+        vec![
+            Measure::Sum("spent_eur".into()),
+            Measure::Mean("spent_eur".into()),
+            Measure::Count("spent_eur".into()),
+            Measure::Min("spent_eur".into()),
+            Measure::Max("spent_eur".into()),
+        ],
+    )
+    .expect("workload dims exist")
+}
+
+/// Shard builds that fail their first attempt and retry to success
+/// must produce a cube byte-identical to the fault-free build — same
+/// table fingerprint, same quality annotations — at every shard count
+/// in the chaos matrix. This is the grid-executor determinism argument
+/// replayed against the OLAP engine: a retried shard re-aggregates the
+/// exact same contiguous row range, so the merge cannot tell it ever
+/// failed.
+#[test]
+fn retried_shard_faults_leave_the_cube_byte_identical() {
+    let dims = ["district", "category"];
+    for seed in chaos_seeds() {
+        let cube = budget_cube(seed);
+        let baseline = cube
+            .rollup_quality(&dims, &CubeOptions::with_shards(4))
+            .unwrap();
+        assert!(!baseline.is_degraded(), "baseline must be fault-free");
+        assert!(baseline.table.n_rows() > 0);
+
+        for shards in chaos_workers() {
+            let plan =
+                Arc::new(FaultPlan::new(seed).with(FaultRule::error(CUBE_BUILD_FAULT_POINT)));
+            let options = CubeOptions {
+                shards,
+                max_retries: 2,
+                fault_plan: Some(plan),
+            };
+            let got = cube.rollup_quality(&dims, &options).unwrap();
+            assert!(
+                got.failed_shards.is_empty(),
+                "seed {seed}, {shards} shard(s): every shard must retry to success, got {:?}",
+                got.failed_shards
+            );
+            assert_eq!(
+                baseline.table.fingerprint(),
+                got.table.fingerprint(),
+                "seed {seed}, {shards} shard(s): faulted cube diverged from fault-free cube"
+            );
+            assert_eq!(
+                baseline.quality, got.quality,
+                "seed {seed}, {shards} shard(s): quality annotations diverged"
+            );
+        }
+    }
+}
+
+/// When a shard's retries are exhausted the build must degrade, not
+/// abort: `rollup_quality` still returns `Ok`, the failed shards are
+/// named, the surviving totals are visibly partial (lower support than
+/// the clean build), and the rendered report leads with the `DEGRADED`
+/// banner so the partial numbers cannot be mistaken for real ones.
+#[test]
+fn exhausted_shard_retries_flag_a_partial_cube_instead_of_aborting() {
+    let dims = ["district", "category"];
+    let cube = budget_cube(7);
+    let clean = cube
+        .rollup_quality(&dims, &CubeOptions::with_shards(8))
+        .unwrap();
+    let clean_support: u64 = clean.quality.iter().map(|q| q.support).sum();
+
+    // Every attempt on ~half the shards fails (deterministic key-hash
+    // selection), with a retry budget too small to save them.
+    let plan = Arc::new(
+        FaultPlan::new(11).with(
+            FaultRule::error(CUBE_BUILD_FAULT_POINT)
+                .ratio(0.5)
+                .times(u32::MAX),
+        ),
+    );
+    let options = CubeOptions {
+        shards: 8,
+        max_retries: 2,
+        fault_plan: Some(plan),
+    };
+    let degraded = cube
+        .rollup_quality(&dims, &options)
+        .expect("exhausted retries degrade, they do not abort");
+
+    assert!(degraded.is_degraded());
+    assert_eq!(degraded.total_shards, 8);
+    assert!(
+        !degraded.failed_shards.is_empty() && degraded.failed_shards.len() < 8,
+        "the 0.5 ratio must fail some shards and spare others, got {:?}",
+        degraded.failed_shards
+    );
+    let partial_support: u64 = degraded.quality.iter().map(|q| q.support).sum();
+    assert!(
+        partial_support < clean_support,
+        "partial cube must cover fewer fact rows ({partial_support} vs {clean_support})"
+    );
+
+    let report = quality_table_report(
+        "degraded budget rollup",
+        &degraded,
+        &QualityThresholds::default(),
+        usize::MAX,
+    )
+    .unwrap();
+    assert!(
+        report.contains("!! DEGRADED"),
+        "report must lead with the degradation banner:\n{report}"
+    );
+    assert!(
+        report.contains(&format!(
+            "{}/{} shards failed",
+            degraded.failed_shards.len(),
+            degraded.total_shards
+        )),
+        "banner must name the failed-shard count:\n{report}"
+    );
+
+    // The same build with enough retry budget recovers completely:
+    // `times(u32::MAX)` never stops firing, so recovery must come from
+    // a plan whose rules spend their budget, exactly like the retried
+    // test above.
+    let recovered_plan = Arc::new(
+        FaultPlan::new(11).with(FaultRule::error(CUBE_BUILD_FAULT_POINT).ratio(0.5).times(1)),
+    );
+    let recovered = cube
+        .rollup_quality(
+            &dims,
+            &CubeOptions {
+                shards: 8,
+                max_retries: 2,
+                fault_plan: Some(recovered_plan),
+            },
+        )
+        .unwrap();
+    assert!(!recovered.is_degraded());
+    assert_eq!(clean.table.fingerprint(), recovered.table.fingerprint());
 }

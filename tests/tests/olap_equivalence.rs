@@ -1,0 +1,247 @@
+//! Sharded-cube equivalence suite (DESIGN.md §14).
+//!
+//! The pre-rewrite single-threaded cube is frozen in-tree as
+//! `openbi::olap::reference` — the same `group_by`-per-rollup code that
+//! existed before the sharded engine. Every test here builds the
+//! identical rollup through both implementations **in the same
+//! process** and demands byte-identical output via
+//! `Table::fingerprint()` (FNV-128 over schema + canonical cell bytes):
+//! the same group order, the same key strings, and the same aggregate
+//! f64 bit patterns at every shard count. Nothing here is
+//! tolerance-based — a one-ULP drift in any accumulator, or a single
+//! reordered group, fails the suite.
+//!
+//! Why this is provable rather than hopeful: shards are contiguous row
+//! ranges merged in shard order with first-seen-wins group insertion
+//! (so global first-seen order is preserved), sums and means go through
+//! the exact fixed-point accumulator (`ExactSum` — addition is
+//! order-independent by construction), and min/max fold with an
+//! explicit total order, making every per-cell result independent of
+//! the shard partition. The tests sweep shard counts that do and do not
+//! divide the row count, seeds, every rollup depth, and the edge
+//! regimes (nulls, NaNs, single-row groups, the empty fact table) to
+//! hold the implementation to that argument.
+
+use openbi_datagen::scenario::all_scenarios;
+use openbi_olap::{reference, Cube, CubeOptions, Measure};
+use openbi_table::{Column, Table};
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 7];
+const SEEDS: [u64; 3] = [7, 21, 1042];
+
+/// All five aggregates over `column`.
+fn all_measures(column: &str) -> Vec<Measure> {
+    vec![
+        Measure::Sum(column.into()),
+        Measure::Mean(column.into()),
+        Measure::Count(column.into()),
+        Measure::Min(column.into()),
+        Measure::Max(column.into()),
+    ]
+}
+
+/// Assert the sharded engine matches the frozen reference bitwise for
+/// one cube spec, at every rollup depth and shard count.
+fn assert_equivalent(facts: Table, dims: &[&str], measures: Vec<Measure>, context: &str) {
+    let live = Cube::new(facts.clone(), dims, measures.clone()).expect("live cube");
+    let frozen = reference::Cube::new(facts, dims, measures).expect("reference cube");
+    for depth in 1..=dims.len() {
+        let sub = &dims[..depth];
+        let want = frozen.rollup(sub).expect("reference rollup");
+        for shards in SHARD_COUNTS {
+            let got = live
+                .rollup_quality(sub, &CubeOptions::with_shards(shards))
+                .expect("sharded rollup");
+            assert_eq!(
+                want.fingerprint(),
+                got.table.fingerprint(),
+                "{context}: dims {sub:?} diverged at {shards} shard(s)"
+            );
+            assert_eq!(
+                got.quality.len(),
+                got.table.n_rows(),
+                "{context}: one quality annotation per output row"
+            );
+        }
+    }
+    let want = frozen.total().expect("reference total");
+    let got = live.total().expect("sharded total");
+    assert_eq!(
+        want.fingerprint(),
+        got.fingerprint(),
+        "{context}: grand total diverged"
+    );
+}
+
+/// Every generator scenario (municipal budget, air quality, …) with its
+/// id columns as dimensions and the full aggregate roster over every
+/// numeric column — nulls and skew included — across seeds and shard
+/// counts that do not divide the row count.
+#[test]
+fn scenario_sweep_is_bitwise_identical_at_every_shard_count() {
+    let mut checked = 0;
+    for seed in SEEDS {
+        for sc in all_scenarios(500, seed) {
+            let names = sc.table.column_names();
+            let dims: Vec<&str> = names
+                .iter()
+                .filter(|n| sc.id_columns.iter().any(|c| c == **n))
+                .cloned()
+                .collect();
+            if dims.is_empty() {
+                continue;
+            }
+            let measures: Vec<Measure> = names
+                .iter()
+                .filter(|n| !dims.contains(n) && ***n != *sc.target)
+                .flat_map(|n| all_measures(n))
+                .collect();
+            assert_equivalent(
+                sc.table.clone(),
+                &dims,
+                measures,
+                &format!("{} seed {seed}", sc.name),
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 6, "scenario roster shrank to {checked}");
+}
+
+/// NaN measures, null measures, and a ±0.0 tie in the same cube: NaN
+/// must poison sum/mean and pass through min/max identically on both
+/// sides, nulls must be skipped but still counted into the quality
+/// ratio, and -0.0 vs +0.0 must keep the reference's bit pattern.
+#[test]
+fn nan_null_and_signed_zero_cells_match_reference() {
+    let facts = Table::new(vec![
+        Column::from_str_values("g", ["a", "a", "b", "b", "c", "c", "d"]),
+        Column::from_opt_f64(
+            "x",
+            [
+                Some(f64::NAN),
+                Some(1.5),
+                None,
+                Some(-0.0),
+                Some(0.0),
+                Some(-0.0),
+                None,
+            ],
+        ),
+    ])
+    .unwrap();
+    assert_equivalent(facts, &["g"], all_measures("x"), "nan/null/zero");
+}
+
+/// An all-NaN group exercises the min/max fold identities (the
+/// reference folds from ±INFINITY; the engine must reproduce those
+/// exact bits rather than "fix" them).
+#[test]
+fn all_nan_group_reproduces_reference_fold_identities() {
+    let facts = Table::new(vec![
+        Column::from_str_values("g", ["a", "a", "b"]),
+        Column::from_f64("x", [f64::NAN, f64::NAN, 2.0]),
+    ])
+    .unwrap();
+    assert_equivalent(facts, &["g"], all_measures("x"), "all-NaN group");
+}
+
+/// Single-row groups: a key column with all-distinct values means more
+/// groups than some shard counts, shard boundaries never split a group,
+/// and first-seen order is just row order.
+#[test]
+fn single_row_groups_survive_any_partition() {
+    let n = 23; // prime, so 2/4/7 shards all cut unevenly
+    let facts = Table::new(vec![
+        Column::from_str_values("id", (0..n).map(|i| format!("row{i}"))),
+        Column::from_f64("x", (0..n).map(|i| i as f64 * 1.25 - 7.0)),
+    ])
+    .unwrap();
+    assert_equivalent(facts, &["id"], all_measures("x"), "single-row groups");
+}
+
+/// The empty fact table: zero rows must yield a zero-row rollup (and a
+/// zero-row grand total) from both implementations, not a panic, at
+/// every shard count.
+#[test]
+fn empty_fact_table_yields_empty_cube() {
+    let facts = Table::new(vec![
+        Column::from_str_values("g", Vec::<String>::new()),
+        Column::from_f64("x", Vec::<f64>::new()),
+    ])
+    .unwrap();
+    let live = Cube::new(facts.clone(), &["g"], all_measures("x")).unwrap();
+    for shards in SHARD_COUNTS {
+        let got = live
+            .rollup_quality(&["g"], &CubeOptions::with_shards(shards))
+            .unwrap();
+        assert_eq!(got.table.n_rows(), 0);
+        assert!(got.quality.is_empty());
+        assert!(!got.is_degraded());
+    }
+    assert_equivalent(facts, &["g"], all_measures("x"), "empty fact table");
+}
+
+/// Mixed dimension dtypes (int, bool, float keys — not just strings):
+/// dictionary encoding renders keys exactly as `group_by` does, so a
+/// float dimension value like `2020.5` or a null key must produce the
+/// same key string and group order.
+#[test]
+fn non_string_dimension_keys_render_identically() {
+    let facts = Table::new(vec![
+        Column::from_opt_i64("year", [Some(2020), Some(2021), None, Some(2020), None]),
+        Column::from_bool("flagged", [true, false, true, true, false]),
+        Column::from_f64("band", [1.5, 2.5, 1.5, f64::NAN, f64::NAN]),
+        Column::from_f64("x", [1.0, 2.0, 3.0, 4.0, 5.0]),
+    ])
+    .unwrap();
+    assert_equivalent(
+        facts,
+        &["year", "flagged", "band"],
+        all_measures("x"),
+        "typed dimension keys",
+    );
+}
+
+/// Slice and dice go through the same sharded rollup afterwards; the
+/// filtered sub-cubes must stay equivalent too.
+#[test]
+fn slice_and_dice_subcubes_stay_equivalent() {
+    for seed in SEEDS {
+        let sc = &all_scenarios(400, seed)[0];
+        let names = sc.table.column_names();
+        let dims: Vec<&str> = names
+            .iter()
+            .filter(|n| sc.id_columns.iter().any(|c| c == **n))
+            .cloned()
+            .collect();
+        let measure_col = names
+            .iter()
+            .find(|n| !dims.contains(n) && ***n != *sc.target)
+            .expect("a numeric column");
+        let live = Cube::new(sc.table.clone(), &dims, all_measures(measure_col)).unwrap();
+        let frozen =
+            reference::Cube::new(sc.table.clone(), &dims, all_measures(measure_col)).unwrap();
+        // Slice on the first value of the first dimension.
+        let dim = dims[0];
+        let value = sc.table.column(dim).unwrap().get(0).unwrap().to_string();
+        let live_slice = live.slice(dim, &value).unwrap();
+        let frozen_slice = frozen.slice(dim, &value).unwrap();
+        assert_eq!(
+            live_slice.facts().fingerprint(),
+            frozen_slice.facts().fingerprint(),
+            "slice selects the same rows"
+        );
+        for shards in SHARD_COUNTS {
+            assert_eq!(
+                frozen_slice.rollup(&dims).unwrap().fingerprint(),
+                live_slice
+                    .rollup_quality(&dims, &CubeOptions::with_shards(shards))
+                    .unwrap()
+                    .table
+                    .fingerprint(),
+                "sliced rollup diverged at {shards} shard(s) (seed {seed})"
+            );
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! Property-based tests (proptest) on cross-crate invariants: CSV and
 //! N-Triples round trips, injector contracts, profile bounds,
-//! evaluation-metric ranges, and grid accounting under arbitrary fault
-//! plans.
+//! evaluation-metric ranges, grid accounting under arbitrary fault
+//! plans, and sharded-cube invariants (rollup additivity, slice/dice
+//! consistency, quality-annotation bounds, shard-count independence).
 
 use openbi::quality::{
     measure_profile, Degradation, DuplicateInjector, Injector, LabelNoiseInjector, MeasureOptions,
@@ -9,6 +10,7 @@ use openbi::quality::{
 };
 use openbi::table::{read_csv_str, write_csv_str, Column, CsvOptions, Table, Value};
 use openbi_lod::{parse_ntriples, write_ntriples, Graph, Iri, Literal, Term, Triple};
+use openbi_olap::{Cube, CubeOptions, Measure};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -339,5 +341,174 @@ proptest! {
         let (top, bottom) = stacked.split_at(a.len()).unwrap();
         prop_assert_eq!(top, ta);
         prop_assert_eq!(bottom, tb);
+    }
+}
+
+/// Strategy: a fact table for cube invariants — two low-cardinality
+/// dimensions and one nullable measure column whose values live on the
+/// dyadic grid `i/8` with small magnitude, so every partial sum is
+/// exactly representable and rollup additivity is a **bitwise**
+/// property, not a tolerance-based one.
+fn arb_cube_facts() -> impl Strategy<Value = Table> {
+    (1usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec(0u8..3, n..=n),
+            proptest::collection::vec(0u8..4, n..=n),
+            proptest::collection::vec(proptest::option::of(-8000i32..8000), n..=n),
+        )
+            .prop_map(|(d1, d2, xs)| {
+                Table::new(vec![
+                    Column::from_str_values(
+                        "d1",
+                        d1.iter().map(|k| format!("a{k}")).collect::<Vec<String>>(),
+                    ),
+                    Column::from_str_values(
+                        "d2",
+                        d2.iter().map(|k| format!("b{k}")).collect::<Vec<String>>(),
+                    ),
+                    Column::from_opt_f64(
+                        "x",
+                        xs.into_iter()
+                            .map(|o| o.map(|i| f64::from(i) / 8.0))
+                            .collect::<Vec<Option<f64>>>(),
+                    ),
+                ])
+                .expect("consistent columns")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cube_rollup_children_fold_exactly_to_parent(
+        facts in arb_cube_facts(),
+        shards in 1usize..8
+    ) {
+        // Folding the (d1, d2) cells per d1 group must land on the
+        // (d1)-rollup cells exactly: same count, same sum bits (the
+        // dyadic-grid measure keeps every partial sum representable).
+        let cube = Cube::new(
+            facts,
+            &["d1", "d2"],
+            vec![Measure::Sum("x".into()), Measure::Count("x".into())],
+        ).unwrap();
+        let opts = CubeOptions::with_shards(shards);
+        let child = cube.rollup_quality(&["d1", "d2"], &opts).unwrap().table;
+        let parent = cube.rollup_quality(&["d1"], &opts).unwrap().table;
+        let mut sums: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+        let mut counts: std::collections::HashMap<String, i64> = std::collections::HashMap::new();
+        for r in 0..child.n_rows() {
+            let k = child.get("d1", r).unwrap().to_string();
+            if let Some(v) = child.get("sum(x)", r).unwrap().as_f64() {
+                *sums.entry(k.clone()).or_insert(0.0) += v;
+            }
+            *counts.entry(k).or_insert(0) += child.get("count(x)", r).unwrap().as_i64().unwrap();
+        }
+        for r in 0..parent.n_rows() {
+            let k = parent.get("d1", r).unwrap().to_string();
+            let count = parent.get("count(x)", r).unwrap().as_i64().unwrap();
+            prop_assert_eq!(count, counts.get(&k).copied().unwrap_or(0), "count for {}", &k);
+            match parent.get("sum(x)", r).unwrap().as_f64() {
+                Some(sum) => prop_assert_eq!(
+                    sum.to_bits(),
+                    sums.get(&k).copied().unwrap_or(0.0).to_bits(),
+                    "sum bits for {}", &k
+                ),
+                // An all-null parent group has all-null children.
+                None => prop_assert!(!sums.contains_key(&k), "null parent, numeric child for {}", &k),
+            }
+        }
+    }
+
+    #[test]
+    fn cube_quality_supports_partition_the_fact_rows(
+        facts in arb_cube_facts(),
+        shards in 1usize..8
+    ) {
+        let n = facts.n_rows();
+        let cube = Cube::new(facts, &["d1", "d2"], vec![Measure::Mean("x".into())]).unwrap();
+        let result = cube
+            .rollup_quality(&["d1", "d2"], &CubeOptions::with_shards(shards))
+            .unwrap();
+        prop_assert!(!result.is_degraded());
+        let total: u64 = result.quality.iter().map(|q| q.support).sum();
+        prop_assert_eq!(total as usize, n, "every fact row in exactly one cell");
+        for q in &result.quality {
+            prop_assert!(q.support >= 1, "emitted cells have support");
+            prop_assert!(q.null_ratio.is_finite());
+            prop_assert!((0.0..=1.0).contains(&q.null_ratio), "ratio {} out of bounds", q.null_ratio);
+        }
+    }
+
+    #[test]
+    fn cube_slice_and_dice_agree_with_the_full_cube(
+        facts in arb_cube_facts(),
+        shards in 1usize..8
+    ) {
+        let cube = Cube::new(
+            facts.clone(),
+            &["d1", "d2"],
+            vec![
+                Measure::Sum("x".into()),
+                Measure::Mean("x".into()),
+                Measure::Count("x".into()),
+                Measure::Min("x".into()),
+                Measure::Max("x".into()),
+            ],
+        ).unwrap();
+        let opts = CubeOptions::with_shards(shards);
+        let parent = cube.rollup_quality(&["d1"], &opts).unwrap().table;
+        // Slicing on each d1 value and re-rolling must reproduce that
+        // parent row cell for cell, and the slices partition the facts.
+        let mut sliced_rows = 0;
+        for r in 0..parent.n_rows() {
+            let v = parent.get("d1", r).unwrap().to_string();
+            let slice = cube.slice("d1", &v).unwrap();
+            sliced_rows += slice.facts().n_rows();
+            let row = slice.rollup_quality(&["d1"], &opts).unwrap().table;
+            prop_assert_eq!(row.n_rows(), 1);
+            for c in parent.column_names() {
+                prop_assert_eq!(
+                    format!("{:?}", parent.get(c, r).unwrap()),
+                    format!("{:?}", row.get(c, 0).unwrap()),
+                    "column {} for d1={}", c, &v
+                );
+            }
+        }
+        prop_assert_eq!(sliced_rows, facts.n_rows(), "slices partition the fact rows");
+        // Dicing on every d1 value keeps the whole cube.
+        let keys: Vec<String> = (0..parent.n_rows())
+            .map(|r| parent.get("d1", r).unwrap().to_string())
+            .collect();
+        let keys: Vec<&str> = keys.iter().map(String::as_str).collect();
+        prop_assert_eq!(
+            cube.dice("d1", &keys).unwrap().facts().fingerprint(),
+            facts.fingerprint()
+        );
+    }
+
+    #[test]
+    fn cube_shard_count_never_changes_the_bits(
+        facts in arb_cube_facts(),
+        shards in 2usize..9
+    ) {
+        let cube = Cube::new(
+            facts,
+            &["d1", "d2"],
+            vec![
+                Measure::Sum("x".into()),
+                Measure::Min("x".into()),
+                Measure::Max("x".into()),
+            ],
+        ).unwrap();
+        let one = cube
+            .rollup_quality(&["d1", "d2"], &CubeOptions::with_shards(1))
+            .unwrap().table;
+        let many = cube
+            .rollup_quality(&["d1", "d2"], &CubeOptions::with_shards(shards))
+            .unwrap().table;
+        prop_assert_eq!(one.fingerprint(), many.fingerprint());
     }
 }
