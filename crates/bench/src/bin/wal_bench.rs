@@ -1,0 +1,276 @@
+//! Write-ahead-log benchmark: append throughput per fsync policy,
+//! recovery replay rate, and checkpoint cost.
+//!
+//! Three measured sections:
+//!
+//! - `append` — one row per fsync policy (`always`, `batch`, `never`):
+//!   records/sec and bytes/sec for batched appends into a fresh log.
+//!   The `always` policy fsyncs every batch, so it runs a smaller
+//!   workload the same way `serving_bench` caps its deep-clone baseline
+//!   — the per-record numbers stay comparable, the wall clock stays
+//!   sane.
+//! - `recovery` — replay the `never` log (the largest) from a cold
+//!   start: wall-clock seconds, frames/sec, and the headline
+//!   seconds-per-million-frames rate perf tooling trends across PRs.
+//! - `checkpoint` — snapshot + compaction cost over the recovered
+//!   knowledge base, then a second recovery showing what the watermark
+//!   buys (replay restarts from the checkpoint, not from frame zero).
+//!
+//! Writes `BENCH_wal.json` in the shared schema (`openbi_bench::report`,
+//! see EXPERIMENTS.md); a separate instrumented pass populates the
+//! document's metrics block (`kb.wal.*`, `kb.recovery.*`,
+//! `kb.checkpoint.seconds`).
+//!
+//! ```text
+//! cargo run --release -p openbi-bench --bin wal_bench [-- --quick] [-- out.json]
+//! ```
+
+use openbi::kb::{recover, ExperimentRecord, FsyncPolicy, WalOptions, WalWriter};
+use openbi::obs;
+use openbi_bench::{bench_doc, synthetic_records, write_bench_json};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Records per `append_batch` call — the unit the batch policy fsyncs.
+const BATCH: usize = 64;
+
+struct Scale {
+    /// Records appended on the `batch` and `never` policies.
+    records: usize,
+    /// Records appended on the `always` policy — one fsync per batch
+    /// makes it orders of magnitude slower, so it gets a small workload.
+    always_records: usize,
+    segment_bytes: u64,
+}
+
+const FULL: Scale = Scale {
+    records: 200_000,
+    always_records: 2_000,
+    segment_bytes: 4 * 1024 * 1024,
+};
+
+const QUICK: Scale = Scale {
+    records: 2_000,
+    always_records: 128,
+    segment_bytes: 256 * 1024,
+};
+
+/// Fresh per-policy WAL directory under the system temp dir.
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("openbi-wal-bench-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench wal dir");
+    dir
+}
+
+/// Total bytes of every file in `dir` (segments + checkpoints).
+fn dir_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .expect("read wal dir")
+        .filter_map(|entry| entry.ok())
+        .filter_map(|entry| entry.metadata().ok())
+        .map(|meta| meta.len())
+        .sum()
+}
+
+/// One measured append row.
+struct AppendRow {
+    policy: FsyncPolicy,
+    records: usize,
+    seconds: f64,
+    wal_bytes: u64,
+    segments: u64,
+}
+
+/// Append `records` in [`BATCH`]-sized batches under `policy` into a
+/// fresh directory; the final `sync` is inside the timed window so the
+/// `never` row still pays for its one flush-on-close.
+fn append_run(policy: FsyncPolicy, records: &[ExperimentRecord], segment_bytes: u64) -> AppendRow {
+    let dir = fresh_dir(&policy.to_string());
+    let mut writer = WalWriter::open(
+        WalOptions::new(&dir)
+            .segment_bytes(segment_bytes)
+            .fsync(policy),
+    )
+    .expect("open bench wal");
+    let t0 = Instant::now();
+    for batch in records.chunks(BATCH) {
+        writer.append_batch(batch).expect("append bench batch");
+    }
+    writer.sync().expect("final bench sync");
+    let seconds = t0.elapsed().as_secs_f64();
+    let segments = writer.generation() + 1;
+    drop(writer);
+    let wal_bytes = dir_bytes(&dir);
+    let row = AppendRow {
+        policy,
+        records: records.len(),
+        seconds,
+        wal_bytes,
+        segments,
+    };
+    if policy != FsyncPolicy::Never {
+        // The `never` log is reused by the recovery + checkpoint
+        // sections; the rest are done.
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    row
+}
+
+fn per_second(count: usize, seconds: f64) -> f64 {
+    if seconds > 0.0 {
+        count as f64 / seconds
+    } else {
+        0.0
+    }
+}
+
+fn main() {
+    let mut quick = false;
+    let mut out_path = "BENCH_wal.json".to_string();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            out_path = arg;
+        }
+    }
+    let scale = if quick { QUICK } else { FULL };
+
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let records = synthetic_records(scale.records, &mut state);
+
+    // --- append throughput per fsync policy -------------------------
+    let mut append_rows = Vec::new();
+    for policy in [FsyncPolicy::Always, FsyncPolicy::Batch, FsyncPolicy::Never] {
+        let workload = if policy == FsyncPolicy::Always {
+            &records[..scale.always_records.min(records.len())]
+        } else {
+            &records[..]
+        };
+        let row = append_run(policy, workload, scale.segment_bytes);
+        println!(
+            "append {:<6}  {:>7} records  {:>11.1} rec/s  {:>8.2} MB/s  {:>3} segment(s)",
+            row.policy,
+            row.records,
+            per_second(row.records, row.seconds),
+            row.wal_bytes as f64 / row.seconds.max(1e-9) / 1e6,
+            row.segments,
+        );
+        append_rows.push(row);
+    }
+
+    // --- recovery replay rate (cold start over the `never` log) -----
+    let wal_dir =
+        std::env::temp_dir().join(format!("openbi-wal-bench-{}-never", std::process::id()));
+    let (kb, recovery) = recover(&wal_dir).expect("bench recovery");
+    assert_eq!(kb.len(), scale.records, "recovery must replay every record");
+    let recovery_spmf = recovery.seconds / (recovery.frames_replayed.max(1) as f64) * 1e6;
+    println!(
+        "recover       {:>7} frames   {:>11.1} frames/s  {:>8.3} s/Mframe  {:>3} segment(s)",
+        recovery.frames_replayed,
+        per_second(recovery.frames_replayed as usize, recovery.seconds),
+        recovery_spmf,
+        recovery.segments_scanned,
+    );
+
+    // --- checkpoint cost + what the watermark buys ------------------
+    let mut writer = WalWriter::open(
+        WalOptions::new(&wal_dir)
+            .segment_bytes(scale.segment_bytes)
+            .fsync(FsyncPolicy::Batch),
+    )
+    .expect("reopen bench wal");
+    let checkpoint = writer.checkpoint(&kb).expect("bench checkpoint");
+    drop(writer);
+    let (kb_after, recovery_after) = recover(&wal_dir).expect("post-checkpoint recovery");
+    assert_eq!(kb_after.len(), kb.len(), "checkpoint must preserve the KB");
+    println!(
+        "checkpoint    {:>7} records  {:>8.3} s  {:>3} segment(s) compacted  recover-after {:.3} s",
+        checkpoint.records,
+        checkpoint.seconds,
+        checkpoint.compacted_segments,
+        recovery_after.seconds,
+    );
+
+    // --- instrumented pass (outside the timed sweep) ----------------
+    // A short always-fsync round trip with a registry installed so the
+    // document's metrics block carries kb.wal.*, kb.recovery.*, and
+    // kb.checkpoint.seconds.
+    let registry = Arc::new(obs::MetricsRegistry::new());
+    obs::install(Arc::clone(&registry));
+    let probe_dir = fresh_dir("probe");
+    let mut probe = WalWriter::open(
+        WalOptions::new(&probe_dir)
+            .segment_bytes(scale.segment_bytes)
+            .fsync(FsyncPolicy::Always),
+    )
+    .expect("open probe wal");
+    for batch in records[..scale.always_records.min(records.len())].chunks(BATCH) {
+        probe.append_batch(batch).expect("probe append");
+    }
+    drop(probe);
+    let (probe_kb, _) = recover(&probe_dir).expect("probe recovery");
+    let mut probe = WalWriter::open(WalOptions::new(&probe_dir).fsync(FsyncPolicy::Always))
+        .expect("reopen probe wal");
+    probe.checkpoint(&probe_kb).expect("probe checkpoint");
+    drop(probe);
+    obs::uninstall();
+    let snapshot = registry.snapshot();
+    let _ = std::fs::remove_dir_all(&probe_dir);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+
+    let append_json: Vec<serde_json::Value> = append_rows
+        .iter()
+        .map(|row| {
+            serde_json::json!({
+                "fsync": row.policy.to_string(),
+                "records": row.records,
+                "seconds": row.seconds,
+                "records_per_second": per_second(row.records, row.seconds),
+                "wal_bytes": row.wal_bytes,
+                "segments": row.segments,
+            })
+        })
+        .collect();
+    let recovery_json = serde_json::json!({
+        "frames": recovery.frames_replayed,
+        "seconds": recovery.seconds,
+        "frames_per_second": per_second(recovery.frames_replayed as usize, recovery.seconds),
+        "seconds_per_million_frames": recovery_spmf,
+        "truncated_bytes": recovery.truncated_bytes,
+        "segments_scanned": recovery.segments_scanned,
+    });
+    let recovery_after_json = serde_json::json!({
+        "seconds": recovery_after.seconds,
+        "frames_replayed": recovery_after.frames_replayed,
+        "checkpoint_records": recovery_after.checkpoint_records,
+    });
+    let checkpoint_json = serde_json::json!({
+        "watermark": checkpoint.watermark,
+        "records": checkpoint.records,
+        "seconds": checkpoint.seconds,
+        "compacted_segments": checkpoint.compacted_segments,
+        "removed_checkpoints": checkpoint.removed_checkpoints,
+        "recovery_after": recovery_after_json,
+    });
+
+    let doc = bench_doc(
+        "kb_wal",
+        serde_json::json!({
+            "quick": quick,
+            "records": scale.records,
+            "always_records": scale.always_records,
+            "batch_records": BATCH,
+            "segment_bytes": scale.segment_bytes,
+        }),
+        serde_json::json!({
+            "append": append_json,
+            "recovery": recovery_json,
+            "checkpoint": checkpoint_json,
+        }),
+        &snapshot,
+    );
+    write_bench_json(&out_path, &doc);
+}

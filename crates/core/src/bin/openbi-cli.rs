@@ -10,6 +10,9 @@
 //!                     [--fault-plan plan.txt] [--max-retries R]
 //!                     [--cell-deadline-ms MS]
 //!                     [--serving rwlock|snapshot] [--publish-capacity N]
+//!                     [--wal-dir DIR] [--fsync always|batch|never]
+//!                     [--checkpoint-every N]
+//! openbi-cli kb recover --wal-dir DIR [--out kb.jsonl]
 //! openbi-cli advise   <data.csv> --target COL --kb kb.jsonl
 //!                     [--neighbors N] [--bandwidth H]
 //!                     [--metrics-out metrics.json]
@@ -33,10 +36,20 @@
 //! with `--max-retries` / `--cell-deadline-ms` to watch the executor
 //! retry and bound injected failures.
 //!
+//! `--wal-dir` makes `experiments` crash-durable (DESIGN.md §15): any
+//! log left by a previous (possibly crashed) run is recovered first,
+//! every acknowledged batch is appended to a checksummed write-ahead
+//! log before it is served, and a final checkpoint compacts the log on
+//! clean exit. `kb recover` replays such a log on its own — useful
+//! after a crash, or to turn a log into a plain `kb.jsonl`.
+//!
 //! [`MetricsSnapshot`]: openbi::obs::MetricsSnapshot
 
 use openbi::experiment::{run_phase1_report, Criterion, ExperimentConfig, ExperimentDataset};
-use openbi::kb::{Advisor, KnowledgeBase, SharedKnowledgeBase, SnapshotKnowledgeBase};
+use openbi::kb::{
+    Advisor, CheckpointReport, DurableOptions, FsyncPolicy, KnowledgeBase, RecoveryReport,
+    SharedKnowledgeBase, SnapshotKnowledgeBase, WalOptions, WalSink, WalWriter,
+};
 use openbi::pipeline::{run_pipeline, DataSource, PipelineConfig};
 use openbi::quality::{measure_profile, render_profile, MeasureOptions};
 use openbi::render_outcome;
@@ -105,6 +118,19 @@ USAGE:
                      [--cell-deadline-ms MS]   (abandon cells slower than MS)
                      [--serving rwlock|snapshot]  (publish path; default rwlock)
                      [--publish-capacity N]    (snapshot publish-queue bound)
+                     [--wal-dir DIR]           (crash-durable write-ahead log)
+                     [--fsync always|batch|never]  (log flush policy; default batch)
+                     [--checkpoint-every N]    (auto-compact the log every N
+                                                published records; snapshot path.
+                                                Both paths checkpoint on exit.)
+
+  openbi-cli kb recover --wal-dir DIR [--out kb.jsonl]
+                     [--metrics-out metrics.json]
+
+  kb recover replays a write-ahead log (checkpoint + checksum-verified
+  frames, torn tail repaired) and reports what it found; --out saves
+  the recovered knowledge base as JSONL. Corruption *inside* the log is
+  a hard error naming the segment and byte offset.
 
   openbi-cli cube    <data.csv> --dims A,B [--measures sum:X,mean:Y,...]
                      [--shards N]              (0 = one per core)
@@ -235,9 +261,82 @@ fn cmd_mine(args: &Args, require_kb: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Durability flags shared by the `experiments` serving paths.
+struct WalArgs {
+    dir: String,
+    fsync: FsyncPolicy,
+    checkpoint_every: Option<u64>,
+}
+
+/// Parse `--wal-dir` / `--fsync` / `--checkpoint-every`. `Ok(None)`
+/// when durability was not requested; an error when the dependent
+/// flags appear without `--wal-dir`, or don't parse.
+fn parse_wal_args(args: &Args) -> Result<Option<WalArgs>, String> {
+    let Some(dir) = args.flag("wal-dir") else {
+        if args.has("fsync") || args.has("checkpoint-every") {
+            return Err("--fsync and --checkpoint-every require --wal-dir".to_string());
+        }
+        return Ok(None);
+    };
+    let fsync = match args.flag("fsync") {
+        Some(spec) => FsyncPolicy::parse(spec)
+            .ok_or_else(|| format!("--fsync must be always|batch|never, got {spec:?}"))?,
+        None => FsyncPolicy::default(),
+    };
+    let checkpoint_every = match args.flag("checkpoint-every") {
+        Some(n) => Some(
+            n.parse::<u64>()
+                .map_err(|_| format!("--checkpoint-every must be an integer, got {n}"))?,
+        ),
+        None => None,
+    };
+    Ok(Some(WalArgs {
+        dir: dir.to_string(),
+        fsync,
+        checkpoint_every,
+    }))
+}
+
+/// Narrate a [`RecoveryReport`] — both `experiments --wal-dir` and
+/// `kb recover` start with one.
+fn print_recovery(dir: &str, report: &RecoveryReport) {
+    let checkpoint = match report.checkpoint_watermark {
+        Some(watermark) => format!(
+            "checkpoint {watermark} ({} record(s)) + ",
+            report.checkpoint_records
+        ),
+        None => String::new(),
+    };
+    eprintln!(
+        "recovered {dir}: {checkpoint}{} frame(s) replayed from {} segment(s), \
+         {} torn byte(s) truncated ({:.3}s)",
+        report.frames_replayed, report.segments_scanned, report.truncated_bytes, report.seconds,
+    );
+}
+
+fn print_checkpoint(report: &CheckpointReport) {
+    eprintln!(
+        "checkpoint {}: {} record(s) saved, {} segment(s) and {} old checkpoint(s) compacted ({:.3}s)",
+        report.watermark,
+        report.records,
+        report.compacted_segments,
+        report.removed_checkpoints,
+        report.seconds,
+    );
+}
+
+/// Printed when batches were served without reaching the log: the run
+/// finished, but a crash could have lost those records.
+const DEGRADED_BANNER: &str =
+    "!! DEGRADED DURABILITY !! some results were served without reaching the write-ahead log";
+
 fn cmd_experiments(args: &Args) -> ExitCode {
     let Some(out) = args.flag("out") else {
         return fail("experiments needs --out <kb.jsonl>");
+    };
+    let wal = match parse_wal_args(args) {
+        Ok(wal) => wal,
+        Err(e) => return fail(&e),
     };
     let rows: usize = args
         .flag("rows")
@@ -325,19 +424,97 @@ fn cmd_experiments(args: &Args) -> ExitCode {
     // store, or the snapshot-swap serving store (DESIGN.md §13) which
     // coalesces worker flushes into published generations.
     let run = match serving {
-        "rwlock" => {
-            let kb = SharedKnowledgeBase::default();
-            run_phase1_report(&datasets, &Criterion::all(), &config, &kb)
-                .map(|report| (report, kb.snapshot()))
-        }
+        "rwlock" => match &wal {
+            None => {
+                let kb = SharedKnowledgeBase::default();
+                run_phase1_report(&datasets, &Criterion::all(), &config, &kb)
+                    .map(|report| (report, kb.snapshot()))
+            }
+            Some(wal_args) => {
+                // Resume from whatever a previous (possibly crashed)
+                // run logged, then log every batch ahead of the
+                // in-memory store via the WalSink decorator.
+                let seeded = match openbi::kb::recover(&wal_args.dir) {
+                    Ok((kb, recovery)) => {
+                        print_recovery(&wal_args.dir, &recovery);
+                        kb
+                    }
+                    Err(e) => return fail(&format!("cannot recover {}: {e}", wal_args.dir)),
+                };
+                let writer =
+                    match WalWriter::open(WalOptions::new(&wal_args.dir).fsync(wal_args.fsync)) {
+                        Ok(writer) => writer,
+                        Err(e) => {
+                            return fail(&format!(
+                                "cannot open write-ahead log {}: {e}",
+                                wal_args.dir
+                            ))
+                        }
+                    };
+                if wal_args.checkpoint_every.is_some() {
+                    eprintln!(
+                        "note: the rwlock path checkpoints once on exit; \
+                         --checkpoint-every paces the snapshot path only"
+                    );
+                }
+                let sink = WalSink::new(SharedKnowledgeBase::new(seeded), writer);
+                run_phase1_report(&datasets, &Criterion::all(), &config, &sink).map(|report| {
+                    let kb = sink.inner().snapshot();
+                    match sink.checkpoint(&kb) {
+                        Ok(checkpoint) => print_checkpoint(&checkpoint),
+                        Err(e) => eprintln!("warning: final checkpoint failed: {e}"),
+                    }
+                    if sink.degraded() {
+                        eprintln!("{DEGRADED_BANNER} ({} batch(es))", sink.failures());
+                    }
+                    (report, kb)
+                })
+            }
+        },
         "snapshot" => {
             let capacity: usize = args
                 .flag("publish-capacity")
                 .and_then(|c| c.parse().ok())
                 .unwrap_or(openbi::kb::serving::DEFAULT_PUBLISH_CAPACITY);
-            let store = SnapshotKnowledgeBase::with_capacity(KnowledgeBase::new(), capacity);
+            let store = match &wal {
+                None => SnapshotKnowledgeBase::with_capacity(KnowledgeBase::new(), capacity),
+                Some(wal_args) => {
+                    let mut options = DurableOptions::new(&wal_args.dir)
+                        .fsync(wal_args.fsync)
+                        .publish_capacity(capacity);
+                    if let Some(every) = wal_args.checkpoint_every {
+                        options = options.checkpoint_every(every);
+                    }
+                    match SnapshotKnowledgeBase::open_durable(options) {
+                        Ok((store, recovery)) => {
+                            print_recovery(&wal_args.dir, &recovery);
+                            store
+                        }
+                        Err(e) => {
+                            return fail(&format!(
+                                "cannot open write-ahead log {}: {e}",
+                                wal_args.dir
+                            ))
+                        }
+                    }
+                }
+            };
             run_phase1_report(&datasets, &Criterion::all(), &config, &store).and_then(|report| {
                 store.flush().map_err(openbi::OpenBiError::Kb)?;
+                if store.is_durable() {
+                    match store.checkpoint() {
+                        Ok(Some(checkpoint)) => print_checkpoint(&checkpoint),
+                        Ok(None) => {}
+                        Err(e) => eprintln!("warning: final checkpoint failed: {e}"),
+                    }
+                    if store.durability_degraded() {
+                        eprintln!(
+                            "{DEGRADED_BANNER} ({} log failure(s), {} checkpoint failure(s))",
+                            store.wal_failures(),
+                            store.checkpoint_failures()
+                        );
+                    }
+                }
                 eprintln!(
                     "serving store published {} generation(s)",
                     store.generation()
@@ -377,6 +554,45 @@ fn cmd_experiments(args: &Args) -> ExitCode {
         }
         Err(e) => {
             eprintln!("experiments failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `kb recover --wal-dir DIR [--out kb.jsonl]`: replay a write-ahead
+/// log outside any run — after a crash, or to convert a log into a
+/// plain JSONL knowledge base.
+fn cmd_kb(args: &Args) -> ExitCode {
+    match args.positional.first().map(String::as_str) {
+        Some("recover") => {}
+        Some(other) => return fail(&format!("unknown kb subcommand: {other} (recover)")),
+        None => return fail("kb needs a subcommand: recover"),
+    }
+    let Some(dir) = args.flag("wal-dir") else {
+        return fail("kb recover needs --wal-dir DIR");
+    };
+    let metrics = metrics_registry(args);
+    match openbi::kb::recover(dir) {
+        Ok((kb, report)) => {
+            print_recovery(dir, &report);
+            println!("{} record(s) recovered from {dir}", kb.len());
+            if let Some(out) = args.flag("out") {
+                if let Err(e) = kb.save(out) {
+                    eprintln!("cannot save {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("recovered knowledge base written to {out}");
+            }
+            if !write_metrics(metrics) {
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            // A corrupt frame mid-log is a hard error naming the
+            // segment and byte offset — don't soften it into a
+            // half-recovered KB.
+            eprintln!("recovery failed: {e}");
             ExitCode::FAILURE
         }
     }
@@ -572,6 +788,7 @@ fn main() -> ExitCode {
         "mine" => cmd_mine(&args, false),
         "advise" => cmd_advise(&args),
         "experiments" => cmd_experiments(&args),
+        "kb" => cmd_kb(&args),
         "cube" => cmd_cube(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -619,6 +836,36 @@ mod tests {
     fn repeated_positionals_kept_in_order() {
         let a = parse(&["first.csv", "second.csv"]);
         assert_eq!(a.positional, vec!["first.csv", "second.csv"]);
+    }
+
+    #[test]
+    fn wal_args_parse_and_gate() {
+        use openbi::kb::FsyncPolicy;
+        let none = parse(&[]);
+        assert!(super::parse_wal_args(&none).unwrap().is_none());
+        let orphan = parse(&["--fsync", "never"]);
+        assert!(
+            super::parse_wal_args(&orphan).is_err(),
+            "--fsync needs --wal-dir"
+        );
+        let full = parse(&[
+            "--wal-dir",
+            "run/wal",
+            "--fsync",
+            "always",
+            "--checkpoint-every",
+            "64",
+        ]);
+        let wal = super::parse_wal_args(&full).unwrap().unwrap();
+        assert_eq!(wal.dir, "run/wal");
+        assert_eq!(wal.fsync, FsyncPolicy::Always);
+        assert_eq!(wal.checkpoint_every, Some(64));
+        let defaults = parse(&["--wal-dir", "run/wal"]);
+        let wal = super::parse_wal_args(&defaults).unwrap().unwrap();
+        assert_eq!(wal.fsync, FsyncPolicy::Batch);
+        assert_eq!(wal.checkpoint_every, None);
+        let bad = parse(&["--wal-dir", "w", "--fsync", "sometimes"]);
+        assert!(super::parse_wal_args(&bad).is_err());
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! absorb, so this crate makes faults a first-class, testable input:
 //!
 //! * [`FaultPlan`] maps named injection points (`grid.cell.run`,
-//!   `pipeline.stage.quality`, `kb.store.save`, `kb.publish`, …) to
-//!   schedules of
+//!   `pipeline.stage.quality`, `kb.store.save`, `kb.publish`,
+//!   `kb.wal.append`, …) to schedules of
 //!   [`FaultKind::Error`] / [`FaultKind::Panic`] /
-//!   [`FaultKind::Delay`] faults.
+//!   [`FaultKind::Delay`] faults, plus the storage-corruption pair
+//!   [`FaultKind::ShortWrite`] / [`FaultKind::BitFlip`] whose
+//!   seed-keyed byte positions let checksummed-log recovery be proven
+//!   end to end ([`FaultPlan::corrupt_buffer`]).
 //! * Every decision is a pure hash of `(plan seed, rule, scope key)` —
 //!   no interior state — so a plan fires the same faults regardless of
 //!   thread count or execution order, and any chaos run is replayable
@@ -45,4 +48,4 @@ mod plan;
 
 pub use global::{active, fire_installed, install, uninstall};
 pub use parse::PlanParseError;
-pub use plan::{key, FaultError, FaultKind, FaultPlan, FaultRule};
+pub use plan::{key, Corruption, FaultError, FaultKind, FaultPlan, FaultRule};

@@ -11,7 +11,7 @@
 //! Grammar per non-comment line:
 //!
 //! * `seed <u64>` — the plan seed (defaults to 0 when absent).
-//! * `fault <point> <error|panic|delay=MS> [times=N] [ratio=F]`
+//! * `fault <point> <error|panic|delay=MS|short_write|bit_flip> [times=N] [ratio=F]`
 //!
 //! [`FaultPlan::to_text`] renders the canonical form; parsing it back
 //! yields an equal plan, so plans can be generated, saved, and replayed.
@@ -126,12 +126,17 @@ fn parse_rule<'a>(
     let point = words
         .next()
         .ok_or_else(|| err(line, "fault needs an injection-point name"))?;
-    let kind_word = words
-        .next()
-        .ok_or_else(|| err(line, "fault needs a kind: error, panic, or delay=MS"))?;
+    let kind_word = words.next().ok_or_else(|| {
+        err(
+            line,
+            "fault needs a kind: error, panic, delay=MS, short_write, or bit_flip",
+        )
+    })?;
     let kind = match kind_word {
         "error" => FaultKind::Error,
         "panic" => FaultKind::Panic,
+        "short_write" => FaultKind::ShortWrite,
+        "bit_flip" => FaultKind::BitFlip,
         other => match other.strip_prefix("delay=") {
             Some(ms) => FaultKind::Delay(
                 ms.parse::<u64>()
@@ -191,9 +196,25 @@ mod tests {
         let plan = FaultPlan::new(7)
             .with(FaultRule::error("grid.cell.run").times(3))
             .with(FaultRule::delay("kb.store.*", 10).ratio(0.25))
-            .with(FaultRule::panic("pipeline.stage.quality"));
+            .with(FaultRule::panic("pipeline.stage.quality"))
+            .with(FaultRule::short_write("kb.wal.append").ratio(0.5))
+            .with(FaultRule::bit_flip("kb.wal.*").times(2));
         let reparsed = FaultPlan::parse(&plan.to_text()).unwrap();
         assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn parses_the_corruption_kinds() {
+        let plan = FaultPlan::parse(
+            "seed 21\n\
+             fault kb.wal.append short_write times=2\n\
+             fault kb.wal.append bit_flip ratio=0.25\n",
+        )
+        .unwrap();
+        assert_eq!(plan.rules()[0].kind, FaultKind::ShortWrite);
+        assert_eq!(plan.rules()[0].times, 2);
+        assert_eq!(plan.rules()[1].kind, FaultKind::BitFlip);
+        assert_eq!(plan.rules()[1].ratio, 0.25);
     }
 
     #[test]

@@ -23,6 +23,18 @@ pub enum FaultKind {
     /// normally — exercises deadlines and slow-path handling without
     /// changing any result.
     Delay(u64),
+    /// A write syscall that persists only a prefix of the buffer before
+    /// failing. Corruption-aware sites ([`FaultPlan::corrupt_buffer`])
+    /// truncate the buffer at a seed-keyed byte position and take their
+    /// short-write repair path; [`fire`](FaultPlan::fire) treats it as
+    /// [`Error`](FaultKind::Error) at sites that cannot apply it.
+    ShortWrite,
+    /// Silent single-bit corruption at a seed-keyed position: the write
+    /// "succeeds" but one bit of the buffer is flipped, so only an
+    /// end-to-end checksum can catch it later. Like
+    /// [`ShortWrite`](FaultKind::ShortWrite), only corruption-aware
+    /// sites apply it; `fire` is a no-op for it (the write succeeded).
+    BitFlip,
 }
 
 impl fmt::Display for FaultKind {
@@ -31,8 +43,29 @@ impl fmt::Display for FaultKind {
             FaultKind::Error => f.write_str("error"),
             FaultKind::Panic => f.write_str("panic"),
             FaultKind::Delay(ms) => write!(f, "delay={ms}"),
+            FaultKind::ShortWrite => f.write_str("short_write"),
+            FaultKind::BitFlip => f.write_str("bit_flip"),
         }
     }
+}
+
+/// What [`FaultPlan::corrupt_buffer`] did to a buffer, for logging and
+/// test assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// The buffer was truncated to `kept` bytes (always fewer than the
+    /// original length).
+    ShortWrite {
+        /// Bytes surviving the truncation.
+        kept: usize,
+    },
+    /// One bit was flipped in place.
+    BitFlip {
+        /// Byte offset of the flipped bit.
+        byte: usize,
+        /// Bit index within that byte (0–7).
+        bit: u8,
+    },
 }
 
 /// One schedule entry: at which point, what to inject, for which scope
@@ -77,6 +110,16 @@ impl FaultRule {
     /// Shorthand for a [`FaultKind::Delay`] rule.
     pub fn delay(point: impl Into<String>, ms: u64) -> Self {
         FaultRule::new(point, FaultKind::Delay(ms))
+    }
+
+    /// Shorthand for a [`FaultKind::ShortWrite`] rule.
+    pub fn short_write(point: impl Into<String>) -> Self {
+        FaultRule::new(point, FaultKind::ShortWrite)
+    }
+
+    /// Shorthand for a [`FaultKind::BitFlip`] rule.
+    pub fn bit_flip(point: impl Into<String>) -> Self {
+        FaultRule::new(point, FaultKind::BitFlip)
     }
 
     /// Set how many attempts per key this rule fires on.
@@ -190,14 +233,22 @@ impl FaultPlan {
     /// [`Error`](FaultKind::Error) returns a [`FaultError`], and
     /// [`Panic`](FaultKind::Panic) panics with a deterministic message.
     /// No matching rule is `Ok(())`.
+    ///
+    /// The corruption kinds need a buffer to corrupt, which only
+    /// [`corrupt_buffer`](FaultPlan::corrupt_buffer) receives. At a
+    /// plain `fire` site a [`ShortWrite`](FaultKind::ShortWrite) is the
+    /// visible half of its semantics — a failed write — and degrades to
+    /// an error, while a [`BitFlip`](FaultKind::BitFlip) is the
+    /// *invisible* half — a write that claimed success — and degrades to
+    /// a no-op.
     pub fn fire(&self, point: &str, key: u64, attempt: u32) -> Result<(), FaultError> {
         match self.decide(point, key, attempt) {
-            None => Ok(()),
+            None | Some((_, FaultKind::BitFlip)) => Ok(()),
             Some((_, FaultKind::Delay(ms))) => {
                 std::thread::sleep(Duration::from_millis(ms));
                 Ok(())
             }
-            Some((rule, FaultKind::Error)) => Err(FaultError {
+            Some((rule, FaultKind::Error | FaultKind::ShortWrite)) => Err(FaultError {
                 point: point.to_string(),
                 rule,
                 key,
@@ -207,6 +258,55 @@ impl FaultPlan {
                 panic!("injected fault: panic at {point} (rule {rule}, key {key:#x}, attempt {attempt})")
             }
         }
+    }
+
+    /// The corruption-aware counterpart of [`fire`](FaultPlan::fire)
+    /// for sites that hold the bytes about to be written.
+    ///
+    /// Non-corruption kinds behave exactly like `fire` and leave `buf`
+    /// untouched. A [`ShortWrite`](FaultKind::ShortWrite) truncates
+    /// `buf` to a seed-keyed length (always dropping at least one
+    /// byte); the site should persist the surviving prefix and then take
+    /// its failed-write path. A [`BitFlip`](FaultKind::BitFlip) flips
+    /// one seed-keyed bit in place; the site should persist the buffer
+    /// and report success — only an end-to-end checksum can catch it
+    /// later. Byte positions are a pure hash of `(plan seed, rule
+    /// index, key)`, so reruns corrupt the same position.
+    pub fn corrupt_buffer(
+        &self,
+        point: &str,
+        key: u64,
+        attempt: u32,
+        buf: &mut Vec<u8>,
+    ) -> Result<Option<Corruption>, FaultError> {
+        match self.decide(point, key, attempt) {
+            Some((rule, FaultKind::ShortWrite)) if !buf.is_empty() => {
+                let kept = (self.corruption_hash(rule, key) % buf.len() as u64) as usize;
+                buf.truncate(kept);
+                Ok(Some(Corruption::ShortWrite { kept }))
+            }
+            Some((rule, FaultKind::BitFlip)) if !buf.is_empty() => {
+                let position = self.corruption_hash(rule, key) % (buf.len() as u64 * 8);
+                let byte = (position / 8) as usize;
+                let bit = (position % 8) as u8;
+                buf[byte] ^= 1 << bit;
+                Ok(Some(Corruption::BitFlip { byte, bit }))
+            }
+            // An empty buffer leaves nothing to corrupt; the decision
+            // still consumes its attempt via `fire`'s semantics.
+            _ => self.fire(point, key, attempt).map(|()| None),
+        }
+    }
+
+    /// The seed-keyed byte/bit position stream for the corruption
+    /// kinds — deliberately distinct from the [`selects`] stream so
+    /// "which keys are hit" and "where the hit lands" are independent.
+    ///
+    /// [`selects`]: FaultPlan::decide
+    fn corruption_hash(&self, rule_index: usize, key: u64) -> u64 {
+        splitmix64(
+            self.seed ^ splitmix64(key ^ ((rule_index as u64 + 1) << 32)) ^ 0xD1B5_4A32_D192_ED03,
+        )
     }
 
     /// Whether rule `rule_index` selects scope `key` — a pure hash of
@@ -339,5 +439,99 @@ mod tests {
         assert_eq!(key("kb.jsonl"), key("kb.jsonl"));
         assert_ne!(key("kb.jsonl"), key("kb2.jsonl"));
         assert_ne!(key(""), key(" "));
+    }
+
+    #[test]
+    fn short_write_truncates_deterministically() {
+        let plan = FaultPlan::new(21).with(FaultRule::short_write("kb.wal.append"));
+        let original: Vec<u8> = (0..64u8).collect();
+        let mut first = original.clone();
+        let outcome = plan
+            .corrupt_buffer("kb.wal.append", 3, 0, &mut first)
+            .unwrap()
+            .expect("rule must fire");
+        let Corruption::ShortWrite { kept } = outcome else {
+            panic!("expected a short write, got {outcome:?}");
+        };
+        assert!(kept < original.len(), "at least one byte must be dropped");
+        assert_eq!(first, original[..kept]);
+        // Same (seed, rule, key) → same truncation point, every run.
+        let mut again = original.clone();
+        assert_eq!(
+            plan.corrupt_buffer("kb.wal.append", 3, 0, &mut again)
+                .unwrap(),
+            Some(outcome)
+        );
+        assert_eq!(again, first);
+        // A different key lands elsewhere (with 64 positions, key 5
+        // happens to differ from key 3 under seed 21).
+        let mut other = original.clone();
+        plan.corrupt_buffer("kb.wal.append", 5, 0, &mut other)
+            .unwrap();
+        assert_ne!(other.len(), first.len());
+        // Budget exhausted → untouched buffer, no corruption.
+        let mut spared = original.clone();
+        assert_eq!(
+            plan.corrupt_buffer("kb.wal.append", 3, 1, &mut spared)
+                .unwrap(),
+            None
+        );
+        assert_eq!(spared, original);
+    }
+
+    #[test]
+    fn bit_flip_flips_exactly_one_bit() {
+        let plan = FaultPlan::new(1042).with(FaultRule::bit_flip("kb.wal.append"));
+        let original = vec![0u8; 32];
+        let mut buf = original.clone();
+        let outcome = plan
+            .corrupt_buffer("kb.wal.append", 9, 0, &mut buf)
+            .unwrap()
+            .expect("rule must fire");
+        let Corruption::BitFlip { byte, bit } = outcome else {
+            panic!("expected a bit flip, got {outcome:?}");
+        };
+        assert_eq!(buf.len(), original.len(), "bit flips never change length");
+        assert_eq!(buf[byte], 1 << bit);
+        let differing = buf.iter().zip(&original).filter(|(a, b)| a != b).count();
+        assert_eq!(differing, 1, "exactly one byte differs");
+        // Deterministic position.
+        let mut again = original.clone();
+        assert_eq!(
+            plan.corrupt_buffer("kb.wal.append", 9, 0, &mut again)
+                .unwrap(),
+            Some(outcome)
+        );
+    }
+
+    #[test]
+    fn corruption_kinds_degrade_sensibly_at_plain_fire_sites() {
+        let plan = FaultPlan::new(7)
+            .with(FaultRule::short_write("wal.append"))
+            .with(FaultRule::bit_flip("wal.silent"));
+        // A short write is a failed write: plain sites see an error.
+        assert!(plan.fire("wal.append", 0, 0).is_err());
+        // A bit flip claims success: plain sites see nothing.
+        assert!(plan.fire("wal.silent", 0, 0).is_ok());
+        // Empty buffers follow the same degradation.
+        let mut empty: Vec<u8> = Vec::new();
+        assert!(plan.corrupt_buffer("wal.append", 0, 0, &mut empty).is_err());
+        assert_eq!(
+            plan.corrupt_buffer("wal.silent", 0, 0, &mut empty).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn corrupt_buffer_passes_non_corruption_kinds_through() {
+        let plan = FaultPlan::new(7).with(FaultRule::error("p"));
+        let mut buf = vec![1, 2, 3];
+        let err = plan.corrupt_buffer("p", 0, 0, &mut buf).unwrap_err();
+        assert_eq!(err.point, "p");
+        assert_eq!(buf, vec![1, 2, 3], "error faults leave the buffer alone");
+        assert_eq!(
+            plan.corrupt_buffer("unwired", 0, 0, &mut buf).unwrap(),
+            None
+        );
     }
 }

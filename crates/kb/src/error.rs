@@ -16,6 +16,23 @@ pub enum KbError {
     ///
     /// [`SnapshotKnowledgeBase::flush`]: crate::SnapshotKnowledgeBase::flush
     Publish(String),
+    /// A write-ahead-log operation (append, sync, rotation, recovery
+    /// orchestration) failed; acknowledged records are unaffected, the
+    /// failing batch stays with its caller.
+    Wal(String),
+    /// Recovery found a frame that is damaged rather than merely torn:
+    /// a checksum mismatch, an impossible length, or an unparseable
+    /// checksummed payload anywhere before the end of the log. This is
+    /// never repaired automatically — the error names the exact segment
+    /// file and byte offset so the operator can inspect it.
+    WalCorrupt {
+        /// File name of the damaged segment (`wal-<gen>.seg`).
+        segment: String,
+        /// Byte offset of the damaged frame within the segment.
+        offset: u64,
+        /// What exactly failed to verify.
+        detail: String,
+    },
 }
 
 impl fmt::Display for KbError {
@@ -27,6 +44,17 @@ impl fmt::Display for KbError {
             KbError::Serde(m) => write!(f, "serialization error: {m}"),
             KbError::Io(m) => write!(f, "I/O error: {m}"),
             KbError::Publish(m) => write!(f, "snapshot publish error: {m}"),
+            KbError::Wal(m) => write!(f, "write-ahead log error: {m}"),
+            KbError::WalCorrupt {
+                segment,
+                offset,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "corrupt WAL frame in {segment} at byte {offset}: {detail}"
+                )
+            }
         }
     }
 }

@@ -4,8 +4,11 @@
 //! records pairing measured data-quality profiles with observed
 //! algorithm performance, JSON-lines persistence, a similarity-weighted
 //! **advisor** ("the best option is ALGORITHM X"), explainable guidance
-//! rules, leave-one-dataset-out advisor evaluation, and a lock-free
-//! snapshot-swap [`serving`] tier for read-mostly advice traffic.
+//! rules, leave-one-dataset-out advisor evaluation, a lock-free
+//! snapshot-swap [`serving`] tier for read-mostly advice traffic, and a
+//! crash-durable [`wal`] tier — checksummed write-ahead log, recovery
+//! replay, checkpoint compaction — so a killed run loses nothing it
+//! acknowledged.
 //!
 //! `unsafe` is denied crate-wide; the one exception is the pointer-swap
 //! core of the serving store (`serving::swap`), which carries a scoped
@@ -21,11 +24,17 @@ pub mod regret;
 pub mod rules;
 pub mod serving;
 pub mod store;
+pub mod wal;
 
 pub use advisor::{Advice, Advisor, Recommendation};
 pub use error::{KbError, Result};
 pub use record::{ExperimentRecord, PerfMetrics};
 pub use regret::{leave_one_dataset_out, AdvisorEvaluation};
 pub use rules::{extract_rules, GuidanceRule};
-pub use serving::{AdvisorService, KbSnapshot, ServedAdvice, ServedBatch, SnapshotKnowledgeBase};
+pub use serving::{
+    AdvisorService, DurableOptions, KbSnapshot, ServedAdvice, ServedBatch, SnapshotKnowledgeBase,
+};
 pub use store::{KbView, KnowledgeBase, RecordSink, SharedKnowledgeBase};
+pub use wal::{
+    recover, CheckpointReport, FsyncPolicy, RecoveryReport, WalOptions, WalSink, WalWriter,
+};

@@ -45,6 +45,9 @@ use crate::advisor::{Advice, Advisor};
 use crate::error::{KbError, Result};
 use crate::record::ExperimentRecord;
 use crate::store::{KnowledgeBase, RecordSink};
+use crate::wal::{
+    CheckpointReport, FsyncPolicy, RecoveryReport, WalOptions, WalWriter, DEFAULT_SEGMENT_BYTES,
+};
 use openbi_obs as obs;
 use openbi_quality::QualityProfile;
 use parking_lot::{Mutex, MutexGuard};
@@ -150,6 +153,92 @@ impl PublishMetrics {
     }
 }
 
+/// Configuration for a crash-durable serving store
+/// ([`SnapshotKnowledgeBase::open_durable`]): where the write-ahead
+/// log lives, how eagerly it syncs, and when it checkpoints.
+///
+/// # Examples
+///
+/// ```no_run
+/// use openbi_kb::{DurableOptions, FsyncPolicy, SnapshotKnowledgeBase};
+///
+/// let options = DurableOptions::new("run/wal")
+///     .fsync(FsyncPolicy::Always)
+///     .checkpoint_every(10_000);
+/// let (store, recovery) = SnapshotKnowledgeBase::open_durable(options).unwrap();
+/// println!("recovered {} frames", recovery.frames_replayed);
+/// # drop(store);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DurableOptions {
+    wal_dir: std::path::PathBuf,
+    segment_bytes: u64,
+    fsync: FsyncPolicy,
+    checkpoint_every: Option<u64>,
+    publish_capacity: usize,
+    fault_plan: Option<Arc<openbi_faults::FaultPlan>>,
+}
+
+impl DurableOptions {
+    /// Durability rooted at `wal_dir`, with the default segment size,
+    /// fsync policy, publish capacity, and no automatic checkpoints.
+    pub fn new(wal_dir: impl Into<std::path::PathBuf>) -> DurableOptions {
+        DurableOptions {
+            wal_dir: wal_dir.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fsync: FsyncPolicy::default(),
+            checkpoint_every: None,
+            publish_capacity: DEFAULT_PUBLISH_CAPACITY,
+            fault_plan: None,
+        }
+    }
+
+    /// Segment size before the log rotates (see
+    /// [`WalOptions::segment_bytes`]).
+    pub fn segment_bytes(mut self, bytes: u64) -> DurableOptions {
+        self.segment_bytes = bytes;
+        self
+    }
+
+    /// When appended frames reach stable storage.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> DurableOptions {
+        self.fsync = policy;
+        self
+    }
+
+    /// Checkpoint-and-compact automatically after every `records`
+    /// published records (`None`/default: only on explicit
+    /// [`SnapshotKnowledgeBase::checkpoint`] calls).
+    pub fn checkpoint_every(mut self, records: u64) -> DurableOptions {
+        self.checkpoint_every = Some(records.max(1));
+        self
+    }
+
+    /// Publish-queue bound (see
+    /// [`SnapshotKnowledgeBase::with_capacity`]).
+    pub fn publish_capacity(mut self, capacity: usize) -> DurableOptions {
+        self.publish_capacity = capacity;
+        self
+    }
+
+    /// One explicit fault plan for both the `kb.publish` point and the
+    /// `kb.wal.*` points (tests; production uses the global slot).
+    pub fn fault_plan(mut self, plan: Arc<openbi_faults::FaultPlan>) -> DurableOptions {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// The durability side-car of a [`SnapshotKnowledgeBase`]: the log
+/// writer plus checkpoint pacing and degradation counters.
+struct DurableState {
+    writer: Mutex<WalWriter>,
+    checkpoint_every: Option<u64>,
+    records_since_checkpoint: AtomicU64,
+    wal_failures: AtomicU64,
+    checkpoint_failures: AtomicU64,
+}
+
 /// The epoch/snapshot-swap knowledge-base store.
 ///
 /// Readers ([`pin`](SnapshotKnowledgeBase::pin)) are lock-free and
@@ -186,6 +275,9 @@ pub struct SnapshotKnowledgeBase {
     /// `kb.publish` fault key. Only the publish-lock holder writes.
     attempts: AtomicU32,
     attempt_generation: AtomicU64,
+    /// Write-ahead logging, when opened via
+    /// [`open_durable`](SnapshotKnowledgeBase::open_durable).
+    durable: Option<DurableState>,
 }
 
 impl Default for SnapshotKnowledgeBase {
@@ -201,6 +293,7 @@ impl std::fmt::Debug for SnapshotKnowledgeBase {
             .field("records", &self.pin().len())
             .field("pending", &self.pending_len())
             .field("capacity", &self.capacity)
+            .field("durable", &self.durable.is_some())
             .finish()
     }
 }
@@ -227,7 +320,45 @@ impl SnapshotKnowledgeBase {
             fault_plan: None,
             attempts: AtomicU32::new(0),
             attempt_generation: AtomicU64::new(0),
+            durable: None,
         }
+    }
+
+    /// Open a **crash-durable** serving store: recover whatever the
+    /// write-ahead log in `options.wal_dir` holds (checkpoint +
+    /// verified replay, torn tail repaired), serve the recovered
+    /// records as generation 0, and log every batch published from now
+    /// on *before* its snapshot swap — write-ahead ordering, so a
+    /// record is never visible to readers unless it would survive a
+    /// crash (under the configured [`FsyncPolicy`]).
+    ///
+    /// Returns the store together with the [`RecoveryReport`] so
+    /// callers can surface what was replayed, truncated, or
+    /// checkpointed.
+    pub fn open_durable(options: DurableOptions) -> Result<(Self, RecoveryReport)> {
+        let (kb, report) = match &options.fault_plan {
+            Some(plan) => crate::wal::recover_with(&options.wal_dir, Some(plan))?,
+            None => crate::wal::recover(&options.wal_dir)?,
+        };
+        let mut wal_options = WalOptions::new(&options.wal_dir)
+            .segment_bytes(options.segment_bytes)
+            .fsync(options.fsync);
+        if let Some(plan) = &options.fault_plan {
+            wal_options = wal_options.fault_plan(plan.clone());
+        }
+        let writer = WalWriter::open(wal_options)?;
+        let mut store = SnapshotKnowledgeBase::with_capacity(kb, options.publish_capacity);
+        if let Some(plan) = options.fault_plan {
+            store = store.with_fault_plan(plan);
+        }
+        store.durable = Some(DurableState {
+            writer: Mutex::new(writer),
+            checkpoint_every: options.checkpoint_every,
+            records_since_checkpoint: AtomicU64::new(0),
+            wal_failures: AtomicU64::new(0),
+            checkpoint_failures: AtomicU64::new(0),
+        });
+        Ok((store, report))
     }
 
     /// Attach an explicit fault plan for the `kb.publish` injection
@@ -295,9 +426,9 @@ impl SnapshotKnowledgeBase {
             // Backpressure: the queue is full, so this appender must
             // wait its turn and drain the backlog itself.
             let guard = self.publish_lock.lock();
-            let _ = self.drain(guard, metrics.as_ref());
+            let _ = self.drain(&guard, metrics.as_ref());
         } else if let Some(guard) = self.publish_lock.try_lock() {
-            let _ = self.drain(guard, metrics.as_ref());
+            let _ = self.drain(&guard, metrics.as_ref());
         } else {
             // Another thread is publishing; it re-checks the pending
             // queue before releasing the lock and will fold this batch
@@ -317,15 +448,68 @@ impl SnapshotKnowledgeBase {
     pub fn flush(&self) -> Result<u64> {
         let metrics = PublishMetrics::fetch();
         let guard = self.publish_lock.lock();
-        self.drain(guard, metrics.as_ref())?;
+        self.drain(&guard, metrics.as_ref())?;
         Ok(self.generation())
+    }
+
+    /// Flush everything pending, then fold the serving snapshot into a
+    /// `checkpoint-<W>.jsonl` snapshot and compact the log segments it
+    /// supersedes (see [`WalWriter::checkpoint`]). Returns `None` on a
+    /// store opened without [`open_durable`](Self::open_durable).
+    pub fn checkpoint(&self) -> Result<Option<CheckpointReport>> {
+        let metrics = PublishMetrics::fetch();
+        let guard = self.publish_lock.lock();
+        self.drain(&guard, metrics.as_ref())?;
+        let Some(durable) = &self.durable else {
+            return Ok(None);
+        };
+        let (_, kb) = self.cell.load();
+        let report = durable.writer.lock().checkpoint(&kb)?;
+        durable.records_since_checkpoint.store(0, Relaxed);
+        Ok(Some(report))
+    }
+
+    /// Force the write-ahead log to stable storage regardless of the
+    /// fsync policy. A no-op on a non-durable store.
+    pub fn sync_wal(&self) -> Result<()> {
+        match &self.durable {
+            Some(durable) => durable.writer.lock().sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether this store write-ahead logs its publishes.
+    pub fn is_durable(&self) -> bool {
+        self.durable.is_some()
+    }
+
+    /// Batches that failed to reach the write-ahead log (each failure
+    /// left its records pending and surfaced an error).
+    pub fn wal_failures(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.wal_failures.load(Relaxed))
+    }
+
+    /// Automatic checkpoint passes that failed (the log keeps
+    /// growing; durability itself is not affected).
+    pub fn checkpoint_failures(&self) -> u64 {
+        self.durable
+            .as_ref()
+            .map_or(0, |d| d.checkpoint_failures.load(Relaxed))
+    }
+
+    /// True once any WAL append or automatic checkpoint has failed —
+    /// the run is degraded and its report should say so.
+    pub fn durability_degraded(&self) -> bool {
+        self.wal_failures() > 0 || self.checkpoint_failures() > 0
     }
 
     /// Drain the pending queue into successive snapshots while holding
     /// the publish lock. Re-checks the queue after every swap so
     /// batches enqueued mid-publish are folded in before the lock is
     /// released.
-    fn drain(&self, _guard: MutexGuard<'_, ()>, metrics: Option<&PublishMetrics>) -> Result<()> {
+    fn drain(&self, _guard: &MutexGuard<'_, ()>, metrics: Option<&PublishMetrics>) -> Result<()> {
         loop {
             let batch = {
                 let mut pending = self.pending.lock();
@@ -344,9 +528,10 @@ impl SnapshotKnowledgeBase {
     }
 
     /// Build and swap in one new generation from `batch`. On an
-    /// injected fault the batch is restored to the *front* of the
-    /// pending queue (append order is preserved) and the serving
-    /// snapshot is left untouched.
+    /// injected fault — or, for a durable store, a write-ahead-log
+    /// failure — the batch is restored to the *front* of the pending
+    /// queue (append order is preserved) and the serving snapshot is
+    /// left untouched.
     fn publish_batch(
         &self,
         batch: Vec<ExperimentRecord>,
@@ -356,11 +541,21 @@ impl SnapshotKnowledgeBase {
         let (current_generation, current) = self.cell.load();
         let next_generation = current_generation + 1;
         if let Err(e) = self.fire_publish_fault(next_generation) {
-            let mut pending = self.pending.lock();
-            let mut restored = batch;
-            restored.append(&mut pending);
-            *pending = restored;
+            self.restore_batch(batch);
             return Err(KbError::Publish(e.to_string()));
+        }
+        // Write-ahead ordering: the batch reaches the log (and, per
+        // the fsync policy, the disk) before any reader can see it.
+        // The log rolls a failed batch back physically, so no retry
+        // ever double-logs a record.
+        if let Some(durable) = &self.durable {
+            if let Err(e) = durable.writer.lock().append_batch(&batch) {
+                durable.wal_failures.fetch_add(1, Relaxed);
+                self.restore_batch(batch);
+                return Err(KbError::Publish(format!(
+                    "write-ahead log rejected batch: {e}"
+                )));
+            }
         }
         // Off-lock snapshot build: clone the current generation and
         // append. Readers keep serving `current` untouched until the
@@ -375,7 +570,43 @@ impl SnapshotKnowledgeBase {
             m.batch_records.record(records as f64);
             m.seconds.record(start.elapsed().as_secs_f64());
         }
+        self.maybe_auto_checkpoint(records as u64);
         Ok(())
+    }
+
+    /// Put a failed batch back at the front of the pending queue,
+    /// preserving append order ahead of anything enqueued meanwhile.
+    fn restore_batch(&self, batch: Vec<ExperimentRecord>) {
+        let mut pending = self.pending.lock();
+        let mut restored = batch;
+        restored.append(&mut pending);
+        *pending = restored;
+    }
+
+    /// Checkpoint-and-compact once enough records have been published
+    /// since the last pass. Runs under the publish lock (callers hold
+    /// it), so the snapshot it folds is exactly the serving one. A
+    /// failure is counted, not surfaced: the log still holds every
+    /// record, so durability is intact — only compaction lags.
+    fn maybe_auto_checkpoint(&self, published: u64) {
+        let Some(durable) = &self.durable else {
+            return;
+        };
+        let Some(every) = durable.checkpoint_every else {
+            return;
+        };
+        let since = durable
+            .records_since_checkpoint
+            .fetch_add(published, Relaxed)
+            + published;
+        if since < every {
+            return;
+        }
+        durable.records_since_checkpoint.store(0, Relaxed);
+        let (_, kb) = self.cell.load();
+        if durable.writer.lock().checkpoint(&kb).is_err() {
+            durable.checkpoint_failures.fetch_add(1, Relaxed);
+        }
     }
 
     /// Fire `kb.publish` keyed by the generation under construction,
@@ -775,5 +1006,120 @@ mod tests {
             });
         });
         assert_eq!(store.generation(), PUBLISHES);
+    }
+
+    fn durable_dir(tag: &str) -> std::path::PathBuf {
+        use std::sync::atomic::AtomicUsize;
+        static N: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "openbi-serving-durable-{tag}-{}-{}",
+            std::process::id(),
+            N.fetch_add(1, Relaxed)
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn durable_store_logs_before_it_serves_and_recovers_identically() {
+        let dir = durable_dir("round-trip");
+        {
+            let (store, recovery) =
+                SnapshotKnowledgeBase::open_durable(DurableOptions::new(&dir)).unwrap();
+            assert!(store.is_durable());
+            assert_eq!(recovery.frames_replayed, 0);
+            store.add_batch(vec![record("d1", "a", 0.5), record("d1", "b", 0.6)]);
+            store.add_batch(vec![record("d2", "a", 0.7)]);
+            store.flush().unwrap();
+            assert_eq!(store.len(), 3);
+        }
+        let (reopened, recovery) =
+            SnapshotKnowledgeBase::open_durable(DurableOptions::new(&dir)).unwrap();
+        assert_eq!(recovery.frames_replayed, 3);
+        assert_eq!(
+            reopened.generation(),
+            0,
+            "recovered contents are generation 0"
+        );
+        let pinned = reopened.pin();
+        assert_eq!(pinned.len(), 3);
+        assert_eq!(pinned.algorithms(), vec!["a", "b"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_failure_keeps_the_batch_pending_and_readers_unharmed() {
+        let dir = durable_dir("wal-fault");
+        let plan = Arc::new(
+            FaultPlan::new(7).with(FaultRule::error(crate::wal::SYNC_FAULT_POINT).times(1)),
+        );
+        let (store, _) =
+            SnapshotKnowledgeBase::open_durable(DurableOptions::new(&dir).fault_plan(plan))
+                .unwrap();
+        store.pending.lock().push(record("d", "a", 0.5));
+        let err = store.flush();
+        assert!(matches!(err, Err(KbError::Publish(_))), "{err:?}");
+        assert_eq!(store.wal_failures(), 1);
+        assert!(store.durability_degraded());
+        assert_eq!(store.generation(), 0, "nothing was served");
+        assert_eq!(store.pending_len(), 1, "the batch is preserved");
+        // The injected fault was times=1: the retry lands.
+        store.flush().unwrap();
+        assert_eq!(store.pin().len(), 1);
+        drop(store);
+        let (kb, _) = crate::wal::recover(&dir).unwrap();
+        assert_eq!(kb.len(), 1, "exactly one copy reached the log");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn automatic_checkpoints_compact_while_serving() {
+        let dir = durable_dir("auto-checkpoint");
+        let (store, _) =
+            SnapshotKnowledgeBase::open_durable(DurableOptions::new(&dir).checkpoint_every(4))
+                .unwrap();
+        for i in 0..10 {
+            store.add(record(&format!("d{i}"), "a", 0.5));
+        }
+        store.flush().unwrap();
+        assert_eq!(store.checkpoint_failures(), 0);
+        assert!(!store.durability_degraded());
+        drop(store);
+        let (kb, recovery) = crate::wal::recover(&dir).unwrap();
+        assert_eq!(kb.len(), 10);
+        assert!(
+            recovery.checkpoint_watermark.is_some(),
+            "at least one automatic checkpoint ran: {recovery:?}"
+        );
+        assert!(recovery.checkpoint_records >= 4, "{recovery:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explicit_checkpoint_flushes_then_compacts() {
+        let dir = durable_dir("explicit-checkpoint");
+        let (store, _) = SnapshotKnowledgeBase::open_durable(DurableOptions::new(&dir)).unwrap();
+        store.pending.lock().push(record("d", "a", 0.5));
+        let report = store.checkpoint().unwrap().expect("durable store");
+        assert_eq!(report.records, 1, "pending records are flushed first");
+        drop(store);
+        let (kb, recovery) = crate::wal::recover(&dir).unwrap();
+        assert_eq!(kb.len(), 1);
+        assert_eq!(recovery.checkpoint_watermark, Some(report.watermark));
+        assert_eq!(
+            recovery.frames_replayed, 0,
+            "everything lives in the checkpoint"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_durable_store_answers_the_durable_accessors() {
+        let store = SnapshotKnowledgeBase::default();
+        assert!(!store.is_durable());
+        assert_eq!(store.checkpoint().unwrap(), None);
+        store.sync_wal().unwrap();
+        assert_eq!(store.wal_failures(), 0);
+        assert!(!store.durability_degraded());
     }
 }

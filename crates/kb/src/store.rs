@@ -223,6 +223,10 @@ impl KnowledgeBase {
     }
 
     /// Parse from JSON lines.
+    ///
+    /// A malformed line fails with its 1-based line number *and* a
+    /// truncated excerpt of the offending text, so a corrupt entry in
+    /// a million-line knowledge base can be found without a hex dump.
     pub fn from_jsonl(text: &str) -> Result<Self> {
         let mut kb = KnowledgeBase::new();
         for (i, line) in text.lines().enumerate() {
@@ -231,7 +235,7 @@ impl KnowledgeBase {
                 continue;
             }
             let record: ExperimentRecord = serde_json::from_str(line)
-                .map_err(|e| KbError::Serde(format!("line {}: {e}", i + 1)))?;
+                .map_err(|e| KbError::Serde(format!("line {}: {e} in {}", i + 1, excerpt(line))))?;
             kb.add(record);
         }
         Ok(kb)
@@ -240,13 +244,15 @@ impl KnowledgeBase {
     /// Persist to a JSON-lines file, crash-safely.
     ///
     /// The contents are written to a temporary file in the **same
-    /// directory** and atomically renamed over the target, so a crash
-    /// (or injected fault) mid-write can never leave a truncated or
-    /// half-written knowledge base behind: readers see either the old
-    /// file or the new one, never a torn state. Checks the
-    /// `kb.store.save` injection point (keyed by the path) against the
-    /// process-global fault plan before touching the filesystem, so
-    /// chaos runs can simulate a failing disk.
+    /// directory** (`rename` is only atomic within one filesystem),
+    /// fsynced, and atomically renamed over the target, after which
+    /// the parent directory is fsynced too — so a crash (or injected
+    /// fault) at any point can never leave a truncated, half-written,
+    /// or lost knowledge base behind: readers see either the old file
+    /// or the complete new one. Checks the `kb.store.save` injection
+    /// point (keyed by the path) against the process-global fault plan
+    /// before touching the filesystem, so chaos runs can simulate a
+    /// failing disk.
     ///
     /// # Examples
     ///
@@ -278,10 +284,20 @@ impl KnowledgeBase {
             None => std::path::PathBuf::from(&tmp_name),
         };
         let write_and_rename = (|| {
-            std::fs::write(&tmp, text)?;
-            std::fs::rename(&tmp, path)
+            // `write` + `sync_all` before the rename: without the
+            // fsync, a power cut after the rename could surface the
+            // *name* pointing at unwritten data blocks.
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, text.as_bytes())?;
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, path)?;
+            // And the directory fsync makes the rename itself durable.
+            crate::wal::segment::sync_dir(dir.unwrap_or(std::path::Path::new(".")))
         })();
         if let Err(e) = write_and_rename {
+            // Never leave a stale `.<name>.tmp.<pid>` behind for the
+            // next save (or a directory listing) to trip over.
             std::fs::remove_file(&tmp).ok();
             return Err(KbError::Io(e.to_string()));
         }
@@ -309,6 +325,20 @@ impl KnowledgeBase {
         fire_store_fault("kb.store.load", path)?;
         let text = std::fs::read_to_string(path).map_err(|e| KbError::Io(e.to_string()))?;
         Self::from_jsonl(&text)
+    }
+}
+
+/// At most 60 characters of an offending JSONL line, quoted and
+/// escaped, for [`KnowledgeBase::from_jsonl`] error messages
+/// (char-boundary safe: corrupt files are exactly where multi-byte
+/// sequences get cut).
+fn excerpt(line: &str) -> String {
+    const MAX_CHARS: usize = 60;
+    if line.chars().count() <= MAX_CHARS {
+        format!("{line:?}")
+    } else {
+        let cut: String = line.chars().take(MAX_CHARS).collect();
+        format!("{cut:?}…")
     }
 }
 
@@ -677,6 +707,53 @@ mod tests {
         // must surface instead of panicking.
         let err = KnowledgeBase::new().save("..").expect_err("no file name");
         assert!(err.to_string().contains("file name"), "{err}");
+    }
+
+    #[test]
+    fn save_cleans_its_temp_file_when_the_rename_fails() {
+        let dir = std::env::temp_dir().join("openbi-kb-failed-rename");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Renaming a file over a non-empty directory fails on every
+        // platform, after the temp file was already written.
+        let target = dir.join("kb.jsonl");
+        std::fs::remove_dir_all(&target).ok();
+        std::fs::create_dir_all(target.join("occupied")).unwrap();
+        let mut kb = KnowledgeBase::new();
+        kb.add(record("d", "a", 0.5));
+        kb.save(&target).expect_err("rename over a directory");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "stale temp files: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_jsonl_names_the_line_and_shows_an_excerpt() {
+        let good = serde_json::to_string(&record("d", "a", 0.5)).unwrap();
+        let text = format!("{good}\n{{\"dataset\": 7, \"broken\"}}\n{good}\n");
+        let err = KnowledgeBase::from_jsonl(&text).expect_err("corrupt middle line");
+        let message = err.to_string();
+        assert!(message.contains("line 2"), "{message}");
+        assert!(
+            message.contains("dataset\\\": 7") || message.contains("dataset\": 7"),
+            "excerpt of the offending line missing: {message}"
+        );
+    }
+
+    #[test]
+    fn from_jsonl_truncates_long_excerpts_on_char_boundaries() {
+        // 200 four-byte scissors: a byte-indexed truncation would
+        // panic; the excerpt must cut on a char boundary and elide.
+        let long = format!("not json {}", "\u{2702}".repeat(200));
+        let err = KnowledgeBase::from_jsonl(&long).expect_err("not json");
+        let message = err.to_string();
+        assert!(message.contains("line 1"), "{message}");
+        assert!(message.contains('…'), "long excerpt not elided: {message}");
+        let scissors = message.chars().filter(|c| *c == '\u{2702}').count();
+        assert!(scissors <= 60, "excerpt not truncated: {scissors} scissors");
     }
 
     #[test]

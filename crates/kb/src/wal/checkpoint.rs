@@ -1,0 +1,130 @@
+//! Checkpointing: fold the log into a snapshot and drop the segments
+//! it supersedes.
+//!
+//! A checkpoint is a full [`KnowledgeBase::save`] snapshot written as
+//! `checkpoint-<W>.jsonl`, where the *watermark* `W` is the generation
+//! of the fresh segment the writer rotates to immediately before
+//! snapshotting. The invariant recovery relies on: **every record in a
+//! segment with generation < W is contained in `checkpoint-W`**, so
+//! those segments are dead weight and are deleted. Replay therefore
+//! always starts from the newest checkpoint and walks segments
+//! `W, W+1, …` only.
+
+use crate::error::{KbError, Result};
+use crate::store::KnowledgeBase;
+use crate::wal::segment::{list_segments, sync_dir};
+use crate::wal::writer::WalWriter;
+use openbi_obs as obs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// What a checkpoint pass wrote and removed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointReport {
+    /// Watermark generation the snapshot covers everything below.
+    pub watermark: u64,
+    /// Records in the snapshot.
+    pub records: u64,
+    /// Superseded segment files deleted.
+    pub compacted_segments: u64,
+    /// Older checkpoint snapshots deleted.
+    pub removed_checkpoints: u64,
+    /// Wall-clock seconds the pass took.
+    pub seconds: f64,
+}
+
+/// File name of the checkpoint at `watermark` (zero-padded like
+/// segment names so lexicographic order is numeric order).
+pub fn checkpoint_file_name(watermark: u64) -> String {
+    format!("checkpoint-{watermark:020}.jsonl")
+}
+
+/// Parse a watermark back out of a checkpoint file name.
+pub(crate) fn parse_checkpoint_watermark(name: &str) -> Option<u64> {
+    let digits = name.strip_prefix("checkpoint-")?.strip_suffix(".jsonl")?;
+    if digits.len() != 20 || !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    digits.parse().ok()
+}
+
+/// Every checkpoint in `dir`, sorted by watermark. A missing directory
+/// is an empty list.
+fn list_checkpoints(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut checkpoints = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(checkpoints),
+        Err(e) => return Err(e),
+    };
+    for entry in entries {
+        let entry = entry?;
+        if let Some(watermark) = entry
+            .file_name()
+            .to_str()
+            .and_then(parse_checkpoint_watermark)
+        {
+            checkpoints.push((watermark, entry.path()));
+        }
+    }
+    checkpoints.sort();
+    Ok(checkpoints)
+}
+
+/// The newest checkpoint in `dir`, if any.
+pub(crate) fn latest_checkpoint(dir: &Path) -> io::Result<Option<(u64, PathBuf)>> {
+    Ok(list_checkpoints(dir)?.into_iter().next_back())
+}
+
+fn io_err(e: io::Error) -> KbError {
+    KbError::Io(e.to_string())
+}
+
+impl WalWriter {
+    /// Snapshot `kb` as a checkpoint and compact every segment the
+    /// snapshot supersedes.
+    ///
+    /// The ordering is what makes this crash-safe at every step: the
+    /// current segment is synced, the writer rotates to a fresh
+    /// segment `W`, the snapshot lands atomically as `checkpoint-W`
+    /// (via [`KnowledgeBase::save`]'s write-rename), and only then are
+    /// segments `< W` deleted. A crash before the snapshot rename
+    /// leaves the old checkpoint and all segments; a crash after it
+    /// merely leaves garbage segments for the next checkpoint to
+    /// collect.
+    pub fn checkpoint(&mut self, kb: &KnowledgeBase) -> Result<CheckpointReport> {
+        let start = Instant::now();
+        self.sync()?;
+        self.rotate()?;
+        let watermark = self.generation();
+        kb.save(self.dir.join(checkpoint_file_name(watermark)))?;
+
+        let mut compacted_segments = 0u64;
+        for (generation, path) in list_segments(&self.dir).map_err(io_err)? {
+            if generation < watermark && std::fs::remove_file(path).is_ok() {
+                compacted_segments += 1;
+            }
+        }
+        let mut removed_checkpoints = 0u64;
+        for (old, path) in list_checkpoints(&self.dir).map_err(io_err)? {
+            if old < watermark && std::fs::remove_file(path).is_ok() {
+                removed_checkpoints += 1;
+            }
+        }
+        sync_dir(&self.dir).map_err(io_err)?;
+
+        self.live_segments = self.live_segments.saturating_sub(compacted_segments);
+        obs::gauge_set("kb.wal.segments", self.live_segments as f64);
+        let seconds = start.elapsed().as_secs_f64();
+        obs::observe("kb.checkpoint.seconds", seconds);
+
+        Ok(CheckpointReport {
+            watermark,
+            records: kb.len() as u64,
+            compacted_segments,
+            removed_checkpoints,
+            seconds,
+        })
+    }
+}

@@ -1,0 +1,458 @@
+//! The write-ahead-log writer: rotating segments, fsync policy,
+//! fault-aware appends.
+//!
+//! [`WalWriter::append_batch`] is all-or-nothing per batch: every frame
+//! of the batch is written (and synced according to policy) or the
+//! segment is physically rolled back to its pre-batch length and the
+//! error returned, so the log never acknowledges a record it may lose
+//! and never leaves its *own* torn bytes behind for recovery to clean
+//! up. Torn tails still happen — a crash between `write` and the
+//! rollback, or an injected [`FaultKind::ShortWrite`] — and those are
+//! exactly what [`recover`](crate::wal::recover) repairs.
+//!
+//! [`FaultKind::ShortWrite`]: openbi_faults::FaultKind::ShortWrite
+
+use crate::error::{KbError, Result};
+use crate::record::ExperimentRecord;
+use crate::store::{KnowledgeBase, RecordSink};
+use crate::wal::checkpoint::{latest_checkpoint, CheckpointReport};
+use crate::wal::segment::{
+    encode_frame, list_segments, segment_file_name, sync_dir, SEGMENT_MAGIC,
+};
+use crate::wal::{APPEND_FAULT_POINT, SYNC_FAULT_POINT};
+use openbi_faults::{Corruption, FaultPlan};
+use openbi_obs as obs;
+use parking_lot::Mutex;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Default segment size before rotation: 8 MiB.
+pub const DEFAULT_SEGMENT_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Smallest accepted segment size — big enough for the magic plus a
+/// frame header, small enough that tests can force rotation.
+pub const MIN_SEGMENT_BYTES: u64 = 64;
+
+/// When the log flushes to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every frame. Strongest guarantee, slowest.
+    Always,
+    /// `fdatasync` once per appended batch (the default): a crash can
+    /// lose only the batch being written, never an acknowledged one.
+    #[default]
+    Batch,
+    /// Never sync; the OS flushes when it pleases. Fastest, and a
+    /// power loss may drop acknowledged records — fine for benchmarks
+    /// and rerunnable experiment sweeps, wrong for anything else.
+    Never,
+}
+
+impl FsyncPolicy {
+    /// Parse the CLI spelling (`always` | `batch` | `never`).
+    pub fn parse(text: &str) -> Option<FsyncPolicy> {
+        match text {
+            "always" => Some(FsyncPolicy::Always),
+            "batch" => Some(FsyncPolicy::Batch),
+            "never" => Some(FsyncPolicy::Never),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            FsyncPolicy::Always => "always",
+            FsyncPolicy::Batch => "batch",
+            FsyncPolicy::Never => "never",
+        })
+    }
+}
+
+/// Configuration for [`WalWriter::open`].
+#[derive(Debug, Clone)]
+pub struct WalOptions {
+    pub(crate) dir: PathBuf,
+    pub(crate) segment_bytes: u64,
+    pub(crate) fsync: FsyncPolicy,
+    pub(crate) fault_plan: Option<Arc<FaultPlan>>,
+}
+
+impl WalOptions {
+    /// Options for a log rooted at `dir`, with the default segment
+    /// size and fsync policy.
+    pub fn new(dir: impl Into<PathBuf>) -> WalOptions {
+        WalOptions {
+            dir: dir.into(),
+            segment_bytes: DEFAULT_SEGMENT_BYTES,
+            fsync: FsyncPolicy::default(),
+            fault_plan: None,
+        }
+    }
+
+    /// Rotate to a fresh segment once the current one reaches `bytes`
+    /// (clamped to [`MIN_SEGMENT_BYTES`]).
+    pub fn segment_bytes(mut self, bytes: u64) -> WalOptions {
+        self.segment_bytes = bytes.max(MIN_SEGMENT_BYTES);
+        self
+    }
+
+    /// Choose when the log reaches stable storage.
+    pub fn fsync(mut self, policy: FsyncPolicy) -> WalOptions {
+        self.fsync = policy;
+        self
+    }
+
+    /// Inject faults from `plan` instead of the process-global plan.
+    pub fn fault_plan(mut self, plan: Arc<FaultPlan>) -> WalOptions {
+        self.fault_plan = Some(plan);
+        self
+    }
+}
+
+/// Appends checksummed record frames to rotating segment files.
+///
+/// Not internally synchronised — wrap in a mutex (as
+/// [`WalSink`] and the serving layer do) to share across threads.
+pub struct WalWriter {
+    pub(crate) dir: PathBuf,
+    pub(crate) segment_bytes: u64,
+    pub(crate) fsync: FsyncPolicy,
+    pub(crate) fault_plan: Option<Arc<FaultPlan>>,
+    pub(crate) file: File,
+    /// Generation of the segment currently being written.
+    pub(crate) generation: u64,
+    /// Bytes written to the current segment, magic included.
+    pub(crate) offset: u64,
+    /// Frames acknowledged over the writer's lifetime; doubles as the
+    /// deterministic fault key for the next frame.
+    pub(crate) frames: u64,
+    /// Consecutive failed attempts of the pending operation — lets
+    /// `times=N` fault rules exhaust under retry.
+    pub(crate) attempt: u32,
+    /// Whether unsynced bytes sit in the current segment.
+    pub(crate) dirty: bool,
+    /// Segment files currently on disk (updated on rotate/compact).
+    pub(crate) live_segments: u64,
+}
+
+impl fmt::Debug for WalWriter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalWriter")
+            .field("dir", &self.dir)
+            .field("generation", &self.generation)
+            .field("offset", &self.offset)
+            .field("frames", &self.frames)
+            .field("fsync", &self.fsync)
+            .finish_non_exhaustive()
+    }
+}
+
+fn io_err(e: std::io::Error) -> KbError {
+    KbError::Io(e.to_string())
+}
+
+impl WalWriter {
+    /// Open the log at `options.dir`, creating the directory if
+    /// needed, and start a fresh segment strictly after every existing
+    /// segment and checkpoint. Existing segments are never appended
+    /// to — recovery replays them, checkpointing compacts them.
+    pub fn open(options: WalOptions) -> Result<WalWriter> {
+        std::fs::create_dir_all(&options.dir).map_err(io_err)?;
+        let segments = list_segments(&options.dir).map_err(io_err)?;
+        let max_segment = segments.last().map(|(generation, _)| *generation);
+        let max_checkpoint = latest_checkpoint(&options.dir)
+            .map_err(io_err)?
+            .map(|(watermark, _)| watermark);
+        let generation = match max_segment.max(max_checkpoint) {
+            Some(max) => max + 1,
+            None => 0,
+        };
+        let path = options.dir.join(segment_file_name(generation));
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .map_err(io_err)?;
+        file.write_all(&SEGMENT_MAGIC).map_err(io_err)?;
+        if options.fsync != FsyncPolicy::Never {
+            file.sync_data().map_err(io_err)?;
+            sync_dir(&options.dir).map_err(io_err)?;
+        }
+        let live_segments = segments.len() as u64 + 1;
+        obs::gauge_set("kb.wal.segments", live_segments as f64);
+        Ok(WalWriter {
+            dir: options.dir,
+            segment_bytes: options.segment_bytes,
+            fsync: options.fsync,
+            fault_plan: options.fault_plan,
+            file,
+            generation,
+            offset: SEGMENT_MAGIC.len() as u64,
+            frames: 0,
+            attempt: 0,
+            dirty: false,
+            live_segments,
+        })
+    }
+
+    /// The log directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Generation of the segment currently being written.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Frames acknowledged since this writer opened.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// The fsync policy the writer was opened with.
+    pub fn fsync_policy(&self) -> FsyncPolicy {
+        self.fsync
+    }
+
+    fn plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault_plan.clone().or_else(openbi_faults::active)
+    }
+
+    /// Append `records` as one atomic batch and return the total frame
+    /// count. On any error the segment is rolled back to its pre-batch
+    /// length: either every record of the batch is durable (per the
+    /// fsync policy) or none is.
+    pub fn append_batch(&mut self, records: &[ExperimentRecord]) -> Result<u64> {
+        if records.is_empty() {
+            return Ok(self.frames);
+        }
+        if self.offset >= self.segment_bytes {
+            self.rotate()?;
+        }
+        let rollback_offset = self.offset;
+        let rollback_frames = self.frames;
+        let attempt = self.attempt;
+        match self.try_append(records, attempt) {
+            Ok(bytes) => {
+                self.attempt = 0;
+                obs::counter_add("kb.wal.appends_total", records.len() as u64);
+                obs::counter_add("kb.wal.bytes_total", bytes);
+                Ok(self.frames)
+            }
+            Err(e) => {
+                self.attempt = self.attempt.saturating_add(1);
+                obs::counter_add("kb.wal.append_failures_total", 1);
+                self.rollback_to(rollback_offset, rollback_frames)?;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_append(&mut self, records: &[ExperimentRecord], attempt: u32) -> Result<u64> {
+        let plan = self.plan();
+        let mut bytes = 0u64;
+        for record in records {
+            let payload =
+                serde_json::to_string(record).map_err(|e| KbError::Serde(e.to_string()))?;
+            let mut frame = encode_frame(payload.as_bytes());
+            if let Some(plan) = &plan {
+                match plan.corrupt_buffer(APPEND_FAULT_POINT, self.frames, attempt, &mut frame) {
+                    // A bit flip is *silent* storage corruption: the
+                    // damaged frame goes to disk and only recovery's
+                    // checksum pass can call it out.
+                    Ok(None) | Ok(Some(Corruption::BitFlip { .. })) => {}
+                    Ok(Some(Corruption::ShortWrite { kept })) => {
+                        // A short write persists a torn prefix and then
+                        // fails, exactly like a crash mid-`write`. The
+                        // batch rollback truncates it away.
+                        self.file.write_all(&frame).map_err(io_err)?;
+                        self.dirty = true;
+                        return Err(KbError::Wal(format!(
+                            "injected short write at frame {} (kept {kept} bytes)",
+                            self.frames
+                        )));
+                    }
+                    Err(e) => return Err(KbError::Wal(e.to_string())),
+                }
+            }
+            self.file.write_all(&frame).map_err(io_err)?;
+            self.dirty = true;
+            self.offset += frame.len() as u64;
+            self.frames += 1;
+            bytes += frame.len() as u64;
+            if self.fsync == FsyncPolicy::Always {
+                self.sync_inner(attempt)?;
+            }
+        }
+        if self.fsync == FsyncPolicy::Batch {
+            self.sync_inner(attempt)?;
+        }
+        Ok(bytes)
+    }
+
+    /// Flush buffered frames to stable storage regardless of policy
+    /// (checkpointing and clean shutdown call this).
+    pub fn sync(&mut self) -> Result<()> {
+        let attempt = self.attempt;
+        match self.sync_inner(attempt) {
+            Ok(()) => {
+                self.attempt = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.attempt = self.attempt.saturating_add(1);
+                Err(e)
+            }
+        }
+    }
+
+    fn sync_inner(&mut self, attempt: u32) -> Result<()> {
+        if !self.dirty {
+            return Ok(());
+        }
+        if let Some(plan) = self.plan() {
+            plan.fire(SYNC_FAULT_POINT, self.generation, attempt)
+                .map_err(|e| KbError::Wal(e.to_string()))?;
+        }
+        let start = Instant::now();
+        self.file.sync_data().map_err(io_err)?;
+        obs::observe_duration("kb.wal.fsync.seconds", start.elapsed());
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Truncate the current segment back to `offset` after a failed
+    /// batch, wiping any partially written frames.
+    fn rollback_to(&mut self, offset: u64, frames: u64) -> Result<()> {
+        self.file.set_len(offset).map_err(io_err)?;
+        self.file.seek(SeekFrom::Start(offset)).map_err(io_err)?;
+        self.offset = offset;
+        self.frames = frames;
+        // The truncation itself must reach disk before the caller
+        // retries, or a crash could resurrect the wiped bytes.
+        if self.fsync != FsyncPolicy::Never {
+            self.file.sync_data().map_err(io_err)?;
+        }
+        self.dirty = false;
+        Ok(())
+    }
+
+    /// Seal the current segment and start writing generation + 1.
+    pub(crate) fn rotate(&mut self) -> Result<()> {
+        if self.fsync != FsyncPolicy::Never {
+            self.sync()?;
+        }
+        let generation = self.generation + 1;
+        let path = self.dir.join(segment_file_name(generation));
+        let mut file = OpenOptions::new()
+            .create_new(true)
+            .write(true)
+            .open(&path)
+            .map_err(io_err)?;
+        file.write_all(&SEGMENT_MAGIC).map_err(io_err)?;
+        if self.fsync != FsyncPolicy::Never {
+            file.sync_data().map_err(io_err)?;
+            sync_dir(&self.dir).map_err(io_err)?;
+        }
+        self.file = file;
+        self.generation = generation;
+        self.offset = SEGMENT_MAGIC.len() as u64;
+        self.dirty = false;
+        self.live_segments += 1;
+        obs::gauge_set("kb.wal.segments", self.live_segments as f64);
+        Ok(())
+    }
+}
+
+impl Drop for WalWriter {
+    fn drop(&mut self) {
+        // Best-effort flush on clean shutdown; no fault injection here
+        // (a drop during unwinding must not panic or inject).
+        if self.dirty && self.fsync != FsyncPolicy::Never {
+            let _ = self.file.sync_data();
+        }
+    }
+}
+
+/// A [`RecordSink`] decorator that logs every batch to a [`WalWriter`]
+/// before forwarding it to the wrapped sink.
+///
+/// Logging is retried a few times; if the log persistently fails the
+/// batch is forwarded *anyway* and the failure counted — the run
+/// degrades from crash-durable to in-memory rather than losing the
+/// result or deadlocking the executor (see
+/// [`degraded`](WalSink::degraded)).
+pub struct WalSink<S> {
+    inner: S,
+    writer: Mutex<WalWriter>,
+    failures: AtomicU64,
+}
+
+/// How many times a batch append is retried before degrading.
+const WAL_SINK_ATTEMPTS: u32 = 3;
+
+impl<S: RecordSink> WalSink<S> {
+    /// Wrap `inner` so every batch is logged to `writer` first.
+    pub fn new(inner: S, writer: WalWriter) -> WalSink<S> {
+        WalSink {
+            inner,
+            writer: Mutex::new(writer),
+            failures: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Batches that could not be logged (forwarded without
+    /// durability).
+    pub fn failures(&self) -> u64 {
+        self.failures.load(Ordering::Relaxed)
+    }
+
+    /// Whether any batch was forwarded without reaching the log.
+    pub fn degraded(&self) -> bool {
+        self.failures() > 0
+    }
+
+    /// Force the log to stable storage.
+    pub fn sync(&self) -> Result<()> {
+        self.writer.lock().sync()
+    }
+
+    /// Checkpoint `kb` and compact segments (see
+    /// [`WalWriter::checkpoint`]).
+    pub fn checkpoint(&self, kb: &KnowledgeBase) -> Result<CheckpointReport> {
+        self.writer.lock().checkpoint(kb)
+    }
+}
+
+impl<S: RecordSink> RecordSink for WalSink<S> {
+    fn add_batch(&self, records: Vec<ExperimentRecord>) {
+        if !records.is_empty() {
+            let mut writer = self.writer.lock();
+            let mut logged = false;
+            for _ in 0..WAL_SINK_ATTEMPTS {
+                if writer.append_batch(&records).is_ok() {
+                    logged = true;
+                    break;
+                }
+            }
+            drop(writer);
+            if !logged {
+                self.failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.inner.add_batch(records);
+    }
+}
